@@ -1,0 +1,119 @@
+// Ablation (ours, after the paper's reference [18] on meter-data
+// quality): how robust are the benchmark's analytics to missing
+// readings? Random gaps of growing rate and length are injected into
+// every series, repaired by linear interpolation (FillGaps), and the
+// 3-line gradients / PAR profiles recomputed. Reports the drift against
+// the gap-free ground truth.
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "bench_common.h"
+#include "common/rng.h"
+#include "core/par_task.h"
+#include "core/three_line_task.h"
+#include "timeseries/dataset.h"
+
+namespace {
+
+using namespace smartmeter;         // NOLINT
+using namespace smartmeter::bench;  // NOLINT
+
+struct Truth {
+  std::vector<core::ThreeLineResult> lines;
+  std::vector<core::DailyProfileResult> profiles;
+};
+
+int Run(BenchContext& ctx) {
+  const int households =
+      static_cast<int>(ctx.flags().GetInt("households", 60));
+  PrintHeader(
+      "Ablation: analytics robustness to missing readings",
+      StringPrintf("%d households; gaps injected at the given rate with "
+                   "the given mean length, repaired by linear "
+                   "interpolation, then 3-line and PAR recomputed",
+                   households));
+
+  auto dataset = ctx.GetDataset(households);
+  if (!dataset.ok()) return 1;
+  const auto& temperature = (*dataset)->temperature();
+
+  Truth truth;
+  for (const ConsumerSeries& c : (*dataset)->consumers()) {
+    auto lines = core::ComputeThreeLine(c.consumption, temperature,
+                                        c.household_id);
+    auto profile = core::ComputeDailyProfile(c.consumption, temperature,
+                                             c.household_id);
+    if (!lines.ok() || !profile.ok()) return 1;
+    truth.lines.push_back(std::move(*lines));
+    truth.profiles.push_back(std::move(*profile));
+  }
+
+  PrintRow({"gap rate", "mean gap (h)", "missing %",
+            "heating gradient MAE", "base load MAE", "profile MAE"});
+  PrintDivider(6);
+
+  struct Config {
+    double rate;  // Probability a gap starts at any hour.
+    int mean_len;
+  };
+  for (const Config& config :
+       {Config{0.0005, 2}, Config{0.002, 3}, Config{0.005, 6},
+        Config{0.01, 12}, Config{0.02, 24}}) {
+    Rng rng(1234);
+    double heating_mae = 0.0, base_mae = 0.0, profile_mae = 0.0;
+    int64_t missing = 0, total = 0;
+    int scored = 0;
+    for (size_t i = 0; i < (*dataset)->num_consumers(); ++i) {
+      std::vector<double> damaged = (*dataset)->consumer(i).consumption;
+      // Inject gaps: geometric lengths around mean_len.
+      for (size_t t = 0; t < damaged.size(); ++t) {
+        if (rng.NextDouble() < config.rate) {
+          int len = 1;
+          while (rng.NextDouble() > 1.0 / config.mean_len) ++len;
+          for (int g = 0; g < len && t < damaged.size(); ++g, ++t) {
+            damaged[t] = std::numeric_limits<double>::quiet_NaN();
+            ++missing;
+          }
+        }
+      }
+      total += static_cast<int64_t>(damaged.size());
+      if (!FillGaps(&damaged).ok()) continue;
+      auto lines = core::ComputeThreeLine(
+          damaged, temperature, (*dataset)->consumer(i).household_id);
+      auto profile = core::ComputeDailyProfile(
+          damaged, temperature, (*dataset)->consumer(i).household_id);
+      if (!lines.ok() || !profile.ok()) continue;
+      heating_mae +=
+          std::abs(lines->heating_gradient - truth.lines[i].heating_gradient);
+      base_mae += std::abs(lines->base_load - truth.lines[i].base_load);
+      double per_hour = 0.0;
+      for (int h = 0; h < 24; ++h) {
+        per_hour += std::abs(profile->profile[static_cast<size_t>(h)] -
+                             truth.profiles[i]
+                                 .profile[static_cast<size_t>(h)]);
+      }
+      profile_mae += per_hour / 24.0;
+      ++scored;
+    }
+    if (scored == 0) continue;
+    PrintRow({Cell(config.rate), CellInt(config.mean_len),
+              Cell(100.0 * static_cast<double>(missing) /
+                   static_cast<double>(total)),
+              Cell(heating_mae / scored), Cell(base_mae / scored),
+              Cell(profile_mae / scored)});
+  }
+  std::printf(
+      "\nExpected: errors grow smoothly with the missing fraction and "
+      "stay small (interpolation repairs short\ngaps well); no task "
+      "fails outright -- the data-quality story of the paper's reference "
+      "[18].\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchContext ctx(argc, argv, /*default_scale=*/80.0);
+  return Run(ctx);
+}

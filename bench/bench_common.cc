@@ -1,0 +1,203 @@
+#include "bench_common.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "datagen/seed_generator.h"
+#include "storage/csv.h"
+#include "timeseries/calendar.h"
+
+namespace smartmeter::bench {
+
+namespace fs = std::filesystem;
+
+BenchContext::BenchContext(int argc, char** argv, double default_scale)
+    : flags_(argc, argv) {
+  workdir_ = flags_.GetString("workdir", "/tmp/smartmeter-bench");
+  hours_ = static_cast<int>(flags_.GetInt("hours", kHoursPerYear));
+  scale_divisor_ = flags_.GetDouble("scale", default_scale);
+  seed_ = static_cast<uint64_t>(flags_.GetInt("seed", 20150323));
+  SM_CHECK(hours_ >= 10 * kHoursPerDay)
+      << "benches need at least 10 days of data per household";
+  SM_CHECK(scale_divisor_ > 0) << "--scale must be positive";
+  std::error_code ec;
+  fs::create_directories(workdir_, ec);
+}
+
+int BenchContext::HouseholdsForPaperGb(double paper_gb) const {
+  const double households = paper_gb * kHouseholdsPerPaperGb /
+                            scale_divisor_;
+  return std::max(4, static_cast<int>(std::llround(households)));
+}
+
+double BenchContext::PaperGbForHouseholds(int households) const {
+  return static_cast<double>(households) * scale_divisor_ /
+         kHouseholdsPerPaperGb;
+}
+
+Result<MeterDataset> BenchContext::BuildDataset(int households) {
+  // The paper's methodology: a small real seed, then the Section 4
+  // generator scales it up. Our "real" seed is the archetype synthesizer.
+  datagen::SeedGeneratorOptions seed_options;
+  seed_options.num_households = std::min(households, 100);
+  seed_options.hours = hours_;
+  seed_options.seed = seed_;
+  SM_ASSIGN_OR_RETURN(MeterDataset seed,
+                      datagen::GenerateSeedDataset(seed_options));
+  if (households <= seed_options.num_households) {
+    seed.TruncateConsumers(static_cast<size_t>(households));
+    return seed;
+  }
+  datagen::DataGeneratorOptions gen_options;
+  gen_options.num_clusters = 8;
+  gen_options.noise_sigma = 0.08;
+  SM_ASSIGN_OR_RETURN(datagen::DataGenerator generator,
+                      datagen::DataGenerator::Train(seed, gen_options));
+  return generator.Generate(households, seed.temperature(), seed_ + 1);
+}
+
+Result<const MeterDataset*> BenchContext::GetDataset(int households) {
+  if (static_cast<size_t>(households) > cache_.num_consumers()) {
+    SM_ASSIGN_OR_RETURN(cache_, BuildDataset(households));
+  }
+  if (static_cast<size_t>(households) == cache_.num_consumers()) {
+    return &cache_;
+  }
+  // Subset view: copy the first n consumers (cheap at bench scale).
+  subset_ = MeterDataset();
+  subset_.SetTemperature(cache_.temperature());
+  for (int i = 0; i < households; ++i) {
+    subset_.AddConsumer(cache_.consumer(static_cast<size_t>(i)));
+  }
+  return &subset_;
+}
+
+namespace {
+
+/// True when `marker` exists; otherwise runs `write` and creates it.
+template <typename WriteFn>
+Status EnsureMaterialized(const std::string& marker, const WriteFn& write) {
+  if (fs::exists(marker)) return Status::OK();
+  SM_RETURN_IF_ERROR(write());
+  FILE* f = std::fopen(marker.c_str(), "w");
+  if (f == nullptr) return Status::IOError("cannot write marker " + marker);
+  std::fclose(f);
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<engines::DataSource> BenchContext::SingleCsv(int households) {
+  const std::string dir =
+      workdir_ + "/data_h" + std::to_string(households) + "_t" +
+      std::to_string(hours_);
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  const std::string path = dir + "/single.csv";
+  SM_ASSIGN_OR_RETURN(const MeterDataset* ds, GetDataset(households));
+  SM_RETURN_IF_ERROR(EnsureMaterialized(path + ".done", [&] {
+    return storage::WriteReadingsCsv(*ds, path);
+  }));
+  engines::DataSource source;
+  source.layout = engines::DataSource::Layout::kSingleCsv;
+  source.files = {path};
+  return source;
+}
+
+Result<engines::DataSource> BenchContext::PartitionedDir(int households) {
+  const std::string dir =
+      workdir_ + "/data_h" + std::to_string(households) + "_t" +
+      std::to_string(hours_) + "/part";
+  SM_ASSIGN_OR_RETURN(const MeterDataset* ds, GetDataset(households));
+  SM_RETURN_IF_ERROR(EnsureMaterialized(dir + ".done", [&]() -> Status {
+    SM_ASSIGN_OR_RETURN(std::vector<std::string> paths,
+                        storage::WritePartitionedCsv(*ds, dir));
+    (void)paths;
+    return Status::OK();
+  }));
+  engines::DataSource source;
+  source.layout = engines::DataSource::Layout::kPartitionedDir;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() == ".csv") {
+      source.files.push_back(entry.path().string());
+    }
+  }
+  std::sort(source.files.begin(), source.files.end());
+  return source;
+}
+
+Result<engines::DataSource> BenchContext::HouseholdLines(int households) {
+  const std::string dir =
+      workdir_ + "/data_h" + std::to_string(households) + "_t" +
+      std::to_string(hours_);
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  const std::string path = dir + "/wide.csv";
+  SM_ASSIGN_OR_RETURN(const MeterDataset* ds, GetDataset(households));
+  SM_RETURN_IF_ERROR(EnsureMaterialized(path + ".done", [&] {
+    return storage::WriteHouseholdLinesCsv(*ds, path);
+  }));
+  engines::DataSource source;
+  source.layout = engines::DataSource::Layout::kHouseholdLines;
+  source.files = {path};
+  return source;
+}
+
+Result<engines::DataSource> BenchContext::WholeFileDir(int households,
+                                                       int num_files) {
+  const std::string dir =
+      workdir_ + "/data_h" + std::to_string(households) + "_t" +
+      std::to_string(hours_) + "/whole_f" + std::to_string(num_files);
+  SM_ASSIGN_OR_RETURN(const MeterDataset* ds, GetDataset(households));
+  SM_RETURN_IF_ERROR(EnsureMaterialized(dir + ".done", [&]() -> Status {
+    SM_ASSIGN_OR_RETURN(std::vector<std::string> paths,
+                        storage::WriteWholeHouseholdFiles(*ds, dir,
+                                                          num_files));
+    (void)paths;
+    return Status::OK();
+  }));
+  engines::DataSource source;
+  source.layout = engines::DataSource::Layout::kWholeFileDir;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() == ".csv") {
+      source.files.push_back(entry.path().string());
+    }
+  }
+  std::sort(source.files.begin(), source.files.end());
+  return source;
+}
+
+std::string BenchContext::SpoolDir(const std::string& tag) const {
+  return workdir_ + "/spool_" + tag;
+}
+
+void PrintHeader(const std::string& title, const std::string& note) {
+  std::printf("\n== %s ==\n%s\n\n", title.c_str(), note.c_str());
+}
+
+void PrintRow(const std::vector<std::string>& cells) {
+  std::printf("|");
+  for (const std::string& cell : cells) {
+    std::printf(" %s |", cell.c_str());
+  }
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+void PrintDivider(size_t columns) {
+  std::printf("|");
+  for (size_t i = 0; i < columns; ++i) std::printf("---|");
+  std::printf("\n");
+}
+
+std::string Cell(double value) { return StringPrintf("%.3f", value); }
+
+std::string CellInt(int64_t value) {
+  return StringPrintf("%lld", static_cast<long long>(value));
+}
+
+}  // namespace smartmeter::bench

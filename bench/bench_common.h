@@ -1,0 +1,96 @@
+#ifndef SMARTMETER_BENCH_BENCH_COMMON_H_
+#define SMARTMETER_BENCH_BENCH_COMMON_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/string_util.h"
+#include "common/result.h"
+#include "datagen/generator.h"
+#include "engines/engine.h"
+#include "timeseries/dataset.h"
+
+namespace smartmeter::bench {
+
+/// The paper's data sizing: 27,300 households of hourly year-long data
+/// occupy roughly 10 GB as CSV, i.e. 2,730 households per "paper GB".
+inline constexpr double kHouseholdsPerPaperGb = 2730.0;
+
+/// Scaled-down benchmark context shared by every figure binary.
+///
+/// Flags understood by all benches:
+///   --workdir=<dir>   scratch directory (default /tmp/smartmeter-bench)
+///   --scale=<f>       scale divisor: 1 "paper GB" is represented by
+///                     2730 / f households (default 40, i.e. ~68
+///                     households per paper-GB, so the whole suite runs
+///                     in minutes on a laptop)
+///   --hours=<n>       hours per series (default 8760)
+///   --seed=<n>        RNG seed
+class BenchContext {
+ public:
+  /// `default_scale` is the scale divisor used when --scale is not
+  /// given; heavier figures ship larger defaults so the whole suite
+  /// stays fast, and every bench prints the paper-equivalent sizes.
+  BenchContext(int argc, char** argv, double default_scale = 40.0);
+
+  const FlagParser& flags() const { return flags_; }
+  const std::string& workdir() const { return workdir_; }
+  int hours() const { return hours_; }
+  double scale_divisor() const { return scale_divisor_; }
+
+  /// Households representing `paper_gb` of the paper's data.
+  int HouseholdsForPaperGb(double paper_gb) const;
+
+  /// Reverse mapping: paper-equivalent GB for a household count.
+  double PaperGbForHouseholds(int households) const;
+
+  /// Returns a realistic dataset of exactly `households` consumers,
+  /// produced the way the paper produced its large data sets: a small
+  /// "real" seed plus the Section 4 generator. Cached per process.
+  Result<const MeterDataset*> GetDataset(int households);
+
+  /// Materializes the given layout of the first `households` consumers
+  /// under the workdir; re-written only when absent. Returns the source
+  /// descriptor for the engines.
+  Result<engines::DataSource> SingleCsv(int households);
+  Result<engines::DataSource> PartitionedDir(int households);
+  Result<engines::DataSource> HouseholdLines(int households);
+  Result<engines::DataSource> WholeFileDir(int households, int num_files);
+
+  /// Per-bench scratch dir for engine spools.
+  std::string SpoolDir(const std::string& tag) const;
+
+ private:
+  Result<MeterDataset> BuildDataset(int households);
+
+  FlagParser flags_;
+  std::string workdir_;
+  int hours_;
+  double scale_divisor_;
+  uint64_t seed_;
+  // Cache of the largest dataset built so far; subsets are views of it.
+  MeterDataset cache_;
+  MeterDataset subset_;
+};
+
+// ---------------------------------------------------------------------------
+// Output helpers: every bench prints GitHub-flavoured tables so the
+// output is directly pasteable into EXPERIMENTS.md.
+// ---------------------------------------------------------------------------
+
+/// Prints "== <title> ==" plus a one-line provenance note.
+void PrintHeader(const std::string& title, const std::string& note);
+
+/// Prints a markdown table row/divider from cells.
+void PrintRow(const std::vector<std::string>& cells);
+void PrintDivider(size_t columns);
+
+/// Formats seconds in a stable "%.3f" form for table cells.
+std::string Cell(double value);
+std::string CellInt(int64_t value);
+
+}  // namespace smartmeter::bench
+
+#endif  // SMARTMETER_BENCH_BENCH_COMMON_H_

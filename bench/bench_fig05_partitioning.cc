@@ -1,0 +1,65 @@
+// Reproduces Figure 5: impact of file partitioning on Matlab analytics
+// (3-line algorithm, cold start, 0.5 - 2 paper-GB).
+//
+// Expected shape (paper): the un-partitioned runs grow much faster than
+// the partitioned ones because Matlab must first build an index over the
+// whole big file before it can address a single consumer.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "engines/matlab_engine.h"
+
+namespace {
+
+using namespace smartmeter;         // NOLINT
+using namespace smartmeter::bench;  // NOLINT
+
+int Run(BenchContext& ctx) {
+  PrintHeader("Figure 5: partitioning impact on Matlab, 3-line algorithm",
+              StringPrintf("cold start; scale %.0f", ctx.scale_divisor()));
+  PrintRow({"paper GB", "households", "partitioned (s)",
+            "un-partitioned (s)", "unpart / part"});
+  PrintDivider(5);
+  for (double paper_gb : {0.5, 1.0, 1.5, 2.0}) {
+    const int households = ctx.HouseholdsForPaperGb(paper_gb);
+    auto part = ctx.PartitionedDir(households);
+    auto single = ctx.SingleCsv(households);
+    if (!part.ok() || !single.ok()) return 1;
+
+    engines::TaskRequest request;
+    request.task = core::TaskType::kThreeLine;
+
+    double part_seconds = 0.0, single_seconds = 0.0;
+    {
+      engines::MatlabEngine engine;
+      if (!engine.Attach(*part).ok()) return 1;
+      auto metrics = engine.RunTask(request, nullptr);
+      if (!metrics.ok()) {
+        std::fprintf(stderr, "%s\n", metrics.status().ToString().c_str());
+        return 1;
+      }
+      part_seconds = metrics->seconds;
+    }
+    {
+      engines::MatlabEngine engine;
+      if (!engine.Attach(*single).ok()) return 1;
+      auto metrics = engine.RunTask(request, nullptr);
+      if (!metrics.ok()) return 1;
+      single_seconds = metrics->seconds;
+    }
+    PrintRow({Cell(paper_gb), CellInt(households), Cell(part_seconds),
+              Cell(single_seconds),
+              Cell(part_seconds > 0 ? single_seconds / part_seconds : 0)});
+  }
+  std::printf(
+      "\nShape to check: the last column stays > 1 and grows with size "
+      "(one big file forces a full index build).\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchContext ctx(argc, argv, /*default_scale=*/40.0);
+  return Run(ctx);
+}

@@ -1,0 +1,76 @@
+// Reproduces Figure 9 and the Section 5.3.3 text experiment: MADLib with
+// the row-per-reading layout (Table 1) versus the array layout (Table 2,
+// one row per household with consumption/temperature arrays).
+//
+// Expected shape (paper): the array layout wins every task -- 3-line
+// dropped 19.6 -> 11.3 min, PAR 34.9 -> 30, histogram 7.8 -> 6.8,
+// similarity 58.3 -> 40.5 -- but stays far from System C.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "engines/engine_factory.h"
+#include "engines/madlib_engine.h"
+#include "engines/systemc_engine.h"
+
+namespace {
+
+using namespace smartmeter;         // NOLINT
+using namespace smartmeter::bench;  // NOLINT
+
+int Run(BenchContext& ctx) {
+  const double paper_gb = ctx.flags().GetDouble("paper-gb", 5.0);
+  const int households = ctx.HouseholdsForPaperGb(paper_gb);
+  // The paper ran similarity on a 2 GB subset (6,400 households).
+  const int similarity_households =
+      std::min(households, ctx.HouseholdsForPaperGb(2.0));
+  PrintHeader(
+      "Figure 9 / Section 5.3.3: MADLib row layout vs array layout",
+      StringPrintf("%d households (~%.1f paper-GB), cold start; paper: "
+                   "3line 19.6->11.3 min, PAR 34.9->30, hist 7.8->6.8, "
+                   "similarity 58.3->40.5",
+                   households, ctx.PaperGbForHouseholds(households)));
+  PrintRow({"task", "row layout (s)", "array layout (s)", "row / array",
+            "system-c (s)"});
+  PrintDivider(5);
+
+  auto source = ctx.SingleCsv(households);
+  if (!source.ok()) return 1;
+
+  engines::MadlibEngine row_engine(engines::MadlibEngine::TableLayout::kRow);
+  engines::MadlibEngine array_engine(
+      engines::MadlibEngine::TableLayout::kArray);
+  engines::SystemCEngine systemc(ctx.SpoolDir("fig09"));
+  if (!row_engine.Attach(*source).ok()) return 1;
+  if (!array_engine.Attach(*source).ok()) return 1;
+  if (!systemc.Attach(*source).ok()) return 1;
+
+  for (core::TaskType task : core::kAllTasks) {
+    engines::TaskRequest request;
+    request.task = task;
+    if (task == core::TaskType::kSimilarity) {
+      request.similarity_households = similarity_households;
+    }
+    auto row = row_engine.RunTask(request, nullptr);
+    auto array = array_engine.RunTask(request, nullptr);
+    auto fast = systemc.RunTask(request, nullptr);
+    if (!row.ok() || !array.ok() || !fast.ok()) {
+      std::fprintf(stderr, "task failed\n");
+      return 1;
+    }
+    PrintRow({std::string(core::TaskName(task)), Cell(row->seconds),
+              Cell(array->seconds),
+              Cell(array->seconds > 0 ? row->seconds / array->seconds : 0),
+              Cell(fast->seconds)});
+  }
+  std::printf(
+      "\nShape to check: 'row / array' > 1 on every task, yet the array "
+      "layout still loses to system-c.\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchContext ctx(argc, argv, /*default_scale=*/80.0);
+  return Run(ctx);
+}

@@ -1,0 +1,96 @@
+// Reproduces Figure 10(a-d): multi-threaded speedup of each algorithm on
+// Matlab (parallel shared-nothing instances), MADLib (parallel
+// connections) and System C (native parallelism), threads 1..8.
+//
+// Expected shape (paper, 4-core host): near-linear speedup up to the
+// physical core count, diminishing returns beyond (hyper-threads fight
+// over FP units). This host's physical core count is printed; expect the
+// knee there.
+#include <cstdio>
+#include <thread>
+
+#include "bench_common.h"
+#include "engines/engine_factory.h"
+
+namespace {
+
+using namespace smartmeter;         // NOLINT
+using namespace smartmeter::bench;  // NOLINT
+
+int Run(BenchContext& ctx) {
+  const double paper_gb = ctx.flags().GetDouble("paper-gb", 5.0);
+  const int households = ctx.HouseholdsForPaperGb(paper_gb);
+  PrintHeader(
+      "Figure 10: speedup vs number of threads (warm start)",
+      StringPrintf("%d households (~%.1f paper-GB); host has %u hardware "
+                   "threads -- expect the knee there",
+                   households, ctx.PaperGbForHouseholds(households),
+                   std::thread::hardware_concurrency()));
+
+  const std::vector<int> thread_counts = {1, 2, 4, 8};
+  for (core::TaskType task : core::kAllTasks) {
+    std::printf("\n-- Figure 10 (%s), speedup relative to 1 thread --\n",
+                std::string(core::TaskName(task)).c_str());
+    std::vector<std::string> header = {"platform"};
+    for (int t : thread_counts) {
+      header.push_back(StringPrintf("%d thr", t));
+    }
+    PrintRow(header);
+    PrintDivider(header.size());
+
+    for (engines::EngineKind kind :
+         {engines::EngineKind::kMatlab, engines::EngineKind::kMadlib,
+          engines::EngineKind::kSystemC}) {
+      engines::EngineFactoryOptions factory;
+      factory.spool_dir = ctx.SpoolDir("fig10");
+      auto engine = engines::MakeEngine(kind, factory);
+      auto source = (kind == engines::EngineKind::kMatlab)
+                        ? ctx.PartitionedDir(households)
+                        : ctx.SingleCsv(households);
+      if (!source.ok()) return 1;
+      if (!engine->Attach(*source).ok()) return 1;
+      if (!engine->WarmUp().ok()) return 1;
+
+      engines::TaskRequest request;
+      request.task = task;
+      if (task == core::TaskType::kSimilarity) {
+        request.similarity_households =
+            std::min(households, ctx.HouseholdsForPaperGb(2.0));
+      }
+      double base_seconds = 0.0;
+      std::vector<std::string> cells = {
+          std::string(engines::EngineKindName(kind))};
+      for (int threads : thread_counts) {
+        engine->SetThreads(threads);
+        // Best of three: the scaled-down tasks are fast enough that a
+        // single run is noisy on a busy host.
+        double best = 0.0;
+        for (int rep = 0; rep < 3; ++rep) {
+          auto metrics = engine->RunTask(request, nullptr);
+          if (!metrics.ok()) {
+            std::fprintf(stderr, "%s\n",
+                         metrics.status().ToString().c_str());
+            return 1;
+          }
+          if (rep == 0 || metrics->seconds < best) {
+            best = metrics->seconds;
+          }
+        }
+        if (threads == 1) base_seconds = best;
+        cells.push_back(Cell(best > 0 ? base_seconds / best : 0.0));
+      }
+      PrintRow(cells);
+    }
+  }
+  std::printf(
+      "\nShape to check: speedup rises with threads up to the physical "
+      "core count, then flattens.\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchContext ctx(argc, argv, /*default_scale=*/80.0);
+  return Run(ctx);
+}

@@ -1,0 +1,85 @@
+// Reproduces Figure 12(a,b): throughput per server -- households handled
+// per second per server -- for System C (1 server) vs Spark and Hive (16
+// workers), at the 100 paper-GB size and, for similarity, at the 32k
+// (scaled) household point.
+//
+// Expected shape (paper): normalized per server, System C is competitive
+// with the cluster engines on 3-line and PAR and better on histogram;
+// its similarity throughput per server is also higher.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "engines/hive_engine.h"
+#include "engines/spark_engine.h"
+#include "engines/systemc_engine.h"
+
+namespace {
+
+using namespace smartmeter;         // NOLINT
+using namespace smartmeter::bench;  // NOLINT
+
+int Run(BenchContext& ctx) {
+  cluster::ClusterConfig cluster;
+  cluster.num_nodes = static_cast<int>(ctx.flags().GetInt("nodes", 16));
+  const int households = ctx.HouseholdsForPaperGb(
+      ctx.flags().GetDouble("paper-gb", 100.0));
+  const int sim_households = std::max(
+      8, static_cast<int>(32000 / ctx.scale_divisor()));
+
+  PrintHeader(
+      "Figure 12: throughput per server (households / second / server)",
+      StringPrintf("%d households (~100 paper-GB), similarity at %d "
+                   "(scaled 32k); Spark/Hive divided by %d workers",
+                   households, sim_households, cluster.num_nodes));
+  PrintRow({"task", "system-c", "spark", "hive"});
+  PrintDivider(4);
+
+  for (core::TaskType task : core::kAllTasks) {
+    const int n = task == core::TaskType::kSimilarity ? sim_households
+                                                      : households;
+    auto single = ctx.SingleCsv(n);
+    auto lines = ctx.HouseholdLines(n);
+    if (!single.ok() || !lines.ok()) return 1;
+    engines::TaskRequest request;
+    request.task = task;
+
+    engines::SystemCEngine systemc(ctx.SpoolDir("fig12"));
+    systemc.SetThreads(8);
+    if (!systemc.Attach(*single).ok()) return 1;
+    auto c_time = systemc.RunTask(request, nullptr);
+
+    engines::SparkEngine::Options spark_options;
+    spark_options.cluster = cluster;
+    engines::SparkEngine spark(spark_options);
+    if (!spark.Attach(*lines).ok()) return 1;
+    auto s_time = spark.RunTask(request, nullptr);
+
+    engines::HiveEngine::Options hive_options;
+    hive_options.cluster = cluster;
+    engines::HiveEngine hive(hive_options);
+    if (!hive.Attach(*lines).ok()) return 1;
+    auto h_time = hive.RunTask(request, nullptr);
+    if (!c_time.ok() || !s_time.ok() || !h_time.ok()) return 1;
+
+    auto throughput = [n](double seconds, int servers) {
+      return seconds > 0
+                 ? static_cast<double>(n) / seconds / servers
+                 : 0.0;
+    };
+    PrintRow({std::string(core::TaskName(task)),
+              Cell(throughput(c_time->seconds, 1)),
+              Cell(throughput(s_time->seconds, cluster.num_nodes)),
+              Cell(throughput(h_time->seconds, cluster.num_nodes))});
+  }
+  std::printf(
+      "\nShape to check: per server, system-c stays competitive on 3line "
+      "and par and clearly wins histogram and similarity.\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchContext ctx(argc, argv, /*default_scale=*/400.0);
+  return Run(ctx);
+}

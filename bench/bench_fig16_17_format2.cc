@@ -1,0 +1,121 @@
+// Reproduces Figures 16 and 17: Spark vs Hive on the second cluster data
+// format (one household per line -> map-only plans, no shuffle).
+//   Figure 16: execution time vs data size.
+//   Figure 17: speedup vs worker nodes at the largest size.
+//
+// Expected shapes (paper): per-household tasks run faster than with
+// format 1 (no reduce step / shuffle); Spark and Hive are very close
+// (same HDFS scan dominates); speedup with nodes is steeper than format
+// 1 thanks to map-only jobs; similarity improves only slightly (the
+// pairwise computation dominates, and top-k still needs a reduce).
+#include <cstdio>
+
+#include "bench_common.h"
+#include "engines/hive_engine.h"
+#include "engines/spark_engine.h"
+
+namespace {
+
+using namespace smartmeter;         // NOLINT
+using namespace smartmeter::bench;  // NOLINT
+
+constexpr int64_t kBlockBytes = 32 << 10;
+
+Result<double> RunOnce(bool spark, const engines::DataSource& source,
+                       const cluster::ClusterConfig& cluster,
+                       const engines::TaskRequest& request) {
+  if (spark) {
+    engines::SparkEngine::Options options;
+    options.cluster = cluster;
+    options.block_bytes = kBlockBytes;
+    engines::SparkEngine engine(options);
+    SM_RETURN_IF_ERROR(engine.Attach(source).status());
+    SM_ASSIGN_OR_RETURN(engines::TaskRunMetrics metrics,
+                        engine.RunTask(request, nullptr));
+    return metrics.seconds;
+  }
+  engines::HiveEngine::Options options;
+  options.cluster = cluster;
+  options.block_bytes = kBlockBytes;
+  engines::HiveEngine engine(options);
+  SM_RETURN_IF_ERROR(engine.Attach(source).status());
+  SM_ASSIGN_OR_RETURN(engines::TaskRunMetrics metrics,
+                      engine.RunTask(request, nullptr));
+  return metrics.seconds;
+}
+
+int Run(BenchContext& ctx) {
+  PrintHeader(
+      "Figures 16-17: Spark vs Hive, data format 2 (one household per "
+      "line, map-only)",
+      StringPrintf("scale %.0f; simulated 16-node cluster",
+                   ctx.scale_divisor()));
+
+  cluster::ClusterConfig cluster;
+  const std::vector<double> sizes_gb = {256, 512, 768, 1024};
+
+  for (core::TaskType task : core::kAllTasks) {
+    std::printf("\n-- Figure 16 (%s) --\n",
+                std::string(core::TaskName(task)).c_str());
+    PrintRow({"paper GB", "households", "spark (s)", "hive (s)"});
+    PrintDivider(4);
+    for (double gb : sizes_gb) {
+      const int households = ctx.HouseholdsForPaperGb(gb);
+      auto source = ctx.HouseholdLines(households);
+      if (!source.ok()) return 1;
+      engines::TaskRequest request;
+      request.task = task;
+      auto spark = RunOnce(true, *source, cluster, request);
+      auto hive = RunOnce(false, *source, cluster, request);
+      if (!spark.ok() || !hive.ok()) {
+        std::fprintf(stderr, "run failed\n");
+        return 1;
+      }
+      PrintRow({Cell(gb), CellInt(households), Cell(*spark), Cell(*hive)});
+    }
+  }
+
+  const int sim_households =
+      static_cast<int>(ctx.flags().GetInt("sim-households", 400));
+  const int households = ctx.HouseholdsForPaperGb(sizes_gb.back());
+  auto source = ctx.HouseholdLines(households);
+  auto sim_source = ctx.HouseholdLines(sim_households);
+  if (!source.ok() || !sim_source.ok()) return 1;
+  const std::vector<int> node_counts = {4, 8, 12, 16};
+  for (core::TaskType task : core::kAllTasks) {
+    std::printf("\n-- Figure 17 (%s), speedup relative to 4 nodes --\n",
+                std::string(core::TaskName(task)).c_str());
+    std::vector<std::string> header = {"engine"};
+    for (int n : node_counts) header.push_back(StringPrintf("%d nodes", n));
+    PrintRow(header);
+    PrintDivider(header.size());
+    for (bool spark : {true, false}) {
+      std::vector<std::string> cells = {spark ? "spark" : "hive"};
+      double base = 0.0;
+      for (int nodes : node_counts) {
+        cluster::ClusterConfig config;
+        config.num_nodes = nodes;
+        engines::TaskRequest request;
+        request.task = task;
+        const bool is_sim = task == core::TaskType::kSimilarity;
+        auto seconds =
+            RunOnce(spark, is_sim ? *sim_source : *source, config, request);
+        if (!seconds.ok()) return 1;
+        if (nodes == node_counts.front()) base = *seconds;
+        cells.push_back(Cell(*seconds > 0 ? base / *seconds : 0.0));
+      }
+      PrintRow(cells);
+    }
+  }
+  std::printf(
+      "\nShapes to check: per-household tasks faster than format 1 and "
+      "spark ~ hive;\nspeedups steeper than format 1 (map-only jobs).\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchContext ctx(argc, argv, /*default_scale=*/12000.0);
+  return Run(ctx);
+}

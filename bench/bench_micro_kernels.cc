@@ -1,0 +1,169 @@
+// Google-benchmark microbenchmarks of the statistical kernels every
+// platform engine is built on. These are the operators the paper's Table
+// 1 says System C lacks and the authors hand-wrote; regressions here move
+// every figure.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/histogram_task.h"
+#include "core/par_task.h"
+#include "core/similarity_task.h"
+#include "core/three_line_task.h"
+#include "datagen/temperature_model.h"
+#include "stats/distance.h"
+#include "stats/kmeans.h"
+#include "stats/ols.h"
+#include "stats/quantile.h"
+#include "storage/btree.h"
+#include "storage/csv.h"
+#include "timeseries/calendar.h"
+
+namespace {
+
+using namespace smartmeter;  // NOLINT
+
+std::vector<double> RandomSeries(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  for (double& x : v) x = rng.Uniform(0.0, 5.0);
+  return v;
+}
+
+void BM_Quantile8760(benchmark::State& state) {
+  const std::vector<double> v = RandomSeries(kHoursPerYear, 1);
+  for (auto _ : state) {
+    auto q = stats::Quantile(v, 0.9);
+    benchmark::DoNotOptimize(q);
+  }
+}
+BENCHMARK(BM_Quantile8760);
+
+void BM_EquiWidthHistogram8760(benchmark::State& state) {
+  const std::vector<double> v = RandomSeries(kHoursPerYear, 2);
+  for (auto _ : state) {
+    auto hist = core::ComputeConsumptionHistogram(v);
+    benchmark::DoNotOptimize(hist);
+  }
+}
+BENCHMARK(BM_EquiWidthHistogram8760);
+
+void BM_SimpleOls(benchmark::State& state) {
+  const std::vector<double> x = RandomSeries(static_cast<size_t>(
+                                                 state.range(0)),
+                                             3);
+  const std::vector<double> y = RandomSeries(static_cast<size_t>(
+                                                 state.range(0)),
+                                             4);
+  for (auto _ : state) {
+    auto fit = stats::FitLine(x, y);
+    benchmark::DoNotOptimize(fit);
+  }
+}
+BENCHMARK(BM_SimpleOls)->Arg(100)->Arg(1000)->Arg(8760);
+
+void BM_CosinePair8760(benchmark::State& state) {
+  const std::vector<double> a = RandomSeries(kHoursPerYear, 5);
+  const std::vector<double> b = RandomSeries(kHoursPerYear, 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::CosineSimilarity(a, b));
+  }
+}
+BENCHMARK(BM_CosinePair8760);
+
+void BM_ThreeLineOneConsumer(benchmark::State& state) {
+  const std::vector<double> temp =
+      datagen::GenerateTemperatureSeries(kHoursPerYear);
+  std::vector<double> consumption(kHoursPerYear);
+  Rng rng(7);
+  for (size_t t = 0; t < consumption.size(); ++t) {
+    consumption[t] = 0.4 + 0.1 * std::max(0.0, 12.0 - temp[t]) +
+                     0.05 * std::max(0.0, temp[t] - 20.0) +
+                     rng.NextDouble() * 0.1;
+  }
+  for (auto _ : state) {
+    auto fit = core::ComputeThreeLine(consumption, temp, 1);
+    benchmark::DoNotOptimize(fit);
+  }
+}
+BENCHMARK(BM_ThreeLineOneConsumer);
+
+void BM_ParOneConsumer(benchmark::State& state) {
+  const std::vector<double> temp =
+      datagen::GenerateTemperatureSeries(kHoursPerYear);
+  const std::vector<double> consumption = RandomSeries(kHoursPerYear, 8);
+  for (auto _ : state) {
+    auto profile = core::ComputeDailyProfile(consumption, temp, 1);
+    benchmark::DoNotOptimize(profile);
+  }
+}
+BENCHMARK(BM_ParOneConsumer);
+
+void BM_KMeansProfiles(benchmark::State& state) {
+  Rng rng(9);
+  std::vector<std::vector<double>> profiles;
+  for (int i = 0; i < 200; ++i) {
+    std::vector<double> p(24);
+    for (double& x : p) x = rng.Uniform(0, 2);
+    profiles.push_back(std::move(p));
+  }
+  for (auto _ : state) {
+    auto result = stats::KMeans(profiles, 8);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_KMeansProfiles);
+
+void BM_BTreeInsert(benchmark::State& state) {
+  for (auto _ : state) {
+    storage::BPlusTree tree;
+    Rng rng(10);
+    for (int i = 0; i < state.range(0); ++i) {
+      benchmark::DoNotOptimize(
+          tree.Insert(static_cast<int64_t>(rng.NextUint64() >> 16),
+                      static_cast<uint64_t>(i)));
+    }
+  }
+}
+BENCHMARK(BM_BTreeInsert)->Arg(1000)->Arg(100000);
+
+void BM_BTreeLookup(benchmark::State& state) {
+  storage::BPlusTree tree;
+  for (int64_t i = 0; i < 100000; ++i) {
+    (void)tree.Insert(i * 3, static_cast<uint64_t>(i));
+  }
+  Rng rng(11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        tree.Lookup(static_cast<int64_t>(rng.UniformInt(300000))));
+  }
+}
+BENCHMARK(BM_BTreeLookup);
+
+void BM_ParseReadingRow(benchmark::State& state) {
+  const std::string line = "12345,4821,1.2345,-12.50";
+  for (auto _ : state) {
+    auto row = storage::ParseReadingRow(line);
+    benchmark::DoNotOptimize(row);
+  }
+}
+BENCHMARK(BM_ParseReadingRow);
+
+void BM_TopKSimilarity(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::vector<std::vector<double>> series;
+  for (int i = 0; i < n; ++i) {
+    series.push_back(RandomSeries(kHoursPerYear, 100 + i));
+  }
+  std::vector<core::SeriesView> views;
+  for (int i = 0; i < n; ++i) views.push_back({i, series[i]});
+  for (auto _ : state) {
+    auto result = core::ComputeSimilarityTopK(views);
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_TopKSimilarity)->Arg(16)->Arg(32)->Arg(64)->Complexity(benchmark::oNSquared);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,118 @@
+// Ablation (ours): throughput of the streaming alert pipeline (the
+// paper's Section 6 future-work application). Measures readings/second
+// through the StreamProcessor for each detector configuration, and the
+// alert counts on a stream with injected anomalies -- the capacity
+// question a utility would ask before deploying real-time alerts.
+#include <cstdio>
+#include <memory>
+
+#include "bench_common.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "core/par_task.h"
+#include "streaming/detectors.h"
+#include "streaming/stream_processor.h"
+#include "timeseries/calendar.h"
+
+namespace {
+
+using namespace smartmeter;         // NOLINT
+using namespace smartmeter::bench;  // NOLINT
+
+int Run(BenchContext& ctx) {
+  const int households =
+      static_cast<int>(ctx.flags().GetInt("households", 50));
+  PrintHeader(
+      "Ablation: streaming alert pipeline throughput",
+      StringPrintf("%d households x 1 year of hourly readings replayed "
+                   "through the stream processor; ~1 anomaly per "
+                   "household per month injected",
+                   households));
+
+  auto dataset = ctx.GetDataset(households);
+  if (!dataset.ok()) return 1;
+  const auto& temperature = (*dataset)->temperature();
+
+  struct Config {
+    const char* name;
+    bool ewma, spike, flatline, profile;
+  };
+  const Config configs[] = {
+      {"ewma only", true, false, false, false},
+      {"spike only", false, true, false, false},
+      {"ewma+spike+flatline", true, true, true, false},
+      {"all + per-household profile", true, true, true, true},
+  };
+
+  PrintRow({"detectors", "readings/s", "alerts", "injected", "run (s)"});
+  PrintDivider(5);
+  for (const Config& config : configs) {
+    streaming::StreamProcessor processor;
+    if (config.ewma) {
+      processor.AddDetectorPrototype(
+          std::make_unique<streaming::EwmaDetector>());
+    }
+    if (config.spike) {
+      processor.AddDetectorPrototype(
+          std::make_unique<streaming::SpikeDetector>());
+    }
+    if (config.flatline) {
+      processor.AddDetectorPrototype(
+          std::make_unique<streaming::FlatlineDetector>());
+    }
+    if (config.profile) {
+      for (const ConsumerSeries& c : (*dataset)->consumers()) {
+        auto model = core::ComputeDailyProfile(c.consumption, temperature,
+                                               c.household_id);
+        if (!model.ok()) continue;
+        streaming::ProfileDetector::Options options;
+        options.relative_tolerance = 3.0;
+        options.min_band = 1.5;
+        processor.AddHouseholdDetector(
+            c.household_id, std::make_unique<streaming::ProfileDetector>(
+                                *model, options));
+      }
+    }
+
+    Rng rng(11);
+    int64_t injected = 0;
+    Stopwatch clock;
+    for (int h = 0; h < kHoursPerYear; ++h) {
+      for (const ConsumerSeries& c : (*dataset)->consumers()) {
+        double kwh = c.consumption[static_cast<size_t>(h)];
+        // ~1 anomaly per household-month.
+        if (rng.UniformInt(24 * 30) == 0) {
+          kwh += 10.0 + rng.NextDouble() * 5.0;
+          ++injected;
+        }
+        if (!processor
+                 .Process({c.household_id, h, kwh,
+                           temperature[static_cast<size_t>(h)]})
+                 .ok()) {
+          return 1;
+        }
+      }
+    }
+    const double seconds = clock.ElapsedSeconds();
+    const double throughput =
+        seconds > 0 ? static_cast<double>(processor.readings_processed()) /
+                          seconds
+                    : 0.0;
+    PrintRow({config.name, Cell(throughput),
+              CellInt(processor.alerts_raised()), CellInt(injected),
+              Cell(seconds)});
+  }
+  std::printf(
+      "\nExpected: throughput in the millions of readings per second per "
+      "core (a 27k-household utility emits\n~8 readings/second, so one "
+      "core covers whole cities); alert counts scale with injected "
+      "anomalies.\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchContext ctx(argc, argv, /*default_scale=*/80.0);
+  return Run(ctx);
+}

@@ -1,0 +1,89 @@
+// Consumer feedback report -- the consumer-oriented application the paper
+// motivates (Sections 1 and 3.2): per household, interpret the 3-line
+// model into actionable advice (inefficient AC, heavy heating, high
+// always-on load) and quantify each against the population.
+//
+// Usage: consumer_feedback [--households=N] [--seed=N]
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "common/flags.h"
+#include "core/three_line_task.h"
+#include "datagen/seed_generator.h"
+#include "stats/quantile.h"
+
+using namespace smartmeter;  // Example code.
+
+int main(int argc, char** argv) {
+  FlagParser flags(argc, argv);
+  datagen::SeedGeneratorOptions options;
+  options.num_households =
+      static_cast<int>(flags.GetInt("households", 40));
+  options.seed = static_cast<uint64_t>(flags.GetInt("seed", 7));
+  auto dataset = datagen::GenerateSeedDataset(options);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "%s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+
+  // Fit the 3-line model for everyone.
+  std::vector<core::ThreeLineResult> models;
+  for (const ConsumerSeries& c : dataset->consumers()) {
+    auto fit = core::ComputeThreeLine(c.consumption, dataset->temperature(),
+                                      c.household_id);
+    if (!fit.ok()) {
+      std::fprintf(stderr, "household %lld skipped: %s\n",
+                   static_cast<long long>(c.household_id),
+                   fit.status().ToString().c_str());
+      continue;
+    }
+    models.push_back(std::move(*fit));
+  }
+
+  // Population reference points for "high" = above the 75th percentile.
+  std::vector<double> heating, cooling, base;
+  for (const auto& m : models) {
+    heating.push_back(m.heating_gradient);
+    cooling.push_back(m.cooling_gradient);
+    base.push_back(m.base_load);
+  }
+  const double heating_p75 = *stats::Quantile(heating, 0.75);
+  const double cooling_p75 = *stats::Quantile(cooling, 0.75);
+  const double base_p75 = *stats::Quantile(base, 0.75);
+
+  std::printf("population reference (75th percentiles): heating %.3f "
+              "kWh/degC, cooling %.3f kWh/degC, base %.3f kWh\n\n",
+              heating_p75, cooling_p75, base_p75);
+
+  int flagged = 0;
+  for (const auto& m : models) {
+    std::vector<std::string> advice;
+    if (m.cooling_gradient > cooling_p75) {
+      advice.push_back(
+          "high cooling gradient: the air conditioner may be inefficient "
+          "or its set point very low");
+    }
+    if (m.heating_gradient > heating_p75) {
+      advice.push_back(
+          "high heating gradient: insulation or heating system efficiency "
+          "is worth checking");
+    }
+    if (m.base_load > base_p75) {
+      advice.push_back(
+          "high base load: something draws power around the clock "
+          "(old fridge, dehumidifier, always-on electronics)");
+    }
+    if (advice.empty()) continue;
+    ++flagged;
+    std::printf("household %lld (heating %.3f, cooling %.3f, base %.3f):\n",
+                static_cast<long long>(m.household_id), m.heating_gradient,
+                m.cooling_gradient, m.base_load);
+    for (const auto& line : advice) {
+      std::printf("  - %s\n", line.c_str());
+    }
+  }
+  std::printf("\n%d of %zu households received feedback\n", flagged,
+              models.size());
+  return 0;
+}

@@ -1,0 +1,119 @@
+#include "cluster/block_store.h"
+
+#include <sys/stat.h>
+
+#include <cstdio>
+
+#include "common/string_util.h"
+
+namespace smartmeter::cluster {
+
+Result<std::vector<std::string>> ReadSplitLines(const InputSplit& split) {
+  FILE* f = std::fopen(split.path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open " + split.path);
+  }
+  std::vector<std::string> lines;
+  if (std::fseek(f, static_cast<long>(split.offset), SEEK_SET) != 0) {
+    std::fclose(f);
+    return Status::IOError("cannot seek in " + split.path);
+  }
+
+  int64_t consumed = 0;  // Bytes consumed relative to split.offset.
+  auto read_line = [&](std::string* out) -> bool {
+    out->clear();
+    int c;
+    while ((c = std::fgetc(f)) != EOF) {
+      ++consumed;
+      if (c == '\n') return true;
+      out->push_back(static_cast<char>(c));
+    }
+    return !out->empty();
+  };
+
+  std::string line;
+  // A split that does not start the file discards its first (partial)
+  // line; the previous split finished it.
+  if (split.offset > 0) {
+    if (!read_line(&line)) {
+      std::fclose(f);
+      return lines;
+    }
+  }
+  // Read lines while they *start* at or before the split end; the last
+  // one may run past the boundary. The "or before" (<=) matters: a line
+  // beginning exactly at offset + length belongs to THIS split, because
+  // the next split unconditionally discards its first line.
+  while (consumed <= split.length) {
+    if (!read_line(&line)) break;
+    lines.push_back(line);
+  }
+  std::fclose(f);
+  return lines;
+}
+
+BlockStore::BlockStore(int num_nodes, int64_t block_bytes)
+    : num_nodes_(num_nodes < 1 ? 1 : num_nodes),
+      block_bytes_(block_bytes < 1 ? 1 : block_bytes) {}
+
+Status BlockStore::AddFile(const std::string& path) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) {
+    return Status::IOError("cannot stat " + path);
+  }
+  FileEntry entry;
+  entry.path = path;
+  entry.size = static_cast<int64_t>(st.st_size);
+  entry.first_node = next_node_;
+  // Advance placement round-robin by the number of blocks in this file.
+  const int64_t blocks =
+      entry.size == 0 ? 1 : (entry.size + block_bytes_ - 1) / block_bytes_;
+  next_node_ = static_cast<int>((next_node_ + blocks) % num_nodes_);
+  total_bytes_ += entry.size;
+  files_.push_back(std::move(entry));
+  return Status::OK();
+}
+
+Status BlockStore::AddFiles(const std::vector<std::string>& paths) {
+  for (const std::string& path : paths) {
+    SM_RETURN_IF_ERROR(AddFile(path));
+  }
+  return Status::OK();
+}
+
+std::vector<InputSplit> BlockStore::SplittableSplits() const {
+  std::vector<InputSplit> splits;
+  for (const FileEntry& file : files_) {
+    int64_t offset = 0;
+    int block = 0;
+    while (offset < file.size || (file.size == 0 && block == 0)) {
+      InputSplit split;
+      split.path = file.path;
+      split.offset = offset;
+      split.length = std::min(block_bytes_, file.size - offset);
+      split.home_node = (file.first_node + block) % num_nodes_;
+      split.opens_file = (block == 0);
+      splits.push_back(std::move(split));
+      offset += block_bytes_;
+      ++block;
+    }
+  }
+  return splits;
+}
+
+std::vector<InputSplit> BlockStore::WholeFileSplits() const {
+  std::vector<InputSplit> splits;
+  splits.reserve(files_.size());
+  for (const FileEntry& file : files_) {
+    InputSplit split;
+    split.path = file.path;
+    split.offset = 0;
+    split.length = file.size;
+    split.home_node = file.first_node;
+    split.opens_file = true;
+    splits.push_back(std::move(split));
+  }
+  return splits;
+}
+
+}  // namespace smartmeter::cluster

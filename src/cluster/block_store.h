@@ -1,0 +1,74 @@
+#ifndef SMARTMETER_CLUSTER_BLOCK_STORE_H_
+#define SMARTMETER_CLUSTER_BLOCK_STORE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace smartmeter::cluster {
+
+/// One unit of map-task input: a line-aligned byte range of a file.
+struct InputSplit {
+  std::string path;
+  int64_t offset = 0;  // First byte this split may consider.
+  int64_t length = 0;  // Bytes from offset this split owns.
+  /// Node that stores the primary replica (for locality accounting).
+  int home_node = 0;
+  /// True when this split opens the file (charged the open penalty).
+  bool opens_file = true;
+};
+
+/// Reads the records of a split with standard TextInputFormat semantics:
+/// a split skips the (partial) first line unless it starts at offset 0,
+/// and reads its last line to completion even past offset + length. This
+/// guarantees every line is processed by exactly one split.
+Result<std::vector<std::string>> ReadSplitLines(const InputSplit& split);
+
+/// An HDFS-like view over local files: files are registered, divided into
+/// fixed-size blocks, and blocks are placed on nodes round-robin. The
+/// execution frameworks ask it for input splits.
+class BlockStore {
+ public:
+  /// `block_bytes` models the HDFS block size (the paper's cluster would
+  /// use 64-128 MB; benches use smaller blocks so scaled-down data still
+  /// produces multi-task jobs).
+  BlockStore(int num_nodes, int64_t block_bytes);
+
+  /// Registers a file; it is logically divided into ceil(size/block)
+  /// blocks placed round-robin starting at a hash of the name.
+  Status AddFile(const std::string& path);
+
+  Status AddFiles(const std::vector<std::string>& paths);
+
+  /// Splits for a splittable text file format (cluster data formats 1
+  /// and 2): one split per block, line-aligned at read time.
+  std::vector<InputSplit> SplittableSplits() const;
+
+  /// Splits for the non-splittable format (format 3, the paper's
+  /// isSplitable() == false input format): one split per whole file.
+  std::vector<InputSplit> WholeFileSplits() const;
+
+  int64_t total_bytes() const { return total_bytes_; }
+  size_t num_files() const { return files_.size(); }
+  int num_nodes() const { return num_nodes_; }
+
+ private:
+  struct FileEntry {
+    std::string path;
+    int64_t size = 0;
+    int first_node = 0;
+  };
+
+  int num_nodes_;
+  int64_t block_bytes_;
+  int64_t total_bytes_ = 0;
+  int next_node_ = 0;
+  std::vector<FileEntry> files_;
+};
+
+}  // namespace smartmeter::cluster
+
+#endif  // SMARTMETER_CLUSTER_BLOCK_STORE_H_

@@ -1,0 +1,245 @@
+#ifndef SMARTMETER_CLUSTER_DATAFLOW_H_
+#define SMARTMETER_CLUSTER_DATAFLOW_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "cluster/block_store.h"
+#include "cluster/cost_model.h"
+#include "cluster/serde.h"
+#include "cluster/task_scheduler.h"
+#include "common/result.h"
+
+namespace smartmeter::cluster::dataflow {
+
+/// An in-memory partitioned collection -- the simulation's RDD. Data
+/// stays resident between stages (that is Spark's defining property and
+/// why its modeled memory grows with input size, Figure 15).
+template <typename T>
+struct Partitioned {
+  std::vector<std::vector<T>> partitions;
+  int64_t approx_bytes = 0;
+
+  size_t TotalSize() const {
+    size_t n = 0;
+    for (const auto& p : partitions) n += p.size();
+    return n;
+  }
+};
+
+/// Spark-like execution context. Narrow operations (ReadText,
+/// MapPartitions) run one task wave with no shuffle; GroupBy is a wide
+/// operation costing a full shuffle. Real work runs on the host; the
+/// context accumulates the simulated cluster time across stages.
+class Context {
+ public:
+  explicit Context(const ClusterConfig& config) : config_(config) {}
+
+  double simulated_seconds() const { return simulated_seconds_; }
+  /// Total bytes held in resident collections (cache + shuffle buffers).
+  int64_t modeled_cached_bytes() const { return cached_bytes_; }
+  const ClusterConfig& config() const { return config_; }
+
+  /// Per-action driver overhead (job submission, DAG scheduling).
+  void ChargeJobOverhead() {
+    simulated_seconds_ += config_.cost.spark_job_overhead_seconds;
+  }
+
+  /// Explicit extra simulated time (e.g. driver-side post-processing).
+  void ChargeSeconds(double seconds) { simulated_seconds_ += seconds; }
+
+  /// Loads text splits into a partitioned collection; `parse` turns one
+  /// line into zero or more records. `extra_seconds_per_mb` charges any
+  /// additional modeled ingestion cost (e.g. the whole-file
+  /// materialization penalty of format 3).
+  template <typename T>
+  Result<Partitioned<T>> ReadText(
+      const std::vector<InputSplit>& splits,
+      const std::function<Status(std::string_view, std::vector<T>*)>& parse,
+      double extra_seconds_per_mb = 0.0) {
+    Partitioned<T> out;
+    out.partitions.resize(splits.size());
+    std::vector<TaskWaveRunner::TaskFn> tasks;
+    tasks.reserve(splits.size());
+    std::mutex mu;
+    for (size_t i = 0; i < splits.size(); ++i) {
+      tasks.push_back([&, i](TaskStats* stats) -> Status {
+        SM_ASSIGN_OR_RETURN(std::vector<std::string> lines,
+                            ReadSplitLines(splits[i]));
+        std::vector<T>& records = out.partitions[i];
+        for (const std::string& line : lines) {
+          SM_RETURN_IF_ERROR(parse(line, &records));
+        }
+        stats->input_bytes = splits[i].length;
+        stats->files_opened = splits[i].opens_file ? 1 : 0;
+        stats->fixed_seconds = extra_seconds_per_mb *
+                               static_cast<double>(splits[i].length) /
+                               (1024.0 * 1024.0);
+        int64_t bytes = 0;
+        for (const T& r : records) bytes += ApproxByteSize(r);
+        std::lock_guard<std::mutex> lock(mu);
+        out.approx_bytes += bytes;
+        return Status::OK();
+      });
+    }
+    SM_RETURN_IF_ERROR(RunWave(&tasks));
+    cached_bytes_ += out.approx_bytes;
+    return out;
+  }
+
+  /// Narrow transformation: one output partition per input partition, no
+  /// shuffle, input already in memory.
+  template <typename T, typename U>
+  Result<Partitioned<U>> MapPartitions(
+      const Partitioned<T>& input,
+      const std::function<Status(const std::vector<T>&, std::vector<U>*)>&
+          fn) {
+    Partitioned<U> out;
+    out.partitions.resize(input.partitions.size());
+    std::vector<TaskWaveRunner::TaskFn> tasks;
+    tasks.reserve(input.partitions.size());
+    std::mutex mu;
+    for (size_t i = 0; i < input.partitions.size(); ++i) {
+      tasks.push_back([&, i](TaskStats* stats) -> Status {
+        (void)stats;
+        SM_RETURN_IF_ERROR(fn(input.partitions[i], &out.partitions[i]));
+        int64_t bytes = 0;
+        for (const U& r : out.partitions[i]) bytes += ApproxByteSize(r);
+        std::lock_guard<std::mutex> lock(mu);
+        out.approx_bytes += bytes;
+        return Status::OK();
+      });
+    }
+    SM_RETURN_IF_ERROR(RunWave(&tasks));
+    cached_bytes_ += out.approx_bytes;
+    return out;
+  }
+
+  /// Wide transformation: extracts a (key, value) from every record and
+  /// regroups by key hash into `num_partitions` output partitions,
+  /// paying shuffle cost on the full record volume.
+  template <typename T, typename K, typename V>
+  Result<Partitioned<std::pair<K, std::vector<V>>>> GroupBy(
+      const Partitioned<T>& input,
+      const std::function<std::pair<K, V>(const T&)>& kv_fn,
+      int num_partitions = 0) {
+    const int parts = num_partitions > 0 ? num_partitions
+                                         : std::max(1, config_.total_slots());
+    // Map side: extract and bucket (costed as shuffle write).
+    std::vector<std::vector<std::map<K, std::vector<V>>>> buckets(
+        input.partitions.size());
+    std::vector<TaskWaveRunner::TaskFn> map_tasks;
+    map_tasks.reserve(input.partitions.size());
+    std::hash<K> hasher;
+    for (size_t i = 0; i < input.partitions.size(); ++i) {
+      map_tasks.push_back([&, i](TaskStats* stats) -> Status {
+        buckets[i].resize(static_cast<size_t>(parts));
+        int64_t bytes = 0;
+        for (const T& record : input.partitions[i]) {
+          std::pair<K, V> kv = kv_fn(record);
+          bytes += ApproxByteSize(kv.first) + ApproxByteSize(kv.second);
+          const size_t p = hasher(kv.first) % static_cast<size_t>(parts);
+          buckets[i][p][std::move(kv.first)].push_back(
+              std::move(kv.second));
+        }
+        stats->shuffle_bytes = bytes;
+        return Status::OK();
+      });
+    }
+    SM_RETURN_IF_ERROR(RunWave(&map_tasks));
+
+    // Reduce side: merge buckets per partition (costed as shuffle read).
+    Partitioned<std::pair<K, std::vector<V>>> out;
+    out.partitions.resize(static_cast<size_t>(parts));
+    std::vector<TaskWaveRunner::TaskFn> reduce_tasks;
+    reduce_tasks.reserve(static_cast<size_t>(parts));
+    std::mutex mu;
+    for (int p = 0; p < parts; ++p) {
+      reduce_tasks.push_back([&, p](TaskStats* stats) -> Status {
+        std::map<K, std::vector<V>> merged;
+        int64_t bytes = 0;
+        for (auto& per_input : buckets) {
+          if (static_cast<size_t>(p) >= per_input.size()) continue;
+          for (auto& [key, values] : per_input[static_cast<size_t>(p)]) {
+            bytes += ApproxByteSize(key) + ApproxByteSize(values);
+            auto& dst = merged[key];
+            dst.insert(dst.end(), std::make_move_iterator(values.begin()),
+                       std::make_move_iterator(values.end()));
+          }
+        }
+        stats->shuffle_bytes = bytes;
+        auto& out_part = out.partitions[static_cast<size_t>(p)];
+        out_part.reserve(merged.size());
+        for (auto& [key, values] : merged) {
+          out_part.emplace_back(key, std::move(values));
+        }
+        std::lock_guard<std::mutex> lock(mu);
+        out.approx_bytes += bytes;
+        return Status::OK();
+      });
+    }
+    SM_RETURN_IF_ERROR(RunWave(&reduce_tasks));
+    cached_bytes_ += out.approx_bytes;
+    return out;
+  }
+
+  /// Distributes driver-side records into a partitioned collection
+  /// (sc.parallelize); used to fan a query list out across the cluster.
+  template <typename T>
+  Partitioned<T> Parallelize(std::vector<T> values, int num_partitions) {
+    const int parts = std::max(1, num_partitions);
+    Partitioned<T> out;
+    out.partitions.resize(static_cast<size_t>(parts));
+    for (size_t i = 0; i < values.size(); ++i) {
+      out.approx_bytes += ApproxByteSize(values[i]);
+      out.partitions[i % static_cast<size_t>(parts)].push_back(
+          std::move(values[i]));
+    }
+    cached_bytes_ += out.approx_bytes;
+    return out;
+  }
+
+  /// Gathers every record to the driver.
+  template <typename T>
+  std::vector<T> Collect(Partitioned<T>&& input) {
+    std::vector<T> out;
+    out.reserve(input.TotalSize());
+    for (auto& p : input.partitions) {
+      for (auto& r : p) out.push_back(std::move(r));
+    }
+    return out;
+  }
+
+  /// Ships `value` to every node (Spark broadcast variable); the paper's
+  /// Spark similarity search relies on this to avoid a shuffle join.
+  template <typename T>
+  std::shared_ptr<const T> Broadcast(T value) {
+    const double mb =
+        static_cast<double>(ApproxByteSize(value)) / (1024.0 * 1024.0);
+    simulated_seconds_ += mb *
+                          config_.cost.broadcast_seconds_per_mb_per_node *
+                          config_.num_nodes;
+    return std::make_shared<const T>(std::move(value));
+  }
+
+ private:
+  Status RunWave(std::vector<TaskWaveRunner::TaskFn>* tasks) {
+    TaskWaveRunner runner(config_, config_.cost.spark_task_startup_seconds);
+    SM_ASSIGN_OR_RETURN(double makespan, runner.Run(tasks));
+    simulated_seconds_ += makespan;
+    return Status::OK();
+  }
+
+  ClusterConfig config_;
+  double simulated_seconds_ = 0.0;
+  int64_t cached_bytes_ = 0;
+};
+
+}  // namespace smartmeter::cluster::dataflow
+
+#endif  // SMARTMETER_CLUSTER_DATAFLOW_H_

@@ -1,0 +1,197 @@
+#ifndef SMARTMETER_CLUSTER_MAPREDUCE_H_
+#define SMARTMETER_CLUSTER_MAPREDUCE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "cluster/block_store.h"
+#include "cluster/cost_model.h"
+#include "cluster/serde.h"
+#include "cluster/task_scheduler.h"
+#include "common/result.h"
+
+namespace smartmeter::cluster::mapreduce {
+
+/// Knobs of a single MapReduce job. The two engine flavours differ only
+/// in overhead constants: Hive pays Hadoop job/task costs, Spark pays its
+/// lighter ones (the paper's Section 5.4 comparisons hinge on exactly
+/// this, plus plan shape).
+struct JobOptions {
+  double job_overhead_seconds = 1.2;
+  double task_startup_seconds = 0.08;
+  /// Number of reduce tasks; 0 means one per cluster slot.
+  int num_reducers = 0;
+};
+
+/// Collects (key, value) pairs emitted by one map task and tracks their
+/// modeled serialized size.
+template <typename K, typename V>
+class Emitter {
+ public:
+  void Emit(K key, V value) {
+    bytes_ += ApproxByteSize(key) + ApproxByteSize(value);
+    pairs_.emplace_back(std::move(key), std::move(value));
+  }
+
+  std::vector<std::pair<K, V>>& pairs() { return pairs_; }
+  int64_t bytes() const { return bytes_; }
+
+ private:
+  std::vector<std::pair<K, V>> pairs_;
+  int64_t bytes_ = 0;
+};
+
+template <typename R>
+struct JobResult {
+  std::vector<R> outputs;
+  double simulated_seconds = 0.0;
+  int64_t input_bytes = 0;
+  int64_t shuffle_bytes = 0;
+  /// Modeled peak memory of the busiest task (map buffer or reduce
+  /// group buffer) -- the quantity behind the paper's Figure 15.
+  int64_t peak_task_bytes = 0;
+};
+
+template <typename K, typename V>
+using MapFn = std::function<Status(const InputSplit&, Emitter<K, V>*)>;
+
+template <typename K, typename V, typename R>
+using ReduceFn =
+    std::function<Status(const K&, std::vector<V>&&, std::vector<R>*)>;
+
+/// Runs map over every split, hash-partitions the emitted pairs, groups
+/// by key within each partition (keys processed in sorted order, like
+/// Hadoop's sort-shuffle), and reduces. Real work executes on the host;
+/// the returned time is the simulated cluster wall-clock:
+///   job overhead + map-wave makespan + reduce-wave makespan.
+template <typename K, typename V, typename R>
+Result<JobResult<R>> RunMapReduce(const std::vector<InputSplit>& splits,
+                                  const ClusterConfig& config,
+                                  const JobOptions& options,
+                                  const MapFn<K, V>& map_fn,
+                                  const ReduceFn<K, V, R>& reduce_fn) {
+  JobResult<R> result;
+  const int num_reducers =
+      options.num_reducers > 0 ? options.num_reducers
+                               : std::max(1, config.total_slots());
+
+  // ---- Map wave ----------------------------------------------------------
+  std::vector<std::vector<std::pair<K, V>>> map_outputs(splits.size());
+  std::vector<TaskWaveRunner::TaskFn> map_tasks;
+  map_tasks.reserve(splits.size());
+  std::mutex agg_mu;
+  for (size_t i = 0; i < splits.size(); ++i) {
+    map_tasks.push_back([&, i](TaskStats* stats) -> Status {
+      Emitter<K, V> emitter;
+      SM_RETURN_IF_ERROR(map_fn(splits[i], &emitter));
+      stats->input_bytes = splits[i].length;
+      stats->files_opened = splits[i].opens_file ? 1 : 0;
+      stats->shuffle_bytes = emitter.bytes();  // Map-side spill + send.
+      {
+        std::lock_guard<std::mutex> lock(agg_mu);
+        result.input_bytes += splits[i].length;
+        result.shuffle_bytes += emitter.bytes();
+        result.peak_task_bytes = std::max(
+            result.peak_task_bytes, splits[i].length + emitter.bytes());
+      }
+      map_outputs[i] = std::move(emitter.pairs());
+      return Status::OK();
+    });
+  }
+  TaskWaveRunner map_runner(config, options.task_startup_seconds);
+  SM_ASSIGN_OR_RETURN(double map_makespan, map_runner.Run(&map_tasks));
+
+  // ---- Shuffle: hash partition + group -----------------------------------
+  std::vector<std::map<K, std::vector<V>>> partitions(
+      static_cast<size_t>(num_reducers));
+  std::vector<int64_t> partition_bytes(static_cast<size_t>(num_reducers), 0);
+  std::hash<K> hasher;
+  for (auto& pairs : map_outputs) {
+    for (auto& [key, value] : pairs) {
+      const size_t p = hasher(key) % static_cast<size_t>(num_reducers);
+      partition_bytes[p] += ApproxByteSize(key) + ApproxByteSize(value);
+      partitions[p][key].push_back(std::move(value));
+    }
+    pairs.clear();
+    pairs.shrink_to_fit();
+  }
+
+  // ---- Reduce wave ---------------------------------------------------------
+  std::vector<std::vector<R>> reduce_outputs(
+      static_cast<size_t>(num_reducers));
+  std::vector<TaskWaveRunner::TaskFn> reduce_tasks;
+  reduce_tasks.reserve(static_cast<size_t>(num_reducers));
+  for (int p = 0; p < num_reducers; ++p) {
+    reduce_tasks.push_back([&, p](TaskStats* stats) -> Status {
+      auto& groups = partitions[static_cast<size_t>(p)];
+      for (auto& [key, values] : groups) {
+        SM_RETURN_IF_ERROR(reduce_fn(
+            key, std::move(values),
+            &reduce_outputs[static_cast<size_t>(p)]));
+      }
+      stats->shuffle_bytes = partition_bytes[static_cast<size_t>(p)];
+      {
+        std::lock_guard<std::mutex> lock(agg_mu);
+        result.peak_task_bytes =
+            std::max(result.peak_task_bytes,
+                     partition_bytes[static_cast<size_t>(p)]);
+      }
+      return Status::OK();
+    });
+  }
+  TaskWaveRunner reduce_runner(config, options.task_startup_seconds);
+  SM_ASSIGN_OR_RETURN(double reduce_makespan,
+                      reduce_runner.Run(&reduce_tasks));
+
+  for (auto& outputs : reduce_outputs) {
+    for (auto& r : outputs) result.outputs.push_back(std::move(r));
+  }
+  result.simulated_seconds =
+      options.job_overhead_seconds + map_makespan + reduce_makespan;
+  return result;
+}
+
+/// Map-only job (the paper's map-only plans for data formats 2 and 3):
+/// no shuffle, outputs are the emitted pairs themselves.
+template <typename K, typename V>
+Result<JobResult<std::pair<K, V>>> RunMapOnly(
+    const std::vector<InputSplit>& splits, const ClusterConfig& config,
+    const JobOptions& options, const MapFn<K, V>& map_fn) {
+  JobResult<std::pair<K, V>> result;
+  std::vector<std::vector<std::pair<K, V>>> map_outputs(splits.size());
+  std::vector<TaskWaveRunner::TaskFn> map_tasks;
+  map_tasks.reserve(splits.size());
+  std::mutex agg_mu;
+  for (size_t i = 0; i < splits.size(); ++i) {
+    map_tasks.push_back([&, i](TaskStats* stats) -> Status {
+      Emitter<K, V> emitter;
+      SM_RETURN_IF_ERROR(map_fn(splits[i], &emitter));
+      stats->input_bytes = splits[i].length;
+      stats->files_opened = splits[i].opens_file ? 1 : 0;
+      {
+        std::lock_guard<std::mutex> lock(agg_mu);
+        result.input_bytes += splits[i].length;
+        result.peak_task_bytes =
+            std::max(result.peak_task_bytes, splits[i].length);
+      }
+      map_outputs[i] = std::move(emitter.pairs());
+      return Status::OK();
+    });
+  }
+  TaskWaveRunner runner(config, options.task_startup_seconds);
+  SM_ASSIGN_OR_RETURN(double makespan, runner.Run(&map_tasks));
+  for (auto& pairs : map_outputs) {
+    for (auto& kv : pairs) result.outputs.push_back(std::move(kv));
+  }
+  result.simulated_seconds = options.job_overhead_seconds + makespan;
+  return result;
+}
+
+}  // namespace smartmeter::cluster::mapreduce
+
+#endif  // SMARTMETER_CLUSTER_MAPREDUCE_H_

@@ -1,0 +1,49 @@
+#ifndef SMARTMETER_CLUSTER_SERDE_H_
+#define SMARTMETER_CLUSTER_SERDE_H_
+
+#include <cstdint>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace smartmeter::cluster {
+
+/// Estimated serialized size of shuffled values, used to convert record
+/// streams into modeled shuffle bytes. Trivially copyable types count
+/// their in-memory size; containers add a small framing overhead, like a
+/// length-prefixed wire format would.
+template <typename T>
+int64_t ApproxByteSize(const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "provide an ApproxByteSize overload for this type");
+  (void)value;
+  return static_cast<int64_t>(sizeof(T));
+}
+
+inline int64_t ApproxByteSize(const std::string& value) {
+  return 16 + static_cast<int64_t>(value.size());
+}
+
+template <typename T>
+int64_t ApproxByteSize(const std::vector<T>& value);
+
+template <typename A, typename B>
+int64_t ApproxByteSize(const std::pair<A, B>& value) {
+  return ApproxByteSize(value.first) + ApproxByteSize(value.second);
+}
+
+template <typename T>
+int64_t ApproxByteSize(const std::vector<T>& value) {
+  if constexpr (std::is_trivially_copyable_v<T>) {
+    return 16 + static_cast<int64_t>(value.size() * sizeof(T));
+  } else {
+    int64_t total = 16;
+    for (const T& item : value) total += ApproxByteSize(item);
+    return total;
+  }
+}
+
+}  // namespace smartmeter::cluster
+
+#endif  // SMARTMETER_CLUSTER_SERDE_H_

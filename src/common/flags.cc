@@ -1,0 +1,67 @@
+#include "common/flags.h"
+
+#include <cstdlib>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace smartmeter {
+
+FlagParser::FlagParser(int argc, char** argv) {
+  program_name_ = argc > 0 ? argv[0] : "";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string body = arg.substr(2);
+    const size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      flags_[body.substr(0, eq)] = body.substr(eq + 1);
+    } else {
+      flags_[body] = "true";
+    }
+  }
+}
+
+bool FlagParser::HasFlag(const std::string& name) const {
+  return flags_.count(name) > 0;
+}
+
+int64_t FlagParser::GetInt(const std::string& name, int64_t fallback) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  Result<int64_t> parsed = ParseInt64(it->second);
+  SM_CHECK(parsed.ok()) << "flag --" << name << " expects an integer, got '"
+                        << it->second << "'";
+  return *parsed;
+}
+
+double FlagParser::GetDouble(const std::string& name, double fallback) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  Result<double> parsed = ParseDouble(it->second);
+  SM_CHECK(parsed.ok()) << "flag --" << name << " expects a number, got '"
+                        << it->second << "'";
+  return *parsed;
+}
+
+std::string FlagParser::GetString(const std::string& name,
+                                  const std::string& fallback) const {
+  auto it = flags_.find(name);
+  return it == flags_.end() ? fallback : it->second;
+}
+
+bool FlagParser::GetBool(const std::string& name, bool fallback) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes") return true;
+  if (v == "false" || v == "0" || v == "no") return false;
+  SM_CHECK(false) << "flag --" << name << " expects a boolean, got '" << v
+                  << "'";
+  return fallback;
+}
+
+}  // namespace smartmeter

@@ -1,0 +1,41 @@
+#ifndef SMARTMETER_COMMON_FLAGS_H_
+#define SMARTMETER_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace smartmeter {
+
+/// Minimal command-line flag parser for the bench and example binaries.
+/// Accepts "--name=value"; bare "--name" is treated as a boolean true.
+/// Arguments without a leading "--" are collected as positionals.
+class FlagParser {
+ public:
+  FlagParser(int argc, char** argv);
+
+  bool HasFlag(const std::string& name) const;
+
+  /// Typed getters returning `fallback` when the flag is absent. A flag
+  /// that is present but malformed aborts with a usage message.
+  int64_t GetInt(const std::string& name, int64_t fallback) const;
+  double GetDouble(const std::string& name, double fallback) const;
+  std::string GetString(const std::string& name,
+                        const std::string& fallback) const;
+  bool GetBool(const std::string& name, bool fallback) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  const std::string& program_name() const { return program_name_; }
+
+ private:
+  std::string program_name_;
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace smartmeter
+
+#endif  // SMARTMETER_COMMON_FLAGS_H_

@@ -1,0 +1,71 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace smartmeter {
+
+namespace {
+
+std::atomic<int> g_log_level{static_cast<int>(LogLevel::kInfo)};
+
+// Serializes whole lines so concurrent workers do not interleave output.
+std::mutex& LogMutex() {
+  static std::mutex* mu = new std::mutex;
+  return *mu;
+}
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kWarning:
+      return "WARN ";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?????";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) {
+  g_log_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(g_log_level.load(std::memory_order_relaxed));
+}
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  const char* base = file;
+  for (const char* p = file; *p != '\0'; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  stream_ << "[" << LevelTag(level_) << " " << base << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  std::lock_guard<std::mutex> lock(LogMutex());
+  std::fprintf(stderr, "%s\n", stream_.str().c_str());
+}
+
+CheckFailure::CheckFailure(const char* file, int line, const char* expr) {
+  stream_ << "[FATAL " << file << ":" << line << "] check failed: " << expr
+          << " ";
+}
+
+CheckFailure::~CheckFailure() {
+  std::fprintf(stderr, "%s\n", stream_.str().c_str());
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace smartmeter

@@ -1,0 +1,77 @@
+#ifndef SMARTMETER_COMMON_LOGGING_H_
+#define SMARTMETER_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace smartmeter {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the minimum level that will be emitted (default kInfo).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log sink; writes one line to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows a log statement below the active level without evaluating
+/// the streamed expressions' formatting.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+
+#define SM_LOG(level)                                              \
+  if (::smartmeter::LogLevel::k##level < ::smartmeter::GetLogLevel()) \
+    ;                                                              \
+  else                                                             \
+    ::smartmeter::internal::LogMessage(::smartmeter::LogLevel::k##level, \
+                                       __FILE__, __LINE__)         \
+        .stream()
+
+/// Fatal check: aborts with a message when `cond` is false. Used for
+/// programming errors (not data errors, which return Status).
+#define SM_CHECK(cond)                                                   \
+  if (cond)                                                              \
+    ;                                                                    \
+  else                                                                   \
+    ::smartmeter::internal::CheckFailure(__FILE__, __LINE__, #cond).stream()
+
+namespace internal {
+
+/// Aborts the process after streaming the failure message.
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* expr);
+  ~CheckFailure();  // Aborts the process.
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace smartmeter
+
+#endif  // SMARTMETER_COMMON_LOGGING_H_

@@ -1,0 +1,73 @@
+#include "common/memory_probe.h"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+namespace smartmeter {
+
+int64_t CurrentRssBytes() {
+  FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  long long size = 0, resident = 0;
+  const int n = std::fscanf(f, "%lld %lld", &size, &resident);
+  std::fclose(f);
+  if (n != 2) return 0;
+  return static_cast<int64_t>(resident) * sysconf(_SC_PAGESIZE);
+}
+
+int64_t PeakRssBytes() {
+  FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  int64_t peak_kb = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, "VmHWM:", 6) == 0) {
+      long long kb = 0;
+      if (std::sscanf(line + 6, "%lld", &kb) == 1) peak_kb = kb;
+      break;
+    }
+  }
+  std::fclose(f);
+  return peak_kb * 1024;
+}
+
+MemorySampler::MemorySampler(int interval_ms) : interval_ms_(interval_ms) {}
+
+MemorySampler::~MemorySampler() { Stop(); }
+
+void MemorySampler::Start() {
+  if (running_.exchange(true)) return;
+  sum_.store(0);
+  max_.store(0);
+  count_.store(0);
+  thread_ = std::thread(&MemorySampler::Loop, this);
+}
+
+void MemorySampler::Stop() {
+  if (!running_.exchange(false)) return;
+  if (thread_.joinable()) thread_.join();
+}
+
+int64_t MemorySampler::AverageRssBytes() const {
+  const int64_t n = count_.load();
+  return n == 0 ? 0 : sum_.load() / n;
+}
+
+int64_t MemorySampler::MaxRssBytes() const { return max_.load(); }
+
+void MemorySampler::Loop() {
+  while (running_.load()) {
+    const int64_t rss = CurrentRssBytes();
+    sum_.fetch_add(rss);
+    count_.fetch_add(1);
+    int64_t prev = max_.load();
+    while (rss > prev && !max_.compare_exchange_weak(prev, rss)) {
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms_));
+  }
+}
+
+}  // namespace smartmeter

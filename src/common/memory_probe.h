@@ -1,0 +1,53 @@
+#ifndef SMARTMETER_COMMON_MEMORY_PROBE_H_
+#define SMARTMETER_COMMON_MEMORY_PROBE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+namespace smartmeter {
+
+/// Reads the current resident set size of this process in bytes
+/// (from /proc/self/statm). Returns 0 if unavailable.
+int64_t CurrentRssBytes();
+
+/// Peak resident set size in bytes (VmHWM from /proc/self/status).
+int64_t PeakRssBytes();
+
+/// Samples process RSS on a background thread, mirroring the paper's
+/// methodology of running `free -m` every few seconds and averaging
+/// (Section 5.3.3). Start() begins sampling; Stop() ends it and the
+/// average / maximum over the window can then be read.
+class MemorySampler {
+ public:
+  /// `interval_ms` is the sampling period; the paper used 5000 ms, tests
+  /// and benches use much shorter windows.
+  explicit MemorySampler(int interval_ms = 50);
+  ~MemorySampler();
+
+  MemorySampler(const MemorySampler&) = delete;
+  MemorySampler& operator=(const MemorySampler&) = delete;
+
+  void Start();
+  void Stop();
+
+  /// Average RSS in bytes over the sampled window (0 if no samples).
+  int64_t AverageRssBytes() const;
+  /// Maximum RSS in bytes seen during the window.
+  int64_t MaxRssBytes() const;
+  int64_t sample_count() const { return count_.load(); }
+
+ private:
+  void Loop();
+
+  const int interval_ms_;
+  std::atomic<bool> running_{false};
+  std::atomic<int64_t> sum_{0};
+  std::atomic<int64_t> max_{0};
+  std::atomic<int64_t> count_{0};
+  std::thread thread_;
+};
+
+}  // namespace smartmeter
+
+#endif  // SMARTMETER_COMMON_MEMORY_PROBE_H_

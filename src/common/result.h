@@ -1,0 +1,76 @@
+#ifndef SMARTMETER_COMMON_RESULT_H_
+#define SMARTMETER_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace smartmeter {
+
+/// Holds either a value of type T or a non-OK Status, in the style of
+/// arrow::Result. Accessing the value of an errored Result aborts in debug
+/// builds; callers must check ok() first.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (the common success path).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from a non-OK status (the common error path).
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result must not be built from an OK status");
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Returns the contained value or `fallback` if this Result holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+/// Propagates the error of a Result-returning expression, otherwise binds
+/// its value to `lhs`. Usable in functions returning Status or Result.
+#define SM_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                             \
+  if (!tmp.ok()) return tmp.status();            \
+  lhs = std::move(tmp).value()
+
+#define SM_ASSIGN_OR_RETURN(lhs, expr) \
+  SM_ASSIGN_OR_RETURN_IMPL(SM_CONCAT_(_sm_result_, __LINE__), lhs, expr)
+
+#define SM_CONCAT_INNER_(a, b) a##b
+#define SM_CONCAT_(a, b) SM_CONCAT_INNER_(a, b)
+
+}  // namespace smartmeter
+
+#endif  // SMARTMETER_COMMON_RESULT_H_

@@ -1,0 +1,57 @@
+#ifndef SMARTMETER_COMMON_RNG_H_
+#define SMARTMETER_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace smartmeter {
+
+/// Deterministic pseudo-random number generator (xoshiro256++), seeded
+/// explicitly so every stochastic component of the library is reproducible.
+/// Not cryptographically secure; intended for data synthesis and sampling.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t NextUint64();
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  uint64_t UniformInt(uint64_t n);
+
+  /// Standard normal via Box-Muller (cached second value).
+  double NextGaussian();
+
+  /// Normal with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev);
+
+  /// Returns a new generator whose stream is independent of this one;
+  /// used to give each worker / consumer its own deterministic stream.
+  Rng Split();
+
+  /// Fisher-Yates shuffle of `values`.
+  template <typename T>
+  void Shuffle(std::vector<T>* values) {
+    for (size_t i = values->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformInt(i));
+      std::swap((*values)[i - 1], (*values)[j]);
+    }
+  }
+
+ private:
+  uint64_t state_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace smartmeter
+
+#endif  // SMARTMETER_COMMON_RNG_H_

@@ -1,0 +1,36 @@
+#ifndef SMARTMETER_COMMON_STOPWATCH_H_
+#define SMARTMETER_COMMON_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace smartmeter {
+
+/// Monotonic wall-clock stopwatch used by the benchmark runner. Starts
+/// running on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch from zero.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace smartmeter
+
+#endif  // SMARTMETER_COMMON_STOPWATCH_H_

@@ -1,0 +1,109 @@
+#include "common/string_util.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdarg>
+#include <cstdio>
+
+namespace smartmeter {
+
+std::vector<std::string_view> SplitString(std::string_view input,
+                                          char delimiter) {
+  std::vector<std::string_view> parts;
+  size_t start = 0;
+  for (size_t i = 0; i <= input.size(); ++i) {
+    if (i == input.size() || input[i] == delimiter) {
+      parts.push_back(input.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return parts;
+}
+
+std::string_view TrimWhitespace(std::string_view input) {
+  size_t begin = 0;
+  size_t end = input.size();
+  while (begin < end &&
+         std::isspace(static_cast<unsigned char>(input[begin]))) {
+    ++begin;
+  }
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(input[end - 1]))) {
+    --end;
+  }
+  return input.substr(begin, end - begin);
+}
+
+Result<double> ParseDouble(std::string_view input) {
+  input = TrimWhitespace(input);
+  if (input.empty()) {
+    return Status::InvalidArgument("empty string is not a double");
+  }
+  double value = 0.0;
+  const char* begin = input.data();
+  const char* end = begin + input.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc() || ptr != end) {
+    return Status::InvalidArgument("not a double: '" + std::string(input) +
+                                   "'");
+  }
+  return value;
+}
+
+Result<int64_t> ParseInt64(std::string_view input) {
+  input = TrimWhitespace(input);
+  if (input.empty()) {
+    return Status::InvalidArgument("empty string is not an integer");
+  }
+  int64_t value = 0;
+  const char* begin = input.data();
+  const char* end = begin + input.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc() || ptr != end) {
+    return Status::InvalidArgument("not an integer: '" + std::string(input) +
+                                   "'");
+  }
+  return value;
+}
+
+std::string StringPrintf(const char* format, ...) {
+  va_list args;
+  va_start(args, format);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, format, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, format, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+std::string HumanBytes(int64_t bytes) {
+  const double b = static_cast<double>(bytes);
+  if (bytes >= (int64_t{1} << 30)) {
+    return StringPrintf("%.2f GB", b / static_cast<double>(int64_t{1} << 30));
+  }
+  if (bytes >= (int64_t{1} << 20)) {
+    return StringPrintf("%.2f MB", b / static_cast<double>(int64_t{1} << 20));
+  }
+  if (bytes >= 1024) {
+    return StringPrintf("%.2f KB", b / 1024.0);
+  }
+  return StringPrintf("%lld B", static_cast<long long>(bytes));
+}
+
+std::string HumanSeconds(double seconds) {
+  if (seconds >= 60.0) {
+    return StringPrintf("%.2f min", seconds / 60.0);
+  }
+  if (seconds >= 1.0) {
+    return StringPrintf("%.3f s", seconds);
+  }
+  return StringPrintf("%.2f ms", seconds * 1000.0);
+}
+
+}  // namespace smartmeter

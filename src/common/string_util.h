@@ -1,0 +1,38 @@
+#ifndef SMARTMETER_COMMON_STRING_UTIL_H_
+#define SMARTMETER_COMMON_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace smartmeter {
+
+/// Splits `input` on `delimiter`, keeping empty fields. "a,,b" -> {a,"",b}.
+std::vector<std::string_view> SplitString(std::string_view input,
+                                          char delimiter);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view TrimWhitespace(std::string_view input);
+
+/// Parses a double; fails on trailing garbage or empty input.
+Result<double> ParseDouble(std::string_view input);
+
+/// Parses a non-negative 64-bit integer; fails on sign, garbage or overflow.
+Result<int64_t> ParseInt64(std::string_view input);
+
+/// Formats with snprintf-style semantics into a std::string.
+std::string StringPrintf(const char* format, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// "1.2 GB", "34.5 MB", ... chosen by magnitude.
+std::string HumanBytes(int64_t bytes);
+
+/// "1.23 s" / "45.6 ms" chosen by magnitude.
+std::string HumanSeconds(double seconds);
+
+}  // namespace smartmeter
+
+#endif  // SMARTMETER_COMMON_STRING_UTIL_H_

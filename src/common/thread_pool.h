@@ -1,0 +1,53 @@
+#ifndef SMARTMETER_COMMON_THREAD_POOL_H_
+#define SMARTMETER_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace smartmeter {
+
+/// Fixed-size worker pool with a FIFO queue. Used by the engines for
+/// multi-threaded task execution and by the simulated cluster to run
+/// per-node work.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `task` for execution on some worker.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished executing.
+  void Wait();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Splits [0, count) into roughly equal contiguous chunks, runs
+  /// `body(begin, end)` for each chunk in parallel, and waits. When the
+  /// pool has one thread (or count is tiny) the body runs inline.
+  void ParallelFor(size_t count,
+                   const std::function<void(size_t, size_t)>& body);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  int active_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace smartmeter
+
+#endif  // SMARTMETER_COMMON_THREAD_POOL_H_

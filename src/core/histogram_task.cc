@@ -1,0 +1,10 @@
+#include "core/histogram_task.h"
+
+namespace smartmeter::core {
+
+Result<stats::EquiWidthHistogram> ComputeConsumptionHistogram(
+    std::span<const double> consumption, const HistogramOptions& options) {
+  return stats::BuildEquiWidthHistogram(consumption, options.num_buckets);
+}
+
+}  // namespace smartmeter::core

@@ -1,0 +1,25 @@
+#ifndef SMARTMETER_CORE_HISTOGRAM_TASK_H_
+#define SMARTMETER_CORE_HISTOGRAM_TASK_H_
+
+#include <span>
+
+#include "common/result.h"
+#include "core/task_types.h"
+
+namespace smartmeter::core {
+
+/// Options for the consumption-histogram task. The paper fixes ten
+/// equi-width buckets (Section 3.1); the default matches.
+struct HistogramOptions {
+  int num_buckets = 10;
+};
+
+/// Builds the hourly-consumption distribution of one consumer: an
+/// equi-width histogram whose x-axis spans [min, max] of the series and
+/// whose counts are hours of the year (Section 3.1).
+Result<stats::EquiWidthHistogram> ComputeConsumptionHistogram(
+    std::span<const double> consumption, const HistogramOptions& options = {});
+
+}  // namespace smartmeter::core
+
+#endif  // SMARTMETER_CORE_HISTOGRAM_TASK_H_

@@ -1,0 +1,75 @@
+#include "core/par_task.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+#include "stats/matrix.h"
+#include "timeseries/calendar.h"
+
+namespace smartmeter::core {
+
+Result<DailyProfileResult> ComputeDailyProfile(
+    std::span<const double> consumption, std::span<const double> temperature,
+    int64_t household_id, const ParOptions& options) {
+  if (consumption.size() != temperature.size()) {
+    return Status::InvalidArgument("PAR: series length mismatch");
+  }
+  if (options.lags < 1) {
+    return Status::InvalidArgument("PAR: need at least one lag");
+  }
+  const int p = options.lags;
+  const int days = static_cast<int>(consumption.size()) / kHoursPerDay;
+  const int usable_days = days - p;  // Days with a full lag window.
+  // intercept + p lags + temperature:
+  const int num_coeffs = p + 2;
+  if (usable_days < num_coeffs + 1) {
+    return Status::InvalidArgument(StringPrintf(
+        "PAR: household %lld has %d days, need at least %d",
+        static_cast<long long>(household_id), days, p + num_coeffs + 1));
+  }
+
+  DailyProfileResult result;
+  result.household_id = household_id;
+  result.profile.assign(kHoursPerDay, 0.0);
+  result.coefficients.resize(kHoursPerDay);
+  result.temperature_beta.assign(kHoursPerDay, 0.0);
+
+  // One regression per hour of day: the "periodic" in PAR.
+  stats::Matrix x(static_cast<size_t>(usable_days),
+                  static_cast<size_t>(num_coeffs));
+  std::vector<double> y(static_cast<size_t>(usable_days));
+  for (int hour = 0; hour < kHoursPerDay; ++hour) {
+    for (int d = p; d < days; ++d) {
+      const size_t row = static_cast<size_t>(d - p);
+      const size_t t = static_cast<size_t>(d * kHoursPerDay + hour);
+      x.At(row, 0) = 1.0;  // Intercept.
+      for (int lag = 1; lag <= p; ++lag) {
+        x.At(row, static_cast<size_t>(lag)) =
+            consumption[t - static_cast<size_t>(lag) * kHoursPerDay];
+      }
+      x.At(row, static_cast<size_t>(p) + 1) = temperature[t];
+      y[row] = consumption[t];
+    }
+    SM_ASSIGN_OR_RETURN(std::vector<double> beta,
+                        stats::LeastSquares(x, y));
+    const double temp_beta = beta[static_cast<size_t>(p) + 1];
+
+    // Temperature-independent consumption at this hour: the observation
+    // with the temperature contribution removed, averaged over days.
+    double acc = 0.0;
+    for (int d = p; d < days; ++d) {
+      const size_t t = static_cast<size_t>(d * kHoursPerDay + hour);
+      acc += consumption[t] - temp_beta * temperature[t];
+    }
+    double value = acc / static_cast<double>(usable_days);
+    if (options.clamp_nonnegative) value = std::max(0.0, value);
+
+    result.profile[static_cast<size_t>(hour)] = value;
+    result.temperature_beta[static_cast<size_t>(hour)] = temp_beta;
+    result.coefficients[static_cast<size_t>(hour)] = std::move(beta);
+  }
+  return result;
+}
+
+}  // namespace smartmeter::core

@@ -1,0 +1,33 @@
+#ifndef SMARTMETER_CORE_PAR_TASK_H_
+#define SMARTMETER_CORE_PAR_TASK_H_
+
+#include <span>
+
+#include "common/result.h"
+#include "core/task_types.h"
+
+namespace smartmeter::core {
+
+/// Options for the periodic-autoregression daily-profile algorithm
+/// (Section 3.3, after Espinoza et al. / Ardakanian et al.).
+struct ParOptions {
+  /// Number of autoregressive lags in days; the paper uses p = 3.
+  int lags = 3;
+  /// Whether to clamp profile values at zero (negative expected
+  /// consumption is physically meaningless).
+  bool clamp_nonnegative = true;
+};
+
+/// Fits, for one consumer and each hour of the day, the model
+///   c[d][h] = a0 + sum_i a_i * c[d-i][h] + b * T[d][h]
+/// over the days of the year, then reports the average
+/// temperature-independent consumption per hour — the 24-value daily
+/// profile of Figure 2. Requires at least (lags + 3) full days so each
+/// per-hour regression is overdetermined.
+Result<DailyProfileResult> ComputeDailyProfile(
+    std::span<const double> consumption, std::span<const double> temperature,
+    int64_t household_id, const ParOptions& options = {});
+
+}  // namespace smartmeter::core
+
+#endif  // SMARTMETER_CORE_PAR_TASK_H_

@@ -1,0 +1,70 @@
+#ifndef SMARTMETER_CORE_SIMILARITY_TASK_H_
+#define SMARTMETER_CORE_SIMILARITY_TASK_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "core/task_types.h"
+
+namespace smartmeter::core {
+
+/// Options for similarity search; the paper fixes k = 10 (Section 3.4).
+struct SimilarityOptions {
+  int k = 10;
+};
+
+/// A borrowed view of one consumer's series for the similarity kernel.
+struct SeriesView {
+  int64_t household_id;
+  std::span<const double> values;
+};
+
+/// For every input series, finds the k most similar other series by
+/// cosine similarity (Section 3.4). Exact all-pairs computation with
+/// precomputed norms: O(n^2 * length) time, O(n * k) output. Result order
+/// follows the input; matches are sorted best-first with ties broken by
+/// household id. Fails if fewer than two series are given or lengths
+/// mismatch.
+Result<std::vector<SimilarityResult>> ComputeSimilarityTopK(
+    std::span<const SeriesView> series, const SimilarityOptions& options = {});
+
+/// The same kernel restricted to queries [query_begin, query_end) against
+/// the full series set — the unit of work each thread / cluster task runs
+/// when the quadratic loop is parallelized (Section 5.3.4). Norms for all
+/// series are supplied by the caller so they are computed once.
+Result<std::vector<SimilarityResult>> ComputeSimilarityTopKRange(
+    std::span<const SeriesView> series, std::span<const double> norms,
+    size_t query_begin, size_t query_end, const SimilarityOptions& options);
+
+/// Precomputes the L2 norm of every series.
+std::vector<double> ComputeNorms(std::span<const SeriesView> series);
+
+/// Options for SAX-accelerated approximate similarity search (an
+/// extension following the paper's reference [27]: symbolic
+/// representation of smart meter series).
+struct ApproxSimilarityOptions {
+  SimilarityOptions base;
+  /// PAA/SAX word length; more segments = tighter filter, slower.
+  int sax_segments = 32;
+  /// SAX alphabet size (2..16).
+  int sax_alphabet = 8;
+  /// Exact cosine is evaluated on the `candidate_factor * k` candidates
+  /// with the smallest SAX lower-bound distance.
+  int candidate_factor = 8;
+};
+
+/// Approximate top-k similarity search: ranks candidate pairs by the SAX
+/// MINDIST lower bound over z-normalized series (O(word) per pair rather
+/// than O(length)), then evaluates exact cosine similarity only on the
+/// best candidates. Trades a little recall for a large constant-factor
+/// speedup of the quadratic task; `bench_ablation_sax` quantifies the
+/// trade. Result layout matches ComputeSimilarityTopK.
+Result<std::vector<SimilarityResult>> ComputeSimilarityTopKApprox(
+    std::span<const SeriesView> series,
+    const ApproxSimilarityOptions& options = {});
+
+}  // namespace smartmeter::core
+
+#endif  // SMARTMETER_CORE_SIMILARITY_TASK_H_

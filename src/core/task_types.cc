@@ -1,0 +1,36 @@
+#include "core/task_types.h"
+
+#include <algorithm>
+
+namespace smartmeter::core {
+
+std::string_view TaskName(TaskType task) {
+  switch (task) {
+    case TaskType::kHistogram:
+      return "histogram";
+    case TaskType::kThreeLine:
+      return "3line";
+    case TaskType::kPar:
+      return "par";
+    case TaskType::kSimilarity:
+      return "similarity";
+  }
+  return "unknown";
+}
+
+double PiecewiseLines::ValueAt(double t) const {
+  if (t < left.t_high) return left.ValueAt(t);
+  if (t <= mid.t_high) return mid.ValueAt(t);
+  return right.ValueAt(t);
+}
+
+double PiecewiseLines::MinValue() const {
+  // Each segment is linear, so extrema sit at segment endpoints.
+  const double candidates[] = {
+      left.ValueAt(left.t_low),   left.ValueAt(left.t_high),
+      mid.ValueAt(mid.t_low),     mid.ValueAt(mid.t_high),
+      right.ValueAt(right.t_low), right.ValueAt(right.t_high)};
+  return *std::min_element(std::begin(candidates), std::end(candidates));
+}
+
+}  // namespace smartmeter::core

@@ -1,0 +1,103 @@
+#ifndef SMARTMETER_CORE_TASK_TYPES_H_
+#define SMARTMETER_CORE_TASK_TYPES_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "stats/histogram.h"
+#include "stats/ols.h"
+
+namespace smartmeter::core {
+
+/// The four analysis tasks of the benchmark (Section 3).
+enum class TaskType {
+  kHistogram,   // 3.1 Consumption histograms
+  kThreeLine,   // 3.2 Thermal sensitivity (3-line piecewise regression)
+  kPar,         // 3.3 Daily profiles (periodic autoregression)
+  kSimilarity,  // 3.4 Top-k cosine similarity search
+};
+
+std::string_view TaskName(TaskType task);
+
+/// All four tasks in benchmark order.
+inline constexpr TaskType kAllTasks[] = {
+    TaskType::kHistogram, TaskType::kThreeLine, TaskType::kPar,
+    TaskType::kSimilarity};
+
+// ---------------------------------------------------------------------------
+// Per-task result records. Every engine produces these same structures so
+// results can be cross-checked between platforms.
+// ---------------------------------------------------------------------------
+
+/// Section 3.1: one equi-width histogram per consumer.
+struct HistogramResult {
+  int64_t household_id = 0;
+  stats::EquiWidthHistogram histogram;
+};
+
+/// One fitted line segment of the 3-line model over [t_low, t_high].
+struct LineSegment {
+  double t_low = 0.0;
+  double t_high = 0.0;
+  stats::LinearFit fit;
+
+  double ValueAt(double t) const { return fit.Predict(t); }
+};
+
+/// A 3-piece regression (heating / base / cooling) for one percentile
+/// band. Segments are contiguous: left.t_high == mid.t_low etc.
+struct PiecewiseLines {
+  LineSegment left;
+  LineSegment mid;
+  LineSegment right;
+
+  /// Piecewise evaluation at temperature t.
+  double ValueAt(double t) const;
+  /// Smallest value attained over the fitted temperature range.
+  double MinValue() const;
+};
+
+/// Section 3.2: the 3-line model of one consumer (Figure 1 of the paper).
+struct ThreeLineResult {
+  int64_t household_id = 0;
+  PiecewiseLines p90;  // Fitted to the 90th-percentile points.
+  PiecewiseLines p10;  // Fitted to the 10th-percentile points.
+
+  /// kWh per degree C of extra consumption as it gets colder; slope of the
+  /// left 90th-percentile line, negated so "more heating" is positive.
+  double heating_gradient = 0.0;
+  /// kWh per degree C of extra consumption as it gets hotter; slope of the
+  /// right 90th-percentile line.
+  double cooling_gradient = 0.0;
+  /// Height of the lowest point of the 10th-percentile lines: always-on
+  /// load (fridge, security system, ...).
+  double base_load = 0.0;
+};
+
+/// Section 3.3: one consumer's typical day (24 hourly values of
+/// temperature-independent load) plus the fitted PAR coefficients.
+struct DailyProfileResult {
+  int64_t household_id = 0;
+  /// Expected temperature-independent consumption for hours 0..23.
+  std::vector<double> profile;
+  /// Per-hour AR coefficients: [intercept, lag1..lagp, temperature].
+  std::vector<std::vector<double>> coefficients;
+  /// Temperature coefficient per hour (redundant with `coefficients`,
+  /// kept for the generator which consumes it directly).
+  std::vector<double> temperature_beta;
+};
+
+/// Section 3.4: one consumer's k most similar consumers, best first.
+struct SimilarityResult {
+  int64_t household_id = 0;
+  struct Match {
+    int64_t household_id;
+    double cosine;
+  };
+  std::vector<Match> matches;
+};
+
+}  // namespace smartmeter::core
+
+#endif  // SMARTMETER_CORE_TASK_TYPES_H_

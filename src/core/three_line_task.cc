@@ -1,0 +1,248 @@
+#include "core/three_line_task.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "stats/quantile.h"
+
+namespace smartmeter::core {
+
+namespace {
+
+/// A (temperature, consumption) reading belonging to a percentile band.
+struct BandPoint {
+  double temperature;
+  double value;
+
+  bool operator<(const BandPoint& other) const {
+    if (temperature != other.temperature) {
+      return temperature < other.temperature;
+    }
+    return value < other.value;
+  }
+};
+
+/// Prefix sums over sorted band points permitting O(1) least-squares fits
+/// of any contiguous range; this keeps the optimal-breakpoint search at
+/// O(P^2) instead of O(P^3).
+class SegmentFitter {
+ public:
+  explicit SegmentFitter(const std::vector<BandPoint>& points) {
+    const size_t n = points.size();
+    sx_.assign(n + 1, 0.0);
+    sy_.assign(n + 1, 0.0);
+    sxx_.assign(n + 1, 0.0);
+    sxy_.assign(n + 1, 0.0);
+    syy_.assign(n + 1, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      const double x = points[i].temperature;
+      const double y = points[i].value;
+      sx_[i + 1] = sx_[i] + x;
+      sy_[i + 1] = sy_[i] + y;
+      sxx_[i + 1] = sxx_[i] + x * x;
+      sxy_[i + 1] = sxy_[i] + x * y;
+      syy_[i + 1] = syy_[i] + y * y;
+    }
+  }
+
+  /// Least-squares line over points [begin, end); also returns the SSE.
+  stats::LinearFit Fit(size_t begin, size_t end, double* sse) const {
+    const double n = static_cast<double>(end - begin);
+    const double sx = sx_[end] - sx_[begin];
+    const double sy = sy_[end] - sy_[begin];
+    const double sxx = sxx_[end] - sxx_[begin];
+    const double sxy = sxy_[end] - sxy_[begin];
+    const double syy = syy_[end] - syy_[begin];
+    const double var_x = sxx - sx * sx / n;
+    const double cov = sxy - sx * sy / n;
+    const double var_y = syy - sy * sy / n;
+    stats::LinearFit fit;
+    fit.n = end - begin;
+    if (var_x <= 1e-12) {
+      fit.slope = 0.0;
+      fit.intercept = sy / n;
+      *sse = std::max(0.0, var_y);
+      return fit;
+    }
+    fit.slope = cov / var_x;
+    fit.intercept = (sy - fit.slope * sx) / n;
+    *sse = std::max(0.0, var_y - fit.slope * cov);
+    fit.r_squared = var_y > 0.0 ? 1.0 - *sse / var_y : 1.0;
+    return fit;
+  }
+
+ private:
+  std::vector<double> sx_, sy_, sxx_, sxy_, syy_;
+};
+
+/// Fits the optimal 3-piece contiguous model to `points` (sorted by
+/// temperature). Returns segments [0,i), [i,j), [j,n).
+PiecewiseLines FitThreeSegments(const std::vector<BandPoint>& points,
+                                int min_bins) {
+  const size_t n = points.size();
+  const SegmentFitter fitter(points);
+  // Each segment must hold a minimum share of the points so the outer
+  // lines describe regimes, not outliers.
+  const size_t min_len = std::max<size_t>(
+      static_cast<size_t>(min_bins), n / 20);
+
+  PiecewiseLines out;
+  if (n < 3 * min_len || n < 6) {
+    // Too few points for three segments: one line replicated across the
+    // range keeps every downstream consumer well defined.
+    double sse = 0.0;
+    const stats::LinearFit fit = fitter.Fit(0, n, &sse);
+    const double lo = points.front().temperature;
+    const double hi = points.back().temperature;
+    const double third = (hi - lo) / 3.0;
+    out.left = {lo, lo + third, fit};
+    out.mid = {lo + third, lo + 2 * third, fit};
+    out.right = {lo + 2 * third, hi, fit};
+    return out;
+  }
+
+  double best_sse = std::numeric_limits<double>::infinity();
+  size_t best_i = min_len;
+  size_t best_j = 2 * min_len;
+  for (size_t i = min_len; i + 2 * min_len <= n; ++i) {
+    double sse_left = 0.0;
+    fitter.Fit(0, i, &sse_left);
+    if (sse_left >= best_sse) break;  // SSE(0, i) only grows with i.
+    for (size_t j = i + min_len; j + min_len <= n; ++j) {
+      double sse_mid = 0.0, sse_right = 0.0;
+      fitter.Fit(i, j, &sse_mid);
+      if (sse_left + sse_mid >= best_sse) continue;
+      fitter.Fit(j, n, &sse_right);
+      const double total = sse_left + sse_mid + sse_right;
+      if (total < best_sse) {
+        best_sse = total;
+        best_i = i;
+        best_j = j;
+      }
+    }
+  }
+
+  double unused = 0.0;
+  const stats::LinearFit left = fitter.Fit(0, best_i, &unused);
+  const stats::LinearFit mid = fitter.Fit(best_i, best_j, &unused);
+  const stats::LinearFit right = fitter.Fit(best_j, n, &unused);
+  // Breakpoints sit halfway between the adjoining point temperatures.
+  const double t1 = 0.5 * (points[best_i - 1].temperature +
+                           points[best_i].temperature);
+  const double t2 = 0.5 * (points[best_j - 1].temperature +
+                           points[best_j].temperature);
+  out.left = {points.front().temperature, t1, left};
+  out.mid = {t1, t2, mid};
+  out.right = {t2, points.back().temperature, right};
+  return out;
+}
+
+/// Continuity adjustment (the paper's final step): the outer lines are
+/// shifted vertically so each meets the middle line at the shared
+/// breakpoint. Slopes (the gradients reported to the user) are preserved.
+void MakeContinuous(PiecewiseLines* lines) {
+  const double t1 = lines->left.t_high;
+  const double gap_left = lines->mid.ValueAt(t1) - lines->left.ValueAt(t1);
+  lines->left.fit.intercept += gap_left;
+  const double t2 = lines->mid.t_high;
+  const double gap_right = lines->mid.ValueAt(t2) - lines->right.ValueAt(t2);
+  lines->right.fit.intercept += gap_right;
+}
+
+}  // namespace
+
+Result<ThreeLineResult> ComputeThreeLine(std::span<const double> consumption,
+                                         std::span<const double> temperature,
+                                         int64_t household_id,
+                                         const ThreeLineOptions& options,
+                                         ThreeLinePhases* phases) {
+  if (consumption.size() != temperature.size()) {
+    return Status::InvalidArgument("3-line: series length mismatch");
+  }
+  if (consumption.empty()) {
+    return Status::InvalidArgument("3-line: empty series");
+  }
+  if (options.temperature_bin_width <= 0.0) {
+    return Status::InvalidArgument("3-line: bin width must be positive");
+  }
+
+  // ---- T1: 10th/90th consumption percentile per temperature bin --------
+  Stopwatch t1_clock;
+  std::map<int64_t, std::vector<double>> bins;
+  auto bin_of = [&options](double t) {
+    return static_cast<int64_t>(
+        std::floor(t / options.temperature_bin_width));
+  };
+  for (size_t i = 0; i < consumption.size(); ++i) {
+    bins[bin_of(temperature[i])].push_back(consumption[i]);
+  }
+  // Per retained bin: the p10/p90 thresholds that define the two bands.
+  std::map<int64_t, std::pair<double, double>> thresholds;
+  for (auto& [bin, values] : bins) {
+    if (static_cast<int>(values.size()) < options.min_points_per_bin) {
+      continue;
+    }
+    SM_ASSIGN_OR_RETURN(
+        double lo, stats::QuantileInPlace(&values, options.low_percentile));
+    SM_ASSIGN_OR_RETURN(
+        double hi, stats::QuantileInPlace(&values, options.high_percentile));
+    thresholds[bin] = {lo, hi};
+  }
+  if (thresholds.size() < 3) {
+    return Status::InvalidArgument(StringPrintf(
+        "3-line: household %lld has only %zu populated temperature bins",
+        static_cast<long long>(household_id), thresholds.size()));
+  }
+  const double t1_seconds = t1_clock.ElapsedSeconds();
+
+  // ---- T2: regression over the band readings ---------------------------
+  // Following Birt et al., the lines are fitted to the readings in the
+  // extreme deciles of each bin (at or above the 90th percentile / at or
+  // below the 10th), not to a single summary point per bin.
+  Stopwatch t2_clock;
+  std::vector<BandPoint> high_points, low_points;
+  high_points.reserve(consumption.size() / 8);
+  low_points.reserve(consumption.size() / 8);
+  for (size_t i = 0; i < consumption.size(); ++i) {
+    auto it = thresholds.find(bin_of(temperature[i]));
+    if (it == thresholds.end()) continue;  // Sparse bin, dropped in T1.
+    const auto& [lo, hi] = it->second;
+    if (consumption[i] >= hi) {
+      high_points.push_back({temperature[i], consumption[i]});
+    }
+    if (consumption[i] <= lo) {
+      low_points.push_back({temperature[i], consumption[i]});
+    }
+  }
+  std::sort(high_points.begin(), high_points.end());
+  std::sort(low_points.begin(), low_points.end());
+
+  ThreeLineResult result;
+  result.household_id = household_id;
+  result.p90 = FitThreeSegments(high_points, options.min_bins_per_segment);
+  result.p10 = FitThreeSegments(low_points, options.min_bins_per_segment);
+  const double t2_seconds = t2_clock.ElapsedSeconds();
+
+  // ---- T3: continuity adjustment ----------------------------------------
+  Stopwatch t3_clock;
+  MakeContinuous(&result.p90);
+  MakeContinuous(&result.p10);
+  result.heating_gradient = -result.p90.left.fit.slope;
+  result.cooling_gradient = result.p90.right.fit.slope;
+  result.base_load = std::max(0.0, result.p10.MinValue());
+  const double t3_seconds = t3_clock.ElapsedSeconds();
+
+  if (phases != nullptr) {
+    phases->quantile_seconds += t1_seconds;
+    phases->regression_seconds += t2_seconds;
+    phases->adjust_seconds += t3_seconds;
+  }
+  return result;
+}
+
+}  // namespace smartmeter::core

@@ -1,0 +1,57 @@
+#ifndef SMARTMETER_CORE_THREE_LINE_TASK_H_
+#define SMARTMETER_CORE_THREE_LINE_TASK_H_
+
+#include <span>
+
+#include "common/result.h"
+#include "core/task_types.h"
+
+namespace smartmeter::core {
+
+/// Options for the 3-line thermal-sensitivity algorithm (Section 3.2,
+/// after Birt et al.).
+struct ThreeLineOptions {
+  /// Readings are grouped into temperature bins of this width (degrees C)
+  /// before the per-temperature percentiles are taken.
+  double temperature_bin_width = 1.0;
+  /// The two percentile bands of Figure 1.
+  double low_percentile = 0.10;
+  double high_percentile = 0.90;
+  /// Bins with fewer raw readings than this are discarded as noise.
+  int min_points_per_bin = 5;
+  /// Each of the three segments must cover at least this many bins.
+  int min_bins_per_segment = 2;
+};
+
+/// Wall-clock breakdown matching Figure 6's stacked bars:
+///   T1 = per-temperature 10th/90th percentiles,
+///   T2 = piecewise regression-line fitting,
+///   T3 = continuity adjustment.
+struct ThreeLinePhases {
+  double quantile_seconds = 0.0;
+  double regression_seconds = 0.0;
+  double adjust_seconds = 0.0;
+
+  void Accumulate(const ThreeLinePhases& other) {
+    quantile_seconds += other.quantile_seconds;
+    regression_seconds += other.regression_seconds;
+    adjust_seconds += other.adjust_seconds;
+  }
+};
+
+/// Runs the 3-line algorithm for one consumer: computes the 10th/90th
+/// percentile of consumption for each temperature bin, fits three
+/// contiguous regression lines to each percentile band (optimal
+/// breakpoints by total squared error), and adjusts the outer lines so the
+/// piecewise model is continuous. Fails if fewer than three populated
+/// temperature bins exist. `phases`, when non-null, receives the timing
+/// breakdown used by Figure 6.
+Result<ThreeLineResult> ComputeThreeLine(std::span<const double> consumption,
+                                         std::span<const double> temperature,
+                                         int64_t household_id,
+                                         const ThreeLineOptions& options = {},
+                                         ThreeLinePhases* phases = nullptr);
+
+}  // namespace smartmeter::core
+
+#endif  // SMARTMETER_CORE_THREE_LINE_TASK_H_

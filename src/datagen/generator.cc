@@ -1,0 +1,175 @@
+#include "datagen/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "timeseries/calendar.h"
+
+namespace smartmeter::datagen {
+
+Result<ConsumerFeatures> ExtractConsumerFeatures(
+    const ConsumerSeries& consumer, const std::vector<double>& temperature,
+    const DataGeneratorOptions& options) {
+  ConsumerFeatures features;
+  features.household_id = consumer.household_id;
+
+  SM_ASSIGN_OR_RETURN(
+      core::DailyProfileResult profile,
+      core::ComputeDailyProfile(consumer.consumption, temperature,
+                                consumer.household_id, options.par));
+  features.profile = std::move(profile.profile);
+
+  SM_ASSIGN_OR_RETURN(
+      core::ThreeLineResult lines,
+      core::ComputeThreeLine(consumer.consumption, temperature,
+                             consumer.household_id, options.three_line));
+  // Gradients can come out slightly negative for flat consumers; the
+  // generator treats those as "no thermal response".
+  features.heating_gradient = std::max(0.0, lines.heating_gradient);
+  features.cooling_gradient = std::max(0.0, lines.cooling_gradient);
+  features.heating_balance_c = lines.p90.left.t_high;
+  features.cooling_balance_c = lines.p90.mid.t_high;
+
+  // Refine the activity profile by subtracting the fitted piecewise
+  // thermal response from the raw readings (Figure 2's decomposition).
+  // The PAR profile alone removes only the *linear* temperature effect,
+  // so re-adding the donor's gradients in Generate() would double-count
+  // part of the heating/cooling load and dilute seasonality.
+  std::vector<double> activity(kHoursPerDay, 0.0);
+  std::vector<int> counts(kHoursPerDay, 0);
+  for (size_t t = 0; t < consumer.consumption.size(); ++t) {
+    const double temp = temperature[t];
+    const double thermal =
+        features.heating_gradient *
+            std::max(0.0, features.heating_balance_c - temp) +
+        features.cooling_gradient *
+            std::max(0.0, temp - features.cooling_balance_c);
+    const int hour = static_cast<int>(t % kHoursPerDay);
+    activity[static_cast<size_t>(hour)] +=
+        consumer.consumption[t] - thermal;
+    ++counts[static_cast<size_t>(hour)];
+  }
+  for (int h = 0; h < kHoursPerDay; ++h) {
+    features.profile[static_cast<size_t>(h)] = std::max(
+        0.0, activity[static_cast<size_t>(h)] /
+                 std::max(1, counts[static_cast<size_t>(h)]));
+  }
+  return features;
+}
+
+Result<DataGenerator> DataGenerator::Train(
+    const MeterDataset& seed, const DataGeneratorOptions& options) {
+  SM_RETURN_IF_ERROR(seed.Validate());
+  if (options.num_clusters < 1) {
+    return Status::InvalidArgument("generator: num_clusters must be >= 1");
+  }
+  if (options.noise_sigma < 0.0) {
+    return Status::InvalidArgument("generator: noise_sigma must be >= 0");
+  }
+
+  DataGenerator generator;
+  generator.options_ = options;
+  size_t skipped = 0;
+  for (const ConsumerSeries& consumer : seed.consumers()) {
+    Result<ConsumerFeatures> features =
+        ExtractConsumerFeatures(consumer, seed.temperature(), options);
+    if (!features.ok()) {
+      ++skipped;
+      continue;
+    }
+    generator.features_.push_back(std::move(*features));
+  }
+  if (skipped > 0) {
+    SM_LOG(Warning) << "data generator skipped " << skipped
+                    << " seed consumers with unusable features";
+  }
+  if (generator.features_.size() < 2) {
+    return Status::InvalidArgument(
+        "generator: fewer than two usable seed consumers");
+  }
+
+  std::vector<std::vector<double>> profiles;
+  profiles.reserve(generator.features_.size());
+  for (const ConsumerFeatures& f : generator.features_) {
+    profiles.push_back(f.profile);
+  }
+  SM_ASSIGN_OR_RETURN(
+      generator.clusters_,
+      stats::KMeans(profiles, options.num_clusters, options.kmeans));
+
+  generator.cluster_members_.assign(generator.clusters_.centroids.size(),
+                                    {});
+  for (size_t i = 0; i < generator.clusters_.assignment.size(); ++i) {
+    generator.cluster_members_[static_cast<size_t>(
+                                   generator.clusters_.assignment[i])]
+        .push_back(static_cast<int>(i));
+  }
+  // Drop empty clusters so Generate() can sample members uniformly.
+  std::vector<std::vector<int>> non_empty;
+  std::vector<std::vector<double>> kept_centroids;
+  for (size_t c = 0; c < generator.cluster_members_.size(); ++c) {
+    if (!generator.cluster_members_[c].empty()) {
+      non_empty.push_back(std::move(generator.cluster_members_[c]));
+      kept_centroids.push_back(std::move(generator.clusters_.centroids[c]));
+    }
+  }
+  generator.cluster_members_ = std::move(non_empty);
+  generator.clusters_.centroids = std::move(kept_centroids);
+  return generator;
+}
+
+Result<MeterDataset> DataGenerator::Generate(
+    int num_households, std::vector<double> temperature, uint64_t seed,
+    int64_t first_household_id) const {
+  if (num_households < 0) {
+    return Status::InvalidArgument("generator: negative household count");
+  }
+  if (temperature.empty()) {
+    return Status::InvalidArgument("generator: empty temperature series");
+  }
+  const size_t hours = temperature.size();
+  MeterDataset dataset;
+  dataset.SetTemperature(std::move(temperature));
+  const std::vector<double>& temp = dataset.temperature();
+
+  Rng master(seed);
+  const size_t num_clusters = clusters_.centroids.size();
+  for (int n = 0; n < num_households; ++n) {
+    Rng rng = master.Split();
+    // Step 1 (Figure 3): a random activity-profile cluster; its centroid
+    // supplies the daily activity load.
+    const size_t cluster = rng.UniformInt(num_clusters);
+    const std::vector<double>& activity = clusters_.centroids[cluster];
+    // Step 2: a random member of that cluster supplies the gradients.
+    const std::vector<int>& members = cluster_members_[cluster];
+    const ConsumerFeatures& donor =
+        features_[static_cast<size_t>(members[rng.UniformInt(
+            members.size())])];
+
+    ConsumerSeries series;
+    series.household_id = first_household_id + n;
+    series.consumption.reserve(hours);
+    for (size_t t = 0; t < hours; ++t) {
+      const int hour = HourlyCalendar::HourOfDay(static_cast<int>(
+          t % static_cast<size_t>(kHoursPerYear)));
+      const double heating =
+          donor.heating_gradient *
+          std::max(0.0, donor.heating_balance_c - temp[t]);
+      const double cooling =
+          donor.cooling_gradient *
+          std::max(0.0, temp[t] - donor.cooling_balance_c);
+      const double noise = rng.Gaussian(0.0, options_.noise_sigma);
+      series.consumption.push_back(std::max(
+          0.0, activity[static_cast<size_t>(hour)] + heating + cooling +
+                   noise));
+    }
+    dataset.AddConsumer(std::move(series));
+  }
+  SM_RETURN_IF_ERROR(dataset.Validate());
+  return dataset;
+}
+
+}  // namespace smartmeter::datagen

@@ -1,0 +1,89 @@
+#ifndef SMARTMETER_DATAGEN_GENERATOR_H_
+#define SMARTMETER_DATAGEN_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "core/par_task.h"
+#include "core/three_line_task.h"
+#include "stats/kmeans.h"
+#include "timeseries/dataset.h"
+
+namespace smartmeter::datagen {
+
+/// Per-seed-consumer features extracted during the generator's
+/// pre-processing step (Section 4 / Figure 3): the PAR daily profile and
+/// the 3-line thermal response.
+struct ConsumerFeatures {
+  int64_t household_id = 0;
+  /// 24-value temperature-independent daily activity profile.
+  std::vector<double> profile;
+  double heating_gradient = 0.0;   // kWh per degree C below balance.
+  double cooling_gradient = 0.0;   // kWh per degree C above balance.
+  double heating_balance_c = 12.0;  // Breakpoint of the left 90th line.
+  double cooling_balance_c = 18.0;  // Breakpoint of the right 90th line.
+};
+
+struct DataGeneratorOptions {
+  /// Number of k-means clusters of daily profiles.
+  int num_clusters = 8;
+  /// Standard deviation of the Gaussian white-noise component (kWh).
+  double noise_sigma = 0.1;
+  core::ParOptions par;
+  core::ThreeLineOptions three_line;
+  stats::KMeansOptions kmeans;
+};
+
+/// The paper's data generator. Train() disaggregates every consumer of a
+/// small seed data set into an activity profile and a thermal response and
+/// clusters the profiles; Generate() re-aggregates randomly chosen pieces
+/// into any number of new, realistic consumers:
+///
+///   reading = cluster-centroid activity load at that hour
+///           + heating/cooling gradient of a random cluster member
+///             applied to the input temperature
+///           + Gaussian white noise.
+class DataGenerator {
+ public:
+  /// Extracts features from `seed` and clusters the activity profiles.
+  /// Consumers whose features cannot be computed (e.g. too little data)
+  /// are skipped; training fails only if fewer than two consumers remain.
+  static Result<DataGenerator> Train(const MeterDataset& seed,
+                                     const DataGeneratorOptions& options);
+
+  /// Synthesizes `num_households` new consumers against `temperature`.
+  /// Household ids are first_household_id, first_household_id + 1, ...
+  /// Deterministic in `seed`.
+  Result<MeterDataset> Generate(int num_households,
+                                std::vector<double> temperature,
+                                uint64_t seed,
+                                int64_t first_household_id = 1) const;
+
+  const std::vector<ConsumerFeatures>& features() const { return features_; }
+  const stats::KMeansResult& clusters() const { return clusters_; }
+  const DataGeneratorOptions& options() const { return options_; }
+
+  /// Members (indexes into features()) of each cluster.
+  const std::vector<std::vector<int>>& cluster_members() const {
+    return cluster_members_;
+  }
+
+ private:
+  DataGenerator() = default;
+
+  DataGeneratorOptions options_;
+  std::vector<ConsumerFeatures> features_;
+  stats::KMeansResult clusters_;
+  std::vector<std::vector<int>> cluster_members_;
+};
+
+/// Extracts the generator features of a single consumer (exposed for
+/// tests and the consumer-feedback example).
+Result<ConsumerFeatures> ExtractConsumerFeatures(
+    const ConsumerSeries& consumer, const std::vector<double>& temperature,
+    const DataGeneratorOptions& options);
+
+}  // namespace smartmeter::datagen
+
+#endif  // SMARTMETER_DATAGEN_GENERATOR_H_

@@ -1,0 +1,146 @@
+#include "datagen/seed_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "timeseries/calendar.h"
+
+namespace smartmeter::datagen {
+
+namespace {
+
+// Hour-by-hour activity shapes. Values are relative; a household scales
+// the whole shape by its activity_scale draw.
+//                         0    1    2    3    4    5    6    7    8    9   10   11   12   13   14   15   16   17   18   19   20   21   22   23
+constexpr double kEarlyRiser[24] = {
+    0.1, 0.1, 0.1, 0.1, 0.2, 0.6, 1.0, 0.9, 0.5, 0.3, 0.3, 0.3,
+    0.4, 0.3, 0.3, 0.4, 0.6, 0.9, 1.0, 0.8, 0.6, 0.4, 0.2, 0.1};
+constexpr double kNineToFive[24] = {
+    0.1, 0.1, 0.1, 0.1, 0.1, 0.2, 0.5, 0.8, 0.4, 0.2, 0.2, 0.2,
+    0.2, 0.2, 0.2, 0.2, 0.3, 0.7, 1.0, 1.0, 0.9, 0.7, 0.4, 0.2};
+constexpr double kNightOwl[24] = {
+    0.7, 0.5, 0.4, 0.2, 0.1, 0.1, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6,
+    0.6, 0.5, 0.5, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0, 1.0, 1.0, 0.9};
+constexpr double kHomeWorker[24] = {
+    0.1, 0.1, 0.1, 0.1, 0.1, 0.2, 0.4, 0.7, 0.8, 0.9, 1.0, 0.9,
+    1.0, 0.9, 0.9, 0.8, 0.8, 0.9, 1.0, 0.9, 0.7, 0.5, 0.3, 0.2};
+constexpr double kRetired[24] = {
+    0.1, 0.1, 0.1, 0.1, 0.1, 0.3, 0.6, 0.8, 0.8, 0.7, 0.7, 0.8,
+    0.9, 0.7, 0.6, 0.6, 0.7, 0.8, 0.9, 0.8, 0.6, 0.4, 0.2, 0.1};
+
+HouseholdArchetype MakeArchetype(const std::string& name,
+                                 const double shape[24],
+                                 double scale_min, double scale_max,
+                                 double base_min, double base_max,
+                                 double heat_min, double heat_max,
+                                 double cool_min, double cool_max,
+                                 double heat_balance, double cool_balance,
+                                 double weekend_factor, double weight) {
+  HouseholdArchetype a;
+  a.name = name;
+  std::copy(shape, shape + 24, a.activity_shape);
+  a.activity_scale_min = scale_min;
+  a.activity_scale_max = scale_max;
+  a.base_load_min = base_min;
+  a.base_load_max = base_max;
+  a.heating_gradient_min = heat_min;
+  a.heating_gradient_max = heat_max;
+  a.cooling_gradient_min = cool_min;
+  a.cooling_gradient_max = cool_max;
+  a.heating_balance_c = heat_balance;
+  a.cooling_balance_c = cool_balance;
+  a.weekend_factor = weekend_factor;
+  a.population_weight = weight;
+  return a;
+}
+
+}  // namespace
+
+const std::vector<HouseholdArchetype>& BuiltinArchetypes() {
+  static const std::vector<HouseholdArchetype>& archetypes =
+      *new std::vector<HouseholdArchetype>{
+          MakeArchetype("early_riser", kEarlyRiser, 0.5, 1.2, 0.05, 0.25,
+                        0.03, 0.12, 0.02, 0.10, 12.0, 18.0, 1.15, 0.20),
+          MakeArchetype("nine_to_five", kNineToFive, 0.6, 1.4, 0.05, 0.30,
+                        0.02, 0.10, 0.03, 0.15, 11.0, 19.0, 1.35, 0.30),
+          MakeArchetype("night_owl", kNightOwl, 0.4, 1.0, 0.10, 0.35,
+                        0.02, 0.08, 0.02, 0.12, 10.0, 20.0, 1.05, 0.15),
+          MakeArchetype("home_worker", kHomeWorker, 0.7, 1.5, 0.10, 0.40,
+                        0.05, 0.15, 0.04, 0.18, 13.0, 17.0, 0.95, 0.15),
+          MakeArchetype("retired", kRetired, 0.5, 1.1, 0.05, 0.30,
+                        0.06, 0.18, 0.03, 0.12, 14.0, 16.0, 1.00, 0.20),
+      };
+  return archetypes;
+}
+
+Result<MeterDataset> GenerateSeedDataset(
+    const SeedGeneratorOptions& options) {
+  if (options.num_households < 1) {
+    return Status::InvalidArgument("seed: need at least one household");
+  }
+  if (options.hours < kHoursPerDay) {
+    return Status::InvalidArgument("seed: need at least one day of data");
+  }
+
+  MeterDataset dataset;
+  dataset.SetTemperature(
+      GenerateTemperatureSeries(options.hours, options.temperature));
+  const std::vector<double>& temp = dataset.temperature();
+  const std::vector<HouseholdArchetype>& archetypes = BuiltinArchetypes();
+  double total_weight = 0.0;
+  for (const auto& a : archetypes) total_weight += a.population_weight;
+
+  Rng master(options.seed);
+  for (int h = 0; h < options.num_households; ++h) {
+    Rng rng = master.Split();
+    // Pick an archetype by population weight.
+    double pick = rng.NextDouble() * total_weight;
+    const HouseholdArchetype* archetype = &archetypes.back();
+    for (const auto& a : archetypes) {
+      pick -= a.population_weight;
+      if (pick <= 0.0) {
+        archetype = &a;
+        break;
+      }
+    }
+    const double scale =
+        rng.Uniform(archetype->activity_scale_min,
+                    archetype->activity_scale_max);
+    const double base =
+        rng.Uniform(archetype->base_load_min, archetype->base_load_max);
+    const double heat_gradient = rng.Uniform(
+        archetype->heating_gradient_min, archetype->heating_gradient_max);
+    const double cool_gradient = rng.Uniform(
+        archetype->cooling_gradient_min, archetype->cooling_gradient_max);
+    // Small per-household phase jitter so households within an archetype
+    // are similar but not identical.
+    const int shift = static_cast<int>(rng.UniformInt(3)) - 1;
+
+    ConsumerSeries series;
+    series.household_id = h + 1;
+    series.consumption.reserve(static_cast<size_t>(options.hours));
+    for (int t = 0; t < options.hours; ++t) {
+      const int hour = (HourlyCalendar::HourOfDay(t) + shift + 24) % 24;
+      const bool weekend = HourlyCalendar::IsWeekend(t % kHoursPerYear);
+      double activity = scale * archetype->activity_shape[hour];
+      if (weekend) activity *= archetype->weekend_factor;
+      const double heating =
+          heat_gradient *
+          std::max(0.0, archetype->heating_balance_c - temp[static_cast<
+                                                          size_t>(t)]);
+      const double cooling =
+          cool_gradient *
+          std::max(0.0, temp[static_cast<size_t>(t)] -
+                            archetype->cooling_balance_c);
+      const double noise = rng.Gaussian(0.0, options.noise_sigma);
+      series.consumption.push_back(
+          std::max(0.0, base + activity + heating + cooling + noise));
+    }
+    dataset.AddConsumer(std::move(series));
+  }
+  SM_RETURN_IF_ERROR(dataset.Validate());
+  return dataset;
+}
+
+}  // namespace smartmeter::datagen

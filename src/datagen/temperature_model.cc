@@ -1,0 +1,42 @@
+#include "datagen/temperature_model.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "timeseries/calendar.h"
+
+namespace smartmeter::datagen {
+
+std::vector<double> GenerateTemperatureSeries(
+    int hours, const TemperatureModelOptions& options) {
+  std::vector<double> series;
+  series.reserve(static_cast<size_t>(hours));
+  Rng rng(options.seed);
+  double weather = 0.0;
+  for (int t = 0; t < hours; ++t) {
+    const int day = HourlyCalendar::DayOfYear(t % kHoursPerYear) +
+                    kDaysPerYear * (t / kHoursPerYear);
+    const int hour = HourlyCalendar::HourOfDay(t);
+    // Annual cycle: minimum at coldest_day.
+    const double annual_phase = 2.0 * M_PI *
+                                static_cast<double>(day - options.coldest_day) /
+                                static_cast<double>(kDaysPerYear);
+    const double annual =
+        options.annual_mean_c - options.annual_amplitude_c *
+                                    std::cos(annual_phase);
+    // Diurnal cycle: maximum at warmest_hour.
+    const double diurnal_phase = 2.0 * M_PI *
+                                 static_cast<double>(hour -
+                                                     options.warmest_hour) /
+                                 static_cast<double>(kHoursPerDay);
+    const double diurnal =
+        options.diurnal_amplitude_c * std::cos(diurnal_phase);
+    // Synoptic noise: slow AR(1) so fronts last days, not hours.
+    weather = options.weather_persistence * weather +
+              rng.Gaussian(0.0, options.weather_sigma_c);
+    series.push_back(annual + diurnal + weather);
+  }
+  return series;
+}
+
+}  // namespace smartmeter::datagen

@@ -1,0 +1,36 @@
+#ifndef SMARTMETER_DATAGEN_TEMPERATURE_MODEL_H_
+#define SMARTMETER_DATAGEN_TEMPERATURE_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace smartmeter::datagen {
+
+/// Parameters of the synthetic outdoor-temperature model. Defaults are
+/// fitted by eye to a southern-Ontario climate (the origin of the paper's
+/// real data set): cold winters around -10 C, warm summers around 25 C.
+struct TemperatureModelOptions {
+  double annual_mean_c = 7.5;
+  /// Half the summer-winter swing of the daily mean.
+  double annual_amplitude_c = 14.0;
+  /// Day of year (0-based) with the lowest daily mean; mid January.
+  int coldest_day = 15;
+  /// Half the night-day swing within one day.
+  double diurnal_amplitude_c = 4.0;
+  /// Hour of day of the daily maximum.
+  int warmest_hour = 15;
+  /// AR(1) persistence of the synoptic (weather-front) noise.
+  double weather_persistence = 0.98;
+  /// Innovation standard deviation of the synoptic noise, degrees C.
+  double weather_sigma_c = 0.6;
+  uint64_t seed = 20150323;  // EDBT 2015 opening day.
+};
+
+/// Produces `hours` hourly outdoor temperatures: annual sinusoid +
+/// diurnal sinusoid + AR(1) weather noise. Deterministic in the seed.
+std::vector<double> GenerateTemperatureSeries(
+    int hours, const TemperatureModelOptions& options = {});
+
+}  // namespace smartmeter::datagen
+
+#endif  // SMARTMETER_DATAGEN_TEMPERATURE_MODEL_H_

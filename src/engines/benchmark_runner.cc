@@ -1,0 +1,54 @@
+#include "engines/benchmark_runner.h"
+
+#include "common/memory_probe.h"
+
+namespace smartmeter::engines {
+
+Result<RunReport> RunTaskOnEngine(AnalyticsEngine* engine,
+                                  const TaskRequest& request, int threads,
+                                  bool sample_memory, bool keep_outputs) {
+  engine->SetThreads(threads);
+  RunReport report;
+  MemorySampler sampler(/*interval_ms=*/20);
+  if (sample_memory) sampler.Start();
+  SM_ASSIGN_OR_RETURN(
+      TaskRunMetrics metrics,
+      engine->RunTask(request, keep_outputs ? &report.outputs : nullptr));
+  if (sample_memory) {
+    sampler.Stop();
+    report.memory_bytes = sampler.AverageRssBytes();
+  }
+  if (metrics.modeled_memory_bytes > 0) {
+    report.memory_bytes = metrics.modeled_memory_bytes;
+  }
+  report.task_seconds = metrics.seconds;
+  report.simulated = metrics.simulated;
+  report.phases = metrics.phases;
+  return report;
+}
+
+Result<RunReport> RunBenchmark(const RunSpec& spec) {
+  std::unique_ptr<AnalyticsEngine> engine =
+      MakeEngine(spec.kind, spec.factory);
+  if (engine == nullptr) {
+    return Status::InvalidArgument("unknown engine kind");
+  }
+  engine->SetThreads(spec.threads);
+  RunReport report;
+  SM_ASSIGN_OR_RETURN(report.attach_seconds, engine->Attach(spec.source));
+  if (spec.warm) {
+    SM_ASSIGN_OR_RETURN(report.warmup_seconds, engine->WarmUp());
+  }
+  SM_ASSIGN_OR_RETURN(
+      RunReport task_report,
+      RunTaskOnEngine(engine.get(), spec.request, spec.threads,
+                      spec.sample_memory, spec.keep_outputs));
+  report.task_seconds = task_report.task_seconds;
+  report.simulated = task_report.simulated;
+  report.phases = task_report.phases;
+  report.memory_bytes = task_report.memory_bytes;
+  report.outputs = std::move(task_report.outputs);
+  return report;
+}
+
+}  // namespace smartmeter::engines

@@ -1,0 +1,52 @@
+#ifndef SMARTMETER_ENGINES_BENCHMARK_RUNNER_H_
+#define SMARTMETER_ENGINES_BENCHMARK_RUNNER_H_
+
+#include "engines/engine.h"
+#include "engines/engine_factory.h"
+
+namespace smartmeter::engines {
+
+/// One benchmark execution: which engine, which data, which task, and
+/// the methodology switches of Section 5 (cold vs warm start, degree of
+/// parallelism, memory sampling).
+struct RunSpec {
+  EngineKind kind = EngineKind::kSystemC;
+  EngineFactoryOptions factory;
+  DataSource source;
+  TaskRequest request;
+  int threads = 1;
+  /// Warm start: load into memory before the timed task run.
+  bool warm = false;
+  /// Sample process RSS during the run (single-node engines).
+  bool sample_memory = false;
+  /// Keep task outputs in the report (off for pure timing runs).
+  bool keep_outputs = false;
+};
+
+/// What one execution measured.
+struct RunReport {
+  double attach_seconds = 0.0;
+  double warmup_seconds = 0.0;
+  double task_seconds = 0.0;
+  /// attach + warmup + task: the paper's cold-start number includes the
+  /// in-task load, warm-start excludes it.
+  bool simulated = false;
+  core::ThreeLinePhases phases;
+  /// Average RSS over the task (sampled) or the cluster model's memory.
+  int64_t memory_bytes = 0;
+  TaskOutputs outputs;
+};
+
+/// Runs one spec end to end: construct engine, Attach, optional WarmUp,
+/// RunTask with optional memory sampling.
+Result<RunReport> RunBenchmark(const RunSpec& spec);
+
+/// Reuses an already attached engine for another task run (benches that
+/// sweep tasks or thread counts without reloading).
+Result<RunReport> RunTaskOnEngine(AnalyticsEngine* engine,
+                                  const TaskRequest& request, int threads,
+                                  bool sample_memory, bool keep_outputs);
+
+}  // namespace smartmeter::engines
+
+#endif  // SMARTMETER_ENGINES_BENCHMARK_RUNNER_H_

@@ -1,0 +1,109 @@
+#include "engines/cluster_task_util.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/string_util.h"
+
+namespace smartmeter::engines::internal {
+
+void AssembleSeries(std::vector<HourRecord>* records,
+                    std::vector<double>* consumption,
+                    std::vector<double>* temperature) {
+  std::sort(records->begin(), records->end(),
+            [](const HourRecord& a, const HourRecord& b) {
+              return a.hour < b.hour;
+            });
+  consumption->clear();
+  temperature->clear();
+  consumption->reserve(records->size());
+  temperature->reserve(records->size());
+  for (const HourRecord& r : *records) {
+    consumption->push_back(r.consumption);
+    temperature->push_back(r.temperature);
+  }
+}
+
+Result<HouseholdLine> ParseHouseholdLine(std::string_view line) {
+  const std::vector<std::string_view> fields = SplitString(line, ',');
+  if (fields.size() < 2) {
+    return Status::Corruption("household line with no readings");
+  }
+  HouseholdLine parsed;
+  SM_ASSIGN_OR_RETURN(parsed.household_id, ParseInt64(fields[0]));
+  parsed.consumption.reserve(fields.size() - 1);
+  for (size_t i = 1; i < fields.size(); ++i) {
+    SM_ASSIGN_OR_RETURN(double v, ParseDouble(fields[i]));
+    parsed.consumption.push_back(v);
+  }
+  return parsed;
+}
+
+Result<std::vector<double>> ReadTemperatureSidecar(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) {
+    return Status::IOError("missing temperature sidecar " + path);
+  }
+  std::vector<double> values;
+  char line[64];
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    std::string_view view = TrimWhitespace(line);
+    if (view.empty()) continue;
+    Result<double> v = ParseDouble(view);
+    if (!v.ok()) {
+      std::fclose(f);
+      return v.status();
+    }
+    values.push_back(*v);
+  }
+  std::fclose(f);
+  return values;
+}
+
+Status ComputeHouseholdTask(const TaskRequest& request, int64_t household_id,
+                            std::span<const double> consumption,
+                            std::span<const double> temperature,
+                            TaskOutputs* outputs) {
+  switch (request.task) {
+    case core::TaskType::kHistogram: {
+      SM_ASSIGN_OR_RETURN(stats::EquiWidthHistogram hist,
+                          core::ComputeConsumptionHistogram(
+                              consumption, request.histogram));
+      outputs->histograms.push_back({household_id, std::move(hist)});
+      return Status::OK();
+    }
+    case core::TaskType::kThreeLine: {
+      SM_ASSIGN_OR_RETURN(
+          core::ThreeLineResult fit,
+          core::ComputeThreeLine(consumption, temperature, household_id,
+                                 request.three_line));
+      outputs->three_lines.push_back(std::move(fit));
+      return Status::OK();
+    }
+    case core::TaskType::kPar: {
+      SM_ASSIGN_OR_RETURN(
+          core::DailyProfileResult profile,
+          core::ComputeDailyProfile(consumption, temperature, household_id,
+                                    request.par));
+      outputs->profiles.push_back(std::move(profile));
+      return Status::OK();
+    }
+    case core::TaskType::kSimilarity:
+      return Status::InvalidArgument(
+          "similarity is not a per-household task");
+  }
+  return Status::Internal("unreachable");
+}
+
+void SortOutputsByHousehold(TaskOutputs* outputs) {
+  auto by_id = [](const auto& a, const auto& b) {
+    return a.household_id < b.household_id;
+  };
+  std::sort(outputs->histograms.begin(), outputs->histograms.end(), by_id);
+  std::sort(outputs->three_lines.begin(), outputs->three_lines.end(), by_id);
+  std::sort(outputs->profiles.begin(), outputs->profiles.end(), by_id);
+  std::sort(outputs->similarities.begin(), outputs->similarities.end(),
+            by_id);
+}
+
+}  // namespace smartmeter::engines::internal

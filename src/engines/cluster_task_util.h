@@ -1,0 +1,55 @@
+#ifndef SMARTMETER_ENGINES_CLUSTER_TASK_UTIL_H_
+#define SMARTMETER_ENGINES_CLUSTER_TASK_UTIL_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "engines/engine.h"
+
+namespace smartmeter::engines::internal {
+
+/// One reading as shuffled by the cluster engines' row-format plans:
+/// hour + consumption + temperature keyed by household id.
+struct HourRecord {
+  int32_t hour;
+  double consumption;
+  double temperature;
+};
+
+/// Sorts records by hour and splits them into aligned consumption /
+/// temperature arrays; the reduce-side assembly step of the row-format
+/// plans.
+void AssembleSeries(std::vector<HourRecord>* records,
+                    std::vector<double>* consumption,
+                    std::vector<double>* temperature);
+
+/// One household parsed from a format-2 line: "id,c0,c1,...".
+struct HouseholdLine {
+  int64_t household_id = 0;
+  std::vector<double> consumption;
+};
+
+Result<HouseholdLine> ParseHouseholdLine(std::string_view line);
+
+/// Reads a "<path>.temperature" sidecar (one value per line).
+Result<std::vector<double>> ReadTemperatureSidecar(const std::string& path);
+
+/// Computes the requested per-household task (histogram / 3-line / PAR)
+/// and appends the result to `outputs`. Similarity is not a per-household
+/// task and is rejected.
+Status ComputeHouseholdTask(const TaskRequest& request, int64_t household_id,
+                            std::span<const double> consumption,
+                            std::span<const double> temperature,
+                            TaskOutputs* outputs);
+
+/// Sorts each output vector by household id; cluster plans produce
+/// results in shuffle order, tests and benches want deterministic order.
+void SortOutputsByHousehold(TaskOutputs* outputs);
+
+}  // namespace smartmeter::engines::internal
+
+#endif  // SMARTMETER_ENGINES_CLUSTER_TASK_UTIL_H_

@@ -1,0 +1,111 @@
+#ifndef SMARTMETER_ENGINES_ENGINE_H_
+#define SMARTMETER_ENGINES_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "core/histogram_task.h"
+#include "core/par_task.h"
+#include "core/similarity_task.h"
+#include "core/task_types.h"
+#include "core/three_line_task.h"
+
+namespace smartmeter::engines {
+
+/// Where an engine's input data lives on disk.
+struct DataSource {
+  enum class Layout {
+    kSingleCsv,        // One reading-per-line CSV file.
+    kPartitionedDir,   // One CSV file per household (single-server "part.").
+    kHouseholdLines,   // One household per line + temperature sidecar.
+    kWholeFileDir,     // Many reading-per-line files, households not split.
+  };
+  Layout layout = Layout::kSingleCsv;
+  /// The file (kSingleCsv / kHouseholdLines) or every file of the
+  /// directory layouts.
+  std::vector<std::string> files;
+};
+
+/// Per-task knobs, defaulted to the paper's fixed choices (10 buckets,
+/// p = 3 lags, k = 10 neighbours).
+struct TaskRequest {
+  core::TaskType task = core::TaskType::kHistogram;
+  core::HistogramOptions histogram;
+  core::ThreeLineOptions three_line;
+  core::ParOptions par;
+  core::SimilarityOptions similarity;
+  /// Similarity search may be limited to the first n households (the
+  /// paper uses subsets for this quadratic task); 0 means all.
+  int similarity_households = 0;
+};
+
+/// What one task execution produced and cost.
+struct TaskRunMetrics {
+  /// Task time: wall-clock for single-node engines, simulated cluster
+  /// time for Hive/Spark.
+  double seconds = 0.0;
+  /// True when `seconds` comes from the cluster simulation.
+  bool simulated = false;
+  /// 3-line phase breakdown (Figure 6), filled only for kThreeLine.
+  core::ThreeLinePhases phases;
+  /// Modeled resident memory of the engine's task execution (cluster
+  /// engines; single-node engines report 0 and the bench samples RSS).
+  int64_t modeled_memory_bytes = 0;
+};
+
+/// Union of the four tasks' outputs; only the vector matching the
+/// requested task is filled.
+struct TaskOutputs {
+  std::vector<core::HistogramResult> histograms;
+  std::vector<core::ThreeLineResult> three_lines;
+  std::vector<core::DailyProfileResult> profiles;
+  std::vector<core::SimilarityResult> similarities;
+};
+
+/// A platform under benchmark. The lifecycle mirrors Section 5's
+/// methodology:
+///   Attach(source)  -- "loading": whatever the platform does to make
+///                      data queryable (bulk-load a DBMS table, convert
+///                      and mmap a columnar file, register HDFS files).
+///   RunTask(...)    -- cold start when called right after Attach.
+///   WarmUp()        -- pull working data into memory structures.
+///   RunTask(...)    -- warm start.
+class AnalyticsEngine {
+ public:
+  virtual ~AnalyticsEngine() = default;
+
+  virtual std::string_view name() const = 0;
+  virtual bool is_cluster_engine() const { return false; }
+
+  /// Makes `source` the engine's active data set. Returns the loading
+  /// time in seconds (Figure 4). Replaces any previously attached data.
+  virtual Result<double> Attach(const DataSource& source) = 0;
+
+  /// Brings the attached data into memory; returns the seconds spent.
+  virtual Result<double> WarmUp() = 0;
+
+  /// Drops warm state so the next RunTask is a cold start again.
+  virtual void DropWarmData() = 0;
+
+  /// Executes one benchmark task over all attached households. `outputs`
+  /// may be null when only timing is wanted.
+  virtual Result<TaskRunMetrics> RunTask(const TaskRequest& request,
+                                         TaskOutputs* outputs) = 0;
+
+  /// Degree of parallelism for subsequent RunTask calls (Figure 10).
+  virtual void SetThreads(int num_threads) = 0;
+  virtual int threads() const = 0;
+};
+
+/// Identifiers for the factory.
+enum class EngineKind { kMatlab, kMadlib, kSystemC, kSpark, kHive };
+
+std::string_view EngineKindName(EngineKind kind);
+
+}  // namespace smartmeter::engines
+
+#endif  // SMARTMETER_ENGINES_ENGINE_H_

@@ -1,0 +1,65 @@
+#include "engines/engine_factory.h"
+
+#include "engines/hive_engine.h"
+#include "engines/madlib_engine.h"
+#include "engines/matlab_engine.h"
+#include "engines/spark_engine.h"
+#include "engines/systemc_engine.h"
+
+namespace smartmeter::engines {
+
+std::string_view EngineKindName(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kMatlab:
+      return "matlab";
+    case EngineKind::kMadlib:
+      return "madlib";
+    case EngineKind::kSystemC:
+      return "system-c";
+    case EngineKind::kSpark:
+      return "spark";
+    case EngineKind::kHive:
+      return "hive";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<AnalyticsEngine> MakeEngine(
+    EngineKind kind, const EngineFactoryOptions& options) {
+  switch (kind) {
+    case EngineKind::kMatlab:
+      return std::make_unique<MatlabEngine>();
+    case EngineKind::kMadlib:
+      return std::make_unique<MadlibEngine>(
+          options.madlib_array_layout ? MadlibEngine::TableLayout::kArray
+                                      : MadlibEngine::TableLayout::kRow);
+    case EngineKind::kSystemC:
+      return std::make_unique<SystemCEngine>(options.spool_dir);
+    case EngineKind::kSpark: {
+      SparkEngine::Options spark;
+      spark.cluster = options.cluster;
+      spark.block_bytes = options.block_bytes;
+      return std::make_unique<SparkEngine>(spark);
+    }
+    case EngineKind::kHive: {
+      HiveEngine::Options hive;
+      hive.cluster = options.cluster;
+      hive.block_bytes = options.block_bytes;
+      return std::make_unique<HiveEngine>(hive);
+    }
+  }
+  return nullptr;
+}
+
+std::vector<FeatureMatrixRow> BuiltinFunctionMatrix() {
+  // Table 1 of the paper.
+  return {
+      {"Histogram", "yes", "yes", "no", "no", "yes"},
+      {"Quantiles", "yes", "yes", "no", "no", "no"},
+      {"Regression and PAR", "yes", "yes", "no", "third party",
+       "third party"},
+      {"Cosine similarity", "no", "no", "no", "no", "no"},
+  };
+}
+
+}  // namespace smartmeter::engines

@@ -1,0 +1,47 @@
+#ifndef SMARTMETER_ENGINES_ENGINE_FACTORY_H_
+#define SMARTMETER_ENGINES_ENGINE_FACTORY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cost_model.h"
+#include "engines/engine.h"
+
+namespace smartmeter::engines {
+
+/// Options for constructing any engine.
+struct EngineFactoryOptions {
+  /// Scratch directory for engines that materialize storage (System C).
+  std::string spool_dir = "/tmp/smartmeter-spool";
+  /// Cluster shape for the distributed engines.
+  cluster::ClusterConfig cluster;
+  int64_t block_bytes = 4 << 20;
+  /// MADLib table layout (row vs array, Figure 9).
+  bool madlib_array_layout = false;
+};
+
+/// Creates an engine by kind.
+std::unique_ptr<AnalyticsEngine> MakeEngine(EngineKind kind,
+                                            const EngineFactoryOptions&
+                                                options);
+
+/// Row of the Table 1 capability matrix: which statistical functions a
+/// platform ships versus which this benchmark had to implement.
+struct FeatureMatrixRow {
+  std::string function;
+  std::string matlab;
+  std::string madlib;
+  std::string system_c;
+  std::string spark;
+  std::string hive;
+};
+
+/// The paper's Table 1 verbatim: built-in statistical functions per
+/// platform ("yes" built-in, "no" hand-implemented, "third party" via a
+/// library).
+std::vector<FeatureMatrixRow> BuiltinFunctionMatrix();
+
+}  // namespace smartmeter::engines
+
+#endif  // SMARTMETER_ENGINES_ENGINE_FACTORY_H_

@@ -1,0 +1,163 @@
+#include "engines/engine_util.h"
+
+#include <mutex>
+
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+
+namespace smartmeter::engines {
+
+namespace {
+
+/// Collects the first error seen across parallel workers.
+class ErrorCollector {
+ public:
+  void Record(const Status& status) {
+    if (status.ok()) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    if (first_.ok()) first_ = status;
+  }
+  const Status& first() const { return first_; }
+
+ private:
+  std::mutex mu_;
+  Status first_ = Status::OK();
+};
+
+}  // namespace
+
+std::string_view DataSourceLayoutName(DataSource::Layout layout) {
+  switch (layout) {
+    case DataSource::Layout::kSingleCsv:
+      return "single-csv";
+    case DataSource::Layout::kPartitionedDir:
+      return "partitioned-dir";
+    case DataSource::Layout::kHouseholdLines:
+      return "household-lines";
+    case DataSource::Layout::kWholeFileDir:
+      return "whole-file-dir";
+  }
+  return "unknown";
+}
+
+Result<TaskRunMetrics> RunTaskOverSeries(const SeriesAccess& access,
+                                         const TaskRequest& request,
+                                         int num_threads,
+                                         TaskOutputs* outputs) {
+  TaskRunMetrics metrics;
+  Stopwatch clock;
+  ThreadPool pool(num_threads < 1 ? 1 : num_threads);
+  ErrorCollector errors;
+  const size_t count = access.count;
+
+  switch (request.task) {
+    case core::TaskType::kHistogram: {
+      std::vector<core::HistogramResult> results(count);
+      pool.ParallelFor(count, [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          Result<stats::EquiWidthHistogram> hist =
+              core::ComputeConsumptionHistogram(access.consumption(i),
+                                                request.histogram);
+          if (!hist.ok()) {
+            errors.Record(hist.status());
+            return;
+          }
+          results[i] = {access.household_id(i), std::move(*hist)};
+        }
+      });
+      SM_RETURN_IF_ERROR(errors.first());
+      if (outputs != nullptr) outputs->histograms = std::move(results);
+      break;
+    }
+    case core::TaskType::kThreeLine: {
+      std::vector<core::ThreeLineResult> results(count);
+      std::mutex phase_mu;
+      pool.ParallelFor(count, [&](size_t begin, size_t end) {
+        core::ThreeLinePhases local_phases;
+        for (size_t i = begin; i < end; ++i) {
+          Result<core::ThreeLineResult> fit = core::ComputeThreeLine(
+              access.consumption(i), access.temperature,
+              access.household_id(i), request.three_line, &local_phases);
+          if (!fit.ok()) {
+            errors.Record(fit.status());
+            return;
+          }
+          results[i] = std::move(*fit);
+        }
+        std::lock_guard<std::mutex> lock(phase_mu);
+        metrics.phases.Accumulate(local_phases);
+      });
+      SM_RETURN_IF_ERROR(errors.first());
+      if (outputs != nullptr) outputs->three_lines = std::move(results);
+      break;
+    }
+    case core::TaskType::kPar: {
+      std::vector<core::DailyProfileResult> results(count);
+      pool.ParallelFor(count, [&](size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          Result<core::DailyProfileResult> profile =
+              core::ComputeDailyProfile(access.consumption(i),
+                                        access.temperature,
+                                        access.household_id(i), request.par);
+          if (!profile.ok()) {
+            errors.Record(profile.status());
+            return;
+          }
+          results[i] = std::move(*profile);
+        }
+      });
+      SM_RETURN_IF_ERROR(errors.first());
+      if (outputs != nullptr) outputs->profiles = std::move(results);
+      break;
+    }
+    case core::TaskType::kSimilarity: {
+      size_t n = count;
+      if (request.similarity_households > 0) {
+        n = std::min(n, static_cast<size_t>(request.similarity_households));
+      }
+      std::vector<core::SeriesView> views;
+      views.reserve(n);
+      for (size_t i = 0; i < n; ++i) {
+        views.push_back({access.household_id(i), access.consumption(i)});
+      }
+      const std::vector<double> norms = core::ComputeNorms(views);
+      std::vector<core::SimilarityResult> results(n);
+      pool.ParallelFor(n, [&](size_t begin, size_t end) {
+        Result<std::vector<core::SimilarityResult>> chunk =
+            core::ComputeSimilarityTopKRange(views, norms, begin, end,
+                                             request.similarity);
+        if (!chunk.ok()) {
+          errors.Record(chunk.status());
+          return;
+        }
+        for (size_t i = begin; i < end; ++i) {
+          results[i] = std::move((*chunk)[i - begin]);
+        }
+      });
+      SM_RETURN_IF_ERROR(errors.first());
+      if (outputs != nullptr) outputs->similarities = std::move(results);
+      break;
+    }
+  }
+  metrics.seconds = clock.ElapsedSeconds();
+  return metrics;
+}
+
+Result<TaskRunMetrics> RunTaskOverDataset(const MeterDataset& dataset,
+                                          const TaskRequest& request,
+                                          int num_threads,
+                                          TaskOutputs* outputs) {
+  SeriesAccess access;
+  access.count = dataset.num_consumers();
+  const auto& consumers = dataset.consumers();
+  access.household_id = [&consumers](size_t i) {
+    return consumers[i].household_id;
+  };
+  access.consumption = [&consumers](size_t i) {
+    return std::span<const double>(consumers[i].consumption);
+  };
+  access.temperature = dataset.temperature();
+  return RunTaskOverSeries(access, request, num_threads, outputs);
+}
+
+}  // namespace smartmeter::engines

@@ -1,0 +1,43 @@
+#ifndef SMARTMETER_ENGINES_ENGINE_UTIL_H_
+#define SMARTMETER_ENGINES_ENGINE_UTIL_H_
+
+#include <functional>
+#include <span>
+
+#include "engines/engine.h"
+#include "timeseries/dataset.h"
+
+namespace smartmeter::engines {
+
+/// A storage-agnostic view over n consumer series plus the shared
+/// temperature series; each engine adapts its own storage (file arrays,
+/// row-store extracts, mmap'd column segments) to this shape.
+struct SeriesAccess {
+  size_t count = 0;
+  std::function<int64_t(size_t)> household_id;
+  std::function<std::span<const double>(size_t)> consumption;
+  std::span<const double> temperature;
+};
+
+/// Shared per-consumer task executor used by every single-node engine
+/// once data is accessible: splits households across `num_threads`
+/// workers (the per-consumer tasks are embarrassingly parallel, Section
+/// 5.3.4) and runs the requested algorithm. Similarity partitions the
+/// query side of the quadratic loop. Returns wall-clock metrics;
+/// `outputs` (optional) receives results in household order.
+Result<TaskRunMetrics> RunTaskOverSeries(const SeriesAccess& access,
+                                         const TaskRequest& request,
+                                         int num_threads,
+                                         TaskOutputs* outputs);
+
+/// Convenience adapter over an in-memory dataset.
+Result<TaskRunMetrics> RunTaskOverDataset(const MeterDataset& dataset,
+                                          const TaskRequest& request,
+                                          int num_threads,
+                                          TaskOutputs* outputs);
+
+std::string_view DataSourceLayoutName(DataSource::Layout layout);
+
+}  // namespace smartmeter::engines
+
+#endif  // SMARTMETER_ENGINES_ENGINE_UTIL_H_

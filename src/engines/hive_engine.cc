@@ -1,0 +1,361 @@
+#include "engines/hive_engine.h"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+
+#include "cluster/mapreduce.h"
+#include "cluster/task_scheduler.h"
+#include "core/similarity_task.h"
+#include "engines/cluster_task_util.h"
+#include "engines/result_serde.h"
+#include "storage/csv.h"
+
+namespace smartmeter::engines {
+
+namespace {
+
+using cluster::InputSplit;
+using cluster::TaskStats;
+using cluster::TaskWaveRunner;
+using cluster::mapreduce::Emitter;
+using cluster::mapreduce::JobOptions;
+using internal::HourRecord;
+
+JobOptions HiveJobOptions(const cluster::ClusterConfig& config) {
+  JobOptions options;
+  options.job_overhead_seconds = config.cost.hive_job_overhead_seconds;
+  options.task_startup_seconds = config.cost.hive_task_startup_seconds;
+  return options;
+}
+
+/// Map function shared by the UDAF plans: parse reading rows, emit
+/// (household, reading).
+Status MapParseRows(const InputSplit& split,
+                    Emitter<int64_t, HourRecord>* emitter) {
+  SM_ASSIGN_OR_RETURN(std::vector<std::string> lines,
+                      cluster::ReadSplitLines(split));
+  for (const std::string& line : lines) {
+    SM_ASSIGN_OR_RETURN(storage::ReadingRow row,
+                        storage::ParseReadingRow(line));
+    emitter->Emit(row.household_id,
+                  {row.hour, row.consumption, row.temperature});
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<double> HiveEngine::Attach(const DataSource& source) {
+  if (source.files.empty()) {
+    return Status::InvalidArgument("hive: no input files");
+  }
+  if (source.layout == DataSource::Layout::kPartitionedDir) {
+    return Status::NotSupported(
+        "hive engine expects cluster data formats (1, 2 or 3)");
+  }
+  source_ = source;
+  hdfs_ = std::make_unique<cluster::BlockStore>(options_.cluster.num_nodes,
+                                                options_.block_bytes);
+  SM_RETURN_IF_ERROR(hdfs_->AddFiles(source.files));
+  return 0.0;  // HDFS registration; upload is outside the benchmark clock.
+}
+
+void HiveEngine::SetClusterConfig(const cluster::ClusterConfig& config) {
+  options_.cluster = config;
+  if (hdfs_ != nullptr) {
+    // Re-place blocks for the new node count.
+    auto store = std::make_unique<cluster::BlockStore>(config.num_nodes,
+                                                       options_.block_bytes);
+    (void)store->AddFiles(source_.files);
+    hdfs_ = std::move(store);
+  }
+}
+
+Result<TaskRunMetrics> HiveEngine::RunTask(const TaskRequest& request,
+                                           TaskOutputs* outputs) {
+  if (hdfs_ == nullptr) {
+    return Status::InvalidArgument("hive: no data attached");
+  }
+  TaskOutputs local;
+  if (outputs == nullptr) outputs = &local;
+  if (request.task == core::TaskType::kSimilarity) {
+    if (source_.layout == DataSource::Layout::kWholeFileDir) {
+      // The distance computation cannot be expressed in one UDTF pass
+      // (Section 5.4.2: similarity is skipped for the third format).
+      return Status::NotSupported("hive: no similarity plan for format 3");
+    }
+    return RunSimilarity(request, outputs);
+  }
+  switch (source_.layout) {
+    case DataSource::Layout::kSingleCsv:
+      return RunRowFormatTask(request, /*whole_files=*/false, outputs);
+    case DataSource::Layout::kHouseholdLines:
+      return RunHouseholdLineTask(request, outputs);
+    case DataSource::Layout::kWholeFileDir:
+      return options_.format3_style == Format3Style::kUdtf
+                 ? RunUdtfTask(request, outputs)
+                 : RunRowFormatTask(request, /*whole_files=*/true, outputs);
+    default:
+      return Status::NotSupported("hive: unsupported layout");
+  }
+}
+
+Result<TaskRunMetrics> HiveEngine::RunRowFormatTask(
+    const TaskRequest& request, bool whole_files, TaskOutputs* outputs) {
+  const std::vector<InputSplit> splits =
+      whole_files ? hdfs_->WholeFileSplits() : hdfs_->SplittableSplits();
+  std::mutex out_mu;
+  // UDAF plan: reduce assembles each household's series and runs the
+  // algorithm. The reduce function appends straight into `outputs`.
+  cluster::mapreduce::ReduceFn<int64_t, HourRecord, int> reduce =
+      [&request, &out_mu, outputs](int64_t household_id,
+                                   std::vector<HourRecord>&& records,
+                                   std::vector<int>*) -> Status {
+    std::vector<double> consumption, temperature;
+    internal::AssembleSeries(&records, &consumption, &temperature);
+    TaskOutputs one;
+    SM_RETURN_IF_ERROR(internal::ComputeHouseholdTask(
+        request, household_id, consumption, temperature, &one));
+    std::lock_guard<std::mutex> lock(out_mu);
+    for (auto& r : one.histograms) outputs->histograms.push_back(std::move(r));
+    for (auto& r : one.three_lines)
+      outputs->three_lines.push_back(std::move(r));
+    for (auto& r : one.profiles) outputs->profiles.push_back(std::move(r));
+    return Status::OK();
+  };
+  SM_ASSIGN_OR_RETURN(
+      auto job,
+      (cluster::mapreduce::RunMapReduce<int64_t, HourRecord, int>(
+          splits, options_.cluster, HiveJobOptions(options_.cluster),
+          MapParseRows, reduce)));
+  internal::SortOutputsByHousehold(outputs);
+
+  TaskRunMetrics metrics;
+  metrics.seconds = job.simulated_seconds;
+  metrics.simulated = true;
+  metrics.modeled_memory_bytes =
+      job.peak_task_bytes * options_.cluster.slots_per_node;
+  return metrics;
+}
+
+Result<TaskRunMetrics> HiveEngine::RunHouseholdLineTask(
+    const TaskRequest& request, TaskOutputs* outputs) {
+  // Generic-UDF, map-only plan: each line is one complete household.
+  SM_ASSIGN_OR_RETURN(std::vector<double> temperature,
+                      internal::ReadTemperatureSidecar(
+                          source_.files.front() + ".temperature"));
+  const std::vector<InputSplit> splits = hdfs_->SplittableSplits();
+  std::mutex out_mu;
+  cluster::mapreduce::MapFn<int64_t, int> map =
+      [&](const InputSplit& split, Emitter<int64_t, int>* emitter)
+      -> Status {
+    SM_ASSIGN_OR_RETURN(std::vector<std::string> lines,
+                        cluster::ReadSplitLines(split));
+    TaskOutputs local;
+    for (const std::string& line : lines) {
+      SM_ASSIGN_OR_RETURN(internal::HouseholdLine parsed,
+                          internal::ParseHouseholdLine(line));
+      SM_RETURN_IF_ERROR(internal::ComputeHouseholdTask(
+          request, parsed.household_id, parsed.consumption, temperature,
+          &local));
+      emitter->Emit(parsed.household_id, 0);
+    }
+    std::lock_guard<std::mutex> lock(out_mu);
+    for (auto& r : local.histograms)
+      outputs->histograms.push_back(std::move(r));
+    for (auto& r : local.three_lines)
+      outputs->three_lines.push_back(std::move(r));
+    for (auto& r : local.profiles) outputs->profiles.push_back(std::move(r));
+    return Status::OK();
+  };
+  SM_ASSIGN_OR_RETURN(auto job,
+                      (cluster::mapreduce::RunMapOnly<int64_t, int>(
+                          splits, options_.cluster,
+                          HiveJobOptions(options_.cluster), map)));
+  internal::SortOutputsByHousehold(outputs);
+
+  TaskRunMetrics metrics;
+  // Distributed-cache shipment of the temperature table to every node.
+  const double temp_mb = static_cast<double>(temperature.size()) * 8.0 /
+                         (1024.0 * 1024.0);
+  metrics.seconds =
+      job.simulated_seconds +
+      temp_mb * options_.cluster.cost.broadcast_seconds_per_mb_per_node *
+          options_.cluster.num_nodes;
+  metrics.simulated = true;
+  metrics.modeled_memory_bytes =
+      job.peak_task_bytes * options_.cluster.slots_per_node;
+  return metrics;
+}
+
+Result<TaskRunMetrics> HiveEngine::RunUdtfTask(const TaskRequest& request,
+                                               TaskOutputs* outputs) {
+  // UDTF plan over the non-splittable input format: each map task owns
+  // whole files, so it can aggregate per household map-side (a built-in
+  // combiner) and no reduce phase is needed.
+  const std::vector<InputSplit> splits = hdfs_->WholeFileSplits();
+  std::mutex out_mu;
+  cluster::mapreduce::MapFn<int64_t, int> map =
+      [&](const InputSplit& split, Emitter<int64_t, int>* emitter)
+      -> Status {
+    SM_ASSIGN_OR_RETURN(std::vector<std::string> lines,
+                        cluster::ReadSplitLines(split));
+    // Group rows by household. Files are written household-contiguous,
+    // but grouping does not rely on it.
+    std::map<int64_t, std::vector<HourRecord>> groups;
+    for (const std::string& line : lines) {
+      SM_ASSIGN_OR_RETURN(storage::ReadingRow row,
+                          storage::ParseReadingRow(line));
+      groups[row.household_id].push_back(
+          {row.hour, row.consumption, row.temperature});
+    }
+    TaskOutputs local;
+    for (auto& [household_id, records] : groups) {
+      std::vector<double> consumption, temperature;
+      internal::AssembleSeries(&records, &consumption, &temperature);
+      SM_RETURN_IF_ERROR(internal::ComputeHouseholdTask(
+          request, household_id, consumption, temperature, &local));
+      emitter->Emit(household_id, 0);
+    }
+    std::lock_guard<std::mutex> lock(out_mu);
+    for (auto& r : local.histograms)
+      outputs->histograms.push_back(std::move(r));
+    for (auto& r : local.three_lines)
+      outputs->three_lines.push_back(std::move(r));
+    for (auto& r : local.profiles) outputs->profiles.push_back(std::move(r));
+    return Status::OK();
+  };
+  SM_ASSIGN_OR_RETURN(auto job,
+                      (cluster::mapreduce::RunMapOnly<int64_t, int>(
+                          splits, options_.cluster,
+                          HiveJobOptions(options_.cluster), map)));
+  internal::SortOutputsByHousehold(outputs);
+
+  TaskRunMetrics metrics;
+  metrics.seconds = job.simulated_seconds;
+  metrics.simulated = true;
+  metrics.modeled_memory_bytes =
+      job.peak_task_bytes * options_.cluster.slots_per_node;
+  return metrics;
+}
+
+Result<TaskRunMetrics> HiveEngine::RunSimilarity(const TaskRequest& request,
+                                                 TaskOutputs* outputs) {
+  // Stage 1: assemble each household's consumption series.
+  double stage1_seconds = 0.0;
+  int64_t stage1_peak = 0;
+  std::vector<std::pair<int64_t, std::vector<double>>> series_table;
+  if (source_.layout == DataSource::Layout::kSingleCsv) {
+    std::mutex mu;
+    cluster::mapreduce::ReduceFn<int64_t, HourRecord,
+                                 std::pair<int64_t, std::vector<double>>>
+        reduce = [&mu](int64_t household_id,
+                       std::vector<HourRecord>&& records,
+                       std::vector<std::pair<int64_t, std::vector<double>>>*
+                           out) -> Status {
+      std::vector<double> consumption, temperature;
+      internal::AssembleSeries(&records, &consumption, &temperature);
+      (void)mu;
+      out->emplace_back(household_id, std::move(consumption));
+      return Status::OK();
+    };
+    SM_ASSIGN_OR_RETURN(
+        auto job,
+        (cluster::mapreduce::RunMapReduce<
+            int64_t, HourRecord, std::pair<int64_t, std::vector<double>>>(
+            hdfs_->SplittableSplits(), options_.cluster,
+            HiveJobOptions(options_.cluster), MapParseRows, reduce)));
+    series_table = std::move(job.outputs);
+    stage1_seconds = job.simulated_seconds;
+    stage1_peak = job.peak_task_bytes;
+  } else {
+    // Format 2: series arrive whole; a map-only scan collects them.
+    std::mutex mu;
+    std::vector<std::pair<int64_t, std::vector<double>>> collected;
+    cluster::mapreduce::MapFn<int64_t, int> map =
+        [&](const InputSplit& split, Emitter<int64_t, int>* emitter)
+        -> Status {
+      SM_ASSIGN_OR_RETURN(std::vector<std::string> lines,
+                          cluster::ReadSplitLines(split));
+      for (const std::string& line : lines) {
+        SM_ASSIGN_OR_RETURN(internal::HouseholdLine parsed,
+                            internal::ParseHouseholdLine(line));
+        emitter->Emit(parsed.household_id, 0);
+        std::lock_guard<std::mutex> lock(mu);
+        collected.emplace_back(parsed.household_id,
+                               std::move(parsed.consumption));
+      }
+      return Status::OK();
+    };
+    SM_ASSIGN_OR_RETURN(auto job,
+                        (cluster::mapreduce::RunMapOnly<int64_t, int>(
+                            hdfs_->SplittableSplits(), options_.cluster,
+                            HiveJobOptions(options_.cluster), map)));
+    series_table = std::move(collected);
+    stage1_seconds = job.simulated_seconds;
+    stage1_peak = job.peak_task_bytes;
+  }
+  std::sort(series_table.begin(), series_table.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  if (request.similarity_households > 0 &&
+      series_table.size() >
+          static_cast<size_t>(request.similarity_households)) {
+    series_table.resize(static_cast<size_t>(request.similarity_households));
+  }
+
+  // Stage 2: the self-join. Hive's plan cannot use a map-side join here
+  // (Section 5.4.2), so every join task receives a full copy of the
+  // series table through the shuffle -- the dominant cost.
+  std::vector<core::SeriesView> views;
+  views.reserve(series_table.size());
+  int64_t table_bytes = 0;
+  for (const auto& [id, series] : series_table) {
+    views.push_back({id, series});
+    table_bytes += 24 + static_cast<int64_t>(series.size()) * 8;
+  }
+  const std::vector<double> norms = core::ComputeNorms(views);
+
+  const int join_tasks = std::max(1, options_.cluster.total_slots());
+  const size_t n = views.size();
+  std::vector<std::vector<core::SimilarityResult>> partials(
+      static_cast<size_t>(join_tasks));
+  std::vector<TaskWaveRunner::TaskFn> tasks;
+  tasks.reserve(static_cast<size_t>(join_tasks));
+  for (int t = 0; t < join_tasks; ++t) {
+    tasks.push_back([&, t](TaskStats* stats) -> Status {
+      const size_t begin = n * static_cast<size_t>(t) /
+                           static_cast<size_t>(join_tasks);
+      const size_t end = n * (static_cast<size_t>(t) + 1) /
+                         static_cast<size_t>(join_tasks);
+      if (begin < end) {
+        SM_ASSIGN_OR_RETURN(
+            std::vector<core::SimilarityResult> chunk,
+            core::ComputeSimilarityTopKRange(views, norms, begin, end,
+                                             request.similarity));
+        partials[static_cast<size_t>(t)] = std::move(chunk);
+      }
+      stats->shuffle_bytes = table_bytes;  // Full table to every task.
+      return Status::OK();
+    });
+  }
+  TaskWaveRunner runner(options_.cluster,
+                        options_.cluster.cost.hive_task_startup_seconds);
+  SM_ASSIGN_OR_RETURN(double join_makespan, runner.Run(&tasks));
+
+  for (auto& chunk : partials) {
+    for (auto& r : chunk) outputs->similarities.push_back(std::move(r));
+  }
+  internal::SortOutputsByHousehold(outputs);
+
+  TaskRunMetrics metrics;
+  metrics.seconds = stage1_seconds +
+                    options_.cluster.cost.hive_job_overhead_seconds +
+                    join_makespan;
+  metrics.simulated = true;
+  metrics.modeled_memory_bytes =
+      std::max(stage1_peak, table_bytes) * options_.cluster.slots_per_node;
+  return metrics;
+}
+
+}  // namespace smartmeter::engines

@@ -1,0 +1,93 @@
+#include "engines/madlib_engine.h"
+
+#include <algorithm>
+
+#include "common/stopwatch.h"
+#include "engines/engine_util.h"
+#include "storage/csv.h"
+
+namespace smartmeter::engines {
+
+Result<double> MadlibEngine::Attach(const DataSource& source) {
+  if (source.files.empty()) {
+    return Status::InvalidArgument("madlib: no input files");
+  }
+  if (source.layout == DataSource::Layout::kHouseholdLines ||
+      source.layout == DataSource::Layout::kWholeFileDir) {
+    return Status::NotSupported(
+        "madlib engine loads single-csv or partitioned-dir layouts");
+  }
+  Stopwatch clock;
+  warm_.reset();
+  row_table_ = storage::RowStore();
+  array_table_ = storage::ArrayStore();
+  if (layout_ == TableLayout::kRow) {
+    // COPY into the row table: tuple-at-a-time appends into slotted
+    // pages with WAL and index maintenance, the dominant cost of
+    // Figure 4's MADLib bars.
+    for (const std::string& path : source.files) {
+      SM_RETURN_IF_ERROR(row_table_.LoadFromCsv(path));
+    }
+    SM_RETURN_IF_ERROR(row_table_.FinishLoad());
+  } else {
+    // The array layout groups by household at load time.
+    MeterDataset staged;
+    if (source.layout == DataSource::Layout::kSingleCsv) {
+      SM_ASSIGN_OR_RETURN(staged,
+                          storage::ReadReadingsCsv(source.files.front()));
+    } else {
+      storage::RowStore staging;
+      for (const std::string& path : source.files) {
+        SM_RETURN_IF_ERROR(staging.LoadFromCsv(path));
+      }
+      SM_RETURN_IF_ERROR(staging.FinishLoad());
+      SM_ASSIGN_OR_RETURN(staged, staging.ScanAll());
+    }
+    SM_RETURN_IF_ERROR(array_table_.LoadFromDataset(staged));
+  }
+  return clock.ElapsedSeconds();
+}
+
+Result<MeterDataset> MadlibEngine::ExtractAll() const {
+  MeterDataset dataset;
+  if (layout_ == TableLayout::kRow) {
+    // All-household extraction plans as ONE sequential scan with a sort
+    // per group (the GROUP BY plan PostgreSQL would pick), not as n
+    // index scans over an un-clustered table.
+    SM_ASSIGN_OR_RETURN(MeterDataset scanned, row_table_.ScanAll());
+    dataset = std::move(scanned);
+    return dataset;
+  } else {
+    SM_ASSIGN_OR_RETURN(dataset, array_table_.ReadAll());
+  }
+  return dataset;
+}
+
+Result<double> MadlibEngine::WarmUp() {
+  Stopwatch clock;
+  SM_ASSIGN_OR_RETURN(MeterDataset dataset, ExtractAll());
+  warm_ = std::move(dataset);
+  return clock.ElapsedSeconds();
+}
+
+void MadlibEngine::DropWarmData() { warm_.reset(); }
+
+Result<TaskRunMetrics> MadlibEngine::RunTask(const TaskRequest& request,
+                                             TaskOutputs* outputs) {
+  if (warm_.has_value()) {
+    return RunTaskOverDataset(*warm_, request, threads_, outputs);
+  }
+  Stopwatch clock;
+  TaskRunMetrics metrics;
+  // Cold start reads the table from disk first: the row layout pays a
+  // full scan plus per-household grouping and sorting; the array layout
+  // reads far fewer, wider rows and skips the sort -- the Section 5.3.3
+  // gap. Both then run the same kernels.
+  SM_ASSIGN_OR_RETURN(MeterDataset dataset, ExtractAll());
+  SM_ASSIGN_OR_RETURN(
+      metrics, RunTaskOverDataset(dataset, request, threads_, outputs));
+  metrics.seconds = clock.ElapsedSeconds();
+  return metrics;
+}
+
+}  // namespace smartmeter::engines

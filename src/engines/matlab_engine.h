@@ -1,0 +1,53 @@
+#ifndef SMARTMETER_ENGINES_MATLAB_ENGINE_H_
+#define SMARTMETER_ENGINES_MATLAB_ENGINE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "engines/engine.h"
+#include "timeseries/dataset.h"
+
+namespace smartmeter::engines {
+
+/// Models Matlab's execution style (Section 5.1): a numeric computing
+/// process that works straight off text files with vectorized in-memory
+/// kernels and no managed storage.
+///
+///  * Attach() only records the file list -- "Matlab does not actually
+///    load any data and instead reads from files directly".
+///  * A cold RunTask parses the files as part of the task. With the
+///    partitioned layout it streams one household file at a time; with
+///    one big file it must first build an id -> readings index of the
+///    whole file, which is why partitioning matters so much for this
+///    engine (Figure 5).
+///  * WarmUp() parses everything into in-memory arrays; warm runs then
+///    compute straight from them.
+///  * SetThreads models running several shared-nothing Matlab instances,
+///    each owning a slice of the household files (Section 5.3.4).
+class MatlabEngine : public AnalyticsEngine {
+ public:
+  MatlabEngine() = default;
+
+  std::string_view name() const override { return "matlab"; }
+  Result<double> Attach(const DataSource& source) override;
+  Result<double> WarmUp() override;
+  void DropWarmData() override;
+  Result<TaskRunMetrics> RunTask(const TaskRequest& request,
+                                 TaskOutputs* outputs) override;
+  void SetThreads(int num_threads) override { threads_ = num_threads; }
+  int threads() const override { return threads_; }
+
+ private:
+  /// Parses every attached file into one dataset (the cold path for
+  /// whole-dataset tasks and the WarmUp implementation).
+  Result<MeterDataset> ParseAll() const;
+
+  DataSource source_;
+  std::optional<MeterDataset> warm_;
+  int threads_ = 1;
+};
+
+}  // namespace smartmeter::engines
+
+#endif  // SMARTMETER_ENGINES_MATLAB_ENGINE_H_

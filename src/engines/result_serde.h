@@ -1,0 +1,41 @@
+#ifndef SMARTMETER_ENGINES_RESULT_SERDE_H_
+#define SMARTMETER_ENGINES_RESULT_SERDE_H_
+
+#include <cstdint>
+
+#include "core/task_types.h"
+
+namespace smartmeter::core {
+
+/// Modeled serialized sizes of the task-result records, used by the
+/// cluster simulation to convert result streams into shuffle bytes.
+/// Overloads live in the result types' namespace so the cluster
+/// frameworks find them by argument-dependent lookup.
+
+inline int64_t ApproxByteSize(const HistogramResult& r) {
+  return 8 /*id*/ + 16 /*range*/ +
+         static_cast<int64_t>(r.histogram.counts.size()) * 8;
+}
+
+inline int64_t ApproxByteSize(const ThreeLineResult&) {
+  // Two 3-piece models (6 segments x {range, slope, intercept}) + id +
+  // three derived scalars.
+  return 8 + 6 * 4 * 8 + 3 * 8;
+}
+
+inline int64_t ApproxByteSize(const DailyProfileResult& r) {
+  int64_t coeffs = 0;
+  for (const auto& c : r.coefficients) {
+    coeffs += 16 + static_cast<int64_t>(c.size()) * 8;
+  }
+  return 8 + 16 + static_cast<int64_t>(r.profile.size()) * 8 + coeffs +
+         16 + static_cast<int64_t>(r.temperature_beta.size()) * 8;
+}
+
+inline int64_t ApproxByteSize(const SimilarityResult& r) {
+  return 8 + 16 + static_cast<int64_t>(r.matches.size()) * 16;
+}
+
+}  // namespace smartmeter::core
+
+#endif  // SMARTMETER_ENGINES_RESULT_SERDE_H_

@@ -1,0 +1,343 @@
+#include "engines/spark_engine.h"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+
+#include "cluster/dataflow.h"
+#include "core/similarity_task.h"
+#include "engines/cluster_task_util.h"
+#include "engines/result_serde.h"
+#include "storage/csv.h"
+
+namespace smartmeter::engines {
+
+namespace internal {
+
+/// Modeled serialized size of a parsed format-2 line.
+inline int64_t ApproxByteSize(const HouseholdLine& line) {
+  return 24 + static_cast<int64_t>(line.consumption.size()) * 8;
+}
+
+}  // namespace internal
+
+namespace {
+
+using cluster::InputSplit;
+using cluster::dataflow::Context;
+using cluster::dataflow::Partitioned;
+using internal::HourRecord;
+using internal::HouseholdLine;
+
+using RowPair = std::pair<int64_t, HourRecord>;
+using SeriesPair = std::pair<int64_t, std::vector<double>>;
+
+Status ParseRowLine(std::string_view line, std::vector<RowPair>* out) {
+  SM_ASSIGN_OR_RETURN(storage::ReadingRow row,
+                      storage::ParseReadingRow(line));
+  out->emplace_back(row.household_id,
+                    HourRecord{row.hour, row.consumption, row.temperature});
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<double> SparkEngine::Attach(const DataSource& source) {
+  if (source.files.empty()) {
+    return Status::InvalidArgument("spark: no input files");
+  }
+  if (source.layout == DataSource::Layout::kPartitionedDir) {
+    return Status::NotSupported(
+        "spark engine expects cluster data formats (1, 2 or 3)");
+  }
+  if (source.layout == DataSource::Layout::kWholeFileDir &&
+      static_cast<int>(source.files.size()) >=
+          options_.cluster.cost.spark_max_open_files) {
+    // The paper hit this wall at ~100,000 input files (Section 5.4.2).
+    return Status::IOError(
+        "spark executor: too many open files (raise ulimit or use fewer, "
+        "larger input files)");
+  }
+  source_ = source;
+  hdfs_ = std::make_unique<cluster::BlockStore>(options_.cluster.num_nodes,
+                                                options_.block_bytes);
+  SM_RETURN_IF_ERROR(hdfs_->AddFiles(source.files));
+  return 0.0;
+}
+
+void SparkEngine::SetClusterConfig(const cluster::ClusterConfig& config) {
+  options_.cluster = config;
+  if (hdfs_ != nullptr) {
+    auto store = std::make_unique<cluster::BlockStore>(config.num_nodes,
+                                                       options_.block_bytes);
+    (void)store->AddFiles(source_.files);
+    hdfs_ = std::move(store);
+  }
+}
+
+Result<TaskRunMetrics> SparkEngine::RunTask(const TaskRequest& request,
+                                            TaskOutputs* outputs) {
+  if (hdfs_ == nullptr) {
+    return Status::InvalidArgument("spark: no data attached");
+  }
+  TaskOutputs local;
+  if (outputs == nullptr) outputs = &local;
+
+  const cluster::CostModel& cost = options_.cluster.cost;
+  if (source_.layout == DataSource::Layout::kWholeFileDir &&
+      static_cast<int>(source_.files.size()) >= cost.spark_max_open_files) {
+    return Status::IOError(
+        "spark executor: too many open files (raise ulimit or use fewer, "
+        "larger input files)");
+  }
+
+  Context ctx(options_.cluster);
+  ctx.ChargeJobOverhead();
+
+  const bool whole_files =
+      source_.layout == DataSource::Layout::kWholeFileDir;
+  const std::vector<InputSplit> splits =
+      whole_files ? hdfs_->WholeFileSplits() : hdfs_->SplittableSplits();
+  // Serial driver-side scheduling work per partition.
+  ctx.ChargeSeconds(static_cast<double>(splits.size()) *
+                    cost.spark_per_partition_driver_seconds);
+  if (whole_files) {
+    // wholeTextFiles lists and stats every input file at the driver
+    // before any task launches -- the serial cost that makes thousands
+    // of small files painful for Spark (Figure 18).
+    ctx.ChargeSeconds(static_cast<double>(source_.files.size()) *
+                      cost.file_open_seconds);
+  }
+
+  std::mutex out_mu;
+  auto append_outputs = [&out_mu, outputs](TaskOutputs&& chunk) {
+    std::lock_guard<std::mutex> lock(out_mu);
+    for (auto& r : chunk.histograms)
+      outputs->histograms.push_back(std::move(r));
+    for (auto& r : chunk.three_lines)
+      outputs->three_lines.push_back(std::move(r));
+    for (auto& r : chunk.profiles) outputs->profiles.push_back(std::move(r));
+    for (auto& r : chunk.similarities)
+      outputs->similarities.push_back(std::move(r));
+  };
+
+  // ---- Assemble per-household series as (id, consumption, temperature).
+  // The three per-household tasks and similarity all start from series.
+  std::vector<SeriesPair> collected_series;  // Similarity path only.
+  std::shared_ptr<const std::vector<double>> broadcast_temp;
+
+  if (source_.layout == DataSource::Layout::kHouseholdLines) {
+    SM_ASSIGN_OR_RETURN(std::vector<double> sidecar,
+                        internal::ReadTemperatureSidecar(
+                            source_.files.front() + ".temperature"));
+    broadcast_temp = ctx.Broadcast(std::move(sidecar));
+    SM_ASSIGN_OR_RETURN(
+        Partitioned<HouseholdLine> lines,
+        ctx.ReadText<HouseholdLine>(
+            splits,
+            [](std::string_view line,
+               std::vector<HouseholdLine>* out) -> Status {
+              SM_ASSIGN_OR_RETURN(HouseholdLine parsed,
+                                  internal::ParseHouseholdLine(line));
+              out->push_back(std::move(parsed));
+              return Status::OK();
+            }));
+    if (request.task == core::TaskType::kSimilarity) {
+      SM_ASSIGN_OR_RETURN(
+          Partitioned<SeriesPair> series,
+          (ctx.MapPartitions<HouseholdLine, SeriesPair>(
+              lines,
+              [](const std::vector<HouseholdLine>& in,
+                 std::vector<SeriesPair>* out) -> Status {
+                for (const HouseholdLine& l : in) {
+                  out->emplace_back(l.household_id, l.consumption);
+                }
+                return Status::OK();
+              })));
+      collected_series = ctx.Collect(std::move(series));
+    } else {
+      const std::vector<double>& temp = *broadcast_temp;
+      SM_ASSIGN_OR_RETURN(
+          Partitioned<int> done,
+          (ctx.MapPartitions<HouseholdLine, int>(
+              lines,
+              [&request, &temp, &append_outputs](
+                  const std::vector<HouseholdLine>& in,
+                  std::vector<int>* out) -> Status {
+                TaskOutputs chunk;
+                for (const HouseholdLine& l : in) {
+                  SM_RETURN_IF_ERROR(internal::ComputeHouseholdTask(
+                      request, l.household_id, l.consumption, temp,
+                      &chunk));
+                  out->push_back(0);
+                }
+                append_outputs(std::move(chunk));
+                return Status::OK();
+              })));
+      (void)done;
+    }
+  } else {
+    // Row formats (1 and 3): parse reading rows. Whole-file ingestion
+    // pays the wholeTextFiles materialization penalty.
+    const double read_penalty =
+        whole_files ? cost.spark_wholefile_read_seconds_per_mb : 0.0;
+    SM_ASSIGN_OR_RETURN(
+        Partitioned<RowPair> rows,
+        ctx.ReadText<RowPair>(splits, ParseRowLine, read_penalty));
+
+    if (whole_files) {
+      // Households are whole within a partition: group in place, no
+      // shuffle -- the map-only advantage of format 3.
+      if (request.task == core::TaskType::kSimilarity) {
+        return Status::NotSupported(
+            "spark: similarity not run for format 3 (matches the paper)");
+      }
+      SM_ASSIGN_OR_RETURN(
+          Partitioned<int> done,
+          (ctx.MapPartitions<RowPair, int>(
+              rows,
+              [&request, &append_outputs](const std::vector<RowPair>& in,
+                                          std::vector<int>* out) -> Status {
+                std::map<int64_t, std::vector<HourRecord>> groups;
+                for (const RowPair& r : in) {
+                  groups[r.first].push_back(r.second);
+                }
+                TaskOutputs chunk;
+                for (auto& [id, records] : groups) {
+                  std::vector<double> consumption, temperature;
+                  internal::AssembleSeries(&records, &consumption,
+                                           &temperature);
+                  SM_RETURN_IF_ERROR(internal::ComputeHouseholdTask(
+                      request, id, consumption, temperature, &chunk));
+                  out->push_back(0);
+                }
+                append_outputs(std::move(chunk));
+                return Status::OK();
+              })));
+      (void)done;
+    } else {
+      // Format 1: a shuffle groups readings by household.
+      SM_ASSIGN_OR_RETURN(
+          auto grouped,
+          (ctx.GroupBy<RowPair, int64_t, HourRecord>(
+              rows,
+              [](const RowPair& r) {
+                return std::make_pair(r.first, r.second);
+              })));
+      using Grouped = std::pair<int64_t, std::vector<HourRecord>>;
+      if (request.task == core::TaskType::kSimilarity) {
+        SM_ASSIGN_OR_RETURN(
+            Partitioned<SeriesPair> series,
+            (ctx.MapPartitions<Grouped, SeriesPair>(
+                grouped,
+                [](const std::vector<Grouped>& in,
+                   std::vector<SeriesPair>* out) -> Status {
+                  for (const Grouped& g : in) {
+                    std::vector<HourRecord> records = g.second;
+                    std::vector<double> consumption, temperature;
+                    internal::AssembleSeries(&records, &consumption,
+                                             &temperature);
+                    out->emplace_back(g.first, std::move(consumption));
+                  }
+                  return Status::OK();
+                })));
+        collected_series = ctx.Collect(std::move(series));
+      } else {
+        SM_ASSIGN_OR_RETURN(
+            Partitioned<int> done,
+            (ctx.MapPartitions<Grouped, int>(
+                grouped,
+                [&request, &append_outputs](
+                    const std::vector<Grouped>& in,
+                    std::vector<int>* out) -> Status {
+                  TaskOutputs chunk;
+                  for (const Grouped& g : in) {
+                    std::vector<HourRecord> records = g.second;
+                    std::vector<double> consumption, temperature;
+                    internal::AssembleSeries(&records, &consumption,
+                                             &temperature);
+                    SM_RETURN_IF_ERROR(internal::ComputeHouseholdTask(
+                        request, g.first, consumption, temperature,
+                        &chunk));
+                    out->push_back(0);
+                  }
+                  append_outputs(std::move(chunk));
+                  return Status::OK();
+                })));
+        (void)done;
+      }
+    }
+  }
+
+  // ---- Similarity: broadcast the series table, map-side join ------------
+  if (request.task == core::TaskType::kSimilarity) {
+    std::sort(collected_series.begin(), collected_series.end(),
+              [](const SeriesPair& a, const SeriesPair& b) {
+                return a.first < b.first;
+              });
+    if (request.similarity_households > 0 &&
+        collected_series.size() >
+            static_cast<size_t>(request.similarity_households)) {
+      collected_series.resize(
+          static_cast<size_t>(request.similarity_households));
+    }
+    auto table = ctx.Broadcast(std::move(collected_series));
+    std::vector<double> norms;
+    {
+      std::vector<core::SeriesView> views;
+      views.reserve(table->size());
+      for (const SeriesPair& s : *table) {
+        views.push_back({s.first, s.second});
+      }
+      norms = core::ComputeNorms(views);
+    }
+    auto norms_bc = ctx.Broadcast(std::move(norms));
+
+    std::vector<int64_t> query_indices(table->size());
+    for (size_t i = 0; i < table->size(); ++i) {
+      query_indices[i] = static_cast<int64_t>(i);
+    }
+    Partitioned<int64_t> queries = ctx.Parallelize(
+        std::move(query_indices), options_.cluster.total_slots());
+    SM_ASSIGN_OR_RETURN(
+        Partitioned<int> done,
+        (ctx.MapPartitions<int64_t, int>(
+            queries,
+            [&request, table, norms_bc, &append_outputs](
+                const std::vector<int64_t>& in,
+                std::vector<int>* out) -> Status {
+              std::vector<core::SeriesView> views;
+              views.reserve(table->size());
+              for (const SeriesPair& s : *table) {
+                views.push_back({s.first, s.second});
+              }
+              TaskOutputs chunk;
+              for (int64_t q : in) {
+                SM_ASSIGN_OR_RETURN(
+                    std::vector<core::SimilarityResult> one,
+                    core::ComputeSimilarityTopKRange(
+                        views, *norms_bc, static_cast<size_t>(q),
+                        static_cast<size_t>(q) + 1, request.similarity));
+                chunk.similarities.push_back(std::move(one.front()));
+                out->push_back(0);
+              }
+              append_outputs(std::move(chunk));
+              return Status::OK();
+            })));
+    (void)done;
+  }
+
+  internal::SortOutputsByHousehold(outputs);
+  TaskRunMetrics metrics;
+  metrics.seconds = ctx.simulated_seconds();
+  metrics.simulated = true;
+  // Per-node memory: the node's share of the resident RDDs plus the
+  // executor's per-slot task buffers (input block + shuffle buffer).
+  metrics.modeled_memory_bytes =
+      ctx.modeled_cached_bytes() / std::max(1, options_.cluster.num_nodes) +
+      static_cast<int64_t>(options_.cluster.slots_per_node) * 3 *
+          options_.block_bytes;
+  return metrics;
+}
+
+}  // namespace smartmeter::engines

@@ -1,0 +1,78 @@
+#include "engines/systemc_engine.h"
+
+#include <filesystem>
+
+#include "common/stopwatch.h"
+#include "engines/engine_util.h"
+#include "storage/csv.h"
+
+namespace smartmeter::engines {
+
+SystemCEngine::SystemCEngine(std::string spool_dir)
+    : spool_dir_(std::move(spool_dir)) {}
+
+Result<double> SystemCEngine::Attach(const DataSource& source) {
+  if (source.files.empty()) {
+    return Status::InvalidArgument("system-c: no input files");
+  }
+  if (source.layout == DataSource::Layout::kHouseholdLines ||
+      source.layout == DataSource::Layout::kWholeFileDir) {
+    return Status::NotSupported(
+        "system-c engine loads single-csv or partitioned-dir layouts");
+  }
+  Stopwatch clock;
+  prefaulted_ = false;
+  // Ingest: parse the CSVs once, write the binary columnar image, then
+  // memory-map it. The one-time conversion is the whole load cost; the
+  // map itself is near-free, which is System C's Figure 4 advantage.
+  MeterDataset staged;
+  if (source.layout == DataSource::Layout::kSingleCsv) {
+    SM_ASSIGN_OR_RETURN(staged,
+                        storage::ReadReadingsCsv(source.files.front()));
+  } else {
+    std::error_code ec;
+    std::filesystem::path dir =
+        std::filesystem::path(source.files.front()).parent_path();
+    SM_ASSIGN_OR_RETURN(staged, storage::ReadPartitionedCsv(dir.string()));
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(spool_dir_, ec);
+  if (ec) return Status::IOError("cannot create spool dir " + spool_dir_);
+  const std::string image = spool_dir_ + "/table.smcol";
+  SM_RETURN_IF_ERROR(storage::ColumnStore::WriteFile(staged, image));
+  SM_RETURN_IF_ERROR(store_.OpenMapped(image));
+  return clock.ElapsedSeconds();
+}
+
+Result<double> SystemCEngine::WarmUp() {
+  if (!store_.is_open()) {
+    return Status::InvalidArgument("system-c: no data attached");
+  }
+  Stopwatch clock;
+  // Touch every page of the mapping so a warm run never faults.
+  double sink = 0.0;
+  for (double v : store_.consumption_column()) sink += v;
+  for (double v : store_.temperature()) sink += v;
+  // Defeat dead-code elimination of the touch loop.
+  asm volatile("" : : "g"(sink) : "memory");
+  prefaulted_ = true;
+  return clock.ElapsedSeconds();
+}
+
+void SystemCEngine::DropWarmData() { prefaulted_ = false; }
+
+Result<TaskRunMetrics> SystemCEngine::RunTask(const TaskRequest& request,
+                                              TaskOutputs* outputs) {
+  if (!store_.is_open()) {
+    return Status::InvalidArgument("system-c: no data attached");
+  }
+  SeriesAccess access;
+  access.count = store_.num_households();
+  const storage::ColumnStore& store = store_;
+  access.household_id = [&store](size_t i) { return store.household_id(i); };
+  access.consumption = [&store](size_t i) { return store.consumption(i); };
+  access.temperature = store.temperature();
+  return RunTaskOverSeries(access, request, threads_, outputs);
+}
+
+}  // namespace smartmeter::engines

@@ -1,0 +1,42 @@
+#ifndef SMARTMETER_ENGINES_SYSTEMC_ENGINE_H_
+#define SMARTMETER_ENGINES_SYSTEMC_ENGINE_H_
+
+#include <string>
+
+#include "engines/engine.h"
+#include "storage/column_store.h"
+
+namespace smartmeter::engines {
+
+/// Models "System C", the commercial main-memory column store of Section
+/// 5.1: at load time the data is converted once into a binary columnar
+/// file that is memory-mapped, so subsequent access is pointer arithmetic
+/// over contiguous doubles; all statistical operators are the library's
+/// own hand-written kernels (System C ships none). Parallelism is a
+/// native configuration parameter.
+class SystemCEngine : public AnalyticsEngine {
+ public:
+  /// `spool_dir` is where the engine materializes its columnar file.
+  explicit SystemCEngine(std::string spool_dir);
+
+  std::string_view name() const override { return "system-c"; }
+  Result<double> Attach(const DataSource& source) override;
+  Result<double> WarmUp() override;
+  void DropWarmData() override;
+  Result<TaskRunMetrics> RunTask(const TaskRequest& request,
+                                 TaskOutputs* outputs) override;
+  void SetThreads(int num_threads) override { threads_ = num_threads; }
+  int threads() const override { return threads_; }
+
+  const storage::ColumnStore& store() const { return store_; }
+
+ private:
+  std::string spool_dir_;
+  storage::ColumnStore store_;
+  int threads_ = 1;
+  bool prefaulted_ = false;
+};
+
+}  // namespace smartmeter::engines
+
+#endif  // SMARTMETER_ENGINES_SYSTEMC_ENGINE_H_

@@ -1,0 +1,113 @@
+#include "stats/descriptive.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace smartmeter::stats {
+
+double Sum(std::span<const double> values) {
+  // Kahan summation: the benchmark sums up to millions of readings and the
+  // engines must agree bit-for-bit closely enough for cross-checks.
+  double sum = 0.0;
+  double compensation = 0.0;
+  for (double v : values) {
+    const double y = v - compensation;
+    const double t = sum + y;
+    compensation = (t - sum) - y;
+    sum = t;
+  }
+  return sum;
+}
+
+double Mean(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  return Sum(values) / static_cast<double>(values.size());
+}
+
+double PopulationVariance(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  const double mean = Mean(values);
+  double acc = 0.0;
+  for (double v : values) {
+    const double d = v - mean;
+    acc += d * d;
+  }
+  return acc / static_cast<double>(values.size());
+}
+
+double SampleVariance(std::span<const double> values) {
+  if (values.size() < 2) return 0.0;
+  const double mean = Mean(values);
+  double acc = 0.0;
+  for (double v : values) {
+    const double d = v - mean;
+    acc += d * d;
+  }
+  return acc / static_cast<double>(values.size() - 1);
+}
+
+double SampleStddev(std::span<const double> values) {
+  return std::sqrt(SampleVariance(values));
+}
+
+double Min(std::span<const double> values) {
+  if (values.empty()) return std::numeric_limits<double>::quiet_NaN();
+  return *std::min_element(values.begin(), values.end());
+}
+
+double Max(std::span<const double> values) {
+  if (values.empty()) return std::numeric_limits<double>::quiet_NaN();
+  return *std::max_element(values.begin(), values.end());
+}
+
+double SampleCovariance(std::span<const double> x,
+                        std::span<const double> y) {
+  const size_t n = std::min(x.size(), y.size());
+  if (n < 2) return 0.0;
+  const double mx = Mean(x.subspan(0, n));
+  const double my = Mean(y.subspan(0, n));
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    acc += (x[i] - mx) * (y[i] - my);
+  }
+  return acc / static_cast<double>(n - 1);
+}
+
+double PearsonCorrelation(std::span<const double> x,
+                          std::span<const double> y) {
+  const size_t n = std::min(x.size(), y.size());
+  if (n < 2) return 0.0;
+  const double sx = SampleStddev(x.subspan(0, n));
+  const double sy = SampleStddev(y.subspan(0, n));
+  if (sx == 0.0 || sy == 0.0) return 0.0;
+  return SampleCovariance(x, y) / (sx * sy);
+}
+
+void RunningMoments::Add(double value) {
+  ++count_;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+}
+
+void RunningMoments::Merge(const RunningMoments& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const double total = static_cast<double>(count_ + other.count_);
+  m2_ += other.m2_ + delta * delta * static_cast<double>(count_) *
+                         static_cast<double>(other.count_) / total;
+  mean_ += delta * static_cast<double>(other.count_) / total;
+  count_ += other.count_;
+}
+
+double RunningMoments::sample_variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+}  // namespace smartmeter::stats

@@ -1,0 +1,55 @@
+#ifndef SMARTMETER_STATS_DESCRIPTIVE_H_
+#define SMARTMETER_STATS_DESCRIPTIVE_H_
+
+#include <cstddef>
+#include <span>
+
+namespace smartmeter::stats {
+
+/// Sum of `values`; 0 for an empty span.
+double Sum(std::span<const double> values);
+
+/// Arithmetic mean; 0 for an empty span.
+double Mean(std::span<const double> values);
+
+/// Population variance (divides by n); 0 for fewer than 1 value.
+double PopulationVariance(std::span<const double> values);
+
+/// Sample variance (divides by n-1); 0 for fewer than 2 values.
+double SampleVariance(std::span<const double> values);
+
+/// sqrt(SampleVariance).
+double SampleStddev(std::span<const double> values);
+
+double Min(std::span<const double> values);
+double Max(std::span<const double> values);
+
+/// Sample covariance of two equal-length spans (divides by n-1).
+double SampleCovariance(std::span<const double> x, std::span<const double> y);
+
+/// Pearson correlation coefficient; 0 when either side has zero variance.
+double PearsonCorrelation(std::span<const double> x,
+                          std::span<const double> y);
+
+/// Accumulates count/mean/M2 online (Welford). Mergeable, so the cluster
+/// engines can combine per-partition moments without a second pass.
+class RunningMoments {
+ public:
+  void Add(double value);
+  void Merge(const RunningMoments& other);
+
+  size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  /// Sample variance (n-1); 0 for fewer than 2 values.
+  double sample_variance() const;
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace smartmeter::stats
+
+#endif  // SMARTMETER_STATS_DESCRIPTIVE_H_

@@ -1,0 +1,50 @@
+#include "stats/distance.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace smartmeter::stats {
+
+double Dot(std::span<const double> x, std::span<const double> y) {
+  SM_CHECK(x.size() == y.size()) << "Dot: size mismatch";
+  // Four accumulators let the compiler vectorize without changing the
+  // rounding behaviour much; this is the hot loop of similarity search.
+  double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+  size_t i = 0;
+  const size_t n4 = x.size() & ~size_t{3};
+  for (; i < n4; i += 4) {
+    a0 += x[i] * y[i];
+    a1 += x[i + 1] * y[i + 1];
+    a2 += x[i + 2] * y[i + 2];
+    a3 += x[i + 3] * y[i + 3];
+  }
+  for (; i < x.size(); ++i) a0 += x[i] * y[i];
+  return (a0 + a1) + (a2 + a3);
+}
+
+double Norm(std::span<const double> x) { return std::sqrt(Dot(x, x)); }
+
+double CosineSimilarity(std::span<const double> x,
+                        std::span<const double> y) {
+  return CosineSimilarityPrenormed(x, Norm(x), y, Norm(y));
+}
+
+double CosineSimilarityPrenormed(std::span<const double> x, double norm_x,
+                                 std::span<const double> y, double norm_y) {
+  if (norm_x == 0.0 || norm_y == 0.0) return 0.0;
+  return Dot(x, y) / (norm_x * norm_y);
+}
+
+double SquaredEuclidean(std::span<const double> x,
+                        std::span<const double> y) {
+  SM_CHECK(x.size() == y.size()) << "SquaredEuclidean: size mismatch";
+  double acc = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    const double d = x[i] - y[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+}  // namespace smartmeter::stats

@@ -1,0 +1,100 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+#include "stats/quantile.h"
+
+namespace smartmeter::stats {
+
+int64_t EquiWidthHistogram::TotalCount() const {
+  int64_t total = 0;
+  for (int64_t c : counts) total += c;
+  return total;
+}
+
+std::string EquiWidthHistogram::ToString() const {
+  std::string out = StringPrintf("hist[%.3f,%.3f]{", min, max);
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (i > 0) out += ",";
+    out += StringPrintf("%lld", static_cast<long long>(counts[i]));
+  }
+  out += "}";
+  return out;
+}
+
+Result<EquiWidthHistogram> BuildEquiWidthHistogram(
+    std::span<const double> values, int num_buckets) {
+  if (values.empty()) {
+    return Status::InvalidArgument("histogram of empty data");
+  }
+  const auto [min_it, max_it] =
+      std::minmax_element(values.begin(), values.end());
+  return BuildFixedRangeHistogram(values, num_buckets, *min_it, *max_it);
+}
+
+Result<EquiWidthHistogram> BuildFixedRangeHistogram(
+    std::span<const double> values, int num_buckets, double min, double max) {
+  if (values.empty()) {
+    return Status::InvalidArgument("histogram of empty data");
+  }
+  if (num_buckets < 1) {
+    return Status::InvalidArgument("histogram needs at least one bucket");
+  }
+  if (!(min <= max) || std::isnan(min) || std::isnan(max)) {
+    return Status::InvalidArgument("histogram range must satisfy min <= max");
+  }
+  EquiWidthHistogram hist;
+  hist.min = min;
+  hist.max = max;
+  hist.counts.assign(static_cast<size_t>(num_buckets), 0);
+  const double width = (max - min) / static_cast<double>(num_buckets);
+  for (double v : values) {
+    size_t bucket = 0;
+    if (width > 0.0) {
+      const double offset = (v - min) / width;
+      if (offset <= 0.0) {
+        bucket = 0;
+      } else if (offset >= static_cast<double>(num_buckets)) {
+        bucket = static_cast<size_t>(num_buckets - 1);
+      } else {
+        bucket = static_cast<size_t>(offset);
+        // Guard against the max value rounding into a one-past bucket.
+        bucket = std::min(bucket, static_cast<size_t>(num_buckets - 1));
+      }
+    }
+    ++hist.counts[bucket];
+  }
+  return hist;
+}
+
+Result<EquiDepthHistogram> BuildEquiDepthHistogram(
+    std::span<const double> values, int num_buckets) {
+  if (values.empty()) {
+    return Status::InvalidArgument("histogram of empty data");
+  }
+  if (num_buckets < 1) {
+    return Status::InvalidArgument("histogram needs at least one bucket");
+  }
+  std::vector<double> probs;
+  probs.reserve(static_cast<size_t>(num_buckets) + 1);
+  for (int i = 0; i <= num_buckets; ++i) {
+    probs.push_back(static_cast<double>(i) / num_buckets);
+  }
+  SM_ASSIGN_OR_RETURN(std::vector<double> edges, Quantiles(values, probs));
+  EquiDepthHistogram hist;
+  hist.edges = std::move(edges);
+  hist.counts.assign(static_cast<size_t>(num_buckets), 0);
+  for (double v : values) {
+    // Upper-bound search over edges; last bucket is closed on the right.
+    auto it = std::upper_bound(hist.edges.begin() + 1, hist.edges.end() - 1,
+                               v);
+    const size_t bucket =
+        static_cast<size_t>(it - (hist.edges.begin() + 1));
+    ++hist.counts[std::min(bucket, hist.counts.size() - 1)];
+  }
+  return hist;
+}
+
+}  // namespace smartmeter::stats

@@ -1,0 +1,60 @@
+#ifndef SMARTMETER_STATS_HISTOGRAM_H_
+#define SMARTMETER_STATS_HISTOGRAM_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace smartmeter::stats {
+
+/// An equi-width histogram over [min, max] with a fixed bucket count.
+/// This is the exact shape the benchmark's first task requires (Section
+/// 3.1: ten equi-width buckets over each consumer's hourly consumption).
+struct EquiWidthHistogram {
+  double min = 0.0;
+  double max = 0.0;
+  std::vector<int64_t> counts;
+
+  double BucketWidth() const {
+    return counts.empty()
+               ? 0.0
+               : (max - min) / static_cast<double>(counts.size());
+  }
+  /// Inclusive lower edge of bucket b.
+  double BucketLow(size_t b) const {
+    return min + BucketWidth() * static_cast<double>(b);
+  }
+  int64_t TotalCount() const;
+  std::string ToString() const;
+};
+
+/// Builds an equi-width histogram with `num_buckets` buckets spanning
+/// [min(values), max(values)]. The maximum value lands in the last bucket.
+/// A constant series yields all mass in bucket 0. Fails on empty input or
+/// num_buckets < 1.
+Result<EquiWidthHistogram> BuildEquiWidthHistogram(
+    std::span<const double> values, int num_buckets);
+
+/// Builds an equi-width histogram over a caller-fixed range; values outside
+/// [min, max] are clamped into the edge buckets. Used by the cluster
+/// engines, which must fix bucket edges before the data is partitioned.
+Result<EquiWidthHistogram> BuildFixedRangeHistogram(
+    std::span<const double> values, int num_buckets, double min, double max);
+
+/// An equi-depth (equal-frequency) histogram: bucket edges are quantiles.
+/// Not used by the benchmark tasks (the paper specifies equi-width) but
+/// provided for the generator's diagnostics.
+struct EquiDepthHistogram {
+  std::vector<double> edges;  // num_buckets + 1 edges.
+  std::vector<int64_t> counts;
+};
+
+Result<EquiDepthHistogram> BuildEquiDepthHistogram(
+    std::span<const double> values, int num_buckets);
+
+}  // namespace smartmeter::stats
+
+#endif  // SMARTMETER_STATS_HISTOGRAM_H_

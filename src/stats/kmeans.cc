@@ -1,0 +1,130 @@
+#include "stats/kmeans.h"
+
+#include <cmath>
+#include <limits>
+
+#include "stats/distance.h"
+
+namespace smartmeter::stats {
+
+namespace {
+
+// k-means++ seeding: first centroid uniform, then proportional to squared
+// distance from the nearest chosen centroid.
+std::vector<std::vector<double>> SeedPlusPlus(
+    const std::vector<std::vector<double>>& points, int k, Rng* rng) {
+  const size_t n = points.size();
+  std::vector<std::vector<double>> centroids;
+  centroids.reserve(static_cast<size_t>(k));
+  centroids.push_back(points[rng->UniformInt(n)]);
+
+  std::vector<double> d2(n, std::numeric_limits<double>::infinity());
+  while (centroids.size() < static_cast<size_t>(k)) {
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      const double d = SquaredEuclidean(points[i], centroids.back());
+      if (d < d2[i]) d2[i] = d;
+      total += d2[i];
+    }
+    if (total <= 0.0) {
+      // All remaining points coincide with chosen centroids; duplicate one.
+      centroids.push_back(points[rng->UniformInt(n)]);
+      continue;
+    }
+    double target = rng->NextDouble() * total;
+    size_t chosen = n - 1;
+    for (size_t i = 0; i < n; ++i) {
+      target -= d2[i];
+      if (target <= 0.0) {
+        chosen = i;
+        break;
+      }
+    }
+    centroids.push_back(points[chosen]);
+  }
+  return centroids;
+}
+
+}  // namespace
+
+Result<KMeansResult> KMeans(const std::vector<std::vector<double>>& points,
+                            int k, const KMeansOptions& options) {
+  if (points.empty()) {
+    return Status::InvalidArgument("KMeans: no points");
+  }
+  if (k < 1) {
+    return Status::InvalidArgument("KMeans: k must be >= 1");
+  }
+  const size_t dim = points[0].size();
+  for (const auto& p : points) {
+    if (p.size() != dim) {
+      return Status::InvalidArgument("KMeans: inconsistent dimensions");
+    }
+  }
+  const size_t n = points.size();
+  const int effective_k = static_cast<int>(
+      std::min<size_t>(static_cast<size_t>(k), n));
+
+  Rng rng(options.seed);
+  KMeansResult result;
+  result.centroids = SeedPlusPlus(points, effective_k, &rng);
+  result.assignment.assign(n, 0);
+
+  double prev_inertia = std::numeric_limits<double>::infinity();
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    // Assignment step.
+    bool changed = false;
+    double inertia = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      int best_c = 0;
+      for (int c = 0; c < effective_k; ++c) {
+        const double d = SquaredEuclidean(points[i], result.centroids[c]);
+        if (d < best) {
+          best = d;
+          best_c = c;
+        }
+      }
+      if (result.assignment[i] != best_c) {
+        result.assignment[i] = best_c;
+        changed = true;
+      }
+      inertia += best;
+    }
+    result.inertia = inertia;
+
+    // Update step.
+    std::vector<std::vector<double>> sums(
+        static_cast<size_t>(effective_k), std::vector<double>(dim, 0.0));
+    std::vector<int> counts(static_cast<size_t>(effective_k), 0);
+    for (size_t i = 0; i < n; ++i) {
+      const int c = result.assignment[i];
+      ++counts[c];
+      for (size_t d = 0; d < dim; ++d) sums[c][d] += points[i][d];
+    }
+    for (int c = 0; c < effective_k; ++c) {
+      if (counts[c] == 0) {
+        // Re-seed an empty cluster at a random point to keep k clusters.
+        result.centroids[c] = points[rng.UniformInt(n)];
+        continue;
+      }
+      for (size_t d = 0; d < dim; ++d) {
+        result.centroids[c][d] = sums[c][d] / counts[c];
+      }
+    }
+
+    const bool inertia_stable =
+        prev_inertia < std::numeric_limits<double>::infinity() &&
+        std::abs(prev_inertia - inertia) <=
+            options.tolerance * std::max(prev_inertia, 1e-12);
+    if (!changed || inertia_stable) {
+      result.converged = true;
+      break;
+    }
+    prev_inertia = inertia;
+  }
+  return result;
+}
+
+}  // namespace smartmeter::stats

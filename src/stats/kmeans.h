@@ -1,0 +1,42 @@
+#ifndef SMARTMETER_STATS_KMEANS_H_
+#define SMARTMETER_STATS_KMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+
+namespace smartmeter::stats {
+
+/// Result of Lloyd's algorithm on a set of equal-length vectors.
+struct KMeansResult {
+  /// k centroids, each with the input dimensionality.
+  std::vector<std::vector<double>> centroids;
+  /// assignment[i] = centroid index of point i.
+  std::vector<int> assignment;
+  /// Sum of squared distances of points to their centroids.
+  double inertia = 0.0;
+  int iterations = 0;
+  bool converged = false;
+};
+
+struct KMeansOptions {
+  int max_iterations = 100;
+  /// Stop when no assignment changes or inertia improves by less than this
+  /// relative amount.
+  double tolerance = 1e-6;
+  uint64_t seed = 42;
+};
+
+/// k-means with k-means++ seeding, used by the data generator to cluster
+/// daily activity profiles (Section 4 / Figure 3 of the paper). Fails when
+/// points is empty, dimensions are inconsistent, or k < 1. If k exceeds the
+/// number of distinct points, the surplus clusters come back empty-safe
+/// (centroids duplicate existing points).
+Result<KMeansResult> KMeans(const std::vector<std::vector<double>>& points,
+                            int k, const KMeansOptions& options = {});
+
+}  // namespace smartmeter::stats
+
+#endif  // SMARTMETER_STATS_KMEANS_H_

@@ -1,0 +1,69 @@
+#include "stats/quantile.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace smartmeter::stats {
+
+namespace {
+
+// Quantile of an already-sorted vector, type-7 interpolation.
+double SortedQuantile(const std::vector<double>& sorted, double p) {
+  const size_t n = sorted.size();
+  if (n == 1) return sorted[0];
+  const double pos = p * static_cast<double>(n - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, n - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+}  // namespace
+
+Result<double> Quantile(std::span<const double> values, double p) {
+  std::vector<double> copy(values.begin(), values.end());
+  return QuantileInPlace(&copy, p);
+}
+
+Result<double> QuantileInPlace(std::vector<double>* values, double p) {
+  if (values->empty()) {
+    return Status::InvalidArgument("quantile of empty data");
+  }
+  if (p < 0.0 || p > 1.0 || std::isnan(p)) {
+    return Status::InvalidArgument("quantile probability must be in [0,1]");
+  }
+  std::vector<double>& v = *values;
+  const size_t n = v.size();
+  if (n == 1) return v[0];
+  const double pos = p * static_cast<double>(n - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  // Two nth_element selections instead of a full sort: O(n) expected.
+  std::nth_element(v.begin(), v.begin() + static_cast<ptrdiff_t>(lo), v.end());
+  const double lo_val = v[lo];
+  if (frac == 0.0 || lo + 1 >= n) return lo_val;
+  // The element after position lo is the minimum of the upper partition.
+  const double hi_val =
+      *std::min_element(v.begin() + static_cast<ptrdiff_t>(lo) + 1, v.end());
+  return lo_val + frac * (hi_val - lo_val);
+}
+
+Result<std::vector<double>> Quantiles(std::span<const double> values,
+                                      std::span<const double> probabilities) {
+  if (values.empty()) {
+    return Status::InvalidArgument("quantile of empty data");
+  }
+  for (double p : probabilities) {
+    if (p < 0.0 || p > 1.0 || std::isnan(p)) {
+      return Status::InvalidArgument("quantile probability must be in [0,1]");
+    }
+  }
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<double> out;
+  out.reserve(probabilities.size());
+  for (double p : probabilities) out.push_back(SortedQuantile(sorted, p));
+  return out;
+}
+
+}  // namespace smartmeter::stats

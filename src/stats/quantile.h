@@ -1,0 +1,28 @@
+#ifndef SMARTMETER_STATS_QUANTILE_H_
+#define SMARTMETER_STATS_QUANTILE_H_
+
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+
+namespace smartmeter::stats {
+
+/// Exact quantile of `values` at probability `p` in [0, 1], using the
+/// linear-interpolation definition (type 7, the R/NumPy default: position
+/// p * (n - 1) between order statistics). Copies and partially sorts the
+/// input. Fails on empty input or p outside [0, 1].
+Result<double> Quantile(std::span<const double> values, double p);
+
+/// Quantile over data the caller allows to be reordered (no copy).
+Result<double> QuantileInPlace(std::vector<double>* values, double p);
+
+/// Several quantiles in one sort: cheaper than repeated Quantile calls
+/// when more than ~2 probabilities are needed. Probabilities need not be
+/// ordered; results align with `probabilities`.
+Result<std::vector<double>> Quantiles(std::span<const double> values,
+                                      std::span<const double> probabilities);
+
+}  // namespace smartmeter::stats
+
+#endif  // SMARTMETER_STATS_QUANTILE_H_

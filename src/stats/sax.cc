@@ -1,0 +1,142 @@
+#include "stats/sax.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/descriptive.h"
+
+namespace smartmeter::stats {
+
+namespace {
+
+// Inverse standard-normal CDF (Acklam's rational approximation); ample
+// precision for breakpoint tables.
+double InverseNormalCdf(double p) {
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  const double plow = 0.02425;
+  if (p < plow) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+            c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p > 1.0 - plow) {
+    const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+             c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  const double q = p - 0.5;
+  const double r = q * q;
+  return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+          a[5]) *
+         q /
+         (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r +
+          1.0);
+}
+
+}  // namespace
+
+Result<std::vector<double>> SaxBreakpoints(int alphabet) {
+  if (alphabet < 2 || alphabet > 16) {
+    return Status::InvalidArgument("SAX alphabet must be in [2, 16]");
+  }
+  std::vector<double> breakpoints;
+  breakpoints.reserve(static_cast<size_t>(alphabet) - 1);
+  for (int i = 1; i < alphabet; ++i) {
+    breakpoints.push_back(
+        InverseNormalCdf(static_cast<double>(i) / alphabet));
+  }
+  return breakpoints;
+}
+
+Result<std::vector<double>> Paa(std::span<const double> series,
+                                int segments) {
+  if (series.empty()) {
+    return Status::InvalidArgument("PAA of empty series");
+  }
+  if (segments < 1 || static_cast<size_t>(segments) > series.size()) {
+    return Status::InvalidArgument("PAA segment count out of range");
+  }
+  std::vector<double> out;
+  out.reserve(static_cast<size_t>(segments));
+  const size_t n = series.size();
+  for (int s = 0; s < segments; ++s) {
+    const size_t begin = n * static_cast<size_t>(s) /
+                         static_cast<size_t>(segments);
+    const size_t end = n * (static_cast<size_t>(s) + 1) /
+                       static_cast<size_t>(segments);
+    double sum = 0.0;
+    for (size_t i = begin; i < end; ++i) sum += series[i];
+    out.push_back(sum / static_cast<double>(end - begin));
+  }
+  return out;
+}
+
+std::vector<double> ZNormalize(std::span<const double> series) {
+  std::vector<double> out(series.begin(), series.end());
+  const double mean = Mean(series);
+  const double stddev = std::sqrt(PopulationVariance(series));
+  if (stddev <= 1e-12) {
+    std::fill(out.begin(), out.end(), 0.0);
+    return out;
+  }
+  for (double& v : out) v = (v - mean) / stddev;
+  return out;
+}
+
+Result<SaxWord> ComputeSaxWord(std::span<const double> series, int segments,
+                               int alphabet) {
+  SM_ASSIGN_OR_RETURN(std::vector<double> breakpoints,
+                      SaxBreakpoints(alphabet));
+  const std::vector<double> normalized = ZNormalize(series);
+  SM_ASSIGN_OR_RETURN(std::vector<double> paa, Paa(normalized, segments));
+  SaxWord word;
+  word.alphabet = alphabet;
+  word.symbols.reserve(paa.size());
+  for (double v : paa) {
+    const auto it =
+        std::upper_bound(breakpoints.begin(), breakpoints.end(), v);
+    word.symbols.push_back(
+        static_cast<uint8_t>(it - breakpoints.begin()));
+  }
+  return word;
+}
+
+Result<double> SaxMinDist(const SaxWord& a, const SaxWord& b,
+                          size_t series_length) {
+  if (a.alphabet != b.alphabet || a.symbols.size() != b.symbols.size()) {
+    return Status::InvalidArgument("SAX words have different shapes");
+  }
+  if (a.symbols.empty() || series_length == 0) {
+    return Status::InvalidArgument("empty SAX word");
+  }
+  SM_ASSIGN_OR_RETURN(std::vector<double> breakpoints,
+                      SaxBreakpoints(a.alphabet));
+  double acc = 0.0;
+  for (size_t i = 0; i < a.symbols.size(); ++i) {
+    const int sa = a.symbols[i];
+    const int sb = b.symbols[i];
+    if (std::abs(sa - sb) <= 1) continue;  // Adjacent cells: distance 0.
+    const int hi = std::max(sa, sb);
+    const int lo = std::min(sa, sb);
+    const double cell = breakpoints[static_cast<size_t>(hi) - 1] -
+                        breakpoints[static_cast<size_t>(lo)];
+    acc += cell * cell;
+  }
+  const double w = static_cast<double>(a.symbols.size());
+  return std::sqrt(static_cast<double>(series_length) / w) *
+         std::sqrt(acc);
+}
+
+}  // namespace smartmeter::stats

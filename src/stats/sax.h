@@ -1,0 +1,46 @@
+#ifndef SMARTMETER_STATS_SAX_H_
+#define SMARTMETER_STATS_SAX_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+
+namespace smartmeter::stats {
+
+/// Piecewise Aggregate Approximation: mean of each of `segments` equal
+/// chunks of the series (trailing remainder folded into the last chunk).
+/// The standard dimensionality reduction under SAX.
+Result<std::vector<double>> Paa(std::span<const double> series,
+                                int segments);
+
+/// Z-normalizes a series to zero mean / unit variance. A constant series
+/// maps to all zeros.
+std::vector<double> ZNormalize(std::span<const double> series);
+
+/// Symbolic Aggregate approXimation of a time series (Lin et al.; the
+/// smart-meter application is the paper's reference [27]): z-normalize,
+/// PAA, then quantize each segment with N(0,1) breakpoints into an
+/// alphabet of `alphabet` symbols (2..16).
+struct SaxWord {
+  std::vector<uint8_t> symbols;
+  int alphabet = 0;
+};
+
+Result<SaxWord> ComputeSaxWord(std::span<const double> series, int segments,
+                               int alphabet);
+
+/// MINDIST between two SAX words of the same shape: a lower bound of the
+/// Euclidean distance between the two z-normalized series (Lin et al.
+/// 2003). `series_length` is the original series length n.
+Result<double> SaxMinDist(const SaxWord& a, const SaxWord& b,
+                          size_t series_length);
+
+/// N(0,1) breakpoints dividing the real line into `alphabet` equiprobable
+/// regions; size alphabet - 1, strictly increasing.
+Result<std::vector<double>> SaxBreakpoints(int alphabet);
+
+}  // namespace smartmeter::stats
+
+#endif  // SMARTMETER_STATS_SAX_H_

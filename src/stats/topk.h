@@ -1,0 +1,71 @@
+#ifndef SMARTMETER_STATS_TOPK_H_
+#define SMARTMETER_STATS_TOPK_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+namespace smartmeter::stats {
+
+/// Keeps the k items with the largest scores seen so far, with
+/// deterministic tie-breaking on the id (smaller id wins). Used by the
+/// similarity task to track each consumer's top-10 matches.
+template <typename Id>
+class TopK {
+ public:
+  struct Entry {
+    double score;
+    Id id;
+  };
+
+  explicit TopK(size_t k) : k_(k) {}
+
+  /// Offers a candidate. O(log k) amortized via a min-heap on score.
+  void Offer(double score, Id id) {
+    if (k_ == 0) return;
+    if (heap_.size() < k_) {
+      heap_.push_back({score, id});
+      std::push_heap(heap_.begin(), heap_.end(), MinHeapLess);
+      return;
+    }
+    const Entry& worst = heap_.front();
+    if (score > worst.score ||
+        (score == worst.score && id < worst.id)) {
+      std::pop_heap(heap_.begin(), heap_.end(), MinHeapLess);
+      heap_.back() = {score, id};
+      std::push_heap(heap_.begin(), heap_.end(), MinHeapLess);
+    }
+  }
+
+  /// Merges another tracker into this one (cluster reduce step).
+  void Merge(const TopK& other) {
+    for (const Entry& e : other.heap_) Offer(e.score, e.id);
+  }
+
+  /// Entries sorted best-first.
+  std::vector<Entry> Sorted() const {
+    std::vector<Entry> out = heap_;
+    std::sort(out.begin(), out.end(), [](const Entry& a, const Entry& b) {
+      if (a.score != b.score) return a.score > b.score;
+      return a.id < b.id;
+    });
+    return out;
+  }
+
+  size_t size() const { return heap_.size(); }
+  size_t capacity() const { return k_; }
+
+ private:
+  // Min-heap on (score, then reversed id) so front() is the entry to evict.
+  static bool MinHeapLess(const Entry& a, const Entry& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.id < b.id;
+  }
+
+  size_t k_;
+  std::vector<Entry> heap_;
+};
+
+}  // namespace smartmeter::stats
+
+#endif  // SMARTMETER_STATS_TOPK_H_

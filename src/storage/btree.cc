@@ -1,0 +1,225 @@
+#include "storage/btree.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace smartmeter::storage {
+
+struct BPlusTree::Node {
+  bool is_leaf = true;
+  std::vector<int64_t> keys;
+  // Internal nodes: children.size() == keys.size() + 1.
+  std::vector<std::unique_ptr<Node>> children;
+  // Leaves: values align with keys.
+  std::vector<uint64_t> values;
+  Node* next_leaf = nullptr;  // Leaf chain for range scans (not owned).
+};
+
+struct BPlusTree::SplitResult {
+  bool split = false;
+  int64_t separator = 0;
+  std::unique_ptr<Node> right;
+};
+
+BPlusTree::BPlusTree() : root_(std::make_unique<Node>()) {}
+BPlusTree::~BPlusTree() = default;
+BPlusTree::BPlusTree(BPlusTree&&) noexcept = default;
+BPlusTree& BPlusTree::operator=(BPlusTree&&) noexcept = default;
+
+Status BPlusTree::Insert(int64_t key, uint64_t value) {
+  Status status = Status::OK();
+  SplitResult split = InsertRecursive(root_.get(), key, value, &status);
+  if (!status.ok()) return status;
+  if (split.split) {
+    auto new_root = std::make_unique<Node>();
+    new_root->is_leaf = false;
+    new_root->keys.push_back(split.separator);
+    new_root->children.push_back(std::move(root_));
+    new_root->children.push_back(std::move(split.right));
+    root_ = std::move(new_root);
+    ++height_;
+  }
+  ++size_;
+  return Status::OK();
+}
+
+BPlusTree::SplitResult BPlusTree::InsertRecursive(Node* node, int64_t key,
+                                                  uint64_t value,
+                                                  Status* status) {
+  if (node->is_leaf) {
+    auto it = std::lower_bound(node->keys.begin(), node->keys.end(), key);
+    const size_t pos = static_cast<size_t>(it - node->keys.begin());
+    if (it != node->keys.end() && *it == key) {
+      *status = Status::AlreadyExists(
+          StringPrintf("key %lld already in index",
+                       static_cast<long long>(key)));
+      return {};
+    }
+    node->keys.insert(it, key);
+    node->values.insert(node->values.begin() + static_cast<ptrdiff_t>(pos),
+                        value);
+    if (node->keys.size() <= kMaxKeys) return {};
+
+    // Split leaf: right half moves to a new node; separator is the first
+    // key of the right node (B+-tree convention: separator repeats in leaf).
+    const size_t mid = node->keys.size() / 2;
+    SplitResult result;
+    result.split = true;
+    result.right = std::make_unique<Node>();
+    result.right->is_leaf = true;
+    result.right->keys.assign(node->keys.begin() + static_cast<ptrdiff_t>(mid),
+                              node->keys.end());
+    result.right->values.assign(
+        node->values.begin() + static_cast<ptrdiff_t>(mid),
+        node->values.end());
+    node->keys.resize(mid);
+    node->values.resize(mid);
+    result.right->next_leaf = node->next_leaf;
+    node->next_leaf = result.right.get();
+    result.separator = result.right->keys.front();
+    return result;
+  }
+
+  // Internal node: descend into the child that covers `key`.
+  auto it = std::upper_bound(node->keys.begin(), node->keys.end(), key);
+  const size_t child_idx = static_cast<size_t>(it - node->keys.begin());
+  SplitResult child_split =
+      InsertRecursive(node->children[child_idx].get(), key, value, status);
+  if (!status->ok() || !child_split.split) return {};
+
+  node->keys.insert(node->keys.begin() + static_cast<ptrdiff_t>(child_idx),
+                    child_split.separator);
+  node->children.insert(
+      node->children.begin() + static_cast<ptrdiff_t>(child_idx) + 1,
+      std::move(child_split.right));
+  if (node->keys.size() <= kMaxKeys) return {};
+
+  // Split internal node: middle key moves UP, not into the right node.
+  const size_t mid = node->keys.size() / 2;
+  SplitResult result;
+  result.split = true;
+  result.separator = node->keys[mid];
+  result.right = std::make_unique<Node>();
+  result.right->is_leaf = false;
+  result.right->keys.assign(node->keys.begin() + static_cast<ptrdiff_t>(mid) +
+                                1,
+                            node->keys.end());
+  for (size_t i = mid + 1; i < node->children.size(); ++i) {
+    result.right->children.push_back(std::move(node->children[i]));
+  }
+  node->keys.resize(mid);
+  node->children.resize(mid + 1);
+  return result;
+}
+
+const BPlusTree::Node* BPlusTree::FindLeaf(int64_t key) const {
+  const Node* node = root_.get();
+  while (!node->is_leaf) {
+    auto it = std::upper_bound(node->keys.begin(), node->keys.end(), key);
+    node = node->children[static_cast<size_t>(it - node->keys.begin())].get();
+  }
+  return node;
+}
+
+Result<uint64_t> BPlusTree::Lookup(int64_t key) const {
+  const Node* leaf = FindLeaf(key);
+  auto it = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), key);
+  if (it == leaf->keys.end() || *it != key) {
+    return Status::NotFound(
+        StringPrintf("key %lld not in index", static_cast<long long>(key)));
+  }
+  return leaf->values[static_cast<size_t>(it - leaf->keys.begin())];
+}
+
+bool BPlusTree::Contains(int64_t key) const { return Lookup(key).ok(); }
+
+void BPlusTree::Scan(
+    int64_t lo, int64_t hi,
+    const std::function<void(int64_t, uint64_t)>& visit) const {
+  if (lo > hi || size_ == 0) return;
+  const Node* leaf = FindLeaf(lo);
+  while (leaf != nullptr) {
+    for (size_t i = 0; i < leaf->keys.size(); ++i) {
+      if (leaf->keys[i] < lo) continue;
+      if (leaf->keys[i] > hi) return;
+      visit(leaf->keys[i], leaf->values[i]);
+    }
+    leaf = leaf->next_leaf;
+  }
+}
+
+std::vector<int64_t> BPlusTree::Keys() const {
+  std::vector<int64_t> keys;
+  keys.reserve(size_);
+  Scan(INT64_MIN, INT64_MAX,
+       [&keys](int64_t key, uint64_t) { keys.push_back(key); });
+  return keys;
+}
+
+Status BPlusTree::CheckInvariants() const {
+  SM_RETURN_IF_ERROR(
+      CheckNode(root_.get(), 1, INT64_MIN, INT64_MAX, /*is_root=*/true));
+  // Leaf chain must visit exactly size_ keys in ascending order.
+  const Node* node = root_.get();
+  while (!node->is_leaf) node = node->children.front().get();
+  size_t seen = 0;
+  int64_t prev = INT64_MIN;
+  bool first = true;
+  for (const Node* leaf = node; leaf != nullptr; leaf = leaf->next_leaf) {
+    for (int64_t key : leaf->keys) {
+      if (!first && key <= prev) {
+        return Status::Corruption("leaf chain keys not strictly ascending");
+      }
+      prev = key;
+      first = false;
+      ++seen;
+    }
+  }
+  if (seen != size_) {
+    return Status::Corruption(
+        StringPrintf("leaf chain has %zu keys, expected %zu", seen, size_));
+  }
+  return Status::OK();
+}
+
+Status BPlusTree::CheckNode(const Node* node, int depth, int64_t lo,
+                            int64_t hi, bool is_root) const {
+  if (!std::is_sorted(node->keys.begin(), node->keys.end())) {
+    return Status::Corruption("node keys not sorted");
+  }
+  for (int64_t key : node->keys) {
+    if (key < lo || key > hi) {
+      return Status::Corruption("key outside separator bounds");
+    }
+  }
+  if (node->keys.size() > kMaxKeys) {
+    return Status::Corruption("node overfull");
+  }
+  if (!is_root && !node->is_leaf && node->keys.empty()) {
+    return Status::Corruption("non-root internal node with no keys");
+  }
+  if (node->is_leaf) {
+    if (depth != height_) {
+      return Status::Corruption("leaf at wrong depth (tree unbalanced)");
+    }
+    if (node->values.size() != node->keys.size()) {
+      return Status::Corruption("leaf keys/values size mismatch");
+    }
+    return Status::OK();
+  }
+  if (node->children.size() != node->keys.size() + 1) {
+    return Status::Corruption("internal child count != keys + 1");
+  }
+  for (size_t i = 0; i < node->children.size(); ++i) {
+    const int64_t child_lo = (i == 0) ? lo : node->keys[i - 1];
+    const int64_t child_hi =
+        (i == node->keys.size()) ? hi : node->keys[i] - 1;
+    SM_RETURN_IF_ERROR(CheckNode(node->children[i].get(), depth + 1, child_lo,
+                                 child_hi, /*is_root=*/false));
+  }
+  return Status::OK();
+}
+
+}  // namespace smartmeter::storage

@@ -1,0 +1,73 @@
+#ifndef SMARTMETER_STORAGE_BTREE_H_
+#define SMARTMETER_STORAGE_BTREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+
+namespace smartmeter::storage {
+
+/// In-memory B+-tree mapping int64 keys to uint64 values, modelling the
+/// index PostgreSQL builds on the household-id column (Figure 9, Table 1
+/// layout). Duplicate keys are rejected; the row store maps each household
+/// to a postings-list id instead.
+///
+/// Leaves are linked left-to-right so range scans and full scans are
+/// sequential. Fanout is a template-free constant chosen to give realistic
+/// depth at benchmark scale.
+class BPlusTree {
+ public:
+  static constexpr int kMaxKeys = 64;  // Max keys per node before a split.
+
+  BPlusTree();
+  ~BPlusTree();
+
+  BPlusTree(const BPlusTree&) = delete;
+  BPlusTree& operator=(const BPlusTree&) = delete;
+  BPlusTree(BPlusTree&&) noexcept;
+  BPlusTree& operator=(BPlusTree&&) noexcept;
+
+  /// Inserts key -> value. Fails with AlreadyExists on duplicates.
+  Status Insert(int64_t key, uint64_t value);
+
+  /// Point lookup.
+  Result<uint64_t> Lookup(int64_t key) const;
+
+  bool Contains(int64_t key) const;
+
+  /// Invokes `visit(key, value)` for every entry with key in [lo, hi],
+  /// in ascending key order.
+  void Scan(int64_t lo, int64_t hi,
+            const std::function<void(int64_t, uint64_t)>& visit) const;
+
+  /// All keys in ascending order (mostly for tests and diagnostics).
+  std::vector<int64_t> Keys() const;
+
+  size_t size() const { return size_; }
+  int height() const { return height_; }
+
+  /// Validates structural invariants (sorted keys, balanced depth, node
+  /// occupancy, leaf chain consistency). Used by property tests.
+  Status CheckInvariants() const;
+
+ private:
+  struct Node;
+  struct SplitResult;
+
+  SplitResult InsertRecursive(Node* node, int64_t key, uint64_t value,
+                              Status* status);
+  const Node* FindLeaf(int64_t key) const;
+  Status CheckNode(const Node* node, int depth, int64_t lo, int64_t hi,
+                   bool is_root) const;
+
+  std::unique_ptr<Node> root_;
+  size_t size_ = 0;
+  int height_ = 1;
+};
+
+}  // namespace smartmeter::storage
+
+#endif  // SMARTMETER_STORAGE_BTREE_H_

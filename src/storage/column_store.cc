@@ -1,0 +1,173 @@
+#include "storage/column_store.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace smartmeter::storage {
+
+namespace {
+
+constexpr char kMagic[8] = {'S', 'M', 'C', 'O', 'L', 'V', '1', '\0'};
+constexpr size_t kHeaderBytes = 8 + 8 + 8;
+
+size_t FileBytes(size_t households, size_t hours) {
+  return kHeaderBytes + households * sizeof(int64_t) +
+         households * hours * sizeof(double) + hours * sizeof(double);
+}
+
+}  // namespace
+
+ColumnStore::~ColumnStore() { Close(); }
+
+ColumnStore::ColumnStore(ColumnStore&& other) noexcept {
+  *this = std::move(other);
+}
+
+ColumnStore& ColumnStore::operator=(ColumnStore&& other) noexcept {
+  if (this == &other) return *this;
+  Close();
+  mapped_base_ = other.mapped_base_;
+  mapped_size_ = other.mapped_size_;
+  owned_ = std::move(other.owned_);
+  num_households_ = other.num_households_;
+  hours_ = other.hours_;
+  household_ids_ = other.household_ids_;
+  consumption_ = other.consumption_;
+  temperature_ = other.temperature_;
+  other.mapped_base_ = nullptr;
+  other.mapped_size_ = 0;
+  other.num_households_ = 0;
+  other.hours_ = 0;
+  other.household_ids_ = nullptr;
+  other.consumption_ = nullptr;
+  other.temperature_ = nullptr;
+  return *this;
+}
+
+void ColumnStore::Close() {
+  if (mapped_base_ != nullptr) {
+    ::munmap(mapped_base_, mapped_size_);
+    mapped_base_ = nullptr;
+    mapped_size_ = 0;
+  }
+  owned_.clear();
+  owned_.shrink_to_fit();
+  num_households_ = 0;
+  hours_ = 0;
+  household_ids_ = nullptr;
+  consumption_ = nullptr;
+  temperature_ = nullptr;
+}
+
+Status ColumnStore::WriteFile(const MeterDataset& dataset,
+                              const std::string& path) {
+  SM_RETURN_IF_ERROR(dataset.Validate());
+  FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+
+  auto write = [f](const void* data, size_t bytes) {
+    return std::fwrite(data, 1, bytes, f) == bytes;
+  };
+  bool ok = write(kMagic, sizeof(kMagic));
+  const uint64_t households = dataset.num_consumers();
+  const uint64_t hours = dataset.hours();
+  ok = ok && write(&households, sizeof(households));
+  ok = ok && write(&hours, sizeof(hours));
+  for (const ConsumerSeries& c : dataset.consumers()) {
+    ok = ok && write(&c.household_id, sizeof(c.household_id));
+  }
+  for (const ConsumerSeries& c : dataset.consumers()) {
+    ok = ok && write(c.consumption.data(),
+                     c.consumption.size() * sizeof(double));
+  }
+  ok = ok && write(dataset.temperature().data(),
+                   dataset.temperature().size() * sizeof(double));
+  if (std::fclose(f) != 0) ok = false;
+  if (!ok) return Status::IOError("short write to " + path);
+  return Status::OK();
+}
+
+Status ColumnStore::PointIntoBuffer(const uint8_t* base, size_t size,
+                                    const std::string& origin) {
+  if (size < kHeaderBytes || std::memcmp(base, kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("bad columnar magic in " + origin);
+  }
+  uint64_t households = 0;
+  uint64_t hours = 0;
+  std::memcpy(&households, base + 8, sizeof(households));
+  std::memcpy(&hours, base + 16, sizeof(hours));
+  const size_t expected = FileBytes(households, hours);
+  if (size != expected) {
+    return Status::Corruption(StringPrintf(
+        "columnar file %s has %zu bytes, expected %zu", origin.c_str(), size,
+        expected));
+  }
+  num_households_ = households;
+  hours_ = hours;
+  const uint8_t* cursor = base + kHeaderBytes;
+  household_ids_ = reinterpret_cast<const int64_t*>(cursor);
+  cursor += households * sizeof(int64_t);
+  consumption_ = reinterpret_cast<const double*>(cursor);
+  cursor += households * hours * sizeof(double);
+  temperature_ = reinterpret_cast<const double*>(cursor);
+  return Status::OK();
+}
+
+Status ColumnStore::OpenMapped(const std::string& path) {
+  Close();
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Status::IOError("cannot open " + path);
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::IOError("cannot stat " + path);
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+  void* base = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // The mapping keeps the file alive.
+  if (base == MAP_FAILED) {
+    return Status::IOError("mmap failed for " + path);
+  }
+  const Status st_parse =
+      PointIntoBuffer(static_cast<const uint8_t*>(base), size, path);
+  if (!st_parse.ok()) {
+    ::munmap(base, size);
+    return st_parse;
+  }
+  mapped_base_ = base;
+  mapped_size_ = size;
+  return Status::OK();
+}
+
+Status ColumnStore::LoadFromDataset(const MeterDataset& dataset) {
+  Close();
+  SM_RETURN_IF_ERROR(dataset.Validate());
+  const size_t households = dataset.num_consumers();
+  const size_t hours = dataset.hours();
+  owned_.resize(FileBytes(households, hours));
+  uint8_t* cursor = owned_.data();
+  std::memcpy(cursor, kMagic, sizeof(kMagic));
+  const uint64_t h64 = households;
+  const uint64_t hr64 = hours;
+  std::memcpy(cursor + 8, &h64, sizeof(h64));
+  std::memcpy(cursor + 16, &hr64, sizeof(hr64));
+  cursor += kHeaderBytes;
+  for (const ConsumerSeries& c : dataset.consumers()) {
+    std::memcpy(cursor, &c.household_id, sizeof(c.household_id));
+    cursor += sizeof(c.household_id);
+  }
+  for (const ConsumerSeries& c : dataset.consumers()) {
+    std::memcpy(cursor, c.consumption.data(), hours * sizeof(double));
+    cursor += hours * sizeof(double);
+  }
+  std::memcpy(cursor, dataset.temperature().data(), hours * sizeof(double));
+  return PointIntoBuffer(owned_.data(), owned_.size(), "<memory>");
+}
+
+}  // namespace smartmeter::storage

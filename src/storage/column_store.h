@@ -1,0 +1,93 @@
+#ifndef SMARTMETER_STORAGE_COLUMN_STORE_H_
+#define SMARTMETER_STORAGE_COLUMN_STORE_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "timeseries/dataset.h"
+
+namespace smartmeter::storage {
+
+/// Main-memory column store modelled on "System C" (Section 5.1): time
+/// series live in contiguous per-household column segments inside a single
+/// binary file that is memory-mapped at load time, so "loading" is nearly
+/// free and scans are pointer arithmetic over doubles.
+///
+/// Binary layout (little-endian, 8-byte aligned):
+///   [0..8)    magic "SMCOLV1\0"
+///   [8..16)   uint64 num_households
+///   [16..24)  uint64 hours per household
+///   then      int64 household ids        (num_households entries)
+///   then      double consumption column  (num_households * hours, household-major)
+///   then      double temperature column  (hours entries)
+class ColumnStore {
+ public:
+  ColumnStore() = default;
+  ~ColumnStore();
+
+  ColumnStore(const ColumnStore&) = delete;
+  ColumnStore& operator=(const ColumnStore&) = delete;
+  ColumnStore(ColumnStore&&) noexcept;
+  ColumnStore& operator=(ColumnStore&&) noexcept;
+
+  /// Serializes `dataset` into the binary columnar file at `path`.
+  static Status WriteFile(const MeterDataset& dataset,
+                          const std::string& path);
+
+  /// Memory-maps the file; data is accessed in place (zero copy).
+  Status OpenMapped(const std::string& path);
+
+  /// Copies the dataset into owned memory (the warm in-process path).
+  Status LoadFromDataset(const MeterDataset& dataset);
+
+  /// Releases the mapping / owned memory.
+  void Close();
+
+  bool is_open() const { return num_households_ > 0 || hours_ > 0; }
+  bool is_mapped() const { return mapped_base_ != nullptr; }
+
+  size_t num_households() const { return num_households_; }
+  size_t hours() const { return hours_; }
+
+  int64_t household_id(size_t i) const { return household_ids_[i]; }
+  std::span<const int64_t> household_ids() const {
+    return {household_ids_, num_households_};
+  }
+
+  /// Consumption column segment of household i (hours() doubles).
+  std::span<const double> consumption(size_t i) const {
+    return {consumption_ + i * hours_, hours_};
+  }
+
+  /// The full consumption column, household-major.
+  std::span<const double> consumption_column() const {
+    return {consumption_, num_households_ * hours_};
+  }
+
+  std::span<const double> temperature() const {
+    return {temperature_, hours_};
+  }
+
+ private:
+  Status PointIntoBuffer(const uint8_t* base, size_t size,
+                         const std::string& origin);
+
+  // Either a live mmap (mapped_base_ != nullptr) or owned memory.
+  void* mapped_base_ = nullptr;
+  size_t mapped_size_ = 0;
+  std::vector<uint8_t> owned_;
+
+  size_t num_households_ = 0;
+  size_t hours_ = 0;
+  const int64_t* household_ids_ = nullptr;
+  const double* consumption_ = nullptr;
+  const double* temperature_ = nullptr;
+};
+
+}  // namespace smartmeter::storage
+
+#endif  // SMARTMETER_STORAGE_COLUMN_STORE_H_

@@ -1,0 +1,252 @@
+#include "storage/heap_file.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace smartmeter::storage {
+
+namespace {
+
+// On-disk page image: tuple count header then packed tuples. The slack up
+// to kPageBytes is written as-is, modelling fixed-size DBMS pages (the
+// space a real system spends on headers, line pointers and alignment).
+struct PageImage {
+  uint32_t tuple_count;
+  char payload[HeapFile::kPageBytes - sizeof(uint32_t)];
+};
+static_assert(sizeof(PageImage) == HeapFile::kPageBytes);
+
+}  // namespace
+
+HeapFile::HeapFile(std::string path, bool write_ahead_log, int cache_pages)
+    : path_(std::move(path)),
+      write_ahead_log_(write_ahead_log),
+      cache_capacity_(cache_pages < 1 ? 1 : static_cast<size_t>(
+                                                cache_pages)) {}
+
+HeapFile::~HeapFile() {
+  if (write_file_ != nullptr) std::fclose(write_file_);
+  if (wal_file_ != nullptr) std::fclose(wal_file_);
+  if (read_file_ != nullptr) std::fclose(read_file_);
+}
+
+Status HeapFile::Create() {
+  if (read_file_ != nullptr) {
+    std::fclose(read_file_);
+    read_file_ = nullptr;
+  }
+  write_file_ = std::fopen(path_.c_str(), "wb");
+  if (write_file_ == nullptr) {
+    return Status::IOError("cannot create heap file " + path_);
+  }
+  if (write_ahead_log_) {
+    wal_file_ = std::fopen((path_ + ".wal").c_str(), "wb");
+    if (wal_file_ == nullptr) {
+      return Status::IOError("cannot create WAL for " + path_);
+    }
+  }
+  tail_page_.clear();
+  tail_page_.reserve(TuplesPerPage());
+  num_rows_ = 0;
+  num_pages_ = 0;
+  cache_.clear();
+  lru_.clear();
+  return Status::OK();
+}
+
+Result<uint64_t> HeapFile::Append(const Tuple& tuple) {
+  if (write_file_ == nullptr) {
+    return Status::InvalidArgument("heap file not in load mode");
+  }
+  // WAL first (write-ahead), then the page buffer.
+  if (wal_file_ != nullptr) {
+    if (std::fwrite(&tuple, sizeof(tuple), 1, wal_file_) != 1) {
+      return Status::IOError("WAL write failed for " + path_);
+    }
+  }
+  const uint64_t row_id =
+      num_pages_ * TuplesPerPage() + tail_page_.size();
+  tail_page_.push_back(tuple);
+  ++num_rows_;
+  if (tail_page_.size() == TuplesPerPage()) {
+    SM_RETURN_IF_ERROR(FlushTailPage());
+  }
+  return row_id;
+}
+
+Status HeapFile::FlushTailPage() {
+  PageImage image;
+  std::memset(&image, 0, sizeof(image));
+  image.tuple_count = static_cast<uint32_t>(tail_page_.size());
+  std::memcpy(image.payload, tail_page_.data(),
+              tail_page_.size() * sizeof(Tuple));
+  if (std::fwrite(&image, sizeof(image), 1, write_file_) != 1) {
+    return Status::IOError("page write failed for " + path_);
+  }
+  ++num_pages_;
+  tail_page_.clear();
+  return Status::OK();
+}
+
+Status HeapFile::FinishLoad() {
+  if (write_file_ == nullptr) {
+    return Status::InvalidArgument("heap file not in load mode");
+  }
+  if (!tail_page_.empty()) {
+    SM_RETURN_IF_ERROR(FlushTailPage());
+  }
+  if (std::fclose(write_file_) != 0) {
+    write_file_ = nullptr;
+    return Status::IOError("close failed for " + path_);
+  }
+  write_file_ = nullptr;
+  if (wal_file_ != nullptr) {
+    std::fclose(wal_file_);
+    wal_file_ = nullptr;
+  }
+  return OpenForRead();
+}
+
+Status HeapFile::OpenForRead() {
+  if (read_file_ != nullptr) std::fclose(read_file_);
+  read_file_ = std::fopen(path_.c_str(), "rb");
+  if (read_file_ == nullptr) {
+    return Status::IOError("cannot open heap file " + path_);
+  }
+  if (num_pages_ == 0) {
+    // Opening a pre-existing file: size derives the page count; the last
+    // page's tuple count resolves num_rows_.
+    std::fseek(read_file_, 0, SEEK_END);
+    const long bytes = std::ftell(read_file_);
+    if (bytes < 0 || bytes % static_cast<long>(kPageBytes) != 0) {
+      return Status::Corruption("heap file size not page aligned: " +
+                                path_);
+    }
+    num_pages_ = static_cast<uint64_t>(bytes) / kPageBytes;
+    num_rows_ = 0;
+    if (num_pages_ > 0) {
+      SM_ASSIGN_OR_RETURN(const std::vector<Tuple>* last,
+                          FetchPage(num_pages_ - 1));
+      num_rows_ = (num_pages_ - 1) * TuplesPerPage() + last->size();
+    }
+  }
+  return Status::OK();
+}
+
+Status HeapFile::ReopenForAppend() {
+  if (write_file_ != nullptr) {
+    return Status::InvalidArgument("heap file already in load mode");
+  }
+  if (read_file_ == nullptr) {
+    SM_RETURN_IF_ERROR(OpenForRead());
+  }
+  // Pull the tail page back into the write buffer.
+  tail_page_.clear();
+  uint64_t full_pages = num_pages_;
+  if (num_pages_ > 0) {
+    SM_ASSIGN_OR_RETURN(const std::vector<Tuple>* last,
+                        FetchPage(num_pages_ - 1));
+    if (last->size() < TuplesPerPage()) {
+      tail_page_ = *last;
+      full_pages = num_pages_ - 1;
+      // The tail page will be rewritten; drop it from the cache.
+      auto it = cache_.find(num_pages_ - 1);
+      if (it != cache_.end()) {
+        lru_.erase(it->second.second);
+        cache_.erase(it);
+      }
+    }
+  }
+  std::fclose(read_file_);
+  read_file_ = nullptr;
+  // "r+b": keep existing pages, position after the last full page.
+  write_file_ = std::fopen(path_.c_str(), "r+b");
+  if (write_file_ == nullptr) {
+    return Status::IOError("cannot reopen heap file " + path_);
+  }
+  if (std::fseek(write_file_, static_cast<long>(full_pages * kPageBytes),
+                 SEEK_SET) != 0) {
+    return Status::IOError("seek failed in " + path_);
+  }
+  if (write_ahead_log_) {
+    wal_file_ = std::fopen((path_ + ".wal").c_str(), "ab");
+    if (wal_file_ == nullptr) {
+      return Status::IOError("cannot reopen WAL for " + path_);
+    }
+  }
+  num_pages_ = full_pages;
+  return Status::OK();
+}
+
+Result<const std::vector<HeapFile::Tuple>*> HeapFile::FetchPage(
+    uint64_t page_id) const {
+  auto it = cache_.find(page_id);
+  if (it != cache_.end()) {
+    ++cache_hits_;
+    lru_.erase(it->second.second);
+    lru_.push_front(page_id);
+    it->second.second = lru_.begin();
+    return &it->second.first;
+  }
+  ++cache_misses_;
+  if (read_file_ == nullptr) {
+    return Status::InvalidArgument("heap file not open for reading");
+  }
+  PageImage image;
+  if (std::fseek(read_file_,
+                 static_cast<long>(page_id * kPageBytes), SEEK_SET) != 0 ||
+      std::fread(&image, sizeof(image), 1, read_file_) != 1) {
+    return Status::IOError(StringPrintf("cannot read page %llu of %s",
+                                        static_cast<unsigned long long>(
+                                            page_id),
+                                        path_.c_str()));
+  }
+  if (image.tuple_count > TuplesPerPage()) {
+    return Status::Corruption("page tuple count out of range in " + path_);
+  }
+  std::vector<Tuple> tuples(image.tuple_count);
+  std::memcpy(tuples.data(), image.payload,
+              image.tuple_count * sizeof(Tuple));
+  // Evict least-recently-used pages beyond capacity.
+  while (cache_.size() >= cache_capacity_) {
+    const uint64_t victim = lru_.back();
+    lru_.pop_back();
+    cache_.erase(victim);
+  }
+  lru_.push_front(page_id);
+  auto [inserted, ok] =
+      cache_.emplace(page_id, std::make_pair(std::move(tuples),
+                                             lru_.begin()));
+  (void)ok;
+  return &inserted->second.first;
+}
+
+Result<HeapFile::Tuple> HeapFile::Read(uint64_t row_id) const {
+  if (row_id >= num_rows_) {
+    return Status::OutOfRange(StringPrintf(
+        "row %llu >= %llu", static_cast<unsigned long long>(row_id),
+        static_cast<unsigned long long>(num_rows_)));
+  }
+  const uint64_t page_id = row_id / TuplesPerPage();
+  const size_t slot = static_cast<size_t>(row_id % TuplesPerPage());
+  SM_ASSIGN_OR_RETURN(const std::vector<Tuple>* page, FetchPage(page_id));
+  if (slot >= page->size()) {
+    return Status::Corruption("slot beyond page tuple count");
+  }
+  return (*page)[slot];
+}
+
+Status HeapFile::Scan(
+    const std::function<void(uint64_t, const Tuple&)>& visit) const {
+  for (uint64_t page_id = 0; page_id < num_pages_; ++page_id) {
+    SM_ASSIGN_OR_RETURN(const std::vector<Tuple>* page, FetchPage(page_id));
+    for (size_t slot = 0; slot < page->size(); ++slot) {
+      visit(page_id * TuplesPerPage() + slot, (*page)[slot]);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace smartmeter::storage

@@ -1,0 +1,155 @@
+#ifndef SMARTMETER_STORAGE_ROW_STORE_H_
+#define SMARTMETER_STORAGE_ROW_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/btree.h"
+#include "storage/csv.h"
+#include "storage/heap_file.h"
+#include "timeseries/dataset.h"
+
+namespace smartmeter::storage {
+
+/// Row-oriented table of one reading per row with a B+-tree index on the
+/// household id -- the PostgreSQL Table 1 layout of Figure 9. Tuples live
+/// in a disk-resident slotted-page HeapFile (with write-ahead logging at
+/// load time); the index maps each household to its postings list of row
+/// ids. Extracting one consumer's series is therefore an index lookup
+/// followed by buffer-pool page reads and an ORDER BY hour sort, exactly
+/// the access path MADLib pays for.
+class RowStore {
+ public:
+  /// `heap_path` locates the backing file; empty picks a unique
+  /// temporary path. The files are removed on destruction.
+  explicit RowStore(std::string heap_path = "");
+  ~RowStore();
+
+  RowStore(const RowStore&) = delete;
+  RowStore& operator=(const RowStore&) = delete;
+  RowStore(RowStore&&) noexcept;
+  RowStore& operator=(RowStore&&) noexcept;
+
+  struct Row {
+    int64_t household_id;
+    int32_t hour;
+    double consumption;
+    double temperature;
+  };
+
+  /// Appends one row (load mode) and maintains the index.
+  Status Append(const Row& row);
+
+  /// Flushes the tail page and switches to read mode. Idempotent; called
+  /// automatically by the bulk loaders, required after manual Append
+  /// sequences before any read.
+  Status FinishLoad();
+
+  /// Switches a finished store back to load mode so new readings (e.g.
+  /// the next day's feed) can be appended; call FinishLoad() again when
+  /// done. Cheap: only the tail page is rewritten.
+  Status ReopenForAppend();
+
+  /// Bulk-loads from an in-memory dataset. Row order is interleaved by
+  /// hour across households when `interleave` is true, modelling an
+  /// un-clustered table as produced by a timestamp-ordered export.
+  Status LoadFromDataset(const MeterDataset& dataset, bool interleave);
+
+  /// Bulk-loads from a reading-per-line CSV file. Does NOT finish the
+  /// load, so several files can be appended; call FinishLoad() after.
+  Status LoadFromCsv(const std::string& path);
+
+  size_t num_rows() const;
+  size_t num_households() const { return postings_.size(); }
+
+  /// Household ids in index (ascending) order.
+  std::vector<int64_t> HouseholdIds() const;
+
+  /// Row ids of one household via the index.
+  Result<std::span<const uint64_t>> HouseholdRowIds(int64_t household_id)
+      const;
+
+  /// Materializes every household at once with a single sequential scan
+  /// of the heap plus a per-group sort -- the plan a DBMS picks for a
+  /// whole-table GROUP BY household_id.
+  Result<MeterDataset> ScanAll() const;
+
+  /// Materializes one household's consumption (and optionally
+  /// temperature) ordered by hour -- the
+  /// "SELECT ... WHERE id = ? ORDER BY hour" path.
+  Result<std::vector<double>> HouseholdConsumption(int64_t household_id)
+      const;
+  Result<std::vector<double>> HouseholdTemperature(int64_t household_id)
+      const;
+
+  const BPlusTree& index() const { return index_; }
+  const HeapFile* heap() const { return heap_.get(); }
+
+ private:
+  Result<const std::vector<uint64_t>*> Postings(int64_t household_id) const;
+  Result<std::vector<std::pair<int32_t, double>>> GatherColumn(
+      int64_t household_id, bool temperature) const;
+  Status EnsureHeap();
+
+  std::string heap_path_;
+  std::unique_ptr<HeapFile> heap_;
+  bool load_finished_ = false;
+  // index_ maps household_id -> postings-list slot in postings_.
+  BPlusTree index_;
+  std::vector<std::vector<uint64_t>> postings_;
+};
+
+/// Column-of-arrays table: one row per household holding its full
+/// consumption and temperature arrays -- the Table 2 layout of Figure 9
+/// that sped MADLib up in Section 5.3.3. Like its PostgreSQL original,
+/// the table is disk-resident: rows are serialized variable-length
+/// records (the equivalent of TOASTed array datums) addressed through a
+/// B+-tree of file offsets, and every access deserializes from disk.
+class ArrayStore {
+ public:
+  struct HouseholdRow {
+    int64_t household_id;
+    std::vector<double> consumption;
+    std::vector<double> temperature;
+  };
+
+  /// `path` locates the backing file; empty picks a unique temporary
+  /// path. The file is removed on destruction.
+  explicit ArrayStore(std::string path = "");
+  ~ArrayStore();
+
+  ArrayStore(const ArrayStore&) = delete;
+  ArrayStore& operator=(const ArrayStore&) = delete;
+  ArrayStore(ArrayStore&&) noexcept;
+  ArrayStore& operator=(ArrayStore&&) noexcept;
+
+  /// Serializes the dataset to disk, replacing previous contents.
+  Status LoadFromDataset(const MeterDataset& dataset);
+
+  size_t num_households() const { return offsets_.size(); }
+
+  /// Reads and deserializes the i-th row from disk.
+  Result<HouseholdRow> ReadRow(size_t i) const;
+
+  /// Point lookup by household id through the offset index.
+  Result<HouseholdRow> Find(int64_t household_id) const;
+
+  /// One sequential pass deserializing the whole table.
+  Result<MeterDataset> ReadAll() const;
+
+ private:
+  Result<HouseholdRow> ReadAt(int64_t offset) const;
+
+  std::string path_;
+  FILE* file_ = nullptr;
+  std::vector<int64_t> offsets_;  // Row index -> file offset.
+  BPlusTree index_;               // household_id -> row index.
+};
+
+}  // namespace smartmeter::storage
+
+#endif  // SMARTMETER_STORAGE_ROW_STORE_H_

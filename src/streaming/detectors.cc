@@ -1,0 +1,175 @@
+#include "streaming/detectors.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "timeseries/calendar.h"
+
+namespace smartmeter::streaming {
+
+// ---------------------------------------------------------------------------
+// EwmaDetector
+// ---------------------------------------------------------------------------
+
+EwmaDetector::EwmaDetector(const Options& options) : options_(options) {}
+
+double EwmaDetector::sigma() const {
+  return std::max(options_.min_sigma, std::sqrt(variance_));
+}
+
+std::optional<Alert> EwmaDetector::Observe(const StreamReading& reading) {
+  const double x = reading.consumption;
+  if (seen_ < options_.warmup_readings) {
+    // Warm-up: prime the estimates, never alert.
+    if (seen_ == 0) {
+      mean_ = x;
+      variance_ = 0.0;
+    } else {
+      const double delta = x - mean_;
+      mean_ += options_.alpha * delta;
+      variance_ = (1.0 - options_.alpha) *
+                  (variance_ + options_.alpha * delta * delta);
+    }
+    ++seen_;
+    return std::nullopt;
+  }
+  const double deviation = x - mean_;
+  const double score = std::abs(deviation) / sigma();
+  if (score > options_.threshold_sigma) {
+    Alert alert;
+    alert.household_id = reading.household_id;
+    alert.hour = reading.hour;
+    alert.kind = AlertKind::kDeviation;
+    alert.observed = x;
+    alert.expected = mean_;
+    alert.score = score;
+    // Anomalous readings do not update the envelope.
+    return alert;
+  }
+  const double delta = x - mean_;
+  mean_ += options_.alpha * delta;
+  variance_ = (1.0 - options_.alpha) *
+              (variance_ + options_.alpha * delta * delta);
+  ++seen_;
+  return std::nullopt;
+}
+
+std::unique_ptr<Detector> EwmaDetector::Clone() const {
+  return std::make_unique<EwmaDetector>(options_);
+}
+
+// ---------------------------------------------------------------------------
+// SpikeDetector
+// ---------------------------------------------------------------------------
+
+SpikeDetector::SpikeDetector(const Options& options) : options_(options) {}
+
+std::optional<Alert> SpikeDetector::Observe(const StreamReading& reading) {
+  const double x = reading.consumption;
+  std::optional<Alert> alert;
+  if (seen_ >= options_.warmup_readings) {
+    const double jump = std::abs(x - previous_);
+    const double trigger =
+        std::max(options_.min_jump, options_.jump_factor * level_);
+    if (jump > trigger) {
+      Alert a;
+      a.household_id = reading.household_id;
+      a.hour = reading.hour;
+      a.kind = AlertKind::kSpike;
+      a.observed = x;
+      a.expected = previous_;
+      a.score = level_ > 0 ? jump / level_ : jump;
+      alert = a;
+    }
+  }
+  level_ = seen_ == 0 ? std::abs(x)
+                      : (1.0 - options_.level_alpha) * level_ +
+                            options_.level_alpha * std::abs(x);
+  previous_ = x;
+  ++seen_;
+  return alert;
+}
+
+std::unique_ptr<Detector> SpikeDetector::Clone() const {
+  return std::make_unique<SpikeDetector>(options_);
+}
+
+// ---------------------------------------------------------------------------
+// FlatlineDetector
+// ---------------------------------------------------------------------------
+
+FlatlineDetector::FlatlineDetector(const Options& options)
+    : options_(options) {}
+
+std::optional<Alert> FlatlineDetector::Observe(
+    const StreamReading& reading) {
+  const double x = reading.consumption;
+  if (has_previous_ && std::abs(x - previous_) <= options_.tolerance) {
+    ++run_length_;
+  } else {
+    run_length_ = 0;
+    alerted_this_run_ = false;
+  }
+  has_previous_ = true;
+  previous_ = x;
+  if (run_length_ >= options_.max_constant_hours && !alerted_this_run_) {
+    alerted_this_run_ = true;  // One alert per stuck episode.
+    Alert alert;
+    alert.household_id = reading.household_id;
+    alert.hour = reading.hour;
+    alert.kind = AlertKind::kFlatline;
+    alert.observed = x;
+    alert.expected = x;
+    alert.score = static_cast<double>(run_length_);
+    return alert;
+  }
+  return std::nullopt;
+}
+
+std::unique_ptr<Detector> FlatlineDetector::Clone() const {
+  return std::make_unique<FlatlineDetector>(options_);
+}
+
+// ---------------------------------------------------------------------------
+// ProfileDetector
+// ---------------------------------------------------------------------------
+
+ProfileDetector::ProfileDetector(core::DailyProfileResult profile,
+                                 const Options& options)
+    : profile_(std::move(profile)), options_(options) {}
+
+double ProfileDetector::ExpectedAt(int hour_of_day,
+                                   double temperature) const {
+  const size_t h = static_cast<size_t>(hour_of_day % kHoursPerDay);
+  double expected = profile_.profile[h];
+  if (h < profile_.temperature_beta.size()) {
+    expected += profile_.temperature_beta[h] * temperature;
+  }
+  return std::max(0.0, expected);
+}
+
+std::optional<Alert> ProfileDetector::Observe(
+    const StreamReading& reading) {
+  const int hour_of_day =
+      static_cast<int>(reading.hour % kHoursPerDay);
+  const double expected =
+      ExpectedAt(hour_of_day, reading.temperature);
+  const double band = std::max(options_.min_band,
+                               options_.relative_tolerance * expected);
+  const double deviation = std::abs(reading.consumption - expected);
+  if (deviation <= band) return std::nullopt;
+  Alert alert;
+  alert.household_id = reading.household_id;
+  alert.hour = reading.hour;
+  alert.kind = AlertKind::kOffProfile;
+  alert.observed = reading.consumption;
+  alert.expected = expected;
+  alert.score = deviation / band;
+  return alert;
+}
+
+std::unique_ptr<Detector> ProfileDetector::Clone() const {
+  return std::make_unique<ProfileDetector>(profile_, options_);
+}
+
+}  // namespace smartmeter::streaming

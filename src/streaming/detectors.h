@@ -1,0 +1,139 @@
+#ifndef SMARTMETER_STREAMING_DETECTORS_H_
+#define SMARTMETER_STREAMING_DETECTORS_H_
+
+#include <memory>
+#include <utility>
+#include <optional>
+#include <vector>
+
+#include "core/task_types.h"
+#include "streaming/stream_types.h"
+
+namespace smartmeter::streaming {
+
+/// Per-household online anomaly detector. Implementations keep O(1)
+/// state per household and must be deterministic.
+class Detector {
+ public:
+  virtual ~Detector() = default;
+
+  /// Consumes one reading; returns an alert if it is anomalous.
+  virtual std::optional<Alert> Observe(const StreamReading& reading) = 0;
+
+  /// Fresh state for another household of the same configuration.
+  virtual std::unique_ptr<Detector> Clone() const = 0;
+};
+
+/// Flags readings outside mean +/- threshold * stddev of an
+/// exponentially weighted moving estimate. The estimate is NOT updated
+/// with flagged readings (otherwise one spike inflates the envelope).
+class EwmaDetector : public Detector {
+ public:
+  struct Options {
+    /// Smoothing factor per reading in (0, 1]; smaller = longer memory.
+    double alpha = 0.05;
+    /// Alert threshold in standard deviations.
+    double threshold_sigma = 4.0;
+    /// Readings consumed before alerts may fire.
+    int warmup_readings = 48;
+    /// Floor on the stddev estimate so near-constant series do not
+    /// alert on noise.
+    double min_sigma = 0.05;
+  };
+
+  EwmaDetector() : EwmaDetector(Options()) {}
+  explicit EwmaDetector(const Options& options);
+
+  std::optional<Alert> Observe(const StreamReading& reading) override;
+  std::unique_ptr<Detector> Clone() const override;
+
+  double mean() const { return mean_; }
+  double sigma() const;
+
+ private:
+  Options options_;
+  int seen_ = 0;
+  double mean_ = 0.0;
+  double variance_ = 0.0;
+};
+
+/// Flags jumps: |x_t - x_{t-1}| > factor * recent absolute level.
+class SpikeDetector : public Detector {
+ public:
+  struct Options {
+    /// Jump size relative to the running level that triggers an alert.
+    double jump_factor = 4.0;
+    /// Minimum absolute jump in kWh (suppresses tiny-base noise).
+    double min_jump = 0.5;
+    int warmup_readings = 24;
+    double level_alpha = 0.1;
+  };
+
+  SpikeDetector() : SpikeDetector(Options()) {}
+  explicit SpikeDetector(const Options& options);
+
+  std::optional<Alert> Observe(const StreamReading& reading) override;
+  std::unique_ptr<Detector> Clone() const override;
+
+ private:
+  Options options_;
+  int seen_ = 0;
+  double level_ = 0.0;
+  double previous_ = 0.0;
+};
+
+/// Flags meters that report the exact same value for many consecutive
+/// hours -- the classic stuck-register failure.
+class FlatlineDetector : public Detector {
+ public:
+  struct Options {
+    int max_constant_hours = 24;
+    /// Two readings closer than this count as "the same".
+    double tolerance = 1e-9;
+  };
+
+  FlatlineDetector() : FlatlineDetector(Options()) {}
+  explicit FlatlineDetector(const Options& options);
+
+  std::optional<Alert> Observe(const StreamReading& reading) override;
+  std::unique_ptr<Detector> Clone() const override;
+
+ private:
+  Options options_;
+  bool has_previous_ = false;
+  double previous_ = 0.0;
+  int run_length_ = 0;
+  bool alerted_this_run_ = false;
+};
+
+/// Model-based detector: expects consumption near the household's batch
+/// daily profile plus its temperature response (the bridge between the
+/// paper's batch benchmark and its real-time future work). The expected
+/// value at hour h is profile[h % 24] + beta[h % 24] * temperature.
+class ProfileDetector : public Detector {
+ public:
+  struct Options {
+    /// Allowed deviation as a fraction of the expected value...
+    double relative_tolerance = 1.0;
+    /// ...but never tighter than this absolute band in kWh.
+    double min_band = 0.5;
+  };
+
+  explicit ProfileDetector(core::DailyProfileResult profile)
+      : ProfileDetector(std::move(profile), Options()) {}
+  ProfileDetector(core::DailyProfileResult profile,
+                  const Options& options);
+
+  std::optional<Alert> Observe(const StreamReading& reading) override;
+  std::unique_ptr<Detector> Clone() const override;
+
+  double ExpectedAt(int hour_of_day, double temperature) const;
+
+ private:
+  core::DailyProfileResult profile_;
+  Options options_;
+};
+
+}  // namespace smartmeter::streaming
+
+#endif  // SMARTMETER_STREAMING_DETECTORS_H_

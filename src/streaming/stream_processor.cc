@@ -1,0 +1,101 @@
+#include "streaming/stream_processor.h"
+
+#include "common/string_util.h"
+
+namespace smartmeter::streaming {
+
+StreamProcessor::StreamProcessor(Options options)
+    : options_(std::move(options)) {}
+
+void StreamProcessor::AddDetectorPrototype(
+    std::unique_ptr<Detector> prototype) {
+  prototypes_.push_back(std::move(prototype));
+}
+
+void StreamProcessor::AddHouseholdDetector(
+    int64_t household_id, std::unique_ptr<Detector> detector) {
+  StateFor(household_id).detectors.push_back(std::move(detector));
+}
+
+StreamProcessor::HouseholdState& StreamProcessor::StateFor(
+    int64_t household_id) {
+  auto it = households_.find(household_id);
+  if (it != households_.end()) return it->second;
+  HouseholdState state;
+  state.detectors.reserve(prototypes_.size());
+  for (const auto& prototype : prototypes_) {
+    state.detectors.push_back(prototype->Clone());
+  }
+  return households_.emplace(household_id, std::move(state))
+      .first->second;
+}
+
+Status StreamProcessor::Process(const StreamReading& reading) {
+  HouseholdState& state = StateFor(reading.household_id);
+  if (reading.hour <= state.last_hour) {
+    return Status::InvalidArgument(StringPrintf(
+        "household %lld: reading for hour %lld after hour %lld",
+        static_cast<long long>(reading.household_id),
+        static_cast<long long>(reading.hour),
+        static_cast<long long>(state.last_hour)));
+  }
+  state.last_hour = reading.hour;
+  ++readings_processed_;
+
+  for (auto& detector : state.detectors) {
+    std::optional<Alert> alert = detector->Observe(reading);
+    if (alert.has_value()) {
+      ++alerts_raised_;
+      if (alert_sink_) alert_sink_(*alert);
+    }
+  }
+
+  if (options_.window_hours > 0) {
+    const int64_t window_start =
+        reading.hour - (reading.hour % options_.window_hours);
+    if (state.window_start >= 0 && window_start != state.window_start) {
+      CloseWindow(reading.household_id, &state);
+    }
+    if (state.window_start < 0 || window_start != state.window_start) {
+      state.window_start = window_start;
+      state.window_total = 0.0;
+      state.window_peak = 0.0;
+      state.window_peak_hour = 0;
+      state.window_count = 0;
+    }
+    state.window_total += reading.consumption;
+    if (reading.consumption > state.window_peak ||
+        state.window_count == 0) {
+      state.window_peak = reading.consumption;
+      state.window_peak_hour = static_cast<int>(
+          reading.hour - state.window_start);
+    }
+    ++state.window_count;
+  }
+  return Status::OK();
+}
+
+void StreamProcessor::CloseWindow(int64_t household_id,
+                                  HouseholdState* state) {
+  if (state->window_start < 0 || state->window_count == 0) return;
+  if (window_sink_) {
+    WindowSummary summary;
+    summary.household_id = household_id;
+    summary.window_start_hour = state->window_start;
+    summary.window_hours = options_.window_hours;
+    summary.total_kwh = state->window_total;
+    summary.peak_kwh = state->window_peak;
+    summary.peak_hour = state->window_peak_hour;
+    window_sink_(summary);
+  }
+  state->window_start = -1;
+  state->window_count = 0;
+}
+
+void StreamProcessor::FlushWindows() {
+  for (auto& [household_id, state] : households_) {
+    CloseWindow(household_id, &state);
+  }
+}
+
+}  // namespace smartmeter::streaming

@@ -1,0 +1,93 @@
+#ifndef SMARTMETER_STREAMING_STREAM_PROCESSOR_H_
+#define SMARTMETER_STREAMING_STREAM_PROCESSOR_H_
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "streaming/detectors.h"
+#include "streaming/stream_types.h"
+
+namespace smartmeter::streaming {
+
+/// Statistics over a tumbling window, emitted per household when the
+/// window closes (e.g. hourly readings -> daily summaries).
+struct WindowSummary {
+  int64_t household_id = 0;
+  int64_t window_start_hour = 0;
+  int window_hours = 0;
+  double total_kwh = 0.0;
+  double peak_kwh = 0.0;
+  int peak_hour = 0;
+};
+
+/// Routes an interleaved stream of readings to per-household detector
+/// state and tumbling windows -- the data-stream-processing design the
+/// paper's Section 6 sketches. Single-threaded by design: one processor
+/// is one partition of a keyed stream; scale out by hash-partitioning
+/// households across processors.
+class StreamProcessor {
+ public:
+  struct Options {
+    /// Tumbling window length in hours; 0 disables window summaries.
+    int window_hours = 24;
+  };
+
+  using AlertSink = std::function<void(const Alert&)>;
+  using WindowSink = std::function<void(const WindowSummary&)>;
+
+  StreamProcessor() : StreamProcessor(Options()) {}
+  explicit StreamProcessor(Options options);
+
+  /// Detector prototypes; each new household gets a Clone() of every
+  /// registered prototype. Must be called before the first reading.
+  void AddDetectorPrototype(std::unique_ptr<Detector> prototype);
+
+  /// Registers a household-specific detector (e.g. a ProfileDetector
+  /// built from that household's batch model).
+  void AddHouseholdDetector(int64_t household_id,
+                            std::unique_ptr<Detector> detector);
+
+  void SetAlertSink(AlertSink sink) { alert_sink_ = std::move(sink); }
+  void SetWindowSink(WindowSink sink) { window_sink_ = std::move(sink); }
+
+  /// Feeds one reading. Readings of one household must arrive in hour
+  /// order; a regression in hour order is rejected.
+  Status Process(const StreamReading& reading);
+
+  /// Flushes every household's open window to the window sink.
+  void FlushWindows();
+
+  int64_t readings_processed() const { return readings_processed_; }
+  int64_t alerts_raised() const { return alerts_raised_; }
+  size_t households_seen() const { return households_.size(); }
+
+ private:
+  struct HouseholdState {
+    std::vector<std::unique_ptr<Detector>> detectors;
+    int64_t last_hour = -1;
+    // Open tumbling window.
+    int64_t window_start = -1;
+    double window_total = 0.0;
+    double window_peak = 0.0;
+    int window_peak_hour = 0;
+    int window_count = 0;
+  };
+
+  HouseholdState& StateFor(int64_t household_id);
+  void CloseWindow(int64_t household_id, HouseholdState* state);
+
+  Options options_;
+  std::vector<std::unique_ptr<Detector>> prototypes_;
+  std::unordered_map<int64_t, HouseholdState> households_;
+  AlertSink alert_sink_;
+  WindowSink window_sink_;
+  int64_t readings_processed_ = 0;
+  int64_t alerts_raised_ = 0;
+};
+
+}  // namespace smartmeter::streaming
+
+#endif  // SMARTMETER_STREAMING_STREAM_PROCESSOR_H_

@@ -1,0 +1,30 @@
+#include "streaming/stream_types.h"
+
+#include "common/string_util.h"
+
+namespace smartmeter::streaming {
+
+std::string_view AlertKindName(AlertKind kind) {
+  switch (kind) {
+    case AlertKind::kSpike:
+      return "spike";
+    case AlertKind::kDeviation:
+      return "deviation";
+    case AlertKind::kOffProfile:
+      return "off-profile";
+    case AlertKind::kFlatline:
+      return "flatline";
+  }
+  return "unknown";
+}
+
+std::string Alert::ToString() const {
+  return StringPrintf(
+      "[%s] household %lld hour %lld: observed %.3f kWh, expected %.3f "
+      "(score %.2f)",
+      std::string(AlertKindName(kind)).c_str(),
+      static_cast<long long>(household_id), static_cast<long long>(hour),
+      observed, expected, score);
+}
+
+}  // namespace smartmeter::streaming

@@ -1,0 +1,49 @@
+#ifndef SMARTMETER_STREAMING_STREAM_TYPES_H_
+#define SMARTMETER_STREAMING_STREAM_TYPES_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace smartmeter::streaming {
+
+/// One live meter reading as a stream element. `hour` is the global hour
+/// index (same clock as the batch data sets); readings of different
+/// households may interleave arbitrarily, but each household's stream is
+/// in hour order.
+struct StreamReading {
+  int64_t household_id = 0;
+  int64_t hour = 0;
+  double consumption = 0.0;
+  /// Outdoor temperature at that hour (city-wide feed).
+  double temperature = 0.0;
+};
+
+enum class AlertKind {
+  kSpike,       // Sudden jump relative to the recent level.
+  kDeviation,   // Far from the learned statistical envelope.
+  kOffProfile,  // Far from the expected value of the daily profile model.
+  kFlatline,    // Suspiciously constant output (stuck or dead meter).
+};
+
+std::string_view AlertKindName(AlertKind kind);
+
+/// An anomaly raised by a detector (Section 6 of the paper names
+/// "alerts due to unusual consumption readings" as the real-time
+/// application of interest).
+struct Alert {
+  int64_t household_id = 0;
+  int64_t hour = 0;
+  AlertKind kind = AlertKind::kDeviation;
+  double observed = 0.0;
+  /// What the detector expected at that hour.
+  double expected = 0.0;
+  /// Unitless severity; larger is more anomalous (e.g. sigmas).
+  double score = 0.0;
+
+  std::string ToString() const;
+};
+
+}  // namespace smartmeter::streaming
+
+#endif  // SMARTMETER_STREAMING_STREAM_TYPES_H_

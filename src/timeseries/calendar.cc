@@ -1,0 +1,22 @@
+#include "timeseries/calendar.h"
+
+namespace smartmeter {
+
+namespace {
+
+// Cumulative day at the start of each month for a non-leap year.
+constexpr int kMonthStartDay[kMonthsPerYear + 1] = {
+    0, 31, 59, 90, 120, 151, 181, 212, 243, 273, 304, 334, 365};
+
+}  // namespace
+
+int HourlyCalendar::Month(int hour_index) {
+  const int day = DayOfYear(hour_index);
+  // Linear scan over 12 entries beats binary search at this size.
+  for (int m = 0; m < kMonthsPerYear; ++m) {
+    if (day < kMonthStartDay[m + 1]) return m;
+  }
+  return kMonthsPerYear - 1;
+}
+
+}  // namespace smartmeter

@@ -1,0 +1,46 @@
+#ifndef SMARTMETER_TIMESERIES_CALENDAR_H_
+#define SMARTMETER_TIMESERIES_CALENDAR_H_
+
+#include <cstdint>
+
+namespace smartmeter {
+
+/// Calendar constants for the benchmark's canonical year of hourly data
+/// (365 days x 24 hours = 8760 points, as specified in Section 3 of the
+/// paper).
+inline constexpr int kHoursPerDay = 24;
+inline constexpr int kDaysPerYear = 365;
+inline constexpr int kHoursPerYear = kHoursPerDay * kDaysPerYear;
+inline constexpr int kMonthsPerYear = 12;
+
+/// Maps a flat hour index in [0, kHoursPerYear) to calendar components.
+/// Hour 0 is midnight January 1st; the year is non-leap and starts on a
+/// Tuesday (like 2013, the vintage of the paper's Ontario data set).
+class HourlyCalendar {
+ public:
+  /// Day-of-week of January 1st; 0 = Monday ... 6 = Sunday.
+  static constexpr int kFirstDayOfWeek = 1;  // Tuesday.
+
+  /// Hour of the day in [0, 24).
+  static int HourOfDay(int hour_index) { return hour_index % kHoursPerDay; }
+
+  /// Day of the year in [0, 365).
+  static int DayOfYear(int hour_index) { return hour_index / kHoursPerDay; }
+
+  /// Day of week in [0, 7), 0 = Monday.
+  static int DayOfWeek(int hour_index) {
+    return (DayOfYear(hour_index) + kFirstDayOfWeek) % 7;
+  }
+
+  static bool IsWeekend(int hour_index) { return DayOfWeek(hour_index) >= 5; }
+
+  /// Month in [0, 12).
+  static int Month(int hour_index);
+
+  /// First hour index of `day` in [0, 365).
+  static int DayStartHour(int day) { return day * kHoursPerDay; }
+};
+
+}  // namespace smartmeter
+
+#endif  // SMARTMETER_TIMESERIES_CALENDAR_H_

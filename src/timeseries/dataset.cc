@@ -1,0 +1,113 @@
+#include "timeseries/dataset.h"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace smartmeter {
+
+MeterDataset::MeterDataset(std::vector<double> temperature,
+                           std::vector<ConsumerSeries> consumers)
+    : temperature_(std::move(temperature)), consumers_(std::move(consumers)) {}
+
+Status MeterDataset::Validate() const {
+  if (temperature_.empty()) {
+    return Status::InvalidArgument("dataset has no temperature series");
+  }
+  std::unordered_set<int64_t> ids;
+  ids.reserve(consumers_.size());
+  for (const ConsumerSeries& c : consumers_) {
+    if (c.consumption.size() != temperature_.size()) {
+      return Status::InvalidArgument(StringPrintf(
+          "household %lld has %zu readings, expected %zu",
+          static_cast<long long>(c.household_id), c.consumption.size(),
+          temperature_.size()));
+    }
+    if (!ids.insert(c.household_id).second) {
+      return Status::InvalidArgument(
+          StringPrintf("duplicate household id %lld",
+                       static_cast<long long>(c.household_id)));
+    }
+  }
+  return Status::OK();
+}
+
+Result<const ConsumerSeries*> MeterDataset::FindHousehold(
+    int64_t household_id) const {
+  for (const ConsumerSeries& c : consumers_) {
+    if (c.household_id == household_id) return &c;
+  }
+  return Status::NotFound(StringPrintf(
+      "household %lld not in dataset", static_cast<long long>(household_id)));
+}
+
+void MeterDataset::AddConsumer(ConsumerSeries series) {
+  consumers_.push_back(std::move(series));
+}
+
+void MeterDataset::SetTemperature(std::vector<double> temperature) {
+  temperature_ = std::move(temperature);
+}
+
+int64_t MeterDataset::TotalReadings() const {
+  return static_cast<int64_t>(consumers_.size()) *
+         static_cast<int64_t>(temperature_.size());
+}
+
+int64_t MeterDataset::ApproxCsvBytes() const {
+  // One reading per row: "household_id,hour,consumption,temperature\n".
+  // Matches the paper's sizing: 27,300 households x 8760 hours ~= 10 GB,
+  // i.e. ~42 bytes per row.
+  constexpr int64_t kBytesPerRow = 42;
+  return TotalReadings() * kBytesPerRow;
+}
+
+void MeterDataset::TruncateConsumers(size_t n) {
+  if (n < consumers_.size()) consumers_.resize(n);
+}
+
+Result<int> FillGaps(std::vector<double>* series) {
+  std::vector<double>& v = *series;
+  const size_t n = v.size();
+  size_t first_valid = n;
+  for (size_t i = 0; i < n; ++i) {
+    if (!std::isnan(v[i])) {
+      first_valid = i;
+      break;
+    }
+  }
+  if (first_valid == n) {
+    return Status::InvalidArgument("series contains no valid points");
+  }
+  int filled = 0;
+  // Constant extrapolation before the first valid point.
+  for (size_t i = 0; i < first_valid; ++i) {
+    v[i] = v[first_valid];
+    ++filled;
+  }
+  size_t prev_valid = first_valid;
+  for (size_t i = first_valid + 1; i < n; ++i) {
+    if (!std::isnan(v[i])) {
+      // Interpolate over the gap (prev_valid, i), if any.
+      const size_t gap = i - prev_valid - 1;
+      if (gap > 0) {
+        const double step = (v[i] - v[prev_valid]) / static_cast<double>(i -
+                                                                prev_valid);
+        for (size_t j = prev_valid + 1; j < i; ++j) {
+          v[j] = v[prev_valid] + step * static_cast<double>(j - prev_valid);
+          ++filled;
+        }
+      }
+      prev_valid = i;
+    }
+  }
+  // Constant extrapolation after the last valid point.
+  for (size_t i = prev_valid + 1; i < n; ++i) {
+    v[i] = v[prev_valid];
+    ++filled;
+  }
+  return filled;
+}
+
+}  // namespace smartmeter

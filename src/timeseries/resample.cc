@@ -1,0 +1,50 @@
+#include "timeseries/resample.h"
+
+#include "common/string_util.h"
+#include "timeseries/calendar.h"
+
+namespace smartmeter {
+
+namespace {
+
+Result<std::vector<double>> AggregateGroups(std::span<const double> readings,
+                                            int factor, bool mean) {
+  if (factor < 1) {
+    return Status::InvalidArgument("aggregation factor must be >= 1");
+  }
+  if (readings.empty() ||
+      readings.size() % static_cast<size_t>(factor) != 0) {
+    return Status::InvalidArgument(StringPrintf(
+        "series length %zu not divisible by factor %d", readings.size(),
+        factor));
+  }
+  std::vector<double> out;
+  out.reserve(readings.size() / static_cast<size_t>(factor));
+  for (size_t begin = 0; begin < readings.size();
+       begin += static_cast<size_t>(factor)) {
+    double sum = 0.0;
+    for (int i = 0; i < factor; ++i) {
+      sum += readings[begin + static_cast<size_t>(i)];
+    }
+    out.push_back(mean ? sum / factor : sum);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<double>> AggregateEnergy(std::span<const double> readings,
+                                            int factor) {
+  return AggregateGroups(readings, factor, /*mean=*/false);
+}
+
+Result<std::vector<double>> AggregateMean(std::span<const double> readings,
+                                          int factor) {
+  return AggregateGroups(readings, factor, /*mean=*/true);
+}
+
+Result<std::vector<double>> DailyTotals(std::span<const double> hourly) {
+  return AggregateEnergy(hourly, kHoursPerDay);
+}
+
+}  // namespace smartmeter

@@ -1,0 +1,29 @@
+#ifndef SMARTMETER_TIMESERIES_RESAMPLE_H_
+#define SMARTMETER_TIMESERIES_RESAMPLE_H_
+
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+
+namespace smartmeter {
+
+/// Sums consecutive groups of `factor` readings: the standard reduction
+/// of sub-hourly interval data (the paper's meters report every 15
+/// minutes or hourly; the benchmark is defined on hourly kWh, so
+/// quarter-hourly feeds are aggregated with factor = 4). The length must
+/// be divisible by `factor`.
+Result<std::vector<double>> AggregateEnergy(std::span<const double> readings,
+                                            int factor);
+
+/// Averages consecutive groups of `factor` readings: the reduction for
+/// instantaneous quantities like temperature.
+Result<std::vector<double>> AggregateMean(std::span<const double> readings,
+                                          int factor);
+
+/// Daily totals of an hourly series (length divisible by 24).
+Result<std::vector<double>> DailyTotals(std::span<const double> hourly);
+
+}  // namespace smartmeter
+
+#endif  // SMARTMETER_TIMESERIES_RESAMPLE_H_

@@ -1,0 +1,100 @@
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "bench_common.h"
+#include "storage/csv.h"
+
+namespace smartmeter::bench {
+namespace {
+
+namespace fs = std::filesystem;
+
+class BenchCommonTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    workdir_ = (fs::path(::testing::TempDir()) /
+                ("bench_common_" +
+                 std::string(::testing::UnitTest::GetInstance()
+                                 ->current_test_info()
+                                 ->name())))
+                   .string();
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(workdir_, ec);
+  }
+
+  BenchContext MakeContext(double scale = 40.0) {
+    workdir_flag_ = "--workdir=" + workdir_;
+    hours_flag_ = "--hours=720";  // 30 days keeps tests quick.
+    argv_ = {const_cast<char*>("bench"),
+             const_cast<char*>(workdir_flag_.c_str()),
+             const_cast<char*>(hours_flag_.c_str())};
+    return BenchContext(static_cast<int>(argv_.size()), argv_.data(),
+                        scale);
+  }
+
+  std::string workdir_;
+  std::string workdir_flag_, hours_flag_;
+  std::vector<char*> argv_;
+};
+
+TEST_F(BenchCommonTest, PaperSizeMappingRoundTrips) {
+  BenchContext ctx = MakeContext(40.0);
+  // 10 paper-GB at divisor 40: 10 * 2730 / 40 ~= 682 households.
+  const int households = ctx.HouseholdsForPaperGb(10.0);
+  EXPECT_NEAR(households, 683, 2);
+  EXPECT_NEAR(ctx.PaperGbForHouseholds(households), 10.0, 0.05);
+  // Tiny sizes still yield a usable population.
+  EXPECT_GE(ctx.HouseholdsForPaperGb(0.001), 4);
+}
+
+TEST_F(BenchCommonTest, DatasetCachingReturnsConsistentSubsets) {
+  BenchContext ctx = MakeContext();
+  auto big = ctx.GetDataset(12);
+  ASSERT_TRUE(big.ok());
+  const std::vector<double> first = (*big)->consumer(0).consumption;
+  auto small = ctx.GetDataset(5);
+  ASSERT_TRUE(small.ok());
+  EXPECT_EQ((*small)->num_consumers(), 5u);
+  // Subsets are prefixes of the cached population.
+  EXPECT_EQ((*small)->consumer(0).consumption, first);
+}
+
+TEST_F(BenchCommonTest, MaterializationIsIdempotent) {
+  BenchContext ctx = MakeContext();
+  auto first = ctx.SingleCsv(6);
+  ASSERT_TRUE(first.ok());
+  ASSERT_EQ(first->files.size(), 1u);
+  const auto mtime = fs::last_write_time(first->files[0]);
+  // Second call must reuse the marker, not rewrite the file.
+  auto second = ctx.SingleCsv(6);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->files, first->files);
+  EXPECT_EQ(fs::last_write_time(first->files[0]), mtime);
+}
+
+TEST_F(BenchCommonTest, LayoutsAreReadable) {
+  BenchContext ctx = MakeContext();
+  auto single = ctx.SingleCsv(4);
+  auto part = ctx.PartitionedDir(4);
+  auto lines = ctx.HouseholdLines(4);
+  auto whole = ctx.WholeFileDir(4, 2);
+  ASSERT_TRUE(single.ok());
+  ASSERT_TRUE(part.ok());
+  ASSERT_TRUE(lines.ok());
+  ASSERT_TRUE(whole.ok());
+  EXPECT_EQ(part->files.size(), 4u);
+  EXPECT_EQ(whole->files.size(), 2u);
+  auto ds = storage::ReadReadingsCsv(single->files[0]);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->num_consumers(), 4u);
+  EXPECT_EQ(ds->hours(), 720u);
+  auto wide = storage::ReadHouseholdLinesCsv(lines->files[0]);
+  ASSERT_TRUE(wide.ok());
+  EXPECT_EQ(wide->num_consumers(), 4u);
+}
+
+}  // namespace
+}  // namespace smartmeter::bench

@@ -1,0 +1,211 @@
+// Cross-framework properties: the MapReduce and dataflow substrates must
+// compute identical answers for equivalent plans, and the cost model
+// must behave monotonically.
+#include <algorithm>
+#include <filesystem>
+#include <map>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "cluster/block_store.h"
+#include "cluster/dataflow.h"
+#include "cluster/mapreduce.h"
+#include "cluster/task_scheduler.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+
+namespace smartmeter::cluster {
+namespace {
+
+namespace fs = std::filesystem;
+
+class ClusterEquivalenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::path(::testing::TempDir()) /
+           ("cluster_eq_" + std::string(::testing::UnitTest::GetInstance()
+                                            ->current_test_info()
+                                            ->name()));
+    fs::create_directories(dir_);
+    // key,value rows with repeating keys.
+    Rng rng(17);
+    std::string contents;
+    for (int i = 0; i < 500; ++i) {
+      const int64_t key = static_cast<int64_t>(rng.UniformInt(20));
+      const int64_t value = static_cast<int64_t>(rng.UniformInt(100));
+      expected_[key] += value;
+      contents += StringPrintf("%lld,%lld\n", static_cast<long long>(key),
+                               static_cast<long long>(value));
+    }
+    path_ = (dir_ / "kv.csv").string();
+    FILE* f = fopen(path_.c_str(), "w");
+    fwrite(contents.data(), 1, contents.size(), f);
+    fclose(f);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  static Status ParseKv(std::string_view line, int64_t* key,
+                        int64_t* value) {
+    const auto parts = SplitString(line, ',');
+    if (parts.size() != 2) return Status::Corruption("bad kv line");
+    SM_ASSIGN_OR_RETURN(*key, ParseInt64(parts[0]));
+    SM_ASSIGN_OR_RETURN(*value, ParseInt64(parts[1]));
+    return Status::OK();
+  }
+
+  ClusterConfig Config() {
+    ClusterConfig config;
+    config.num_nodes = 3;
+    config.slots_per_node = 2;
+    return config;
+  }
+
+  fs::path dir_;
+  std::string path_;
+  std::map<int64_t, int64_t> expected_;
+};
+
+TEST_F(ClusterEquivalenceTest, MapReduceAndDataflowAgreeOnAggregation) {
+  BlockStore store(3, 128);
+  ASSERT_TRUE(store.AddFile(path_).ok());
+  const auto splits = store.SplittableSplits();
+  ASSERT_GT(splits.size(), 1u);
+
+  // MapReduce plan.
+  mapreduce::MapFn<int64_t, int64_t> map =
+      [](const InputSplit& split,
+         mapreduce::Emitter<int64_t, int64_t>* emitter) -> Status {
+    SM_ASSIGN_OR_RETURN(std::vector<std::string> lines,
+                        ReadSplitLines(split));
+    for (const auto& line : lines) {
+      int64_t key = 0, value = 0;
+      SM_RETURN_IF_ERROR(ParseKv(line, &key, &value));
+      emitter->Emit(key, value);
+    }
+    return Status::OK();
+  };
+  mapreduce::ReduceFn<int64_t, int64_t, std::pair<int64_t, int64_t>>
+      reduce = [](const int64_t& key, std::vector<int64_t>&& values,
+                  std::vector<std::pair<int64_t, int64_t>>* out) -> Status {
+    out->emplace_back(key, std::accumulate(values.begin(), values.end(),
+                                           int64_t{0}));
+    return Status::OK();
+  };
+  auto mr = (mapreduce::RunMapReduce<int64_t, int64_t,
+                                     std::pair<int64_t, int64_t>>(
+      splits, Config(), {}, map, reduce));
+  ASSERT_TRUE(mr.ok());
+  std::map<int64_t, int64_t> mr_result(mr->outputs.begin(),
+                                       mr->outputs.end());
+
+  // Dataflow plan over the same splits.
+  dataflow::Context ctx(Config());
+  auto rows = ctx.ReadText<std::pair<int64_t, int64_t>>(
+      splits,
+      [](std::string_view line,
+         std::vector<std::pair<int64_t, int64_t>>* out) -> Status {
+        int64_t key = 0, value = 0;
+        SM_RETURN_IF_ERROR(ParseKv(line, &key, &value));
+        out->emplace_back(key, value);
+        return Status::OK();
+      });
+  ASSERT_TRUE(rows.ok());
+  auto grouped =
+      (ctx.GroupBy<std::pair<int64_t, int64_t>, int64_t, int64_t>(
+          *rows, [](const std::pair<int64_t, int64_t>& kv) { return kv; }));
+  ASSERT_TRUE(grouped.ok());
+  std::map<int64_t, int64_t> df_result;
+  for (const auto& [key, values] : ctx.Collect(std::move(*grouped))) {
+    df_result[key] =
+        std::accumulate(values.begin(), values.end(), int64_t{0});
+  }
+
+  EXPECT_EQ(mr_result, expected_);
+  EXPECT_EQ(df_result, expected_);
+}
+
+TEST_F(ClusterEquivalenceTest, ReducerCountDoesNotChangeResults) {
+  BlockStore store(2, 64);
+  ASSERT_TRUE(store.AddFile(path_).ok());
+  mapreduce::MapFn<int64_t, int64_t> map =
+      [](const InputSplit& split,
+         mapreduce::Emitter<int64_t, int64_t>* emitter) -> Status {
+    SM_ASSIGN_OR_RETURN(std::vector<std::string> lines,
+                        ReadSplitLines(split));
+    for (const auto& line : lines) {
+      int64_t key = 0, value = 0;
+      SM_RETURN_IF_ERROR(ParseKv(line, &key, &value));
+      emitter->Emit(key, value);
+    }
+    return Status::OK();
+  };
+  mapreduce::ReduceFn<int64_t, int64_t, std::pair<int64_t, int64_t>>
+      reduce = [](const int64_t& key, std::vector<int64_t>&& values,
+                  std::vector<std::pair<int64_t, int64_t>>* out) -> Status {
+    out->emplace_back(key, std::accumulate(values.begin(), values.end(),
+                                           int64_t{0}));
+    return Status::OK();
+  };
+  for (int reducers : {1, 2, 7, 64}) {
+    mapreduce::JobOptions options;
+    options.num_reducers = reducers;
+    auto result = (mapreduce::RunMapReduce<int64_t, int64_t,
+                                           std::pair<int64_t, int64_t>>(
+        store.SplittableSplits(), Config(), options, map, reduce));
+    ASSERT_TRUE(result.ok()) << reducers;
+    std::map<int64_t, int64_t> got(result->outputs.begin(),
+                                   result->outputs.end());
+    EXPECT_EQ(got, expected_) << reducers << " reducers";
+  }
+}
+
+TEST(CostModelPropertyTest, MakespanMonotoneInSlots) {
+  Rng rng(23);
+  std::vector<double> durations(100);
+  for (double& d : durations) d = rng.NextDouble();
+  double prev = std::numeric_limits<double>::infinity();
+  for (int nodes : {1, 2, 4, 8, 16, 32}) {
+    ClusterConfig config;
+    config.num_nodes = nodes;
+    config.slots_per_node = 2;
+    TaskWaveRunner runner(config, 0.0);
+    const double makespan = runner.Makespan(durations);
+    EXPECT_LE(makespan, prev + 1e-12) << nodes;
+    // Never better than perfect parallelism, never worse than serial.
+    const double total =
+        std::accumulate(durations.begin(), durations.end(), 0.0);
+    EXPECT_GE(makespan, total / config.total_slots() - 1e-12);
+    EXPECT_LE(makespan, total + 1e-12);
+    prev = makespan;
+  }
+}
+
+TEST(CostModelPropertyTest, SimulatedSecondsMonotoneInEachCost) {
+  ClusterConfig config;
+  TaskWaveRunner runner(config, 0.05);
+  TaskStats base;
+  base.compute_seconds = 0.1;
+  base.input_bytes = 1 << 20;
+  base.shuffle_bytes = 1 << 20;
+  base.files_opened = 1;
+  const double baseline = runner.SimulatedSeconds(base);
+  TaskStats more = base;
+  more.input_bytes *= 2;
+  EXPECT_GT(runner.SimulatedSeconds(more), baseline);
+  more = base;
+  more.shuffle_bytes *= 2;
+  EXPECT_GT(runner.SimulatedSeconds(more), baseline);
+  more = base;
+  more.files_opened += 5;
+  EXPECT_GT(runner.SimulatedSeconds(more), baseline);
+  more = base;
+  more.compute_seconds *= 2;
+  EXPECT_GT(runner.SimulatedSeconds(more), baseline);
+}
+
+}  // namespace
+}  // namespace smartmeter::cluster

@@ -1,0 +1,119 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "engines/cluster_task_util.h"
+#include "engines/result_serde.h"
+
+namespace smartmeter::engines::internal {
+namespace {
+
+TEST(AssembleSeriesTest, SortsByHour) {
+  std::vector<HourRecord> records = {
+      {2, 0.3, 10.0}, {0, 0.1, 8.0}, {1, 0.2, 9.0}};
+  std::vector<double> consumption, temperature;
+  AssembleSeries(&records, &consumption, &temperature);
+  const std::vector<double> expected_c = {0.1, 0.2, 0.3};
+  const std::vector<double> expected_t = {8.0, 9.0, 10.0};
+  EXPECT_EQ(consumption, expected_c);
+  EXPECT_EQ(temperature, expected_t);
+}
+
+TEST(AssembleSeriesTest, EmptyInput) {
+  std::vector<HourRecord> records;
+  std::vector<double> consumption, temperature;
+  AssembleSeries(&records, &consumption, &temperature);
+  EXPECT_TRUE(consumption.empty());
+  EXPECT_TRUE(temperature.empty());
+}
+
+TEST(ParseHouseholdLineTest, ParsesIdAndReadings) {
+  auto parsed = ParseHouseholdLine("42,0.5,1.25,0.75");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->household_id, 42);
+  const std::vector<double> expected = {0.5, 1.25, 0.75};
+  EXPECT_EQ(parsed->consumption, expected);
+}
+
+TEST(ParseHouseholdLineTest, RejectsMalformed) {
+  EXPECT_FALSE(ParseHouseholdLine("").ok());
+  EXPECT_FALSE(ParseHouseholdLine("42").ok());
+  EXPECT_FALSE(ParseHouseholdLine("x,1.0").ok());
+  EXPECT_FALSE(ParseHouseholdLine("42,abc").ok());
+}
+
+TEST(ComputeHouseholdTaskTest, DispatchesPerTask) {
+  std::vector<double> consumption, temperature;
+  // A year of synthetic data with enough variation for all tasks.
+  for (int t = 0; t < 365 * 24; ++t) {
+    temperature.push_back(10.0 + 15.0 * std::sin(t * 0.0007));
+    consumption.push_back(0.5 + 0.1 * ((t % 24) / 24.0) +
+                          0.02 * std::max(0.0, 12.0 - temperature.back()));
+  }
+  TaskOutputs outputs;
+  TaskRequest request;
+  request.task = core::TaskType::kHistogram;
+  ASSERT_TRUE(ComputeHouseholdTask(request, 7, consumption, temperature,
+                                   &outputs)
+                  .ok());
+  request.task = core::TaskType::kThreeLine;
+  ASSERT_TRUE(ComputeHouseholdTask(request, 7, consumption, temperature,
+                                   &outputs)
+                  .ok());
+  request.task = core::TaskType::kPar;
+  ASSERT_TRUE(ComputeHouseholdTask(request, 7, consumption, temperature,
+                                   &outputs)
+                  .ok());
+  EXPECT_EQ(outputs.histograms.size(), 1u);
+  EXPECT_EQ(outputs.three_lines.size(), 1u);
+  EXPECT_EQ(outputs.profiles.size(), 1u);
+  EXPECT_EQ(outputs.histograms[0].household_id, 7);
+
+  request.task = core::TaskType::kSimilarity;
+  EXPECT_FALSE(ComputeHouseholdTask(request, 7, consumption, temperature,
+                                    &outputs)
+                   .ok());
+}
+
+TEST(SortOutputsTest, OrdersEveryVectorById) {
+  TaskOutputs outputs;
+  outputs.histograms.push_back({3, {}});
+  outputs.histograms.push_back({1, {}});
+  outputs.three_lines.push_back({});
+  outputs.three_lines.back().household_id = 9;
+  outputs.three_lines.push_back({});
+  outputs.three_lines.back().household_id = 2;
+  core::SimilarityResult s1;
+  s1.household_id = 5;
+  core::SimilarityResult s2;
+  s2.household_id = 4;
+  outputs.similarities = {s1, s2};
+  SortOutputsByHousehold(&outputs);
+  EXPECT_EQ(outputs.histograms[0].household_id, 1);
+  EXPECT_EQ(outputs.three_lines[0].household_id, 2);
+  EXPECT_EQ(outputs.similarities[0].household_id, 4);
+}
+
+TEST(ResultSerdeTest, SizesScaleWithContent) {
+  core::HistogramResult hist;
+  hist.histogram.counts.assign(10, 0);
+  EXPECT_EQ(core::ApproxByteSize(hist), 8 + 16 + 80);
+
+  core::ThreeLineResult lines;
+  EXPECT_GT(core::ApproxByteSize(lines), 100);
+
+  core::DailyProfileResult profile;
+  profile.profile.assign(24, 0.0);
+  profile.coefficients.assign(24, std::vector<double>(5, 0.0));
+  profile.temperature_beta.assign(24, 0.0);
+  const int64_t small = core::ApproxByteSize(profile);
+  profile.coefficients.assign(24, std::vector<double>(10, 0.0));
+  EXPECT_GT(core::ApproxByteSize(profile), small);
+
+  core::SimilarityResult sim;
+  sim.matches.resize(10);
+  EXPECT_EQ(core::ApproxByteSize(sim), 8 + 16 + 160);
+}
+
+}  // namespace
+}  // namespace smartmeter::engines::internal

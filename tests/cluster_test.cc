@@ -1,0 +1,404 @@
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <filesystem>
+#include <map>
+#include <numeric>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/string_util.h"
+
+#include "cluster/block_store.h"
+#include "cluster/cost_model.h"
+#include "cluster/dataflow.h"
+#include "cluster/mapreduce.h"
+#include "cluster/serde.h"
+#include "cluster/task_scheduler.h"
+#include "common/rng.h"
+
+namespace smartmeter::cluster {
+namespace {
+
+namespace fs = std::filesystem;
+
+class ClusterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::path(::testing::TempDir()) /
+           ("cluster_test_" + std::string(::testing::UnitTest::GetInstance()
+                                              ->current_test_info()
+                                              ->name()));
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  std::string WriteFile(const std::string& name,
+                        const std::string& contents) {
+    const std::string path = (dir_ / name).string();
+    FILE* f = fopen(path.c_str(), "w");
+    fwrite(contents.data(), 1, contents.size(), f);
+    fclose(f);
+    return path;
+  }
+
+  fs::path dir_;
+};
+
+// ---------------------------------------------------------------------------
+// Serde
+// ---------------------------------------------------------------------------
+
+TEST(SerdeTest, Sizes) {
+  EXPECT_EQ(ApproxByteSize(1.5), 8);
+  EXPECT_EQ(ApproxByteSize(int64_t{1}), 8);
+  EXPECT_EQ(ApproxByteSize(std::string("abcd")), 20);
+  EXPECT_EQ(ApproxByteSize(std::vector<double>(10)), 16 + 80);
+  EXPECT_EQ(ApproxByteSize(std::make_pair(int64_t{1}, 2.0)), 16);
+  const std::vector<std::string> vs = {"ab", "c"};
+  EXPECT_EQ(ApproxByteSize(vs), 16 + 18 + 17);
+}
+
+// ---------------------------------------------------------------------------
+// Split reading (TextInputFormat semantics)
+// ---------------------------------------------------------------------------
+
+TEST_F(ClusterTest, SplitsCoverEveryLineExactlyOnce) {
+  // Random lines, random block size: union of split reads == file lines.
+  Rng rng(3);
+  for (int trial = 0; trial < 8; ++trial) {
+    std::string contents;
+    std::vector<std::string> expected;
+    const int n_lines = 1 + static_cast<int>(rng.UniformInt(100));
+    for (int i = 0; i < n_lines; ++i) {
+      std::string line = "line-" + std::to_string(trial) + "-" +
+                         std::to_string(i) + "-" +
+                         std::string(rng.UniformInt(30), 'x');
+      expected.push_back(line);
+      contents += line + "\n";
+    }
+    const std::string path =
+        WriteFile("t" + std::to_string(trial) + ".txt", contents);
+    const int64_t block = 1 + static_cast<int64_t>(rng.UniformInt(64));
+    BlockStore store(4, block);
+    ASSERT_TRUE(store.AddFile(path).ok());
+    std::vector<std::string> collected;
+    for (const InputSplit& split : store.SplittableSplits()) {
+      auto lines = ReadSplitLines(split);
+      ASSERT_TRUE(lines.ok());
+      collected.insert(collected.end(), lines->begin(), lines->end());
+    }
+    // Order within a split is file order; splits are in offset order.
+    EXPECT_EQ(collected, expected) << "block=" << block;
+  }
+}
+
+TEST_F(ClusterTest, FileWithoutTrailingNewline) {
+  const std::string path = WriteFile("nonl.txt", "a\nbb\nccc");
+  BlockStore store(2, 4);
+  ASSERT_TRUE(store.AddFile(path).ok());
+  std::vector<std::string> collected;
+  for (const InputSplit& split : store.SplittableSplits()) {
+    auto lines = ReadSplitLines(split);
+    ASSERT_TRUE(lines.ok());
+    collected.insert(collected.end(), lines->begin(), lines->end());
+  }
+  const std::vector<std::string> expected = {"a", "bb", "ccc"};
+  EXPECT_EQ(collected, expected);
+}
+
+TEST_F(ClusterTest, WholeFileSplitsOnePerFile) {
+  WriteFile("a.txt", "1\n2\n");
+  WriteFile("b.txt", "3\n");
+  BlockStore store(4, 2);  // Tiny blocks, but whole-file ignores them.
+  ASSERT_TRUE(store.AddFile((dir_ / "a.txt").string()).ok());
+  ASSERT_TRUE(store.AddFile((dir_ / "b.txt").string()).ok());
+  const auto splits = store.WholeFileSplits();
+  ASSERT_EQ(splits.size(), 2u);
+  auto lines_a = ReadSplitLines(splits[0]);
+  ASSERT_TRUE(lines_a.ok());
+  EXPECT_EQ(lines_a->size(), 2u);
+  EXPECT_EQ(store.num_files(), 2u);
+  EXPECT_EQ(store.total_bytes(), 6);
+}
+
+TEST_F(ClusterTest, SplittableSplitsRespectBlockSize) {
+  std::string contents;
+  for (int i = 0; i < 100; ++i) contents += "0123456789\n";  // 1100 bytes.
+  const std::string path = WriteFile("big.txt", contents);
+  BlockStore store(4, 256);
+  ASSERT_TRUE(store.AddFile(path).ok());
+  const auto splits = store.SplittableSplits();
+  EXPECT_EQ(splits.size(), 5u);  // ceil(1100 / 256).
+  EXPECT_TRUE(splits[0].opens_file);
+  EXPECT_FALSE(splits[1].opens_file);
+  std::set<int> nodes;
+  for (const auto& s : splits) nodes.insert(s.home_node);
+  EXPECT_GT(nodes.size(), 1u);  // Blocks spread over nodes.
+}
+
+TEST(BlockStoreTest, MissingFileFails) {
+  BlockStore store(2, 64);
+  EXPECT_EQ(store.AddFile("/nonexistent/x.csv").code(),
+            StatusCode::kIOError);
+}
+
+// ---------------------------------------------------------------------------
+// TaskWaveRunner
+// ---------------------------------------------------------------------------
+
+ClusterConfig TestConfig(int nodes = 2, int slots = 2) {
+  ClusterConfig config;
+  config.num_nodes = nodes;
+  config.slots_per_node = slots;
+  return config;
+}
+
+TEST(TaskWaveRunnerTest, SimulatedSecondsComposesCosts) {
+  ClusterConfig config = TestConfig();
+  config.cost.scan_seconds_per_mb = 1.0;
+  config.cost.shuffle_seconds_per_mb = 2.0;
+  config.cost.file_open_seconds = 0.5;
+  TaskWaveRunner runner(config, /*task_startup_seconds=*/0.25);
+  TaskStats stats;
+  stats.input_bytes = 1 << 20;    // 1 MB -> 1 s.
+  stats.shuffle_bytes = 2 << 20;  // 2 MB -> 4 s.
+  stats.files_opened = 2;         // -> 1 s.
+  stats.compute_seconds = 0.5;
+  stats.fixed_seconds = 0.25;
+  EXPECT_NEAR(runner.SimulatedSeconds(stats), 0.25 + 1.0 + 4.0 + 1.0 + 0.5 +
+                                                  0.25,
+              1e-12);
+}
+
+TEST(TaskWaveRunnerTest, MakespanListSchedules) {
+  TaskWaveRunner runner(TestConfig(2, 1), 0.0);  // 2 slots.
+  // Durations 3,3,3 on 2 slots -> 6; 5,1,1,1 -> 5 vs greedy 5? greedy:
+  // slotA=5, slotB=1+1+1=3 -> makespan 5.
+  EXPECT_DOUBLE_EQ(runner.Makespan({3, 3, 3}), 6.0);
+  EXPECT_DOUBLE_EQ(runner.Makespan({5, 1, 1, 1}), 5.0);
+  EXPECT_DOUBLE_EQ(runner.Makespan({}), 0.0);
+}
+
+TEST(TaskWaveRunnerTest, RunExecutesAllTasksAndMeasuresCompute) {
+  TaskWaveRunner runner(TestConfig(4, 4), 0.0);
+  std::atomic<int> executed{0};
+  std::vector<TaskWaveRunner::TaskFn> tasks;
+  for (int i = 0; i < 20; ++i) {
+    tasks.push_back([&executed](TaskStats* stats) -> Status {
+      executed.fetch_add(1);
+      // Busy work so measured thread CPU time is nonzero.
+      double acc = 0.0;
+      for (int k = 0; k < 200000; ++k) acc += std::sqrt(k);
+      stats->fixed_seconds = acc > 0 ? 0.0 : 1.0;
+      return Status::OK();
+    });
+  }
+  auto makespan = runner.Run(&tasks);
+  ASSERT_TRUE(makespan.ok());
+  EXPECT_EQ(executed.load(), 20);
+  EXPECT_GT(*makespan, 0.0);
+}
+
+TEST(TaskWaveRunnerTest, FirstErrorPropagates) {
+  TaskWaveRunner runner(TestConfig(), 0.0);
+  std::vector<TaskWaveRunner::TaskFn> tasks;
+  tasks.push_back([](TaskStats*) { return Status::OK(); });
+  tasks.push_back(
+      [](TaskStats*) { return Status::Corruption("bad split"); });
+  auto result = runner.Run(&tasks);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
+}
+
+TEST(TaskWaveRunnerTest, MoreSlotsShrinkMakespan) {
+  const std::vector<double> durations(64, 1.0);
+  TaskWaveRunner small(TestConfig(2, 2), 0.0);   // 4 slots.
+  TaskWaveRunner large(TestConfig(8, 2), 0.0);   // 16 slots.
+  EXPECT_DOUBLE_EQ(small.Makespan(durations), 16.0);
+  EXPECT_DOUBLE_EQ(large.Makespan(durations), 4.0);
+}
+
+// ---------------------------------------------------------------------------
+// MapReduce
+// ---------------------------------------------------------------------------
+
+TEST_F(ClusterTest, WordCountStyleJob) {
+  WriteFile("w1.txt", "a\nb\na\n");
+  WriteFile("w2.txt", "b\na\n");
+  BlockStore store(2, 4);
+  ASSERT_TRUE(store.AddFile((dir_ / "w1.txt").string()).ok());
+  ASSERT_TRUE(store.AddFile((dir_ / "w2.txt").string()).ok());
+
+  mapreduce::JobOptions options;
+  options.job_overhead_seconds = 0.0;
+  options.task_startup_seconds = 0.0;
+  options.num_reducers = 3;
+  mapreduce::MapFn<std::string, int64_t> map =
+      [](const InputSplit& split,
+         mapreduce::Emitter<std::string, int64_t>* emitter) -> Status {
+    SM_ASSIGN_OR_RETURN(std::vector<std::string> lines,
+                        ReadSplitLines(split));
+    for (const std::string& line : lines) emitter->Emit(line, 1);
+    return Status::OK();
+  };
+  mapreduce::ReduceFn<std::string, int64_t,
+                      std::pair<std::string, int64_t>>
+      reduce = [](const std::string& key, std::vector<int64_t>&& values,
+                  std::vector<std::pair<std::string, int64_t>>* out)
+      -> Status {
+    out->emplace_back(key,
+                      std::accumulate(values.begin(), values.end(),
+                                      int64_t{0}));
+    return Status::OK();
+  };
+  auto result =
+      (mapreduce::RunMapReduce<std::string, int64_t,
+                               std::pair<std::string, int64_t>>(
+          store.SplittableSplits(), TestConfig(), options, map, reduce));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  std::map<std::string, int64_t> counts(result->outputs.begin(),
+                                        result->outputs.end());
+  EXPECT_EQ(counts["a"], 3);
+  EXPECT_EQ(counts["b"], 2);
+  EXPECT_GT(result->shuffle_bytes, 0);
+  EXPECT_GT(result->input_bytes, 0);
+}
+
+TEST_F(ClusterTest, MapOnlyJobSkipsShuffle) {
+  WriteFile("m.txt", "x\ny\n");
+  BlockStore store(2, 64);
+  ASSERT_TRUE(store.AddFile((dir_ / "m.txt").string()).ok());
+  mapreduce::JobOptions options;
+  options.job_overhead_seconds = 0.0;
+  options.task_startup_seconds = 0.0;
+  mapreduce::MapFn<std::string, int> map =
+      [](const InputSplit& split,
+         mapreduce::Emitter<std::string, int>* emitter) -> Status {
+    SM_ASSIGN_OR_RETURN(std::vector<std::string> lines,
+                        ReadSplitLines(split));
+    for (const std::string& line : lines) emitter->Emit(line, 7);
+    return Status::OK();
+  };
+  auto result = (mapreduce::RunMapOnly<std::string, int>(
+      store.SplittableSplits(), TestConfig(), options, map));
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->outputs.size(), 2u);
+  EXPECT_EQ(result->shuffle_bytes, 0);
+}
+
+TEST_F(ClusterTest, MapErrorAborts) {
+  WriteFile("e.txt", "x\n");
+  BlockStore store(1, 64);
+  ASSERT_TRUE(store.AddFile((dir_ / "e.txt").string()).ok());
+  mapreduce::MapFn<int64_t, int> map =
+      [](const InputSplit&, mapreduce::Emitter<int64_t, int>*) -> Status {
+    return Status::Corruption("boom");
+  };
+  auto result = (mapreduce::RunMapOnly<int64_t, int>(
+      store.SplittableSplits(), TestConfig(), {}, map));
+  EXPECT_FALSE(result.ok());
+}
+
+TEST_F(ClusterTest, HiveStyleOverheadsRaiseSimulatedTime) {
+  WriteFile("o.txt", "x\n");
+  BlockStore store(1, 64);
+  ASSERT_TRUE(store.AddFile((dir_ / "o.txt").string()).ok());
+  mapreduce::MapFn<int64_t, int> map =
+      [](const InputSplit&, mapreduce::Emitter<int64_t, int>*) -> Status {
+    return Status::OK();
+  };
+  mapreduce::JobOptions cheap, pricey;
+  cheap.job_overhead_seconds = 0.0;
+  cheap.task_startup_seconds = 0.0;
+  pricey.job_overhead_seconds = 2.0;
+  pricey.task_startup_seconds = 0.5;
+  auto fast = (mapreduce::RunMapOnly<int64_t, int>(
+      store.SplittableSplits(), TestConfig(), cheap, map));
+  auto slow = (mapreduce::RunMapOnly<int64_t, int>(
+      store.SplittableSplits(), TestConfig(), pricey, map));
+  ASSERT_TRUE(fast.ok());
+  ASSERT_TRUE(slow.ok());
+  EXPECT_GT(slow->simulated_seconds, fast->simulated_seconds + 2.0);
+}
+
+// ---------------------------------------------------------------------------
+// Dataflow
+// ---------------------------------------------------------------------------
+
+TEST_F(ClusterTest, DataflowPipeline) {
+  WriteFile("d.txt", "1\n2\n3\n4\n5\n");
+  BlockStore store(2, 4);
+  ASSERT_TRUE(store.AddFile((dir_ / "d.txt").string()).ok());
+  dataflow::Context ctx(TestConfig());
+  auto numbers = ctx.ReadText<int64_t>(
+      store.SplittableSplits(),
+      [](std::string_view line, std::vector<int64_t>* out) -> Status {
+        SM_ASSIGN_OR_RETURN(int64_t v, ParseInt64(line));
+        out->push_back(v);
+        return Status::OK();
+      });
+  ASSERT_TRUE(numbers.ok());
+  EXPECT_EQ(numbers->TotalSize(), 5u);
+
+  auto doubled = (ctx.MapPartitions<int64_t, int64_t>(
+      *numbers, [](const std::vector<int64_t>& in,
+                   std::vector<int64_t>* out) -> Status {
+        for (int64_t v : in) out->push_back(v * 2);
+        return Status::OK();
+      }));
+  ASSERT_TRUE(doubled.ok());
+  std::vector<int64_t> collected = ctx.Collect(std::move(*doubled));
+  std::sort(collected.begin(), collected.end());
+  const std::vector<int64_t> expected = {2, 4, 6, 8, 10};
+  EXPECT_EQ(collected, expected);
+  EXPECT_GT(ctx.simulated_seconds(), 0.0);
+  EXPECT_GT(ctx.modeled_cached_bytes(), 0);
+}
+
+TEST_F(ClusterTest, DataflowGroupByGathersAllValues) {
+  dataflow::Context ctx(TestConfig());
+  std::vector<std::pair<int64_t, int64_t>> data;
+  for (int64_t i = 0; i < 100; ++i) data.emplace_back(i % 7, i);
+  auto part = ctx.Parallelize(std::move(data), 5);
+  auto grouped =
+      (ctx.GroupBy<std::pair<int64_t, int64_t>, int64_t, int64_t>(
+          part,
+          [](const std::pair<int64_t, int64_t>& kv) { return kv; }, 4));
+  ASSERT_TRUE(grouped.ok());
+  auto collected = ctx.Collect(std::move(*grouped));
+  ASSERT_EQ(collected.size(), 7u);
+  size_t total = 0;
+  for (const auto& [key, values] : collected) {
+    for (int64_t v : values) EXPECT_EQ(v % 7, key);
+    total += values.size();
+  }
+  EXPECT_EQ(total, 100u);
+}
+
+TEST_F(ClusterTest, BroadcastChargesTime) {
+  ClusterConfig config = TestConfig(16, 1);
+  config.cost.broadcast_seconds_per_mb_per_node = 1.0;
+  dataflow::Context ctx(config);
+  const double before = ctx.simulated_seconds();
+  auto handle = ctx.Broadcast(std::vector<double>(1 << 17));  // 1 MB.
+  EXPECT_EQ(handle->size(), static_cast<size_t>(1 << 17));
+  EXPECT_NEAR(ctx.simulated_seconds() - before, 16.0, 0.5);
+}
+
+TEST_F(ClusterTest, ParallelizeRoundRobins) {
+  dataflow::Context ctx(TestConfig());
+  std::vector<int> values(10);
+  std::iota(values.begin(), values.end(), 0);
+  auto part = ctx.Parallelize(std::move(values), 3);
+  EXPECT_EQ(part.partitions.size(), 3u);
+  EXPECT_EQ(part.TotalSize(), 10u);
+  EXPECT_EQ(part.partitions[0].size(), 4u);
+}
+
+}  // namespace
+}  // namespace smartmeter::cluster

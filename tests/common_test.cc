@@ -1,0 +1,374 @@
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "common/flags.h"
+#include "common/memory_probe.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "common/thread_pool.h"
+
+namespace smartmeter {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Status / Result
+// ---------------------------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::NotFound("household 7");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kNotFound);
+  EXPECT_EQ(st.message(), "household 7");
+  EXPECT_EQ(st.ToString(), "NotFound: household 7");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kAlreadyExists, StatusCode::kIOError,
+        StatusCode::kCorruption, StatusCode::kOutOfRange,
+        StatusCode::kNotSupported, StatusCode::kInternal,
+        StatusCode::kAborted}) {
+    EXPECT_FALSE(StatusCodeName(code).empty());
+    EXPECT_NE(StatusCodeName(code), "Unknown");
+  }
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::IOError("x"), Status::IOError("x"));
+  EXPECT_FALSE(Status::IOError("x") == Status::IOError("y"));
+  EXPECT_FALSE(Status::IOError("x") == Status::Corruption("x"));
+}
+
+Status FailingHelper() { return Status::Aborted("boom"); }
+
+Status UsesReturnIfError() {
+  SM_RETURN_IF_ERROR(FailingHelper());
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  EXPECT_EQ(UsesReturnIfError().code(), StatusCode::kAborted);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(0), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+Result<int> DoubleOrFail(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return x * 2;
+}
+
+Result<int> ChainResults(int x) {
+  SM_ASSIGN_OR_RETURN(int doubled, DoubleOrFail(x));
+  return doubled + 1;
+}
+
+TEST(ResultTest, AssignOrReturnChains) {
+  ASSERT_TRUE(ChainResults(3).ok());
+  EXPECT_EQ(*ChainResults(3), 7);
+  EXPECT_FALSE(ChainResults(-1).ok());
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(5);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> owned = std::move(r).value();
+  EXPECT_EQ(*owned, 5);
+}
+
+// ---------------------------------------------------------------------------
+// String utilities
+// ---------------------------------------------------------------------------
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  auto parts = SplitString("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(StringUtilTest, SplitSingleField) {
+  auto parts = SplitString("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(StringUtilTest, SplitEmptyString) {
+  auto parts = SplitString("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(StringUtilTest, SplitTrailingDelimiter) {
+  auto parts = SplitString("a,b,", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(StringUtilTest, TrimWhitespace) {
+  EXPECT_EQ(TrimWhitespace("  x \t\n"), "x");
+  EXPECT_EQ(TrimWhitespace(""), "");
+  EXPECT_EQ(TrimWhitespace(" \t "), "");
+  EXPECT_EQ(TrimWhitespace("no-trim"), "no-trim");
+}
+
+TEST(StringUtilTest, ParseDoubleValid) {
+  EXPECT_DOUBLE_EQ(*ParseDouble("3.25"), 3.25);
+  EXPECT_DOUBLE_EQ(*ParseDouble("-0.5"), -0.5);
+  EXPECT_DOUBLE_EQ(*ParseDouble(" 7 "), 7.0);
+}
+
+TEST(StringUtilTest, ParseDoubleInvalid) {
+  EXPECT_FALSE(ParseDouble("").ok());
+  EXPECT_FALSE(ParseDouble("abc").ok());
+  EXPECT_FALSE(ParseDouble("1.5x").ok());
+}
+
+TEST(StringUtilTest, ParseInt64Valid) {
+  EXPECT_EQ(*ParseInt64("123"), 123);
+  EXPECT_EQ(*ParseInt64("-9"), -9);
+}
+
+TEST(StringUtilTest, ParseInt64Invalid) {
+  EXPECT_FALSE(ParseInt64("").ok());
+  EXPECT_FALSE(ParseInt64("12.5").ok());
+  EXPECT_FALSE(ParseInt64("99999999999999999999").ok());
+}
+
+TEST(StringUtilTest, StringPrintfFormats) {
+  EXPECT_EQ(StringPrintf("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StringPrintf("%.2f", 1.234), "1.23");
+}
+
+TEST(StringUtilTest, HumanBytes) {
+  EXPECT_EQ(HumanBytes(512), "512 B");
+  EXPECT_EQ(HumanBytes(2048), "2.00 KB");
+  EXPECT_EQ(HumanBytes(int64_t{3} << 20), "3.00 MB");
+  EXPECT_EQ(HumanBytes(int64_t{5} << 30), "5.00 GB");
+}
+
+TEST(StringUtilTest, HumanSeconds) {
+  EXPECT_EQ(HumanSeconds(0.0123), "12.30 ms");
+  EXPECT_EQ(HumanSeconds(2.5), "2.500 s");
+  EXPECT_EQ(HumanSeconds(120.0), "2.00 min");
+}
+
+// ---------------------------------------------------------------------------
+// Flags
+// ---------------------------------------------------------------------------
+
+TEST(FlagParserTest, ParsesAllForms) {
+  const char* argv[] = {"prog",      "--scale=100", "--name=ontario",
+                        "--verbose", "positional",  "--ratio=0.5"};
+  FlagParser flags(6, const_cast<char**>(argv));
+  EXPECT_EQ(flags.GetInt("scale", 0), 100);
+  EXPECT_EQ(flags.GetString("name", ""), "ontario");
+  EXPECT_TRUE(flags.GetBool("verbose", false));
+  EXPECT_DOUBLE_EQ(flags.GetDouble("ratio", 0.0), 0.5);
+  ASSERT_EQ(flags.positional().size(), 1u);
+  EXPECT_EQ(flags.positional()[0], "positional");
+}
+
+TEST(FlagParserTest, FallbacksWhenAbsent) {
+  const char* argv[] = {"prog"};
+  FlagParser flags(1, const_cast<char**>(argv));
+  EXPECT_EQ(flags.GetInt("missing", 42), 42);
+  EXPECT_EQ(flags.GetString("missing", "dft"), "dft");
+  EXPECT_FALSE(flags.GetBool("missing", false));
+  EXPECT_FALSE(flags.HasFlag("missing"));
+}
+
+// ---------------------------------------------------------------------------
+// Rng
+// ---------------------------------------------------------------------------
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntInRangeAndRoughlyUniform) {
+  Rng rng(11);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const uint64_t v = rng.UniformInt(10);
+    ASSERT_LT(v, 10u);
+    ++counts[static_cast<size_t>(v)];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, n / 10, n / 100);  // Within 10% of expectation.
+  }
+}
+
+TEST(RngTest, GaussianMomentsApproximatelyCorrect) {
+  Rng rng(13);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Gaussian(5.0, 2.0);
+    sum += v;
+    sum_sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.1);
+}
+
+TEST(RngTest, SplitProducesIndependentStream) {
+  Rng parent(17);
+  Rng child = parent.Split();
+  // The child must not replay the parent's stream.
+  Rng parent_copy(17);
+  (void)parent_copy.NextUint64();  // Same position as parent after Split.
+  EXPECT_NE(child.NextUint64(), parent_copy.NextUint64());
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(23);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> original = v;
+  rng.Shuffle(&v);
+  std::multiset<int> a(v.begin(), v.end());
+  std::multiset<int> b(original.begin(), original.end());
+  EXPECT_EQ(a, b);
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPoolTest, ExecutesAllSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(1000, [&hits](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyRange) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.ParallelFor(0, [&called](size_t, size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  const std::thread::id main_id = std::this_thread::get_id();
+  std::thread::id body_id;
+  pool.ParallelFor(10, [&body_id](size_t, size_t) {
+    body_id = std::this_thread::get_id();
+  });
+  EXPECT_EQ(body_id, main_id);
+}
+
+TEST(ThreadPoolTest, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+// ---------------------------------------------------------------------------
+// Memory probe / stopwatch
+// ---------------------------------------------------------------------------
+
+TEST(MemoryProbeTest, CurrentRssPositive) {
+  EXPECT_GT(CurrentRssBytes(), 0);
+  // VmHWM is absent on some container kernels; when present it must be
+  // consistent with the live RSS.
+  const int64_t peak = PeakRssBytes();
+  if (peak > 0) {
+    EXPECT_GE(peak, CurrentRssBytes() / 2);
+  }
+}
+
+TEST(MemoryProbeTest, SamplerCollectsSamples) {
+  MemorySampler sampler(1);
+  sampler.Start();
+  // Allocate something so RSS is alive while sampling.
+  std::vector<double> ballast(1 << 20, 1.0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  sampler.Stop();
+  EXPECT_GT(sampler.sample_count(), 0);
+  EXPECT_GT(sampler.AverageRssBytes(), 0);
+  EXPECT_GE(sampler.MaxRssBytes(), sampler.AverageRssBytes());
+  EXPECT_GT(ballast[0], 0.0);
+}
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double s = sw.ElapsedSeconds();
+  EXPECT_GE(s, 0.015);
+  EXPECT_LT(s, 5.0);
+  sw.Reset();
+  EXPECT_LT(sw.ElapsedSeconds(), 0.015);
+}
+
+}  // namespace
+}  // namespace smartmeter

@@ -1,0 +1,299 @@
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "datagen/generator.h"
+#include "datagen/seed_generator.h"
+#include "datagen/temperature_model.h"
+#include "stats/descriptive.h"
+#include "timeseries/calendar.h"
+
+namespace smartmeter::datagen {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Temperature model
+// ---------------------------------------------------------------------------
+
+TEST(TemperatureModelTest, ProducesRequestedLength) {
+  EXPECT_EQ(GenerateTemperatureSeries(100).size(), 100u);
+  EXPECT_EQ(GenerateTemperatureSeries(kHoursPerYear).size(),
+            static_cast<size_t>(kHoursPerYear));
+}
+
+TEST(TemperatureModelTest, DeterministicInSeed) {
+  const auto a = GenerateTemperatureSeries(500);
+  const auto b = GenerateTemperatureSeries(500);
+  EXPECT_EQ(a, b);
+  TemperatureModelOptions other;
+  other.seed = 999;
+  const auto c = GenerateTemperatureSeries(500, other);
+  EXPECT_NE(a, c);
+}
+
+TEST(TemperatureModelTest, WinterColdSummerWarm) {
+  const auto series = GenerateTemperatureSeries(kHoursPerYear);
+  // January mean far below July mean.
+  double january = 0.0, july = 0.0;
+  for (int h = 0; h < 31 * 24; ++h) january += series[static_cast<size_t>(h)];
+  january /= 31 * 24;
+  const int july_start = (31 + 28 + 31 + 30 + 31 + 30) * 24;
+  for (int h = july_start; h < july_start + 31 * 24; ++h) {
+    july += series[static_cast<size_t>(h)];
+  }
+  july /= 31 * 24;
+  EXPECT_LT(january, 0.0);
+  EXPECT_GT(july, 15.0);
+  EXPECT_GT(july - january, 15.0);
+}
+
+TEST(TemperatureModelTest, AfternoonWarmerThanNight) {
+  const auto series = GenerateTemperatureSeries(kHoursPerYear);
+  double at_15 = 0.0, at_03 = 0.0;
+  for (int d = 0; d < kDaysPerYear; ++d) {
+    at_15 += series[static_cast<size_t>(d * 24 + 15)];
+    at_03 += series[static_cast<size_t>(d * 24 + 3)];
+  }
+  EXPECT_GT(at_15 / kDaysPerYear, at_03 / kDaysPerYear + 3.0);
+}
+
+TEST(TemperatureModelTest, RangeIsOntarioLike) {
+  const auto series = GenerateTemperatureSeries(kHoursPerYear);
+  const double lo = *std::min_element(series.begin(), series.end());
+  const double hi = *std::max_element(series.begin(), series.end());
+  EXPECT_LT(lo, -5.0);
+  EXPECT_GT(lo, -45.0);
+  EXPECT_GT(hi, 20.0);
+  EXPECT_LT(hi, 45.0);
+}
+
+// ---------------------------------------------------------------------------
+// Seed generator
+// ---------------------------------------------------------------------------
+
+SeedGeneratorOptions SmallSeedOptions(int households = 30) {
+  SeedGeneratorOptions options;
+  options.num_households = households;
+  options.hours = kHoursPerYear;
+  options.seed = 42;
+  return options;
+}
+
+TEST(SeedGeneratorTest, ProducesValidDataset) {
+  auto ds = GenerateSeedDataset(SmallSeedOptions());
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->num_consumers(), 30u);
+  EXPECT_EQ(ds->hours(), static_cast<size_t>(kHoursPerYear));
+  EXPECT_TRUE(ds->Validate().ok());
+}
+
+TEST(SeedGeneratorTest, ConsumptionNonNegative) {
+  auto ds = GenerateSeedDataset(SmallSeedOptions(10));
+  ASSERT_TRUE(ds.ok());
+  for (const auto& c : ds->consumers()) {
+    for (double v : c.consumption) EXPECT_GE(v, 0.0);
+  }
+}
+
+TEST(SeedGeneratorTest, DeterministicInSeed) {
+  auto a = GenerateSeedDataset(SmallSeedOptions(5));
+  auto b = GenerateSeedDataset(SmallSeedOptions(5));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(a->consumer(i).consumption, b->consumer(i).consumption);
+  }
+}
+
+TEST(SeedGeneratorTest, HouseholdsDiffer) {
+  auto ds = GenerateSeedDataset(SmallSeedOptions(5));
+  ASSERT_TRUE(ds.ok());
+  EXPECT_NE(ds->consumer(0).consumption, ds->consumer(1).consumption);
+}
+
+TEST(SeedGeneratorTest, WinterLoadExceedsShoulderLoad) {
+  // Heating dominates in this climate, so January consumption should on
+  // average exceed May consumption across the population.
+  auto ds = GenerateSeedDataset(SmallSeedOptions(40));
+  ASSERT_TRUE(ds.ok());
+  double january = 0.0, may = 0.0;
+  const int may_start = (31 + 28 + 31 + 30) * 24;
+  for (const auto& c : ds->consumers()) {
+    for (int h = 0; h < 31 * 24; ++h) {
+      january += c.consumption[static_cast<size_t>(h)];
+    }
+    for (int h = may_start; h < may_start + 31 * 24; ++h) {
+      may += c.consumption[static_cast<size_t>(h)];
+    }
+  }
+  EXPECT_GT(january, may * 1.1);
+}
+
+TEST(SeedGeneratorTest, RejectsBadOptions) {
+  SeedGeneratorOptions options = SmallSeedOptions();
+  options.num_households = 0;
+  EXPECT_FALSE(GenerateSeedDataset(options).ok());
+  options = SmallSeedOptions();
+  options.hours = 3;
+  EXPECT_FALSE(GenerateSeedDataset(options).ok());
+}
+
+TEST(SeedGeneratorTest, ArchetypeWeightsCoverPopulation) {
+  const auto& archetypes = BuiltinArchetypes();
+  ASSERT_EQ(archetypes.size(), 5u);
+  double total = 0.0;
+  for (const auto& a : archetypes) {
+    EXPECT_GT(a.population_weight, 0.0);
+    EXPECT_LE(a.activity_scale_min, a.activity_scale_max);
+    EXPECT_LE(a.heating_gradient_min, a.heating_gradient_max);
+    EXPECT_LT(a.heating_balance_c, a.cooling_balance_c);
+    total += a.population_weight;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Paper data generator (Section 4)
+// ---------------------------------------------------------------------------
+
+class DataGeneratorTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    SeedGeneratorOptions options;
+    options.num_households = 40;
+    options.hours = kHoursPerYear;
+    options.seed = 77;
+    seed_ = new MeterDataset(*GenerateSeedDataset(options));
+    DataGeneratorOptions gen_options;
+    gen_options.num_clusters = 4;
+    gen_options.noise_sigma = 0.05;
+    generator_ = new DataGenerator(*DataGenerator::Train(*seed_,
+                                                         gen_options));
+  }
+  static void TearDownTestSuite() {
+    delete generator_;
+    delete seed_;
+    generator_ = nullptr;
+    seed_ = nullptr;
+  }
+
+  static MeterDataset* seed_;
+  static DataGenerator* generator_;
+};
+
+MeterDataset* DataGeneratorTest::seed_ = nullptr;
+DataGenerator* DataGeneratorTest::generator_ = nullptr;
+
+TEST_F(DataGeneratorTest, TrainExtractsFeaturesForMostConsumers) {
+  EXPECT_GE(generator_->features().size(), 35u);
+  for (const auto& f : generator_->features()) {
+    EXPECT_EQ(f.profile.size(), 24u);
+    EXPECT_GE(f.heating_gradient, 0.0);
+    EXPECT_GE(f.cooling_gradient, 0.0);
+  }
+}
+
+TEST_F(DataGeneratorTest, ClustersAreNonEmptyAndCoverFeatures) {
+  size_t members = 0;
+  ASSERT_FALSE(generator_->cluster_members().empty());
+  for (const auto& cluster : generator_->cluster_members()) {
+    EXPECT_FALSE(cluster.empty());
+    members += cluster.size();
+  }
+  EXPECT_EQ(members, generator_->features().size());
+  EXPECT_EQ(generator_->clusters().centroids.size(),
+            generator_->cluster_members().size());
+}
+
+TEST_F(DataGeneratorTest, GeneratesRequestedPopulation) {
+  auto generated =
+      generator_->Generate(25, seed_->temperature(), /*seed=*/5,
+                           /*first_household_id=*/1000);
+  ASSERT_TRUE(generated.ok()) << generated.status().ToString();
+  EXPECT_EQ(generated->num_consumers(), 25u);
+  EXPECT_EQ(generated->hours(), seed_->hours());
+  EXPECT_TRUE(generated->Validate().ok());
+  EXPECT_EQ(generated->consumer(0).household_id, 1000);
+  EXPECT_EQ(generated->consumer(24).household_id, 1024);
+  for (const auto& c : generated->consumers()) {
+    for (double v : c.consumption) EXPECT_GE(v, 0.0);
+  }
+}
+
+TEST_F(DataGeneratorTest, GenerationIsDeterministicInSeed) {
+  auto a = generator_->Generate(3, seed_->temperature(), 9);
+  auto b = generator_->Generate(3, seed_->temperature(), 9);
+  auto c = generator_->Generate(3, seed_->temperature(), 10);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(a->consumer(0).consumption, b->consumer(0).consumption);
+  EXPECT_NE(a->consumer(0).consumption, c->consumer(0).consumption);
+}
+
+TEST_F(DataGeneratorTest, GeneratedPopulationResemblesSeed) {
+  // The generated population's overall consumption level should be in
+  // the same ballpark as the seed's (the generator re-aggregates seed
+  // pieces, it does not invent new scale).
+  auto generated = generator_->Generate(30, seed_->temperature(), 3);
+  ASSERT_TRUE(generated.ok());
+  auto mean_of = [](const MeterDataset& ds) {
+    double total = 0.0;
+    for (const auto& c : ds.consumers()) {
+      total += stats::Mean(c.consumption);
+    }
+    return total / static_cast<double>(ds.num_consumers());
+  };
+  const double seed_mean = mean_of(*seed_);
+  const double gen_mean = mean_of(*generated);
+  EXPECT_GT(gen_mean, seed_mean * 0.5);
+  EXPECT_LT(gen_mean, seed_mean * 1.5);
+}
+
+TEST_F(DataGeneratorTest, GeneratedConsumersShowDailyStructure) {
+  auto generated = generator_->Generate(20, seed_->temperature(), 21);
+  ASSERT_TRUE(generated.ok());
+  // Averaged over the population and the year, 6pm load exceeds 3am load
+  // (every archetype is more active in the evening). Individual
+  // consumers may invert this when a strong heating gradient meets cold
+  // nights, so the assertion is population-level.
+  double evening = 0.0, night = 0.0;
+  for (const auto& c : generated->consumers()) {
+    for (int d = 0; d < kDaysPerYear; ++d) {
+      evening += c.consumption[static_cast<size_t>(d * 24 + 18)];
+      night += c.consumption[static_cast<size_t>(d * 24 + 3)];
+    }
+  }
+  EXPECT_GT(evening, night);
+}
+
+TEST_F(DataGeneratorTest, GenerateValidatesArguments) {
+  EXPECT_FALSE(generator_->Generate(-1, seed_->temperature(), 1).ok());
+  EXPECT_FALSE(generator_->Generate(1, {}, 1).ok());
+}
+
+TEST(DataGeneratorTrainTest, RejectsBadOptions) {
+  SeedGeneratorOptions seed_options;
+  seed_options.num_households = 5;
+  auto seed = GenerateSeedDataset(seed_options);
+  ASSERT_TRUE(seed.ok());
+  DataGeneratorOptions options;
+  options.num_clusters = 0;
+  EXPECT_FALSE(DataGenerator::Train(*seed, options).ok());
+  options = DataGeneratorOptions();
+  options.noise_sigma = -1.0;
+  EXPECT_FALSE(DataGenerator::Train(*seed, options).ok());
+}
+
+TEST(DataGeneratorTrainTest, FailsOnUnusableSeed) {
+  // Two consumers with constant temperature: 3-line cannot fit.
+  MeterDataset seed;
+  seed.SetTemperature(std::vector<double>(kHoursPerYear, 10.0));
+  seed.AddConsumer({1, std::vector<double>(kHoursPerYear, 1.0)});
+  seed.AddConsumer({2, std::vector<double>(kHoursPerYear, 2.0)});
+  EXPECT_FALSE(DataGenerator::Train(seed, {}).ok());
+}
+
+}  // namespace
+}  // namespace smartmeter::datagen

@@ -1,0 +1,131 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "datagen/seed_generator.h"
+#include "engines/engine_util.h"
+#include "timeseries/calendar.h"
+
+namespace smartmeter::engines {
+namespace {
+
+class EngineUtilTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    datagen::SeedGeneratorOptions options;
+    options.num_households = 8;
+    options.hours = kHoursPerYear;
+    options.seed = 33;
+    dataset_ = new MeterDataset(*datagen::GenerateSeedDataset(options));
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    dataset_ = nullptr;
+  }
+  static MeterDataset* dataset_;
+};
+
+MeterDataset* EngineUtilTest::dataset_ = nullptr;
+
+TEST_F(EngineUtilTest, SeriesAccessorMatchesDatasetPath) {
+  // Running through a custom accessor must give identical results to the
+  // dataset convenience wrapper.
+  SeriesAccess access;
+  access.count = dataset_->num_consumers();
+  access.household_id = [this_ = dataset_](size_t i) {
+    return this_->consumer(i).household_id;
+  };
+  access.consumption = [this_ = dataset_](size_t i) {
+    return std::span<const double>(this_->consumer(i).consumption);
+  };
+  access.temperature = dataset_->temperature();
+
+  for (core::TaskType task : core::kAllTasks) {
+    TaskRequest request;
+    request.task = task;
+    TaskOutputs via_access, via_dataset;
+    ASSERT_TRUE(RunTaskOverSeries(access, request, 2, &via_access).ok());
+    ASSERT_TRUE(
+        RunTaskOverDataset(*dataset_, request, 2, &via_dataset).ok());
+    switch (task) {
+      case core::TaskType::kHistogram:
+        ASSERT_EQ(via_access.histograms.size(),
+                  via_dataset.histograms.size());
+        for (size_t i = 0; i < via_access.histograms.size(); ++i) {
+          EXPECT_EQ(via_access.histograms[i].histogram.counts,
+                    via_dataset.histograms[i].histogram.counts);
+        }
+        break;
+      case core::TaskType::kThreeLine:
+        for (size_t i = 0; i < via_access.three_lines.size(); ++i) {
+          EXPECT_DOUBLE_EQ(via_access.three_lines[i].heating_gradient,
+                           via_dataset.three_lines[i].heating_gradient);
+        }
+        break;
+      case core::TaskType::kPar:
+        for (size_t i = 0; i < via_access.profiles.size(); ++i) {
+          EXPECT_EQ(via_access.profiles[i].profile,
+                    via_dataset.profiles[i].profile);
+        }
+        break;
+      case core::TaskType::kSimilarity:
+        for (size_t i = 0; i < via_access.similarities.size(); ++i) {
+          ASSERT_FALSE(via_access.similarities[i].matches.empty());
+          EXPECT_EQ(via_access.similarities[i].matches[0].household_id,
+                    via_dataset.similarities[i].matches[0].household_id);
+        }
+        break;
+    }
+  }
+}
+
+TEST_F(EngineUtilTest, SimilarityLimitCapsQueries) {
+  TaskRequest request;
+  request.task = core::TaskType::kSimilarity;
+  request.similarity_households = 3;
+  TaskOutputs outputs;
+  ASSERT_TRUE(RunTaskOverDataset(*dataset_, request, 1, &outputs).ok());
+  EXPECT_EQ(outputs.similarities.size(), 3u);
+  // Matches also come only from the capped set.
+  for (const auto& r : outputs.similarities) {
+    for (const auto& m : r.matches) {
+      EXPECT_LE(m.household_id, 3);
+    }
+  }
+}
+
+TEST_F(EngineUtilTest, ErrorsPropagateFromWorkers) {
+  // A dataset too short for PAR makes every worker fail; the first
+  // error must surface, not crash or hang.
+  MeterDataset shorty;
+  shorty.SetTemperature(std::vector<double>(24, 5.0));
+  shorty.AddConsumer({1, std::vector<double>(24, 1.0)});
+  shorty.AddConsumer({2, std::vector<double>(24, 1.0)});
+  TaskRequest request;
+  request.task = core::TaskType::kPar;
+  auto metrics = RunTaskOverDataset(shorty, request, 4, nullptr);
+  EXPECT_FALSE(metrics.ok());
+  EXPECT_EQ(metrics.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(EngineUtilTest, NullOutputsStillTimes) {
+  TaskRequest request;
+  request.task = core::TaskType::kHistogram;
+  auto metrics = RunTaskOverDataset(*dataset_, request, 1, nullptr);
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_GE(metrics->seconds, 0.0);
+}
+
+TEST_F(EngineUtilTest, LayoutNamesStable) {
+  EXPECT_EQ(DataSourceLayoutName(DataSource::Layout::kSingleCsv),
+            "single-csv");
+  EXPECT_EQ(DataSourceLayoutName(DataSource::Layout::kPartitionedDir),
+            "partitioned-dir");
+  EXPECT_EQ(DataSourceLayoutName(DataSource::Layout::kHouseholdLines),
+            "household-lines");
+  EXPECT_EQ(DataSourceLayoutName(DataSource::Layout::kWholeFileDir),
+            "whole-file-dir");
+}
+
+}  // namespace
+}  // namespace smartmeter::engines

@@ -1,0 +1,192 @@
+// Additional engine behaviours: reconfiguration, unattached use, warm
+// benchmark-runner paths, and cluster scaling direction.
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "datagen/seed_generator.h"
+#include "engines/benchmark_runner.h"
+#include "engines/hive_engine.h"
+#include "engines/madlib_engine.h"
+#include "engines/matlab_engine.h"
+#include "engines/spark_engine.h"
+#include "engines/systemc_engine.h"
+#include "storage/csv.h"
+#include "timeseries/calendar.h"
+
+namespace smartmeter::engines {
+namespace {
+
+namespace fs = std::filesystem;
+
+class EnginesExtraTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dir_ = new fs::path(fs::path(::testing::TempDir()) /
+                        "engines_extra_test");
+    fs::create_directories(*dir_);
+    datagen::SeedGeneratorOptions options;
+    options.num_households = 10;
+    options.hours = kHoursPerYear;
+    options.seed = 77;
+    dataset_ = new MeterDataset(*datagen::GenerateSeedDataset(options));
+    single_csv_ = (*dir_ / "data.csv").string();
+    ASSERT_TRUE(storage::WriteReadingsCsv(*dataset_, single_csv_).ok());
+  }
+  static void TearDownTestSuite() {
+    std::error_code ec;
+    fs::remove_all(*dir_, ec);
+    delete dataset_;
+    delete dir_;
+  }
+
+  static DataSource Source() {
+    DataSource source;
+    source.layout = DataSource::Layout::kSingleCsv;
+    source.files = {single_csv_};
+    return source;
+  }
+
+  static fs::path* dir_;
+  static MeterDataset* dataset_;
+  static std::string single_csv_;
+};
+
+fs::path* EnginesExtraTest::dir_ = nullptr;
+MeterDataset* EnginesExtraTest::dataset_ = nullptr;
+std::string EnginesExtraTest::single_csv_;
+
+TEST_F(EnginesExtraTest, RunBeforeAttachFails) {
+  TaskRequest request;
+  request.task = core::TaskType::kHistogram;
+  SystemCEngine systemc((*dir_ / "spool_unattached").string());
+  EXPECT_FALSE(systemc.RunTask(request, nullptr).ok());
+  HiveEngine hive(HiveEngine::Options{});
+  EXPECT_FALSE(hive.RunTask(request, nullptr).ok());
+  SparkEngine spark(SparkEngine::Options{});
+  EXPECT_FALSE(spark.RunTask(request, nullptr).ok());
+}
+
+TEST_F(EnginesExtraTest, SetClusterConfigKeepsResultsChangesTime) {
+  HiveEngine::Options options;
+  options.cluster.num_nodes = 2;
+  options.cluster.slots_per_node = 2;
+  options.block_bytes = 16 << 10;
+  HiveEngine engine(options);
+  ASSERT_TRUE(engine.Attach(Source()).ok());
+  TaskRequest request;
+  request.task = core::TaskType::kHistogram;
+  TaskOutputs small_outputs;
+  auto small = engine.RunTask(request, &small_outputs);
+  ASSERT_TRUE(small.ok());
+
+  cluster::ClusterConfig bigger;
+  bigger.num_nodes = 16;
+  bigger.slots_per_node = 12;
+  engine.SetClusterConfig(bigger);
+  TaskOutputs big_outputs;
+  auto big = engine.RunTask(request, &big_outputs);
+  ASSERT_TRUE(big.ok());
+
+  // Same analytics, faster simulated wall-clock on the bigger cluster.
+  ASSERT_EQ(small_outputs.histograms.size(), big_outputs.histograms.size());
+  for (size_t i = 0; i < small_outputs.histograms.size(); ++i) {
+    EXPECT_EQ(small_outputs.histograms[i].histogram.counts,
+              big_outputs.histograms[i].histogram.counts);
+  }
+  EXPECT_LT(big->seconds, small->seconds);
+}
+
+TEST_F(EnginesExtraTest, SparkClusterScalingDirection) {
+  TaskRequest request;
+  request.task = core::TaskType::kPar;
+  double small_seconds = 0.0, big_seconds = 0.0;
+  {
+    SparkEngine::Options options;
+    options.cluster.num_nodes = 2;
+    options.cluster.slots_per_node = 2;
+    options.block_bytes = 16 << 10;
+    SparkEngine engine(options);
+    ASSERT_TRUE(engine.Attach(Source()).ok());
+    auto metrics = engine.RunTask(request, nullptr);
+    ASSERT_TRUE(metrics.ok());
+    small_seconds = metrics->seconds;
+  }
+  {
+    SparkEngine::Options options;
+    options.cluster.num_nodes = 16;
+    options.cluster.slots_per_node = 12;
+    options.block_bytes = 16 << 10;
+    SparkEngine engine(options);
+    ASSERT_TRUE(engine.Attach(Source()).ok());
+    auto metrics = engine.RunTask(request, nullptr);
+    ASSERT_TRUE(metrics.ok());
+    big_seconds = metrics->seconds;
+  }
+  EXPECT_LT(big_seconds, small_seconds);
+}
+
+TEST_F(EnginesExtraTest, BenchmarkRunnerWarmPath) {
+  RunSpec spec;
+  spec.kind = EngineKind::kMadlib;
+  spec.factory.spool_dir = (*dir_ / "spool_runner").string();
+  spec.source = Source();
+  spec.request.task = core::TaskType::kPar;
+  spec.warm = true;
+  spec.keep_outputs = true;
+  auto report = RunBenchmark(spec);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_GT(report->attach_seconds, 0.0);
+  EXPECT_GT(report->warmup_seconds, 0.0);
+  EXPECT_EQ(report->outputs.profiles.size(), dataset_->num_consumers());
+}
+
+TEST_F(EnginesExtraTest, BenchmarkRunnerClusterEngine) {
+  RunSpec spec;
+  spec.kind = EngineKind::kHive;
+  spec.factory.cluster.num_nodes = 4;
+  spec.factory.cluster.slots_per_node = 2;
+  spec.source = Source();
+  spec.request.task = core::TaskType::kHistogram;
+  spec.keep_outputs = true;
+  auto report = RunBenchmark(spec);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->simulated);
+  EXPECT_GT(report->memory_bytes, 0);
+  EXPECT_EQ(report->outputs.histograms.size(),
+            dataset_->num_consumers());
+}
+
+TEST_F(EnginesExtraTest, MatlabDropWarmDataReturnsToCold) {
+  MatlabEngine engine;
+  ASSERT_TRUE(engine.Attach(Source()).ok());
+  ASSERT_TRUE(engine.WarmUp().ok());
+  engine.DropWarmData();
+  TaskRequest request;
+  request.task = core::TaskType::kHistogram;
+  TaskOutputs outputs;
+  ASSERT_TRUE(engine.RunTask(request, &outputs).ok());
+  EXPECT_EQ(outputs.histograms.size(), dataset_->num_consumers());
+}
+
+TEST_F(EnginesExtraTest, MadlibReattachReplacesData) {
+  MadlibEngine engine;
+  ASSERT_TRUE(engine.Attach(Source()).ok());
+  // Attach a smaller dataset; results must reflect the new data only.
+  MeterDataset small = *dataset_;
+  small.TruncateConsumers(3);
+  const std::string small_csv = (*dir_ / "small.csv").string();
+  ASSERT_TRUE(storage::WriteReadingsCsv(small, small_csv).ok());
+  DataSource source;
+  source.layout = DataSource::Layout::kSingleCsv;
+  source.files = {small_csv};
+  ASSERT_TRUE(engine.Attach(source).ok());
+  TaskRequest request;
+  request.task = core::TaskType::kHistogram;
+  TaskOutputs outputs;
+  ASSERT_TRUE(engine.RunTask(request, &outputs).ok());
+  EXPECT_EQ(outputs.histograms.size(), 3u);
+}
+
+}  // namespace
+}  // namespace smartmeter::engines

@@ -1,0 +1,460 @@
+#include <cmath>
+#include <filesystem>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "datagen/seed_generator.h"
+#include "engines/benchmark_runner.h"
+#include "engines/engine_factory.h"
+#include "engines/engine_util.h"
+#include "engines/hive_engine.h"
+#include "engines/madlib_engine.h"
+#include "engines/matlab_engine.h"
+#include "engines/spark_engine.h"
+#include "engines/systemc_engine.h"
+#include "storage/csv.h"
+#include "timeseries/calendar.h"
+
+namespace smartmeter::engines {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Shared fixture: one small dataset written once in every layout, then
+/// each engine runs each task against it. Expensive setup runs once.
+class EnginesTest : public ::testing::Test {
+ protected:
+  static constexpr int kHouseholds = 12;
+
+  static void SetUpTestSuite() {
+    dir_ = new fs::path(fs::path(::testing::TempDir()) / "engines_test");
+    fs::create_directories(*dir_);
+
+    datagen::SeedGeneratorOptions options;
+    options.num_households = kHouseholds;
+    options.hours = kHoursPerYear;
+    options.seed = 2024;
+    dataset_ = new MeterDataset(*datagen::GenerateSeedDataset(options));
+
+    single_csv_ = (*dir_ / "data.csv").string();
+    ASSERT_TRUE(storage::WriteReadingsCsv(*dataset_, single_csv_).ok());
+    auto part = storage::WritePartitionedCsv(*dataset_,
+                                             (*dir_ / "part").string());
+    ASSERT_TRUE(part.ok());
+    partitioned_files_ = new std::vector<std::string>(std::move(*part));
+    household_lines_ = (*dir_ / "wide.csv").string();
+    ASSERT_TRUE(
+        storage::WriteHouseholdLinesCsv(*dataset_, household_lines_).ok());
+    auto whole = storage::WriteWholeHouseholdFiles(
+        *dataset_, (*dir_ / "whole").string(), 4);
+    ASSERT_TRUE(whole.ok());
+    whole_files_ = new std::vector<std::string>(std::move(*whole));
+
+    // Reference outputs straight from the core algorithms.
+    reference_ = new TaskOutputs();
+    for (core::TaskType task : core::kAllTasks) {
+      TaskRequest request;
+      request.task = task;
+      TaskOutputs outputs;
+      auto metrics = RunTaskOverDataset(*dataset_, request, 1, &outputs);
+      ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+      switch (task) {
+        case core::TaskType::kHistogram:
+          reference_->histograms = std::move(outputs.histograms);
+          break;
+        case core::TaskType::kThreeLine:
+          reference_->three_lines = std::move(outputs.three_lines);
+          break;
+        case core::TaskType::kPar:
+          reference_->profiles = std::move(outputs.profiles);
+          break;
+        case core::TaskType::kSimilarity:
+          reference_->similarities = std::move(outputs.similarities);
+          break;
+      }
+    }
+  }
+
+  static void TearDownTestSuite() {
+    std::error_code ec;
+    fs::remove_all(*dir_, ec);
+    delete dataset_;
+    delete partitioned_files_;
+    delete whole_files_;
+    delete reference_;
+    delete dir_;
+  }
+
+  static DataSource SingleCsvSource() {
+    return {DataSource::Layout::kSingleCsv, {single_csv_}};
+  }
+  static DataSource PartitionedSource() {
+    return {DataSource::Layout::kPartitionedDir, *partitioned_files_};
+  }
+  static DataSource HouseholdLinesSource() {
+    return {DataSource::Layout::kHouseholdLines, {household_lines_}};
+  }
+  static DataSource WholeFilesSource() {
+    return {DataSource::Layout::kWholeFileDir, *whole_files_};
+  }
+
+  static EngineFactoryOptions FactoryOptions() {
+    EngineFactoryOptions options;
+    options.spool_dir = (*dir_ / "spool").string();
+    options.cluster.num_nodes = 4;
+    options.cluster.slots_per_node = 2;
+    options.block_bytes = 64 << 10;
+    return options;
+  }
+
+  /// CSV serialization keeps 4 decimals of consumption and 2 of
+  /// temperature, so engine outputs agree with the in-memory reference
+  /// only to a loose tolerance.
+  static void ExpectMatchesReference(const TaskOutputs& outputs,
+                                     core::TaskType task) {
+    switch (task) {
+      case core::TaskType::kHistogram: {
+        ASSERT_EQ(outputs.histograms.size(), reference_->histograms.size());
+        for (size_t i = 0; i < outputs.histograms.size(); ++i) {
+          const auto& got = outputs.histograms[i];
+          const auto& want = reference_->histograms[i];
+          EXPECT_EQ(got.household_id, want.household_id);
+          ASSERT_EQ(got.histogram.counts.size(),
+                    want.histogram.counts.size());
+          for (size_t b = 0; b < got.histogram.counts.size(); ++b) {
+            // Rounding can move a reading across a bucket edge.
+            EXPECT_NEAR(static_cast<double>(got.histogram.counts[b]),
+                        static_cast<double>(want.histogram.counts[b]), 8.0)
+                << "household " << got.household_id << " bucket " << b;
+          }
+        }
+        break;
+      }
+      case core::TaskType::kThreeLine: {
+        ASSERT_EQ(outputs.three_lines.size(),
+                  reference_->three_lines.size());
+        for (size_t i = 0; i < outputs.three_lines.size(); ++i) {
+          const auto& got = outputs.three_lines[i];
+          const auto& want = reference_->three_lines[i];
+          EXPECT_EQ(got.household_id, want.household_id);
+          // Temperature rounds to 2 decimals on disk, which can move
+          // readings across 1-degree bins; allow 3% relative slack.
+          auto tol = [](double v) { return std::max(0.03, 0.03 * std::abs(v)); };
+          EXPECT_NEAR(got.heating_gradient, want.heating_gradient,
+                      tol(want.heating_gradient));
+          EXPECT_NEAR(got.cooling_gradient, want.cooling_gradient,
+                      tol(want.cooling_gradient));
+          EXPECT_NEAR(got.base_load, want.base_load, 0.05);
+        }
+        break;
+      }
+      case core::TaskType::kPar: {
+        ASSERT_EQ(outputs.profiles.size(), reference_->profiles.size());
+        for (size_t i = 0; i < outputs.profiles.size(); ++i) {
+          const auto& got = outputs.profiles[i];
+          const auto& want = reference_->profiles[i];
+          EXPECT_EQ(got.household_id, want.household_id);
+          ASSERT_EQ(got.profile.size(), 24u);
+          for (int h = 0; h < 24; ++h) {
+            EXPECT_NEAR(got.profile[static_cast<size_t>(h)],
+                        want.profile[static_cast<size_t>(h)], 0.02)
+                << "household " << got.household_id << " hour " << h;
+          }
+        }
+        break;
+      }
+      case core::TaskType::kSimilarity: {
+        ASSERT_EQ(outputs.similarities.size(),
+                  reference_->similarities.size());
+        for (size_t i = 0; i < outputs.similarities.size(); ++i) {
+          const auto& got = outputs.similarities[i];
+          const auto& want = reference_->similarities[i];
+          EXPECT_EQ(got.household_id, want.household_id);
+          ASSERT_FALSE(got.matches.empty());
+          // The best match is stable under rounding.
+          EXPECT_EQ(got.matches[0].household_id,
+                    want.matches[0].household_id);
+          EXPECT_NEAR(got.matches[0].cosine, want.matches[0].cosine, 1e-3);
+        }
+        break;
+      }
+    }
+  }
+
+  static void RunAllTasksAndCheck(AnalyticsEngine* engine,
+                                  const DataSource& source,
+                                  bool skip_similarity = false) {
+    auto attach = engine->Attach(source);
+    ASSERT_TRUE(attach.ok()) << attach.status().ToString();
+    for (core::TaskType task : core::kAllTasks) {
+      if (skip_similarity && task == core::TaskType::kSimilarity) continue;
+      TaskRequest request;
+      request.task = task;
+      TaskOutputs outputs;
+      auto metrics = engine->RunTask(request, &outputs);
+      ASSERT_TRUE(metrics.ok())
+          << engine->name() << "/" << core::TaskName(task) << ": "
+          << metrics.status().ToString();
+      ExpectMatchesReference(outputs, task);
+    }
+  }
+
+  static fs::path* dir_;
+  static MeterDataset* dataset_;
+  static std::string single_csv_;
+  static std::vector<std::string>* partitioned_files_;
+  static std::string household_lines_;
+  static std::vector<std::string>* whole_files_;
+  static TaskOutputs* reference_;
+};
+
+fs::path* EnginesTest::dir_ = nullptr;
+MeterDataset* EnginesTest::dataset_ = nullptr;
+std::string EnginesTest::single_csv_;
+std::vector<std::string>* EnginesTest::partitioned_files_ = nullptr;
+std::string EnginesTest::household_lines_;
+std::vector<std::string>* EnginesTest::whole_files_ = nullptr;
+TaskOutputs* EnginesTest::reference_ = nullptr;
+
+// ---------------------------------------------------------------------------
+// Per-engine agreement with the reference implementation
+// ---------------------------------------------------------------------------
+
+TEST_F(EnginesTest, MatlabPartitionedMatchesReference) {
+  MatlabEngine engine;
+  RunAllTasksAndCheck(&engine, PartitionedSource());
+}
+
+TEST_F(EnginesTest, MatlabSingleCsvMatchesReference) {
+  MatlabEngine engine;
+  RunAllTasksAndCheck(&engine, SingleCsvSource());
+}
+
+TEST_F(EnginesTest, MatlabWarmMatchesCold) {
+  MatlabEngine engine;
+  ASSERT_TRUE(engine.Attach(PartitionedSource()).ok());
+  ASSERT_TRUE(engine.WarmUp().ok());
+  for (core::TaskType task : core::kAllTasks) {
+    TaskRequest request;
+    request.task = task;
+    TaskOutputs outputs;
+    ASSERT_TRUE(engine.RunTask(request, &outputs).ok());
+    ExpectMatchesReference(outputs, task);
+  }
+}
+
+TEST_F(EnginesTest, MadlibRowLayoutMatchesReference) {
+  MadlibEngine engine(MadlibEngine::TableLayout::kRow);
+  RunAllTasksAndCheck(&engine, SingleCsvSource());
+}
+
+TEST_F(EnginesTest, MadlibArrayLayoutMatchesReference) {
+  MadlibEngine engine(MadlibEngine::TableLayout::kArray);
+  RunAllTasksAndCheck(&engine, SingleCsvSource());
+}
+
+TEST_F(EnginesTest, SystemCMatchesReference) {
+  SystemCEngine engine(FactoryOptions().spool_dir);
+  RunAllTasksAndCheck(&engine, SingleCsvSource());
+}
+
+TEST_F(EnginesTest, SystemCWarmMatches) {
+  SystemCEngine engine(FactoryOptions().spool_dir + "_warm");
+  ASSERT_TRUE(engine.Attach(SingleCsvSource()).ok());
+  auto warm = engine.WarmUp();
+  ASSERT_TRUE(warm.ok());
+  TaskRequest request;
+  request.task = core::TaskType::kHistogram;
+  TaskOutputs outputs;
+  ASSERT_TRUE(engine.RunTask(request, &outputs).ok());
+  ExpectMatchesReference(outputs, core::TaskType::kHistogram);
+}
+
+TEST_F(EnginesTest, HiveFormat1MatchesReference) {
+  HiveEngine::Options options;
+  options.cluster = FactoryOptions().cluster;
+  options.block_bytes = FactoryOptions().block_bytes;
+  HiveEngine engine(options);
+  RunAllTasksAndCheck(&engine, SingleCsvSource());
+}
+
+TEST_F(EnginesTest, HiveFormat2MatchesReference) {
+  HiveEngine::Options options;
+  options.cluster = FactoryOptions().cluster;
+  HiveEngine engine(options);
+  RunAllTasksAndCheck(&engine, HouseholdLinesSource());
+}
+
+TEST_F(EnginesTest, HiveFormat3UdtfMatchesReference) {
+  HiveEngine::Options options;
+  options.cluster = FactoryOptions().cluster;
+  options.format3_style = HiveEngine::Format3Style::kUdtf;
+  HiveEngine engine(options);
+  RunAllTasksAndCheck(&engine, WholeFilesSource(),
+                      /*skip_similarity=*/true);
+}
+
+TEST_F(EnginesTest, HiveFormat3UdafMatchesReference) {
+  HiveEngine::Options options;
+  options.cluster = FactoryOptions().cluster;
+  options.format3_style = HiveEngine::Format3Style::kUdaf;
+  HiveEngine engine(options);
+  RunAllTasksAndCheck(&engine, WholeFilesSource(),
+                      /*skip_similarity=*/true);
+}
+
+TEST_F(EnginesTest, HiveFormat3RejectsSimilarity) {
+  HiveEngine::Options options;
+  options.cluster = FactoryOptions().cluster;
+  HiveEngine engine(options);
+  ASSERT_TRUE(engine.Attach(WholeFilesSource()).ok());
+  TaskRequest request;
+  request.task = core::TaskType::kSimilarity;
+  EXPECT_EQ(engine.RunTask(request, nullptr).status().code(),
+            StatusCode::kNotSupported);
+}
+
+TEST_F(EnginesTest, SparkFormat1MatchesReference) {
+  SparkEngine::Options options;
+  options.cluster = FactoryOptions().cluster;
+  options.block_bytes = FactoryOptions().block_bytes;
+  SparkEngine engine(options);
+  RunAllTasksAndCheck(&engine, SingleCsvSource());
+}
+
+TEST_F(EnginesTest, SparkFormat2MatchesReference) {
+  SparkEngine::Options options;
+  options.cluster = FactoryOptions().cluster;
+  SparkEngine engine(options);
+  RunAllTasksAndCheck(&engine, HouseholdLinesSource());
+}
+
+TEST_F(EnginesTest, SparkFormat3MatchesReference) {
+  SparkEngine::Options options;
+  options.cluster = FactoryOptions().cluster;
+  SparkEngine engine(options);
+  RunAllTasksAndCheck(&engine, WholeFilesSource(),
+                      /*skip_similarity=*/true);
+}
+
+TEST_F(EnginesTest, SparkTooManyFilesFails) {
+  SparkEngine::Options options;
+  options.cluster = FactoryOptions().cluster;
+  options.cluster.cost.spark_max_open_files = 2;  // Tiny limit for test.
+  SparkEngine engine(options);
+  // The descriptor wall fires at job submission (Attach).
+  EXPECT_EQ(engine.Attach(WholeFilesSource()).status().code(),
+            StatusCode::kIOError);
+}
+
+// ---------------------------------------------------------------------------
+// Behavioural checks
+// ---------------------------------------------------------------------------
+
+TEST_F(EnginesTest, ClusterEnginesReportSimulatedTime) {
+  HiveEngine::Options options;
+  options.cluster = FactoryOptions().cluster;
+  HiveEngine engine(options);
+  ASSERT_TRUE(engine.Attach(SingleCsvSource()).ok());
+  TaskRequest request;
+  request.task = core::TaskType::kHistogram;
+  auto metrics = engine.RunTask(request, nullptr);
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_TRUE(metrics->simulated);
+  EXPECT_GT(metrics->seconds, 0.0);
+  EXPECT_GT(metrics->modeled_memory_bytes, 0);
+}
+
+TEST_F(EnginesTest, ThreadCountDoesNotChangeResults) {
+  MatlabEngine engine;
+  ASSERT_TRUE(engine.Attach(PartitionedSource()).ok());
+  TaskRequest request;
+  request.task = core::TaskType::kThreeLine;
+  TaskOutputs one, four;
+  engine.SetThreads(1);
+  ASSERT_TRUE(engine.RunTask(request, &one).ok());
+  engine.SetThreads(4);
+  ASSERT_TRUE(engine.RunTask(request, &four).ok());
+  ASSERT_EQ(one.three_lines.size(), four.three_lines.size());
+  for (size_t i = 0; i < one.three_lines.size(); ++i) {
+    EXPECT_EQ(one.three_lines[i].household_id,
+              four.three_lines[i].household_id);
+    EXPECT_DOUBLE_EQ(one.three_lines[i].heating_gradient,
+                     four.three_lines[i].heating_gradient);
+  }
+}
+
+TEST_F(EnginesTest, ThreeLinePhasesReported) {
+  MadlibEngine engine;
+  ASSERT_TRUE(engine.Attach(SingleCsvSource()).ok());
+  TaskRequest request;
+  request.task = core::TaskType::kThreeLine;
+  auto metrics = engine.RunTask(request, nullptr);
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_GT(metrics->phases.quantile_seconds, 0.0);
+  EXPECT_GT(metrics->phases.regression_seconds, 0.0);
+}
+
+TEST_F(EnginesTest, SimilarityHouseholdLimitRespected) {
+  SystemCEngine engine(FactoryOptions().spool_dir + "_limit");
+  ASSERT_TRUE(engine.Attach(SingleCsvSource()).ok());
+  TaskRequest request;
+  request.task = core::TaskType::kSimilarity;
+  request.similarity_households = 5;
+  TaskOutputs outputs;
+  ASSERT_TRUE(engine.RunTask(request, &outputs).ok());
+  EXPECT_EQ(outputs.similarities.size(), 5u);
+}
+
+TEST_F(EnginesTest, EngineFactoryMakesAllKinds) {
+  for (EngineKind kind :
+       {EngineKind::kMatlab, EngineKind::kMadlib, EngineKind::kSystemC,
+        EngineKind::kSpark, EngineKind::kHive}) {
+    auto engine = MakeEngine(kind, FactoryOptions());
+    ASSERT_NE(engine, nullptr) << EngineKindName(kind);
+    EXPECT_FALSE(engine->name().empty());
+  }
+}
+
+TEST_F(EnginesTest, FeatureMatrixMatchesTable1) {
+  const auto matrix = BuiltinFunctionMatrix();
+  ASSERT_EQ(matrix.size(), 4u);
+  EXPECT_EQ(matrix[0].function, "Histogram");
+  EXPECT_EQ(matrix[0].system_c, "no");   // System C ships nothing.
+  EXPECT_EQ(matrix[3].matlab, "no");     // Nobody ships cosine similarity.
+}
+
+TEST_F(EnginesTest, BenchmarkRunnerEndToEnd) {
+  RunSpec spec;
+  spec.kind = EngineKind::kSystemC;
+  spec.factory = FactoryOptions();
+  spec.factory.spool_dir = FactoryOptions().spool_dir + "_runner";
+  spec.source = SingleCsvSource();
+  spec.request.task = core::TaskType::kHistogram;
+  spec.keep_outputs = true;
+  auto report = RunBenchmark(spec);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_GT(report->attach_seconds, 0.0);
+  EXPECT_GT(report->task_seconds, 0.0);
+  EXPECT_EQ(report->outputs.histograms.size(),
+            static_cast<size_t>(kHouseholds));
+}
+
+TEST_F(EnginesTest, EnginesRejectWrongLayouts) {
+  MatlabEngine matlab;
+  EXPECT_EQ(matlab.Attach(HouseholdLinesSource()).status().code(),
+            StatusCode::kNotSupported);
+  HiveEngine::Options options;
+  options.cluster = FactoryOptions().cluster;
+  HiveEngine hive(options);
+  EXPECT_EQ(hive.Attach(PartitionedSource()).status().code(),
+            StatusCode::kNotSupported);
+  MatlabEngine no_files;
+  DataSource empty;
+  EXPECT_EQ(no_files.Attach(empty).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace smartmeter::engines

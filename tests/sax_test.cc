@@ -1,0 +1,239 @@
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/similarity_task.h"
+#include "datagen/seed_generator.h"
+#include "stats/descriptive.h"
+#include "stats/distance.h"
+#include "stats/sax.h"
+
+namespace smartmeter::stats {
+namespace {
+
+// ---------------------------------------------------------------------------
+// PAA
+// ---------------------------------------------------------------------------
+
+TEST(PaaTest, AveragesEqualChunks) {
+  const std::vector<double> v = {1, 1, 2, 2, 3, 3, 4, 4};
+  auto paa = Paa(v, 4);
+  ASSERT_TRUE(paa.ok());
+  const std::vector<double> expected = {1, 2, 3, 4};
+  EXPECT_EQ(*paa, expected);
+}
+
+TEST(PaaTest, RemainderFoldedIntoChunks) {
+  const std::vector<double> v = {1, 2, 3, 4, 5, 6, 7};
+  auto paa = Paa(v, 2);
+  ASSERT_TRUE(paa.ok());
+  // Chunks [0,3) and [3,7).
+  EXPECT_DOUBLE_EQ((*paa)[0], 2.0);
+  EXPECT_DOUBLE_EQ((*paa)[1], 5.5);
+}
+
+TEST(PaaTest, SegmentsEqualLengthIsIdentity) {
+  const std::vector<double> v = {3, 1, 4, 1, 5};
+  auto paa = Paa(v, 5);
+  ASSERT_TRUE(paa.ok());
+  EXPECT_EQ(*paa, v);
+}
+
+TEST(PaaTest, RejectsBadInput) {
+  EXPECT_FALSE(Paa({}, 1).ok());
+  const std::vector<double> v = {1, 2};
+  EXPECT_FALSE(Paa(v, 0).ok());
+  EXPECT_FALSE(Paa(v, 3).ok());
+}
+
+TEST(PaaTest, PreservesGlobalMean) {
+  Rng rng(1);
+  std::vector<double> v(100);
+  for (double& x : v) x = rng.Gaussian(2.0, 1.0);
+  auto paa = Paa(v, 10);
+  ASSERT_TRUE(paa.ok());
+  // Equal chunk sizes: PAA mean == series mean.
+  EXPECT_NEAR(Mean(*paa), Mean(v), 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// Z-normalization and breakpoints
+// ---------------------------------------------------------------------------
+
+TEST(ZNormalizeTest, ZeroMeanUnitVariance) {
+  Rng rng(2);
+  std::vector<double> v(500);
+  for (double& x : v) x = rng.Gaussian(7.0, 3.0);
+  const auto z = ZNormalize(v);
+  EXPECT_NEAR(Mean(z), 0.0, 1e-10);
+  EXPECT_NEAR(PopulationVariance(z), 1.0, 1e-10);
+}
+
+TEST(ZNormalizeTest, ConstantSeriesMapsToZeros) {
+  const std::vector<double> v = {5, 5, 5};
+  const auto z = ZNormalize(v);
+  for (double x : z) EXPECT_DOUBLE_EQ(x, 0.0);
+}
+
+TEST(SaxBreakpointsTest, EquiprobableCells) {
+  auto bp = SaxBreakpoints(4);
+  ASSERT_TRUE(bp.ok());
+  ASSERT_EQ(bp->size(), 3u);
+  // N(0,1) quartile boundaries: -0.6745, 0, 0.6745.
+  EXPECT_NEAR((*bp)[0], -0.6745, 1e-3);
+  EXPECT_NEAR((*bp)[1], 0.0, 1e-6);
+  EXPECT_NEAR((*bp)[2], 0.6745, 1e-3);
+  EXPECT_TRUE(std::is_sorted(bp->begin(), bp->end()));
+}
+
+TEST(SaxBreakpointsTest, RejectsBadAlphabet) {
+  EXPECT_FALSE(SaxBreakpoints(1).ok());
+  EXPECT_FALSE(SaxBreakpoints(17).ok());
+}
+
+// ---------------------------------------------------------------------------
+// SAX words and MINDIST
+// ---------------------------------------------------------------------------
+
+TEST(SaxWordTest, SymbolsWithinAlphabet) {
+  Rng rng(3);
+  std::vector<double> v(256);
+  for (double& x : v) x = rng.Gaussian(0, 1);
+  auto word = ComputeSaxWord(v, 16, 8);
+  ASSERT_TRUE(word.ok());
+  ASSERT_EQ(word->symbols.size(), 16u);
+  for (uint8_t s : word->symbols) EXPECT_LT(s, 8);
+}
+
+TEST(SaxWordTest, IdenticalSeriesHaveZeroMinDist) {
+  Rng rng(4);
+  std::vector<double> v(128);
+  for (double& x : v) x = rng.Gaussian(0, 1);
+  auto w1 = ComputeSaxWord(v, 16, 8);
+  auto w2 = ComputeSaxWord(v, 16, 8);
+  ASSERT_TRUE(w1.ok());
+  ASSERT_TRUE(w2.ok());
+  auto dist = SaxMinDist(*w1, *w2, v.size());
+  ASSERT_TRUE(dist.ok());
+  EXPECT_DOUBLE_EQ(*dist, 0.0);
+}
+
+TEST(SaxWordTest, MinDistRejectsShapeMismatch) {
+  const std::vector<double> v(64, 1.0);
+  auto w1 = ComputeSaxWord(v, 8, 8);
+  auto w2 = ComputeSaxWord(v, 16, 8);
+  ASSERT_TRUE(w1.ok());
+  ASSERT_TRUE(w2.ok());
+  EXPECT_FALSE(SaxMinDist(*w1, *w2, 64).ok());
+}
+
+// The defining property: MINDIST lower-bounds the true Euclidean
+// distance between the z-normalized series.
+class SaxLowerBoundTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SaxLowerBoundTest, MinDistLowerBoundsEuclidean) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 131 + 7);
+  const size_t n = 96 + rng.UniformInt(160);
+  std::vector<double> a(n), b(n);
+  // Mix of correlated and independent series across trials.
+  const double blend = rng.NextDouble();
+  for (size_t i = 0; i < n; ++i) {
+    a[i] = rng.Gaussian(0, 1) + std::sin(static_cast<double>(i) * 0.2);
+    b[i] = blend * a[i] + (1.0 - blend) * rng.Gaussian(0, 1);
+  }
+  const auto za = ZNormalize(a);
+  const auto zb = ZNormalize(b);
+  const double euclid = std::sqrt(SquaredEuclidean(za, zb));
+  for (int segments : {8, 16, 32}) {
+    for (int alphabet : {4, 8, 16}) {
+      auto wa = ComputeSaxWord(a, segments, alphabet);
+      auto wb = ComputeSaxWord(b, segments, alphabet);
+      ASSERT_TRUE(wa.ok());
+      ASSERT_TRUE(wb.ok());
+      auto mindist = SaxMinDist(*wa, *wb, n);
+      ASSERT_TRUE(mindist.ok());
+      EXPECT_LE(*mindist, euclid + 1e-9)
+          << "segments=" << segments << " alphabet=" << alphabet;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SaxLowerBoundTest, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace smartmeter::stats
+
+namespace smartmeter::core {
+namespace {
+
+TEST(ApproxSimilarityTest, HighRecallOnRealisticData) {
+  datagen::SeedGeneratorOptions options;
+  options.num_households = 40;
+  options.seed = 12;
+  auto dataset = datagen::GenerateSeedDataset(options);
+  ASSERT_TRUE(dataset.ok());
+  std::vector<SeriesView> views;
+  for (const auto& c : dataset->consumers()) {
+    views.push_back({c.household_id, c.consumption});
+  }
+  SimilarityOptions exact_options;
+  exact_options.k = 10;
+  auto exact = ComputeSimilarityTopK(views, exact_options);
+  ASSERT_TRUE(exact.ok());
+
+  ApproxSimilarityOptions approx_options;
+  approx_options.base.k = 10;
+  auto approx = ComputeSimilarityTopKApprox(views, approx_options);
+  ASSERT_TRUE(approx.ok());
+  ASSERT_EQ(approx->size(), exact->size());
+
+  // Recall of the approximate top-10 against the exact top-10.
+  int hits = 0, total = 0;
+  for (size_t q = 0; q < exact->size(); ++q) {
+    for (const auto& truth : (*exact)[q].matches) {
+      ++total;
+      for (const auto& got : (*approx)[q].matches) {
+        if (got.household_id == truth.household_id) {
+          ++hits;
+          break;
+        }
+      }
+    }
+  }
+  EXPECT_GT(static_cast<double>(hits) / total, 0.7)
+      << hits << "/" << total;
+}
+
+TEST(ApproxSimilarityTest, CandidateFactorOneStillReturnsK) {
+  Rng rng(5);
+  std::vector<std::vector<double>> data;
+  std::vector<SeriesView> views;
+  for (int i = 0; i < 30; ++i) {
+    std::vector<double> v(96);
+    for (double& x : v) x = rng.Gaussian(0, 1);
+    data.push_back(std::move(v));
+  }
+  for (int i = 0; i < 30; ++i) views.push_back({i, data[static_cast<size_t>(i)]});
+  ApproxSimilarityOptions options;
+  options.base.k = 5;
+  options.candidate_factor = 1;
+  auto results = ComputeSimilarityTopKApprox(views, options);
+  ASSERT_TRUE(results.ok());
+  for (const auto& r : *results) {
+    EXPECT_EQ(r.matches.size(), 5u);
+  }
+}
+
+TEST(ApproxSimilarityTest, RejectsBadInput) {
+  EXPECT_FALSE(ComputeSimilarityTopKApprox({}).ok());
+  const std::vector<double> a(64, 1.0);
+  std::vector<SeriesView> views = {{1, a}, {2, a}};
+  ApproxSimilarityOptions options;
+  options.base.k = 0;
+  EXPECT_FALSE(ComputeSimilarityTopKApprox(views, options).ok());
+}
+
+}  // namespace
+}  // namespace smartmeter::core

@@ -1,0 +1,276 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "stats/kmeans.h"
+#include "stats/matrix.h"
+#include "stats/ols.h"
+
+namespace smartmeter::stats {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Matrix / Cholesky / LeastSquares
+// ---------------------------------------------------------------------------
+
+TEST(MatrixTest, GramMatchesExplicitTranspose) {
+  Rng rng(3);
+  Matrix x(20, 4);
+  for (size_t r = 0; r < x.rows(); ++r) {
+    for (size_t c = 0; c < x.cols(); ++c) {
+      x.At(r, c) = rng.Gaussian(0, 1);
+    }
+  }
+  Matrix gram = x.Gram();
+  Matrix expected = x.Transposed().Multiply(x);
+  for (size_t i = 0; i < 4; ++i) {
+    for (size_t j = 0; j < 4; ++j) {
+      EXPECT_NEAR(gram.At(i, j), expected.At(i, j), 1e-9);
+    }
+  }
+}
+
+TEST(MatrixTest, TransposeTimesMatchesManual) {
+  Matrix x(3, 2);
+  // [[1,2],[3,4],[5,6]]
+  x.At(0, 0) = 1; x.At(0, 1) = 2;
+  x.At(1, 0) = 3; x.At(1, 1) = 4;
+  x.At(2, 0) = 5; x.At(2, 1) = 6;
+  const std::vector<double> v = {1.0, 1.0, 1.0};
+  const std::vector<double> out = x.TransposeTimes(v);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_DOUBLE_EQ(out[0], 9.0);
+  EXPECT_DOUBLE_EQ(out[1], 12.0);
+}
+
+TEST(CholeskyTest, SolvesKnownSystem) {
+  Matrix a(2, 2);
+  a.At(0, 0) = 4; a.At(0, 1) = 2;
+  a.At(1, 0) = 2; a.At(1, 1) = 3;
+  const std::vector<double> b = {10.0, 8.0};
+  auto x = CholeskySolve(a, b);
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 1.75, 1e-12);
+  EXPECT_NEAR((*x)[1], 1.5, 1e-12);
+}
+
+TEST(CholeskyTest, RejectsNonPositiveDefinite) {
+  Matrix a(2, 2);
+  a.At(0, 0) = 1; a.At(0, 1) = 2;
+  a.At(1, 0) = 2; a.At(1, 1) = 1;  // Eigenvalues 3 and -1.
+  EXPECT_FALSE(CholeskySolve(a, {1.0, 1.0}).ok());
+}
+
+TEST(CholeskyTest, RejectsShapeMismatch) {
+  Matrix a(2, 3);
+  EXPECT_FALSE(CholeskySolve(a, {1.0, 1.0}).ok());
+}
+
+TEST(LeastSquaresTest, RecoversExactCoefficients) {
+  Rng rng(11);
+  const std::vector<double> truth = {2.0, -1.5, 0.25};
+  Matrix x(200, 3);
+  std::vector<double> y(200);
+  for (size_t r = 0; r < 200; ++r) {
+    x.At(r, 0) = 1.0;
+    x.At(r, 1) = rng.Gaussian(0, 3);
+    x.At(r, 2) = rng.Gaussian(5, 2);
+    y[r] = truth[0] * x.At(r, 0) + truth[1] * x.At(r, 1) +
+           truth[2] * x.At(r, 2);
+  }
+  auto beta = LeastSquares(x, y);
+  ASSERT_TRUE(beta.ok());
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR((*beta)[i], truth[i], 1e-8);
+  }
+}
+
+TEST(LeastSquaresTest, NoisyRecoveryWithinTolerance) {
+  Rng rng(13);
+  Matrix x(2000, 2);
+  std::vector<double> y(2000);
+  for (size_t r = 0; r < 2000; ++r) {
+    x.At(r, 0) = 1.0;
+    x.At(r, 1) = rng.Uniform(-10, 10);
+    y[r] = 3.0 + 0.5 * x.At(r, 1) + rng.Gaussian(0, 0.2);
+  }
+  auto beta = LeastSquares(x, y);
+  ASSERT_TRUE(beta.ok());
+  EXPECT_NEAR((*beta)[0], 3.0, 0.05);
+  EXPECT_NEAR((*beta)[1], 0.5, 0.01);
+}
+
+TEST(LeastSquaresTest, CollinearColumnsFallBackToRidge) {
+  // Second column duplicates the first: singular normal equations.
+  Matrix x(10, 2);
+  std::vector<double> y(10);
+  for (size_t r = 0; r < 10; ++r) {
+    x.At(r, 0) = static_cast<double>(r);
+    x.At(r, 1) = static_cast<double>(r);
+    y[r] = 2.0 * static_cast<double>(r);
+  }
+  auto beta = LeastSquares(x, y);
+  ASSERT_TRUE(beta.ok());
+  // Ridge splits the weight; predictions must still be right.
+  EXPECT_NEAR((*beta)[0] + (*beta)[1], 2.0, 1e-3);
+}
+
+TEST(LeastSquaresTest, RejectsUnderdeterminedSystem) {
+  Matrix x(2, 3);
+  EXPECT_FALSE(LeastSquares(x, {1.0, 2.0}).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Simple line fits
+// ---------------------------------------------------------------------------
+
+TEST(FitLineTest, ExactLine) {
+  const std::vector<double> x = {0, 1, 2, 3};
+  const std::vector<double> y = {1, 3, 5, 7};
+  auto fit = FitLine(x, y);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit->intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit->r_squared, 1.0, 1e-12);
+  EXPECT_NEAR(fit->Predict(10.0), 21.0, 1e-12);
+}
+
+TEST(FitLineTest, ConstantXDegeneratesToMean) {
+  const std::vector<double> x = {2, 2, 2};
+  const std::vector<double> y = {1, 2, 3};
+  auto fit = FitLine(x, y);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_DOUBLE_EQ(fit->slope, 0.0);
+  EXPECT_DOUBLE_EQ(fit->intercept, 2.0);
+}
+
+TEST(FitLineTest, ConstantYHasPerfectR2) {
+  const std::vector<double> x = {1, 2, 3};
+  const std::vector<double> y = {4, 4, 4};
+  auto fit = FitLine(x, y);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_DOUBLE_EQ(fit->slope, 0.0);
+  EXPECT_DOUBLE_EQ(fit->r_squared, 1.0);
+}
+
+TEST(FitLineTest, RejectsBadInput) {
+  EXPECT_FALSE(FitLine({}, {}).ok());
+  const std::vector<double> x = {1.0};
+  const std::vector<double> y = {1.0, 2.0};
+  EXPECT_FALSE(FitLine(x, y).ok());
+}
+
+TEST(FitLineWeightedTest, ZeroWeightIgnoresPoints) {
+  const std::vector<double> x = {0, 1, 100};
+  const std::vector<double> y = {0, 2, -500};
+  const std::vector<double> w = {1, 1, 0};
+  auto fit = FitLineWeighted(x, y, w);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit->intercept, 0.0, 1e-12);
+}
+
+TEST(FitLineWeightedTest, UniformWeightsMatchUnweighted) {
+  Rng rng(19);
+  std::vector<double> x(50), y(50), w(50, 2.5);
+  for (size_t i = 0; i < 50; ++i) {
+    x[i] = rng.Uniform(-5, 5);
+    y[i] = 1.0 - 0.7 * x[i] + rng.Gaussian(0, 0.1);
+  }
+  auto weighted = FitLineWeighted(x, y, w);
+  auto plain = FitLine(x, y);
+  ASSERT_TRUE(weighted.ok());
+  ASSERT_TRUE(plain.ok());
+  EXPECT_NEAR(weighted->slope, plain->slope, 1e-10);
+  EXPECT_NEAR(weighted->intercept, plain->intercept, 1e-10);
+}
+
+TEST(FitLineWeightedTest, RejectsNegativeWeight) {
+  const std::vector<double> x = {1, 2};
+  const std::vector<double> y = {1, 2};
+  const std::vector<double> w = {1, -1};
+  EXPECT_FALSE(FitLineWeighted(x, y, w).ok());
+}
+
+// ---------------------------------------------------------------------------
+// KMeans
+// ---------------------------------------------------------------------------
+
+std::vector<std::vector<double>> ThreeBlobs(int per_cluster, Rng* rng) {
+  const double centers[3][2] = {{0, 0}, {10, 10}, {-10, 10}};
+  std::vector<std::vector<double>> points;
+  for (const auto& center : centers) {
+    for (int i = 0; i < per_cluster; ++i) {
+      points.push_back({center[0] + rng->Gaussian(0, 0.5),
+                        center[1] + rng->Gaussian(0, 0.5)});
+    }
+  }
+  return points;
+}
+
+TEST(KMeansTest, RecoversSeparatedClusters) {
+  Rng rng(29);
+  auto points = ThreeBlobs(50, &rng);
+  auto result = KMeans(points, 3);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->converged);
+  // Every cluster is pure: points 0..49 share a label, etc.
+  for (int c = 0; c < 3; ++c) {
+    const int label = result->assignment[static_cast<size_t>(c) * 50];
+    for (int i = 0; i < 50; ++i) {
+      EXPECT_EQ(result->assignment[static_cast<size_t>(c) * 50 +
+                                   static_cast<size_t>(i)],
+                label);
+    }
+  }
+  // Inertia is tiny relative to the blob separation.
+  EXPECT_LT(result->inertia / static_cast<double>(points.size()), 1.0);
+}
+
+TEST(KMeansTest, DeterministicForSeed) {
+  Rng rng(31);
+  auto points = ThreeBlobs(20, &rng);
+  KMeansOptions options;
+  options.seed = 5;
+  auto a = KMeans(points, 3, options);
+  auto b = KMeans(points, 3, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->assignment, b->assignment);
+  EXPECT_DOUBLE_EQ(a->inertia, b->inertia);
+}
+
+TEST(KMeansTest, KGreaterThanPointsIsClamped) {
+  const std::vector<std::vector<double>> points = {{0.0}, {1.0}};
+  auto result = KMeans(points, 10);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result->centroids.size(), 2u);
+}
+
+TEST(KMeansTest, SingleClusterCentroidIsMean) {
+  const std::vector<std::vector<double>> points = {{0.0, 0.0},
+                                                   {2.0, 4.0},
+                                                   {4.0, 2.0}};
+  auto result = KMeans(points, 1);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->centroids.size(), 1u);
+  EXPECT_NEAR(result->centroids[0][0], 2.0, 1e-12);
+  EXPECT_NEAR(result->centroids[0][1], 2.0, 1e-12);
+}
+
+TEST(KMeansTest, RejectsBadInput) {
+  EXPECT_FALSE(KMeans({}, 2).ok());
+  EXPECT_FALSE(KMeans({{1.0}}, 0).ok());
+  EXPECT_FALSE(KMeans({{1.0}, {1.0, 2.0}}, 1).ok());
+}
+
+TEST(KMeansTest, IdenticalPointsConverge) {
+  const std::vector<std::vector<double>> points(5, std::vector<double>{3.0});
+  auto result = KMeans(points, 2);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->inertia, 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace smartmeter::stats

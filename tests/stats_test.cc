@@ -1,0 +1,348 @@
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "stats/descriptive.h"
+#include "stats/distance.h"
+#include "stats/histogram.h"
+#include "stats/quantile.h"
+#include "stats/topk.h"
+
+namespace smartmeter::stats {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Descriptive statistics
+// ---------------------------------------------------------------------------
+
+TEST(DescriptiveTest, BasicMoments) {
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Sum(v), 10.0);
+  EXPECT_DOUBLE_EQ(Mean(v), 2.5);
+  EXPECT_DOUBLE_EQ(PopulationVariance(v), 1.25);
+  EXPECT_NEAR(SampleVariance(v), 5.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(Min(v), 1.0);
+  EXPECT_DOUBLE_EQ(Max(v), 4.0);
+}
+
+TEST(DescriptiveTest, EmptyInputs) {
+  EXPECT_DOUBLE_EQ(Sum({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(SampleVariance({}), 0.0);
+  EXPECT_TRUE(std::isnan(Min({})));
+}
+
+TEST(DescriptiveTest, KahanSumStaysAccurate) {
+  // 10^7 additions of 0.1: naive float accumulation drifts, Kahan holds.
+  std::vector<double> v(1000000, 0.1);
+  EXPECT_NEAR(Sum(v), 100000.0, 1e-6);
+}
+
+TEST(DescriptiveTest, CorrelationOfLinearRelationIsOne) {
+  std::vector<double> x(50), y(50);
+  for (size_t i = 0; i < x.size(); ++i) {
+    x[i] = static_cast<double>(i);
+    y[i] = 3.0 * x[i] + 1.0;
+  }
+  EXPECT_NEAR(PearsonCorrelation(x, y), 1.0, 1e-12);
+}
+
+TEST(DescriptiveTest, CorrelationOfConstantIsZero) {
+  const std::vector<double> x = {1, 2, 3};
+  const std::vector<double> y = {5, 5, 5};
+  EXPECT_DOUBLE_EQ(PearsonCorrelation(x, y), 0.0);
+}
+
+TEST(RunningMomentsTest, MatchesBatchComputation) {
+  Rng rng(5);
+  std::vector<double> v(1000);
+  RunningMoments m;
+  for (double& x : v) {
+    x = rng.Gaussian(3.0, 2.0);
+    m.Add(x);
+  }
+  EXPECT_NEAR(m.mean(), Mean(v), 1e-9);
+  EXPECT_NEAR(m.sample_variance(), SampleVariance(v), 1e-9);
+  EXPECT_EQ(m.count(), v.size());
+}
+
+// Property: merging split halves equals processing the whole stream.
+class RunningMomentsMergeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RunningMomentsMergeTest, MergeEqualsSequential) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  const size_t n = 100 + rng.UniformInt(900);
+  const size_t split = rng.UniformInt(n);
+  RunningMoments whole, left, right;
+  for (size_t i = 0; i < n; ++i) {
+    const double x = rng.Gaussian(-1.0, 4.0);
+    whole.Add(x);
+    (i < split ? left : right).Add(x);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(left.sample_variance(), whole.sample_variance(), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RunningMomentsMergeTest,
+                         ::testing::Range(0, 20));
+
+// ---------------------------------------------------------------------------
+// Quantiles
+// ---------------------------------------------------------------------------
+
+TEST(QuantileTest, MedianOfOddCount) {
+  const std::vector<double> v = {5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(*Quantile(v, 0.5), 3.0);
+}
+
+TEST(QuantileTest, InterpolatesBetweenOrderStats) {
+  const std::vector<double> v = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(*Quantile(v, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(*Quantile(v, 0.75), 7.5);
+}
+
+TEST(QuantileTest, Extremes) {
+  const std::vector<double> v = {4.0, 2.0, 9.0, -1.0};
+  EXPECT_DOUBLE_EQ(*Quantile(v, 0.0), -1.0);
+  EXPECT_DOUBLE_EQ(*Quantile(v, 1.0), 9.0);
+}
+
+TEST(QuantileTest, SingleElement) {
+  EXPECT_DOUBLE_EQ(*Quantile(std::vector<double>{7.0}, 0.3), 7.0);
+}
+
+TEST(QuantileTest, RejectsBadInput) {
+  EXPECT_FALSE(Quantile({}, 0.5).ok());
+  const std::vector<double> v = {1.0};
+  EXPECT_FALSE(Quantile(v, -0.1).ok());
+  EXPECT_FALSE(Quantile(v, 1.1).ok());
+}
+
+TEST(QuantileTest, BatchMatchesIndividual) {
+  Rng rng(9);
+  std::vector<double> v(500);
+  for (double& x : v) x = rng.NextDouble() * 100.0;
+  const std::vector<double> probs = {0.0, 0.1, 0.5, 0.9, 1.0};
+  auto batch = Quantiles(v, probs);
+  ASSERT_TRUE(batch.ok());
+  for (size_t i = 0; i < probs.size(); ++i) {
+    EXPECT_NEAR((*batch)[i], *Quantile(v, probs[i]), 1e-9) << probs[i];
+  }
+}
+
+// Property: the quantile lies between min and max and is monotone in p.
+class QuantilePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuantilePropertyTest, MonotoneAndBounded) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 31 + 1);
+  std::vector<double> v(1 + rng.UniformInt(200));
+  for (double& x : v) x = rng.Gaussian(0.0, 10.0);
+  double prev = *Quantile(v, 0.0);
+  EXPECT_DOUBLE_EQ(prev, *std::min_element(v.begin(), v.end()));
+  for (int step = 1; step <= 10; ++step) {
+    const double q = *Quantile(v, step / 10.0);
+    EXPECT_GE(q, prev - 1e-12);
+    prev = q;
+  }
+  EXPECT_DOUBLE_EQ(prev, *std::max_element(v.begin(), v.end()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QuantilePropertyTest,
+                         ::testing::Range(0, 25));
+
+// ---------------------------------------------------------------------------
+// Histograms
+// ---------------------------------------------------------------------------
+
+TEST(HistogramTest, TenBucketsUniformRange) {
+  std::vector<double> v;
+  for (int i = 0; i < 100; ++i) v.push_back(static_cast<double>(i));
+  auto hist = BuildEquiWidthHistogram(v, 10);
+  ASSERT_TRUE(hist.ok());
+  EXPECT_DOUBLE_EQ(hist->min, 0.0);
+  EXPECT_DOUBLE_EQ(hist->max, 99.0);
+  EXPECT_EQ(hist->TotalCount(), 100);
+  for (int64_t c : hist->counts) EXPECT_EQ(c, 10);
+}
+
+TEST(HistogramTest, MaxValueLandsInLastBucket) {
+  const std::vector<double> v = {0.0, 1.0};
+  auto hist = BuildEquiWidthHistogram(v, 10);
+  ASSERT_TRUE(hist.ok());
+  EXPECT_EQ(hist->counts.front(), 1);
+  EXPECT_EQ(hist->counts.back(), 1);
+}
+
+TEST(HistogramTest, ConstantSeriesAllInFirstBucket) {
+  const std::vector<double> v = {2.0, 2.0, 2.0};
+  auto hist = BuildEquiWidthHistogram(v, 10);
+  ASSERT_TRUE(hist.ok());
+  EXPECT_EQ(hist->counts[0], 3);
+  EXPECT_EQ(hist->TotalCount(), 3);
+}
+
+TEST(HistogramTest, FixedRangeClampsOutliers) {
+  const std::vector<double> v = {-5.0, 0.5, 20.0};
+  auto hist = BuildFixedRangeHistogram(v, 4, 0.0, 1.0);
+  ASSERT_TRUE(hist.ok());
+  EXPECT_EQ(hist->counts[0], 1);  // -5 clamped low.
+  EXPECT_EQ(hist->counts[2], 1);  // 0.5 sits exactly on the 3rd bucket edge.
+  EXPECT_EQ(hist->counts[3], 1);  // 20 clamped high.
+}
+
+TEST(HistogramTest, RejectsBadArguments) {
+  EXPECT_FALSE(BuildEquiWidthHistogram({}, 10).ok());
+  const std::vector<double> v = {1.0};
+  EXPECT_FALSE(BuildEquiWidthHistogram(v, 0).ok());
+  EXPECT_FALSE(BuildFixedRangeHistogram(v, 4, 2.0, 1.0).ok());
+}
+
+TEST(HistogramTest, EquiDepthBalancesCounts) {
+  std::vector<double> v;
+  for (int i = 0; i < 1000; ++i) v.push_back(static_cast<double>(i * i));
+  auto hist = BuildEquiDepthHistogram(v, 10);
+  ASSERT_TRUE(hist.ok());
+  int64_t total = 0;
+  for (int64_t c : hist->counts) {
+    EXPECT_NEAR(static_cast<double>(c), 100.0, 1.0);
+    total += c;
+  }
+  EXPECT_EQ(total, 1000);
+}
+
+// Property: counts always total the input size regardless of data shape.
+class HistogramTotalTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HistogramTotalTest, CountsSumToInputSize) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 7 + 3);
+  std::vector<double> v(1 + rng.UniformInt(500));
+  for (double& x : v) x = rng.Gaussian(1.0, 5.0);
+  auto hist = BuildEquiWidthHistogram(v, 10);
+  ASSERT_TRUE(hist.ok());
+  EXPECT_EQ(hist->TotalCount(), static_cast<int64_t>(v.size()));
+  EXPECT_EQ(hist->counts.size(), 10u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HistogramTotalTest, ::testing::Range(0, 25));
+
+// ---------------------------------------------------------------------------
+// Distance kernels
+// ---------------------------------------------------------------------------
+
+TEST(DistanceTest, DotAndNorm) {
+  const std::vector<double> x = {1.0, 2.0, 3.0};
+  const std::vector<double> y = {4.0, 5.0, 6.0};
+  EXPECT_DOUBLE_EQ(Dot(x, y), 32.0);
+  EXPECT_DOUBLE_EQ(Norm(x), std::sqrt(14.0));
+}
+
+TEST(DistanceTest, DotHandlesOddLengths) {
+  // Exercise the unrolled loop's remainder path.
+  for (size_t n : {1u, 2u, 3u, 5u, 7u, 9u}) {
+    std::vector<double> x(n, 2.0), y(n, 3.0);
+    EXPECT_DOUBLE_EQ(Dot(x, y), 6.0 * static_cast<double>(n));
+  }
+}
+
+TEST(DistanceTest, CosineOfParallelVectorsIsOne) {
+  const std::vector<double> x = {1.0, 2.0};
+  const std::vector<double> y = {2.0, 4.0};
+  EXPECT_NEAR(CosineSimilarity(x, y), 1.0, 1e-12);
+}
+
+TEST(DistanceTest, CosineOfOrthogonalVectorsIsZero) {
+  const std::vector<double> x = {1.0, 0.0};
+  const std::vector<double> y = {0.0, 1.0};
+  EXPECT_DOUBLE_EQ(CosineSimilarity(x, y), 0.0);
+}
+
+TEST(DistanceTest, CosineOfZeroVectorIsZero) {
+  const std::vector<double> x = {0.0, 0.0};
+  const std::vector<double> y = {1.0, 1.0};
+  EXPECT_DOUBLE_EQ(CosineSimilarity(x, y), 0.0);
+}
+
+TEST(DistanceTest, CosineSymmetricAndBounded) {
+  Rng rng(41);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> x(16), y(16);
+    for (auto& v : x) v = rng.Gaussian(0, 1);
+    for (auto& v : y) v = rng.Gaussian(0, 1);
+    const double xy = CosineSimilarity(x, y);
+    EXPECT_NEAR(xy, CosineSimilarity(y, x), 1e-12);
+    EXPECT_LE(std::abs(xy), 1.0 + 1e-12);
+  }
+}
+
+TEST(DistanceTest, SquaredEuclidean) {
+  const std::vector<double> x = {0.0, 0.0};
+  const std::vector<double> y = {3.0, 4.0};
+  EXPECT_DOUBLE_EQ(SquaredEuclidean(x, y), 25.0);
+}
+
+// ---------------------------------------------------------------------------
+// TopK
+// ---------------------------------------------------------------------------
+
+TEST(TopKTest, KeepsBestK) {
+  TopK<int> top(3);
+  for (int i = 0; i < 10; ++i) top.Offer(static_cast<double>(i), i);
+  auto sorted = top.Sorted();
+  ASSERT_EQ(sorted.size(), 3u);
+  EXPECT_EQ(sorted[0].id, 9);
+  EXPECT_EQ(sorted[1].id, 8);
+  EXPECT_EQ(sorted[2].id, 7);
+}
+
+TEST(TopKTest, TieBreaksOnSmallerId) {
+  TopK<int> top(2);
+  top.Offer(1.0, 5);
+  top.Offer(1.0, 3);
+  top.Offer(1.0, 9);
+  auto sorted = top.Sorted();
+  ASSERT_EQ(sorted.size(), 2u);
+  EXPECT_EQ(sorted[0].id, 3);
+  EXPECT_EQ(sorted[1].id, 5);
+}
+
+TEST(TopKTest, FewerThanKItems) {
+  TopK<int> top(10);
+  top.Offer(2.0, 1);
+  top.Offer(1.0, 2);
+  auto sorted = top.Sorted();
+  ASSERT_EQ(sorted.size(), 2u);
+  EXPECT_EQ(sorted[0].id, 1);
+}
+
+TEST(TopKTest, MergeEqualsUnion) {
+  Rng rng(77);
+  TopK<int> merged(5), a(5), b(5), whole(5);
+  for (int i = 0; i < 100; ++i) {
+    const double score = rng.NextDouble();
+    whole.Offer(score, i);
+    (i % 2 == 0 ? a : b).Offer(score, i);
+  }
+  merged.Merge(a);
+  merged.Merge(b);
+  auto lhs = merged.Sorted();
+  auto rhs = whole.Sorted();
+  ASSERT_EQ(lhs.size(), rhs.size());
+  for (size_t i = 0; i < lhs.size(); ++i) {
+    EXPECT_EQ(lhs[i].id, rhs[i].id);
+    EXPECT_DOUBLE_EQ(lhs[i].score, rhs[i].score);
+  }
+}
+
+TEST(TopKTest, ZeroCapacityNeverStores) {
+  TopK<int> top(0);
+  top.Offer(1.0, 1);
+  EXPECT_EQ(top.Sorted().size(), 0u);
+}
+
+}  // namespace
+}  // namespace smartmeter::stats

@@ -1,0 +1,142 @@
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "storage/btree.h"
+
+namespace smartmeter::storage {
+namespace {
+
+TEST(BPlusTreeTest, EmptyTree) {
+  BPlusTree tree;
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_EQ(tree.height(), 1);
+  EXPECT_FALSE(tree.Contains(1));
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+  EXPECT_TRUE(tree.Keys().empty());
+}
+
+TEST(BPlusTreeTest, InsertAndLookup) {
+  BPlusTree tree;
+  ASSERT_TRUE(tree.Insert(5, 50).ok());
+  ASSERT_TRUE(tree.Insert(3, 30).ok());
+  ASSERT_TRUE(tree.Insert(8, 80).ok());
+  EXPECT_EQ(tree.size(), 3u);
+  EXPECT_EQ(*tree.Lookup(5), 50u);
+  EXPECT_EQ(*tree.Lookup(3), 30u);
+  EXPECT_EQ(*tree.Lookup(8), 80u);
+  EXPECT_EQ(tree.Lookup(4).status().code(), StatusCode::kNotFound);
+}
+
+TEST(BPlusTreeTest, RejectsDuplicates) {
+  BPlusTree tree;
+  ASSERT_TRUE(tree.Insert(1, 10).ok());
+  EXPECT_EQ(tree.Insert(1, 20).code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_EQ(*tree.Lookup(1), 10u);
+}
+
+TEST(BPlusTreeTest, SplitsGrowHeight) {
+  BPlusTree tree;
+  const int n = BPlusTree::kMaxKeys * BPlusTree::kMaxKeys;
+  for (int i = 0; i < n; ++i) {
+    ASSERT_TRUE(tree.Insert(i, static_cast<uint64_t>(i)).ok());
+  }
+  EXPECT_GE(tree.height(), 2);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+  for (int i = 0; i < n; ++i) {
+    EXPECT_EQ(*tree.Lookup(i), static_cast<uint64_t>(i));
+  }
+}
+
+TEST(BPlusTreeTest, KeysAreSortedAscending) {
+  BPlusTree tree;
+  Rng rng(3);
+  std::set<int64_t> expected;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t key = static_cast<int64_t>(rng.UniformInt(100000));
+    if (expected.insert(key).second) {
+      ASSERT_TRUE(tree.Insert(key, static_cast<uint64_t>(key) * 2).ok());
+    }
+  }
+  const std::vector<int64_t> keys = tree.Keys();
+  ASSERT_EQ(keys.size(), expected.size());
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+  EXPECT_TRUE(std::equal(keys.begin(), keys.end(), expected.begin()));
+}
+
+TEST(BPlusTreeTest, RangeScan) {
+  BPlusTree tree;
+  for (int64_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(tree.Insert(i * 2, static_cast<uint64_t>(i)).ok());
+  }
+  std::vector<int64_t> seen;
+  tree.Scan(10, 20, [&seen](int64_t key, uint64_t) { seen.push_back(key); });
+  const std::vector<int64_t> expected = {10, 12, 14, 16, 18, 20};
+  EXPECT_EQ(seen, expected);
+}
+
+TEST(BPlusTreeTest, ScanEmptyRange) {
+  BPlusTree tree;
+  ASSERT_TRUE(tree.Insert(5, 1).ok());
+  int visits = 0;
+  tree.Scan(10, 4, [&visits](int64_t, uint64_t) { ++visits; });
+  EXPECT_EQ(visits, 0);
+  tree.Scan(6, 9, [&visits](int64_t, uint64_t) { ++visits; });
+  EXPECT_EQ(visits, 0);
+}
+
+TEST(BPlusTreeTest, NegativeKeys) {
+  BPlusTree tree;
+  for (int64_t key : {-100, 0, 100, -50, 50}) {
+    ASSERT_TRUE(tree.Insert(key, static_cast<uint64_t>(key + 1000)).ok());
+  }
+  EXPECT_EQ(*tree.Lookup(-100), 900u);
+  const std::vector<int64_t> expected = {-100, -50, 0, 50, 100};
+  EXPECT_EQ(tree.Keys(), expected);
+}
+
+TEST(BPlusTreeTest, MoveTransfersOwnership) {
+  BPlusTree a;
+  ASSERT_TRUE(a.Insert(1, 10).ok());
+  BPlusTree b = std::move(a);
+  EXPECT_EQ(*b.Lookup(1), 10u);
+  EXPECT_EQ(b.size(), 1u);
+}
+
+// Property sweep: random insertion orders of various sizes keep all
+// invariants and stay faithful to a reference std::set.
+class BPlusTreePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BPlusTreePropertyTest, MatchesReferenceModel) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 97 + 13);
+  const size_t n = 1 + rng.UniformInt(5000);
+  BPlusTree tree;
+  std::set<int64_t> model;
+  for (size_t i = 0; i < n; ++i) {
+    const int64_t key =
+        static_cast<int64_t>(rng.UniformInt(10000)) - 5000;
+    const bool fresh = model.insert(key).second;
+    const Status st = tree.Insert(key, static_cast<uint64_t>(i));
+    EXPECT_EQ(st.ok(), fresh);
+  }
+  ASSERT_TRUE(tree.CheckInvariants().ok()) << tree.CheckInvariants()
+                                                  .ToString();
+  EXPECT_EQ(tree.size(), model.size());
+  for (int64_t key : model) {
+    EXPECT_TRUE(tree.Contains(key));
+  }
+  // Spot-check some absent keys.
+  for (int i = 0; i < 50; ++i) {
+    const int64_t probe = static_cast<int64_t>(rng.UniformInt(20000)) + 6000;
+    EXPECT_EQ(tree.Contains(probe), model.count(probe) > 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BPlusTreePropertyTest,
+                         ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace smartmeter::storage

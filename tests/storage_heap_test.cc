@@ -1,0 +1,287 @@
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "storage/heap_file.h"
+#include "storage/row_store.h"
+
+namespace smartmeter::storage {
+namespace {
+
+namespace fs = std::filesystem;
+
+class HeapFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (fs::path(::testing::TempDir()) /
+             ("heap_" + std::string(::testing::UnitTest::GetInstance()
+                                        ->current_test_info()
+                                        ->name()) +
+              ".db"))
+                .string();
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove(path_, ec);
+    fs::remove(path_ + ".wal", ec);
+  }
+
+  std::string path_;
+};
+
+HeapFile::Tuple MakeTuple(int i) {
+  return {100 + i % 7, i, 0.5 * i, -1.0 * i};
+}
+
+TEST_F(HeapFileTest, AppendReadRoundTrip) {
+  HeapFile heap(path_);
+  ASSERT_TRUE(heap.Create().ok());
+  for (int i = 0; i < 10; ++i) {
+    auto rid = heap.Append(MakeTuple(i));
+    ASSERT_TRUE(rid.ok());
+    EXPECT_EQ(*rid, static_cast<uint64_t>(i));
+  }
+  ASSERT_TRUE(heap.FinishLoad().ok());
+  EXPECT_EQ(heap.num_rows(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    auto tuple = heap.Read(static_cast<uint64_t>(i));
+    ASSERT_TRUE(tuple.ok());
+    EXPECT_EQ(tuple->household_id, 100 + i % 7);
+    EXPECT_EQ(tuple->hour, i);
+    EXPECT_DOUBLE_EQ(tuple->consumption, 0.5 * i);
+    EXPECT_DOUBLE_EQ(tuple->temperature, -1.0 * i);
+  }
+}
+
+TEST_F(HeapFileTest, SpansManyPages) {
+  HeapFile heap(path_);
+  ASSERT_TRUE(heap.Create().ok());
+  const int n = static_cast<int>(HeapFile::TuplesPerPage()) * 5 + 17;
+  for (int i = 0; i < n; ++i) {
+    ASSERT_TRUE(heap.Append(MakeTuple(i)).ok());
+  }
+  ASSERT_TRUE(heap.FinishLoad().ok());
+  EXPECT_EQ(heap.num_pages(), 6u);
+  EXPECT_EQ(heap.num_rows(), static_cast<uint64_t>(n));
+  // Random probes across page boundaries.
+  Rng rng(3);
+  for (int probe = 0; probe < 200; ++probe) {
+    const int i = static_cast<int>(rng.UniformInt(static_cast<uint64_t>(n)));
+    auto tuple = heap.Read(static_cast<uint64_t>(i));
+    ASSERT_TRUE(tuple.ok());
+    EXPECT_EQ(tuple->hour, i);
+  }
+}
+
+TEST_F(HeapFileTest, ScanVisitsEveryTupleInOrder) {
+  HeapFile heap(path_);
+  ASSERT_TRUE(heap.Create().ok());
+  const int n = static_cast<int>(HeapFile::TuplesPerPage()) * 2 + 3;
+  for (int i = 0; i < n; ++i) {
+    ASSERT_TRUE(heap.Append(MakeTuple(i)).ok());
+  }
+  ASSERT_TRUE(heap.FinishLoad().ok());
+  int expected = 0;
+  ASSERT_TRUE(heap.Scan([&expected](uint64_t rid, const HeapFile::Tuple& t) {
+                    EXPECT_EQ(rid, static_cast<uint64_t>(expected));
+                    EXPECT_EQ(t.hour, expected);
+                    ++expected;
+                  })
+                  .ok());
+  EXPECT_EQ(expected, n);
+}
+
+TEST_F(HeapFileTest, ReadOutOfRangeFails) {
+  HeapFile heap(path_);
+  ASSERT_TRUE(heap.Create().ok());
+  ASSERT_TRUE(heap.Append(MakeTuple(0)).ok());
+  ASSERT_TRUE(heap.FinishLoad().ok());
+  EXPECT_EQ(heap.Read(1).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST_F(HeapFileTest, ReadBeforeFinishFails) {
+  HeapFile heap(path_);
+  ASSERT_TRUE(heap.Create().ok());
+  ASSERT_TRUE(heap.Append(MakeTuple(0)).ok());
+  EXPECT_FALSE(heap.Read(0).ok());
+}
+
+TEST_F(HeapFileTest, CacheEvictsBeyondCapacity) {
+  HeapFile heap(path_, /*write_ahead_log=*/false, /*cache_pages=*/2);
+  ASSERT_TRUE(heap.Create().ok());
+  const int per_page = static_cast<int>(HeapFile::TuplesPerPage());
+  for (int i = 0; i < per_page * 6; ++i) {
+    ASSERT_TRUE(heap.Append(MakeTuple(i)).ok());
+  }
+  ASSERT_TRUE(heap.FinishLoad().ok());
+  // Stride through all pages twice: capacity 2 forces misses each round.
+  for (int round = 0; round < 2; ++round) {
+    for (int p = 0; p < 6; ++p) {
+      ASSERT_TRUE(heap.Read(static_cast<uint64_t>(p * per_page)).ok());
+    }
+  }
+  EXPECT_GE(heap.cache_misses(), 10);
+  // Repeated access to one page hits.
+  const int64_t misses = heap.cache_misses();
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(heap.Read(0).ok());
+  }
+  EXPECT_LE(heap.cache_misses(), misses + 1);
+  EXPECT_GT(heap.cache_hits(), 0);
+}
+
+TEST_F(HeapFileTest, WalWrittenWhenEnabled) {
+  {
+    HeapFile heap(path_, /*write_ahead_log=*/true);
+    ASSERT_TRUE(heap.Create().ok());
+    ASSERT_TRUE(heap.Append(MakeTuple(1)).ok());
+    ASSERT_TRUE(heap.FinishLoad().ok());
+  }
+  EXPECT_TRUE(fs::exists(path_ + ".wal"));
+  EXPECT_EQ(fs::file_size(path_ + ".wal"), sizeof(HeapFile::Tuple));
+}
+
+TEST_F(HeapFileTest, ReopenExistingFile) {
+  const int n = static_cast<int>(HeapFile::TuplesPerPage()) + 5;
+  {
+    HeapFile heap(path_);
+    ASSERT_TRUE(heap.Create().ok());
+    for (int i = 0; i < n; ++i) {
+      ASSERT_TRUE(heap.Append(MakeTuple(i)).ok());
+    }
+    ASSERT_TRUE(heap.FinishLoad().ok());
+  }
+  HeapFile reopened(path_);
+  ASSERT_TRUE(reopened.OpenForRead().ok());
+  EXPECT_EQ(reopened.num_rows(), static_cast<uint64_t>(n));
+  auto tuple = reopened.Read(static_cast<uint64_t>(n - 1));
+  ASSERT_TRUE(tuple.ok());
+  EXPECT_EQ(tuple->hour, n - 1);
+}
+
+TEST_F(HeapFileTest, ReopenForAppendContinuesTailPage) {
+  HeapFile heap(path_);
+  ASSERT_TRUE(heap.Create().ok());
+  const int first_batch = static_cast<int>(HeapFile::TuplesPerPage()) + 7;
+  for (int i = 0; i < first_batch; ++i) {
+    ASSERT_TRUE(heap.Append(MakeTuple(i)).ok());
+  }
+  ASSERT_TRUE(heap.FinishLoad().ok());
+  EXPECT_EQ(heap.num_pages(), 2u);
+
+  ASSERT_TRUE(heap.ReopenForAppend().ok());
+  for (int i = first_batch; i < first_batch + 20; ++i) {
+    auto rid = heap.Append(MakeTuple(i));
+    ASSERT_TRUE(rid.ok());
+    EXPECT_EQ(*rid, static_cast<uint64_t>(i));  // Row ids continue.
+  }
+  ASSERT_TRUE(heap.FinishLoad().ok());
+  EXPECT_EQ(heap.num_rows(), static_cast<uint64_t>(first_batch + 20));
+  // Every tuple, old and new, reads back.
+  for (int i = 0; i < first_batch + 20; ++i) {
+    auto tuple = heap.Read(static_cast<uint64_t>(i));
+    ASSERT_TRUE(tuple.ok()) << i;
+    EXPECT_EQ(tuple->hour, i);
+  }
+}
+
+TEST_F(HeapFileTest, ReopenForAppendOnFullTailPage) {
+  HeapFile heap(path_);
+  ASSERT_TRUE(heap.Create().ok());
+  const int exact = static_cast<int>(HeapFile::TuplesPerPage()) * 2;
+  for (int i = 0; i < exact; ++i) {
+    ASSERT_TRUE(heap.Append(MakeTuple(i)).ok());
+  }
+  ASSERT_TRUE(heap.FinishLoad().ok());
+  ASSERT_TRUE(heap.ReopenForAppend().ok());
+  ASSERT_TRUE(heap.Append(MakeTuple(exact)).ok());
+  ASSERT_TRUE(heap.FinishLoad().ok());
+  EXPECT_EQ(heap.num_rows(), static_cast<uint64_t>(exact + 1));
+  auto tuple = heap.Read(static_cast<uint64_t>(exact));
+  ASSERT_TRUE(tuple.ok());
+  EXPECT_EQ(tuple->hour, exact);
+}
+
+TEST_F(HeapFileTest, ReopenForAppendWhileLoadingFails) {
+  HeapFile heap(path_);
+  ASSERT_TRUE(heap.Create().ok());
+  ASSERT_TRUE(heap.Append(MakeTuple(0)).ok());
+  EXPECT_FALSE(heap.ReopenForAppend().ok());
+}
+
+// ---------------------------------------------------------------------------
+// RowStore over the heap file
+// ---------------------------------------------------------------------------
+
+TEST(RowStoreHeapTest, AppendNewDayAfterReopen) {
+  MeterDataset ds;
+  ds.SetTemperature(std::vector<double>(48, 5.0));
+  ConsumerSeries c;
+  c.household_id = 9;
+  c.consumption.assign(48, 1.0);
+  ds.AddConsumer(c);
+  RowStore store;
+  ASSERT_TRUE(store.LoadFromDataset(ds, false).ok());
+  ASSERT_TRUE(store.ReopenForAppend().ok());
+  for (int h = 48; h < 72; ++h) {
+    ASSERT_TRUE(store.Append({9, h, 2.0, 6.0}).ok());
+  }
+  ASSERT_TRUE(store.FinishLoad().ok());
+  auto series = store.HouseholdConsumption(9);
+  ASSERT_TRUE(series.ok());
+  ASSERT_EQ(series->size(), 72u);
+  EXPECT_DOUBLE_EQ((*series)[47], 1.0);
+  EXPECT_DOUBLE_EQ((*series)[48], 2.0);
+  EXPECT_DOUBLE_EQ((*series)[71], 2.0);
+}
+
+TEST(RowStoreHeapTest, ScanAllMatchesGathers) {
+  MeterDataset ds;
+  Rng rng(9);
+  std::vector<double> temp(48);
+  for (double& t : temp) t = rng.Uniform(-10, 25);
+  ds.SetTemperature(std::move(temp));
+  for (int i = 0; i < 5; ++i) {
+    ConsumerSeries c;
+    c.household_id = 200 + i;
+    for (int h = 0; h < 48; ++h) {
+      c.consumption.push_back(rng.Uniform(0, 3));
+    }
+    ds.AddConsumer(std::move(c));
+  }
+  RowStore store;
+  ASSERT_TRUE(store.LoadFromDataset(ds, /*interleave=*/true).ok());
+  auto scanned = store.ScanAll();
+  ASSERT_TRUE(scanned.ok()) << scanned.status().ToString();
+  ASSERT_EQ(scanned->num_consumers(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    auto gathered = store.HouseholdConsumption(200 + i);
+    ASSERT_TRUE(gathered.ok());
+    EXPECT_EQ(scanned->consumer(static_cast<size_t>(i)).consumption,
+              *gathered);
+    EXPECT_EQ(*gathered, ds.consumer(static_cast<size_t>(i)).consumption);
+  }
+}
+
+TEST(RowStoreHeapTest, AppendAfterFinishRejected) {
+  RowStore store;
+  ASSERT_TRUE(store.Append({1, 0, 1.0, 2.0}).ok());
+  ASSERT_TRUE(store.FinishLoad().ok());
+  EXPECT_FALSE(store.Append({1, 1, 1.0, 2.0}).ok());
+}
+
+TEST(RowStoreHeapTest, GatherBeforeFinishRejected) {
+  RowStore store;
+  ASSERT_TRUE(store.Append({1, 0, 1.0, 2.0}).ok());
+  EXPECT_FALSE(store.HouseholdConsumption(1).ok());
+}
+
+TEST(RowStoreHeapTest, ScanAllEmptyFails) {
+  RowStore store;
+  ASSERT_TRUE(store.FinishLoad().ok());
+  EXPECT_FALSE(store.ScanAll().ok());
+}
+
+}  // namespace
+}  // namespace smartmeter::storage

@@ -1,0 +1,325 @@
+#include <algorithm>
+#include <filesystem>
+#include <map>
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "storage/column_store.h"
+#include "storage/csv.h"
+#include "storage/row_store.h"
+#include "timeseries/dataset.h"
+
+namespace smartmeter::storage {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Builds a small deterministic dataset: `n` households over `hours`.
+MeterDataset MakeDataset(int n, int hours, uint64_t seed = 1) {
+  Rng rng(seed);
+  MeterDataset ds;
+  std::vector<double> temp(static_cast<size_t>(hours));
+  for (double& t : temp) t = rng.Uniform(-15, 30);
+  ds.SetTemperature(std::move(temp));
+  for (int i = 0; i < n; ++i) {
+    ConsumerSeries c;
+    c.household_id = 100 + i;
+    c.consumption.reserve(static_cast<size_t>(hours));
+    for (int h = 0; h < hours; ++h) {
+      c.consumption.push_back(rng.Uniform(0.0, 5.0));
+    }
+    ds.AddConsumer(std::move(c));
+  }
+  return ds;
+}
+
+class StorageTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::path(::testing::TempDir()) /
+           ("storage_test_" +
+            std::to_string(
+                ::testing::UnitTest::GetInstance()->random_seed()) +
+            "_" +
+            ::testing::UnitTest::GetInstance()
+                ->current_test_info()
+                ->name());
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  std::string Path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  fs::path dir_;
+};
+
+void ExpectDatasetsNear(const MeterDataset& a, const MeterDataset& b,
+                        double tolerance) {
+  ASSERT_EQ(a.num_consumers(), b.num_consumers());
+  ASSERT_EQ(a.hours(), b.hours());
+  for (size_t h = 0; h < a.hours(); ++h) {
+    // Temperature is serialized with 2 decimals.
+    ASSERT_NEAR(a.temperature()[h], b.temperature()[h], 0.006) << h;
+  }
+  for (size_t i = 0; i < a.num_consumers(); ++i) {
+    ASSERT_EQ(a.consumer(i).household_id, b.consumer(i).household_id);
+    for (size_t h = 0; h < a.hours(); ++h) {
+      ASSERT_NEAR(a.consumer(i).consumption[h], b.consumer(i).consumption[h],
+                  tolerance)
+          << "household " << i << " hour " << h;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CSV round trips
+// ---------------------------------------------------------------------------
+
+TEST_F(StorageTest, ReadingsCsvRoundTrip) {
+  const MeterDataset ds = MakeDataset(5, 48);
+  ASSERT_TRUE(WriteReadingsCsv(ds, Path("data.csv")).ok());
+  auto loaded = ReadReadingsCsv(Path("data.csv"));
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectDatasetsNear(ds, *loaded, 1e-3);  // CSV keeps 4 decimals.
+}
+
+TEST_F(StorageTest, PartitionedCsvRoundTrip) {
+  const MeterDataset ds = MakeDataset(4, 24);
+  auto paths = WritePartitionedCsv(ds, Path("parts"));
+  ASSERT_TRUE(paths.ok());
+  EXPECT_EQ(paths->size(), 4u);
+  auto loaded = ReadPartitionedCsv(Path("parts"));
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectDatasetsNear(ds, *loaded, 1e-3);
+}
+
+TEST_F(StorageTest, HouseholdLinesRoundTrip) {
+  const MeterDataset ds = MakeDataset(3, 30);
+  ASSERT_TRUE(WriteHouseholdLinesCsv(ds, Path("wide.csv")).ok());
+  auto loaded = ReadHouseholdLinesCsv(Path("wide.csv"));
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectDatasetsNear(ds, *loaded, 1e-3);
+}
+
+TEST_F(StorageTest, WholeHouseholdFilesKeepHouseholdsIntact) {
+  const MeterDataset ds = MakeDataset(7, 24);
+  auto paths = WriteWholeHouseholdFiles(ds, Path("many"), 3);
+  ASSERT_TRUE(paths.ok());
+  EXPECT_EQ(paths->size(), 3u);
+  // Each household's rows live in exactly one file.
+  std::map<int64_t, std::set<std::string>> file_of;
+  for (const std::string& path : *paths) {
+    ReadingCsvReader reader(path);
+    ASSERT_TRUE(reader.Open().ok());
+    ReadingRow row;
+    while (reader.Next(&row)) {
+      file_of[row.household_id].insert(path);
+    }
+    ASSERT_TRUE(reader.status().ok());
+  }
+  EXPECT_EQ(file_of.size(), 7u);
+  for (const auto& [id, files] : file_of) {
+    EXPECT_EQ(files.size(), 1u) << "household " << id << " split";
+  }
+}
+
+TEST_F(StorageTest, WholeHouseholdFilesClampedToHouseholdCount) {
+  const MeterDataset ds = MakeDataset(2, 24);
+  auto paths = WriteWholeHouseholdFiles(ds, Path("many2"), 10);
+  ASSERT_TRUE(paths.ok());
+  EXPECT_EQ(paths->size(), 2u);
+}
+
+TEST_F(StorageTest, ParseReadingRowValidatesShape) {
+  EXPECT_TRUE(ParseReadingRow("1,0,2.5,-3.0").ok());
+  EXPECT_FALSE(ParseReadingRow("1,0,2.5").ok());
+  EXPECT_FALSE(ParseReadingRow("a,0,2.5,-3.0").ok());
+  EXPECT_FALSE(ParseReadingRow("").ok());
+}
+
+TEST_F(StorageTest, ReaderSurfacesMalformedRows) {
+  {
+    FILE* f = fopen(Path("bad.csv").c_str(), "w");
+    fputs("1,0,0.5,1.0\nnot,a,row\n", f);
+    fclose(f);
+  }
+  ReadingCsvReader reader(Path("bad.csv"));
+  ASSERT_TRUE(reader.Open().ok());
+  ReadingRow row;
+  EXPECT_TRUE(reader.Next(&row));
+  EXPECT_FALSE(reader.Next(&row));
+  EXPECT_FALSE(reader.status().ok());
+}
+
+TEST_F(StorageTest, MissingFileIsIOError) {
+  EXPECT_EQ(ReadReadingsCsv(Path("absent.csv")).status().code(),
+            StatusCode::kIOError);
+  ReadingCsvReader reader(Path("absent.csv"));
+  EXPECT_EQ(reader.Open().code(), StatusCode::kIOError);
+}
+
+TEST_F(StorageTest, ReadRejectsRaggedHouseholds) {
+  {
+    FILE* f = fopen(Path("ragged.csv").c_str(), "w");
+    fputs("1,0,0.5,1.0\n1,1,0.6,1.0\n2,0,0.2,1.0\n", f);
+    fclose(f);
+  }
+  EXPECT_FALSE(ReadReadingsCsv(Path("ragged.csv")).ok());
+}
+
+// ---------------------------------------------------------------------------
+// RowStore
+// ---------------------------------------------------------------------------
+
+TEST_F(StorageTest, RowStoreExtractsOrderedSeries) {
+  const MeterDataset ds = MakeDataset(3, 24);
+  RowStore store;
+  // Interleaved load: rows arrive hour-major like a utility feed.
+  ASSERT_TRUE(store.LoadFromDataset(ds, /*interleave=*/true).ok());
+  EXPECT_EQ(store.num_rows(), 3u * 24u);
+  EXPECT_EQ(store.num_households(), 3u);
+  for (const ConsumerSeries& c : ds.consumers()) {
+    auto extracted = store.HouseholdConsumption(c.household_id);
+    ASSERT_TRUE(extracted.ok());
+    EXPECT_EQ(*extracted, c.consumption);
+    auto temp = store.HouseholdTemperature(c.household_id);
+    ASSERT_TRUE(temp.ok());
+    EXPECT_EQ(*temp, ds.temperature());
+  }
+}
+
+TEST_F(StorageTest, RowStoreUnknownHousehold) {
+  RowStore store;
+  ASSERT_TRUE(store.LoadFromDataset(MakeDataset(1, 4), false).ok());
+  EXPECT_EQ(store.HouseholdConsumption(999).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(StorageTest, RowStoreLoadFromCsvMatchesDataset) {
+  const MeterDataset ds = MakeDataset(3, 24);
+  ASSERT_TRUE(WriteReadingsCsv(ds, Path("rows.csv")).ok());
+  RowStore store;
+  ASSERT_TRUE(store.LoadFromCsv(Path("rows.csv")).ok());
+  EXPECT_EQ(store.num_rows(), ds.consumers().size() * ds.hours());
+  auto ids = store.HouseholdIds();
+  EXPECT_EQ(ids.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(ids.begin(), ids.end()));
+}
+
+TEST_F(StorageTest, ArrayStoreFindsHouseholds) {
+  const MeterDataset ds = MakeDataset(4, 12);
+  ArrayStore store;
+  ASSERT_TRUE(store.LoadFromDataset(ds).ok());
+  EXPECT_EQ(store.num_households(), 4u);
+  auto row = store.Find(101);
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(row->consumption, ds.consumer(1).consumption);
+  EXPECT_EQ(row->temperature, ds.temperature());
+  EXPECT_EQ(store.Find(12345).status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(StorageTest, ArrayStoreReadAllRoundTrips) {
+  const MeterDataset ds = MakeDataset(6, 24);
+  ArrayStore store;
+  ASSERT_TRUE(store.LoadFromDataset(ds).ok());
+  auto all = store.ReadAll();
+  ASSERT_TRUE(all.ok()) << all.status().ToString();
+  ASSERT_EQ(all->num_consumers(), 6u);
+  for (size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(all->consumer(i).household_id, ds.consumer(i).household_id);
+    EXPECT_EQ(all->consumer(i).consumption, ds.consumer(i).consumption);
+  }
+  EXPECT_EQ(all->temperature(), ds.temperature());
+}
+
+TEST_F(StorageTest, ArrayStoreReadRowOutOfRange) {
+  const MeterDataset ds = MakeDataset(2, 12);
+  ArrayStore store;
+  ASSERT_TRUE(store.LoadFromDataset(ds).ok());
+  EXPECT_EQ(store.ReadRow(5).status().code(), StatusCode::kOutOfRange);
+}
+
+// ---------------------------------------------------------------------------
+// ColumnStore
+// ---------------------------------------------------------------------------
+
+TEST_F(StorageTest, ColumnStoreMappedRoundTrip) {
+  const MeterDataset ds = MakeDataset(5, 36);
+  const std::string path = Path("table.smcol");
+  ASSERT_TRUE(ColumnStore::WriteFile(ds, path).ok());
+  ColumnStore store;
+  ASSERT_TRUE(store.OpenMapped(path).ok());
+  EXPECT_TRUE(store.is_mapped());
+  ASSERT_EQ(store.num_households(), 5u);
+  ASSERT_EQ(store.hours(), 36u);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(store.household_id(i), ds.consumer(i).household_id);
+    const auto seg = store.consumption(i);
+    for (size_t h = 0; h < 36; ++h) {
+      EXPECT_DOUBLE_EQ(seg[h], ds.consumer(i).consumption[h]);
+    }
+  }
+  for (size_t h = 0; h < 36; ++h) {
+    EXPECT_DOUBLE_EQ(store.temperature()[h], ds.temperature()[h]);
+  }
+}
+
+TEST_F(StorageTest, ColumnStoreInMemoryMatchesMapped) {
+  const MeterDataset ds = MakeDataset(3, 24);
+  const std::string path = Path("table2.smcol");
+  ASSERT_TRUE(ColumnStore::WriteFile(ds, path).ok());
+  ColumnStore mapped, owned;
+  ASSERT_TRUE(mapped.OpenMapped(path).ok());
+  ASSERT_TRUE(owned.LoadFromDataset(ds).ok());
+  EXPECT_FALSE(owned.is_mapped());
+  ASSERT_EQ(mapped.num_households(), owned.num_households());
+  for (size_t i = 0; i < mapped.num_households(); ++i) {
+    const auto a = mapped.consumption(i);
+    const auto b = owned.consumption(i);
+    for (size_t h = 0; h < mapped.hours(); ++h) {
+      EXPECT_DOUBLE_EQ(a[h], b[h]);
+    }
+  }
+}
+
+TEST_F(StorageTest, ColumnStoreRejectsCorruptFile) {
+  {
+    FILE* f = fopen(Path("junk.smcol").c_str(), "w");
+    fputs("this is not a column store", f);
+    fclose(f);
+  }
+  ColumnStore store;
+  EXPECT_EQ(store.OpenMapped(Path("junk.smcol")).code(),
+            StatusCode::kCorruption);
+}
+
+TEST_F(StorageTest, ColumnStoreRejectsTruncatedFile) {
+  const MeterDataset ds = MakeDataset(2, 24);
+  const std::string path = Path("trunc.smcol");
+  ASSERT_TRUE(ColumnStore::WriteFile(ds, path).ok());
+  fs::resize_file(path, fs::file_size(path) - 16);
+  ColumnStore store;
+  EXPECT_EQ(store.OpenMapped(path).code(), StatusCode::kCorruption);
+}
+
+TEST_F(StorageTest, ColumnStoreMoveKeepsMapping) {
+  const MeterDataset ds = MakeDataset(2, 24);
+  const std::string path = Path("move.smcol");
+  ASSERT_TRUE(ColumnStore::WriteFile(ds, path).ok());
+  ColumnStore a;
+  ASSERT_TRUE(a.OpenMapped(path).ok());
+  ColumnStore b = std::move(a);
+  EXPECT_EQ(b.num_households(), 2u);
+  EXPECT_DOUBLE_EQ(b.consumption(0)[0], ds.consumer(0).consumption[0]);
+}
+
+}  // namespace
+}  // namespace smartmeter::storage

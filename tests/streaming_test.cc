@@ -1,0 +1,311 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/par_task.h"
+#include "datagen/seed_generator.h"
+#include "streaming/detectors.h"
+#include "streaming/stream_processor.h"
+#include "timeseries/calendar.h"
+
+namespace smartmeter::streaming {
+namespace {
+
+StreamReading Reading(int64_t hour, double kwh, double temp = 10.0,
+                      int64_t household = 1) {
+  return {household, hour, kwh, temp};
+}
+
+// ---------------------------------------------------------------------------
+// EwmaDetector
+// ---------------------------------------------------------------------------
+
+TEST(EwmaDetectorTest, NoAlertsOnSteadyNoise) {
+  EwmaDetector detector;
+  Rng rng(1);
+  for (int h = 0; h < 1000; ++h) {
+    const double kwh = 1.0 + rng.Gaussian(0.0, 0.05);
+    EXPECT_FALSE(detector.Observe(Reading(h, kwh)).has_value()) << h;
+  }
+}
+
+TEST(EwmaDetectorTest, FlagsLargeDeviation) {
+  EwmaDetector detector;
+  Rng rng(2);
+  for (int h = 0; h < 200; ++h) {
+    (void)detector.Observe(Reading(h, 1.0 + rng.Gaussian(0.0, 0.05)));
+  }
+  auto alert = detector.Observe(Reading(200, 8.0));
+  ASSERT_TRUE(alert.has_value());
+  EXPECT_EQ(alert->kind, AlertKind::kDeviation);
+  EXPECT_EQ(alert->household_id, 1);
+  EXPECT_EQ(alert->hour, 200);
+  EXPECT_GT(alert->score, 4.0);
+  EXPECT_NEAR(alert->expected, 1.0, 0.2);
+}
+
+TEST(EwmaDetectorTest, NoAlertsDuringWarmup) {
+  EwmaDetector::Options options;
+  options.warmup_readings = 48;
+  EwmaDetector detector(options);
+  // Even wild readings are swallowed during warm-up.
+  for (int h = 0; h < 48; ++h) {
+    EXPECT_FALSE(
+        detector.Observe(Reading(h, h % 2 == 0 ? 0.1 : 9.0)).has_value());
+  }
+}
+
+TEST(EwmaDetectorTest, AnomalyDoesNotPoisonEnvelope) {
+  EwmaDetector detector;
+  Rng rng(3);
+  for (int h = 0; h < 100; ++h) {
+    (void)detector.Observe(Reading(h, 1.0 + rng.Gaussian(0.0, 0.05)));
+  }
+  const double mean_before = detector.mean();
+  (void)detector.Observe(Reading(100, 50.0));  // Flagged, not absorbed.
+  EXPECT_DOUBLE_EQ(detector.mean(), mean_before);
+}
+
+TEST(EwmaDetectorTest, CloneIsFresh) {
+  EwmaDetector detector;
+  for (int h = 0; h < 100; ++h) {
+    (void)detector.Observe(Reading(h, 5.0));
+  }
+  auto clone = detector.Clone();
+  // The clone has no history: a 5.0 reading is mid-warmup, not normal.
+  EXPECT_FALSE(clone->Observe(Reading(0, 5.0)).has_value());
+  EXPECT_NE(detector.mean(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// SpikeDetector
+// ---------------------------------------------------------------------------
+
+TEST(SpikeDetectorTest, FlagsJumpAfterWarmup) {
+  SpikeDetector detector;
+  for (int h = 0; h < 48; ++h) {
+    EXPECT_FALSE(detector.Observe(Reading(h, 0.8)).has_value());
+  }
+  auto alert = detector.Observe(Reading(48, 7.0));
+  ASSERT_TRUE(alert.has_value());
+  EXPECT_EQ(alert->kind, AlertKind::kSpike);
+}
+
+TEST(SpikeDetectorTest, GradualRampDoesNotAlert) {
+  SpikeDetector detector;
+  double kwh = 0.5;
+  for (int h = 0; h < 500; ++h) {
+    EXPECT_FALSE(detector.Observe(Reading(h, kwh)).has_value()) << h;
+    kwh *= 1.01;  // +1% per hour, never a jump.
+  }
+}
+
+TEST(SpikeDetectorTest, MinJumpSuppressesTinyBases) {
+  SpikeDetector detector;  // min_jump = 0.5 kWh.
+  for (int h = 0; h < 48; ++h) {
+    (void)detector.Observe(Reading(h, 0.01));
+  }
+  // 0.01 -> 0.3 is 30x but under the absolute floor.
+  EXPECT_FALSE(detector.Observe(Reading(48, 0.3)).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// FlatlineDetector
+// ---------------------------------------------------------------------------
+
+TEST(FlatlineDetectorTest, FlagsStuckMeterOnce) {
+  FlatlineDetector detector;
+  int alerts = 0;
+  for (int h = 0; h < 100; ++h) {
+    if (detector.Observe(Reading(h, 1.234)).has_value()) ++alerts;
+  }
+  EXPECT_EQ(alerts, 1);  // One alert per stuck episode.
+}
+
+TEST(FlatlineDetectorTest, VaryingReadingsNeverAlert) {
+  FlatlineDetector detector;
+  Rng rng(5);
+  for (int h = 0; h < 500; ++h) {
+    EXPECT_FALSE(
+        detector.Observe(Reading(h, 1.0 + rng.NextDouble() * 0.01))
+            .has_value());
+  }
+}
+
+TEST(FlatlineDetectorTest, RecoversAfterEpisode) {
+  FlatlineDetector detector;
+  int alerts = 0;
+  for (int h = 0; h < 30; ++h) {
+    if (detector.Observe(Reading(h, 2.0)).has_value()) ++alerts;
+  }
+  // Normal variation resumes, then the meter sticks again.
+  for (int h = 30; h < 40; ++h) {
+    (void)detector.Observe(Reading(h, 1.0 + 0.1 * h));
+  }
+  for (int h = 40; h < 80; ++h) {
+    if (detector.Observe(Reading(h, 3.0)).has_value()) ++alerts;
+  }
+  EXPECT_EQ(alerts, 2);
+}
+
+// ---------------------------------------------------------------------------
+// ProfileDetector
+// ---------------------------------------------------------------------------
+
+core::DailyProfileResult FlatProfile(double level, double beta) {
+  core::DailyProfileResult profile;
+  profile.household_id = 1;
+  profile.profile.assign(24, level);
+  profile.temperature_beta.assign(24, beta);
+  return profile;
+}
+
+TEST(ProfileDetectorTest, ExpectedTracksProfileAndTemperature) {
+  ProfileDetector detector(FlatProfile(1.0, 0.1));
+  EXPECT_DOUBLE_EQ(detector.ExpectedAt(3, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(detector.ExpectedAt(3, 10.0), 2.0);
+  EXPECT_DOUBLE_EQ(detector.ExpectedAt(3, -20.0), 0.0);  // Clamped.
+}
+
+TEST(ProfileDetectorTest, AlertOnlyOutsideBand) {
+  ProfileDetector detector(FlatProfile(1.0, 0.0));
+  EXPECT_FALSE(detector.Observe(Reading(0, 1.4)).has_value());
+  auto alert = detector.Observe(Reading(1, 3.5));
+  ASSERT_TRUE(alert.has_value());
+  EXPECT_EQ(alert->kind, AlertKind::kOffProfile);
+  EXPECT_DOUBLE_EQ(alert->expected, 1.0);
+}
+
+TEST(ProfileDetectorTest, BatchModelDrivesStreamDetection) {
+  // End-to-end bridge: fit a PAR model on a synthetic household, then
+  // stream the same year; almost nothing should alert, but an injected
+  // outage-then-rebound hour must.
+  datagen::SeedGeneratorOptions options;
+  options.num_households = 1;
+  options.seed = 99;
+  auto dataset = datagen::GenerateSeedDataset(options);
+  ASSERT_TRUE(dataset.ok());
+  const auto& consumer = dataset->consumer(0);
+  auto model = core::ComputeDailyProfile(
+      consumer.consumption, dataset->temperature(), consumer.household_id);
+  ASSERT_TRUE(model.ok());
+
+  ProfileDetector::Options detector_options;
+  detector_options.relative_tolerance = 3.0;
+  detector_options.min_band = 1.5;
+  ProfileDetector detector(*model, detector_options);
+  int alerts = 0;
+  for (int h = 0; h < kHoursPerYear; ++h) {
+    double kwh = consumer.consumption[static_cast<size_t>(h)];
+    if (h == 5000) kwh += 12.0;  // Injected anomaly.
+    StreamReading reading{consumer.household_id, h, kwh,
+                          dataset->temperature()[static_cast<size_t>(h)]};
+    auto alert = detector.Observe(reading);
+    if (alert.has_value()) {
+      ++alerts;
+      EXPECT_EQ(alert->hour, 5000);
+    }
+  }
+  EXPECT_EQ(alerts, 1);
+}
+
+// ---------------------------------------------------------------------------
+// StreamProcessor
+// ---------------------------------------------------------------------------
+
+TEST(StreamProcessorTest, RoutesPerHousehold) {
+  StreamProcessor processor;
+  processor.AddDetectorPrototype(std::make_unique<EwmaDetector>());
+  std::vector<Alert> alerts;
+  processor.SetAlertSink([&alerts](const Alert& a) {
+    alerts.push_back(a);
+  });
+  Rng rng(7);
+  // Two interleaved households; household 2 spikes at hour 300.
+  for (int h = 0; h < 400; ++h) {
+    ASSERT_TRUE(processor
+                    .Process(Reading(h, 1.0 + rng.Gaussian(0, 0.03), 10.0,
+                                     1))
+                    .ok());
+    const double kwh2 = (h == 300) ? 9.0 : 2.0 + rng.Gaussian(0, 0.03);
+    ASSERT_TRUE(processor.Process(Reading(h, kwh2, 10.0, 2)).ok());
+  }
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].household_id, 2);
+  EXPECT_EQ(alerts[0].hour, 300);
+  EXPECT_EQ(processor.households_seen(), 2u);
+  EXPECT_EQ(processor.readings_processed(), 800);
+  EXPECT_EQ(processor.alerts_raised(), 1);
+}
+
+TEST(StreamProcessorTest, RejectsOutOfOrderReadings) {
+  StreamProcessor processor;
+  ASSERT_TRUE(processor.Process(Reading(5, 1.0)).ok());
+  EXPECT_FALSE(processor.Process(Reading(5, 1.0)).ok());
+  EXPECT_FALSE(processor.Process(Reading(4, 1.0)).ok());
+  EXPECT_TRUE(processor.Process(Reading(6, 1.0)).ok());
+}
+
+TEST(StreamProcessorTest, TumblingWindowsSummarize) {
+  StreamProcessor::Options options;
+  options.window_hours = 24;
+  StreamProcessor processor(options);
+  std::vector<WindowSummary> windows;
+  processor.SetWindowSink([&windows](const WindowSummary& w) {
+    windows.push_back(w);
+  });
+  for (int h = 0; h < 48; ++h) {
+    ASSERT_TRUE(
+        processor.Process(Reading(h, h == 30 ? 5.0 : 1.0)).ok());
+  }
+  processor.FlushWindows();
+  ASSERT_EQ(windows.size(), 2u);
+  EXPECT_EQ(windows[0].window_start_hour, 0);
+  EXPECT_DOUBLE_EQ(windows[0].total_kwh, 24.0);
+  EXPECT_DOUBLE_EQ(windows[1].peak_kwh, 5.0);
+  EXPECT_EQ(windows[1].peak_hour, 6);  // Hour 30 = 6th hour of day 2.
+  EXPECT_DOUBLE_EQ(windows[1].total_kwh, 23.0 + 5.0);
+}
+
+TEST(StreamProcessorTest, HouseholdSpecificDetectors) {
+  StreamProcessor processor;
+  processor.AddHouseholdDetector(
+      7, std::make_unique<ProfileDetector>(FlatProfile(1.0, 0.0)));
+  std::vector<Alert> alerts;
+  processor.SetAlertSink([&alerts](const Alert& a) {
+    alerts.push_back(a);
+  });
+  // Household 7 has the detector; household 8 has none.
+  ASSERT_TRUE(processor.Process(Reading(0, 9.0, 10.0, 7)).ok());
+  ASSERT_TRUE(processor.Process(Reading(0, 9.0, 10.0, 8)).ok());
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].household_id, 7);
+}
+
+TEST(StreamProcessorTest, NoSinksIsSafe) {
+  StreamProcessor processor;
+  processor.AddDetectorPrototype(std::make_unique<SpikeDetector>());
+  for (int h = 0; h < 60; ++h) {
+    ASSERT_TRUE(
+        processor.Process(Reading(h, h == 50 ? 9.0 : 0.5)).ok());
+  }
+  EXPECT_GE(processor.alerts_raised(), 1);
+  processor.FlushWindows();
+}
+
+TEST(AlertTest, ToStringMentionsKindAndHousehold) {
+  Alert alert;
+  alert.household_id = 42;
+  alert.hour = 7;
+  alert.kind = AlertKind::kSpike;
+  alert.observed = 3.0;
+  alert.expected = 1.0;
+  alert.score = 2.5;
+  const std::string text = alert.ToString();
+  EXPECT_NE(text.find("spike"), std::string::npos);
+  EXPECT_NE(text.find("42"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace smartmeter::streaming
