@@ -18,6 +18,7 @@ namespace fs = std::filesystem;
 BenchContext::BenchContext(int argc, char** argv, double default_scale)
     : flags_(argc, argv) {
   workdir_ = flags_.GetString("workdir", "/tmp/smartmeter-bench");
+  report_path_ = flags_.GetString("report", "");
   hours_ = static_cast<int>(flags_.GetInt("hours", kHoursPerYear));
   scale_divisor_ = flags_.GetDouble("scale", default_scale);
   seed_ = static_cast<uint64_t>(flags_.GetInt("seed", 20150323));
@@ -26,6 +27,31 @@ BenchContext::BenchContext(int argc, char** argv, double default_scale)
   SM_CHECK(scale_divisor_ > 0) << "--scale must be positive";
   std::error_code ec;
   fs::create_directories(workdir_, ec);
+  if (argc > 0) {
+    report_.set_label(fs::path(argv[0]).filename().string());
+  }
+}
+
+BenchContext::~BenchContext() {
+  if (report_path_.empty() || report_written_) return;
+  if (Status st = Finish(); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+  }
+}
+
+Status BenchContext::Finish() {
+  if (report_path_.empty()) return Status::OK();
+  report_written_ = true;
+  report_.CaptureMetrics();
+  report_.CaptureSpans();
+  std::string error;
+  if (!report_.WriteFile(report_path_, &error)) {
+    return Status::IOError("cannot write report " + report_path_ + ": " +
+                           error);
+  }
+  std::printf("\nreport: %s (%zu runs, %zu spans)\n", report_path_.c_str(),
+              report_.runs().size(), report_.spans().size());
+  return Status::OK();
 }
 
 int BenchContext::HouseholdsForPaperGb(double paper_gb) const {

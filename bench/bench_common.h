@@ -10,6 +10,7 @@
 #include "common/result.h"
 #include "datagen/generator.h"
 #include "engines/engine.h"
+#include "obs/report.h"
 #include "timeseries/dataset.h"
 
 namespace smartmeter::bench {
@@ -28,12 +29,18 @@ inline constexpr double kHouseholdsPerPaperGb = 2730.0;
 ///                     in minutes on a laptop)
 ///   --hours=<n>       hours per series (default 8760)
 ///   --seed=<n>        RNG seed
+///   --report=<path>   write an observability JSON report (metrics +
+///                     trace spans + per-run timings) on Finish()
 class BenchContext {
  public:
   /// `default_scale` is the scale divisor used when --scale is not
   /// given; heavier figures ship larger defaults so the whole suite
   /// stays fast, and every bench prints the paper-equivalent sizes.
   BenchContext(int argc, char** argv, double default_scale = 40.0);
+
+  /// Writes the report on teardown if --report was given and Finish()
+  /// was never called explicitly (benches that don't need the status).
+  ~BenchContext();
 
   const FlagParser& flags() const { return flags_; }
   const std::string& workdir() const { return workdir_; }
@@ -62,11 +69,27 @@ class BenchContext {
   /// Per-bench scratch dir for engine spools.
   std::string SpoolDir(const std::string& tag) const;
 
+  /// Observability report accumulating every run of this bench. Pass
+  /// `&ctx.report()` as RunSpec::report to record runs automatically.
+  obs::BenchReport& report() { return report_; }
+
+  /// True when --report=<path> was given.
+  bool report_requested() const { return !report_path_.empty(); }
+
+  /// Captures the global metrics registry + trace buffer into the
+  /// report and writes it to the --report path (no-op without the
+  /// flag). Called automatically from the destructor; call explicitly
+  /// when the bench wants to act on a write failure.
+  Status Finish();
+
  private:
   Result<MeterDataset> BuildDataset(int households);
 
   FlagParser flags_;
   std::string workdir_;
+  std::string report_path_;
+  bool report_written_ = false;
+  obs::BenchReport report_;
   int hours_;
   double scale_divisor_;
   uint64_t seed_;

@@ -1,0 +1,145 @@
+// CI smoke benchmark: one tiny histogram run per engine, emitting the
+// observability JSON report and gating on a committed baseline.
+//
+// Flags (on top of the common bench flags):
+//   --baseline=<path>   BENCH_baseline.json to compare against (skip
+//                       the gate when empty)
+//   --tolerance=<f>     allowed relative task_seconds regression
+//                       (default 0.30, i.e. fail when 30% slower)
+//
+// Typical CI invocation:
+//   bench_smoke --hours=240 --report=bench_report.json
+//       --baseline=../bench/BENCH_baseline.json
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "engines/benchmark_runner.h"
+#include "obs/report.h"
+
+namespace smartmeter::bench {
+namespace {
+
+struct SmokeCase {
+  engines::EngineKind kind;
+  /// Matlab's single-CSV ingest is quadratic in file size, so the smoke
+  /// run feeds it the partitioned layout; everything else reads the
+  /// single CSV.
+  bool partitioned;
+};
+
+int RunSmoke(int argc, char** argv) {
+  BenchContext ctx(argc, argv, /*default_scale=*/400.0);
+  const std::string baseline_path = ctx.flags().GetString("baseline", "");
+  const double tolerance = ctx.flags().GetDouble("tolerance", 0.30);
+  const int households = 12;
+
+  const std::vector<SmokeCase> cases = {
+      {engines::EngineKind::kSystemC, false},
+      {engines::EngineKind::kMatlab, true},
+      {engines::EngineKind::kMadlib, false},
+      {engines::EngineKind::kSpark, false},
+      {engines::EngineKind::kHive, false},
+  };
+
+  PrintHeader("bench_smoke",
+              "one tiny histogram run per engine; gates CI on the "
+              "committed baseline");
+  PrintRow({"engine", "layout", "load s", "task s", "simulated"});
+  PrintDivider(5);
+
+  for (const SmokeCase& c : cases) {
+    engines::RunSpec spec;
+    spec.kind = c.kind;
+    spec.factory.spool_dir = ctx.SpoolDir("smoke");
+    spec.factory.cluster.num_nodes = 4;
+    spec.factory.cluster.slots_per_node = 2;
+    spec.request.task = core::TaskType::kHistogram;
+    spec.threads = 2;
+    spec.report = &ctx.report();
+    auto source = c.partitioned ? ctx.PartitionedDir(households)
+                                : ctx.SingleCsv(households);
+    if (!source.ok()) {
+      std::fprintf(stderr, "data materialization failed: %s\n",
+                   source.status().ToString().c_str());
+      return 1;
+    }
+    spec.source = *source;
+    auto run = engines::RunBenchmark(spec);
+    if (!run.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n",
+                   std::string(engines::EngineKindName(c.kind)).c_str(),
+                   run.status().ToString().c_str());
+      return 1;
+    }
+    PrintRow({std::string(engines::EngineKindName(c.kind)),
+              c.partitioned ? "partitioned" : "single-csv",
+              Cell(run->attach_seconds), Cell(run->task_seconds),
+              run->simulated ? "yes" : "no"});
+  }
+
+  if (Status st = ctx.Finish(); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  if (baseline_path.empty()) {
+    std::printf("\nno --baseline given; skipping regression gate\n");
+    return 0;
+  }
+
+  obs::BenchReport baseline;
+  std::string error;
+  if (!obs::BenchReport::ReadFile(baseline_path, &baseline, &error)) {
+    std::fprintf(stderr, "cannot read baseline %s: %s\n",
+                 baseline_path.c_str(), error.c_str());
+    return 1;
+  }
+
+  int failures = 0;
+  for (const obs::RunRecord& run : ctx.report().runs()) {
+    const obs::RunRecord* base = nullptr;
+    for (const obs::RunRecord& b : baseline.runs()) {
+      if (b.engine == run.engine && b.task == run.task &&
+          b.layout == run.layout) {
+        base = &b;
+        break;
+      }
+    }
+    if (base == nullptr) {
+      std::printf("no baseline for %s/%s/%s; skipping\n",
+                  run.engine.c_str(), run.task.c_str(), run.layout.c_str());
+      continue;
+    }
+    const double limit = base->task_seconds * (1.0 + tolerance);
+    if (run.task_seconds > limit) {
+      std::fprintf(stderr,
+                   "REGRESSION %s/%s/%s: task %.3fs > limit %.3fs "
+                   "(baseline %.3fs, tolerance %.0f%%)\n",
+                   run.engine.c_str(), run.task.c_str(), run.layout.c_str(),
+                   run.task_seconds, limit, base->task_seconds,
+                   tolerance * 100.0);
+      ++failures;
+    } else {
+      std::printf("ok %s/%s/%s: task %.3fs within limit %.3fs\n",
+                  run.engine.c_str(), run.task.c_str(), run.layout.c_str(),
+                  run.task_seconds, limit);
+    }
+  }
+  if (failures > 0) {
+    std::fprintf(stderr, "\n%d regression(s) vs %s\n", failures,
+                 baseline_path.c_str());
+    return 1;
+  }
+  std::printf("\nall engines within %.0f%% of baseline\n",
+              tolerance * 100.0);
+  return 0;
+}
+
+}  // namespace
+}  // namespace smartmeter::bench
+
+int main(int argc, char** argv) {
+  return smartmeter::bench::RunSmoke(argc, argv);
+}

@@ -5,8 +5,8 @@
 // benchmark's file layouts.
 //
 // Usage:
-//   datagen_cli --out=/tmp/data --households=1000 \
-//       [--format=readings|lines|files|partitioned] [--files=N] \
+//   datagen_cli --out=/tmp/data --households=1000
+//       [--format=readings|lines|files|partitioned] [--files=N]
 //       [--seed-households=100] [--clusters=8] [--sigma=0.1] [--seed=N]
 #include <cstdio>
 #include <filesystem>

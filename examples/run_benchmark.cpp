@@ -3,15 +3,16 @@
 // five systems. Prints load/warm/task timings and a result digest.
 //
 // Usage:
-//   run_benchmark --engine=matlab|madlib|madlib-array|system-c|spark|hive \
-//       --task=histogram|3line|par|similarity \
-//       --data=<file-or-dir> \
-//       [--layout=single|partitioned|lines|files] \
+//   run_benchmark --engine=matlab|madlib|madlib-array|system-c|spark|hive
+//       --task=histogram|3line|par|similarity
+//       --data=<file-or-dir>
+//       [--layout=single|partitioned|lines|files]
 //       [--threads=N] [--warm] [--nodes=N] [--k=N] [--buckets=N]
+//       [--report=bench_report.json]
 //
 // Example (generate data first with datagen_cli):
 //   datagen_cli --out=/tmp/meter --households=200 --format=readings
-//   run_benchmark --engine=system-c --task=3line \
+//   run_benchmark --engine=system-c --task=3line
 //       --data=/tmp/meter/readings.csv
 #include <algorithm>
 #include <cstdio>
@@ -21,6 +22,7 @@
 #include "common/string_util.h"
 #include "engines/benchmark_runner.h"
 #include "engines/engine_factory.h"
+#include "obs/report.h"
 
 using namespace smartmeter;  // Example code.
 
@@ -165,6 +167,13 @@ int main(int argc, char** argv) {
   spec.keep_outputs = true;
   spec.sample_memory = true;
 
+  const std::string report_path = flags.GetString("report", "");
+  obs::BenchReport obs_report;
+  if (!report_path.empty()) {
+    obs_report.set_label("run_benchmark");
+    spec.report = &obs_report;
+  }
+
   auto report = engines::RunBenchmark(spec);
   if (!report.ok()) {
     std::fprintf(stderr, "run failed: %s\n",
@@ -185,5 +194,17 @@ int main(int argc, char** argv) {
     std::printf("memory %s\n", HumanBytes(report->memory_bytes).c_str());
   }
   PrintDigest(report->outputs, *task);
+
+  if (!report_path.empty()) {
+    obs_report.CaptureMetrics();
+    obs_report.CaptureSpans();
+    std::string error;
+    if (!obs_report.WriteFile(report_path, &error)) {
+      std::fprintf(stderr, "cannot write report %s: %s\n",
+                   report_path.c_str(), error.c_str());
+      return 1;
+    }
+    std::printf("report %s\n", report_path.c_str());
+  }
   return 0;
 }

@@ -5,10 +5,17 @@
 #include <cstdio>
 
 #include "common/string_util.h"
+#include "obs/metrics.h"
 
 namespace smartmeter::cluster {
 
 Result<std::vector<std::string>> ReadSplitLines(const InputSplit& split) {
+  static obs::Counter* split_reads =
+      obs::MetricsRegistry::Global().GetCounter("blockstore.split_reads");
+  static obs::Counter* bytes_read =
+      obs::MetricsRegistry::Global().GetCounter("blockstore.bytes_read");
+  static obs::Counter* lines_read =
+      obs::MetricsRegistry::Global().GetCounter("blockstore.lines_read");
   FILE* f = std::fopen(split.path.c_str(), "rb");
   if (f == nullptr) {
     return Status::IOError("cannot open " + split.path);
@@ -37,6 +44,8 @@ Result<std::vector<std::string>> ReadSplitLines(const InputSplit& split) {
   if (split.offset > 0) {
     if (!read_line(&line)) {
       std::fclose(f);
+      split_reads->Increment();
+      bytes_read->Add(consumed);
       return lines;
     }
   }
@@ -49,6 +58,9 @@ Result<std::vector<std::string>> ReadSplitLines(const InputSplit& split) {
     lines.push_back(line);
   }
   std::fclose(f);
+  split_reads->Increment();
+  bytes_read->Add(consumed);
+  lines_read->Add(static_cast<int64_t>(lines.size()));
   return lines;
 }
 

@@ -14,6 +14,8 @@
 #include "cluster/serde.h"
 #include "cluster/task_scheduler.h"
 #include "common/result.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace smartmeter::cluster::dataflow {
 
@@ -62,6 +64,7 @@ class Context {
       const std::vector<InputSplit>& splits,
       const std::function<Status(std::string_view, std::vector<T>*)>& parse,
       double extra_seconds_per_mb = 0.0) {
+    SM_TRACE_SPAN("dataflow.read_text");
     Partitioned<T> out;
     out.partitions.resize(splits.size());
     std::vector<TaskWaveRunner::TaskFn> tasks;
@@ -99,6 +102,7 @@ class Context {
       const Partitioned<T>& input,
       const std::function<Status(const std::vector<T>&, std::vector<U>*)>&
           fn) {
+    SM_TRACE_SPAN("dataflow.map_partitions");
     Partitioned<U> out;
     out.partitions.resize(input.partitions.size());
     std::vector<TaskWaveRunner::TaskFn> tasks;
@@ -128,6 +132,7 @@ class Context {
       const Partitioned<T>& input,
       const std::function<std::pair<K, V>(const T&)>& kv_fn,
       int num_partitions = 0) {
+    SM_TRACE_SPAN("shuffle.exchange");
     const int parts = num_partitions > 0 ? num_partitions
                                          : std::max(1, config_.total_slots());
     // Map side: extract and bucket (costed as shuffle write).
@@ -185,6 +190,12 @@ class Context {
     }
     SM_RETURN_IF_ERROR(RunWave(&reduce_tasks));
     cached_bytes_ += out.approx_bytes;
+    static obs::Counter* shuffle_partitions =
+        obs::MetricsRegistry::Global().GetCounter("shuffle.partitions");
+    static obs::Counter* shuffle_bytes =
+        obs::MetricsRegistry::Global().GetCounter("shuffle.bytes_moved");
+    shuffle_partitions->Add(parts);
+    shuffle_bytes->Add(out.approx_bytes);
     return out;
   }
 

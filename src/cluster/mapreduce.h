@@ -14,6 +14,8 @@
 #include "cluster/serde.h"
 #include "cluster/task_scheduler.h"
 #include "common/result.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace smartmeter::cluster::mapreduce {
 
@@ -104,21 +106,36 @@ Result<JobResult<R>> RunMapReduce(const std::vector<InputSplit>& splits,
     });
   }
   TaskWaveRunner map_runner(config, options.task_startup_seconds);
-  SM_ASSIGN_OR_RETURN(double map_makespan, map_runner.Run(&map_tasks));
+  double map_makespan = 0.0;
+  {
+    SM_TRACE_SPAN("mapreduce.map_wave");
+    SM_ASSIGN_OR_RETURN(map_makespan, map_runner.Run(&map_tasks));
+  }
 
   // ---- Shuffle: hash partition + group -----------------------------------
   std::vector<std::map<K, std::vector<V>>> partitions(
       static_cast<size_t>(num_reducers));
   std::vector<int64_t> partition_bytes(static_cast<size_t>(num_reducers), 0);
   std::hash<K> hasher;
-  for (auto& pairs : map_outputs) {
-    for (auto& [key, value] : pairs) {
-      const size_t p = hasher(key) % static_cast<size_t>(num_reducers);
-      partition_bytes[p] += ApproxByteSize(key) + ApproxByteSize(value);
-      partitions[p][key].push_back(std::move(value));
+  {
+    SM_TRACE_SPAN("shuffle.exchange");
+    for (auto& pairs : map_outputs) {
+      for (auto& [key, value] : pairs) {
+        const size_t p = hasher(key) % static_cast<size_t>(num_reducers);
+        partition_bytes[p] += ApproxByteSize(key) + ApproxByteSize(value);
+        partitions[p][key].push_back(std::move(value));
+      }
+      pairs.clear();
+      pairs.shrink_to_fit();
     }
-    pairs.clear();
-    pairs.shrink_to_fit();
+  }
+  {
+    static obs::Counter* shuffle_partitions =
+        obs::MetricsRegistry::Global().GetCounter("shuffle.partitions");
+    static obs::Counter* shuffle_bytes =
+        obs::MetricsRegistry::Global().GetCounter("shuffle.bytes_moved");
+    shuffle_partitions->Add(num_reducers);
+    shuffle_bytes->Add(result.shuffle_bytes);
   }
 
   // ---- Reduce wave ---------------------------------------------------------
@@ -145,8 +162,11 @@ Result<JobResult<R>> RunMapReduce(const std::vector<InputSplit>& splits,
     });
   }
   TaskWaveRunner reduce_runner(config, options.task_startup_seconds);
-  SM_ASSIGN_OR_RETURN(double reduce_makespan,
-                      reduce_runner.Run(&reduce_tasks));
+  double reduce_makespan = 0.0;
+  {
+    SM_TRACE_SPAN("mapreduce.reduce_wave");
+    SM_ASSIGN_OR_RETURN(reduce_makespan, reduce_runner.Run(&reduce_tasks));
+  }
 
   for (auto& outputs : reduce_outputs) {
     for (auto& r : outputs) result.outputs.push_back(std::move(r));

@@ -3,8 +3,44 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace smartmeter {
+
+namespace {
+
+obs::Counter* TasksSubmittedCounter() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter("threadpool.tasks_submitted");
+  return counter;
+}
+
+obs::Counter* TasksCompletedCounter() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter("threadpool.tasks_completed");
+  return counter;
+}
+
+obs::Counter* InlineChunksCounter() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter("threadpool.inline_chunks");
+  return counter;
+}
+
+obs::Gauge* QueueDepthPeakGauge() {
+  static obs::Gauge* gauge =
+      obs::MetricsRegistry::Global().GetGauge("threadpool.queue_depth_peak");
+  return gauge;
+}
+
+obs::LatencyHistogram* TaskLatencyHistogram() {
+  static obs::LatencyHistogram* histogram =
+      obs::MetricsRegistry::Global().GetHistogram("threadpool.task_seconds");
+  return histogram;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(int num_threads) {
   SM_CHECK(num_threads >= 1) << "thread pool needs at least one worker";
@@ -26,10 +62,14 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  size_t depth;
   {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push_back(std::move(task));
+    depth = queue_.size();
   }
+  TasksSubmittedCounter()->Increment();
+  QueueDepthPeakGauge()->UpdateMax(static_cast<int64_t>(depth));
   work_available_.notify_one();
 }
 
@@ -43,6 +83,7 @@ void ThreadPool::ParallelFor(size_t count,
   if (count == 0) return;
   const size_t threads = static_cast<size_t>(num_threads());
   if (threads == 1 || count == 1) {
+    InlineChunksCounter()->Increment();
     body(0, count);
     return;
   }
@@ -74,7 +115,11 @@ void ThreadPool::WorkerLoop() {
       queue_.pop_front();
       ++active_;
     }
+    const int64_t begin_ns = obs::TraceNowNanos();
     task();
+    TaskLatencyHistogram()->Record(
+        static_cast<double>(obs::TraceNowNanos() - begin_ns) * 1e-9);
+    TasksCompletedCounter()->Increment();
     {
       std::lock_guard<std::mutex> lock(mu_);
       --active_;

@@ -1,12 +1,35 @@
 #include "engines/benchmark_runner.h"
 
+#include <string>
+
 #include "common/memory_probe.h"
+#include "engines/engine_util.h"
+#include "obs/trace.h"
 
 namespace smartmeter::engines {
+
+obs::RunRecord MakeRunRecord(const RunSpec& spec, const RunReport& report) {
+  obs::RunRecord record;
+  record.engine = std::string(EngineKindName(spec.kind));
+  record.task = std::string(core::TaskName(spec.request.task));
+  record.layout = std::string(DataSourceLayoutName(spec.source.layout));
+  record.threads = spec.threads;
+  record.warm = spec.warm;
+  record.simulated = report.simulated;
+  record.attach_seconds = report.attach_seconds;
+  record.warmup_seconds = report.warmup_seconds;
+  record.task_seconds = report.task_seconds;
+  record.memory_bytes = report.memory_bytes;
+  record.quantile_seconds = report.phases.quantile_seconds;
+  record.regression_seconds = report.phases.regression_seconds;
+  record.adjust_seconds = report.phases.adjust_seconds;
+  return record;
+}
 
 Result<RunReport> RunTaskOnEngine(AnalyticsEngine* engine,
                                   const TaskRequest& request, int threads,
                                   bool sample_memory, bool keep_outputs) {
+  SM_TRACE_SPAN("bench.task");
   engine->SetThreads(threads);
   RunReport report;
   MemorySampler sampler(/*interval_ms=*/20);
@@ -35,8 +58,12 @@ Result<RunReport> RunBenchmark(const RunSpec& spec) {
   }
   engine->SetThreads(spec.threads);
   RunReport report;
-  SM_ASSIGN_OR_RETURN(report.attach_seconds, engine->Attach(spec.source));
+  {
+    SM_TRACE_SPAN("bench.attach");
+    SM_ASSIGN_OR_RETURN(report.attach_seconds, engine->Attach(spec.source));
+  }
   if (spec.warm) {
+    SM_TRACE_SPAN("bench.warmup");
     SM_ASSIGN_OR_RETURN(report.warmup_seconds, engine->WarmUp());
   }
   SM_ASSIGN_OR_RETURN(
@@ -48,6 +75,9 @@ Result<RunReport> RunBenchmark(const RunSpec& spec) {
   report.phases = task_report.phases;
   report.memory_bytes = task_report.memory_bytes;
   report.outputs = std::move(task_report.outputs);
+  if (spec.report != nullptr) {
+    spec.report->AddRun(MakeRunRecord(spec, report));
+  }
   return report;
 }
 

@@ -3,6 +3,7 @@
 
 #include "engines/engine.h"
 #include "engines/engine_factory.h"
+#include "obs/report.h"
 
 namespace smartmeter::engines {
 
@@ -21,6 +22,10 @@ struct RunSpec {
   bool sample_memory = false;
   /// Keep task outputs in the report (off for pure timing runs).
   bool keep_outputs = false;
+  /// Observability sink: when set, RunBenchmark appends a RunRecord for
+  /// this execution (the caller still decides when to capture metrics /
+  /// spans and write the JSON file).
+  obs::BenchReport* report = nullptr;
 };
 
 /// What one execution measured.
@@ -37,8 +42,13 @@ struct RunReport {
   TaskOutputs outputs;
 };
 
+/// Flattens one execution into the obs export schema (engine/task/layout
+/// names, timings, phase split).
+obs::RunRecord MakeRunRecord(const RunSpec& spec, const RunReport& report);
+
 /// Runs one spec end to end: construct engine, Attach, optional WarmUp,
-/// RunTask with optional memory sampling.
+/// RunTask with optional memory sampling. Each lifecycle phase is
+/// recorded as a trace span (bench.attach / bench.warmup / bench.task).
 Result<RunReport> RunBenchmark(const RunSpec& spec);
 
 /// Reuses an already attached engine for another task run (benches that

@@ -4,10 +4,26 @@
 
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
+#include "obs/trace.h"
 
 namespace smartmeter::engines {
 
 namespace {
+
+/// Static span label for a task type (span names are not owned).
+const char* TaskSpanName(core::TaskType task) {
+  switch (task) {
+    case core::TaskType::kHistogram:
+      return "task.histogram";
+    case core::TaskType::kThreeLine:
+      return "task.three_line";
+    case core::TaskType::kPar:
+      return "task.par";
+    case core::TaskType::kSimilarity:
+      return "task.similarity";
+  }
+  return "task.unknown";
+}
 
 /// Collects the first error seen across parallel workers.
 class ErrorCollector {
@@ -44,6 +60,7 @@ Result<TaskRunMetrics> RunTaskOverSeries(const SeriesAccess& access,
                                          const TaskRequest& request,
                                          int num_threads,
                                          TaskOutputs* outputs) {
+  obs::SpanScope task_span(TaskSpanName(request.task));
   TaskRunMetrics metrics;
   Stopwatch clock;
   ThreadPool pool(num_threads < 1 ? 1 : num_threads);

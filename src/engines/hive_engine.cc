@@ -9,6 +9,7 @@
 #include "core/similarity_task.h"
 #include "engines/cluster_task_util.h"
 #include "engines/result_serde.h"
+#include "obs/trace.h"
 #include "storage/csv.h"
 
 namespace smartmeter::engines {
@@ -47,6 +48,7 @@ Status MapParseRows(const InputSplit& split,
 }  // namespace
 
 Result<double> HiveEngine::Attach(const DataSource& source) {
+  SM_TRACE_SPAN("hive.attach");
   if (source.files.empty()) {
     return Status::InvalidArgument("hive: no input files");
   }
@@ -74,6 +76,7 @@ void HiveEngine::SetClusterConfig(const cluster::ClusterConfig& config) {
 
 Result<TaskRunMetrics> HiveEngine::RunTask(const TaskRequest& request,
                                            TaskOutputs* outputs) {
+  SM_TRACE_SPAN("hive.task");
   if (hdfs_ == nullptr) {
     return Status::InvalidArgument("hive: no data attached");
   }

@@ -4,11 +4,13 @@
 
 #include "common/stopwatch.h"
 #include "engines/engine_util.h"
+#include "obs/trace.h"
 #include "storage/csv.h"
 
 namespace smartmeter::engines {
 
 Result<double> MadlibEngine::Attach(const DataSource& source) {
+  SM_TRACE_SPAN("madlib.attach");
   if (source.files.empty()) {
     return Status::InvalidArgument("madlib: no input files");
   }
@@ -49,6 +51,7 @@ Result<double> MadlibEngine::Attach(const DataSource& source) {
 }
 
 Result<MeterDataset> MadlibEngine::ExtractAll() const {
+  SM_TRACE_SPAN("madlib.extract_all");
   MeterDataset dataset;
   if (layout_ == TableLayout::kRow) {
     // All-household extraction plans as ONE sequential scan with a sort
@@ -64,6 +67,7 @@ Result<MeterDataset> MadlibEngine::ExtractAll() const {
 }
 
 Result<double> MadlibEngine::WarmUp() {
+  SM_TRACE_SPAN("madlib.warmup");
   Stopwatch clock;
   SM_ASSIGN_OR_RETURN(MeterDataset dataset, ExtractAll());
   warm_ = std::move(dataset);
@@ -74,6 +78,7 @@ void MadlibEngine::DropWarmData() { warm_.reset(); }
 
 Result<TaskRunMetrics> MadlibEngine::RunTask(const TaskRequest& request,
                                              TaskOutputs* outputs) {
+  SM_TRACE_SPAN("madlib.task");
   if (warm_.has_value()) {
     return RunTaskOverDataset(*warm_, request, threads_, outputs);
   }

@@ -6,6 +6,7 @@
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "engines/engine_util.h"
+#include "obs/trace.h"
 #include "storage/csv.h"
 
 namespace smartmeter::engines {
@@ -42,6 +43,7 @@ Status ParseSingleHouseholdFile(const std::string& path,
 }  // namespace
 
 Result<double> MatlabEngine::Attach(const DataSource& source) {
+  SM_TRACE_SPAN("matlab.attach");
   if (source.files.empty()) {
     return Status::InvalidArgument("matlab: no input files");
   }
@@ -58,6 +60,7 @@ Result<double> MatlabEngine::Attach(const DataSource& source) {
 }
 
 Result<MeterDataset> MatlabEngine::ParseAll() const {
+  SM_TRACE_SPAN("matlab.parse_all");
   if (source_.layout == DataSource::Layout::kSingleCsv) {
     // One big file: Matlab textscans the whole file into flat column
     // arrays, then pulls each household out with logical indexing --
@@ -145,6 +148,7 @@ Result<MeterDataset> MatlabEngine::ParseAll() const {
 }
 
 Result<double> MatlabEngine::WarmUp() {
+  SM_TRACE_SPAN("matlab.warmup");
   Stopwatch clock;
   SM_ASSIGN_OR_RETURN(MeterDataset dataset, ParseAll());
   warm_ = std::move(dataset);
@@ -155,6 +159,7 @@ void MatlabEngine::DropWarmData() { warm_.reset(); }
 
 Result<TaskRunMetrics> MatlabEngine::RunTask(const TaskRequest& request,
                                              TaskOutputs* outputs) {
+  SM_TRACE_SPAN("matlab.task");
   if (warm_.has_value()) {
     return RunTaskOverDataset(*warm_, request, threads_, outputs);
   }

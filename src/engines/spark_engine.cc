@@ -8,6 +8,7 @@
 #include "core/similarity_task.h"
 #include "engines/cluster_task_util.h"
 #include "engines/result_serde.h"
+#include "obs/trace.h"
 #include "storage/csv.h"
 
 namespace smartmeter::engines {
@@ -43,6 +44,7 @@ Status ParseRowLine(std::string_view line, std::vector<RowPair>* out) {
 }  // namespace
 
 Result<double> SparkEngine::Attach(const DataSource& source) {
+  SM_TRACE_SPAN("spark.attach");
   if (source.files.empty()) {
     return Status::InvalidArgument("spark: no input files");
   }
@@ -77,6 +79,7 @@ void SparkEngine::SetClusterConfig(const cluster::ClusterConfig& config) {
 
 Result<TaskRunMetrics> SparkEngine::RunTask(const TaskRequest& request,
                                             TaskOutputs* outputs) {
+  SM_TRACE_SPAN("spark.task");
   if (hdfs_ == nullptr) {
     return Status::InvalidArgument("spark: no data attached");
   }

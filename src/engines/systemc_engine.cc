@@ -4,6 +4,7 @@
 
 #include "common/stopwatch.h"
 #include "engines/engine_util.h"
+#include "obs/trace.h"
 #include "storage/csv.h"
 
 namespace smartmeter::engines {
@@ -12,6 +13,7 @@ SystemCEngine::SystemCEngine(std::string spool_dir)
     : spool_dir_(std::move(spool_dir)) {}
 
 Result<double> SystemCEngine::Attach(const DataSource& source) {
+  SM_TRACE_SPAN("systemc.attach");
   if (source.files.empty()) {
     return Status::InvalidArgument("system-c: no input files");
   }
@@ -45,6 +47,7 @@ Result<double> SystemCEngine::Attach(const DataSource& source) {
 }
 
 Result<double> SystemCEngine::WarmUp() {
+  SM_TRACE_SPAN("systemc.warmup");
   if (!store_.is_open()) {
     return Status::InvalidArgument("system-c: no data attached");
   }
@@ -63,6 +66,7 @@ void SystemCEngine::DropWarmData() { prefaulted_ = false; }
 
 Result<TaskRunMetrics> SystemCEngine::RunTask(const TaskRequest& request,
                                               TaskOutputs* outputs) {
+  SM_TRACE_SPAN("systemc.task");
   if (!store_.is_open()) {
     return Status::InvalidArgument("system-c: no data attached");
   }

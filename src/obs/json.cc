@@ -1,0 +1,394 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace smartmeter::obs {
+
+namespace {
+
+const JsonValue& NullValue() {
+  static const JsonValue* null = new JsonValue();
+  return *null;
+}
+
+void AppendEscaped(std::string_view s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendNumber(double value, std::string* out) {
+  if (!std::isfinite(value)) {
+    out->append("0");
+    return;
+  }
+  // Integers print without a fraction so counters diff cleanly.
+  if (value == std::floor(value) && std::fabs(value) < 9.0e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(value));
+    out->append(buf);
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  out->append(buf);
+}
+
+void AppendIndent(int indent, std::string* out) {
+  out->append(static_cast<size_t>(indent) * 2, ' ');
+}
+
+/// Recursive-descent parser over a string_view cursor.
+class Parser {
+ public:
+  Parser(std::string_view text, std::string* error)
+      : text_(text), error_(error) {}
+
+  bool ParseDocument(JsonValue* out) {
+    SkipWhitespace();
+    if (!ParseValue(out)) return false;
+    SkipWhitespace();
+    if (pos_ != text_.size()) return Fail("trailing characters");
+    return true;
+  }
+
+ private:
+  bool Fail(const char* message) {
+    if (error_ != nullptr) {
+      char buf[96];
+      std::snprintf(buf, sizeof(buf), "json parse error at offset %zu: %s",
+                    pos_, message);
+      *error_ = buf;
+    }
+    return false;
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(const char* literal) {
+    const size_t len = std::strlen(literal);
+    if (text_.substr(pos_, len) != literal) return false;
+    pos_ += len;
+    return true;
+  }
+
+  bool ParseValue(JsonValue* out) {
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject(out);
+    if (c == '[') return ParseArray(out);
+    if (c == '"') {
+      std::string s;
+      if (!ParseString(&s)) return false;
+      *out = JsonValue(std::move(s));
+      return true;
+    }
+    if (ConsumeLiteral("true")) {
+      *out = JsonValue(true);
+      return true;
+    }
+    if (ConsumeLiteral("false")) {
+      *out = JsonValue(false);
+      return true;
+    }
+    if (ConsumeLiteral("null")) {
+      *out = JsonValue();
+      return true;
+    }
+    return ParseNumber(out);
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) return Fail("expected '\"'");
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return Fail("dangling escape");
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"':
+            out->push_back('"');
+            break;
+          case '\\':
+            out->push_back('\\');
+            break;
+          case '/':
+            out->push_back('/');
+            break;
+          case 'n':
+            out->push_back('\n');
+            break;
+          case 'r':
+            out->push_back('\r');
+            break;
+          case 't':
+            out->push_back('\t');
+            break;
+          case 'b':
+            out->push_back('\b');
+            break;
+          case 'f':
+            out->push_back('\f');
+            break;
+          case 'u': {
+            // Keep \uXXXX escapes verbatim; report strings are ASCII.
+            if (pos_ + 4 > text_.size()) return Fail("short \\u escape");
+            out->append("\\u");
+            out->append(text_.substr(pos_, 4));
+            pos_ += 4;
+            break;
+          }
+          default:
+            return Fail("unknown escape");
+        }
+      } else {
+        out->push_back(c);
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Fail("expected a value");
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') return Fail("malformed number");
+    *out = JsonValue(value);
+    return true;
+  }
+
+  bool ParseArray(JsonValue* out) {
+    Consume('[');
+    *out = JsonValue::Array();
+    SkipWhitespace();
+    if (Consume(']')) return true;
+    for (;;) {
+      JsonValue element;
+      SkipWhitespace();
+      if (!ParseValue(&element)) return false;
+      out->Append(std::move(element));
+      SkipWhitespace();
+      if (Consume(']')) return true;
+      if (!Consume(',')) return Fail("expected ',' or ']'");
+    }
+  }
+
+  bool ParseObject(JsonValue* out) {
+    Consume('{');
+    *out = JsonValue::Object();
+    SkipWhitespace();
+    if (Consume('}')) return true;
+    for (;;) {
+      SkipWhitespace();
+      std::string key;
+      if (!ParseString(&key)) return false;
+      SkipWhitespace();
+      if (!Consume(':')) return Fail("expected ':'");
+      SkipWhitespace();
+      JsonValue value;
+      if (!ParseValue(&value)) return false;
+      out->Set(key, std::move(value));
+      SkipWhitespace();
+      if (Consume('}')) return true;
+      if (!Consume(',')) return Fail("expected ',' or '}'");
+    }
+  }
+
+  std::string_view text_;
+  std::string* error_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+const JsonValue& JsonValue::Get(std::string_view key) const {
+  for (const auto& [name, value] : object_) {
+    if (name == key) return value;
+  }
+  return NullValue();
+}
+
+void JsonValue::Set(std::string_view key, JsonValue value) {
+  for (auto& [name, existing] : object_) {
+    if (name == key) {
+      existing = std::move(value);
+      return;
+    }
+  }
+  object_.emplace_back(std::string(key), std::move(value));
+}
+
+void JsonValue::DumpTo(std::string* out, int indent) const {
+  switch (type_) {
+    case Type::kNull:
+      out->append("null");
+      break;
+    case Type::kBool:
+      out->append(bool_ ? "true" : "false");
+      break;
+    case Type::kNumber:
+      AppendNumber(number_, out);
+      break;
+    case Type::kString:
+      AppendEscaped(string_, out);
+      break;
+    case Type::kArray: {
+      if (array_.empty()) {
+        out->append("[]");
+        break;
+      }
+      out->append("[\n");
+      for (size_t i = 0; i < array_.size(); ++i) {
+        AppendIndent(indent + 1, out);
+        array_[i].DumpTo(out, indent + 1);
+        if (i + 1 < array_.size()) out->push_back(',');
+        out->push_back('\n');
+      }
+      AppendIndent(indent, out);
+      out->push_back(']');
+      break;
+    }
+    case Type::kObject: {
+      if (object_.empty()) {
+        out->append("{}");
+        break;
+      }
+      out->append("{\n");
+      for (size_t i = 0; i < object_.size(); ++i) {
+        AppendIndent(indent + 1, out);
+        AppendEscaped(object_[i].first, out);
+        out->append(": ");
+        object_[i].second.DumpTo(out, indent + 1);
+        if (i + 1 < object_.size()) out->push_back(',');
+        out->push_back('\n');
+      }
+      AppendIndent(indent, out);
+      out->push_back('}');
+      break;
+    }
+  }
+}
+
+std::string JsonValue::Dump() const {
+  std::string out;
+  DumpTo(&out, 0);
+  out.push_back('\n');
+  return out;
+}
+
+bool JsonValue::Parse(std::string_view text, JsonValue* out,
+                      std::string* error) {
+  Parser parser(text, error);
+  return parser.ParseDocument(out);
+}
+
+bool JsonValue::operator==(const JsonValue& other) const {
+  if (type_ != other.type_) return false;
+  switch (type_) {
+    case Type::kNull:
+      return true;
+    case Type::kBool:
+      return bool_ == other.bool_;
+    case Type::kNumber:
+      return number_ == other.number_;
+    case Type::kString:
+      return string_ == other.string_;
+    case Type::kArray:
+      return array_ == other.array_;
+    case Type::kObject:
+      return object_ == other.object_;
+  }
+  return false;
+}
+
+bool WriteJsonFile(const JsonValue& value, const std::string& path,
+                   std::string* error) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    if (error != nullptr) *error = "cannot open for writing: " + path;
+    return false;
+  }
+  const std::string text = value.Dump();
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  std::fclose(f);
+  if (!ok && error != nullptr) *error = "short write: " + path;
+  return ok;
+}
+
+bool ReadJsonFile(const std::string& path, JsonValue* out,
+                  std::string* error) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    if (error != nullptr) *error = "cannot open: " + path;
+    return false;
+  }
+  std::string text;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    text.append(buf, n);
+  }
+  std::fclose(f);
+  return JsonValue::Parse(text, out, error);
+}
+
+}  // namespace smartmeter::obs

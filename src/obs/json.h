@@ -1,0 +1,114 @@
+#ifndef SMARTMETER_OBS_JSON_H_
+#define SMARTMETER_OBS_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace smartmeter::obs {
+
+/// Minimal owning JSON document: enough to serialize a benchmark report
+/// and read it back (round trips, baselines). Objects preserve insertion
+/// order so reports diff cleanly; duplicate keys keep the last value on
+/// parse. Kept dependency-free on purpose — obs sits below every other
+/// library in the build.
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() : type_(Type::kNull) {}
+  explicit JsonValue(bool value) : type_(Type::kBool), bool_(value) {}
+  explicit JsonValue(double value) : type_(Type::kNumber), number_(value) {}
+  explicit JsonValue(int64_t value)
+      : type_(Type::kNumber), number_(static_cast<double>(value)) {}
+  explicit JsonValue(int value)
+      : type_(Type::kNumber), number_(static_cast<double>(value)) {}
+  explicit JsonValue(std::string value)
+      : type_(Type::kString), string_(std::move(value)) {}
+  explicit JsonValue(std::string_view value)
+      : type_(Type::kString), string_(value) {}
+  explicit JsonValue(const char* value)
+      : type_(Type::kString), string_(value) {}
+
+  static JsonValue Array() {
+    JsonValue v;
+    v.type_ = Type::kArray;
+    return v;
+  }
+  static JsonValue Object() {
+    JsonValue v;
+    v.type_ = Type::kObject;
+    return v;
+  }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool AsBool(bool fallback = false) const {
+    return is_bool() ? bool_ : fallback;
+  }
+  double AsDouble(double fallback = 0.0) const {
+    return is_number() ? number_ : fallback;
+  }
+  int64_t AsInt(int64_t fallback = 0) const {
+    return is_number() ? static_cast<int64_t>(number_) : fallback;
+  }
+  const std::string& AsString() const { return string_; }
+
+  // --- Array access -------------------------------------------------------
+  size_t size() const {
+    return is_array() ? array_.size() : (is_object() ? object_.size() : 0);
+  }
+  const std::vector<JsonValue>& items() const { return array_; }
+  void Append(JsonValue value) { array_.push_back(std::move(value)); }
+
+  // --- Object access ------------------------------------------------------
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return object_;
+  }
+  /// Returns the member or a shared null value when absent.
+  const JsonValue& Get(std::string_view key) const;
+  bool Has(std::string_view key) const { return !Get(key).is_null(); }
+  void Set(std::string_view key, JsonValue value);
+
+  /// Serializes with 2-space indentation and a trailing newline at the
+  /// top level, the layout committed baselines are diffed in.
+  std::string Dump() const;
+
+  /// Strict-enough recursive-descent parse of the subset Dump emits
+  /// (full JSON minus exotic escapes: \uXXXX is preserved verbatim).
+  /// On failure returns false and sets `error` when non-null.
+  static bool Parse(std::string_view text, JsonValue* out,
+                    std::string* error);
+
+  bool operator==(const JsonValue& other) const;
+
+ private:
+  void DumpTo(std::string* out, int indent) const;
+
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> object_;
+};
+
+/// Writes `value.Dump()` to `path`; false + `error` on I/O failure.
+bool WriteJsonFile(const JsonValue& value, const std::string& path,
+                   std::string* error);
+
+/// Reads and parses a JSON file.
+bool ReadJsonFile(const std::string& path, JsonValue* out,
+                  std::string* error);
+
+}  // namespace smartmeter::obs
+
+#endif  // SMARTMETER_OBS_JSON_H_

@@ -1,0 +1,163 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <limits>
+
+namespace smartmeter::obs {
+
+size_t ThreadShardIndex() {
+  static std::atomic<size_t> next{0};
+  thread_local const size_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+int64_t Counter::Value() const {
+  int64_t sum = 0;
+  for (const Cell& cell : cells_) {
+    sum += cell.value.load(std::memory_order_relaxed);
+  }
+  return sum;
+}
+
+void Counter::Reset() {
+  for (Cell& cell : cells_) {
+    cell.value.store(0, std::memory_order_relaxed);
+  }
+}
+
+void Gauge::UpdateMax(int64_t value) {
+  int64_t current = value_.load(std::memory_order_relaxed);
+  while (value > current &&
+         !value_.compare_exchange_weak(current, value,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+double LatencyHistogram::BucketUpperSeconds(size_t i) {
+  if (i + 1 >= kBuckets) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return static_cast<double>(int64_t{1} << i) * 1e-6;
+}
+
+void LatencyHistogram::Record(double seconds) {
+  if (!(seconds >= 0.0)) seconds = 0.0;  // NaN / negative clock skew.
+  const double micros = seconds * 1e6;
+  size_t bucket = 0;
+  while (bucket + 1 < kBuckets &&
+         micros >= static_cast<double>(int64_t{1} << bucket)) {
+    ++bucket;
+  }
+  Shard& shard = shards_[ThreadShardIndex() % kMetricShards];
+  shard.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+  shard.count.fetch_add(1, std::memory_order_relaxed);
+  shard.sum_nanos.fetch_add(static_cast<int64_t>(seconds * 1e9),
+                            std::memory_order_relaxed);
+}
+
+int64_t LatencyHistogram::TotalCount() const {
+  int64_t sum = 0;
+  for (const Shard& shard : shards_) {
+    sum += shard.count.load(std::memory_order_relaxed);
+  }
+  return sum;
+}
+
+double LatencyHistogram::TotalSeconds() const {
+  int64_t nanos = 0;
+  for (const Shard& shard : shards_) {
+    nanos += shard.sum_nanos.load(std::memory_order_relaxed);
+  }
+  return static_cast<double>(nanos) * 1e-9;
+}
+
+std::vector<int64_t> LatencyHistogram::BucketCounts() const {
+  std::vector<int64_t> counts(kBuckets, 0);
+  for (const Shard& shard : shards_) {
+    for (size_t i = 0; i < kBuckets; ++i) {
+      counts[i] += shard.buckets[i].load(std::memory_order_relaxed);
+    }
+  }
+  return counts;
+}
+
+void LatencyHistogram::Reset() {
+  for (Shard& shard : shards_) {
+    for (auto& bucket : shard.buckets) {
+      bucket.store(0, std::memory_order_relaxed);
+    }
+    shard.count.store(0, std::memory_order_relaxed);
+    shard.sum_nanos.store(0, std::memory_order_relaxed);
+  }
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_
+             .emplace(std::string(name),
+                      std::unique_ptr<Counter>(new Counter(std::string(name))))
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_
+             .emplace(std::string(name),
+                      std::unique_ptr<Gauge>(new Gauge(std::string(name))))
+             .first;
+  }
+  return it->second.get();
+}
+
+LatencyHistogram* MetricsRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name), std::unique_ptr<LatencyHistogram>(
+                                             new LatencyHistogram(
+                                                 std::string(name))))
+             .first;
+  }
+  return it->second.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snapshot;
+  snapshot.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters.push_back({name, counter->Value()});
+  }
+  snapshot.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges.push_back({name, gauge->Value()});
+  }
+  snapshot.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    snapshot.histograms.push_back({name, histogram->TotalCount(),
+                                   histogram->TotalSeconds(),
+                                   histogram->BucketCounts()});
+  }
+  return snapshot;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+}  // namespace smartmeter::obs

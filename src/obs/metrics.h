@@ -1,0 +1,175 @@
+#ifndef SMARTMETER_OBS_METRICS_H_
+#define SMARTMETER_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace smartmeter::obs {
+
+/// Small dense id for the calling thread, used to pick a metric shard.
+/// Ids are assigned on first use and never reused, so two long-lived
+/// threads map to different shards until the shard count wraps.
+size_t ThreadShardIndex();
+
+/// Number of cache-line-padded shards per counter / histogram. Hot-path
+/// increments from distinct threads land on distinct cache lines, so a
+/// per-row counter bump costs one uncontended relaxed fetch_add.
+inline constexpr size_t kMetricShards = 32;
+
+/// Monotonically increasing sum, sharded across threads. Created and
+/// owned by a MetricsRegistry; callers cache the pointer:
+///
+///   static Counter* rows =
+///       MetricsRegistry::Global().GetCounter("csv.rows_scanned");
+///   rows->Add(1);
+class Counter {
+ public:
+  void Add(int64_t delta) {
+    cells_[ThreadShardIndex() % kMetricShards].value.fetch_add(
+        delta, std::memory_order_relaxed);
+  }
+  void Increment() { Add(1); }
+
+  /// Sum over all shards. Racy reads during concurrent writes see a
+  /// valid partial sum (each shard read is atomic).
+  int64_t Value() const;
+
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+  void Reset();
+
+  struct alignas(64) Cell {
+    std::atomic<int64_t> value{0};
+  };
+
+  std::string name_;
+  std::array<Cell, kMetricShards> cells_;
+};
+
+/// Last-write-wins instantaneous value plus a monotone high-water mark
+/// (UpdateMax). Gauges are single atomics: they record state, not
+/// hot-path event streams.
+class Gauge {
+ public:
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+
+  /// Raises the gauge to `value` if it is higher (queue-depth peaks).
+  void UpdateMax(int64_t value);
+
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+  std::string name_;
+  std::atomic<int64_t> value_{0};
+};
+
+/// Latency histogram with fixed exponential buckets: bucket i counts
+/// observations below 2^i microseconds (the last bucket is unbounded).
+/// Buckets are sharded like counters so concurrent Record calls from the
+/// worker pool do not contend.
+class LatencyHistogram {
+ public:
+  /// Bucket count: 2^0 us .. 2^26 us (~67 s) plus one overflow bucket.
+  static constexpr size_t kBuckets = 28;
+
+  /// Upper bound of bucket i in seconds (+inf for the last bucket).
+  static double BucketUpperSeconds(size_t i);
+
+  void Record(double seconds);
+
+  int64_t TotalCount() const;
+  double TotalSeconds() const;
+  /// Per-bucket counts summed over shards.
+  std::vector<int64_t> BucketCounts() const;
+
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit LatencyHistogram(std::string name) : name_(std::move(name)) {}
+  void Reset();
+
+  struct alignas(64) Shard {
+    std::array<std::atomic<int64_t>, kBuckets> buckets{};
+    std::atomic<int64_t> count{0};
+    /// Sum in nanoseconds so it can stay a lock-free integer.
+    std::atomic<int64_t> sum_nanos{0};
+  };
+
+  std::string name_;
+  std::array<Shard, kMetricShards> shards_;
+};
+
+/// Point-in-time copy of every registered metric, in registration-name
+/// order; what the JSON exporter serializes.
+struct MetricsSnapshot {
+  struct CounterSample {
+    std::string name;
+    int64_t value = 0;
+  };
+  struct GaugeSample {
+    std::string name;
+    int64_t value = 0;
+  };
+  struct HistogramSample {
+    std::string name;
+    int64_t count = 0;
+    double total_seconds = 0.0;
+    std::vector<int64_t> bucket_counts;
+  };
+
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+};
+
+/// Owner of all metric objects. Get* registers on first use and returns
+/// a stable pointer thereafter (metrics are never deregistered), so the
+/// registry mutex is only touched once per call site.
+class MetricsRegistry {
+ public:
+  /// The process-wide registry every instrumented subsystem reports to.
+  static MetricsRegistry& Global();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  LatencyHistogram* GetHistogram(std::string_view name);
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every metric's value but keeps the objects registered, so
+  /// pointers cached in static locals stay valid across benchmark runs.
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>, std::less<>>
+      histograms_;
+};
+
+}  // namespace smartmeter::obs
+
+#endif  // SMARTMETER_OBS_METRICS_H_

@@ -1,0 +1,171 @@
+#include "obs/report.h"
+
+#include <cstring>
+
+namespace smartmeter::obs {
+
+namespace {
+
+JsonValue RunToJson(const RunRecord& run) {
+  JsonValue j = JsonValue::Object();
+  j.Set("engine", JsonValue(run.engine));
+  j.Set("task", JsonValue(run.task));
+  j.Set("layout", JsonValue(run.layout));
+  j.Set("threads", JsonValue(run.threads));
+  j.Set("warm", JsonValue(run.warm));
+  j.Set("simulated", JsonValue(run.simulated));
+  j.Set("attach_seconds", JsonValue(run.attach_seconds));
+  j.Set("warmup_seconds", JsonValue(run.warmup_seconds));
+  j.Set("task_seconds", JsonValue(run.task_seconds));
+  j.Set("memory_bytes", JsonValue(run.memory_bytes));
+  JsonValue phases = JsonValue::Object();
+  phases.Set("quantile_seconds", JsonValue(run.quantile_seconds));
+  phases.Set("regression_seconds", JsonValue(run.regression_seconds));
+  phases.Set("adjust_seconds", JsonValue(run.adjust_seconds));
+  j.Set("phases", std::move(phases));
+  return j;
+}
+
+RunRecord RunFromJson(const JsonValue& j) {
+  RunRecord run;
+  run.engine = j.Get("engine").AsString();
+  run.task = j.Get("task").AsString();
+  run.layout = j.Get("layout").AsString();
+  run.threads = static_cast<int>(j.Get("threads").AsInt(1));
+  run.warm = j.Get("warm").AsBool();
+  run.simulated = j.Get("simulated").AsBool();
+  run.attach_seconds = j.Get("attach_seconds").AsDouble();
+  run.warmup_seconds = j.Get("warmup_seconds").AsDouble();
+  run.task_seconds = j.Get("task_seconds").AsDouble();
+  run.memory_bytes = j.Get("memory_bytes").AsInt();
+  const JsonValue& phases = j.Get("phases");
+  run.quantile_seconds = phases.Get("quantile_seconds").AsDouble();
+  run.regression_seconds = phases.Get("regression_seconds").AsDouble();
+  run.adjust_seconds = phases.Get("adjust_seconds").AsDouble();
+  return run;
+}
+
+JsonValue MetricsToJson(const MetricsSnapshot& metrics) {
+  JsonValue j = JsonValue::Object();
+  JsonValue counters = JsonValue::Object();
+  for (const auto& sample : metrics.counters) {
+    counters.Set(sample.name, JsonValue(sample.value));
+  }
+  j.Set("counters", std::move(counters));
+  JsonValue gauges = JsonValue::Object();
+  for (const auto& sample : metrics.gauges) {
+    gauges.Set(sample.name, JsonValue(sample.value));
+  }
+  j.Set("gauges", std::move(gauges));
+  JsonValue histograms = JsonValue::Object();
+  for (const auto& sample : metrics.histograms) {
+    JsonValue h = JsonValue::Object();
+    h.Set("count", JsonValue(sample.count));
+    h.Set("total_seconds", JsonValue(sample.total_seconds));
+    JsonValue buckets = JsonValue::Array();
+    for (int64_t count : sample.bucket_counts) {
+      buckets.Append(JsonValue(count));
+    }
+    h.Set("bucket_counts", std::move(buckets));
+    histograms.Set(sample.name, std::move(h));
+  }
+  j.Set("histograms", std::move(histograms));
+  return j;
+}
+
+MetricsSnapshot MetricsFromJson(const JsonValue& j) {
+  MetricsSnapshot metrics;
+  for (const auto& [name, value] : j.Get("counters").members()) {
+    metrics.counters.push_back({name, value.AsInt()});
+  }
+  for (const auto& [name, value] : j.Get("gauges").members()) {
+    metrics.gauges.push_back({name, value.AsInt()});
+  }
+  for (const auto& [name, value] : j.Get("histograms").members()) {
+    MetricsSnapshot::HistogramSample sample;
+    sample.name = name;
+    sample.count = value.Get("count").AsInt();
+    sample.total_seconds = value.Get("total_seconds").AsDouble();
+    for (const JsonValue& count : value.Get("bucket_counts").items()) {
+      sample.bucket_counts.push_back(count.AsInt());
+    }
+    metrics.histograms.push_back(std::move(sample));
+  }
+  return metrics;
+}
+
+JsonValue SpanToJson(const TraceEvent& span) {
+  JsonValue j = JsonValue::Object();
+  j.Set("name", JsonValue(std::string(span.name)));
+  j.Set("begin_ns", JsonValue(span.begin_ns));
+  j.Set("end_ns", JsonValue(span.end_ns));
+  j.Set("thread", JsonValue(static_cast<int64_t>(span.thread_id)));
+  j.Set("depth", JsonValue(static_cast<int64_t>(span.depth)));
+  return j;
+}
+
+TraceEvent SpanFromJson(const JsonValue& j) {
+  TraceEvent span;
+  std::strncpy(span.name, j.Get("name").AsString().c_str(),
+               TraceEvent::kMaxName);
+  span.begin_ns = j.Get("begin_ns").AsInt();
+  span.end_ns = j.Get("end_ns").AsInt();
+  span.thread_id = static_cast<uint32_t>(j.Get("thread").AsInt());
+  span.depth = static_cast<uint16_t>(j.Get("depth").AsInt());
+  return span;
+}
+
+}  // namespace
+
+JsonValue BenchReport::ToJson() const {
+  JsonValue j = JsonValue::Object();
+  j.Set("schema", JsonValue("smartmeter-bench-report/v1"));
+  j.Set("label", JsonValue(label_));
+  JsonValue runs = JsonValue::Array();
+  for (const RunRecord& run : runs_) {
+    runs.Append(RunToJson(run));
+  }
+  j.Set("runs", std::move(runs));
+  j.Set("metrics", MetricsToJson(metrics_));
+  JsonValue spans = JsonValue::Array();
+  for (const TraceEvent& span : spans_) {
+    spans.Append(SpanToJson(span));
+  }
+  j.Set("spans", std::move(spans));
+  j.Set("dropped_spans", JsonValue(dropped_spans_));
+  return j;
+}
+
+bool BenchReport::FromJson(const JsonValue& json, BenchReport* out,
+                           std::string* error) {
+  if (!json.is_object()) {
+    if (error != nullptr) *error = "report is not a JSON object";
+    return false;
+  }
+  if (json.Get("schema").AsString() != "smartmeter-bench-report/v1") {
+    if (error != nullptr) {
+      *error = "unknown report schema '" + json.Get("schema").AsString() + "'";
+    }
+    return false;
+  }
+  *out = BenchReport();
+  out->label_ = json.Get("label").AsString();
+  for (const JsonValue& run : json.Get("runs").items()) {
+    out->runs_.push_back(RunFromJson(run));
+  }
+  out->metrics_ = MetricsFromJson(json.Get("metrics"));
+  for (const JsonValue& span : json.Get("spans").items()) {
+    out->spans_.push_back(SpanFromJson(span));
+  }
+  out->dropped_spans_ = json.Get("dropped_spans").AsInt();
+  return true;
+}
+
+bool BenchReport::ReadFile(const std::string& path, BenchReport* out,
+                           std::string* error) {
+  JsonValue json;
+  if (!ReadJsonFile(path, &json, error)) return false;
+  return FromJson(json, out, error);
+}
+
+}  // namespace smartmeter::obs

@@ -1,0 +1,86 @@
+#ifndef SMARTMETER_OBS_REPORT_H_
+#define SMARTMETER_OBS_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace smartmeter::obs {
+
+/// One benchmark execution, flattened for export: the RunReport fields
+/// plus the identifying spec dimensions, all engine-agnostic strings so
+/// obs stays below the engines library in the build.
+struct RunRecord {
+  std::string engine;
+  std::string task;
+  std::string layout;
+  int threads = 1;
+  bool warm = false;
+  bool simulated = false;
+  double attach_seconds = 0.0;
+  double warmup_seconds = 0.0;
+  double task_seconds = 0.0;
+  int64_t memory_bytes = 0;
+  /// Figure 6 three-line phase split (zero for other tasks).
+  double quantile_seconds = 0.0;
+  double regression_seconds = 0.0;
+  double adjust_seconds = 0.0;
+};
+
+/// Accumulates one process's benchmark observations — run records, a
+/// metrics snapshot, and the trace ring — and serializes them as the
+/// bench_report.json schema documented in EXPERIMENTS.md.
+class BenchReport {
+ public:
+  void set_label(std::string label) { label_ = std::move(label); }
+  const std::string& label() const { return label_; }
+
+  void AddRun(RunRecord run) { runs_.push_back(std::move(run)); }
+  const std::vector<RunRecord>& runs() const { return runs_; }
+
+  /// Copies the current state of the global metrics registry into the
+  /// report (call after the timed work).
+  void CaptureMetrics() {
+    metrics_ = MetricsRegistry::Global().Snapshot();
+  }
+  void set_metrics(MetricsSnapshot metrics) { metrics_ = std::move(metrics); }
+  const MetricsSnapshot& metrics() const { return metrics_; }
+
+  /// Copies the retained spans of the global trace buffer.
+  void CaptureSpans() {
+    spans_ = TraceBuffer::Global().Snapshot();
+    dropped_spans_ = TraceBuffer::Global().dropped();
+  }
+  void set_spans(std::vector<TraceEvent> spans) { spans_ = std::move(spans); }
+  const std::vector<TraceEvent>& spans() const { return spans_; }
+  int64_t dropped_spans() const { return dropped_spans_; }
+
+  JsonValue ToJson() const;
+  std::string ToJsonString() const { return ToJson().Dump(); }
+
+  /// Inverse of ToJson (numbers round-trip exactly, span names up to the
+  /// ring's truncation limit). False + `error` on schema mismatch.
+  static bool FromJson(const JsonValue& json, BenchReport* out,
+                       std::string* error);
+
+  bool WriteFile(const std::string& path, std::string* error) const {
+    return WriteJsonFile(ToJson(), path, error);
+  }
+  static bool ReadFile(const std::string& path, BenchReport* out,
+                       std::string* error);
+
+ private:
+  std::string label_;
+  std::vector<RunRecord> runs_;
+  MetricsSnapshot metrics_;
+  std::vector<TraceEvent> spans_;
+  int64_t dropped_spans_ = 0;
+};
+
+}  // namespace smartmeter::obs
+
+#endif  // SMARTMETER_OBS_REPORT_H_

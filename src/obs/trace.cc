@@ -1,0 +1,102 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <cstring>
+
+#include "obs/metrics.h"
+
+namespace smartmeter::obs {
+
+namespace {
+
+std::chrono::steady_clock::time_point TraceEpoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+/// Per-thread open-span nesting depth.
+thread_local uint16_t t_span_depth = 0;
+
+}  // namespace
+
+int64_t TraceNowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - TraceEpoch())
+      .count();
+}
+
+TraceBuffer& TraceBuffer::Global() {
+  static TraceBuffer* buffer = new TraceBuffer();
+  return *buffer;
+}
+
+TraceBuffer::TraceBuffer(size_t capacity)
+    : capacity_(capacity < 1 ? 1 : capacity) {
+  ring_.resize(capacity_);
+}
+
+void TraceBuffer::Record(const char* name, int64_t begin_ns, int64_t end_ns,
+                         uint32_t thread_id, uint16_t depth) {
+  TraceEvent event;
+  std::strncpy(event.name, name == nullptr ? "" : name, TraceEvent::kMaxName);
+  event.begin_ns = begin_ns;
+  event.end_ns = end_ns;
+  event.thread_id = thread_id;
+  event.depth = depth;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (wrapped_) ++dropped_;
+  ring_[next_] = event;
+  ++next_;
+  if (next_ == capacity_) {
+    next_ = 0;
+    wrapped_ = true;
+  }
+}
+
+std::vector<TraceEvent> TraceBuffer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> events;
+  if (wrapped_) {
+    events.reserve(capacity_);
+    events.insert(events.end(), ring_.begin() + static_cast<long>(next_),
+                  ring_.end());
+  }
+  events.insert(events.end(), ring_.begin(),
+                ring_.begin() + static_cast<long>(next_));
+  return events;
+}
+
+void TraceBuffer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  next_ = 0;
+  wrapped_ = false;
+  dropped_ = 0;
+}
+
+size_t TraceBuffer::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return wrapped_ ? capacity_ : next_;
+}
+
+int64_t TraceBuffer::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+SpanScope::SpanScope(const char* name, TraceBuffer* buffer)
+    : name_(name),
+      buffer_(buffer != nullptr ? buffer : &TraceBuffer::Global()),
+      begin_ns_(TraceNowNanos()),
+      depth_(t_span_depth) {
+  ++t_span_depth;
+}
+
+SpanScope::~SpanScope() {
+  --t_span_depth;
+  buffer_->Record(name_, begin_ns_, TraceNowNanos(),
+                  static_cast<uint32_t>(ThreadShardIndex()), depth_);
+}
+
+}  // namespace smartmeter::obs

@@ -1,0 +1,100 @@
+#ifndef SMARTMETER_OBS_TRACE_H_
+#define SMARTMETER_OBS_TRACE_H_
+
+#include <cstdint>
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace smartmeter::obs {
+
+/// One completed span. Timestamps are nanoseconds since the process
+/// trace epoch (first use of the trace clock), so values are small and
+/// diffable across a run. Names are truncated copies: span lifetimes
+/// outlive any caller-owned string.
+struct TraceEvent {
+  static constexpr size_t kMaxName = 47;
+
+  char name[kMaxName + 1] = {0};
+  int64_t begin_ns = 0;
+  int64_t end_ns = 0;
+  /// Dense per-process thread id (obs::ThreadShardIndex of the thread
+  /// that ran the span).
+  uint32_t thread_id = 0;
+  /// Nesting depth within its thread at the time the span opened (0 for
+  /// top-level spans).
+  uint16_t depth = 0;
+};
+
+/// Nanoseconds since the process trace epoch.
+int64_t TraceNowNanos();
+
+/// Bounded ring of completed spans. Recording is mutex-guarded: spans
+/// close at phase granularity (thousands per run, not millions), so the
+/// lock is never hot; the bound keeps a long sweep from growing without
+/// limit — when full, the oldest events are overwritten and counted in
+/// dropped().
+class TraceBuffer {
+ public:
+  static constexpr size_t kDefaultCapacity = 1 << 14;
+
+  /// The process-wide buffer SM_TRACE_SPAN records into.
+  static TraceBuffer& Global();
+
+  explicit TraceBuffer(size_t capacity = kDefaultCapacity);
+
+  TraceBuffer(const TraceBuffer&) = delete;
+  TraceBuffer& operator=(const TraceBuffer&) = delete;
+
+  void Record(const char* name, int64_t begin_ns, int64_t end_ns,
+              uint32_t thread_id, uint16_t depth);
+
+  /// Copies the retained events oldest-first.
+  std::vector<TraceEvent> Snapshot() const;
+
+  void Clear();
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+  /// Events overwritten because the ring was full.
+  int64_t dropped() const;
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> ring_;
+  size_t next_ = 0;        // Slot the next event lands in.
+  bool wrapped_ = false;   // True once the ring has filled.
+  int64_t dropped_ = 0;
+};
+
+/// RAII span: opens on construction, records into the buffer on scope
+/// exit. Use through SM_TRACE_SPAN so call sites read as annotations:
+///
+///   SM_TRACE_SPAN("shuffle.exchange");
+class SpanScope {
+ public:
+  explicit SpanScope(const char* name, TraceBuffer* buffer = nullptr);
+  ~SpanScope();
+
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+ private:
+  const char* name_;
+  TraceBuffer* buffer_;
+  int64_t begin_ns_;
+  uint16_t depth_;
+};
+
+}  // namespace smartmeter::obs
+
+#define SM_OBS_CONCAT_INNER(a, b) a##b
+#define SM_OBS_CONCAT(a, b) SM_OBS_CONCAT_INNER(a, b)
+
+/// Records the enclosing scope as a named trace span.
+#define SM_TRACE_SPAN(name) \
+  ::smartmeter::obs::SpanScope SM_OBS_CONCAT(sm_trace_span_, __LINE__)(name)
+
+#endif  // SMARTMETER_OBS_TRACE_H_

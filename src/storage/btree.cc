@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "obs/metrics.h"
 
 namespace smartmeter::storage {
 
@@ -115,11 +116,16 @@ BPlusTree::SplitResult BPlusTree::InsertRecursive(Node* node, int64_t key,
 }
 
 const BPlusTree::Node* BPlusTree::FindLeaf(int64_t key) const {
+  static obs::Counter* node_visits =
+      obs::MetricsRegistry::Global().GetCounter("btree.node_visits");
   const Node* node = root_.get();
+  int64_t visited = 1;  // The leaf (or leaf-root) itself.
   while (!node->is_leaf) {
     auto it = std::upper_bound(node->keys.begin(), node->keys.end(), key);
     node = node->children[static_cast<size_t>(it - node->keys.begin())].get();
+    ++visited;
   }
+  node_visits->Add(visited);
   return node;
 }
 

@@ -8,6 +8,7 @@
 #include <cstring>
 
 #include "common/string_util.h"
+#include "obs/metrics.h"
 
 namespace smartmeter::storage {
 
@@ -142,6 +143,15 @@ Status ColumnStore::OpenMapped(const std::string& path) {
   }
   mapped_base_ = base;
   mapped_size_ = size;
+  static obs::Counter* opens =
+      obs::MetricsRegistry::Global().GetCounter("columnstore.opens");
+  static obs::Counter* bytes_mapped =
+      obs::MetricsRegistry::Global().GetCounter("columnstore.bytes_mapped");
+  static obs::Counter* rows_mapped =
+      obs::MetricsRegistry::Global().GetCounter("columnstore.rows_mapped");
+  opens->Increment();
+  bytes_mapped->Add(static_cast<int64_t>(size));
+  rows_mapped->Add(static_cast<int64_t>(num_households_ * hours_));
   return Status::OK();
 }
 

@@ -6,6 +6,7 @@
 #include <map>
 
 #include "common/string_util.h"
+#include "obs/metrics.h"
 
 namespace smartmeter::storage {
 
@@ -223,6 +224,8 @@ Status ReadingCsvReader::Open() {
 }
 
 bool ReadingCsvReader::Next(ReadingRow* row) {
+  static obs::Counter* rows_scanned =
+      obs::MetricsRegistry::Global().GetCounter("csv.rows_scanned");
   if (file_ == nullptr || !status_.ok()) return false;
   char line[256];
   for (;;) {
@@ -235,6 +238,7 @@ bool ReadingCsvReader::Next(ReadingRow* row) {
       return false;
     }
     *row = *parsed;
+    rows_scanned->Increment();
     return true;
   }
 }
