@@ -128,10 +128,7 @@ Result<engines::DataSource> BenchContext::SingleCsv(int households) {
   SM_RETURN_IF_ERROR(EnsureMaterialized(path + ".done", [&] {
     return storage::WriteReadingsCsv(*ds, path);
   }));
-  engines::DataSource source;
-  source.layout = engines::DataSource::Layout::kSingleCsv;
-  source.files = {path};
-  return source;
+  return engines::DataSource::SingleCsv(path);
 }
 
 Result<engines::DataSource> BenchContext::PartitionedDir(int households) {
@@ -145,15 +142,14 @@ Result<engines::DataSource> BenchContext::PartitionedDir(int households) {
     (void)paths;
     return Status::OK();
   }));
-  engines::DataSource source;
-  source.layout = engines::DataSource::Layout::kPartitionedDir;
+  std::vector<std::string> files;
   for (const auto& entry : fs::directory_iterator(dir)) {
     if (entry.path().extension() == ".csv") {
-      source.files.push_back(entry.path().string());
+      files.push_back(entry.path().string());
     }
   }
-  std::sort(source.files.begin(), source.files.end());
-  return source;
+  std::sort(files.begin(), files.end());
+  return engines::DataSource::PartitionedDir(std::move(files));
 }
 
 Result<engines::DataSource> BenchContext::HouseholdLines(int households) {
@@ -167,10 +163,7 @@ Result<engines::DataSource> BenchContext::HouseholdLines(int households) {
   SM_RETURN_IF_ERROR(EnsureMaterialized(path + ".done", [&] {
     return storage::WriteHouseholdLinesCsv(*ds, path);
   }));
-  engines::DataSource source;
-  source.layout = engines::DataSource::Layout::kHouseholdLines;
-  source.files = {path};
-  return source;
+  return engines::DataSource::HouseholdLines(path);
 }
 
 Result<engines::DataSource> BenchContext::WholeFileDir(int households,
@@ -186,15 +179,14 @@ Result<engines::DataSource> BenchContext::WholeFileDir(int households,
     (void)paths;
     return Status::OK();
   }));
-  engines::DataSource source;
-  source.layout = engines::DataSource::Layout::kWholeFileDir;
+  std::vector<std::string> files;
   for (const auto& entry : fs::directory_iterator(dir)) {
     if (entry.path().extension() == ".csv") {
-      source.files.push_back(entry.path().string());
+      files.push_back(entry.path().string());
     }
   }
-  std::sort(source.files.begin(), source.files.end());
-  return source;
+  std::sort(files.begin(), files.end());
+  return engines::DataSource::WholeFileDir(std::move(files));
 }
 
 std::string BenchContext::SpoolDir(const std::string& tag) const {

@@ -1,0 +1,306 @@
+// Serving-mode benchmark (engine API v2): concurrent query throughput
+// against a pool of attached System C sessions, versus the same queries
+// issued sequentially through RunBenchmark.
+//
+// Sweeps clients x sessions with closed-loop clients (each client waits
+// for its query before issuing the next), then demonstrates the two
+// shed paths of the serving layer: a 1 ms deadline query on a large
+// dataset (cooperatively cancelled inside the kernel) and an admission
+// burst against a capacity-1 queue.
+//
+// Expected shape: aggregate queries/second scales with sessions until
+// the host runs out of cores; the 8x8 point clearly beats the
+// sequential baseline; shed queries resolve in ~the deadline, not the
+// full query time.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/stopwatch.h"
+#include "engines/benchmark_runner.h"
+#include "engines/systemc_engine.h"
+#include "exec/serving_runner.h"
+
+namespace {
+
+using namespace smartmeter;         // NOLINT
+using namespace smartmeter::bench;  // NOLINT
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const size_t index = std::min(
+      values.size() - 1,
+      static_cast<size_t>(p * static_cast<double>(values.size() - 1) + 0.5));
+  return values[index];
+}
+
+obs::RunRecord ServingRecord(int sessions, double wall_seconds) {
+  obs::RunRecord record;
+  record.engine = "systemc";
+  record.task = "histogram";
+  record.layout = "single-csv";
+  record.threads = sessions;
+  record.warm = true;
+  record.task_seconds = wall_seconds;
+  return record;
+}
+
+int Run(BenchContext& ctx) {
+  const int households = ctx.HouseholdsForPaperGb(
+      ctx.flags().GetDouble("paper-gb", 8.0));
+  const int queries_per_client =
+      static_cast<int>(ctx.flags().GetInt("queries", 4));
+  const int max_sessions = static_cast<int>(ctx.flags().GetInt("sessions", 8));
+  const int baseline_queries = 8;
+
+  auto source = ctx.SingleCsv(households);
+  if (!source.ok()) {
+    std::fprintf(stderr, "data: %s\n", source.status().ToString().c_str());
+    return 1;
+  }
+  const engines::TaskOptions histogram =
+      engines::TaskOptions::Default(core::TaskType::kHistogram);
+
+  PrintHeader(
+      "Concurrent serving: closed-loop clients vs sequential batch",
+      StringPrintf("%d households (~%.1f paper-GB), histogram task, "
+                   "%d queries per client, System C sessions",
+                   households, ctx.PaperGbForHouseholds(households),
+                   queries_per_client));
+
+  // -- Sequential baseline: N independent RunBenchmark calls ---------------
+  // Each call pays the full old-API cost per query: construct an engine,
+  // attach, warm up, run. Prime the spool first (untimed) so no call
+  // carries the one-off CSV-to-columnar conversion.
+  auto make_baseline_spec = [&] {
+    engines::RunSpec spec;
+    spec.kind = engines::EngineKind::kSystemC;
+    spec.factory.spool_dir = ctx.SpoolDir("conc_seq");
+    spec.source = *source;
+    spec.options = histogram;
+    spec.threads = 1;
+    spec.warm = true;
+    return spec;
+  };
+  if (auto prime = engines::RunBenchmark(make_baseline_spec());
+      !prime.ok()) {
+    std::fprintf(stderr, "prime: %s\n", prime.status().ToString().c_str());
+    return 1;
+  }
+  Stopwatch baseline_wall;
+  for (int i = 0; i < baseline_queries; ++i) {
+    engines::RunSpec spec = make_baseline_spec();
+    spec.report = &ctx.report();
+    auto report = engines::RunBenchmark(spec);
+    if (!report.ok()) {
+      std::fprintf(stderr, "baseline: %s\n",
+                   report.status().ToString().c_str());
+      return 1;
+    }
+  }
+  const double sequential_task_seconds = baseline_wall.ElapsedSeconds();
+  const double sequential_qps =
+      sequential_task_seconds > 0
+          ? static_cast<double>(baseline_queries) / sequential_task_seconds
+          : 0.0;
+  {
+    obs::RunRecord record = ServingRecord(1, sequential_task_seconds);
+    record.threads = 1;
+    record.outcome = "ok";
+    record.clients = 1;
+    record.queries_ok = baseline_queries;
+    record.queries_per_second = sequential_qps;
+    ctx.report().AddRun(record);
+  }
+
+  // -- Attached session pool ----------------------------------------------
+  std::vector<std::unique_ptr<engines::SystemCEngine>> pool;
+  for (int i = 0; i < max_sessions; ++i) {
+    auto engine = std::make_unique<engines::SystemCEngine>(
+        ctx.SpoolDir(StringPrintf("conc_s%d", i)));
+    engine->SetThreads(1);
+    auto attach = engine->Attach(*source);
+    if (!attach.ok()) {
+      std::fprintf(stderr, "attach: %s\n",
+                   attach.status().ToString().c_str());
+      return 1;
+    }
+    pool.push_back(std::move(engine));
+  }
+
+  PrintRow({"clients", "sessions", "ok", "shed", "p50 s", "p99 s",
+            "queries/s", "vs sequential"});
+  PrintDivider(8);
+
+  double qps_8x8 = 0.0;
+  for (int sessions : {2, max_sessions}) {
+    if (sessions > max_sessions) continue;
+    for (int clients : {1, 4, 8}) {
+      exec::ServingOptions serving;
+      serving.queue_capacity = 64;
+      serving.threads_per_query = 1;
+      exec::ServingRunner runner(serving);
+      for (int s = 0; s < sessions; ++s) runner.AddSession(pool[s].get());
+
+      std::mutex lat_mu;
+      std::vector<double> latencies;
+      int64_t ok = 0;
+      int64_t shed = 0;
+      Stopwatch wall;
+      std::vector<std::thread> client_threads;
+      for (int c = 0; c < clients; ++c) {
+        client_threads.emplace_back([&, c] {
+          for (int q = 0; q < queries_per_client; ++q) {
+            exec::QueryRequest request;
+            request.options = histogram;
+            request.label = StringPrintf("client-%d/q%d", c, q);
+            auto ticket = runner.Submit(std::move(request));
+            if (!ticket.ok()) {
+              std::lock_guard<std::mutex> lock(lat_mu);
+              ++shed;
+              continue;
+            }
+            const exec::QueryOutcome& outcome = (*ticket)->Wait();
+            std::lock_guard<std::mutex> lock(lat_mu);
+            if (outcome.status.ok()) {
+              ++ok;
+              latencies.push_back(outcome.queue_seconds +
+                                  outcome.run_seconds);
+            } else {
+              ++shed;
+            }
+          }
+        });
+      }
+      for (std::thread& t : client_threads) t.join();
+      runner.Shutdown();
+      const double wall_seconds = wall.ElapsedSeconds();
+      const double qps =
+          wall_seconds > 0 ? static_cast<double>(ok) / wall_seconds : 0.0;
+      if (clients == 8 && sessions == 8) qps_8x8 = qps;
+
+      const double p50 = Percentile(latencies, 0.50);
+      const double p99 = Percentile(latencies, 0.99);
+      PrintRow({CellInt(clients), CellInt(sessions), CellInt(ok),
+                CellInt(shed), Cell(p50), Cell(p99), Cell(qps),
+                StringPrintf("%.2fx", sequential_qps > 0
+                                          ? qps / sequential_qps
+                                          : 0.0)});
+
+      obs::RunRecord record = ServingRecord(sessions, wall_seconds);
+      record.outcome = "ok";
+      record.clients = clients;
+      record.queries_ok = ok;
+      record.queries_shed = shed;
+      record.p50_seconds = p50;
+      record.p99_seconds = p99;
+      record.queries_per_second = qps;
+      ctx.report().AddRun(record);
+    }
+  }
+
+  // -- Shed path 1: a 1 ms deadline on a query that takes far longer -------
+  {
+    exec::ServingOptions serving;
+    serving.threads_per_query = 1;
+    exec::ServingRunner runner(serving);
+    runner.AddSession(pool[0].get());
+    exec::QueryRequest request;
+    request.options = histogram;
+    request.deadline = std::chrono::milliseconds(1);
+    request.label = "deadline-1ms";
+    auto ticket = runner.Submit(std::move(request));
+    if (!ticket.ok()) {
+      std::fprintf(stderr, "deadline submit: %s\n",
+                   ticket.status().ToString().c_str());
+      return 1;
+    }
+    const exec::QueryOutcome& outcome = (*ticket)->Wait();
+    runner.Shutdown();
+    const double latency = outcome.queue_seconds + outcome.run_seconds;
+    std::printf("\n1 ms deadline query: %s after %.4f s (shed=%s)\n",
+                outcome.status.ToString().c_str(), latency,
+                outcome.shed ? "yes" : "no");
+    if (!outcome.shed) {
+      std::fprintf(stderr,
+                   "expected the 1 ms deadline query to be shed\n");
+      return 1;
+    }
+    obs::RunRecord record = ServingRecord(1, latency);
+    record.outcome = "shed";
+    record.clients = 1;
+    record.queries_shed = 1;
+    record.p50_seconds = latency;
+    record.p99_seconds = latency;
+    ctx.report().AddRun(record);
+  }
+
+  // -- Shed path 2: admission burst against a capacity-1 queue -------------
+  {
+    exec::ServingOptions serving;
+    serving.queue_capacity = 1;
+    serving.threads_per_query = 1;
+    exec::ServingRunner runner(serving);
+    runner.AddSession(pool[0].get());
+    std::vector<std::shared_ptr<exec::QueryTicket>> tickets;
+    int64_t queue_shed = 0;
+    for (int q = 0; q < 8; ++q) {
+      exec::QueryRequest request;
+      request.options = histogram;
+      request.label = StringPrintf("burst/q%d", q);
+      auto ticket = runner.Submit(std::move(request));
+      if (ticket.ok()) {
+        tickets.push_back(*ticket);
+      } else {
+        ++queue_shed;
+      }
+    }
+    int64_t burst_ok = 0;
+    for (const auto& ticket : tickets) {
+      if (ticket->Wait().status.ok()) ++burst_ok;
+    }
+    runner.Shutdown();
+    std::printf("admission burst (capacity 1): %lld ran, %lld shed at "
+                "Submit with ResourceExhausted\n",
+                static_cast<long long>(burst_ok),
+                static_cast<long long>(queue_shed));
+    obs::RunRecord record = ServingRecord(1, 0.0);
+    record.outcome = queue_shed > 0 ? "shed" : "ok";
+    record.clients = 1;
+    record.queries_ok = burst_ok;
+    record.queries_shed = queue_shed;
+    ctx.report().AddRun(record);
+  }
+
+  std::printf(
+      "\nShape to check: queries/s grows with sessions; 8 clients x 8 "
+      "sessions beats the sequential baseline (%.2f q/s); deadline and "
+      "queue-full queries report as shed.\n",
+      sequential_qps);
+  if (qps_8x8 > 0.0 && qps_8x8 <= sequential_qps) {
+    std::fprintf(stderr,
+                 "8x8 serving throughput (%.2f q/s) did not beat the "
+                 "sequential baseline (%.2f q/s)\n",
+                 qps_8x8, sequential_qps);
+    return 1;
+  }
+  Status finish = ctx.Finish();
+  if (!finish.ok()) {
+    std::fprintf(stderr, "report: %s\n", finish.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchContext ctx(argc, argv, /*default_scale=*/40.0);
+  return Run(ctx);
+}

@@ -26,8 +26,7 @@ int Run(BenchContext& ctx) {
     auto single = ctx.SingleCsv(households);
     if (!part.ok() || !single.ok()) return 1;
 
-    engines::TaskRequest request;
-    request.task = core::TaskType::kThreeLine;
+    engines::TaskOptions request = engines::TaskOptions::Default(core::TaskType::kThreeLine);
 
     double part_seconds = 0.0, single_seconds = 0.0;
     {

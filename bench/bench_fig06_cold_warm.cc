@@ -41,8 +41,7 @@ int Run(BenchContext& ctx) {
     if (!source.ok()) return 1;
     if (!engine->Attach(*source).ok()) return 1;
 
-    engines::TaskRequest request;
-    request.task = core::TaskType::kThreeLine;
+    engines::TaskOptions request = engines::TaskOptions::Default(core::TaskType::kThreeLine);
 
     auto cold = engine->RunTask(request, nullptr);
     if (!cold.ok()) {

@@ -52,8 +52,7 @@ int Run(BenchContext& ctx) {
         if (task == core::TaskType::kSimilarity && paper_gb > 4.0) {
           continue;  // Prohibitive for Matlab/MADLib in the paper too.
         }
-        engines::TaskRequest request;
-        request.task = task;
+        engines::TaskOptions request = engines::TaskOptions::Default(task);
         auto metrics = engine->RunTask(request, nullptr);
         if (!metrics.ok()) {
           std::fprintf(stderr, "%s\n",

@@ -41,8 +41,7 @@ int Run(BenchContext& ctx) {
       if (!source.ok()) return 1;
       const int64_t baseline = CurrentRssBytes();
       if (!engine->Attach(*source).ok()) return 1;
-      engines::TaskRequest request;
-      request.task = task;
+      engines::TaskOptions request = engines::TaskOptions::Default(task);
       auto report = engines::RunTaskOnEngine(engine.get(), request, 1,
                                              /*sample_memory=*/true,
                                              /*keep_outputs=*/false);

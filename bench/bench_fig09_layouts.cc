@@ -45,10 +45,10 @@ int Run(BenchContext& ctx) {
   if (!systemc.Attach(*source).ok()) return 1;
 
   for (core::TaskType task : core::kAllTasks) {
-    engines::TaskRequest request;
-    request.task = task;
+    engines::TaskOptions request = engines::TaskOptions::Default(task);
     if (task == core::TaskType::kSimilarity) {
-      request.similarity_households = similarity_households;
+      request.Get<engines::SimilarityTaskOptions>().households =
+          similarity_households;
     }
     auto row = row_engine.RunTask(request, nullptr);
     auto array = array_engine.RunTask(request, nullptr);

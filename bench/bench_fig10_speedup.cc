@@ -51,10 +51,9 @@ int Run(BenchContext& ctx) {
       if (!engine->Attach(*source).ok()) return 1;
       if (!engine->WarmUp().ok()) return 1;
 
-      engines::TaskRequest request;
-      request.task = task;
+      engines::TaskOptions request = engines::TaskOptions::Default(task);
       if (task == core::TaskType::kSimilarity) {
-        request.similarity_households =
+        request.Get<engines::SimilarityTaskOptions>().households =
             std::min(households, ctx.HouseholdsForPaperGb(2.0));
       }
       double base_seconds = 0.0;

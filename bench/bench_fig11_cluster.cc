@@ -49,8 +49,7 @@ int Run(BenchContext& ctx) {
       auto lines = ctx.HouseholdLines(households);
       if (!single.ok() || !lines.ok()) return 1;
 
-      engines::TaskRequest request;
-      request.task = task;
+      engines::TaskOptions request = engines::TaskOptions::Default(task);
 
       engines::SystemCEngine systemc(ctx.SpoolDir("fig11"));
       systemc.SetThreads(8);  // The paper's max hyper-thread level.
@@ -89,8 +88,7 @@ int Run(BenchContext& ctx) {
     auto single = ctx.SingleCsv(households);
     auto lines = ctx.HouseholdLines(households);
     if (!single.ok() || !lines.ok()) return 1;
-    engines::TaskRequest request;
-    request.task = core::TaskType::kSimilarity;
+    engines::TaskOptions request = engines::TaskOptions::Default(core::TaskType::kSimilarity);
 
     engines::SystemCEngine systemc(ctx.SpoolDir("fig11"));
     systemc.SetThreads(8);

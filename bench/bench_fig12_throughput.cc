@@ -40,8 +40,7 @@ int Run(BenchContext& ctx) {
     auto single = ctx.SingleCsv(n);
     auto lines = ctx.HouseholdLines(n);
     if (!single.ok() || !lines.ok()) return 1;
-    engines::TaskRequest request;
-    request.task = task;
+    engines::TaskOptions request = engines::TaskOptions::Default(task);
 
     engines::SystemCEngine systemc(ctx.SpoolDir("fig12"));
     systemc.SetThreads(8);

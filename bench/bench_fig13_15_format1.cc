@@ -31,7 +31,7 @@ constexpr int64_t kBlockBytes = 32 << 10;
 
 Result<RunOutcome> RunOnce(bool spark, const engines::DataSource& source,
                            const cluster::ClusterConfig& cluster,
-                           const engines::TaskRequest& request) {
+                           const engines::TaskOptions& request) {
   RunOutcome outcome;
   if (spark) {
     engines::SparkEngine::Options options;
@@ -80,8 +80,7 @@ int Run(BenchContext& ctx) {
       const int households = ctx.HouseholdsForPaperGb(gb);
       auto source = ctx.SingleCsv(households);
       if (!source.ok()) return 1;
-      engines::TaskRequest request;
-      request.task = task;
+      engines::TaskOptions request = engines::TaskOptions::Default(task);
       auto spark = RunOnce(true, *source, cluster, request);
       auto hive = RunOnce(false, *source, cluster, request);
       if (!spark.ok() || !hive.ok()) {
@@ -121,8 +120,7 @@ int Run(BenchContext& ctx) {
       for (int nodes : node_counts) {
         cluster::ClusterConfig config;
         config.num_nodes = nodes;
-        engines::TaskRequest request;
-        request.task = task;
+        engines::TaskOptions request = engines::TaskOptions::Default(task);
         const bool is_sim = task == core::TaskType::kSimilarity;
         auto outcome =
             RunOnce(spark, is_sim ? *sim_source : *source, config, request);

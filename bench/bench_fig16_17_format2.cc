@@ -23,7 +23,7 @@ constexpr int64_t kBlockBytes = 32 << 10;
 
 Result<double> RunOnce(bool spark, const engines::DataSource& source,
                        const cluster::ClusterConfig& cluster,
-                       const engines::TaskRequest& request) {
+                       const engines::TaskOptions& request) {
   if (spark) {
     engines::SparkEngine::Options options;
     options.cluster = cluster;
@@ -63,8 +63,7 @@ int Run(BenchContext& ctx) {
       const int households = ctx.HouseholdsForPaperGb(gb);
       auto source = ctx.HouseholdLines(households);
       if (!source.ok()) return 1;
-      engines::TaskRequest request;
-      request.task = task;
+      engines::TaskOptions request = engines::TaskOptions::Default(task);
       auto spark = RunOnce(true, *source, cluster, request);
       auto hive = RunOnce(false, *source, cluster, request);
       if (!spark.ok() || !hive.ok()) {
@@ -95,8 +94,7 @@ int Run(BenchContext& ctx) {
       for (int nodes : node_counts) {
         cluster::ClusterConfig config;
         config.num_nodes = nodes;
-        engines::TaskRequest request;
-        request.task = task;
+        engines::TaskOptions request = engines::TaskOptions::Default(task);
         const bool is_sim = task == core::TaskType::kSimilarity;
         auto seconds =
             RunOnce(spark, is_sim ? *sim_source : *source, config, request);

@@ -44,8 +44,7 @@ int Run(BenchContext& ctx) {
     for (int files : file_counts) {
       auto source = ctx.WholeFileDir(households, files);
       if (!source.ok()) return 1;
-      engines::TaskRequest request;
-      request.task = task;
+      engines::TaskOptions request = engines::TaskOptions::Default(task);
 
       engines::HiveEngine::Options udtf_options;
       udtf_options.cluster = cluster;
@@ -114,8 +113,7 @@ int Run(BenchContext& ctx) {
       for (int nodes : node_counts) {
         cluster::ClusterConfig config;
         config.num_nodes = nodes;
-        engines::TaskRequest request;
-        request.task = task;
+        engines::TaskOptions request = engines::TaskOptions::Default(task);
         double seconds = 0.0;
         if (std::string(engine_name) == "spark") {
           engines::SparkEngine::Options options;

@@ -55,7 +55,7 @@ int RunSmoke(int argc, char** argv) {
     spec.factory.spool_dir = ctx.SpoolDir("smoke");
     spec.factory.cluster.num_nodes = 4;
     spec.factory.cluster.slots_per_node = 2;
-    spec.request.task = core::TaskType::kHistogram;
+    spec.options = engines::TaskOptions::Default(core::TaskType::kHistogram);
     spec.threads = 2;
     spec.report = &ctx.report();
     auto source = c.partitioned ? ctx.PartitionedDir(households)

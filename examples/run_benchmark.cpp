@@ -53,74 +53,71 @@ Result<core::TaskType> ParseTask(const std::string& name) {
 
 Result<engines::DataSource> BuildSource(const std::string& data,
                                         const std::string& layout) {
-  engines::DataSource source;
   namespace fs = std::filesystem;
-  if (layout == "single") {
-    source.layout = engines::DataSource::Layout::kSingleCsv;
-    source.files = {data};
-  } else if (layout == "lines") {
-    source.layout = engines::DataSource::Layout::kHouseholdLines;
-    source.files = {data};
-  } else if (layout == "partitioned" || layout == "files") {
-    source.layout = layout == "partitioned"
-                        ? engines::DataSource::Layout::kPartitionedDir
-                        : engines::DataSource::Layout::kWholeFileDir;
+  if (layout == "single") return engines::DataSource::SingleCsv(data);
+  if (layout == "lines") return engines::DataSource::HouseholdLines(data);
+  if (layout == "partitioned" || layout == "files") {
     std::error_code ec;
     fs::directory_iterator it(data, ec);
     if (ec) return Status::IOError("cannot list directory " + data);
+    std::vector<std::string> files;
     for (const auto& entry : it) {
       if (entry.path().extension() == ".csv") {
-        source.files.push_back(entry.path().string());
+        files.push_back(entry.path().string());
       }
     }
-    std::sort(source.files.begin(), source.files.end());
-    if (source.files.empty()) {
+    std::sort(files.begin(), files.end());
+    if (files.empty()) {
       return Status::InvalidArgument("no .csv files under " + data);
     }
-  } else {
-    return Status::InvalidArgument("unknown layout: " + layout);
+    return layout == "partitioned"
+               ? engines::DataSource::PartitionedDir(std::move(files))
+               : engines::DataSource::WholeFileDir(std::move(files));
   }
-  return source;
+  return Status::InvalidArgument("unknown layout: " + layout);
 }
 
-void PrintDigest(const engines::TaskOutputs& outputs,
+void PrintDigest(const engines::TaskResultSet& results,
                  core::TaskType task) {
   switch (task) {
-    case core::TaskType::kHistogram:
-      std::printf("computed %zu histograms\n", outputs.histograms.size());
-      if (!outputs.histograms.empty()) {
+    case core::TaskType::kHistogram: {
+      const auto& histograms = results.Get<core::HistogramResult>();
+      std::printf("computed %zu histograms\n", histograms.size());
+      if (!histograms.empty()) {
         std::printf("first: household %lld -> %s\n",
-                    static_cast<long long>(
-                        outputs.histograms[0].household_id),
-                    outputs.histograms[0].histogram.ToString().c_str());
+                    static_cast<long long>(histograms[0].household_id),
+                    histograms[0].histogram.ToString().c_str());
       }
       break;
-    case core::TaskType::kThreeLine:
-      std::printf("fitted %zu 3-line models\n",
-                  outputs.three_lines.size());
-      if (!outputs.three_lines.empty()) {
-        const auto& m = outputs.three_lines[0];
+    }
+    case core::TaskType::kThreeLine: {
+      const auto& models = results.Get<core::ThreeLineResult>();
+      std::printf("fitted %zu 3-line models\n", models.size());
+      if (!models.empty()) {
+        const auto& m = models[0];
         std::printf(
             "first: household %lld heating %.3f cooling %.3f base %.3f\n",
             static_cast<long long>(m.household_id), m.heating_gradient,
             m.cooling_gradient, m.base_load);
       }
       break;
+    }
     case core::TaskType::kPar:
-      std::printf("fitted %zu daily profiles\n", outputs.profiles.size());
+      std::printf("fitted %zu daily profiles\n",
+                  results.Get<core::DailyProfileResult>().size());
       break;
-    case core::TaskType::kSimilarity:
-      std::printf("searched %zu households\n",
-                  outputs.similarities.size());
-      if (!outputs.similarities.empty() &&
-          !outputs.similarities[0].matches.empty()) {
-        const auto& r = outputs.similarities[0];
+    case core::TaskType::kSimilarity: {
+      const auto& similarities = results.Get<core::SimilarityResult>();
+      std::printf("searched %zu households\n", similarities.size());
+      if (!similarities.empty() && !similarities[0].matches.empty()) {
+        const auto& r = similarities[0];
         std::printf("first: household %lld best match %lld (%.4f)\n",
                     static_cast<long long>(r.household_id),
                     static_cast<long long>(r.matches[0].household_id),
                     r.matches[0].cosine);
       }
       break;
+    }
   }
 }
 
@@ -158,10 +155,15 @@ int main(int argc, char** argv) {
   spec.factory.cluster.num_nodes =
       static_cast<int>(flags.GetInt("nodes", 16));
   spec.source = *source;
-  spec.request.task = *task;
-  spec.request.histogram.num_buckets =
-      static_cast<int>(flags.GetInt("buckets", 10));
-  spec.request.similarity.k = static_cast<int>(flags.GetInt("k", 10));
+  spec.options = engines::TaskOptions::Default(*task);
+  if (spec.options.Holds<core::HistogramOptions>()) {
+    spec.options.Get<core::HistogramOptions>().num_buckets =
+        static_cast<int>(flags.GetInt("buckets", 10));
+  }
+  if (spec.options.Holds<engines::SimilarityTaskOptions>()) {
+    spec.options.Get<engines::SimilarityTaskOptions>().search.k =
+        static_cast<int>(flags.GetInt("k", 10));
+  }
   spec.threads = static_cast<int>(flags.GetInt("threads", 1));
   spec.warm = flags.GetBool("warm", false);
   spec.keep_outputs = true;
@@ -193,7 +195,7 @@ int main(int argc, char** argv) {
   if (report->memory_bytes > 0) {
     std::printf("memory %s\n", HumanBytes(report->memory_bytes).c_str());
   }
-  PrintDigest(report->outputs, *task);
+  PrintDigest(report->results, *task);
 
   if (!report_path.empty()) {
     obs_report.CaptureMetrics();

@@ -1,0 +1,22 @@
+#ifndef SMARTMETER_COMMON_OVERLOAD_H_
+#define SMARTMETER_COMMON_OVERLOAD_H_
+
+namespace smartmeter {
+
+/// Aggregates lambdas into one overload set, the idiomatic visitor for
+/// std::visit over the task-API variants:
+///
+///   std::visit(Overloaded{
+///       [](const core::HistogramOptions& o) { ... },
+///       [](const core::ThreeLineOptions& o) { ... },
+///   }, options.variant());
+template <class... Ts>
+struct Overloaded : Ts... {
+  using Ts::operator()...;
+};
+template <class... Ts>
+Overloaded(Ts...) -> Overloaded<Ts...>;
+
+}  // namespace smartmeter
+
+#endif  // SMARTMETER_COMMON_OVERLOAD_H_

@@ -22,9 +22,21 @@ obs::Counter* TasksCompletedCounter() {
   return counter;
 }
 
+obs::Counter* TasksStolenCounter() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter("threadpool.tasks_stolen");
+  return counter;
+}
+
 obs::Counter* InlineChunksCounter() {
   static obs::Counter* counter =
       obs::MetricsRegistry::Global().GetCounter("threadpool.inline_chunks");
+  return counter;
+}
+
+obs::Counter* MorselsCounter() {
+  static obs::Counter* counter = obs::MetricsRegistry::Global().GetCounter(
+      "threadpool.parallel_for_morsels");
   return counter;
 }
 
@@ -40,13 +52,28 @@ obs::LatencyHistogram* TaskLatencyHistogram() {
   return histogram;
 }
 
+/// Which pool (and worker slot) the current thread belongs to, so
+/// Submit-from-worker lands in the local deque and Wait-from-worker
+/// helps instead of blocking.
+thread_local ThreadPool* tls_pool = nullptr;
+thread_local size_t tls_worker = 0;
+/// Tasks currently executing on this thread's call stack (inline helping
+/// nests them). Wait-from-worker cannot wait for pending_ to reach zero:
+/// the caller's own task is still counted there until it returns.
+thread_local size_t tls_running = 0;
+
 }  // namespace
 
 ThreadPool::ThreadPool(int num_threads) {
   SM_CHECK(num_threads >= 1) << "thread pool needs at least one worker";
+  queues_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
   workers_.reserve(static_cast<size_t>(num_threads));
   for (int i = 0; i < num_threads; ++i) {
-    workers_.emplace_back(&ThreadPool::WorkerLoop, this);
+    workers_.emplace_back(&ThreadPool::WorkerLoop, this,
+                          static_cast<size_t>(i));
   }
 }
 
@@ -62,70 +89,195 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  pending_.fetch_add(1, std::memory_order_acq_rel);
   size_t depth;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(std::move(task));
-    depth = queue_.size();
+  if (tls_pool == this) {
+    WorkerQueue& own = *queues_[tls_worker];
+    std::lock_guard<std::mutex> lock(own.mu);
+    own.tasks.push_back(std::move(task));
+    depth = own.tasks.size();
+  } else {
+    std::lock_guard<std::mutex> lock(injector_.mu);
+    injector_.tasks.push_back(std::move(task));
+    depth = injector_.tasks.size();
   }
   TasksSubmittedCounter()->Increment();
   QueueDepthPeakGauge()->UpdateMax(static_cast<int64_t>(depth));
+  SignalWork();
+}
+
+void ThreadPool::SignalWork() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++epoch_;
+  }
   work_available_.notify_one();
 }
 
+bool ThreadPool::PopTask(size_t self, std::function<void()>* task) {
+  // 1. Own deque, LIFO: the task most recently spawned here is hottest.
+  if (self != kExternal) {
+    WorkerQueue& own = *queues_[self];
+    std::lock_guard<std::mutex> lock(own.mu);
+    if (!own.tasks.empty()) {
+      *task = std::move(own.tasks.back());
+      own.tasks.pop_back();
+      return true;
+    }
+  }
+  // 2. Injector, FIFO: external submissions in arrival order.
+  {
+    std::lock_guard<std::mutex> lock(injector_.mu);
+    if (!injector_.tasks.empty()) {
+      *task = std::move(injector_.tasks.front());
+      injector_.tasks.pop_front();
+      return true;
+    }
+  }
+  // 3. Steal FIFO from a victim, probing from a rotating start so load
+  // spreads over victims.
+  const size_t n = queues_.size();
+  const size_t start = steal_seed_.fetch_add(1, std::memory_order_relaxed);
+  for (size_t i = 0; i < n; ++i) {
+    const size_t victim = (start + i) % n;
+    if (victim == self) continue;
+    WorkerQueue& q = *queues_[victim];
+    std::lock_guard<std::mutex> lock(q.mu);
+    if (!q.tasks.empty()) {
+      *task = std::move(q.tasks.front());
+      q.tasks.pop_front();
+      TasksStolenCounter()->Increment();
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ThreadPool::TryRunOneTask(size_t self) {
+  std::function<void()> task;
+  if (!PopTask(self, &task)) return false;
+  const int64_t begin_ns = obs::TraceNowNanos();
+  ++tls_running;
+  task();
+  --tls_running;
+  TaskLatencyHistogram()->Record(
+      static_cast<double>(obs::TraceNowNanos() - begin_ns) * 1e-9);
+  TasksCompletedCounter()->Increment();
+  FinishTask();
+  return true;
+}
+
+void ThreadPool::FinishTask() {
+  if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    // Acquire the waiter mutex before notifying so a Wait() that just
+    // checked pending_ != 0 is already parked and cannot miss the wake.
+    std::lock_guard<std::mutex> lock(done_mu_);
+    all_done_.notify_all();
+  }
+}
+
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  all_done_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  if (tls_pool == this) {
+    // Called from inside a worker: run queued tasks instead of blocking,
+    // so a task that Submits more work can Wait for it without taking a
+    // pool thread out of circulation. Quiescent means everything except
+    // the tasks on this thread's own call stack has finished.
+    const auto self_running = static_cast<int64_t>(tls_running);
+    while (pending_.load(std::memory_order_acquire) > self_running) {
+      if (!TryRunOneTask(tls_worker)) std::this_thread::yield();
+    }
+    return;
+  }
+  std::unique_lock<std::mutex> lock(done_mu_);
+  all_done_.wait(lock, [this] {
+    return pending_.load(std::memory_order_acquire) == 0;
+  });
 }
 
 void ThreadPool::ParallelFor(size_t count,
-                             const std::function<void(size_t, size_t)>& body) {
-  if (count == 0) return;
+                             const std::function<void(size_t, size_t)>&
+                                 body) {
+  if (count == 0) return;  // Nothing to do; enqueue no work.
   const size_t threads = static_cast<size_t>(num_threads());
   if (threads == 1 || count == 1) {
     InlineChunksCounter()->Increment();
     body(0, count);
     return;
   }
-  const size_t chunks = std::min(count, threads);
-  const size_t base = count / chunks;
-  const size_t extra = count % chunks;
-  size_t begin = 0;
-  for (size_t c = 0; c < chunks; ++c) {
-    const size_t len = base + (c < extra ? 1 : 0);
-    const size_t end = begin + len;
-    Submit([&body, begin, end] { body(begin, end); });
-    begin = end;
+
+  // Shared guided-scheduling state for this loop only. Completion is
+  // tracked per loop (not via pool quiescence) so concurrent
+  // ParallelFor calls and unrelated Submitted tasks do not serialize
+  // behind each other.
+  struct LoopState {
+    std::atomic<size_t> next{0};
+    std::atomic<int64_t> outstanding{0};
+    std::mutex mu;
+    std::condition_variable done;
+  };
+  auto state = std::make_shared<LoopState>();
+  const size_t loop_workers = std::min(threads, count);
+  state->outstanding.store(static_cast<int64_t>(loop_workers),
+                           std::memory_order_relaxed);
+
+  auto run_morsels = [state, count, loop_workers, &body] {
+    size_t begin = state->next.load(std::memory_order_relaxed);
+    while (begin < count) {
+      // Guided chunking: hand out 1/(4 * workers) of what remains, so
+      // early chunks are large (low scheduling overhead) and the tail
+      // splits fine (stragglers rebalance).
+      const size_t chunk =
+          std::max<size_t>(1, (count - begin) / (loop_workers * 4));
+      if (!state->next.compare_exchange_weak(begin, begin + chunk,
+                                             std::memory_order_relaxed)) {
+        continue;  // begin reloaded by compare_exchange.
+      }
+      body(begin, std::min(begin + chunk, count));
+      MorselsCounter()->Increment();
+      begin = state->next.load(std::memory_order_relaxed);
+    }
+    if (state->outstanding.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lock(state->mu);
+      state->done.notify_all();
+    }
+  };
+  for (size_t i = 0; i < loop_workers; ++i) Submit(run_morsels);
+
+  if (tls_pool == this) {
+    // Nested ParallelFor from a worker thread: help run tasks until this
+    // loop's morsels are all done.
+    while (state->outstanding.load(std::memory_order_acquire) != 0) {
+      if (!TryRunOneTask(tls_worker)) std::this_thread::yield();
+    }
+    return;
   }
-  Wait();
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->done.wait(lock, [&state] {
+    return state->outstanding.load(std::memory_order_acquire) == 0;
+  });
 }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::WorkerLoop(size_t self) {
+  tls_pool = this;
+  tls_worker = self;
   for (;;) {
-    std::function<void()> task;
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_available_.wait(
-          lock, [this] { return shutting_down_ || !queue_.empty(); });
-      if (queue_.empty()) {
-        if (shutting_down_) return;
-        continue;
-      }
-      task = std::move(queue_.front());
-      queue_.pop_front();
-      ++active_;
-    }
-    const int64_t begin_ns = obs::TraceNowNanos();
-    task();
-    TaskLatencyHistogram()->Record(
-        static_cast<double>(obs::TraceNowNanos() - begin_ns) * 1e-9);
-    TasksCompletedCounter()->Increment();
+    uint64_t seen;
     {
       std::lock_guard<std::mutex> lock(mu_);
-      --active_;
-      if (queue_.empty() && active_ == 0) all_done_.notify_all();
+      seen = epoch_;
     }
+    if (TryRunOneTask(self)) continue;
+    std::unique_lock<std::mutex> lock(mu_);
+    if (shutting_down_) break;
+    work_available_.wait(
+        lock, [this, seen] { return shutting_down_ || epoch_ != seen; });
+    if (shutting_down_) break;
   }
+  // Shutdown: drain whatever is still queued (the pre-steal pool ran
+  // every submitted task before joining; keep that guarantee).
+  while (TryRunOneTask(self)) {
+  }
+  tls_pool = nullptr;
 }
 
 }  // namespace smartmeter

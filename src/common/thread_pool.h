@@ -1,19 +1,28 @@
 #ifndef SMARTMETER_COMMON_THREAD_POOL_H_
 #define SMARTMETER_COMMON_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 namespace smartmeter {
 
-/// Fixed-size worker pool with a FIFO queue. Used by the engines for
-/// multi-threaded task execution and by the simulated cluster to run
-/// per-node work.
+/// Work-stealing worker pool. Each worker owns a deque it pushes and
+/// pops LIFO (hot caches for task trees spawned via Submit-from-worker);
+/// external submissions land in a shared FIFO injector; idle workers
+/// steal FIFO from the injector first and then from other workers'
+/// deques, so one long per-worker backlog is drained by the whole pool.
+///
+/// The API is source-compatible with the original FIFO pool: used by the
+/// engines for multi-threaded task execution, by the simulated cluster
+/// to run per-node work, and by the serving layer for concurrent query
+/// dispatch.
 class ThreadPool {
  public:
   explicit ThreadPool(int num_threads);
@@ -22,30 +31,66 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues `task` for execution on some worker.
+  /// Enqueues `task` for execution on some worker. Called from inside a
+  /// worker of this pool, the task goes to that worker's own deque (and
+  /// is stealable by the others).
   void Submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has finished executing.
+  /// Blocks until every submitted task has finished executing. Called
+  /// from inside a worker of this pool, it helps execute queued tasks
+  /// instead of blocking, so a task that Submits more work can Wait for
+  /// it without deadlocking the pool.
   void Wait();
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
-  /// Splits [0, count) into roughly equal contiguous chunks, runs
-  /// `body(begin, end)` for each chunk in parallel, and waits. When the
-  /// pool has one thread (or count is tiny) the body runs inline.
+  /// Morsel-driven parallel loop over [0, count): workers pull
+  /// dynamically sized chunks off a shared cursor (guided scheduling —
+  /// chunks shrink as the range drains) so uneven per-item cost
+  /// rebalances without oversubmitting tiny tasks. Blocks until the
+  /// whole range has run; count == 0 enqueues nothing. When the pool
+  /// has one thread (or count is tiny) the body runs inline.
   void ParallelFor(size_t count,
                    const std::function<void(size_t, size_t)>& body);
 
  private:
-  void WorkerLoop();
+  /// One worker's stealable deque. A mutex per deque keeps the pool
+  /// TSan-clean; at morsel granularity the locks are uncontended.
+  struct WorkerQueue {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  static constexpr size_t kExternal = static_cast<size_t>(-1);
+
+  void WorkerLoop(size_t self);
+  /// Pops one task (own deque, injector, then steal) and runs it.
+  bool TryRunOneTask(size_t self);
+  bool PopTask(size_t self, std::function<void()>* task);
+  /// Marks one task done and wakes Wait()ers at quiescence.
+  void FinishTask();
+  /// Bumps the work epoch and wakes sleeping workers.
+  void SignalWork();
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  WorkerQueue injector_;
+
+  /// Sleep/wake state: epoch increments under mu_ on every submission,
+  /// so a worker that scanned empty and then waits cannot miss work
+  /// submitted in between.
   std::mutex mu_;
   std::condition_variable work_available_;
-  std::condition_variable all_done_;
-  int active_ = 0;
+  uint64_t epoch_ = 0;
   bool shutting_down_ = false;
+
+  /// Tasks submitted but not yet finished; Wait() blocks on zero.
+  std::atomic<int64_t> pending_{0};
+  std::mutex done_mu_;
+  std::condition_variable all_done_;
+
+  /// Rotating steal start so victims are probed evenly.
+  std::atomic<size_t> steal_seed_{0};
 };
 
 }  // namespace smartmeter

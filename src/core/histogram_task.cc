@@ -3,7 +3,9 @@
 namespace smartmeter::core {
 
 Result<stats::EquiWidthHistogram> ComputeConsumptionHistogram(
-    std::span<const double> consumption, const HistogramOptions& options) {
+    std::span<const double> consumption, const HistogramOptions& options,
+    const exec::QueryContext* ctx) {
+  if (ctx != nullptr && ctx->ShouldStop()) return ctx->CheckNotStopped();
   return stats::BuildEquiWidthHistogram(consumption, options.num_buckets);
 }
 

@@ -5,6 +5,7 @@
 
 #include "common/result.h"
 #include "core/task_types.h"
+#include "exec/query_context.h"
 
 namespace smartmeter::core {
 
@@ -16,9 +17,11 @@ struct HistogramOptions {
 
 /// Builds the hourly-consumption distribution of one consumer: an
 /// equi-width histogram whose x-axis spans [min, max] of the series and
-/// whose counts are hours of the year (Section 3.1).
+/// whose counts are hours of the year (Section 3.1). Returns kCancelled /
+/// kDeadlineExceeded without computing when `ctx` has stopped.
 Result<stats::EquiWidthHistogram> ComputeConsumptionHistogram(
-    std::span<const double> consumption, const HistogramOptions& options = {});
+    std::span<const double> consumption, const HistogramOptions& options = {},
+    const exec::QueryContext* ctx = nullptr);
 
 }  // namespace smartmeter::core
 

@@ -11,7 +11,8 @@ namespace smartmeter::core {
 
 Result<DailyProfileResult> ComputeDailyProfile(
     std::span<const double> consumption, std::span<const double> temperature,
-    int64_t household_id, const ParOptions& options) {
+    int64_t household_id, const ParOptions& options,
+    const exec::QueryContext* ctx) {
   if (consumption.size() != temperature.size()) {
     return Status::InvalidArgument("PAR: series length mismatch");
   }
@@ -40,6 +41,7 @@ Result<DailyProfileResult> ComputeDailyProfile(
                   static_cast<size_t>(num_coeffs));
   std::vector<double> y(static_cast<size_t>(usable_days));
   for (int hour = 0; hour < kHoursPerDay; ++hour) {
+    if (ctx != nullptr && ctx->ShouldStop()) return ctx->CheckNotStopped();
     for (int d = p; d < days; ++d) {
       const size_t row = static_cast<size_t>(d - p);
       const size_t t = static_cast<size_t>(d * kHoursPerDay + hour);

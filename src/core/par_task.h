@@ -5,6 +5,7 @@
 
 #include "common/result.h"
 #include "core/task_types.h"
+#include "exec/query_context.h"
 
 namespace smartmeter::core {
 
@@ -23,10 +24,12 @@ struct ParOptions {
 /// over the days of the year, then reports the average
 /// temperature-independent consumption per hour — the 24-value daily
 /// profile of Figure 2. Requires at least (lags + 3) full days so each
-/// per-hour regression is overdetermined.
+/// per-hour regression is overdetermined. `ctx` is polled once per hourly
+/// regression so a cancelled or expired query stops mid-fit.
 Result<DailyProfileResult> ComputeDailyProfile(
     std::span<const double> consumption, std::span<const double> temperature,
-    int64_t household_id, const ParOptions& options = {});
+    int64_t household_id, const ParOptions& options = {},
+    const exec::QueryContext* ctx = nullptr);
 
 }  // namespace smartmeter::core
 

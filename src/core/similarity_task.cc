@@ -18,8 +18,8 @@ std::vector<double> ComputeNorms(std::span<const SeriesView> series) {
 
 Result<std::vector<SimilarityResult>> ComputeSimilarityTopKRange(
     std::span<const SeriesView> series, std::span<const double> norms,
-    size_t query_begin, size_t query_end,
-    const SimilarityOptions& options) {
+    size_t query_begin, size_t query_end, const SimilarityOptions& options,
+    const exec::QueryContext* ctx) {
   if (series.size() < 2) {
     return Status::InvalidArgument("similarity: need at least two series");
   }
@@ -42,6 +42,7 @@ Result<std::vector<SimilarityResult>> ComputeSimilarityTopKRange(
   std::vector<SimilarityResult> results;
   results.reserve(query_end - query_begin);
   for (size_t q = query_begin; q < query_end; ++q) {
+    if (ctx != nullptr && ctx->ShouldStop()) return ctx->CheckNotStopped();
     stats::TopK<int64_t> top(static_cast<size_t>(options.k));
     for (size_t o = 0; o < series.size(); ++o) {
       if (o == q) continue;
@@ -60,15 +61,17 @@ Result<std::vector<SimilarityResult>> ComputeSimilarityTopKRange(
 }
 
 Result<std::vector<SimilarityResult>> ComputeSimilarityTopK(
-    std::span<const SeriesView> series, const SimilarityOptions& options) {
+    std::span<const SeriesView> series, const SimilarityOptions& options,
+    const exec::QueryContext* ctx) {
   const std::vector<double> norms = ComputeNorms(series);
-  return ComputeSimilarityTopKRange(series, norms, 0, series.size(),
-                                    options);
+  return ComputeSimilarityTopKRange(series, norms, 0, series.size(), options,
+                                    ctx);
 }
 
 Result<std::vector<SimilarityResult>> ComputeSimilarityTopKApprox(
     std::span<const SeriesView> series,
-    const ApproxSimilarityOptions& options) {
+    const ApproxSimilarityOptions& options,
+    const exec::QueryContext* ctx) {
   const size_t n = series.size();
   if (n < 2) {
     return Status::InvalidArgument("similarity: need at least two series");
@@ -102,6 +105,7 @@ Result<std::vector<SimilarityResult>> ComputeSimilarityTopKApprox(
   results.reserve(n);
   std::vector<std::pair<double, size_t>> ranked(n - 1);
   for (size_t q = 0; q < n; ++q) {
+    if (ctx != nullptr && ctx->ShouldStop()) return ctx->CheckNotStopped();
     // Filter: rank all others by the cheap SAX lower bound.
     size_t slot = 0;
     for (size_t o = 0; o < n; ++o) {

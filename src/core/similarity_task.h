@@ -7,6 +7,7 @@
 
 #include "common/result.h"
 #include "core/task_types.h"
+#include "exec/query_context.h"
 
 namespace smartmeter::core {
 
@@ -26,9 +27,11 @@ struct SeriesView {
 /// precomputed norms: O(n^2 * length) time, O(n * k) output. Result order
 /// follows the input; matches are sorted best-first with ties broken by
 /// household id. Fails if fewer than two series are given or lengths
-/// mismatch.
+/// mismatch. This quadratic scan is the benchmark's longest: `ctx` is
+/// polled once per query row so cancellation lands within one row's work.
 Result<std::vector<SimilarityResult>> ComputeSimilarityTopK(
-    std::span<const SeriesView> series, const SimilarityOptions& options = {});
+    std::span<const SeriesView> series, const SimilarityOptions& options = {},
+    const exec::QueryContext* ctx = nullptr);
 
 /// The same kernel restricted to queries [query_begin, query_end) against
 /// the full series set — the unit of work each thread / cluster task runs
@@ -36,7 +39,8 @@ Result<std::vector<SimilarityResult>> ComputeSimilarityTopK(
 /// series are supplied by the caller so they are computed once.
 Result<std::vector<SimilarityResult>> ComputeSimilarityTopKRange(
     std::span<const SeriesView> series, std::span<const double> norms,
-    size_t query_begin, size_t query_end, const SimilarityOptions& options);
+    size_t query_begin, size_t query_end, const SimilarityOptions& options,
+    const exec::QueryContext* ctx = nullptr);
 
 /// Precomputes the L2 norm of every series.
 std::vector<double> ComputeNorms(std::span<const SeriesView> series);
@@ -63,7 +67,8 @@ struct ApproxSimilarityOptions {
 /// trade. Result layout matches ComputeSimilarityTopK.
 Result<std::vector<SimilarityResult>> ComputeSimilarityTopKApprox(
     std::span<const SeriesView> series,
-    const ApproxSimilarityOptions& options = {});
+    const ApproxSimilarityOptions& options = {},
+    const exec::QueryContext* ctx = nullptr);
 
 }  // namespace smartmeter::core
 

@@ -160,7 +160,9 @@ Result<ThreeLineResult> ComputeThreeLine(std::span<const double> consumption,
                                          std::span<const double> temperature,
                                          int64_t household_id,
                                          const ThreeLineOptions& options,
-                                         ThreeLinePhases* phases) {
+                                         ThreeLinePhases* phases,
+                                         const exec::QueryContext* ctx) {
+  if (ctx != nullptr && ctx->ShouldStop()) return ctx->CheckNotStopped();
   if (consumption.size() != temperature.size()) {
     return Status::InvalidArgument("3-line: series length mismatch");
   }
@@ -199,6 +201,7 @@ Result<ThreeLineResult> ComputeThreeLine(std::span<const double> consumption,
         static_cast<long long>(household_id), thresholds.size()));
   }
   const double t1_seconds = t1_clock.ElapsedSeconds();
+  if (ctx != nullptr && ctx->ShouldStop()) return ctx->CheckNotStopped();
 
   // ---- T2: regression over the band readings ---------------------------
   // Following Birt et al., the lines are fitted to the readings in the
@@ -227,6 +230,7 @@ Result<ThreeLineResult> ComputeThreeLine(std::span<const double> consumption,
   result.p90 = FitThreeSegments(high_points, options.min_bins_per_segment);
   result.p10 = FitThreeSegments(low_points, options.min_bins_per_segment);
   const double t2_seconds = t2_clock.ElapsedSeconds();
+  if (ctx != nullptr && ctx->ShouldStop()) return ctx->CheckNotStopped();
 
   // ---- T3: continuity adjustment ----------------------------------------
   Stopwatch t3_clock;

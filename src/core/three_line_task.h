@@ -5,6 +5,7 @@
 
 #include "common/result.h"
 #include "core/task_types.h"
+#include "exec/query_context.h"
 
 namespace smartmeter::core {
 
@@ -45,12 +46,15 @@ struct ThreeLinePhases {
 /// breakpoints by total squared error), and adjusts the outer lines so the
 /// piecewise model is continuous. Fails if fewer than three populated
 /// temperature bins exist. `phases`, when non-null, receives the timing
-/// breakdown used by Figure 6.
+/// breakdown used by Figure 6. `ctx` is polled at the phase boundaries so
+/// a cancelled or expired query abandons the fit early.
 Result<ThreeLineResult> ComputeThreeLine(std::span<const double> consumption,
                                          std::span<const double> temperature,
                                          int64_t household_id,
                                          const ThreeLineOptions& options = {},
-                                         ThreeLinePhases* phases = nullptr);
+                                         ThreeLinePhases* phases = nullptr,
+                                         const exec::QueryContext* ctx =
+                                             nullptr);
 
 }  // namespace smartmeter::core
 

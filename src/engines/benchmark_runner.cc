@@ -11,7 +11,7 @@ namespace smartmeter::engines {
 obs::RunRecord MakeRunRecord(const RunSpec& spec, const RunReport& report) {
   obs::RunRecord record;
   record.engine = std::string(EngineKindName(spec.kind));
-  record.task = std::string(core::TaskName(spec.request.task));
+  record.task = std::string(core::TaskName(spec.options.task()));
   record.layout = std::string(DataSourceLayoutName(spec.source.layout));
   record.threads = spec.threads;
   record.warm = spec.warm;
@@ -27,7 +27,8 @@ obs::RunRecord MakeRunRecord(const RunSpec& spec, const RunReport& report) {
 }
 
 Result<RunReport> RunTaskOnEngine(AnalyticsEngine* engine,
-                                  const TaskRequest& request, int threads,
+                                  const exec::QueryContext& ctx,
+                                  const TaskOptions& options, int threads,
                                   bool sample_memory, bool keep_outputs) {
   SM_TRACE_SPAN("bench.task");
   engine->SetThreads(threads);
@@ -36,7 +37,7 @@ Result<RunReport> RunTaskOnEngine(AnalyticsEngine* engine,
   if (sample_memory) sampler.Start();
   SM_ASSIGN_OR_RETURN(
       TaskRunMetrics metrics,
-      engine->RunTask(request, keep_outputs ? &report.outputs : nullptr));
+      engine->RunTask(ctx, options, keep_outputs ? &report.results : nullptr));
   if (sample_memory) {
     sampler.Stop();
     report.memory_bytes = sampler.AverageRssBytes();
@@ -48,6 +49,13 @@ Result<RunReport> RunTaskOnEngine(AnalyticsEngine* engine,
   report.simulated = metrics.simulated;
   report.phases = metrics.phases;
   return report;
+}
+
+Result<RunReport> RunTaskOnEngine(AnalyticsEngine* engine,
+                                  const TaskOptions& options, int threads,
+                                  bool sample_memory, bool keep_outputs) {
+  return RunTaskOnEngine(engine, exec::QueryContext::Background(), options,
+                         threads, sample_memory, keep_outputs);
 }
 
 Result<RunReport> RunBenchmark(const RunSpec& spec) {
@@ -68,13 +76,13 @@ Result<RunReport> RunBenchmark(const RunSpec& spec) {
   }
   SM_ASSIGN_OR_RETURN(
       RunReport task_report,
-      RunTaskOnEngine(engine.get(), spec.request, spec.threads,
+      RunTaskOnEngine(engine.get(), spec.options, spec.threads,
                       spec.sample_memory, spec.keep_outputs));
   report.task_seconds = task_report.task_seconds;
   report.simulated = task_report.simulated;
   report.phases = task_report.phases;
   report.memory_bytes = task_report.memory_bytes;
-  report.outputs = std::move(task_report.outputs);
+  report.results = std::move(task_report.results);
   if (spec.report != nullptr) {
     spec.report->AddRun(MakeRunRecord(spec, report));
   }

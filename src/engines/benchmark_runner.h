@@ -14,7 +14,7 @@ struct RunSpec {
   EngineKind kind = EngineKind::kSystemC;
   EngineFactoryOptions factory;
   DataSource source;
-  TaskRequest request;
+  TaskOptions options;
   int threads = 1;
   /// Warm start: load into memory before the timed task run.
   bool warm = false;
@@ -39,7 +39,7 @@ struct RunReport {
   core::ThreeLinePhases phases;
   /// Average RSS over the task (sampled) or the cluster model's memory.
   int64_t memory_bytes = 0;
-  TaskOutputs outputs;
+  TaskResultSet results;
 };
 
 /// Flattens one execution into the obs export schema (engine/task/layout
@@ -52,9 +52,16 @@ obs::RunRecord MakeRunRecord(const RunSpec& spec, const RunReport& report);
 Result<RunReport> RunBenchmark(const RunSpec& spec);
 
 /// Reuses an already attached engine for another task run (benches that
-/// sweep tasks or thread counts without reloading).
+/// sweep tasks or thread counts without reloading; the serving layer's
+/// per-query path). Runs under `ctx`'s deadline/cancellation.
 Result<RunReport> RunTaskOnEngine(AnalyticsEngine* engine,
-                                  const TaskRequest& request, int threads,
+                                  const exec::QueryContext& ctx,
+                                  const TaskOptions& options, int threads,
+                                  bool sample_memory, bool keep_outputs);
+
+/// Background-context convenience overload.
+Result<RunReport> RunTaskOnEngine(AnalyticsEngine* engine,
+                                  const TaskOptions& options, int threads,
                                   bool sample_memory, bool keep_outputs);
 
 }  // namespace smartmeter::engines

@@ -60,32 +60,37 @@ Result<std::vector<double>> ReadTemperatureSidecar(const std::string& path) {
   return values;
 }
 
-Status ComputeHouseholdTask(const TaskRequest& request, int64_t household_id,
+Status ComputeHouseholdTask(const exec::QueryContext& ctx,
+                            const TaskOptions& options, int64_t household_id,
                             std::span<const double> consumption,
                             std::span<const double> temperature,
-                            TaskOutputs* outputs) {
-  switch (request.task) {
+                            TaskResultSet* results) {
+  switch (options.task()) {
     case core::TaskType::kHistogram: {
-      SM_ASSIGN_OR_RETURN(stats::EquiWidthHistogram hist,
-                          core::ComputeConsumptionHistogram(
-                              consumption, request.histogram));
-      outputs->histograms.push_back({household_id, std::move(hist)});
+      SM_ASSIGN_OR_RETURN(
+          stats::EquiWidthHistogram hist,
+          core::ComputeConsumptionHistogram(
+              consumption, options.Get<core::HistogramOptions>(), &ctx));
+      results->Mutable<core::HistogramResult>().push_back(
+          {household_id, std::move(hist)});
       return Status::OK();
     }
     case core::TaskType::kThreeLine: {
       SM_ASSIGN_OR_RETURN(
           core::ThreeLineResult fit,
           core::ComputeThreeLine(consumption, temperature, household_id,
-                                 request.three_line));
-      outputs->three_lines.push_back(std::move(fit));
+                                 options.Get<core::ThreeLineOptions>(),
+                                 nullptr, &ctx));
+      results->Mutable<core::ThreeLineResult>().push_back(std::move(fit));
       return Status::OK();
     }
     case core::TaskType::kPar: {
       SM_ASSIGN_OR_RETURN(
           core::DailyProfileResult profile,
           core::ComputeDailyProfile(consumption, temperature, household_id,
-                                    request.par));
-      outputs->profiles.push_back(std::move(profile));
+                                    options.Get<core::ParOptions>(), &ctx));
+      results->Mutable<core::DailyProfileResult>().push_back(
+          std::move(profile));
       return Status::OK();
     }
     case core::TaskType::kSimilarity:
@@ -93,17 +98,6 @@ Status ComputeHouseholdTask(const TaskRequest& request, int64_t household_id,
           "similarity is not a per-household task");
   }
   return Status::Internal("unreachable");
-}
-
-void SortOutputsByHousehold(TaskOutputs* outputs) {
-  auto by_id = [](const auto& a, const auto& b) {
-    return a.household_id < b.household_id;
-  };
-  std::sort(outputs->histograms.begin(), outputs->histograms.end(), by_id);
-  std::sort(outputs->three_lines.begin(), outputs->three_lines.end(), by_id);
-  std::sort(outputs->profiles.begin(), outputs->profiles.end(), by_id);
-  std::sort(outputs->similarities.begin(), outputs->similarities.end(),
-            by_id);
 }
 
 }  // namespace smartmeter::engines::internal

@@ -39,16 +39,14 @@ Result<HouseholdLine> ParseHouseholdLine(std::string_view line);
 Result<std::vector<double>> ReadTemperatureSidecar(const std::string& path);
 
 /// Computes the requested per-household task (histogram / 3-line / PAR)
-/// and appends the result to `outputs`. Similarity is not a per-household
-/// task and is rejected.
-Status ComputeHouseholdTask(const TaskRequest& request, int64_t household_id,
+/// and appends the result to `results`. Similarity is not a per-household
+/// task and is rejected. `ctx` is forwarded into the kernel so simulated
+/// cluster tasks stop on cancel/timeout too.
+Status ComputeHouseholdTask(const exec::QueryContext& ctx,
+                            const TaskOptions& options, int64_t household_id,
                             std::span<const double> consumption,
                             std::span<const double> temperature,
-                            TaskOutputs* outputs);
-
-/// Sorts each output vector by household id; cluster plans produce
-/// results in shuffle order, tests and benches want deterministic order.
-void SortOutputsByHousehold(TaskOutputs* outputs);
+                            TaskResultSet* results);
 
 }  // namespace smartmeter::engines::internal
 

@@ -1,0 +1,134 @@
+#include "engines/data_source.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace smartmeter::engines {
+namespace fs = std::filesystem;
+
+namespace {
+
+Status RequireRegularFile(const std::string& path) {
+  std::error_code ec;
+  if (!fs::is_regular_file(path, ec)) {
+    return Status::IOError(StringPrintf(
+        "data source file missing or not a regular file: %s", path.c_str()));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status DataSource::Validate() const {
+  const std::string layout_name(DataSourceLayoutName(layout));
+  if (files.empty()) {
+    return Status::InvalidArgument(
+        StringPrintf("empty %s data source", layout_name.c_str()));
+  }
+  switch (layout) {
+    case Layout::kSingleCsv:
+    case Layout::kHouseholdLines:
+      if (files.size() != 1) {
+        return Status::InvalidArgument(StringPrintf(
+            "%s source expects exactly one file, got %zu",
+            layout_name.c_str(), files.size()));
+      }
+      break;
+    case Layout::kPartitionedDir: {
+      // System C derives the partition directory from the first file, so
+      // every partition must live under the same parent.
+      const fs::path parent = fs::path(files.front()).parent_path();
+      for (const std::string& file : files) {
+        if (fs::path(file).parent_path() != parent) {
+          return Status::InvalidArgument(StringPrintf(
+              "partitioned source files span multiple directories: %s vs %s",
+              files.front().c_str(), file.c_str()));
+        }
+      }
+      break;
+    }
+    case Layout::kWholeFileDir:
+      break;
+  }
+  for (const std::string& file : files) {
+    SM_RETURN_IF_ERROR(RequireRegularFile(file));
+  }
+  if (layout == Layout::kHouseholdLines) {
+    const std::string sidecar = files.front() + ".temperature";
+    std::error_code ec;
+    if (!fs::is_regular_file(sidecar, ec)) {
+      return Status::IOError(StringPrintf(
+          "household-lines source is missing its temperature sidecar: %s",
+          sidecar.c_str()));
+    }
+  }
+  return Status::OK();
+}
+
+Result<DataSource> DataSource::SingleCsv(std::string path) {
+  DataSource source;
+  source.layout = Layout::kSingleCsv;
+  source.files.push_back(std::move(path));
+  SM_RETURN_IF_ERROR(source.Validate());
+  return source;
+}
+
+Result<DataSource> DataSource::PartitionedDir(std::vector<std::string> files) {
+  DataSource source;
+  source.layout = Layout::kPartitionedDir;
+  source.files = std::move(files);
+  SM_RETURN_IF_ERROR(source.Validate());
+  return source;
+}
+
+Result<DataSource> DataSource::PartitionedDir(const std::string& dir) {
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) {
+    return Status::IOError(StringPrintf("not a directory: %s", dir.c_str()));
+  }
+  std::vector<std::string> files;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir, ec)) {
+    if (entry.is_regular_file()) files.push_back(entry.path().string());
+  }
+  if (ec) {
+    return Status::IOError(StringPrintf("cannot list directory %s: %s",
+                                        dir.c_str(), ec.message().c_str()));
+  }
+  std::sort(files.begin(), files.end());
+  return PartitionedDir(std::move(files));
+}
+
+Result<DataSource> DataSource::HouseholdLines(std::string path) {
+  DataSource source;
+  source.layout = Layout::kHouseholdLines;
+  source.files.push_back(std::move(path));
+  SM_RETURN_IF_ERROR(source.Validate());
+  return source;
+}
+
+Result<DataSource> DataSource::WholeFileDir(std::vector<std::string> files) {
+  DataSource source;
+  source.layout = Layout::kWholeFileDir;
+  source.files = std::move(files);
+  SM_RETURN_IF_ERROR(source.Validate());
+  return source;
+}
+
+std::string_view DataSourceLayoutName(DataSource::Layout layout) {
+  switch (layout) {
+    case DataSource::Layout::kSingleCsv:
+      return "single-csv";
+    case DataSource::Layout::kPartitionedDir:
+      return "partitioned-dir";
+    case DataSource::Layout::kHouseholdLines:
+      return "household-lines";
+    case DataSource::Layout::kWholeFileDir:
+      return "whole-file-dir";
+  }
+  return "unknown";
+}
+
+}  // namespace smartmeter::engines

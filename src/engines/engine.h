@@ -2,46 +2,15 @@
 #define SMARTMETER_ENGINES_ENGINE_H_
 
 #include <cstdint>
-#include <memory>
-#include <string>
 #include <string_view>
-#include <vector>
 
 #include "common/result.h"
-#include "core/histogram_task.h"
-#include "core/par_task.h"
-#include "core/similarity_task.h"
-#include "core/task_types.h"
 #include "core/three_line_task.h"
+#include "engines/data_source.h"
+#include "engines/task_api.h"
+#include "exec/query_context.h"
 
 namespace smartmeter::engines {
-
-/// Where an engine's input data lives on disk.
-struct DataSource {
-  enum class Layout {
-    kSingleCsv,        // One reading-per-line CSV file.
-    kPartitionedDir,   // One CSV file per household (single-server "part.").
-    kHouseholdLines,   // One household per line + temperature sidecar.
-    kWholeFileDir,     // Many reading-per-line files, households not split.
-  };
-  Layout layout = Layout::kSingleCsv;
-  /// The file (kSingleCsv / kHouseholdLines) or every file of the
-  /// directory layouts.
-  std::vector<std::string> files;
-};
-
-/// Per-task knobs, defaulted to the paper's fixed choices (10 buckets,
-/// p = 3 lags, k = 10 neighbours).
-struct TaskRequest {
-  core::TaskType task = core::TaskType::kHistogram;
-  core::HistogramOptions histogram;
-  core::ThreeLineOptions three_line;
-  core::ParOptions par;
-  core::SimilarityOptions similarity;
-  /// Similarity search may be limited to the first n households (the
-  /// paper uses subsets for this quadratic task); 0 means all.
-  int similarity_households = 0;
-};
 
 /// What one task execution produced and cost.
 struct TaskRunMetrics {
@@ -57,15 +26,6 @@ struct TaskRunMetrics {
   int64_t modeled_memory_bytes = 0;
 };
 
-/// Union of the four tasks' outputs; only the vector matching the
-/// requested task is filled.
-struct TaskOutputs {
-  std::vector<core::HistogramResult> histograms;
-  std::vector<core::ThreeLineResult> three_lines;
-  std::vector<core::DailyProfileResult> profiles;
-  std::vector<core::SimilarityResult> similarities;
-};
-
 /// A platform under benchmark. The lifecycle mirrors Section 5's
 /// methodology:
 ///   Attach(source)  -- "loading": whatever the platform does to make
@@ -74,6 +34,13 @@ struct TaskOutputs {
 ///   RunTask(...)    -- cold start when called right after Attach.
 ///   WarmUp()        -- pull working data into memory structures.
 ///   RunTask(...)    -- warm start.
+///
+/// RunTask takes an exec::QueryContext carrying the query's deadline and
+/// cancellation token; engines poll ctx.ShouldStop() from their scan
+/// loops so a cancelled or expired query returns promptly instead of
+/// finishing a multi-second scan. Engines that hold no mutable per-call
+/// state may serve concurrent RunTask calls from different threads (the
+/// serving layer still dedicates one session per engine instance).
 class AnalyticsEngine {
  public:
   virtual ~AnalyticsEngine() = default;
@@ -91,10 +58,21 @@ class AnalyticsEngine {
   /// Drops warm state so the next RunTask is a cold start again.
   virtual void DropWarmData() = 0;
 
-  /// Executes one benchmark task over all attached households. `outputs`
-  /// may be null when only timing is wanted.
-  virtual Result<TaskRunMetrics> RunTask(const TaskRequest& request,
-                                         TaskOutputs* outputs) = 0;
+  /// Executes one benchmark task over all attached households under
+  /// `ctx`'s deadline/cancellation. `results` may be null when only
+  /// timing is wanted. Returns kCancelled / kDeadlineExceeded when the
+  /// context stops the query mid-scan.
+  virtual Result<TaskRunMetrics> RunTask(const exec::QueryContext& ctx,
+                                         const TaskOptions& options,
+                                         TaskResultSet* results) = 0;
+
+  /// Convenience overload: runs under the never-cancelled background
+  /// context. Derived classes re-expose it with
+  /// `using AnalyticsEngine::RunTask;`.
+  Result<TaskRunMetrics> RunTask(const TaskOptions& options,
+                                 TaskResultSet* results) {
+    return RunTask(exec::QueryContext::Background(), options, results);
+  }
 
   /// Degree of parallelism for subsequent RunTask calls (Figure 10).
   virtual void SetThreads(int num_threads) = 0;

@@ -1,8 +1,12 @@
 #include "engines/engine_util.h"
 
+#include <algorithm>
 #include <mutex>
+#include <string>
+#include <vector>
 
 #include "common/stopwatch.h"
+#include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "obs/trace.h"
 
@@ -42,95 +46,106 @@ class ErrorCollector {
 
 }  // namespace
 
-std::string_view DataSourceLayoutName(DataSource::Layout layout) {
-  switch (layout) {
-    case DataSource::Layout::kSingleCsv:
-      return "single-csv";
-    case DataSource::Layout::kPartitionedDir:
-      return "partitioned-dir";
-    case DataSource::Layout::kHouseholdLines:
-      return "household-lines";
-    case DataSource::Layout::kWholeFileDir:
-      return "whole-file-dir";
+Status RequireLayout(const DataSource& source,
+                     std::initializer_list<DataSource::Layout> allowed,
+                     std::string_view engine_name) {
+  SM_RETURN_IF_ERROR(source.Validate());
+  for (DataSource::Layout layout : allowed) {
+    if (source.layout == layout) return Status::OK();
   }
-  return "unknown";
+  return Status::NotSupported(StringPrintf(
+      "%.*s does not read the %.*s layout",
+      static_cast<int>(engine_name.size()), engine_name.data(),
+      static_cast<int>(DataSourceLayoutName(source.layout).size()),
+      DataSourceLayoutName(source.layout).data()));
 }
 
-Result<TaskRunMetrics> RunTaskOverSeries(const SeriesAccess& access,
-                                         const TaskRequest& request,
+Result<TaskRunMetrics> RunTaskOverSeries(const exec::QueryContext& ctx,
+                                         const SeriesAccess& access,
+                                         const TaskOptions& options,
                                          int num_threads,
-                                         TaskOutputs* outputs) {
-  obs::SpanScope task_span(TaskSpanName(request.task));
+                                         TaskResultSet* results) {
+  obs::SpanScope task_span(TaskSpanName(options.task()));
   TaskRunMetrics metrics;
   Stopwatch clock;
   ThreadPool pool(num_threads < 1 ? 1 : num_threads);
   ErrorCollector errors;
   const size_t count = access.count;
 
-  switch (request.task) {
+  switch (options.task()) {
     case core::TaskType::kHistogram: {
-      std::vector<core::HistogramResult> results(count);
+      const auto& histogram = options.Get<core::HistogramOptions>();
+      std::vector<core::HistogramResult> out(count);
       pool.ParallelFor(count, [&](size_t begin, size_t end) {
         for (size_t i = begin; i < end; ++i) {
           Result<stats::EquiWidthHistogram> hist =
               core::ComputeConsumptionHistogram(access.consumption(i),
-                                                request.histogram);
+                                                histogram, &ctx);
           if (!hist.ok()) {
             errors.Record(hist.status());
             return;
           }
-          results[i] = {access.household_id(i), std::move(*hist)};
+          out[i] = {access.household_id(i), std::move(*hist)};
         }
       });
       SM_RETURN_IF_ERROR(errors.first());
-      if (outputs != nullptr) outputs->histograms = std::move(results);
+      if (results != nullptr) {
+        results->Mutable<core::HistogramResult>() = std::move(out);
+      }
       break;
     }
     case core::TaskType::kThreeLine: {
-      std::vector<core::ThreeLineResult> results(count);
+      const auto& three_line = options.Get<core::ThreeLineOptions>();
+      std::vector<core::ThreeLineResult> out(count);
       std::mutex phase_mu;
       pool.ParallelFor(count, [&](size_t begin, size_t end) {
         core::ThreeLinePhases local_phases;
         for (size_t i = begin; i < end; ++i) {
           Result<core::ThreeLineResult> fit = core::ComputeThreeLine(
               access.consumption(i), access.temperature,
-              access.household_id(i), request.three_line, &local_phases);
+              access.household_id(i), three_line, &local_phases, &ctx);
           if (!fit.ok()) {
             errors.Record(fit.status());
             return;
           }
-          results[i] = std::move(*fit);
+          out[i] = std::move(*fit);
         }
         std::lock_guard<std::mutex> lock(phase_mu);
         metrics.phases.Accumulate(local_phases);
       });
       SM_RETURN_IF_ERROR(errors.first());
-      if (outputs != nullptr) outputs->three_lines = std::move(results);
+      if (results != nullptr) {
+        results->Mutable<core::ThreeLineResult>() = std::move(out);
+      }
       break;
     }
     case core::TaskType::kPar: {
-      std::vector<core::DailyProfileResult> results(count);
+      const auto& par = options.Get<core::ParOptions>();
+      std::vector<core::DailyProfileResult> out(count);
       pool.ParallelFor(count, [&](size_t begin, size_t end) {
         for (size_t i = begin; i < end; ++i) {
           Result<core::DailyProfileResult> profile =
               core::ComputeDailyProfile(access.consumption(i),
                                         access.temperature,
-                                        access.household_id(i), request.par);
+                                        access.household_id(i), par, &ctx);
           if (!profile.ok()) {
             errors.Record(profile.status());
             return;
           }
-          results[i] = std::move(*profile);
+          out[i] = std::move(*profile);
         }
       });
       SM_RETURN_IF_ERROR(errors.first());
-      if (outputs != nullptr) outputs->profiles = std::move(results);
+      if (results != nullptr) {
+        results->Mutable<core::DailyProfileResult>() = std::move(out);
+      }
       break;
     }
     case core::TaskType::kSimilarity: {
+      const auto& similarity = options.Get<SimilarityTaskOptions>();
       size_t n = count;
-      if (request.similarity_households > 0) {
-        n = std::min(n, static_cast<size_t>(request.similarity_households));
+      if (similarity.households > 0) {
+        n = std::min(n, static_cast<size_t>(similarity.households));
       }
       std::vector<core::SeriesView> views;
       views.reserve(n);
@@ -138,21 +153,23 @@ Result<TaskRunMetrics> RunTaskOverSeries(const SeriesAccess& access,
         views.push_back({access.household_id(i), access.consumption(i)});
       }
       const std::vector<double> norms = core::ComputeNorms(views);
-      std::vector<core::SimilarityResult> results(n);
+      std::vector<core::SimilarityResult> out(n);
       pool.ParallelFor(n, [&](size_t begin, size_t end) {
         Result<std::vector<core::SimilarityResult>> chunk =
             core::ComputeSimilarityTopKRange(views, norms, begin, end,
-                                             request.similarity);
+                                             similarity.search, &ctx);
         if (!chunk.ok()) {
           errors.Record(chunk.status());
           return;
         }
         for (size_t i = begin; i < end; ++i) {
-          results[i] = std::move((*chunk)[i - begin]);
+          out[i] = std::move((*chunk)[i - begin]);
         }
       });
       SM_RETURN_IF_ERROR(errors.first());
-      if (outputs != nullptr) outputs->similarities = std::move(results);
+      if (results != nullptr) {
+        results->Mutable<core::SimilarityResult>() = std::move(out);
+      }
       break;
     }
   }
@@ -160,10 +177,11 @@ Result<TaskRunMetrics> RunTaskOverSeries(const SeriesAccess& access,
   return metrics;
 }
 
-Result<TaskRunMetrics> RunTaskOverDataset(const MeterDataset& dataset,
-                                          const TaskRequest& request,
+Result<TaskRunMetrics> RunTaskOverDataset(const exec::QueryContext& ctx,
+                                          const MeterDataset& dataset,
+                                          const TaskOptions& options,
                                           int num_threads,
-                                          TaskOutputs* outputs) {
+                                          TaskResultSet* results) {
   SeriesAccess access;
   access.count = dataset.num_consumers();
   const auto& consumers = dataset.consumers();
@@ -174,7 +192,7 @@ Result<TaskRunMetrics> RunTaskOverDataset(const MeterDataset& dataset,
     return std::span<const double>(consumers[i].consumption);
   };
   access.temperature = dataset.temperature();
-  return RunTaskOverSeries(access, request, num_threads, outputs);
+  return RunTaskOverSeries(ctx, access, options, num_threads, results);
 }
 
 }  // namespace smartmeter::engines

@@ -2,6 +2,7 @@
 #define SMARTMETER_ENGINES_ENGINE_UTIL_H_
 
 #include <functional>
+#include <initializer_list>
 #include <span>
 
 #include "engines/engine.h"
@@ -23,20 +24,29 @@ struct SeriesAccess {
 /// once data is accessible: splits households across `num_threads`
 /// workers (the per-consumer tasks are embarrassingly parallel, Section
 /// 5.3.4) and runs the requested algorithm. Similarity partitions the
-/// query side of the quadratic loop. Returns wall-clock metrics;
-/// `outputs` (optional) receives results in household order.
-Result<TaskRunMetrics> RunTaskOverSeries(const SeriesAccess& access,
-                                         const TaskRequest& request,
+/// query side of the quadratic loop. `ctx` is polled per household so a
+/// cancelled or expired query returns kCancelled / kDeadlineExceeded
+/// promptly. Returns wall-clock metrics; `results` (optional) receives
+/// results in household order.
+Result<TaskRunMetrics> RunTaskOverSeries(const exec::QueryContext& ctx,
+                                         const SeriesAccess& access,
+                                         const TaskOptions& options,
                                          int num_threads,
-                                         TaskOutputs* outputs);
+                                         TaskResultSet* results);
 
 /// Convenience adapter over an in-memory dataset.
-Result<TaskRunMetrics> RunTaskOverDataset(const MeterDataset& dataset,
-                                          const TaskRequest& request,
+Result<TaskRunMetrics> RunTaskOverDataset(const exec::QueryContext& ctx,
+                                          const MeterDataset& dataset,
+                                          const TaskOptions& options,
                                           int num_threads,
-                                          TaskOutputs* outputs);
+                                          TaskResultSet* results);
 
-std::string_view DataSourceLayoutName(DataSource::Layout layout);
+/// Shared Attach screening: validates `source` and requires its layout to
+/// be one of `allowed`, returning kNotSupported naming the engine
+/// otherwise. Replaces the per-engine ad-hoc layout checks.
+Status RequireLayout(const DataSource& source,
+                     std::initializer_list<DataSource::Layout> allowed,
+                     std::string_view engine_name);
 
 }  // namespace smartmeter::engines
 

@@ -8,6 +8,7 @@
 #include "cluster/task_scheduler.h"
 #include "core/similarity_task.h"
 #include "engines/cluster_task_util.h"
+#include "engines/engine_util.h"
 #include "engines/result_serde.h"
 #include "obs/trace.h"
 #include "storage/csv.h"
@@ -49,13 +50,11 @@ Status MapParseRows(const InputSplit& split,
 
 Result<double> HiveEngine::Attach(const DataSource& source) {
   SM_TRACE_SPAN("hive.attach");
-  if (source.files.empty()) {
-    return Status::InvalidArgument("hive: no input files");
-  }
-  if (source.layout == DataSource::Layout::kPartitionedDir) {
-    return Status::NotSupported(
-        "hive engine expects cluster data formats (1, 2 or 3)");
-  }
+  SM_RETURN_IF_ERROR(RequireLayout(source,
+                                   {DataSource::Layout::kSingleCsv,
+                                    DataSource::Layout::kHouseholdLines,
+                                    DataSource::Layout::kWholeFileDir},
+                                   name()));
   source_ = source;
   hdfs_ = std::make_unique<cluster::BlockStore>(options_.cluster.num_nodes,
                                                 options_.block_bytes);
@@ -74,57 +73,57 @@ void HiveEngine::SetClusterConfig(const cluster::ClusterConfig& config) {
   }
 }
 
-Result<TaskRunMetrics> HiveEngine::RunTask(const TaskRequest& request,
-                                           TaskOutputs* outputs) {
+Result<TaskRunMetrics> HiveEngine::RunTask(const exec::QueryContext& ctx,
+                                           const TaskOptions& options,
+                                           TaskResultSet* results) {
   SM_TRACE_SPAN("hive.task");
   if (hdfs_ == nullptr) {
     return Status::InvalidArgument("hive: no data attached");
   }
-  TaskOutputs local;
-  if (outputs == nullptr) outputs = &local;
-  if (request.task == core::TaskType::kSimilarity) {
+  TaskResultSet local;
+  if (results == nullptr) results = &local;
+  if (options.task() == core::TaskType::kSimilarity) {
     if (source_.layout == DataSource::Layout::kWholeFileDir) {
       // The distance computation cannot be expressed in one UDTF pass
       // (Section 5.4.2: similarity is skipped for the third format).
       return Status::NotSupported("hive: no similarity plan for format 3");
     }
-    return RunSimilarity(request, outputs);
+    return RunSimilarity(ctx, options, results);
   }
   switch (source_.layout) {
     case DataSource::Layout::kSingleCsv:
-      return RunRowFormatTask(request, /*whole_files=*/false, outputs);
+      return RunRowFormatTask(ctx, options, /*whole_files=*/false, results);
     case DataSource::Layout::kHouseholdLines:
-      return RunHouseholdLineTask(request, outputs);
+      return RunHouseholdLineTask(ctx, options, results);
     case DataSource::Layout::kWholeFileDir:
       return options_.format3_style == Format3Style::kUdtf
-                 ? RunUdtfTask(request, outputs)
-                 : RunRowFormatTask(request, /*whole_files=*/true, outputs);
+                 ? RunUdtfTask(ctx, options, results)
+                 : RunRowFormatTask(ctx, options, /*whole_files=*/true,
+                                    results);
     default:
       return Status::NotSupported("hive: unsupported layout");
   }
 }
 
 Result<TaskRunMetrics> HiveEngine::RunRowFormatTask(
-    const TaskRequest& request, bool whole_files, TaskOutputs* outputs) {
+    const exec::QueryContext& ctx, const TaskOptions& options,
+    bool whole_files, TaskResultSet* results) {
   const std::vector<InputSplit> splits =
       whole_files ? hdfs_->WholeFileSplits() : hdfs_->SplittableSplits();
   std::mutex out_mu;
   // UDAF plan: reduce assembles each household's series and runs the
-  // algorithm. The reduce function appends straight into `outputs`.
+  // algorithm. The reduce function appends straight into `results`.
   cluster::mapreduce::ReduceFn<int64_t, HourRecord, int> reduce =
-      [&request, &out_mu, outputs](int64_t household_id,
-                                   std::vector<HourRecord>&& records,
-                                   std::vector<int>*) -> Status {
+      [&ctx, &options, &out_mu, results](int64_t household_id,
+                                         std::vector<HourRecord>&& records,
+                                         std::vector<int>*) -> Status {
     std::vector<double> consumption, temperature;
     internal::AssembleSeries(&records, &consumption, &temperature);
-    TaskOutputs one;
+    TaskResultSet one;
     SM_RETURN_IF_ERROR(internal::ComputeHouseholdTask(
-        request, household_id, consumption, temperature, &one));
+        ctx, options, household_id, consumption, temperature, &one));
     std::lock_guard<std::mutex> lock(out_mu);
-    for (auto& r : one.histograms) outputs->histograms.push_back(std::move(r));
-    for (auto& r : one.three_lines)
-      outputs->three_lines.push_back(std::move(r));
-    for (auto& r : one.profiles) outputs->profiles.push_back(std::move(r));
+    MergeResults(std::move(one), results);
     return Status::OK();
   };
   SM_ASSIGN_OR_RETURN(
@@ -132,7 +131,7 @@ Result<TaskRunMetrics> HiveEngine::RunRowFormatTask(
       (cluster::mapreduce::RunMapReduce<int64_t, HourRecord, int>(
           splits, options_.cluster, HiveJobOptions(options_.cluster),
           MapParseRows, reduce)));
-  internal::SortOutputsByHousehold(outputs);
+  SortResultsByHousehold(results);
 
   TaskRunMetrics metrics;
   metrics.seconds = job.simulated_seconds;
@@ -143,7 +142,8 @@ Result<TaskRunMetrics> HiveEngine::RunRowFormatTask(
 }
 
 Result<TaskRunMetrics> HiveEngine::RunHouseholdLineTask(
-    const TaskRequest& request, TaskOutputs* outputs) {
+    const exec::QueryContext& ctx, const TaskOptions& options,
+    TaskResultSet* results) {
   // Generic-UDF, map-only plan: each line is one complete household.
   SM_ASSIGN_OR_RETURN(std::vector<double> temperature,
                       internal::ReadTemperatureSidecar(
@@ -155,28 +155,24 @@ Result<TaskRunMetrics> HiveEngine::RunHouseholdLineTask(
       -> Status {
     SM_ASSIGN_OR_RETURN(std::vector<std::string> lines,
                         cluster::ReadSplitLines(split));
-    TaskOutputs local;
+    TaskResultSet local;
     for (const std::string& line : lines) {
       SM_ASSIGN_OR_RETURN(internal::HouseholdLine parsed,
                           internal::ParseHouseholdLine(line));
       SM_RETURN_IF_ERROR(internal::ComputeHouseholdTask(
-          request, parsed.household_id, parsed.consumption, temperature,
+          ctx, options, parsed.household_id, parsed.consumption, temperature,
           &local));
       emitter->Emit(parsed.household_id, 0);
     }
     std::lock_guard<std::mutex> lock(out_mu);
-    for (auto& r : local.histograms)
-      outputs->histograms.push_back(std::move(r));
-    for (auto& r : local.three_lines)
-      outputs->three_lines.push_back(std::move(r));
-    for (auto& r : local.profiles) outputs->profiles.push_back(std::move(r));
+    MergeResults(std::move(local), results);
     return Status::OK();
   };
   SM_ASSIGN_OR_RETURN(auto job,
                       (cluster::mapreduce::RunMapOnly<int64_t, int>(
                           splits, options_.cluster,
                           HiveJobOptions(options_.cluster), map)));
-  internal::SortOutputsByHousehold(outputs);
+  SortResultsByHousehold(results);
 
   TaskRunMetrics metrics;
   // Distributed-cache shipment of the temperature table to every node.
@@ -192,8 +188,9 @@ Result<TaskRunMetrics> HiveEngine::RunHouseholdLineTask(
   return metrics;
 }
 
-Result<TaskRunMetrics> HiveEngine::RunUdtfTask(const TaskRequest& request,
-                                               TaskOutputs* outputs) {
+Result<TaskRunMetrics> HiveEngine::RunUdtfTask(const exec::QueryContext& ctx,
+                                               const TaskOptions& options,
+                                               TaskResultSet* results) {
   // UDTF plan over the non-splittable input format: each map task owns
   // whole files, so it can aggregate per household map-side (a built-in
   // combiner) and no reduce phase is needed.
@@ -213,27 +210,23 @@ Result<TaskRunMetrics> HiveEngine::RunUdtfTask(const TaskRequest& request,
       groups[row.household_id].push_back(
           {row.hour, row.consumption, row.temperature});
     }
-    TaskOutputs local;
+    TaskResultSet local;
     for (auto& [household_id, records] : groups) {
       std::vector<double> consumption, temperature;
       internal::AssembleSeries(&records, &consumption, &temperature);
       SM_RETURN_IF_ERROR(internal::ComputeHouseholdTask(
-          request, household_id, consumption, temperature, &local));
+          ctx, options, household_id, consumption, temperature, &local));
       emitter->Emit(household_id, 0);
     }
     std::lock_guard<std::mutex> lock(out_mu);
-    for (auto& r : local.histograms)
-      outputs->histograms.push_back(std::move(r));
-    for (auto& r : local.three_lines)
-      outputs->three_lines.push_back(std::move(r));
-    for (auto& r : local.profiles) outputs->profiles.push_back(std::move(r));
+    MergeResults(std::move(local), results);
     return Status::OK();
   };
   SM_ASSIGN_OR_RETURN(auto job,
                       (cluster::mapreduce::RunMapOnly<int64_t, int>(
                           splits, options_.cluster,
                           HiveJobOptions(options_.cluster), map)));
-  internal::SortOutputsByHousehold(outputs);
+  SortResultsByHousehold(results);
 
   TaskRunMetrics metrics;
   metrics.seconds = job.simulated_seconds;
@@ -243,8 +236,10 @@ Result<TaskRunMetrics> HiveEngine::RunUdtfTask(const TaskRequest& request,
   return metrics;
 }
 
-Result<TaskRunMetrics> HiveEngine::RunSimilarity(const TaskRequest& request,
-                                                 TaskOutputs* outputs) {
+Result<TaskRunMetrics> HiveEngine::RunSimilarity(const exec::QueryContext& ctx,
+                                                 const TaskOptions& options,
+                                                 TaskResultSet* results) {
+  const auto& similarity = options.Get<SimilarityTaskOptions>();
   // Stage 1: assemble each household's consumption series.
   double stage1_seconds = 0.0;
   int64_t stage1_peak = 0;
@@ -301,10 +296,9 @@ Result<TaskRunMetrics> HiveEngine::RunSimilarity(const TaskRequest& request,
   }
   std::sort(series_table.begin(), series_table.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
-  if (request.similarity_households > 0 &&
-      series_table.size() >
-          static_cast<size_t>(request.similarity_households)) {
-    series_table.resize(static_cast<size_t>(request.similarity_households));
+  if (similarity.households > 0 &&
+      series_table.size() > static_cast<size_t>(similarity.households)) {
+    series_table.resize(static_cast<size_t>(similarity.households));
   }
 
   // Stage 2: the self-join. Hive's plan cannot use a map-side join here
@@ -335,7 +329,7 @@ Result<TaskRunMetrics> HiveEngine::RunSimilarity(const TaskRequest& request,
         SM_ASSIGN_OR_RETURN(
             std::vector<core::SimilarityResult> chunk,
             core::ComputeSimilarityTopKRange(views, norms, begin, end,
-                                             request.similarity));
+                                             similarity.search, &ctx));
         partials[static_cast<size_t>(t)] = std::move(chunk);
       }
       stats->shuffle_bytes = table_bytes;  // Full table to every task.
@@ -346,10 +340,12 @@ Result<TaskRunMetrics> HiveEngine::RunSimilarity(const TaskRequest& request,
                         options_.cluster.cost.hive_task_startup_seconds);
   SM_ASSIGN_OR_RETURN(double join_makespan, runner.Run(&tasks));
 
+  std::vector<core::SimilarityResult>& out =
+      results->Mutable<core::SimilarityResult>();
   for (auto& chunk : partials) {
-    for (auto& r : chunk) outputs->similarities.push_back(std::move(r));
+    for (auto& r : chunk) out.push_back(std::move(r));
   }
-  internal::SortOutputsByHousehold(outputs);
+  SortResultsByHousehold(results);
 
   TaskRunMetrics metrics;
   metrics.seconds = stage1_seconds +

@@ -49,8 +49,10 @@ class HiveEngine : public AnalyticsEngine {
   Result<double> Attach(const DataSource& source) override;
   Result<double> WarmUp() override { return 0.0; }  // Hive has no warm cache.
   void DropWarmData() override {}
-  Result<TaskRunMetrics> RunTask(const TaskRequest& request,
-                                 TaskOutputs* outputs) override;
+  using AnalyticsEngine::RunTask;
+  Result<TaskRunMetrics> RunTask(const exec::QueryContext& ctx,
+                                 const TaskOptions& options,
+                                 TaskResultSet* results) override;
   void SetThreads(int num_threads) override { threads_ = num_threads; }
   int threads() const override { return threads_; }
 
@@ -59,15 +61,19 @@ class HiveEngine : public AnalyticsEngine {
   const Options& options() const { return options_; }
 
  private:
-  Result<TaskRunMetrics> RunRowFormatTask(const TaskRequest& request,
+  Result<TaskRunMetrics> RunRowFormatTask(const exec::QueryContext& ctx,
+                                          const TaskOptions& options,
                                           bool whole_files,
-                                          TaskOutputs* outputs);
-  Result<TaskRunMetrics> RunHouseholdLineTask(const TaskRequest& request,
-                                              TaskOutputs* outputs);
-  Result<TaskRunMetrics> RunUdtfTask(const TaskRequest& request,
-                                     TaskOutputs* outputs);
-  Result<TaskRunMetrics> RunSimilarity(const TaskRequest& request,
-                                       TaskOutputs* outputs);
+                                          TaskResultSet* results);
+  Result<TaskRunMetrics> RunHouseholdLineTask(const exec::QueryContext& ctx,
+                                              const TaskOptions& options,
+                                              TaskResultSet* results);
+  Result<TaskRunMetrics> RunUdtfTask(const exec::QueryContext& ctx,
+                                     const TaskOptions& options,
+                                     TaskResultSet* results);
+  Result<TaskRunMetrics> RunSimilarity(const exec::QueryContext& ctx,
+                                       const TaskOptions& options,
+                                       TaskResultSet* results);
 
   Options options_;
   DataSource source_;

@@ -11,14 +11,10 @@ namespace smartmeter::engines {
 
 Result<double> MadlibEngine::Attach(const DataSource& source) {
   SM_TRACE_SPAN("madlib.attach");
-  if (source.files.empty()) {
-    return Status::InvalidArgument("madlib: no input files");
-  }
-  if (source.layout == DataSource::Layout::kHouseholdLines ||
-      source.layout == DataSource::Layout::kWholeFileDir) {
-    return Status::NotSupported(
-        "madlib engine loads single-csv or partitioned-dir layouts");
-  }
+  SM_RETURN_IF_ERROR(RequireLayout(source,
+                                   {DataSource::Layout::kSingleCsv,
+                                    DataSource::Layout::kPartitionedDir},
+                                   name()));
   Stopwatch clock;
   warm_.reset();
   row_table_ = storage::RowStore();
@@ -76,11 +72,12 @@ Result<double> MadlibEngine::WarmUp() {
 
 void MadlibEngine::DropWarmData() { warm_.reset(); }
 
-Result<TaskRunMetrics> MadlibEngine::RunTask(const TaskRequest& request,
-                                             TaskOutputs* outputs) {
+Result<TaskRunMetrics> MadlibEngine::RunTask(const exec::QueryContext& ctx,
+                                             const TaskOptions& options,
+                                             TaskResultSet* results) {
   SM_TRACE_SPAN("madlib.task");
   if (warm_.has_value()) {
-    return RunTaskOverDataset(*warm_, request, threads_, outputs);
+    return RunTaskOverDataset(ctx, *warm_, options, threads_, results);
   }
   Stopwatch clock;
   TaskRunMetrics metrics;
@@ -89,8 +86,9 @@ Result<TaskRunMetrics> MadlibEngine::RunTask(const TaskRequest& request,
   // reads far fewer, wider rows and skips the sort -- the Section 5.3.3
   // gap. Both then run the same kernels.
   SM_ASSIGN_OR_RETURN(MeterDataset dataset, ExtractAll());
+  SM_RETURN_IF_ERROR(ctx.CheckNotStopped());
   SM_ASSIGN_OR_RETURN(
-      metrics, RunTaskOverDataset(dataset, request, threads_, outputs));
+      metrics, RunTaskOverDataset(ctx, dataset, options, threads_, results));
   metrics.seconds = clock.ElapsedSeconds();
   return metrics;
 }

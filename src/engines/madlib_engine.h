@@ -37,8 +37,10 @@ class MadlibEngine : public AnalyticsEngine {
   Result<double> Attach(const DataSource& source) override;
   Result<double> WarmUp() override;
   void DropWarmData() override;
-  Result<TaskRunMetrics> RunTask(const TaskRequest& request,
-                                 TaskOutputs* outputs) override;
+  using AnalyticsEngine::RunTask;
+  Result<TaskRunMetrics> RunTask(const exec::QueryContext& ctx,
+                                 const TaskOptions& options,
+                                 TaskResultSet* results) override;
   void SetThreads(int num_threads) override { threads_ = num_threads; }
   int threads() const override { return threads_; }
 

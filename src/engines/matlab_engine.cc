@@ -44,14 +44,10 @@ Status ParseSingleHouseholdFile(const std::string& path,
 
 Result<double> MatlabEngine::Attach(const DataSource& source) {
   SM_TRACE_SPAN("matlab.attach");
-  if (source.files.empty()) {
-    return Status::InvalidArgument("matlab: no input files");
-  }
-  if (source.layout == DataSource::Layout::kHouseholdLines ||
-      source.layout == DataSource::Layout::kWholeFileDir) {
-    return Status::NotSupported(
-        "matlab engine reads single-csv or partitioned-dir layouts");
-  }
+  SM_RETURN_IF_ERROR(RequireLayout(source,
+                                   {DataSource::Layout::kSingleCsv,
+                                    DataSource::Layout::kPartitionedDir},
+                                   name()));
   Stopwatch clock;
   source_ = source;
   warm_.reset();
@@ -157,21 +153,26 @@ Result<double> MatlabEngine::WarmUp() {
 
 void MatlabEngine::DropWarmData() { warm_.reset(); }
 
-Result<TaskRunMetrics> MatlabEngine::RunTask(const TaskRequest& request,
-                                             TaskOutputs* outputs) {
+Result<TaskRunMetrics> MatlabEngine::RunTask(const exec::QueryContext& ctx,
+                                             const TaskOptions& options,
+                                             TaskResultSet* results) {
   SM_TRACE_SPAN("matlab.task");
+  if (source_.files.empty()) {
+    return Status::InvalidArgument("matlab: no data attached");
+  }
   if (warm_.has_value()) {
-    return RunTaskOverDataset(*warm_, request, threads_, outputs);
+    return RunTaskOverDataset(ctx, *warm_, options, threads_, results);
   }
   Stopwatch clock;
   if (source_.layout == DataSource::Layout::kSingleCsv ||
-      request.task == core::TaskType::kSimilarity) {
+      options.task() == core::TaskType::kSimilarity) {
     // Whole-dataset path: parse everything first (for one big file this
     // includes the index build), then compute.
     SM_ASSIGN_OR_RETURN(MeterDataset dataset, ParseAll());
+    SM_RETURN_IF_ERROR(ctx.CheckNotStopped());
     SM_ASSIGN_OR_RETURN(
         TaskRunMetrics metrics,
-        RunTaskOverDataset(dataset, request, threads_, outputs));
+        RunTaskOverDataset(ctx, dataset, options, threads_, results));
     metrics.seconds = clock.ElapsedSeconds();
     return metrics;
   }
@@ -180,13 +181,27 @@ Result<TaskRunMetrics> MatlabEngine::RunTask(const TaskRequest& request,
   // so only one household is in memory per worker at a time.
   const size_t n = source_.files.size();
   TaskRunMetrics metrics;
-  TaskOutputs local;
-  if (outputs == nullptr) outputs = &local;
-  outputs->histograms.assign(
-      request.task == core::TaskType::kHistogram ? n : 0, {});
-  outputs->three_lines.assign(
-      request.task == core::TaskType::kThreeLine ? n : 0, {});
-  outputs->profiles.assign(request.task == core::TaskType::kPar ? n : 0, {});
+  TaskResultSet local;
+  if (results == nullptr) results = &local;
+  std::vector<core::HistogramResult>* histograms = nullptr;
+  std::vector<core::ThreeLineResult>* three_lines = nullptr;
+  std::vector<core::DailyProfileResult>* profiles = nullptr;
+  switch (options.task()) {
+    case core::TaskType::kHistogram:
+      histograms = &results->Mutable<core::HistogramResult>();
+      histograms->assign(n, {});
+      break;
+    case core::TaskType::kThreeLine:
+      three_lines = &results->Mutable<core::ThreeLineResult>();
+      three_lines->assign(n, {});
+      break;
+    case core::TaskType::kPar:
+      profiles = &results->Mutable<core::DailyProfileResult>();
+      profiles->assign(n, {});
+      break;
+    case core::TaskType::kSimilarity:
+      return Status::Internal("similarity handled above");
+  }
 
   std::mutex mu;
   Status first_error = Status::OK();
@@ -196,17 +211,20 @@ Result<TaskRunMetrics> MatlabEngine::RunTask(const TaskRequest& request,
     std::vector<double> temperature;
     core::ThreeLinePhases local_phases;
     for (size_t i = begin; i < end; ++i) {
-      Status st = ParseSingleHouseholdFile(source_.files[i], &consumer,
-                                           &temperature);
+      Status st = ctx.CheckNotStopped();
       if (st.ok()) {
-        switch (request.task) {
+        st = ParseSingleHouseholdFile(source_.files[i], &consumer,
+                                      &temperature);
+      }
+      if (st.ok()) {
+        switch (options.task()) {
           case core::TaskType::kHistogram: {
             Result<stats::EquiWidthHistogram> hist =
-                core::ComputeConsumptionHistogram(consumer.consumption,
-                                                  request.histogram);
+                core::ComputeConsumptionHistogram(
+                    consumer.consumption,
+                    options.Get<core::HistogramOptions>(), &ctx);
             if (hist.ok()) {
-              outputs->histograms[i] = {consumer.household_id,
-                                        std::move(*hist)};
+              (*histograms)[i] = {consumer.household_id, std::move(*hist)};
             } else {
               st = hist.status();
             }
@@ -215,9 +233,9 @@ Result<TaskRunMetrics> MatlabEngine::RunTask(const TaskRequest& request,
           case core::TaskType::kThreeLine: {
             Result<core::ThreeLineResult> fit = core::ComputeThreeLine(
                 consumer.consumption, temperature, consumer.household_id,
-                request.three_line, &local_phases);
+                options.Get<core::ThreeLineOptions>(), &local_phases, &ctx);
             if (fit.ok()) {
-              outputs->three_lines[i] = std::move(*fit);
+              (*three_lines)[i] = std::move(*fit);
             } else {
               st = fit.status();
             }
@@ -225,10 +243,11 @@ Result<TaskRunMetrics> MatlabEngine::RunTask(const TaskRequest& request,
           }
           case core::TaskType::kPar: {
             Result<core::DailyProfileResult> profile =
-                core::ComputeDailyProfile(consumer.consumption, temperature,
-                                          consumer.household_id, request.par);
+                core::ComputeDailyProfile(
+                    consumer.consumption, temperature, consumer.household_id,
+                    options.Get<core::ParOptions>(), &ctx);
             if (profile.ok()) {
-              outputs->profiles[i] = std::move(*profile);
+              (*profiles)[i] = std::move(*profile);
             } else {
               st = profile.status();
             }

@@ -7,6 +7,7 @@
 #include "cluster/dataflow.h"
 #include "core/similarity_task.h"
 #include "engines/cluster_task_util.h"
+#include "engines/engine_util.h"
 #include "engines/result_serde.h"
 #include "obs/trace.h"
 #include "storage/csv.h"
@@ -45,13 +46,11 @@ Status ParseRowLine(std::string_view line, std::vector<RowPair>* out) {
 
 Result<double> SparkEngine::Attach(const DataSource& source) {
   SM_TRACE_SPAN("spark.attach");
-  if (source.files.empty()) {
-    return Status::InvalidArgument("spark: no input files");
-  }
-  if (source.layout == DataSource::Layout::kPartitionedDir) {
-    return Status::NotSupported(
-        "spark engine expects cluster data formats (1, 2 or 3)");
-  }
+  SM_RETURN_IF_ERROR(RequireLayout(source,
+                                   {DataSource::Layout::kSingleCsv,
+                                    DataSource::Layout::kHouseholdLines,
+                                    DataSource::Layout::kWholeFileDir},
+                                   name()));
   if (source.layout == DataSource::Layout::kWholeFileDir &&
       static_cast<int>(source.files.size()) >=
           options_.cluster.cost.spark_max_open_files) {
@@ -77,14 +76,15 @@ void SparkEngine::SetClusterConfig(const cluster::ClusterConfig& config) {
   }
 }
 
-Result<TaskRunMetrics> SparkEngine::RunTask(const TaskRequest& request,
-                                            TaskOutputs* outputs) {
+Result<TaskRunMetrics> SparkEngine::RunTask(const exec::QueryContext& qctx,
+                                            const TaskOptions& options,
+                                            TaskResultSet* results) {
   SM_TRACE_SPAN("spark.task");
   if (hdfs_ == nullptr) {
     return Status::InvalidArgument("spark: no data attached");
   }
-  TaskOutputs local;
-  if (outputs == nullptr) outputs = &local;
+  TaskResultSet local;
+  if (results == nullptr) results = &local;
 
   const cluster::CostModel& cost = options_.cluster.cost;
   if (source_.layout == DataSource::Layout::kWholeFileDir &&
@@ -113,15 +113,9 @@ Result<TaskRunMetrics> SparkEngine::RunTask(const TaskRequest& request,
   }
 
   std::mutex out_mu;
-  auto append_outputs = [&out_mu, outputs](TaskOutputs&& chunk) {
+  auto append_results = [&out_mu, results](TaskResultSet&& chunk) {
     std::lock_guard<std::mutex> lock(out_mu);
-    for (auto& r : chunk.histograms)
-      outputs->histograms.push_back(std::move(r));
-    for (auto& r : chunk.three_lines)
-      outputs->three_lines.push_back(std::move(r));
-    for (auto& r : chunk.profiles) outputs->profiles.push_back(std::move(r));
-    for (auto& r : chunk.similarities)
-      outputs->similarities.push_back(std::move(r));
+    MergeResults(std::move(chunk), results);
   };
 
   // ---- Assemble per-household series as (id, consumption, temperature).
@@ -145,7 +139,7 @@ Result<TaskRunMetrics> SparkEngine::RunTask(const TaskRequest& request,
               out->push_back(std::move(parsed));
               return Status::OK();
             }));
-    if (request.task == core::TaskType::kSimilarity) {
+    if (options.task() == core::TaskType::kSimilarity) {
       SM_ASSIGN_OR_RETURN(
           Partitioned<SeriesPair> series,
           (ctx.MapPartitions<HouseholdLine, SeriesPair>(
@@ -164,17 +158,17 @@ Result<TaskRunMetrics> SparkEngine::RunTask(const TaskRequest& request,
           Partitioned<int> done,
           (ctx.MapPartitions<HouseholdLine, int>(
               lines,
-              [&request, &temp, &append_outputs](
+              [&qctx, &options, &temp, &append_results](
                   const std::vector<HouseholdLine>& in,
                   std::vector<int>* out) -> Status {
-                TaskOutputs chunk;
+                TaskResultSet chunk;
                 for (const HouseholdLine& l : in) {
                   SM_RETURN_IF_ERROR(internal::ComputeHouseholdTask(
-                      request, l.household_id, l.consumption, temp,
+                      qctx, options, l.household_id, l.consumption, temp,
                       &chunk));
                   out->push_back(0);
                 }
-                append_outputs(std::move(chunk));
+                append_results(std::move(chunk));
                 return Status::OK();
               })));
       (void)done;
@@ -191,7 +185,7 @@ Result<TaskRunMetrics> SparkEngine::RunTask(const TaskRequest& request,
     if (whole_files) {
       // Households are whole within a partition: group in place, no
       // shuffle -- the map-only advantage of format 3.
-      if (request.task == core::TaskType::kSimilarity) {
+      if (options.task() == core::TaskType::kSimilarity) {
         return Status::NotSupported(
             "spark: similarity not run for format 3 (matches the paper)");
       }
@@ -199,22 +193,23 @@ Result<TaskRunMetrics> SparkEngine::RunTask(const TaskRequest& request,
           Partitioned<int> done,
           (ctx.MapPartitions<RowPair, int>(
               rows,
-              [&request, &append_outputs](const std::vector<RowPair>& in,
-                                          std::vector<int>* out) -> Status {
+              [&qctx, &options, &append_results](
+                  const std::vector<RowPair>& in,
+                  std::vector<int>* out) -> Status {
                 std::map<int64_t, std::vector<HourRecord>> groups;
                 for (const RowPair& r : in) {
                   groups[r.first].push_back(r.second);
                 }
-                TaskOutputs chunk;
+                TaskResultSet chunk;
                 for (auto& [id, records] : groups) {
                   std::vector<double> consumption, temperature;
                   internal::AssembleSeries(&records, &consumption,
                                            &temperature);
                   SM_RETURN_IF_ERROR(internal::ComputeHouseholdTask(
-                      request, id, consumption, temperature, &chunk));
+                      qctx, options, id, consumption, temperature, &chunk));
                   out->push_back(0);
                 }
-                append_outputs(std::move(chunk));
+                append_results(std::move(chunk));
                 return Status::OK();
               })));
       (void)done;
@@ -228,7 +223,7 @@ Result<TaskRunMetrics> SparkEngine::RunTask(const TaskRequest& request,
                 return std::make_pair(r.first, r.second);
               })));
       using Grouped = std::pair<int64_t, std::vector<HourRecord>>;
-      if (request.task == core::TaskType::kSimilarity) {
+      if (options.task() == core::TaskType::kSimilarity) {
         SM_ASSIGN_OR_RETURN(
             Partitioned<SeriesPair> series,
             (ctx.MapPartitions<Grouped, SeriesPair>(
@@ -250,21 +245,21 @@ Result<TaskRunMetrics> SparkEngine::RunTask(const TaskRequest& request,
             Partitioned<int> done,
             (ctx.MapPartitions<Grouped, int>(
                 grouped,
-                [&request, &append_outputs](
+                [&qctx, &options, &append_results](
                     const std::vector<Grouped>& in,
                     std::vector<int>* out) -> Status {
-                  TaskOutputs chunk;
+                  TaskResultSet chunk;
                   for (const Grouped& g : in) {
                     std::vector<HourRecord> records = g.second;
                     std::vector<double> consumption, temperature;
                     internal::AssembleSeries(&records, &consumption,
                                              &temperature);
                     SM_RETURN_IF_ERROR(internal::ComputeHouseholdTask(
-                        request, g.first, consumption, temperature,
+                        qctx, options, g.first, consumption, temperature,
                         &chunk));
                     out->push_back(0);
                   }
-                  append_outputs(std::move(chunk));
+                  append_results(std::move(chunk));
                   return Status::OK();
                 })));
         (void)done;
@@ -273,16 +268,16 @@ Result<TaskRunMetrics> SparkEngine::RunTask(const TaskRequest& request,
   }
 
   // ---- Similarity: broadcast the series table, map-side join ------------
-  if (request.task == core::TaskType::kSimilarity) {
+  if (options.task() == core::TaskType::kSimilarity) {
+    const auto& similarity = options.Get<SimilarityTaskOptions>();
     std::sort(collected_series.begin(), collected_series.end(),
               [](const SeriesPair& a, const SeriesPair& b) {
                 return a.first < b.first;
               });
-    if (request.similarity_households > 0 &&
+    if (similarity.households > 0 &&
         collected_series.size() >
-            static_cast<size_t>(request.similarity_households)) {
-      collected_series.resize(
-          static_cast<size_t>(request.similarity_households));
+            static_cast<size_t>(similarity.households)) {
+      collected_series.resize(static_cast<size_t>(similarity.households));
     }
     auto table = ctx.Broadcast(std::move(collected_series));
     std::vector<double> norms;
@@ -306,7 +301,7 @@ Result<TaskRunMetrics> SparkEngine::RunTask(const TaskRequest& request,
         Partitioned<int> done,
         (ctx.MapPartitions<int64_t, int>(
             queries,
-            [&request, table, norms_bc, &append_outputs](
+            [&qctx, &similarity, table, norms_bc, &append_results](
                 const std::vector<int64_t>& in,
                 std::vector<int>* out) -> Status {
               std::vector<core::SeriesView> views;
@@ -314,23 +309,25 @@ Result<TaskRunMetrics> SparkEngine::RunTask(const TaskRequest& request,
               for (const SeriesPair& s : *table) {
                 views.push_back({s.first, s.second});
               }
-              TaskOutputs chunk;
+              TaskResultSet chunk;
               for (int64_t q : in) {
                 SM_ASSIGN_OR_RETURN(
                     std::vector<core::SimilarityResult> one,
                     core::ComputeSimilarityTopKRange(
                         views, *norms_bc, static_cast<size_t>(q),
-                        static_cast<size_t>(q) + 1, request.similarity));
-                chunk.similarities.push_back(std::move(one.front()));
+                        static_cast<size_t>(q) + 1, similarity.search,
+                        &qctx));
+                chunk.Mutable<core::SimilarityResult>().push_back(
+                    std::move(one.front()));
                 out->push_back(0);
               }
-              append_outputs(std::move(chunk));
+              append_results(std::move(chunk));
               return Status::OK();
             })));
     (void)done;
   }
 
-  internal::SortOutputsByHousehold(outputs);
+  SortResultsByHousehold(results);
   TaskRunMetrics metrics;
   metrics.seconds = ctx.simulated_seconds();
   metrics.simulated = true;

@@ -40,8 +40,10 @@ class SparkEngine : public AnalyticsEngine {
   Result<double> Attach(const DataSource& source) override;
   Result<double> WarmUp() override { return 0.0; }
   void DropWarmData() override {}
-  Result<TaskRunMetrics> RunTask(const TaskRequest& request,
-                                 TaskOutputs* outputs) override;
+  using AnalyticsEngine::RunTask;
+  Result<TaskRunMetrics> RunTask(const exec::QueryContext& qctx,
+                                 const TaskOptions& options,
+                                 TaskResultSet* results) override;
   void SetThreads(int num_threads) override { threads_ = num_threads; }
   int threads() const override { return threads_; }
 

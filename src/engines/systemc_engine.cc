@@ -14,14 +14,10 @@ SystemCEngine::SystemCEngine(std::string spool_dir)
 
 Result<double> SystemCEngine::Attach(const DataSource& source) {
   SM_TRACE_SPAN("systemc.attach");
-  if (source.files.empty()) {
-    return Status::InvalidArgument("system-c: no input files");
-  }
-  if (source.layout == DataSource::Layout::kHouseholdLines ||
-      source.layout == DataSource::Layout::kWholeFileDir) {
-    return Status::NotSupported(
-        "system-c engine loads single-csv or partitioned-dir layouts");
-  }
+  SM_RETURN_IF_ERROR(RequireLayout(source,
+                                   {DataSource::Layout::kSingleCsv,
+                                    DataSource::Layout::kPartitionedDir},
+                                   name()));
   Stopwatch clock;
   prefaulted_ = false;
   // Ingest: parse the CSVs once, write the binary columnar image, then
@@ -64,8 +60,9 @@ Result<double> SystemCEngine::WarmUp() {
 
 void SystemCEngine::DropWarmData() { prefaulted_ = false; }
 
-Result<TaskRunMetrics> SystemCEngine::RunTask(const TaskRequest& request,
-                                              TaskOutputs* outputs) {
+Result<TaskRunMetrics> SystemCEngine::RunTask(const exec::QueryContext& ctx,
+                                              const TaskOptions& options,
+                                              TaskResultSet* results) {
   SM_TRACE_SPAN("systemc.task");
   if (!store_.is_open()) {
     return Status::InvalidArgument("system-c: no data attached");
@@ -76,7 +73,7 @@ Result<TaskRunMetrics> SystemCEngine::RunTask(const TaskRequest& request,
   access.household_id = [&store](size_t i) { return store.household_id(i); };
   access.consumption = [&store](size_t i) { return store.consumption(i); };
   access.temperature = store.temperature();
-  return RunTaskOverSeries(access, request, threads_, outputs);
+  return RunTaskOverSeries(ctx, access, options, threads_, results);
 }
 
 }  // namespace smartmeter::engines

@@ -1,0 +1,63 @@
+#include "engines/task_api.h"
+
+#include <algorithm>
+#include <iterator>
+
+#include "common/logging.h"
+#include "common/overload.h"
+
+namespace smartmeter::engines {
+
+TaskOptions TaskOptions::Default(core::TaskType task) {
+  switch (task) {
+    case core::TaskType::kHistogram:
+      return TaskOptions(core::HistogramOptions{});
+    case core::TaskType::kThreeLine:
+      return TaskOptions(core::ThreeLineOptions{});
+    case core::TaskType::kPar:
+      return TaskOptions(core::ParOptions{});
+    case core::TaskType::kSimilarity:
+      return TaskOptions(SimilarityTaskOptions{});
+  }
+  return TaskOptions(core::HistogramOptions{});
+}
+
+size_t TaskResultSet::size() const {
+  return std::visit(
+      Overloaded{[](const std::monostate&) -> size_t { return 0; },
+                 [](const auto& results) -> size_t { return results.size(); }},
+      v_);
+}
+
+void MergeResults(TaskResultSet&& src, TaskResultSet* dst) {
+  if (src.empty()) return;
+  if (dst->empty()) {
+    *dst = std::move(src);
+    return;
+  }
+  SM_CHECK(dst->task() == src.task())
+      << "MergeResults across task types: " << core::TaskName(dst->task())
+      << " vs " << core::TaskName(src.task());
+  std::visit(
+      Overloaded{[](std::monostate&) {},
+                 [dst]<typename T>(std::vector<T>& partial) {
+                   std::vector<T>& merged = dst->Mutable<T>();
+                   merged.insert(merged.end(),
+                                 std::make_move_iterator(partial.begin()),
+                                 std::make_move_iterator(partial.end()));
+                 }},
+      src.variant());
+}
+
+void SortResultsByHousehold(TaskResultSet* results) {
+  std::visit(Overloaded{[](std::monostate&) {},
+                        [](auto& vec) {
+                          std::sort(vec.begin(), vec.end(),
+                                    [](const auto& a, const auto& b) {
+                                      return a.household_id < b.household_id;
+                                    });
+                        }},
+             results->variant());
+}
+
+}  // namespace smartmeter::engines

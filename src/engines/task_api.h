@@ -1,0 +1,141 @@
+#ifndef SMARTMETER_ENGINES_TASK_API_H_
+#define SMARTMETER_ENGINES_TASK_API_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "core/histogram_task.h"
+#include "core/par_task.h"
+#include "core/similarity_task.h"
+#include "core/task_types.h"
+#include "core/three_line_task.h"
+
+namespace smartmeter::engines {
+
+/// Similarity search options as the engines see them: the core search
+/// knobs plus the benchmark's household cap (the paper runs this
+/// quadratic task on subsets; 0 means all households).
+struct SimilarityTaskOptions {
+  core::SimilarityOptions search;
+  int households = 0;
+};
+
+/// A typed task request: exactly one of the four tasks' option structs.
+/// The variant's alternative order matches core::TaskType, so task() is
+/// a constant-time index read and std::visit over variant() is
+/// exhaustive by construction — adding a fifth task fails to compile
+/// everywhere a visitor forgot it.
+class TaskOptions {
+ public:
+  using Variant = std::variant<core::HistogramOptions, core::ThreeLineOptions,
+                               core::ParOptions, SimilarityTaskOptions>;
+
+  /// Defaults to the histogram task with the paper's fixed knobs.
+  TaskOptions() = default;
+  TaskOptions(core::HistogramOptions options)  // NOLINT(runtime/explicit)
+      : v_(std::move(options)) {}
+  TaskOptions(core::ThreeLineOptions options)  // NOLINT(runtime/explicit)
+      : v_(std::move(options)) {}
+  TaskOptions(core::ParOptions options)  // NOLINT(runtime/explicit)
+      : v_(std::move(options)) {}
+  TaskOptions(SimilarityTaskOptions options)  // NOLINT(runtime/explicit)
+      : v_(std::move(options)) {}
+
+  /// Default options (the paper's fixed choices) for `task`.
+  static TaskOptions Default(core::TaskType task);
+
+  core::TaskType task() const {
+    return static_cast<core::TaskType>(v_.index());
+  }
+
+  /// Typed access; asserts the variant holds T (check task() first when
+  /// handling arbitrary requests).
+  template <typename T>
+  const T& Get() const {
+    assert(std::holds_alternative<T>(v_));
+    return std::get<T>(v_);
+  }
+  template <typename T>
+  T& Get() {
+    assert(std::holds_alternative<T>(v_));
+    return std::get<T>(v_);
+  }
+  template <typename T>
+  bool Holds() const {
+    return std::holds_alternative<T>(v_);
+  }
+
+  const Variant& variant() const { return v_; }
+
+ private:
+  Variant v_;
+};
+
+/// A typed task response: the per-household result vector of whichever
+/// task ran, or monostate while empty. Engines fill it through
+/// Mutable<T>(); readers take Get<T>() after checking task().
+class TaskResultSet {
+ public:
+  using Variant =
+      std::variant<std::monostate, std::vector<core::HistogramResult>,
+                   std::vector<core::ThreeLineResult>,
+                   std::vector<core::DailyProfileResult>,
+                   std::vector<core::SimilarityResult>>;
+
+  TaskResultSet() = default;
+
+  bool empty() const { return v_.index() == 0; }
+
+  /// The task whose results are held; meaningless while empty().
+  core::TaskType task() const {
+    assert(!empty());
+    return static_cast<core::TaskType>(v_.index() - 1);
+  }
+
+  /// Switches the set to hold T (clearing anything else) and returns the
+  /// vector to append into.
+  template <typename T>
+  std::vector<T>& Mutable() {
+    if (!std::holds_alternative<std::vector<T>>(v_)) {
+      v_.emplace<std::vector<T>>();
+    }
+    return std::get<std::vector<T>>(v_);
+  }
+
+  /// Typed read access; asserts the set holds T's results.
+  template <typename T>
+  const std::vector<T>& Get() const {
+    assert(std::holds_alternative<std::vector<T>>(v_));
+    return std::get<std::vector<T>>(v_);
+  }
+  template <typename T>
+  bool Holds() const {
+    return std::holds_alternative<std::vector<T>>(v_);
+  }
+
+  /// Number of per-household results held (0 while empty).
+  size_t size() const;
+
+  void Clear() { v_.emplace<std::monostate>(); }
+
+  const Variant& variant() const { return v_; }
+  Variant& variant() { return v_; }
+
+ private:
+  Variant v_;
+};
+
+/// Moves `src`'s results onto the back of `dst` (used by the cluster
+/// engines, whose partition jobs produce partial sets). `dst` adopts
+/// `src`'s type when empty; mixing tasks is a programming error.
+void MergeResults(TaskResultSet&& src, TaskResultSet* dst);
+
+/// Sorts whatever result vector is held by ascending household_id, so
+/// parallel/partitioned execution orders are deterministic.
+void SortResultsByHousehold(TaskResultSet* results);
+
+}  // namespace smartmeter::engines
+
+#endif  // SMARTMETER_ENGINES_TASK_API_H_

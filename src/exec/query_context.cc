@@ -1,0 +1,37 @@
+#include "exec/query_context.h"
+
+namespace smartmeter::exec {
+
+std::string_view QueryPriorityName(QueryPriority priority) {
+  switch (priority) {
+    case QueryPriority::kLow:
+      return "low";
+    case QueryPriority::kNormal:
+      return "normal";
+    case QueryPriority::kHigh:
+      return "high";
+  }
+  return "unknown";
+}
+
+const QueryContext& QueryContext::Background() {
+  static const QueryContext* background = [] {
+    auto* ctx = new QueryContext();
+    ctx->set_label("background");
+    return ctx;
+  }();
+  return *background;
+}
+
+Status QueryContext::CheckNotStopped() const {
+  if (!ShouldStop()) return Status::OK();
+  if (deadline_expired_.load(std::memory_order_acquire)) {
+    return Status::DeadlineExceeded("query deadline exceeded" +
+                                    (label_.empty() ? "" : " (" + label_ +
+                                                              ")"));
+  }
+  return Status::Cancelled("query cancelled" +
+                           (label_.empty() ? "" : " (" + label_ + ")"));
+}
+
+}  // namespace smartmeter::exec

@@ -1,0 +1,325 @@
+#include "exec/serving_runner.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+#include "engines/benchmark_runner.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace smartmeter::exec {
+
+namespace {
+
+obs::Counter* SubmittedCounter() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter("serving.submitted");
+  return counter;
+}
+
+obs::Counter* AdmittedCounter() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter("serving.admitted");
+  return counter;
+}
+
+obs::Counter* CompletedOkCounter() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter("serving.completed_ok");
+  return counter;
+}
+
+obs::Counter* ShedQueueFullCounter() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter("serving.shed_queue_full");
+  return counter;
+}
+
+obs::Counter* ShedDeadlineCounter() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter("serving.shed_deadline");
+  return counter;
+}
+
+obs::Counter* ShedCancelledCounter() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter("serving.shed_cancelled");
+  return counter;
+}
+
+obs::Counter* FailedCounter() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter("serving.failed");
+  return counter;
+}
+
+obs::Gauge* QueueDepthPeakGauge() {
+  static obs::Gauge* gauge =
+      obs::MetricsRegistry::Global().GetGauge("serving.queue_depth_peak");
+  return gauge;
+}
+
+obs::LatencyHistogram* QueueLatencyHistogram() {
+  static obs::LatencyHistogram* histogram =
+      obs::MetricsRegistry::Global().GetHistogram("serving.queue_seconds");
+  return histogram;
+}
+
+obs::LatencyHistogram* QueryLatencyHistogram() {
+  static obs::LatencyHistogram* histogram =
+      obs::MetricsRegistry::Global().GetHistogram("serving.query_seconds");
+  return histogram;
+}
+
+}  // namespace
+
+const QueryOutcome& QueryTicket::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return done_; });
+  return outcome_;
+}
+
+bool QueryTicket::done() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return done_;
+}
+
+void QueryTicket::Finish(QueryOutcome outcome) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    SM_CHECK(!done_) << "query ticket resolved twice";
+    outcome_ = std::move(outcome);
+    done_ = true;
+  }
+  cv_.notify_all();
+}
+
+ServingRunner::ServingRunner(ServingOptions options)
+    : options_(options) {
+  SM_CHECK(options_.queue_capacity >= 1) << "admission queue needs capacity";
+}
+
+ServingRunner::~ServingRunner() { Shutdown(); }
+
+void ServingRunner::AddSession(engines::AnalyticsEngine* engine) {
+  SM_CHECK(engine != nullptr) << "serving session needs an engine";
+  std::lock_guard<std::mutex> lock(mu_);
+  SM_CHECK(!shutting_down_) << "AddSession after Shutdown";
+  ++sessions_;
+  dispatchers_.emplace_back(&ServingRunner::DispatchLoop, this, engine);
+}
+
+size_t ServingRunner::num_sessions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sessions_;
+}
+
+Result<std::shared_ptr<QueryTicket>> ServingRunner::Submit(
+    QueryRequest request) {
+  SubmittedCounter()->Increment();
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.submitted;
+  }
+
+  auto ticket = std::make_shared<QueryTicket>();
+  ticket->context_.set_query_id(
+      next_query_id_.fetch_add(1, std::memory_order_relaxed));
+  ticket->context_.set_label(request.label);
+  ticket->context_.set_priority(request.priority);
+  if (request.deadline.count() > 0) {
+    ticket->context_.set_deadline_after(request.deadline);
+  }
+  ticket->options_ = std::move(request.options);
+  ticket->submitted_at_ = std::chrono::steady_clock::now();
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutting_down_ || queued_ >= options_.queue_capacity) {
+      ShedQueueFullCounter()->Increment();
+      std::lock_guard<std::mutex> stats_lock(stats_mu_);
+      ++stats_.shed_queue_full;
+      return Status::ResourceExhausted(StringPrintf(
+          "admission queue full (%zu queued, capacity %zu): query '%s' shed",
+          queued_, options_.queue_capacity, request.label.c_str()));
+    }
+    const auto p = static_cast<size_t>(request.priority);
+    SM_CHECK(p < kPriorities) << "bad query priority";
+    queues_[p].push_back(ticket);
+    ++queued_;
+    QueueDepthPeakGauge()->UpdateMax(static_cast<int64_t>(queued_));
+    {
+      std::lock_guard<std::mutex> stats_lock(stats_mu_);
+      ++stats_.admitted;
+      stats_.peak_queue_depth = std::max(
+          stats_.peak_queue_depth, static_cast<int64_t>(queued_));
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(drain_mu_);
+    ++unresolved_;
+  }
+  AdmittedCounter()->Increment();
+  queue_cv_.notify_one();
+  return ticket;
+}
+
+std::shared_ptr<QueryTicket> ServingRunner::NextQuery() {
+  std::unique_lock<std::mutex> lock(mu_);
+  queue_cv_.wait(lock, [this] { return shutting_down_ || queued_ > 0; });
+  // Drain remaining queries even during shutdown so every admitted
+  // ticket resolves (they shed quickly: Shutdown cancels them).
+  for (size_t p = kPriorities; p-- > 0;) {
+    if (!queues_[p].empty()) {
+      std::shared_ptr<QueryTicket> ticket = std::move(queues_[p].front());
+      queues_[p].pop_front();
+      --queued_;
+      return ticket;
+    }
+  }
+  return nullptr;  // Shutting down with an empty queue.
+}
+
+void ServingRunner::ResolveTicket(const std::shared_ptr<QueryTicket>& ticket,
+                                  QueryOutcome outcome) {
+  QueryLatencyHistogram()->Record(outcome.queue_seconds + outcome.run_seconds);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    if (outcome.status.ok()) {
+      ++stats_.completed_ok;
+    } else if (outcome.shed) {
+      if (outcome.status.code() == StatusCode::kDeadlineExceeded) {
+        ++stats_.shed_deadline;
+      } else {
+        ++stats_.shed_cancelled;
+      }
+    } else {
+      ++stats_.failed;
+    }
+  }
+  if (outcome.status.ok()) {
+    CompletedOkCounter()->Increment();
+  } else if (outcome.shed) {
+    if (outcome.status.code() == StatusCode::kDeadlineExceeded) {
+      ShedDeadlineCounter()->Increment();
+    } else {
+      ShedCancelledCounter()->Increment();
+    }
+  } else {
+    FailedCounter()->Increment();
+  }
+  ticket->Finish(std::move(outcome));
+  {
+    std::lock_guard<std::mutex> lock(drain_mu_);
+    --unresolved_;
+  }
+  drained_cv_.notify_all();
+}
+
+void ServingRunner::RunQuery(engines::AnalyticsEngine* engine,
+                             const std::shared_ptr<QueryTicket>& ticket) {
+  const QueryContext& ctx = ticket->context_;
+  QueryOutcome outcome;
+  outcome.query_id = ctx.query_id();
+  outcome.label = ctx.label();
+  outcome.queue_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    ticket->submitted_at_)
+          .count();
+  QueueLatencyHistogram()->Record(outcome.queue_seconds);
+
+  // A query whose deadline expired (or that was cancelled) while queued
+  // is shed without touching the engine.
+  Status admission = ctx.CheckNotStopped();
+  if (!admission.ok()) {
+    outcome.status = std::move(admission);
+    outcome.shed = true;
+    ResolveTicket(ticket, std::move(outcome));
+    return;
+  }
+
+  Stopwatch run_timer;
+  Result<engines::RunReport> report = engines::RunTaskOnEngine(
+      engine, ctx, ticket->options_, options_.threads_per_query,
+      /*sample_memory=*/false, /*keep_outputs=*/options_.keep_results);
+  outcome.run_seconds = run_timer.ElapsedSeconds();
+  if (report.ok()) {
+    outcome.status = Status::OK();
+    if (options_.keep_results) outcome.results = std::move(report->results);
+  } else {
+    outcome.status = report.status();
+    // Deadline/cancel surfacing from inside the kernels is a shed, not
+    // an engine failure.
+    outcome.shed =
+        outcome.status.code() == StatusCode::kDeadlineExceeded ||
+        outcome.status.code() == StatusCode::kCancelled;
+  }
+  ResolveTicket(ticket, std::move(outcome));
+}
+
+void ServingRunner::DispatchLoop(engines::AnalyticsEngine* engine) {
+  for (;;) {
+    std::shared_ptr<QueryTicket> ticket = NextQuery();
+    if (ticket == nullptr) return;
+    SM_TRACE_SPAN("serving.query");
+    RunQuery(engine, ticket);
+  }
+}
+
+void ServingRunner::Drain() {
+  std::unique_lock<std::mutex> lock(drain_mu_);
+  drained_cv_.wait(lock, [this] { return unresolved_ == 0; });
+}
+
+void ServingRunner::Shutdown() {
+  std::vector<std::thread> to_join;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutting_down_ && dispatchers_.empty()) return;
+    shutting_down_ = true;
+    // Cancel whatever is still queued so dispatchers shed it quickly
+    // instead of running long queries during teardown.
+    for (auto& queue : queues_) {
+      for (const auto& ticket : queue) ticket->RequestCancel();
+    }
+    to_join.swap(dispatchers_);
+  }
+  queue_cv_.notify_all();
+  for (std::thread& t : to_join) {
+    if (t.joinable()) t.join();
+  }
+  // With no sessions (or none left), queued tickets have no dispatcher
+  // to shed them; resolve them here so waiters never hang.
+  std::vector<std::shared_ptr<QueryTicket>> stranded;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& queue : queues_) {
+      for (auto& ticket : queue) stranded.push_back(std::move(ticket));
+      queue.clear();
+    }
+    queued_ = 0;
+  }
+  for (const auto& ticket : stranded) {
+    QueryOutcome outcome;
+    outcome.query_id = ticket->context_.query_id();
+    outcome.label = ticket->context_.label();
+    outcome.status = Status::Cancelled(
+        "serving runner shut down before query dispatched");
+    outcome.shed = true;
+    outcome.queue_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      ticket->submitted_at_)
+            .count();
+    ResolveTicket(ticket, std::move(outcome));
+  }
+}
+
+ServingStats ServingRunner::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+}  // namespace smartmeter::exec

@@ -1,0 +1,180 @@
+#ifndef SMARTMETER_EXEC_SERVING_RUNNER_H_
+#define SMARTMETER_EXEC_SERVING_RUNNER_H_
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "engines/engine.h"
+#include "exec/query_context.h"
+
+namespace smartmeter::exec {
+
+/// Serving-layer tuning knobs.
+struct ServingOptions {
+  /// Bounded admission queue: Submit() sheds with ResourceExhausted once
+  /// this many queries are waiting (in-flight queries do not count).
+  size_t queue_capacity = 64;
+  /// Intra-query parallelism handed to the engine for each query.
+  int threads_per_query = 1;
+  /// Retain task results in the QueryOutcome (off for pure load tests).
+  bool keep_results = false;
+};
+
+/// One query as submitted by a client.
+struct QueryRequest {
+  engines::TaskOptions options;
+  QueryPriority priority = QueryPriority::kNormal;
+  /// Time budget measured from admission; zero means no deadline.
+  std::chrono::nanoseconds deadline{0};
+  /// Observability label ("client-3/q17").
+  std::string label;
+};
+
+/// What happened to one admitted query.
+struct QueryOutcome {
+  uint64_t query_id = 0;
+  std::string label;
+  /// OK, Cancelled, or DeadlineExceeded (engine errors pass through).
+  Status status;
+  /// True when the serving layer gave up on the query rather than the
+  /// query failing on its own merits: deadline expired or cancelled,
+  /// either while queued or mid-flight.
+  bool shed = false;
+  /// Admission to dispatch.
+  double queue_seconds = 0.0;
+  /// Dispatch to completion.
+  double run_seconds = 0.0;
+  engines::TaskResultSet results;
+};
+
+/// Completion handle returned by ServingRunner::Submit. Clients block on
+/// Wait() for the outcome and may RequestCancel() at any time; the
+/// running kernels observe the shared token cooperatively.
+class QueryTicket {
+ public:
+  /// Blocks until the query finishes (or is shed) and returns the
+  /// outcome. Repeated calls return the same outcome.
+  const QueryOutcome& Wait();
+
+  /// True once the outcome is available (non-blocking).
+  bool done() const;
+
+  void RequestCancel() { context_.RequestCancel(); }
+  const QueryContext& context() const { return context_; }
+
+ private:
+  friend class ServingRunner;
+  void Finish(QueryOutcome outcome);
+
+  QueryContext context_;
+  engines::TaskOptions options_;
+  std::chrono::steady_clock::time_point submitted_at_{};
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool done_ = false;
+  QueryOutcome outcome_;
+};
+
+/// Point-in-time serving counters (monotone over a runner's lifetime).
+struct ServingStats {
+  int64_t submitted = 0;
+  int64_t admitted = 0;
+  int64_t completed_ok = 0;
+  int64_t shed_queue_full = 0;
+  int64_t shed_deadline = 0;
+  int64_t shed_cancelled = 0;
+  int64_t failed = 0;
+  int64_t peak_queue_depth = 0;
+};
+
+/// Serves concurrent queries against a pool of attached engine sessions.
+///
+/// Each AddSession() registers one engine and starts a dispatcher thread
+/// for it; dispatchers pull the highest-priority admitted query off a
+/// shared bounded queue and run it via RunTaskOnEngine under the query's
+/// own QueryContext, so deadline/cancel propagate into the kernels.
+/// Submit() never blocks: when the queue is full the query is shed
+/// immediately with ResourceExhausted (the paper's workloads are batch;
+/// this is the serving-path counterpart the benchmark sweeps).
+///
+/// Thread-safe. Engines are borrowed, not owned, and must stay attached
+/// and alive until Shutdown() returns; each engine only ever runs one
+/// query at a time (its session's dispatcher), so engines need not be
+/// internally thread-safe across queries.
+class ServingRunner {
+ public:
+  explicit ServingRunner(ServingOptions options);
+  ~ServingRunner();
+
+  ServingRunner(const ServingRunner&) = delete;
+  ServingRunner& operator=(const ServingRunner&) = delete;
+
+  /// Registers an attached engine and starts its dispatcher thread.
+  void AddSession(engines::AnalyticsEngine* engine);
+
+  size_t num_sessions() const;
+
+  /// Admits one query, or sheds it with ResourceExhausted when the
+  /// queue is at capacity. On success the ticket resolves once a
+  /// session has run (or shed) the query.
+  Result<std::shared_ptr<QueryTicket>> Submit(QueryRequest request);
+
+  /// Blocks until every admitted query has resolved.
+  void Drain();
+
+  /// Drains, then stops and joins the dispatcher threads. Idempotent;
+  /// the destructor calls it. Submit() after Shutdown() sheds.
+  void Shutdown();
+
+  ServingStats stats() const;
+
+ private:
+  static constexpr size_t kPriorities = 3;
+
+  /// Pops the next query by priority (FIFO within a priority class).
+  /// Blocks until one is available or shutdown. Null on shutdown.
+  std::shared_ptr<QueryTicket> NextQuery();
+
+  void DispatchLoop(engines::AnalyticsEngine* engine);
+  void RunQuery(engines::AnalyticsEngine* engine,
+                const std::shared_ptr<QueryTicket>& ticket);
+  void ResolveTicket(const std::shared_ptr<QueryTicket>& ticket,
+                     QueryOutcome outcome);
+
+  const ServingOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable queue_cv_;
+  /// queues_[p] holds priority p; higher priorities dispatch first.
+  std::array<std::deque<std::shared_ptr<QueryTicket>>, kPriorities> queues_;
+  size_t queued_ = 0;
+  bool shutting_down_ = false;
+  std::vector<std::thread> dispatchers_;
+  size_t sessions_ = 0;
+
+  /// Admitted but not yet resolved (queued + running); Drain blocks on 0.
+  std::mutex drain_mu_;
+  std::condition_variable drained_cv_;
+  int64_t unresolved_ = 0;
+
+  std::atomic<uint64_t> next_query_id_{1};
+
+  mutable std::mutex stats_mu_;
+  ServingStats stats_;
+};
+
+}  // namespace smartmeter::exec
+
+#endif  // SMARTMETER_EXEC_SERVING_RUNNER_H_

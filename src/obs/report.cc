@@ -23,6 +23,17 @@ JsonValue RunToJson(const RunRecord& run) {
   phases.Set("regression_seconds", JsonValue(run.regression_seconds));
   phases.Set("adjust_seconds", JsonValue(run.adjust_seconds));
   j.Set("phases", std::move(phases));
+  if (!run.outcome.empty()) {
+    JsonValue serving = JsonValue::Object();
+    serving.Set("outcome", JsonValue(run.outcome));
+    serving.Set("clients", JsonValue(run.clients));
+    serving.Set("queries_ok", JsonValue(run.queries_ok));
+    serving.Set("queries_shed", JsonValue(run.queries_shed));
+    serving.Set("p50_seconds", JsonValue(run.p50_seconds));
+    serving.Set("p99_seconds", JsonValue(run.p99_seconds));
+    serving.Set("queries_per_second", JsonValue(run.queries_per_second));
+    j.Set("serving", std::move(serving));
+  }
   return j;
 }
 
@@ -42,6 +53,18 @@ RunRecord RunFromJson(const JsonValue& j) {
   run.quantile_seconds = phases.Get("quantile_seconds").AsDouble();
   run.regression_seconds = phases.Get("regression_seconds").AsDouble();
   run.adjust_seconds = phases.Get("adjust_seconds").AsDouble();
+  // Serving block is optional: reports written before the serving layer
+  // (or batch-only reports) simply lack it.
+  if (j.Has("serving")) {
+    const JsonValue& serving = j.Get("serving");
+    run.outcome = serving.Get("outcome").AsString();
+    run.clients = static_cast<int>(serving.Get("clients").AsInt());
+    run.queries_ok = serving.Get("queries_ok").AsInt();
+    run.queries_shed = serving.Get("queries_shed").AsInt();
+    run.p50_seconds = serving.Get("p50_seconds").AsDouble();
+    run.p99_seconds = serving.Get("p99_seconds").AsDouble();
+    run.queries_per_second = serving.Get("queries_per_second").AsDouble();
+  }
   return run;
 }
 

@@ -29,6 +29,17 @@ struct RunRecord {
   double quantile_seconds = 0.0;
   double regression_seconds = 0.0;
   double adjust_seconds = 0.0;
+  /// Serving-mode fields (concurrent query benchmarks). `outcome` is
+  /// empty for plain batch runs, which also suppresses these keys in
+  /// the JSON so existing reports round-trip unchanged; serving rows
+  /// use "ok" / "shed" / "error".
+  std::string outcome;
+  int clients = 0;
+  int64_t queries_ok = 0;
+  int64_t queries_shed = 0;
+  double p50_seconds = 0.0;
+  double p99_seconds = 0.0;
+  double queries_per_second = 0.0;
 };
 
 /// Accumulates one process's benchmark observations — run records, a

@@ -50,48 +50,68 @@ TEST(ComputeHouseholdTaskTest, DispatchesPerTask) {
     consumption.push_back(0.5 + 0.1 * ((t % 24) / 24.0) +
                           0.02 * std::max(0.0, 12.0 - temperature.back()));
   }
-  TaskOutputs outputs;
-  TaskRequest request;
-  request.task = core::TaskType::kHistogram;
-  ASSERT_TRUE(ComputeHouseholdTask(request, 7, consumption, temperature,
-                                   &outputs)
-                  .ok());
-  request.task = core::TaskType::kThreeLine;
-  ASSERT_TRUE(ComputeHouseholdTask(request, 7, consumption, temperature,
-                                   &outputs)
-                  .ok());
-  request.task = core::TaskType::kPar;
-  ASSERT_TRUE(ComputeHouseholdTask(request, 7, consumption, temperature,
-                                   &outputs)
-                  .ok());
-  EXPECT_EQ(outputs.histograms.size(), 1u);
-  EXPECT_EQ(outputs.three_lines.size(), 1u);
-  EXPECT_EQ(outputs.profiles.size(), 1u);
-  EXPECT_EQ(outputs.histograms[0].household_id, 7);
+  const exec::QueryContext& ctx = exec::QueryContext::Background();
+  TaskResultSet histograms, models, profiles;
+  ASSERT_TRUE(
+      ComputeHouseholdTask(ctx,
+                           TaskOptions::Default(core::TaskType::kHistogram),
+                           7, consumption, temperature, &histograms)
+          .ok());
+  ASSERT_TRUE(
+      ComputeHouseholdTask(ctx,
+                           TaskOptions::Default(core::TaskType::kThreeLine),
+                           7, consumption, temperature, &models)
+          .ok());
+  ASSERT_TRUE(
+      ComputeHouseholdTask(ctx, TaskOptions::Default(core::TaskType::kPar),
+                           7, consumption, temperature, &profiles)
+          .ok());
+  EXPECT_EQ(histograms.Get<core::HistogramResult>().size(), 1u);
+  EXPECT_EQ(models.Get<core::ThreeLineResult>().size(), 1u);
+  EXPECT_EQ(profiles.Get<core::DailyProfileResult>().size(), 1u);
+  EXPECT_EQ(histograms.Get<core::HistogramResult>()[0].household_id, 7);
 
-  request.task = core::TaskType::kSimilarity;
-  EXPECT_FALSE(ComputeHouseholdTask(request, 7, consumption, temperature,
-                                    &outputs)
-                   .ok());
+  TaskResultSet similarity;
+  EXPECT_FALSE(
+      ComputeHouseholdTask(ctx,
+                           TaskOptions::Default(core::TaskType::kSimilarity),
+                           7, consumption, temperature, &similarity)
+          .ok());
 }
 
-TEST(SortOutputsTest, OrdersEveryVectorById) {
-  TaskOutputs outputs;
-  outputs.histograms.push_back({3, {}});
-  outputs.histograms.push_back({1, {}});
-  outputs.three_lines.push_back({});
-  outputs.three_lines.back().household_id = 9;
-  outputs.three_lines.push_back({});
-  outputs.three_lines.back().household_id = 2;
+TEST(SortResultsTest, OrdersHeldVectorById) {
+  TaskResultSet results;
+  results.Mutable<core::HistogramResult>().push_back({3, {}});
+  results.Mutable<core::HistogramResult>().push_back({1, {}});
+  SortResultsByHousehold(&results);
+  EXPECT_EQ(results.Get<core::HistogramResult>()[0].household_id, 1);
+
+  results.Clear();
   core::SimilarityResult s1;
   s1.household_id = 5;
   core::SimilarityResult s2;
   s2.household_id = 4;
-  outputs.similarities = {s1, s2};
-  SortOutputsByHousehold(&outputs);
-  EXPECT_EQ(outputs.histograms[0].household_id, 1);
-  EXPECT_EQ(outputs.three_lines[0].household_id, 2);
-  EXPECT_EQ(outputs.similarities[0].household_id, 4);
+  results.Mutable<core::SimilarityResult>() = {s1, s2};
+  SortResultsByHousehold(&results);
+  EXPECT_EQ(results.Get<core::SimilarityResult>()[0].household_id, 4);
+}
+
+TEST(MergeResultsTest, AdoptsTypeAndAppends) {
+  TaskResultSet dst;
+  TaskResultSet src;
+  src.Mutable<core::HistogramResult>().push_back({2, {}});
+  MergeResults(std::move(src), &dst);
+  ASSERT_TRUE(dst.Holds<core::HistogramResult>());
+  EXPECT_EQ(dst.size(), 1u);
+
+  TaskResultSet more;
+  more.Mutable<core::HistogramResult>().push_back({1, {}});
+  MergeResults(std::move(more), &dst);
+  EXPECT_EQ(dst.size(), 2u);
+
+  // Merging an empty set is a no-op.
+  MergeResults(TaskResultSet(), &dst);
+  EXPECT_EQ(dst.size(), 2u);
 }
 
 TEST(ResultSerdeTest, SizesScaleWithContent) {

@@ -1,9 +1,11 @@
+#include <chrono>
 #include <cmath>
 
 #include <gtest/gtest.h>
 
 #include "datagen/seed_generator.h"
 #include "engines/engine_util.h"
+#include "exec/query_context.h"
 #include "timeseries/calendar.h"
 
 namespace smartmeter::engines {
@@ -40,54 +42,66 @@ TEST_F(EngineUtilTest, SeriesAccessorMatchesDatasetPath) {
   };
   access.temperature = dataset_->temperature();
 
+  const exec::QueryContext& ctx = exec::QueryContext::Background();
   for (core::TaskType task : core::kAllTasks) {
-    TaskRequest request;
-    request.task = task;
-    TaskOutputs via_access, via_dataset;
-    ASSERT_TRUE(RunTaskOverSeries(access, request, 2, &via_access).ok());
+    const TaskOptions options = TaskOptions::Default(task);
+    TaskResultSet via_access, via_dataset;
     ASSERT_TRUE(
-        RunTaskOverDataset(*dataset_, request, 2, &via_dataset).ok());
+        RunTaskOverSeries(ctx, access, options, 2, &via_access).ok());
+    ASSERT_TRUE(
+        RunTaskOverDataset(ctx, *dataset_, options, 2, &via_dataset).ok());
     switch (task) {
-      case core::TaskType::kHistogram:
-        ASSERT_EQ(via_access.histograms.size(),
-                  via_dataset.histograms.size());
-        for (size_t i = 0; i < via_access.histograms.size(); ++i) {
-          EXPECT_EQ(via_access.histograms[i].histogram.counts,
-                    via_dataset.histograms[i].histogram.counts);
+      case core::TaskType::kHistogram: {
+        const auto& got = via_access.Get<core::HistogramResult>();
+        const auto& want = via_dataset.Get<core::HistogramResult>();
+        ASSERT_EQ(got.size(), want.size());
+        for (size_t i = 0; i < got.size(); ++i) {
+          EXPECT_EQ(got[i].histogram.counts, want[i].histogram.counts);
         }
         break;
-      case core::TaskType::kThreeLine:
-        for (size_t i = 0; i < via_access.three_lines.size(); ++i) {
-          EXPECT_DOUBLE_EQ(via_access.three_lines[i].heating_gradient,
-                           via_dataset.three_lines[i].heating_gradient);
+      }
+      case core::TaskType::kThreeLine: {
+        const auto& got = via_access.Get<core::ThreeLineResult>();
+        const auto& want = via_dataset.Get<core::ThreeLineResult>();
+        for (size_t i = 0; i < got.size(); ++i) {
+          EXPECT_DOUBLE_EQ(got[i].heating_gradient,
+                           want[i].heating_gradient);
         }
         break;
-      case core::TaskType::kPar:
-        for (size_t i = 0; i < via_access.profiles.size(); ++i) {
-          EXPECT_EQ(via_access.profiles[i].profile,
-                    via_dataset.profiles[i].profile);
+      }
+      case core::TaskType::kPar: {
+        const auto& got = via_access.Get<core::DailyProfileResult>();
+        const auto& want = via_dataset.Get<core::DailyProfileResult>();
+        for (size_t i = 0; i < got.size(); ++i) {
+          EXPECT_EQ(got[i].profile, want[i].profile);
         }
         break;
-      case core::TaskType::kSimilarity:
-        for (size_t i = 0; i < via_access.similarities.size(); ++i) {
-          ASSERT_FALSE(via_access.similarities[i].matches.empty());
-          EXPECT_EQ(via_access.similarities[i].matches[0].household_id,
-                    via_dataset.similarities[i].matches[0].household_id);
+      }
+      case core::TaskType::kSimilarity: {
+        const auto& got = via_access.Get<core::SimilarityResult>();
+        const auto& want = via_dataset.Get<core::SimilarityResult>();
+        for (size_t i = 0; i < got.size(); ++i) {
+          ASSERT_FALSE(got[i].matches.empty());
+          EXPECT_EQ(got[i].matches[0].household_id,
+                    want[i].matches[0].household_id);
         }
         break;
+      }
     }
   }
 }
 
 TEST_F(EngineUtilTest, SimilarityLimitCapsQueries) {
-  TaskRequest request;
-  request.task = core::TaskType::kSimilarity;
-  request.similarity_households = 3;
-  TaskOutputs outputs;
-  ASSERT_TRUE(RunTaskOverDataset(*dataset_, request, 1, &outputs).ok());
-  EXPECT_EQ(outputs.similarities.size(), 3u);
+  SimilarityTaskOptions similarity;
+  similarity.households = 3;
+  TaskResultSet results;
+  ASSERT_TRUE(RunTaskOverDataset(exec::QueryContext::Background(), *dataset_,
+                                 TaskOptions(similarity), 1, &results)
+                  .ok());
+  const auto& matches = results.Get<core::SimilarityResult>();
+  EXPECT_EQ(matches.size(), 3u);
   // Matches also come only from the capped set.
-  for (const auto& r : outputs.similarities) {
+  for (const auto& r : matches) {
     for (const auto& m : r.matches) {
       EXPECT_LE(m.household_id, 3);
     }
@@ -101,19 +115,41 @@ TEST_F(EngineUtilTest, ErrorsPropagateFromWorkers) {
   shorty.SetTemperature(std::vector<double>(24, 5.0));
   shorty.AddConsumer({1, std::vector<double>(24, 1.0)});
   shorty.AddConsumer({2, std::vector<double>(24, 1.0)});
-  TaskRequest request;
-  request.task = core::TaskType::kPar;
-  auto metrics = RunTaskOverDataset(shorty, request, 4, nullptr);
+  auto metrics =
+      RunTaskOverDataset(exec::QueryContext::Background(), shorty,
+                         TaskOptions::Default(core::TaskType::kPar), 4,
+                         nullptr);
   EXPECT_FALSE(metrics.ok());
   EXPECT_EQ(metrics.status().code(), StatusCode::kInvalidArgument);
 }
 
-TEST_F(EngineUtilTest, NullOutputsStillTimes) {
-  TaskRequest request;
-  request.task = core::TaskType::kHistogram;
-  auto metrics = RunTaskOverDataset(*dataset_, request, 1, nullptr);
+TEST_F(EngineUtilTest, NullResultsStillTimes) {
+  auto metrics = RunTaskOverDataset(
+      exec::QueryContext::Background(), *dataset_,
+      TaskOptions::Default(core::TaskType::kHistogram), 1, nullptr);
   ASSERT_TRUE(metrics.ok());
   EXPECT_GE(metrics->seconds, 0.0);
+}
+
+TEST_F(EngineUtilTest, CancelledContextStopsRun) {
+  exec::QueryContext ctx;
+  ctx.RequestCancel();
+  auto metrics = RunTaskOverDataset(
+      ctx, *dataset_, TaskOptions::Default(core::TaskType::kHistogram), 2,
+      nullptr);
+  EXPECT_FALSE(metrics.ok());
+  EXPECT_EQ(metrics.status().code(), StatusCode::kCancelled);
+}
+
+TEST_F(EngineUtilTest, ExpiredDeadlineStopsRun) {
+  exec::QueryContext ctx;
+  ctx.set_deadline(exec::QueryContext::Clock::now() -
+                   std::chrono::milliseconds(1));
+  auto metrics = RunTaskOverDataset(
+      ctx, *dataset_, TaskOptions::Default(core::TaskType::kSimilarity), 2,
+      nullptr);
+  EXPECT_FALSE(metrics.ok());
+  EXPECT_EQ(metrics.status().code(), StatusCode::kDeadlineExceeded);
 }
 
 TEST_F(EngineUtilTest, LayoutNamesStable) {

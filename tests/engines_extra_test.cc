@@ -40,12 +40,7 @@ class EnginesExtraTest : public ::testing::Test {
     delete dir_;
   }
 
-  static DataSource Source() {
-    DataSource source;
-    source.layout = DataSource::Layout::kSingleCsv;
-    source.files = {single_csv_};
-    return source;
-  }
+  static DataSource Source() { return *DataSource::SingleCsv(single_csv_); }
 
   static fs::path* dir_;
   static MeterDataset* dataset_;
@@ -57,14 +52,14 @@ MeterDataset* EnginesExtraTest::dataset_ = nullptr;
 std::string EnginesExtraTest::single_csv_;
 
 TEST_F(EnginesExtraTest, RunBeforeAttachFails) {
-  TaskRequest request;
-  request.task = core::TaskType::kHistogram;
+  const TaskOptions options =
+      TaskOptions::Default(core::TaskType::kHistogram);
   SystemCEngine systemc((*dir_ / "spool_unattached").string());
-  EXPECT_FALSE(systemc.RunTask(request, nullptr).ok());
+  EXPECT_FALSE(systemc.RunTask(options, nullptr).ok());
   HiveEngine hive(HiveEngine::Options{});
-  EXPECT_FALSE(hive.RunTask(request, nullptr).ok());
+  EXPECT_FALSE(hive.RunTask(options, nullptr).ok());
   SparkEngine spark(SparkEngine::Options{});
-  EXPECT_FALSE(spark.RunTask(request, nullptr).ok());
+  EXPECT_FALSE(spark.RunTask(options, nullptr).ok());
 }
 
 TEST_F(EnginesExtraTest, SetClusterConfigKeepsResultsChangesTime) {
@@ -74,32 +69,33 @@ TEST_F(EnginesExtraTest, SetClusterConfigKeepsResultsChangesTime) {
   options.block_bytes = 16 << 10;
   HiveEngine engine(options);
   ASSERT_TRUE(engine.Attach(Source()).ok());
-  TaskRequest request;
-  request.task = core::TaskType::kHistogram;
-  TaskOutputs small_outputs;
-  auto small = engine.RunTask(request, &small_outputs);
+  const TaskOptions request =
+      TaskOptions::Default(core::TaskType::kHistogram);
+  TaskResultSet small_results;
+  auto small = engine.RunTask(request, &small_results);
   ASSERT_TRUE(small.ok());
 
   cluster::ClusterConfig bigger;
   bigger.num_nodes = 16;
   bigger.slots_per_node = 12;
   engine.SetClusterConfig(bigger);
-  TaskOutputs big_outputs;
-  auto big = engine.RunTask(request, &big_outputs);
+  TaskResultSet big_results;
+  auto big = engine.RunTask(request, &big_results);
   ASSERT_TRUE(big.ok());
 
   // Same analytics, faster simulated wall-clock on the bigger cluster.
-  ASSERT_EQ(small_outputs.histograms.size(), big_outputs.histograms.size());
-  for (size_t i = 0; i < small_outputs.histograms.size(); ++i) {
-    EXPECT_EQ(small_outputs.histograms[i].histogram.counts,
-              big_outputs.histograms[i].histogram.counts);
+  const auto& small_hists = small_results.Get<core::HistogramResult>();
+  const auto& big_hists = big_results.Get<core::HistogramResult>();
+  ASSERT_EQ(small_hists.size(), big_hists.size());
+  for (size_t i = 0; i < small_hists.size(); ++i) {
+    EXPECT_EQ(small_hists[i].histogram.counts,
+              big_hists[i].histogram.counts);
   }
   EXPECT_LT(big->seconds, small->seconds);
 }
 
 TEST_F(EnginesExtraTest, SparkClusterScalingDirection) {
-  TaskRequest request;
-  request.task = core::TaskType::kPar;
+  const TaskOptions request = TaskOptions::Default(core::TaskType::kPar);
   double small_seconds = 0.0, big_seconds = 0.0;
   {
     SparkEngine::Options options;
@@ -131,14 +127,15 @@ TEST_F(EnginesExtraTest, BenchmarkRunnerWarmPath) {
   spec.kind = EngineKind::kMadlib;
   spec.factory.spool_dir = (*dir_ / "spool_runner").string();
   spec.source = Source();
-  spec.request.task = core::TaskType::kPar;
+  spec.options = TaskOptions::Default(core::TaskType::kPar);
   spec.warm = true;
   spec.keep_outputs = true;
   auto report = RunBenchmark(spec);
   ASSERT_TRUE(report.ok()) << report.status().ToString();
   EXPECT_GT(report->attach_seconds, 0.0);
   EXPECT_GT(report->warmup_seconds, 0.0);
-  EXPECT_EQ(report->outputs.profiles.size(), dataset_->num_consumers());
+  EXPECT_EQ(report->results.Get<core::DailyProfileResult>().size(),
+            dataset_->num_consumers());
 }
 
 TEST_F(EnginesExtraTest, BenchmarkRunnerClusterEngine) {
@@ -147,13 +144,13 @@ TEST_F(EnginesExtraTest, BenchmarkRunnerClusterEngine) {
   spec.factory.cluster.num_nodes = 4;
   spec.factory.cluster.slots_per_node = 2;
   spec.source = Source();
-  spec.request.task = core::TaskType::kHistogram;
+  spec.options = TaskOptions::Default(core::TaskType::kHistogram);
   spec.keep_outputs = true;
   auto report = RunBenchmark(spec);
   ASSERT_TRUE(report.ok());
   EXPECT_TRUE(report->simulated);
   EXPECT_GT(report->memory_bytes, 0);
-  EXPECT_EQ(report->outputs.histograms.size(),
+  EXPECT_EQ(report->results.Get<core::HistogramResult>().size(),
             dataset_->num_consumers());
 }
 
@@ -162,11 +159,13 @@ TEST_F(EnginesExtraTest, MatlabDropWarmDataReturnsToCold) {
   ASSERT_TRUE(engine.Attach(Source()).ok());
   ASSERT_TRUE(engine.WarmUp().ok());
   engine.DropWarmData();
-  TaskRequest request;
-  request.task = core::TaskType::kHistogram;
-  TaskOutputs outputs;
-  ASSERT_TRUE(engine.RunTask(request, &outputs).ok());
-  EXPECT_EQ(outputs.histograms.size(), dataset_->num_consumers());
+  TaskResultSet results;
+  ASSERT_TRUE(
+      engine.RunTask(TaskOptions::Default(core::TaskType::kHistogram),
+                     &results)
+          .ok());
+  EXPECT_EQ(results.Get<core::HistogramResult>().size(),
+            dataset_->num_consumers());
 }
 
 TEST_F(EnginesExtraTest, MadlibReattachReplacesData) {
@@ -177,15 +176,13 @@ TEST_F(EnginesExtraTest, MadlibReattachReplacesData) {
   small.TruncateConsumers(3);
   const std::string small_csv = (*dir_ / "small.csv").string();
   ASSERT_TRUE(storage::WriteReadingsCsv(small, small_csv).ok());
-  DataSource source;
-  source.layout = DataSource::Layout::kSingleCsv;
-  source.files = {small_csv};
-  ASSERT_TRUE(engine.Attach(source).ok());
-  TaskRequest request;
-  request.task = core::TaskType::kHistogram;
-  TaskOutputs outputs;
-  ASSERT_TRUE(engine.RunTask(request, &outputs).ok());
-  EXPECT_EQ(outputs.histograms.size(), 3u);
+  ASSERT_TRUE(engine.Attach(*DataSource::SingleCsv(small_csv)).ok());
+  TaskResultSet results;
+  ASSERT_TRUE(
+      engine.RunTask(TaskOptions::Default(core::TaskType::kHistogram),
+                     &results)
+          .ok());
+  EXPECT_EQ(results.Get<core::HistogramResult>().size(), 3u);
 }
 
 }  // namespace

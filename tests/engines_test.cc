@@ -1,3 +1,4 @@
+#include <array>
 #include <cmath>
 #include <filesystem>
 #include <memory>
@@ -51,28 +52,15 @@ class EnginesTest : public ::testing::Test {
     ASSERT_TRUE(whole.ok());
     whole_files_ = new std::vector<std::string>(std::move(*whole));
 
-    // Reference outputs straight from the core algorithms.
-    reference_ = new TaskOutputs();
+    // Reference results straight from the core algorithms, one
+    // TaskResultSet per task.
+    reference_ = new std::array<TaskResultSet, 4>();
     for (core::TaskType task : core::kAllTasks) {
-      TaskRequest request;
-      request.task = task;
-      TaskOutputs outputs;
-      auto metrics = RunTaskOverDataset(*dataset_, request, 1, &outputs);
+      TaskResultSet& results = (*reference_)[static_cast<size_t>(task)];
+      auto metrics =
+          RunTaskOverDataset(exec::QueryContext::Background(), *dataset_,
+                             TaskOptions::Default(task), 1, &results);
       ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
-      switch (task) {
-        case core::TaskType::kHistogram:
-          reference_->histograms = std::move(outputs.histograms);
-          break;
-        case core::TaskType::kThreeLine:
-          reference_->three_lines = std::move(outputs.three_lines);
-          break;
-        case core::TaskType::kPar:
-          reference_->profiles = std::move(outputs.profiles);
-          break;
-        case core::TaskType::kSimilarity:
-          reference_->similarities = std::move(outputs.similarities);
-          break;
-      }
     }
   }
 
@@ -87,16 +75,16 @@ class EnginesTest : public ::testing::Test {
   }
 
   static DataSource SingleCsvSource() {
-    return {DataSource::Layout::kSingleCsv, {single_csv_}};
+    return *DataSource::SingleCsv(single_csv_);
   }
   static DataSource PartitionedSource() {
-    return {DataSource::Layout::kPartitionedDir, *partitioned_files_};
+    return *DataSource::PartitionedDir(*partitioned_files_);
   }
   static DataSource HouseholdLinesSource() {
-    return {DataSource::Layout::kHouseholdLines, {household_lines_}};
+    return *DataSource::HouseholdLines(household_lines_);
   }
   static DataSource WholeFilesSource() {
-    return {DataSource::Layout::kWholeFileDir, *whole_files_};
+    return *DataSource::WholeFileDir(*whole_files_);
   }
 
   static EngineFactoryOptions FactoryOptions() {
@@ -108,17 +96,23 @@ class EnginesTest : public ::testing::Test {
     return options;
   }
 
+  static const TaskResultSet& Reference(core::TaskType task) {
+    return (*reference_)[static_cast<size_t>(task)];
+  }
+
   /// CSV serialization keeps 4 decimals of consumption and 2 of
-  /// temperature, so engine outputs agree with the in-memory reference
+  /// temperature, so engine results agree with the in-memory reference
   /// only to a loose tolerance.
-  static void ExpectMatchesReference(const TaskOutputs& outputs,
+  static void ExpectMatchesReference(const TaskResultSet& results,
                                      core::TaskType task) {
     switch (task) {
       case core::TaskType::kHistogram: {
-        ASSERT_EQ(outputs.histograms.size(), reference_->histograms.size());
-        for (size_t i = 0; i < outputs.histograms.size(); ++i) {
-          const auto& got = outputs.histograms[i];
-          const auto& want = reference_->histograms[i];
+        const auto& got_all = results.Get<core::HistogramResult>();
+        const auto& want_all = Reference(task).Get<core::HistogramResult>();
+        ASSERT_EQ(got_all.size(), want_all.size());
+        for (size_t i = 0; i < got_all.size(); ++i) {
+          const auto& got = got_all[i];
+          const auto& want = want_all[i];
           EXPECT_EQ(got.household_id, want.household_id);
           ASSERT_EQ(got.histogram.counts.size(),
                     want.histogram.counts.size());
@@ -132,15 +126,18 @@ class EnginesTest : public ::testing::Test {
         break;
       }
       case core::TaskType::kThreeLine: {
-        ASSERT_EQ(outputs.three_lines.size(),
-                  reference_->three_lines.size());
-        for (size_t i = 0; i < outputs.three_lines.size(); ++i) {
-          const auto& got = outputs.three_lines[i];
-          const auto& want = reference_->three_lines[i];
+        const auto& got_all = results.Get<core::ThreeLineResult>();
+        const auto& want_all = Reference(task).Get<core::ThreeLineResult>();
+        ASSERT_EQ(got_all.size(), want_all.size());
+        for (size_t i = 0; i < got_all.size(); ++i) {
+          const auto& got = got_all[i];
+          const auto& want = want_all[i];
           EXPECT_EQ(got.household_id, want.household_id);
           // Temperature rounds to 2 decimals on disk, which can move
           // readings across 1-degree bins; allow 3% relative slack.
-          auto tol = [](double v) { return std::max(0.03, 0.03 * std::abs(v)); };
+          auto tol = [](double v) {
+            return std::max(0.03, 0.03 * std::abs(v));
+          };
           EXPECT_NEAR(got.heating_gradient, want.heating_gradient,
                       tol(want.heating_gradient));
           EXPECT_NEAR(got.cooling_gradient, want.cooling_gradient,
@@ -150,10 +147,13 @@ class EnginesTest : public ::testing::Test {
         break;
       }
       case core::TaskType::kPar: {
-        ASSERT_EQ(outputs.profiles.size(), reference_->profiles.size());
-        for (size_t i = 0; i < outputs.profiles.size(); ++i) {
-          const auto& got = outputs.profiles[i];
-          const auto& want = reference_->profiles[i];
+        const auto& got_all = results.Get<core::DailyProfileResult>();
+        const auto& want_all =
+            Reference(task).Get<core::DailyProfileResult>();
+        ASSERT_EQ(got_all.size(), want_all.size());
+        for (size_t i = 0; i < got_all.size(); ++i) {
+          const auto& got = got_all[i];
+          const auto& want = want_all[i];
           EXPECT_EQ(got.household_id, want.household_id);
           ASSERT_EQ(got.profile.size(), 24u);
           for (int h = 0; h < 24; ++h) {
@@ -165,11 +165,12 @@ class EnginesTest : public ::testing::Test {
         break;
       }
       case core::TaskType::kSimilarity: {
-        ASSERT_EQ(outputs.similarities.size(),
-                  reference_->similarities.size());
-        for (size_t i = 0; i < outputs.similarities.size(); ++i) {
-          const auto& got = outputs.similarities[i];
-          const auto& want = reference_->similarities[i];
+        const auto& got_all = results.Get<core::SimilarityResult>();
+        const auto& want_all = Reference(task).Get<core::SimilarityResult>();
+        ASSERT_EQ(got_all.size(), want_all.size());
+        for (size_t i = 0; i < got_all.size(); ++i) {
+          const auto& got = got_all[i];
+          const auto& want = want_all[i];
           EXPECT_EQ(got.household_id, want.household_id);
           ASSERT_FALSE(got.matches.empty());
           // The best match is stable under rounding.
@@ -189,14 +190,12 @@ class EnginesTest : public ::testing::Test {
     ASSERT_TRUE(attach.ok()) << attach.status().ToString();
     for (core::TaskType task : core::kAllTasks) {
       if (skip_similarity && task == core::TaskType::kSimilarity) continue;
-      TaskRequest request;
-      request.task = task;
-      TaskOutputs outputs;
-      auto metrics = engine->RunTask(request, &outputs);
+      TaskResultSet results;
+      auto metrics = engine->RunTask(TaskOptions::Default(task), &results);
       ASSERT_TRUE(metrics.ok())
           << engine->name() << "/" << core::TaskName(task) << ": "
           << metrics.status().ToString();
-      ExpectMatchesReference(outputs, task);
+      ExpectMatchesReference(results, task);
     }
   }
 
@@ -206,7 +205,7 @@ class EnginesTest : public ::testing::Test {
   static std::vector<std::string>* partitioned_files_;
   static std::string household_lines_;
   static std::vector<std::string>* whole_files_;
-  static TaskOutputs* reference_;
+  static std::array<TaskResultSet, 4>* reference_;
 };
 
 fs::path* EnginesTest::dir_ = nullptr;
@@ -215,7 +214,7 @@ std::string EnginesTest::single_csv_;
 std::vector<std::string>* EnginesTest::partitioned_files_ = nullptr;
 std::string EnginesTest::household_lines_;
 std::vector<std::string>* EnginesTest::whole_files_ = nullptr;
-TaskOutputs* EnginesTest::reference_ = nullptr;
+std::array<TaskResultSet, 4>* EnginesTest::reference_ = nullptr;
 
 // ---------------------------------------------------------------------------
 // Per-engine agreement with the reference implementation
@@ -236,11 +235,9 @@ TEST_F(EnginesTest, MatlabWarmMatchesCold) {
   ASSERT_TRUE(engine.Attach(PartitionedSource()).ok());
   ASSERT_TRUE(engine.WarmUp().ok());
   for (core::TaskType task : core::kAllTasks) {
-    TaskRequest request;
-    request.task = task;
-    TaskOutputs outputs;
-    ASSERT_TRUE(engine.RunTask(request, &outputs).ok());
-    ExpectMatchesReference(outputs, task);
+    TaskResultSet results;
+    ASSERT_TRUE(engine.RunTask(TaskOptions::Default(task), &results).ok());
+    ExpectMatchesReference(results, task);
   }
 }
 
@@ -264,11 +261,12 @@ TEST_F(EnginesTest, SystemCWarmMatches) {
   ASSERT_TRUE(engine.Attach(SingleCsvSource()).ok());
   auto warm = engine.WarmUp();
   ASSERT_TRUE(warm.ok());
-  TaskRequest request;
-  request.task = core::TaskType::kHistogram;
-  TaskOutputs outputs;
-  ASSERT_TRUE(engine.RunTask(request, &outputs).ok());
-  ExpectMatchesReference(outputs, core::TaskType::kHistogram);
+  TaskResultSet results;
+  ASSERT_TRUE(
+      engine.RunTask(TaskOptions::Default(core::TaskType::kHistogram),
+                     &results)
+          .ok());
+  ExpectMatchesReference(results, core::TaskType::kHistogram);
 }
 
 TEST_F(EnginesTest, HiveFormat1MatchesReference) {
@@ -309,9 +307,11 @@ TEST_F(EnginesTest, HiveFormat3RejectsSimilarity) {
   options.cluster = FactoryOptions().cluster;
   HiveEngine engine(options);
   ASSERT_TRUE(engine.Attach(WholeFilesSource()).ok());
-  TaskRequest request;
-  request.task = core::TaskType::kSimilarity;
-  EXPECT_EQ(engine.RunTask(request, nullptr).status().code(),
+  EXPECT_EQ(engine
+                .RunTask(TaskOptions::Default(core::TaskType::kSimilarity),
+                         nullptr)
+                .status()
+                .code(),
             StatusCode::kNotSupported);
 }
 
@@ -357,9 +357,9 @@ TEST_F(EnginesTest, ClusterEnginesReportSimulatedTime) {
   options.cluster = FactoryOptions().cluster;
   HiveEngine engine(options);
   ASSERT_TRUE(engine.Attach(SingleCsvSource()).ok());
-  TaskRequest request;
-  request.task = core::TaskType::kHistogram;
-  auto metrics = engine.RunTask(request, nullptr);
+  auto metrics =
+      engine.RunTask(TaskOptions::Default(core::TaskType::kHistogram),
+                     nullptr);
   ASSERT_TRUE(metrics.ok());
   EXPECT_TRUE(metrics->simulated);
   EXPECT_GT(metrics->seconds, 0.0);
@@ -369,28 +369,29 @@ TEST_F(EnginesTest, ClusterEnginesReportSimulatedTime) {
 TEST_F(EnginesTest, ThreadCountDoesNotChangeResults) {
   MatlabEngine engine;
   ASSERT_TRUE(engine.Attach(PartitionedSource()).ok());
-  TaskRequest request;
-  request.task = core::TaskType::kThreeLine;
-  TaskOutputs one, four;
+  const TaskOptions options =
+      TaskOptions::Default(core::TaskType::kThreeLine);
+  TaskResultSet one, four;
   engine.SetThreads(1);
-  ASSERT_TRUE(engine.RunTask(request, &one).ok());
+  ASSERT_TRUE(engine.RunTask(options, &one).ok());
   engine.SetThreads(4);
-  ASSERT_TRUE(engine.RunTask(request, &four).ok());
-  ASSERT_EQ(one.three_lines.size(), four.three_lines.size());
-  for (size_t i = 0; i < one.three_lines.size(); ++i) {
-    EXPECT_EQ(one.three_lines[i].household_id,
-              four.three_lines[i].household_id);
-    EXPECT_DOUBLE_EQ(one.three_lines[i].heating_gradient,
-                     four.three_lines[i].heating_gradient);
+  ASSERT_TRUE(engine.RunTask(options, &four).ok());
+  const auto& one_models = one.Get<core::ThreeLineResult>();
+  const auto& four_models = four.Get<core::ThreeLineResult>();
+  ASSERT_EQ(one_models.size(), four_models.size());
+  for (size_t i = 0; i < one_models.size(); ++i) {
+    EXPECT_EQ(one_models[i].household_id, four_models[i].household_id);
+    EXPECT_DOUBLE_EQ(one_models[i].heating_gradient,
+                     four_models[i].heating_gradient);
   }
 }
 
 TEST_F(EnginesTest, ThreeLinePhasesReported) {
   MadlibEngine engine;
   ASSERT_TRUE(engine.Attach(SingleCsvSource()).ok());
-  TaskRequest request;
-  request.task = core::TaskType::kThreeLine;
-  auto metrics = engine.RunTask(request, nullptr);
+  auto metrics =
+      engine.RunTask(TaskOptions::Default(core::TaskType::kThreeLine),
+                     nullptr);
   ASSERT_TRUE(metrics.ok());
   EXPECT_GT(metrics->phases.quantile_seconds, 0.0);
   EXPECT_GT(metrics->phases.regression_seconds, 0.0);
@@ -399,12 +400,11 @@ TEST_F(EnginesTest, ThreeLinePhasesReported) {
 TEST_F(EnginesTest, SimilarityHouseholdLimitRespected) {
   SystemCEngine engine(FactoryOptions().spool_dir + "_limit");
   ASSERT_TRUE(engine.Attach(SingleCsvSource()).ok());
-  TaskRequest request;
-  request.task = core::TaskType::kSimilarity;
-  request.similarity_households = 5;
-  TaskOutputs outputs;
-  ASSERT_TRUE(engine.RunTask(request, &outputs).ok());
-  EXPECT_EQ(outputs.similarities.size(), 5u);
+  SimilarityTaskOptions similarity;
+  similarity.households = 5;
+  TaskResultSet results;
+  ASSERT_TRUE(engine.RunTask(TaskOptions(similarity), &results).ok());
+  EXPECT_EQ(results.Get<core::SimilarityResult>().size(), 5u);
 }
 
 TEST_F(EnginesTest, EngineFactoryMakesAllKinds) {
@@ -431,13 +431,13 @@ TEST_F(EnginesTest, BenchmarkRunnerEndToEnd) {
   spec.factory = FactoryOptions();
   spec.factory.spool_dir = FactoryOptions().spool_dir + "_runner";
   spec.source = SingleCsvSource();
-  spec.request.task = core::TaskType::kHistogram;
+  spec.options = TaskOptions::Default(core::TaskType::kHistogram);
   spec.keep_outputs = true;
   auto report = RunBenchmark(spec);
   ASSERT_TRUE(report.ok()) << report.status().ToString();
   EXPECT_GT(report->attach_seconds, 0.0);
   EXPECT_GT(report->task_seconds, 0.0);
-  EXPECT_EQ(report->outputs.histograms.size(),
+  EXPECT_EQ(report->results.Get<core::HistogramResult>().size(),
             static_cast<size_t>(kHouseholds));
 }
 
@@ -454,6 +454,42 @@ TEST_F(EnginesTest, EnginesRejectWrongLayouts) {
   DataSource empty;
   EXPECT_EQ(no_files.Attach(empty).status().code(),
             StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// DataSource named constructors
+// ---------------------------------------------------------------------------
+
+TEST_F(EnginesTest, DataSourceNamedConstructorsValidate) {
+  // Happy paths.
+  ASSERT_TRUE(DataSource::SingleCsv(single_csv_).ok());
+  ASSERT_TRUE(DataSource::PartitionedDir(*partitioned_files_).ok());
+  ASSERT_TRUE(DataSource::HouseholdLines(household_lines_).ok());
+  ASSERT_TRUE(DataSource::WholeFileDir(*whole_files_).ok());
+
+  // Directory form enumerates the partition files itself.
+  auto scanned =
+      DataSource::PartitionedDir((*dir_ / "part").string());
+  ASSERT_TRUE(scanned.ok()) << scanned.status().ToString();
+  EXPECT_EQ(scanned->files.size(), partitioned_files_->size());
+
+  // Missing file.
+  EXPECT_EQ(DataSource::SingleCsv((*dir_ / "nope.csv").string())
+                .status()
+                .code(),
+            StatusCode::kIOError);
+  // Empty partition list.
+  EXPECT_EQ(DataSource::PartitionedDir(std::vector<std::string>{})
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  // Partition files spanning two directories.
+  std::vector<std::string> spread = {(*partitioned_files_)[0], single_csv_};
+  EXPECT_EQ(DataSource::PartitionedDir(spread).status().code(),
+            StatusCode::kInvalidArgument);
+  // Household lines without the temperature sidecar.
+  EXPECT_EQ(DataSource::HouseholdLines(single_csv_).status().code(),
+            StatusCode::kIOError);
 }
 
 }  // namespace

@@ -1,0 +1,295 @@
+// Exercises the concurrent execution subsystem: the work-stealing
+// thread pool under steal-heavy load, ParallelFor edge cases, and
+// QueryContext cancellation/deadline propagation into all four task
+// kernels.
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+#include "core/histogram_task.h"
+#include "core/par_task.h"
+#include "core/similarity_task.h"
+#include "core/three_line_task.h"
+#include "exec/query_context.h"
+#include "obs/metrics.h"
+
+namespace smartmeter {
+namespace {
+
+/// Keeps busy-work loops from being optimized away.
+std::atomic<double> benchmark_sink{0.0};
+
+// ---------------------------------------------------------------------------
+// Work-stealing pool
+// ---------------------------------------------------------------------------
+
+TEST(WorkStealingTest, StressTenThousandTasksAcrossEightWorkers) {
+  ThreadPool pool(8);
+  std::atomic<int> executed{0};
+  // Steal-heavy shape: a few seed tasks each spawn a burst of children
+  // from inside the pool, so children land on one worker's deque and
+  // the other seven make progress only by stealing.
+  constexpr int kSeeds = 10;
+  constexpr int kChildrenPerSeed = 999;  // 10 * (1 + 999) = 10,000 tasks.
+  for (int s = 0; s < kSeeds; ++s) {
+    pool.Submit([&pool, &executed] {
+      for (int c = 0; c < kChildrenPerSeed; ++c) {
+        pool.Submit([&executed] {
+          executed.fetch_add(1, std::memory_order_relaxed);
+        });
+      }
+      executed.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(executed.load(), kSeeds * (1 + kChildrenPerSeed));
+}
+
+TEST(WorkStealingTest, StealsObservedUnderImbalance) {
+  obs::Counter* stolen =
+      obs::MetricsRegistry::Global().GetCounter("threadpool.tasks_stolen");
+  const int64_t before = stolen->Value();
+  ThreadPool pool(8);
+  std::atomic<int> executed{0};
+  // One seed spawning slow children from a single worker's deque forces
+  // the other workers to steal or idle.
+  pool.Submit([&pool, &executed] {
+    for (int c = 0; c < 64; ++c) {
+      pool.Submit([&executed] {
+        double sink = 0.0;
+        for (int i = 0; i < 20000; ++i) sink += std::sqrt(i);
+        benchmark_sink.store(sink, std::memory_order_relaxed);
+        executed.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+  });
+  pool.Wait();
+  EXPECT_EQ(executed.load(), 64);
+  EXPECT_GT(stolen->Value(), before);
+}
+
+TEST(WorkStealingTest, ParallelForZeroCountEnqueuesNothing) {
+  obs::Counter* submitted = obs::MetricsRegistry::Global().GetCounter(
+      "threadpool.tasks_submitted");
+  ThreadPool pool(4);
+  const int64_t before = submitted->Value();
+  bool called = false;
+  pool.ParallelFor(0, [&called](size_t, size_t) { called = true; });
+  EXPECT_FALSE(called);
+  EXPECT_EQ(submitted->Value(), before);
+  pool.Wait();  // Returns immediately: nothing was enqueued.
+}
+
+TEST(WorkStealingTest, SubmitFromWorkerThenWaitDoesNotDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<int> inner_done{0};
+  std::atomic<bool> outer_done{false};
+  // The outer task occupies one worker, Submits more work than the
+  // remaining worker can have started, then Waits: the waiting worker
+  // must help run queued tasks instead of blocking the pool.
+  pool.Submit([&] {
+    for (int i = 0; i < 100; ++i) {
+      pool.Submit(
+          [&inner_done] { inner_done.fetch_add(1, std::memory_order_relaxed); });
+    }
+    pool.Wait();
+    EXPECT_EQ(inner_done.load(), 100);
+    outer_done.store(true);
+  });
+  pool.Wait();
+  EXPECT_TRUE(outer_done.load());
+}
+
+TEST(WorkStealingTest, NestedParallelForFromWorker) {
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  pool.ParallelFor(8, [&pool, &total](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      pool.ParallelFor(50, [&total](size_t b, size_t e) {
+        total.fetch_add(static_cast<int>(e - b), std::memory_order_relaxed);
+      });
+    }
+  });
+  EXPECT_EQ(total.load(), 8 * 50);
+}
+
+TEST(WorkStealingTest, ConcurrentExternalParallelFors) {
+  ThreadPool pool(4);
+  std::atomic<int> a{0}, b{0};
+  std::thread t1([&] {
+    pool.ParallelFor(500, [&a](size_t begin, size_t end) {
+      a.fetch_add(static_cast<int>(end - begin), std::memory_order_relaxed);
+    });
+  });
+  std::thread t2([&] {
+    pool.ParallelFor(700, [&b](size_t begin, size_t end) {
+      b.fetch_add(static_cast<int>(end - begin), std::memory_order_relaxed);
+    });
+  });
+  t1.join();
+  t2.join();
+  EXPECT_EQ(a.load(), 500);
+  EXPECT_EQ(b.load(), 700);
+}
+
+// ---------------------------------------------------------------------------
+// QueryContext semantics
+// ---------------------------------------------------------------------------
+
+TEST(QueryContextTest, BackgroundNeverStops) {
+  const exec::QueryContext& ctx = exec::QueryContext::Background();
+  EXPECT_FALSE(ctx.ShouldStop());
+  EXPECT_TRUE(ctx.CheckNotStopped().ok());
+}
+
+TEST(QueryContextTest, CancelTripsSharedToken) {
+  exec::QueryContext ctx;
+  EXPECT_FALSE(ctx.ShouldStop());
+  ctx.RequestCancel();
+  EXPECT_TRUE(ctx.ShouldStop());
+  EXPECT_EQ(ctx.CheckNotStopped().code(), StatusCode::kCancelled);
+}
+
+TEST(QueryContextTest, ExpiredDeadlineReportsDeadlineExceeded) {
+  exec::QueryContext ctx;
+  ctx.set_deadline(exec::QueryContext::Clock::now() -
+                   std::chrono::milliseconds(1));
+  EXPECT_TRUE(ctx.ShouldStop());
+  EXPECT_EQ(ctx.CheckNotStopped().code(), StatusCode::kDeadlineExceeded);
+  // The deadline also trips the shared token for other observers.
+  EXPECT_TRUE(ctx.cancelled());
+}
+
+TEST(QueryContextTest, FutureDeadlineDoesNotStop) {
+  exec::QueryContext ctx;
+  ctx.set_deadline_after(std::chrono::hours(1));
+  EXPECT_FALSE(ctx.ShouldStop());
+  EXPECT_TRUE(ctx.CheckNotStopped().ok());
+}
+
+// ---------------------------------------------------------------------------
+// Kernel cancellation: all four kernels bail out under a stopped context
+// ---------------------------------------------------------------------------
+
+class KernelCancellationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // A year of synthetic data with daily and seasonal structure.
+    consumption_.reserve(8760);
+    temperature_.reserve(8760);
+    for (int t = 0; t < 8760; ++t) {
+      temperature_.push_back(10.0 + 15.0 * std::sin(t * 0.0007));
+      consumption_.push_back(
+          0.5 + 0.1 * ((t % 24) / 24.0) +
+          0.02 * std::max(0.0, 12.0 - temperature_.back()));
+    }
+  }
+
+  static void Cancel(exec::QueryContext* ctx) { ctx->RequestCancel(); }
+
+  static void Expire(exec::QueryContext* ctx) {
+    ctx->set_deadline(exec::QueryContext::Clock::now() -
+                      std::chrono::milliseconds(1));
+  }
+
+  std::vector<double> consumption_;
+  std::vector<double> temperature_;
+};
+
+TEST_F(KernelCancellationTest, HistogramKernel) {
+  exec::QueryContext cancelled;
+  Cancel(&cancelled);
+  EXPECT_EQ(core::ComputeConsumptionHistogram(consumption_, {}, &cancelled)
+                .status()
+                .code(),
+            StatusCode::kCancelled);
+  exec::QueryContext expired;
+  Expire(&expired);
+  EXPECT_EQ(core::ComputeConsumptionHistogram(consumption_, {}, &expired)
+                .status()
+                .code(),
+            StatusCode::kDeadlineExceeded);
+}
+
+TEST_F(KernelCancellationTest, ThreeLineKernel) {
+  exec::QueryContext cancelled;
+  Cancel(&cancelled);
+  EXPECT_EQ(core::ComputeThreeLine(consumption_, temperature_, 1, {},
+                                   nullptr, &cancelled)
+                .status()
+                .code(),
+            StatusCode::kCancelled);
+  exec::QueryContext expired;
+  Expire(&expired);
+  EXPECT_EQ(core::ComputeThreeLine(consumption_, temperature_, 1, {},
+                                   nullptr, &expired)
+                .status()
+                .code(),
+            StatusCode::kDeadlineExceeded);
+}
+
+TEST_F(KernelCancellationTest, ParKernel) {
+  exec::QueryContext cancelled;
+  Cancel(&cancelled);
+  EXPECT_EQ(core::ComputeDailyProfile(consumption_, temperature_, 1, {},
+                                      &cancelled)
+                .status()
+                .code(),
+            StatusCode::kCancelled);
+  exec::QueryContext expired;
+  Expire(&expired);
+  EXPECT_EQ(core::ComputeDailyProfile(consumption_, temperature_, 1, {},
+                                      &expired)
+                .status()
+                .code(),
+            StatusCode::kDeadlineExceeded);
+}
+
+TEST_F(KernelCancellationTest, SimilarityKernel) {
+  std::vector<std::vector<double>> data(8);
+  std::vector<core::SeriesView> series;
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = consumption_;
+    data[i][0] += static_cast<double>(i);  // Distinct series.
+    series.push_back(
+        {static_cast<int64_t>(i + 1), std::span<const double>(data[i])});
+  }
+  exec::QueryContext cancelled;
+  Cancel(&cancelled);
+  EXPECT_EQ(core::ComputeSimilarityTopK(series, {}, &cancelled)
+                .status()
+                .code(),
+            StatusCode::kCancelled);
+  exec::QueryContext expired;
+  Expire(&expired);
+  EXPECT_EQ(
+      core::ComputeSimilarityTopK(series, {}, &expired).status().code(),
+      StatusCode::kDeadlineExceeded);
+}
+
+TEST_F(KernelCancellationTest, MidFlightDeadlineStopsLongSimilarity) {
+  // A deadline that expires while the quadratic scan runs: the kernel
+  // must notice it between query rows and stop early.
+  constexpr size_t kSeries = 64;
+  std::vector<std::vector<double>> data(kSeries);
+  std::vector<core::SeriesView> series;
+  for (size_t i = 0; i < kSeries; ++i) {
+    data[i] = consumption_;
+    data[i][i % data[i].size()] += static_cast<double>(i);
+    series.push_back(
+        {static_cast<int64_t>(i + 1), std::span<const double>(data[i])});
+  }
+  exec::QueryContext ctx;
+  ctx.set_deadline_after(std::chrono::microseconds(200));
+  auto result = core::ComputeSimilarityTopK(series, {}, &ctx);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+}  // namespace
+}  // namespace smartmeter
