@@ -9,4 +9,20 @@ Result<stats::EquiWidthHistogram> ComputeConsumptionHistogram(
   return stats::BuildEquiWidthHistogram(consumption, options.num_buckets);
 }
 
+Status ComputeHistogramRange(const table::ColumnarBatch& batch, size_t begin,
+                             size_t end, const HistogramOptions& options,
+                             const exec::QueryContext* ctx,
+                             std::span<HistogramResult> out) {
+  if (end > out.size() || end > batch.count()) {
+    return Status::InvalidArgument("histogram range exceeds batch/output");
+  }
+  for (size_t i = begin; i < end; ++i) {
+    SM_ASSIGN_OR_RETURN(
+        stats::EquiWidthHistogram hist,
+        ComputeConsumptionHistogram(batch.consumption(i), options, ctx));
+    out[i] = {batch.household_id(i), std::move(hist)};
+  }
+  return Status::OK();
+}
+
 }  // namespace smartmeter::core

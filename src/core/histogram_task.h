@@ -6,6 +6,7 @@
 #include "common/result.h"
 #include "core/task_types.h"
 #include "exec/query_context.h"
+#include "table/columnar_batch.h"
 
 namespace smartmeter::core {
 
@@ -22,6 +23,16 @@ struct HistogramOptions {
 Result<stats::EquiWidthHistogram> ComputeConsumptionHistogram(
     std::span<const double> consumption, const HistogramOptions& options = {},
     const exec::QueryContext* ctx = nullptr);
+
+/// Histograms households [begin, end) of a columnar batch, writing
+/// out[i] for each i in the range (`out` must span at least `end`
+/// results). This is the unit of work one thread runs: the inner loop
+/// reads contiguous column slices straight out of the batch, so no
+/// per-household indirection sits between the scheduler and the math.
+Status ComputeHistogramRange(const table::ColumnarBatch& batch, size_t begin,
+                             size_t end, const HistogramOptions& options,
+                             const exec::QueryContext* ctx,
+                             std::span<HistogramResult> out);
 
 }  // namespace smartmeter::core
 

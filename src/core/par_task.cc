@@ -74,4 +74,21 @@ Result<DailyProfileResult> ComputeDailyProfile(
   return result;
 }
 
+Status ComputeDailyProfileRange(const table::ColumnarBatch& batch,
+                                size_t begin, size_t end,
+                                const ParOptions& options,
+                                const exec::QueryContext* ctx,
+                                std::span<DailyProfileResult> out) {
+  if (end > out.size() || end > batch.count()) {
+    return Status::InvalidArgument("PAR range exceeds batch/output");
+  }
+  const std::span<const double> temperature = batch.temperature();
+  for (size_t i = begin; i < end; ++i) {
+    SM_ASSIGN_OR_RETURN(
+        out[i], ComputeDailyProfile(batch.consumption(i), temperature,
+                                    batch.household_id(i), options, ctx));
+  }
+  return Status::OK();
+}
+
 }  // namespace smartmeter::core

@@ -6,6 +6,7 @@
 #include "common/result.h"
 #include "core/task_types.h"
 #include "exec/query_context.h"
+#include "table/columnar_batch.h"
 
 namespace smartmeter::core {
 
@@ -30,6 +31,15 @@ Result<DailyProfileResult> ComputeDailyProfile(
     std::span<const double> consumption, std::span<const double> temperature,
     int64_t household_id, const ParOptions& options = {},
     const exec::QueryContext* ctx = nullptr);
+
+/// Fits households [begin, end) of a columnar batch against the batch's
+/// shared temperature column, writing out[i] for each i in the range
+/// (`out` must span at least `end` results).
+Status ComputeDailyProfileRange(const table::ColumnarBatch& batch,
+                                size_t begin, size_t end,
+                                const ParOptions& options,
+                                const exec::QueryContext* ctx,
+                                std::span<DailyProfileResult> out);
 
 }  // namespace smartmeter::core
 

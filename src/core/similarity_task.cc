@@ -135,4 +135,16 @@ Result<std::vector<SimilarityResult>> ComputeSimilarityTopKApprox(
   return results;
 }
 
+std::vector<SeriesView> BuildSeriesViews(const table::ColumnarBatch& batch,
+                                         size_t limit) {
+  size_t n = batch.count();
+  if (limit > 0) n = std::min(n, limit);
+  std::vector<SeriesView> views;
+  views.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    views.push_back({batch.household_id(i), batch.consumption(i)});
+  }
+  return views;
+}
+
 }  // namespace smartmeter::core

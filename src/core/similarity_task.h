@@ -8,6 +8,7 @@
 #include "common/result.h"
 #include "core/task_types.h"
 #include "exec/query_context.h"
+#include "table/columnar_batch.h"
 
 namespace smartmeter::core {
 
@@ -44,6 +45,12 @@ Result<std::vector<SimilarityResult>> ComputeSimilarityTopKRange(
 
 /// Precomputes the L2 norm of every series.
 std::vector<double> ComputeNorms(std::span<const SeriesView> series);
+
+/// Views the first `limit` households of a columnar batch as similarity
+/// inputs (0 = all). The views borrow the batch's memory; one shared
+/// helper so every engine builds the self-join input the same way.
+std::vector<SeriesView> BuildSeriesViews(const table::ColumnarBatch& batch,
+                                         size_t limit = 0);
 
 /// Options for SAX-accelerated approximate similarity search (an
 /// extension following the paper's reference [27]: symbolic

@@ -249,4 +249,21 @@ Result<ThreeLineResult> ComputeThreeLine(std::span<const double> consumption,
   return result;
 }
 
+Status ComputeThreeLineRange(const table::ColumnarBatch& batch, size_t begin,
+                             size_t end, const ThreeLineOptions& options,
+                             ThreeLinePhases* phases,
+                             const exec::QueryContext* ctx,
+                             std::span<ThreeLineResult> out) {
+  if (end > out.size() || end > batch.count()) {
+    return Status::InvalidArgument("three-line range exceeds batch/output");
+  }
+  const std::span<const double> temperature = batch.temperature();
+  for (size_t i = begin; i < end; ++i) {
+    SM_ASSIGN_OR_RETURN(
+        out[i], ComputeThreeLine(batch.consumption(i), temperature,
+                                 batch.household_id(i), options, phases, ctx));
+  }
+  return Status::OK();
+}
+
 }  // namespace smartmeter::core

@@ -6,6 +6,7 @@
 #include "common/result.h"
 #include "core/task_types.h"
 #include "exec/query_context.h"
+#include "table/columnar_batch.h"
 
 namespace smartmeter::core {
 
@@ -55,6 +56,17 @@ Result<ThreeLineResult> ComputeThreeLine(std::span<const double> consumption,
                                          ThreeLinePhases* phases = nullptr,
                                          const exec::QueryContext* ctx =
                                              nullptr);
+
+/// Fits households [begin, end) of a columnar batch against the batch's
+/// shared temperature column, writing out[i] for each i in the range
+/// (`out` must span at least `end` results). `phases`, when non-null,
+/// accumulates the timing breakdown for the whole range — callers hand
+/// in one per-thread instance and merge afterwards.
+Status ComputeThreeLineRange(const table::ColumnarBatch& batch, size_t begin,
+                             size_t end, const ThreeLineOptions& options,
+                             ThreeLinePhases* phases,
+                             const exec::QueryContext* ctx,
+                             std::span<ThreeLineResult> out);
 
 }  // namespace smartmeter::core
 

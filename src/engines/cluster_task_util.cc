@@ -25,16 +25,28 @@ void AssembleSeries(std::vector<HourRecord>* records,
 }
 
 Result<HouseholdLine> ParseHouseholdLine(std::string_view line) {
-  const std::vector<std::string_view> fields = SplitString(line, ',');
-  if (fields.size() < 2) {
+  // Single pass over the line: no field vector is materialized. A format
+  // 2 line holds a whole year (8760 values), so the old split-then-parse
+  // allocated a ~9k-entry vector per household just to throw it away.
+  const size_t id_end = line.find(',');
+  if (id_end == std::string_view::npos) {
     return Status::Corruption("household line with no readings");
   }
   HouseholdLine parsed;
-  SM_ASSIGN_OR_RETURN(parsed.household_id, ParseInt64(fields[0]));
-  parsed.consumption.reserve(fields.size() - 1);
-  for (size_t i = 1; i < fields.size(); ++i) {
-    SM_ASSIGN_OR_RETURN(double v, ParseDouble(fields[i]));
+  SM_ASSIGN_OR_RETURN(parsed.household_id,
+                      ParseInt64(line.substr(0, id_end)));
+  parsed.consumption.reserve(
+      static_cast<size_t>(std::count(line.begin(), line.end(), ',')));
+  size_t pos = id_end + 1;
+  for (;;) {
+    const size_t comma = line.find(',', pos);
+    const std::string_view field =
+        comma == std::string_view::npos ? line.substr(pos)
+                                        : line.substr(pos, comma - pos);
+    SM_ASSIGN_OR_RETURN(double v, ParseDouble(field));
     parsed.consumption.push_back(v);
+    if (comma == std::string_view::npos) break;
+    pos = comma + 1;
   }
   return parsed;
 }
@@ -58,6 +70,19 @@ Result<std::vector<double>> ReadTemperatureSidecar(const std::string& path) {
   }
   std::fclose(f);
   return values;
+}
+
+Result<table::ColumnarBatch> BatchFromSeriesTable(const SeriesTable& table) {
+  std::vector<int64_t> ids;
+  std::vector<table::SeriesSlice> series;
+  ids.reserve(table.size());
+  series.reserve(table.size());
+  for (const auto& [id, values] : table) {
+    ids.push_back(id);
+    series.emplace_back(values);
+  }
+  return table::ColumnarBatch::FromSlices(std::move(ids), std::move(series),
+                                          {});
 }
 
 Status ComputeHouseholdTask(const exec::QueryContext& ctx,

@@ -60,33 +60,26 @@ Status RequireLayout(const DataSource& source,
       DataSourceLayoutName(source.layout).data()));
 }
 
-Result<TaskRunMetrics> RunTaskOverSeries(const exec::QueryContext& ctx,
-                                         const SeriesAccess& access,
-                                         const TaskOptions& options,
-                                         int num_threads,
-                                         TaskResultSet* results) {
+Result<TaskRunMetrics> RunTaskOverBatch(const exec::QueryContext& ctx,
+                                        const table::ColumnarBatch& batch,
+                                        const TaskOptions& options,
+                                        int num_threads,
+                                        TaskResultSet* results) {
   obs::SpanScope task_span(TaskSpanName(options.task()));
+  SM_RETURN_IF_ERROR(batch.Validate());
   TaskRunMetrics metrics;
   Stopwatch clock;
   ThreadPool pool(num_threads < 1 ? 1 : num_threads);
   ErrorCollector errors;
-  const size_t count = access.count;
+  const size_t count = batch.count();
 
   switch (options.task()) {
     case core::TaskType::kHistogram: {
       const auto& histogram = options.Get<core::HistogramOptions>();
       std::vector<core::HistogramResult> out(count);
       pool.ParallelFor(count, [&](size_t begin, size_t end) {
-        for (size_t i = begin; i < end; ++i) {
-          Result<stats::EquiWidthHistogram> hist =
-              core::ComputeConsumptionHistogram(access.consumption(i),
-                                                histogram, &ctx);
-          if (!hist.ok()) {
-            errors.Record(hist.status());
-            return;
-          }
-          out[i] = {access.household_id(i), std::move(*hist)};
-        }
+        errors.Record(core::ComputeHistogramRange(batch, begin, end,
+                                                  histogram, &ctx, out));
       });
       SM_RETURN_IF_ERROR(errors.first());
       if (results != nullptr) {
@@ -100,16 +93,8 @@ Result<TaskRunMetrics> RunTaskOverSeries(const exec::QueryContext& ctx,
       std::mutex phase_mu;
       pool.ParallelFor(count, [&](size_t begin, size_t end) {
         core::ThreeLinePhases local_phases;
-        for (size_t i = begin; i < end; ++i) {
-          Result<core::ThreeLineResult> fit = core::ComputeThreeLine(
-              access.consumption(i), access.temperature,
-              access.household_id(i), three_line, &local_phases, &ctx);
-          if (!fit.ok()) {
-            errors.Record(fit.status());
-            return;
-          }
-          out[i] = std::move(*fit);
-        }
+        errors.Record(core::ComputeThreeLineRange(
+            batch, begin, end, three_line, &local_phases, &ctx, out));
         std::lock_guard<std::mutex> lock(phase_mu);
         metrics.phases.Accumulate(local_phases);
       });
@@ -123,17 +108,8 @@ Result<TaskRunMetrics> RunTaskOverSeries(const exec::QueryContext& ctx,
       const auto& par = options.Get<core::ParOptions>();
       std::vector<core::DailyProfileResult> out(count);
       pool.ParallelFor(count, [&](size_t begin, size_t end) {
-        for (size_t i = begin; i < end; ++i) {
-          Result<core::DailyProfileResult> profile =
-              core::ComputeDailyProfile(access.consumption(i),
-                                        access.temperature,
-                                        access.household_id(i), par, &ctx);
-          if (!profile.ok()) {
-            errors.Record(profile.status());
-            return;
-          }
-          out[i] = std::move(*profile);
-        }
+        errors.Record(
+            core::ComputeDailyProfileRange(batch, begin, end, par, &ctx, out));
       });
       SM_RETURN_IF_ERROR(errors.first());
       if (results != nullptr) {
@@ -143,15 +119,11 @@ Result<TaskRunMetrics> RunTaskOverSeries(const exec::QueryContext& ctx,
     }
     case core::TaskType::kSimilarity: {
       const auto& similarity = options.Get<SimilarityTaskOptions>();
-      size_t n = count;
-      if (similarity.households > 0) {
-        n = std::min(n, static_cast<size_t>(similarity.households));
-      }
-      std::vector<core::SeriesView> views;
-      views.reserve(n);
-      for (size_t i = 0; i < n; ++i) {
-        views.push_back({access.household_id(i), access.consumption(i)});
-      }
+      const std::vector<core::SeriesView> views = core::BuildSeriesViews(
+          batch, similarity.households > 0
+                     ? static_cast<size_t>(similarity.households)
+                     : 0);
+      const size_t n = views.size();
       const std::vector<double> norms = core::ComputeNorms(views);
       std::vector<core::SimilarityResult> out(n);
       pool.ParallelFor(n, [&](size_t begin, size_t end) {
@@ -182,17 +154,9 @@ Result<TaskRunMetrics> RunTaskOverDataset(const exec::QueryContext& ctx,
                                           const TaskOptions& options,
                                           int num_threads,
                                           TaskResultSet* results) {
-  SeriesAccess access;
-  access.count = dataset.num_consumers();
-  const auto& consumers = dataset.consumers();
-  access.household_id = [&consumers](size_t i) {
-    return consumers[i].household_id;
-  };
-  access.consumption = [&consumers](size_t i) {
-    return std::span<const double>(consumers[i].consumption);
-  };
-  access.temperature = dataset.temperature();
-  return RunTaskOverSeries(ctx, access, options, num_threads, results);
+  SM_ASSIGN_OR_RETURN(table::ColumnarBatch batch,
+                      table::ColumnarBatch::FromDataset(dataset));
+  return RunTaskOverBatch(ctx, batch, options, num_threads, results);
 }
 
 }  // namespace smartmeter::engines

@@ -1,40 +1,32 @@
 #ifndef SMARTMETER_ENGINES_ENGINE_UTIL_H_
 #define SMARTMETER_ENGINES_ENGINE_UTIL_H_
 
-#include <functional>
 #include <initializer_list>
-#include <span>
 
 #include "engines/engine.h"
+#include "table/columnar_batch.h"
 #include "timeseries/dataset.h"
 
 namespace smartmeter::engines {
 
-/// A storage-agnostic view over n consumer series plus the shared
-/// temperature series; each engine adapts its own storage (file arrays,
-/// row-store extracts, mmap'd column segments) to this shape.
-struct SeriesAccess {
-  size_t count = 0;
-  std::function<int64_t(size_t)> household_id;
-  std::function<std::span<const double>(size_t)> consumption;
-  std::span<const double> temperature;
-};
-
 /// Shared per-consumer task executor used by every single-node engine
-/// once data is accessible: splits households across `num_threads`
-/// workers (the per-consumer tasks are embarrassingly parallel, Section
-/// 5.3.4) and runs the requested algorithm. Similarity partitions the
-/// query side of the quadratic loop. `ctx` is polled per household so a
-/// cancelled or expired query returns kCancelled / kDeadlineExceeded
-/// promptly. Returns wall-clock metrics; `results` (optional) receives
-/// results in household order.
-Result<TaskRunMetrics> RunTaskOverSeries(const exec::QueryContext& ctx,
-                                         const SeriesAccess& access,
-                                         const TaskOptions& options,
-                                         int num_threads,
-                                         TaskResultSet* results);
+/// once data is in a ColumnarBatch: splits households across
+/// `num_threads` workers (the per-consumer tasks are embarrassingly
+/// parallel, Section 5.3.4) and runs the requested algorithm via the
+/// kernels' batch-range entry points, so every inner loop reads
+/// contiguous column slices with no per-access indirection. Similarity
+/// partitions the query side of the quadratic loop. `ctx` is polled per
+/// household so a cancelled or expired query returns kCancelled /
+/// kDeadlineExceeded promptly. Returns wall-clock metrics; `results`
+/// (optional) receives results in household order.
+Result<TaskRunMetrics> RunTaskOverBatch(const exec::QueryContext& ctx,
+                                        const table::ColumnarBatch& batch,
+                                        const TaskOptions& options,
+                                        int num_threads,
+                                        TaskResultSet* results);
 
-/// Convenience adapter over an in-memory dataset.
+/// Convenience adapter over an in-memory dataset (builds a borrowing
+/// batch first).
 Result<TaskRunMetrics> RunTaskOverDataset(const exec::QueryContext& ctx,
                                           const MeterDataset& dataset,
                                           const TaskOptions& options,

@@ -304,11 +304,12 @@ Result<TaskRunMetrics> HiveEngine::RunSimilarity(const exec::QueryContext& ctx,
   // Stage 2: the self-join. Hive's plan cannot use a map-side join here
   // (Section 5.4.2), so every join task receives a full copy of the
   // series table through the shuffle -- the dominant cost.
-  std::vector<core::SeriesView> views;
-  views.reserve(series_table.size());
+  SM_ASSIGN_OR_RETURN(const table::ColumnarBatch series_batch,
+                      internal::BatchFromSeriesTable(series_table));
+  const std::vector<core::SeriesView> views =
+      core::BuildSeriesViews(series_batch);
   int64_t table_bytes = 0;
   for (const auto& [id, series] : series_table) {
-    views.push_back({id, series});
     table_bytes += 24 + static_cast<int64_t>(series.size()) * 8;
   }
   const std::vector<double> norms = core::ComputeNorms(views);

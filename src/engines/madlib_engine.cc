@@ -1,6 +1,6 @@
 #include "engines/madlib_engine.h"
 
-#include <algorithm>
+#include <utility>
 
 #include "common/stopwatch.h"
 #include "engines/engine_util.h"
@@ -16,7 +16,8 @@ Result<double> MadlibEngine::Attach(const DataSource& source) {
                                     DataSource::Layout::kPartitionedDir},
                                    name()));
   Stopwatch clock;
-  warm_.reset();
+  warm_reader_.reset();
+  attached_ = false;
   row_table_ = storage::RowStore();
   array_table_ = storage::ArrayStore();
   if (layout_ == TableLayout::kRow) {
@@ -43,41 +44,44 @@ Result<double> MadlibEngine::Attach(const DataSource& source) {
     }
     SM_RETURN_IF_ERROR(array_table_.LoadFromDataset(staged));
   }
+  attached_ = true;
   return clock.ElapsedSeconds();
 }
 
-Result<MeterDataset> MadlibEngine::ExtractAll() const {
-  SM_TRACE_SPAN("madlib.extract_all");
-  MeterDataset dataset;
+std::unique_ptr<table::TableReader> MadlibEngine::MakeTableReader() const {
   if (layout_ == TableLayout::kRow) {
     // All-household extraction plans as ONE sequential scan with a sort
     // per group (the GROUP BY plan PostgreSQL would pick), not as n
     // index scans over an un-clustered table.
-    SM_ASSIGN_OR_RETURN(MeterDataset scanned, row_table_.ScanAll());
-    dataset = std::move(scanned);
-    return dataset;
-  } else {
-    SM_ASSIGN_OR_RETURN(dataset, array_table_.ReadAll());
+    return std::make_unique<table::RowStoreReader>(&row_table_);
   }
-  return dataset;
+  return std::make_unique<table::ArrayStoreReader>(&array_table_);
 }
 
 Result<double> MadlibEngine::WarmUp() {
   SM_TRACE_SPAN("madlib.warmup");
+  if (!attached_) {
+    return Status::InvalidArgument("madlib: no data attached");
+  }
   Stopwatch clock;
-  SM_ASSIGN_OR_RETURN(MeterDataset dataset, ExtractAll());
-  warm_ = std::move(dataset);
+  std::unique_ptr<table::TableReader> reader = MakeTableReader();
+  SM_RETURN_IF_ERROR(reader->Open());
+  warm_reader_ = std::move(reader);
   return clock.ElapsedSeconds();
 }
 
-void MadlibEngine::DropWarmData() { warm_.reset(); }
+void MadlibEngine::DropWarmData() { warm_reader_.reset(); }
 
 Result<TaskRunMetrics> MadlibEngine::RunTask(const exec::QueryContext& ctx,
                                              const TaskOptions& options,
                                              TaskResultSet* results) {
   SM_TRACE_SPAN("madlib.task");
-  if (warm_.has_value()) {
-    return RunTaskOverDataset(ctx, *warm_, options, threads_, results);
+  if (!attached_) {
+    return Status::InvalidArgument("madlib: no data attached");
+  }
+  if (warm_reader_ != nullptr) {
+    SM_ASSIGN_OR_RETURN(table::ColumnarBatch batch, warm_reader_->NewBatch());
+    return RunTaskOverBatch(ctx, batch, options, threads_, results);
   }
   Stopwatch clock;
   TaskRunMetrics metrics;
@@ -85,10 +89,12 @@ Result<TaskRunMetrics> MadlibEngine::RunTask(const exec::QueryContext& ctx,
   // full scan plus per-household grouping and sorting; the array layout
   // reads far fewer, wider rows and skips the sort -- the Section 5.3.3
   // gap. Both then run the same kernels.
-  SM_ASSIGN_OR_RETURN(MeterDataset dataset, ExtractAll());
+  std::unique_ptr<table::TableReader> reader = MakeTableReader();
+  SM_RETURN_IF_ERROR(reader->Open());
   SM_RETURN_IF_ERROR(ctx.CheckNotStopped());
+  SM_ASSIGN_OR_RETURN(table::ColumnarBatch batch, reader->NewBatch());
   SM_ASSIGN_OR_RETURN(
-      metrics, RunTaskOverDataset(ctx, dataset, options, threads_, results));
+      metrics, RunTaskOverBatch(ctx, batch, options, threads_, results));
   metrics.seconds = clock.ElapsedSeconds();
   return metrics;
 }

@@ -1,11 +1,11 @@
 #ifndef SMARTMETER_ENGINES_MADLIB_ENGINE_H_
 #define SMARTMETER_ENGINES_MADLIB_ENGINE_H_
 
-#include <optional>
+#include <memory>
 
 #include "engines/engine.h"
 #include "storage/row_store.h"
-#include "timeseries/dataset.h"
+#include "table/table_reader.h"
 
 namespace smartmeter::engines {
 
@@ -21,6 +21,11 @@ namespace smartmeter::engines {
 ///  * kArray -- one row per household with consumption/temperature
 ///              arrays (Table 2), the hybrid layout that cut 3-line from
 ///              19.6 to 11.3 minutes in the paper.
+///
+/// Both layouts reach the kernels through their TableReader
+/// (RowStoreReader / ArrayStoreReader): a cold task opens the reader —
+/// paying the scan-and-group or deserialize cost — while WarmUp keeps an
+/// opened reader around so warm tasks serve batches from memory.
 ///
 /// SetThreads models opening several database connections that partition
 /// the household list.
@@ -47,14 +52,16 @@ class MadlibEngine : public AnalyticsEngine {
   TableLayout layout() const { return layout_; }
 
  private:
-  /// Extracts every household into an in-memory dataset via the table
-  /// access path (the warm-up SELECTs of Section 5.3.2).
-  Result<MeterDataset> ExtractAll() const;
+  /// The table access path for this layout (reader is not yet open;
+  /// Open() performs the extraction SELECTs of Section 5.3.2).
+  std::unique_ptr<table::TableReader> MakeTableReader() const;
 
   TableLayout layout_;
   storage::RowStore row_table_;
   storage::ArrayStore array_table_;
-  std::optional<MeterDataset> warm_;
+  bool attached_ = false;
+  /// An opened reader whose batches serve warm tasks; null when cold.
+  std::unique_ptr<table::TableReader> warm_reader_;
   int threads_ = 1;
 };
 

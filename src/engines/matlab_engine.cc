@@ -8,6 +8,7 @@
 #include "engines/engine_util.h"
 #include "obs/trace.h"
 #include "storage/csv.h"
+#include "table/columnar_batch.h"
 
 namespace smartmeter::engines {
 
@@ -217,45 +218,38 @@ Result<TaskRunMetrics> MatlabEngine::RunTask(const exec::QueryContext& ctx,
                                       &temperature);
       }
       if (st.ok()) {
-        switch (options.task()) {
-          case core::TaskType::kHistogram: {
-            Result<stats::EquiWidthHistogram> hist =
-                core::ComputeConsumptionHistogram(
-                    consumer.consumption,
-                    options.Get<core::HistogramOptions>(), &ctx);
-            if (hist.ok()) {
-              (*histograms)[i] = {consumer.household_id, std::move(*hist)};
-            } else {
-              st = hist.status();
-            }
-            break;
+        // One-household batch over the freshly parsed arrays: the same
+        // range kernels the batch engines run, writing result slot i.
+        Result<table::ColumnarBatch> batch = table::ColumnarBatch::FromSlices(
+            {consumer.household_id},
+            {table::SeriesSlice(consumer.consumption)}, temperature);
+        if (!batch.ok()) {
+          st = batch.status();
+        } else {
+          switch (options.task()) {
+            case core::TaskType::kHistogram:
+              st = core::ComputeHistogramRange(
+                  *batch, 0, 1, options.Get<core::HistogramOptions>(), &ctx,
+                  std::span<core::HistogramResult>(*histograms)
+                      .subspan(i, 1));
+              break;
+            case core::TaskType::kThreeLine:
+              st = core::ComputeThreeLineRange(
+                  *batch, 0, 1, options.Get<core::ThreeLineOptions>(),
+                  &local_phases, &ctx,
+                  std::span<core::ThreeLineResult>(*three_lines)
+                      .subspan(i, 1));
+              break;
+            case core::TaskType::kPar:
+              st = core::ComputeDailyProfileRange(
+                  *batch, 0, 1, options.Get<core::ParOptions>(), &ctx,
+                  std::span<core::DailyProfileResult>(*profiles)
+                      .subspan(i, 1));
+              break;
+            case core::TaskType::kSimilarity:
+              st = Status::Internal("similarity handled above");
+              break;
           }
-          case core::TaskType::kThreeLine: {
-            Result<core::ThreeLineResult> fit = core::ComputeThreeLine(
-                consumer.consumption, temperature, consumer.household_id,
-                options.Get<core::ThreeLineOptions>(), &local_phases, &ctx);
-            if (fit.ok()) {
-              (*three_lines)[i] = std::move(*fit);
-            } else {
-              st = fit.status();
-            }
-            break;
-          }
-          case core::TaskType::kPar: {
-            Result<core::DailyProfileResult> profile =
-                core::ComputeDailyProfile(
-                    consumer.consumption, temperature, consumer.household_id,
-                    options.Get<core::ParOptions>(), &ctx);
-            if (profile.ok()) {
-              (*profiles)[i] = std::move(*profile);
-            } else {
-              st = profile.status();
-            }
-            break;
-          }
-          case core::TaskType::kSimilarity:
-            st = Status::Internal("similarity handled above");
-            break;
         }
       }
       if (!st.ok()) {

@@ -282,12 +282,9 @@ Result<TaskRunMetrics> SparkEngine::RunTask(const exec::QueryContext& qctx,
     auto table = ctx.Broadcast(std::move(collected_series));
     std::vector<double> norms;
     {
-      std::vector<core::SeriesView> views;
-      views.reserve(table->size());
-      for (const SeriesPair& s : *table) {
-        views.push_back({s.first, s.second});
-      }
-      norms = core::ComputeNorms(views);
+      SM_ASSIGN_OR_RETURN(const auto batch,
+                          internal::BatchFromSeriesTable(*table));
+      norms = core::ComputeNorms(core::BuildSeriesViews(batch));
     }
     auto norms_bc = ctx.Broadcast(std::move(norms));
 
@@ -304,11 +301,10 @@ Result<TaskRunMetrics> SparkEngine::RunTask(const exec::QueryContext& qctx,
             [&qctx, &similarity, table, norms_bc, &append_results](
                 const std::vector<int64_t>& in,
                 std::vector<int>* out) -> Status {
-              std::vector<core::SeriesView> views;
-              views.reserve(table->size());
-              for (const SeriesPair& s : *table) {
-                views.push_back({s.first, s.second});
-              }
+              SM_ASSIGN_OR_RETURN(const auto batch,
+                                  internal::BatchFromSeriesTable(*table));
+              const std::vector<core::SeriesView> views =
+                  core::BuildSeriesViews(batch);
               TaskResultSet chunk;
               for (int64_t q : in) {
                 SM_ASSIGN_OR_RETURN(

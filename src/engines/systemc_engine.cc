@@ -1,16 +1,15 @@
 #include "engines/systemc_engine.h"
 
-#include <filesystem>
+#include <utility>
 
 #include "common/stopwatch.h"
 #include "engines/engine_util.h"
 #include "obs/trace.h"
-#include "storage/csv.h"
 
 namespace smartmeter::engines {
 
 SystemCEngine::SystemCEngine(std::string spool_dir)
-    : spool_dir_(std::move(spool_dir)) {}
+    : cache_(std::move(spool_dir)) {}
 
 Result<double> SystemCEngine::Attach(const DataSource& source) {
   SM_TRACE_SPAN("systemc.attach");
@@ -20,38 +19,26 @@ Result<double> SystemCEngine::Attach(const DataSource& source) {
                                    name()));
   Stopwatch clock;
   prefaulted_ = false;
-  // Ingest: parse the CSVs once, write the binary columnar image, then
-  // memory-map it. The one-time conversion is the whole load cost; the
-  // map itself is near-free, which is System C's Figure 4 advantage.
-  MeterDataset staged;
-  if (source.layout == DataSource::Layout::kSingleCsv) {
-    SM_ASSIGN_OR_RETURN(staged,
-                        storage::ReadReadingsCsv(source.files.front()));
-  } else {
-    std::error_code ec;
-    std::filesystem::path dir =
-        std::filesystem::path(source.files.front()).parent_path();
-    SM_ASSIGN_OR_RETURN(staged, storage::ReadPartitionedCsv(dir.string()));
-  }
-  std::error_code ec;
-  std::filesystem::create_directories(spool_dir_, ec);
-  if (ec) return Status::IOError("cannot create spool dir " + spool_dir_);
-  const std::string image = spool_dir_ + "/table.smcol";
-  SM_RETURN_IF_ERROR(storage::ColumnStore::WriteFile(staged, image));
-  SM_RETURN_IF_ERROR(store_.OpenMapped(image));
+  batch_ = table::ColumnarBatch();
+  // Ingest through the columnar cache: a first attach parses the CSVs
+  // once and spools the binary columnar image; any later attach of the
+  // unchanged source is an mmap. Either way the map itself is near-free,
+  // which is System C's Figure 4 advantage.
+  SM_ASSIGN_OR_RETURN(reader_, cache_.OpenOrBuild(source));
+  SM_ASSIGN_OR_RETURN(batch_, reader_->NewBatch());
   return clock.ElapsedSeconds();
 }
 
 Result<double> SystemCEngine::WarmUp() {
   SM_TRACE_SPAN("systemc.warmup");
-  if (!store_.is_open()) {
+  if (batch_.empty()) {
     return Status::InvalidArgument("system-c: no data attached");
   }
   Stopwatch clock;
   // Touch every page of the mapping so a warm run never faults.
   double sink = 0.0;
-  for (double v : store_.consumption_column()) sink += v;
-  for (double v : store_.temperature()) sink += v;
+  for (double v : batch_.consumption_column()) sink += v;
+  for (double v : batch_.temperature()) sink += v;
   // Defeat dead-code elimination of the touch loop.
   asm volatile("" : : "g"(sink) : "memory");
   prefaulted_ = true;
@@ -64,16 +51,10 @@ Result<TaskRunMetrics> SystemCEngine::RunTask(const exec::QueryContext& ctx,
                                               const TaskOptions& options,
                                               TaskResultSet* results) {
   SM_TRACE_SPAN("systemc.task");
-  if (!store_.is_open()) {
+  if (batch_.empty()) {
     return Status::InvalidArgument("system-c: no data attached");
   }
-  SeriesAccess access;
-  access.count = store_.num_households();
-  const storage::ColumnStore& store = store_;
-  access.household_id = [&store](size_t i) { return store.household_id(i); };
-  access.consumption = [&store](size_t i) { return store.consumption(i); };
-  access.temperature = store.temperature();
-  return RunTaskOverSeries(ctx, access, options, threads_, results);
+  return RunTaskOverBatch(ctx, batch_, options, threads_, results);
 }
 
 }  // namespace smartmeter::engines

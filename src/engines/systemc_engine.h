@@ -1,10 +1,13 @@
 #ifndef SMARTMETER_ENGINES_SYSTEMC_ENGINE_H_
 #define SMARTMETER_ENGINES_SYSTEMC_ENGINE_H_
 
+#include <memory>
 #include <string>
 
 #include "engines/engine.h"
-#include "storage/column_store.h"
+#include "table/columnar_batch.h"
+#include "table/columnar_cache.h"
+#include "table/table_reader.h"
 
 namespace smartmeter::engines {
 
@@ -14,9 +17,14 @@ namespace smartmeter::engines {
 /// over contiguous doubles; all statistical operators are the library's
 /// own hand-written kernels (System C ships none). Parallelism is a
 /// native configuration parameter.
+///
+/// The conversion runs through the shared columnar cache: the first
+/// Attach of a source parses and spools the column file (cache miss);
+/// re-attaching the unchanged source is an mmap with no parsing (cache
+/// hit) — the Figure 6 cold/warm distinction made explicit.
 class SystemCEngine : public AnalyticsEngine {
  public:
-  /// `spool_dir` is where the engine materializes its columnar file.
+  /// `spool_dir` is where the engine materializes its columnar files.
   explicit SystemCEngine(std::string spool_dir);
 
   std::string_view name() const override { return "system-c"; }
@@ -30,11 +38,12 @@ class SystemCEngine : public AnalyticsEngine {
   void SetThreads(int num_threads) override { threads_ = num_threads; }
   int threads() const override { return threads_; }
 
-  const storage::ColumnStore& store() const { return store_; }
+  const table::TableReader* reader() const { return reader_.get(); }
 
  private:
-  std::string spool_dir_;
-  storage::ColumnStore store_;
+  table::ColumnarCache cache_;
+  std::unique_ptr<table::TableReader> reader_;
+  table::ColumnarBatch batch_;
   int threads_ = 1;
   bool prefaulted_ = false;
 };

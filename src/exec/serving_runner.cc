@@ -112,6 +112,15 @@ void ServingRunner::AddSession(engines::AnalyticsEngine* engine) {
   dispatchers_.emplace_back(&ServingRunner::DispatchLoop, this, engine);
 }
 
+Result<double> ServingRunner::AttachSession(engines::AnalyticsEngine* engine,
+                                            const table::DataSource& source) {
+  SM_CHECK(engine != nullptr) << "serving session needs an engine";
+  SM_RETURN_IF_ERROR(source.Validate());
+  SM_ASSIGN_OR_RETURN(const double attach_seconds, engine->Attach(source));
+  AddSession(engine);
+  return attach_seconds;
+}
+
 size_t ServingRunner::num_sessions() const {
   std::lock_guard<std::mutex> lock(mu_);
   return sessions_;

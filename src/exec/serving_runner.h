@@ -17,6 +17,7 @@
 #include "common/result.h"
 #include "engines/engine.h"
 #include "exec/query_context.h"
+#include "table/data_source.h"
 
 namespace smartmeter::exec {
 
@@ -123,6 +124,14 @@ class ServingRunner {
 
   /// Registers an attached engine and starts its dispatcher thread.
   void AddSession(engines::AnalyticsEngine* engine);
+
+  /// Validates `source` through the shared data-plane screening, attaches
+  /// the engine to it, then registers the session. One call replaces the
+  /// validate/attach/register dance every serving harness repeated — and
+  /// guarantees a session never enters the pool pointing at a malformed
+  /// source. Returns the engine's attach seconds.
+  Result<double> AttachSession(engines::AnalyticsEngine* engine,
+                               const table::DataSource& source);
 
   size_t num_sessions() const;
 

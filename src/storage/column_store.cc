@@ -5,6 +5,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <cstdio>
 #include <cstring>
 
 #include "common/string_util.h"
@@ -20,6 +21,28 @@ constexpr size_t kHeaderBytes = 8 + 8 + 8;
 size_t FileBytes(size_t households, size_t hours) {
   return kHeaderBytes + households * sizeof(int64_t) +
          households * hours * sizeof(double) + hours * sizeof(double);
+}
+
+// FileBytes for untrusted (on-disk) header values: fails on arithmetic
+// overflow so a corrupt header cannot wrap the size check below and make
+// a tiny file look consistent with a huge shape.
+bool CheckedFileBytes(uint64_t households, uint64_t hours, size_t* out) {
+  uint64_t ids = 0;
+  uint64_t rows = 0;
+  uint64_t consumption = 0;
+  uint64_t temperature = 0;
+  uint64_t total = kHeaderBytes;
+  if (__builtin_mul_overflow(households, sizeof(int64_t), &ids) ||
+      __builtin_mul_overflow(households, hours, &rows) ||
+      __builtin_mul_overflow(rows, sizeof(double), &consumption) ||
+      __builtin_mul_overflow(hours, sizeof(double), &temperature) ||
+      __builtin_add_overflow(total, ids, &total) ||
+      __builtin_add_overflow(total, consumption, &total) ||
+      __builtin_add_overflow(total, temperature, &total)) {
+    return false;
+  }
+  *out = total;
+  return true;
 }
 
 }  // namespace
@@ -90,7 +113,10 @@ Status ColumnStore::WriteFile(const MeterDataset& dataset,
   ok = ok && write(dataset.temperature().data(),
                    dataset.temperature().size() * sizeof(double));
   if (std::fclose(f) != 0) ok = false;
-  if (!ok) return Status::IOError("short write to " + path);
+  if (!ok) {
+    std::remove(path.c_str());  // Never leave a truncated columnar file.
+    return Status::IOError("short write to " + path);
+  }
   return Status::OK();
 }
 
@@ -103,11 +129,13 @@ Status ColumnStore::PointIntoBuffer(const uint8_t* base, size_t size,
   uint64_t hours = 0;
   std::memcpy(&households, base + 8, sizeof(households));
   std::memcpy(&hours, base + 16, sizeof(hours));
-  const size_t expected = FileBytes(households, hours);
-  if (size != expected) {
+  size_t expected = 0;
+  if (!CheckedFileBytes(households, hours, &expected) || size != expected) {
     return Status::Corruption(StringPrintf(
-        "columnar file %s has %zu bytes, expected %zu", origin.c_str(), size,
-        expected));
+        "columnar file %s has %zu bytes, inconsistent with header shape "
+        "%llu x %llu",
+        origin.c_str(), size, static_cast<unsigned long long>(households),
+        static_cast<unsigned long long>(hours)));
   }
   num_households_ = households;
   hours_ = hours;
@@ -130,6 +158,12 @@ Status ColumnStore::OpenMapped(const std::string& path) {
     return Status::IOError("cannot stat " + path);
   }
   const size_t size = static_cast<size_t>(st.st_size);
+  if (size < kHeaderBytes) {
+    ::close(fd);
+    return Status::Corruption(StringPrintf(
+        "columnar file %s has %zu bytes, smaller than the %zu-byte header",
+        path.c_str(), size, kHeaderBytes));
+  }
   void* base = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
   ::close(fd);  // The mapping keeps the file alive.
   if (base == MAP_FAILED) {
@@ -177,7 +211,10 @@ Status ColumnStore::LoadFromDataset(const MeterDataset& dataset) {
     cursor += hours * sizeof(double);
   }
   std::memcpy(cursor, dataset.temperature().data(), hours * sizeof(double));
-  return PointIntoBuffer(owned_.data(), owned_.size(), "<memory>");
+  const Status pointed =
+      PointIntoBuffer(owned_.data(), owned_.size(), "<memory>");
+  if (!pointed.ok()) Close();  // Don't hold the buffer for a dead store.
+  return pointed;
 }
 
 }  // namespace smartmeter::storage

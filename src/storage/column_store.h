@@ -38,10 +38,15 @@ class ColumnStore {
   static Status WriteFile(const MeterDataset& dataset,
                           const std::string& path);
 
-  /// Memory-maps the file; data is accessed in place (zero copy).
+  /// Memory-maps the file; data is accessed in place (zero copy). On any
+  /// failure (open, stat, short file, mmap, corrupt header) the store is
+  /// left closed with no fd or mapping leaked.
   Status OpenMapped(const std::string& path);
 
-  /// Copies the dataset into owned memory (the warm in-process path).
+  /// Owned-memory fallback: materializes the same SMCOLV1 image into a
+  /// heap buffer instead of a file mapping. Used when there is no file to
+  /// map (warm in-process data, tests); every accessor behaves exactly as
+  /// in the mapped case. On failure the buffer is released.
   Status LoadFromDataset(const MeterDataset& dataset);
 
   /// Releases the mapping / owned memory.
@@ -76,7 +81,15 @@ class ColumnStore {
   Status PointIntoBuffer(const uint8_t* base, size_t size,
                          const std::string& origin);
 
-  // Either a live mmap (mapped_base_ != nullptr) or owned memory.
+  // At most one backing store is active:
+  //  * mapped_base_/mapped_size_ — a read-only MAP_PRIVATE mapping owned
+  //    by this object. Close() munmaps it, and every OpenMapped() error
+  //    path unmaps/closes before returning.
+  //  * owned_ — the owned-memory fallback (LoadFromDataset): the SMCOLV1
+  //    image lives in this heap buffer. operator new's max_align_t
+  //    guarantee plus the 8-byte-multiple section offsets keep the
+  //    int64/double columns naturally aligned.
+  // The column pointers below point into whichever one is live.
   void* mapped_base_ = nullptr;
   size_t mapped_size_ = 0;
   std::vector<uint8_t> owned_;

@@ -1,6 +1,8 @@
 #ifndef SMARTMETER_STORAGE_CSV_H_
 #define SMARTMETER_STORAGE_CSV_H_
 
+#include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -69,6 +71,15 @@ Result<MeterDataset> ReadReadingsCsv(const std::string& path);
 /// Reads every "*.csv" file under `dir` (one file per household layout).
 Result<MeterDataset> ReadPartitionedCsv(const std::string& dir);
 
+/// Reads several reading-per-line CSV files into one dataset (the
+/// whole-household-files layout, or an explicit partition list).
+Result<MeterDataset> ReadReadingsCsvFiles(
+    const std::vector<std::string>& paths);
+
+/// Groups reading-per-line rows — arriving in any order — by household
+/// and assembles a dense dataset (hours must cover 0..N-1 everywhere).
+Result<MeterDataset> AssembleReadingRows(std::span<const ReadingRow> rows);
+
 /// Reads a household-per-line CSV plus its "<path>.temperature" sidecar.
 Result<MeterDataset> ReadHouseholdLinesCsv(const std::string& path);
 
@@ -86,19 +97,25 @@ class ReadingCsvReader {
   Status Open();
 
   /// Reads the next row into `row`. Returns false at EOF. Malformed rows
-  /// surface through status().
+  /// surface through status() as "<path>:<line>: <field error>".
   bool Next(ReadingRow* row);
 
   const Status& status() const { return status_; }
+
+  /// 1-based number of the last line read (0 before the first Next()).
+  size_t line_number() const { return line_number_; }
 
  private:
   std::string path_;
   FILE* file_ = nullptr;
   std::string buffer_;
+  size_t line_number_ = 0;
   Status status_;
 };
 
-/// Parses a single reading-per-line row.
+/// Parses a single reading-per-line row in one pass (fields sliced in
+/// place, from_chars numeric fast path). Errors name the failing field
+/// and its 1-based column.
 Result<ReadingRow> ParseReadingRow(std::string_view line);
 
 }  // namespace smartmeter::storage

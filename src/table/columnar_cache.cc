@@ -1,0 +1,111 @@
+#include "table/columnar_cache.h"
+
+#include <filesystem>
+#include <string_view>
+#include <utility>
+
+#include "common/string_util.h"
+#include "obs/metrics.h"
+#include "storage/column_store.h"
+
+namespace smartmeter::table {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr uint64_t kFnvOffsetBasis = 1469598103934665603ULL;
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+uint64_t FnvMix(uint64_t hash, std::string_view bytes) {
+  for (const char c : bytes) {
+    hash ^= static_cast<uint8_t>(c);
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+uint64_t FnvMixU64(uint64_t hash, uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    hash ^= value & 0xff;
+    hash *= kFnvPrime;
+    value >>= 8;
+  }
+  return hash;
+}
+
+}  // namespace
+
+ColumnarCache::ColumnarCache(std::string cache_dir)
+    : cache_dir_(std::move(cache_dir)) {}
+
+uint64_t ColumnarCache::KeyFor(const DataSource& source, uint64_t seed) {
+  uint64_t hash = seed == 0 ? kFnvOffsetBasis : seed;
+  hash = FnvMix(hash, DataSourceLayoutName(source.layout));
+  for (const std::string& file : source.files) {
+    hash = FnvMix(hash, file);
+    hash = FnvMixU64(hash, 0);  // Separator between path and identity.
+    std::error_code ec;
+    const uint64_t size = static_cast<uint64_t>(fs::file_size(file, ec));
+    hash = FnvMixU64(hash, ec ? 0 : size);
+    const fs::file_time_type mtime = fs::last_write_time(file, ec);
+    hash = FnvMixU64(
+        hash, ec ? 0
+                 : static_cast<uint64_t>(mtime.time_since_epoch().count()));
+  }
+  return hash;
+}
+
+Result<std::string> ColumnarCache::CacheFilePath(
+    const DataSource& source) const {
+  SM_RETURN_IF_ERROR(source.Validate());
+  const uint64_t key = KeyFor(source, 0);
+  return StringPrintf("%s/%016llx.smcol", cache_dir_.c_str(),
+                      static_cast<unsigned long long>(key));
+}
+
+Result<std::unique_ptr<TableReader>> ColumnarCache::OpenOrBuild(
+    const DataSource& source) {
+  static obs::Counter* hits =
+      obs::MetricsRegistry::Global().GetCounter("table.cache.hits");
+  static obs::Counter* misses =
+      obs::MetricsRegistry::Global().GetCounter("table.cache.misses");
+
+  SM_ASSIGN_OR_RETURN(std::string cache_path, CacheFilePath(source));
+
+  std::error_code ec;
+  if (!fs::is_regular_file(cache_path, ec)) {
+    misses->Increment();
+    // Cold path: one parse of the text source, then persist. Write to a
+    // temp file and rename so a concurrent reader never maps a torn
+    // file and a failed build leaves no entry behind.
+    fs::create_directories(cache_dir_, ec);
+    if (ec) {
+      return Status::IOError(StringPrintf("cannot create cache dir %s: %s",
+                                          cache_dir_.c_str(),
+                                          ec.message().c_str()));
+    }
+    SM_ASSIGN_OR_RETURN(MeterDataset dataset, ReadDatasetFromSource(source));
+    const std::string tmp_path = cache_path + ".tmp";
+    const Status written = storage::ColumnStore::WriteFile(dataset, tmp_path);
+    if (!written.ok()) {
+      fs::remove(tmp_path, ec);
+      return written;
+    }
+    fs::rename(tmp_path, cache_path, ec);
+    if (ec) {
+      fs::remove(tmp_path, ec);
+      return Status::IOError(StringPrintf("cannot install cache file %s: %s",
+                                          cache_path.c_str(),
+                                          ec.message().c_str()));
+    }
+  } else {
+    hits->Increment();
+  }
+
+  auto reader = std::make_unique<ColumnFileReader>(cache_path);
+  SM_RETURN_IF_ERROR(reader->Open());
+  return std::unique_ptr<TableReader>(std::move(reader));
+}
+
+}  // namespace smartmeter::table

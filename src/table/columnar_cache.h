@@ -1,0 +1,53 @@
+#ifndef SMARTMETER_TABLE_COLUMNAR_CACHE_H_
+#define SMARTMETER_TABLE_COLUMNAR_CACHE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "table/data_source.h"
+#include "table/table_reader.h"
+
+namespace smartmeter::table {
+
+/// Binary columnar cache: parse any text DataSource once, persist the
+/// result as an mmap-able SMCOLV1 column file (the same format System
+/// C's native store uses), and serve every later scan zero-copy from the
+/// mapping. This gives all five engines one shared cold→warm story — the
+/// Figure 6 distinction — instead of five private re-parsers.
+///
+/// Cache files live under `cache_dir` as "<key>.smcol" where the key is
+/// an FNV-1a hash over the source's layout plus every file's path, byte
+/// size, and mtime. Touching or rewriting any input file changes the key,
+/// so a stale entry is simply never looked up again (dead entries are
+/// left for the directory owner to sweep).
+///
+/// Observability: every OpenOrBuild() bumps "table.cache.hits" or
+/// "table.cache.misses".
+class ColumnarCache {
+ public:
+  explicit ColumnarCache(std::string cache_dir);
+
+  /// The cache file a source maps to (stats every input file).
+  Result<std::string> CacheFilePath(const DataSource& source) const;
+
+  /// Hit: mmap the existing cache file — no parsing. Miss: parse the
+  /// source through the text reader, write the column file (atomically,
+  /// via a temp file + rename), then mmap it. Either way the returned
+  /// reader is already open and serves contiguous zero-copy batches.
+  Result<std::unique_ptr<TableReader>> OpenOrBuild(const DataSource& source);
+
+  /// Key hash, exposed for tests: FNV-1a over layout + file identities.
+  static uint64_t KeyFor(const DataSource& source, uint64_t seed);
+
+  const std::string& cache_dir() const { return cache_dir_; }
+
+ private:
+  std::string cache_dir_;
+};
+
+}  // namespace smartmeter::table
+
+#endif  // SMARTMETER_TABLE_COLUMNAR_CACHE_H_

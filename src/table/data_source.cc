@@ -1,4 +1,4 @@
-#include "engines/data_source.h"
+#include "table/data_source.h"
 
 #include <algorithm>
 #include <filesystem>
@@ -6,7 +6,7 @@
 
 #include "common/string_util.h"
 
-namespace smartmeter::engines {
+namespace smartmeter::table {
 namespace fs = std::filesystem;
 
 namespace {
@@ -131,4 +131,4 @@ std::string_view DataSourceLayoutName(DataSource::Layout layout) {
   return "unknown";
 }
 
-}  // namespace smartmeter::engines
+}  // namespace smartmeter::table

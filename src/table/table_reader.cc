@@ -1,0 +1,155 @@
+#include "table/table_reader.h"
+
+#include <utility>
+#include <vector>
+
+#include "common/string_util.h"
+#include "storage/csv.h"
+
+namespace smartmeter::table {
+
+Result<MeterDataset> ReadDatasetFromSource(const DataSource& source) {
+  SM_RETURN_IF_ERROR(source.Validate());
+  switch (source.layout) {
+    case DataSource::Layout::kSingleCsv:
+      return storage::ReadReadingsCsv(source.files.front());
+    case DataSource::Layout::kPartitionedDir:
+    case DataSource::Layout::kWholeFileDir:
+      return storage::ReadReadingsCsvFiles(source.files);
+    case DataSource::Layout::kHouseholdLines:
+      return storage::ReadHouseholdLinesCsv(source.files.front());
+  }
+  return Status::InvalidArgument("unknown data source layout");
+}
+
+// ---------------------------------------------------------------------------
+// CsvTableReader
+// ---------------------------------------------------------------------------
+
+CsvTableReader::CsvTableReader(DataSource source)
+    : source_(std::move(source)) {}
+
+Status CsvTableReader::Open() {
+  open_ = false;
+  SM_ASSIGN_OR_RETURN(dataset_, ReadDatasetFromSource(source_));
+  open_ = true;
+  return Status::OK();
+}
+
+Result<ColumnarBatch> CsvTableReader::NewBatch() const {
+  if (!open_) return Status::Internal("csv reader not open");
+  return ColumnarBatch::FromDataset(dataset_);
+}
+
+// ---------------------------------------------------------------------------
+// ColumnFileReader
+// ---------------------------------------------------------------------------
+
+ColumnFileReader::ColumnFileReader(std::string path)
+    : path_(std::move(path)) {}
+
+Status ColumnFileReader::Open() { return store_.OpenMapped(path_); }
+
+Result<ColumnarBatch> ColumnFileReader::NewBatch() const {
+  if (!store_.is_open()) {
+    return Status::Internal("column file not open");
+  }
+  return ColumnarBatch::FromContiguous(store_.household_ids(),
+                                       store_.consumption_column(),
+                                       store_.temperature(), store_.hours());
+}
+
+// ---------------------------------------------------------------------------
+// RowStoreReader
+// ---------------------------------------------------------------------------
+
+RowStoreReader::RowStoreReader(const storage::RowStore* store)
+    : store_(store) {}
+
+Status RowStoreReader::Open() {
+  open_ = false;
+  SM_ASSIGN_OR_RETURN(dataset_, store_->ScanAll());
+  open_ = true;
+  return Status::OK();
+}
+
+Result<ColumnarBatch> RowStoreReader::NewBatch() const {
+  if (!open_) return Status::Internal("row store reader not open");
+  return ColumnarBatch::FromDataset(dataset_);
+}
+
+// ---------------------------------------------------------------------------
+// ArrayStoreReader
+// ---------------------------------------------------------------------------
+
+ArrayStoreReader::ArrayStoreReader(const storage::ArrayStore* store)
+    : store_(store) {}
+
+Status ArrayStoreReader::Open() {
+  open_ = false;
+  SM_ASSIGN_OR_RETURN(dataset_, store_->ReadAll());
+  open_ = true;
+  return Status::OK();
+}
+
+Result<ColumnarBatch> ArrayStoreReader::NewBatch() const {
+  if (!open_) return Status::Internal("array store reader not open");
+  return ColumnarBatch::FromDataset(dataset_);
+}
+
+// ---------------------------------------------------------------------------
+// BlockStoreReader
+// ---------------------------------------------------------------------------
+
+BlockStoreReader::BlockStoreReader(const cluster::BlockStore* store,
+                                   bool splittable)
+    : store_(store), splittable_(splittable) {}
+
+Status BlockStoreReader::Open() {
+  open_ = false;
+  const std::vector<cluster::InputSplit> splits =
+      splittable_ ? store_->SplittableSplits() : store_->WholeFileSplits();
+  std::vector<storage::ReadingRow> rows;
+  for (const cluster::InputSplit& split : splits) {
+    SM_ASSIGN_OR_RETURN(std::vector<std::string> lines,
+                        cluster::ReadSplitLines(split));
+    rows.reserve(rows.size() + lines.size());
+    for (const std::string& line : lines) {
+      SM_ASSIGN_OR_RETURN(storage::ReadingRow row,
+                          storage::ParseReadingRow(line));
+      rows.push_back(row);
+    }
+  }
+  SM_ASSIGN_OR_RETURN(dataset_, storage::AssembleReadingRows(rows));
+  open_ = true;
+  return Status::OK();
+}
+
+Result<ColumnarBatch> BlockStoreReader::NewBatch() const {
+  if (!open_) return Status::Internal("block store reader not open");
+  return ColumnarBatch::FromDataset(dataset_);
+}
+
+// ---------------------------------------------------------------------------
+// DatasetReader
+// ---------------------------------------------------------------------------
+
+DatasetReader::DatasetReader(const MeterDataset* dataset)
+    : dataset_(dataset) {}
+
+Status DatasetReader::Open() { return dataset_->Validate(); }
+
+Result<ColumnarBatch> DatasetReader::NewBatch() const {
+  return ColumnarBatch::FromDataset(*dataset_);
+}
+
+// ---------------------------------------------------------------------------
+// Factory
+// ---------------------------------------------------------------------------
+
+Result<std::unique_ptr<TableReader>> MakeReader(const DataSource& source) {
+  SM_RETURN_IF_ERROR(source.Validate());
+  return std::unique_ptr<TableReader>(new CsvTableReader(source));
+}
+
+}  // namespace smartmeter::table

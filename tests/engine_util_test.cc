@@ -29,25 +29,20 @@ class EngineUtilTest : public ::testing::Test {
 
 MeterDataset* EngineUtilTest::dataset_ = nullptr;
 
-TEST_F(EngineUtilTest, SeriesAccessorMatchesDatasetPath) {
-  // Running through a custom accessor must give identical results to the
-  // dataset convenience wrapper.
-  SeriesAccess access;
-  access.count = dataset_->num_consumers();
-  access.household_id = [this_ = dataset_](size_t i) {
-    return this_->consumer(i).household_id;
-  };
-  access.consumption = [this_ = dataset_](size_t i) {
-    return std::span<const double>(this_->consumer(i).consumption);
-  };
-  access.temperature = dataset_->temperature();
+TEST_F(EngineUtilTest, BatchPathMatchesDatasetPath) {
+  // Running through an explicitly-built batch view must give identical
+  // results to the dataset convenience wrapper.
+  auto batch = table::ColumnarBatch::FromDataset(*dataset_);
+  ASSERT_TRUE(batch.ok()) << batch.status().message();
+  ASSERT_EQ(batch->count(), dataset_->num_consumers());
+  ASSERT_FALSE(batch->contiguous());
 
   const exec::QueryContext& ctx = exec::QueryContext::Background();
   for (core::TaskType task : core::kAllTasks) {
     const TaskOptions options = TaskOptions::Default(task);
     TaskResultSet via_access, via_dataset;
     ASSERT_TRUE(
-        RunTaskOverSeries(ctx, access, options, 2, &via_access).ok());
+        RunTaskOverBatch(ctx, *batch, options, 2, &via_access).ok());
     ASSERT_TRUE(
         RunTaskOverDataset(ctx, *dataset_, options, 2, &via_dataset).ok());
     switch (task) {
@@ -88,6 +83,42 @@ TEST_F(EngineUtilTest, SeriesAccessorMatchesDatasetPath) {
         break;
       }
     }
+  }
+}
+
+TEST_F(EngineUtilTest, ContiguousBatchMatchesSlicedBatch) {
+  // The same data through the contiguous (column-file) layout and the
+  // sliced (in-memory dataset) layout must agree bit-for-bit.
+  std::vector<int64_t> ids;
+  std::vector<double> column;
+  for (size_t i = 0; i < dataset_->num_consumers(); ++i) {
+    const auto& consumer = dataset_->consumer(i);
+    ids.push_back(consumer.household_id);
+    column.insert(column.end(), consumer.consumption.begin(),
+                  consumer.consumption.end());
+  }
+  auto contiguous = table::ColumnarBatch::FromContiguous(
+      ids, column, dataset_->temperature(), dataset_->hours());
+  ASSERT_TRUE(contiguous.ok()) << contiguous.status().message();
+  ASSERT_TRUE(contiguous->contiguous());
+  ASSERT_EQ(contiguous->consumption_column().size(), column.size());
+
+  auto sliced = table::ColumnarBatch::FromDataset(*dataset_);
+  ASSERT_TRUE(sliced.ok());
+
+  const exec::QueryContext& ctx = exec::QueryContext::Background();
+  const TaskOptions options = TaskOptions::Default(core::TaskType::kThreeLine);
+  TaskResultSet via_contiguous, via_sliced;
+  ASSERT_TRUE(
+      RunTaskOverBatch(ctx, *contiguous, options, 2, &via_contiguous).ok());
+  ASSERT_TRUE(RunTaskOverBatch(ctx, *sliced, options, 2, &via_sliced).ok());
+  const auto& got = via_contiguous.Get<core::ThreeLineResult>();
+  const auto& want = via_sliced.Get<core::ThreeLineResult>();
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].household_id, want[i].household_id);
+    EXPECT_EQ(got[i].heating_gradient, want[i].heating_gradient);
+    EXPECT_EQ(got[i].cooling_gradient, want[i].cooling_gradient);
   }
 }
 

@@ -63,6 +63,33 @@ class ServingTest : public ::testing::Test {
 fs::path* ServingTest::dir_ = nullptr;
 std::string ServingTest::single_csv_;
 
+TEST_F(ServingTest, AttachSessionValidatesThenServes) {
+  engines::SystemCEngine engine((*dir_ / "spool_attach").string());
+  ServingOptions options;
+  options.keep_results = true;
+  ServingRunner runner(options);
+
+  // A malformed source (missing file) must be rejected before the
+  // session enters the pool.
+  table::DataSource missing;
+  missing.layout = table::DataSource::Layout::kSingleCsv;
+  missing.files = {(*dir_ / "nope.csv").string()};
+  EXPECT_FALSE(runner.AttachSession(&engine, missing).ok());
+  EXPECT_EQ(runner.num_sessions(), 0u);
+
+  auto attach = runner.AttachSession(
+      &engine, *table::DataSource::SingleCsv(single_csv_));
+  ASSERT_TRUE(attach.ok()) << attach.status().ToString();
+  EXPECT_GE(*attach, 0.0);
+  EXPECT_EQ(runner.num_sessions(), 1u);
+
+  auto ticket = runner.Submit(Histogram("attach-q"));
+  ASSERT_TRUE(ticket.ok());
+  const QueryOutcome& outcome = (*ticket)->Wait();
+  EXPECT_TRUE(outcome.status.ok());
+  runner.Shutdown();
+}
+
 TEST_F(ServingTest, ServesQueriesAcrossSessions) {
   auto e1 = MakeSession("s1");
   auto e2 = MakeSession("s2");

@@ -1,0 +1,389 @@
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cluster/block_store.h"
+#include "datagen/seed_generator.h"
+#include "engines/engine_factory.h"
+#include "engines/hive_engine.h"
+#include "engines/madlib_engine.h"
+#include "engines/matlab_engine.h"
+#include "engines/spark_engine.h"
+#include "engines/systemc_engine.h"
+#include "obs/metrics.h"
+#include "storage/csv.h"
+#include "storage/row_store.h"
+#include "table/columnar_batch.h"
+#include "table/columnar_cache.h"
+#include "table/data_source.h"
+#include "table/table_reader.h"
+#include "timeseries/calendar.h"
+
+namespace smartmeter {
+namespace {
+
+namespace fs = std::filesystem;
+
+int64_t CounterValue(const char* name) {
+  return obs::MetricsRegistry::Global().GetCounter(name)->Value();
+}
+
+/// Bit-exact equality between two batch views: same households, same
+/// consumption doubles, same temperature column. This is the data-plane
+/// guarantee — every storage backend feeds the kernels identical bytes.
+void ExpectBatchesBitExact(const table::ColumnarBatch& got,
+                           const table::ColumnarBatch& want,
+                           const char* label) {
+  ASSERT_EQ(got.count(), want.count()) << label;
+  ASSERT_EQ(got.hours(), want.hours()) << label;
+  for (size_t i = 0; i < got.count(); ++i) {
+    ASSERT_EQ(got.household_id(i), want.household_id(i))
+        << label << " household index " << i;
+    const table::SeriesSlice a = got.consumption(i);
+    const table::SeriesSlice b = want.consumption(i);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t h = 0; h < a.size(); ++h) {
+      ASSERT_EQ(a[h], b[h]) << label << " household " << got.household_id(i)
+                            << " hour " << h;
+    }
+  }
+  const table::SeriesSlice ta = got.temperature();
+  const table::SeriesSlice tb = want.temperature();
+  ASSERT_EQ(ta.size(), tb.size()) << label;
+  for (size_t h = 0; h < ta.size(); ++h) {
+    ASSERT_EQ(ta[h], tb[h]) << label << " temperature hour " << h;
+  }
+}
+
+class TableTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::path(::testing::TempDir()) / "table_test";
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+
+  static MeterDataset SmallDataset(int households, size_t hours,
+                                   uint64_t seed) {
+    datagen::SeedGeneratorOptions options;
+    options.num_households = households;
+    options.hours = hours;
+    options.seed = seed;
+    auto dataset = datagen::GenerateSeedDataset(options);
+    EXPECT_TRUE(dataset.ok());
+    return std::move(*dataset);
+  }
+
+  fs::path dir_;
+};
+
+// ---------------------------------------------------------------------------
+// Storage round-trip parity (satellite: bit-exact across every backend)
+// ---------------------------------------------------------------------------
+
+TEST_F(TableTest, AllBackendsYieldBitExactSeriesViews) {
+  const MeterDataset dataset = SmallDataset(6, 7 * 24, 91);
+  const std::string csv_path = (dir_ / "data.csv").string();
+  ASSERT_TRUE(storage::WriteReadingsCsv(dataset, csv_path).ok());
+  auto source = table::DataSource::SingleCsv(csv_path);
+  ASSERT_TRUE(source.ok());
+
+  // Reference: the plain CSV parse.
+  table::CsvTableReader csv_reader(*source);
+  ASSERT_TRUE(csv_reader.Open().ok());
+  auto csv_batch = csv_reader.NewBatch();
+  ASSERT_TRUE(csv_batch.ok());
+  ASSERT_FALSE(csv_batch->contiguous());
+
+  // Columnar cache (cold build then mmap).
+  table::ColumnarCache cache((dir_ / "cache").string());
+  auto cached_reader = cache.OpenOrBuild(*source);
+  ASSERT_TRUE(cached_reader.ok()) << cached_reader.status().ToString();
+  auto cached_batch = (*cached_reader)->NewBatch();
+  ASSERT_TRUE(cached_batch.ok());
+  ASSERT_TRUE(cached_batch->contiguous());
+  ExpectBatchesBitExact(*cached_batch, *csv_batch, "columnar-cache");
+
+  // Row store (heap file + B+-tree) loaded from the same CSV.
+  storage::RowStore row_store((dir_ / "rows.heap").string());
+  ASSERT_TRUE(row_store.LoadFromCsv(csv_path).ok());
+  ASSERT_TRUE(row_store.FinishLoad().ok());
+  table::RowStoreReader row_reader(&row_store);
+  ASSERT_TRUE(row_reader.Open().ok());
+  auto row_batch = row_reader.NewBatch();
+  ASSERT_TRUE(row_batch.ok());
+  ExpectBatchesBitExact(*row_batch, *csv_batch, "row-store");
+
+  // Array store serialized from the parsed dataset.
+  storage::ArrayStore array_store((dir_ / "rows.array").string());
+  ASSERT_TRUE(array_store.LoadFromDataset(csv_reader.dataset()).ok());
+  table::ArrayStoreReader array_reader(&array_store);
+  ASSERT_TRUE(array_reader.Open().ok());
+  auto array_batch = array_reader.NewBatch();
+  ASSERT_TRUE(array_batch.ok());
+  ExpectBatchesBitExact(*array_batch, *csv_batch, "array-store");
+
+  // Simulated-HDFS block store over the same file.
+  cluster::BlockStore block_store(/*num_nodes=*/3, /*block_bytes=*/4 << 10);
+  ASSERT_TRUE(block_store.AddFile(csv_path).ok());
+  table::BlockStoreReader block_reader(&block_store, /*splittable=*/true);
+  ASSERT_TRUE(block_reader.Open().ok());
+  auto block_batch = block_reader.NewBatch();
+  ASSERT_TRUE(block_batch.ok());
+  ExpectBatchesBitExact(*block_batch, *csv_batch, "block-store");
+
+  // Borrowed in-memory dataset.
+  table::DatasetReader dataset_reader(&csv_reader.dataset());
+  ASSERT_TRUE(dataset_reader.Open().ok());
+  auto dataset_batch = dataset_reader.NewBatch();
+  ASSERT_TRUE(dataset_batch.ok());
+  ExpectBatchesBitExact(*dataset_batch, *csv_batch, "dataset");
+}
+
+// ---------------------------------------------------------------------------
+// Columnar cache behaviour
+// ---------------------------------------------------------------------------
+
+TEST_F(TableTest, CacheMissesThenHits) {
+  const MeterDataset dataset = SmallDataset(4, 48, 7);
+  const std::string csv_path = (dir_ / "data.csv").string();
+  ASSERT_TRUE(storage::WriteReadingsCsv(dataset, csv_path).ok());
+  auto source = table::DataSource::SingleCsv(csv_path);
+  ASSERT_TRUE(source.ok());
+
+  table::ColumnarCache cache((dir_ / "cache").string());
+  const int64_t misses_before = CounterValue("table.cache.misses");
+  const int64_t hits_before = CounterValue("table.cache.hits");
+
+  auto cold = cache.OpenOrBuild(*source);
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  EXPECT_EQ(CounterValue("table.cache.misses"), misses_before + 1);
+  EXPECT_EQ(CounterValue("table.cache.hits"), hits_before);
+
+  auto warm = cache.OpenOrBuild(*source);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(CounterValue("table.cache.misses"), misses_before + 1);
+  EXPECT_EQ(CounterValue("table.cache.hits"), hits_before + 1);
+
+  auto cold_batch = (*cold)->NewBatch();
+  auto warm_batch = (*warm)->NewBatch();
+  ASSERT_TRUE(cold_batch.ok());
+  ASSERT_TRUE(warm_batch.ok());
+  ExpectBatchesBitExact(*warm_batch, *cold_batch, "warm-vs-cold");
+}
+
+TEST_F(TableTest, CacheKeyTracksSourceIdentity) {
+  const MeterDataset dataset = SmallDataset(4, 48, 7);
+  const std::string csv_path = (dir_ / "data.csv").string();
+  ASSERT_TRUE(storage::WriteReadingsCsv(dataset, csv_path).ok());
+  auto source = table::DataSource::SingleCsv(csv_path);
+  ASSERT_TRUE(source.ok());
+
+  table::ColumnarCache cache((dir_ / "cache").string());
+  auto first = cache.CacheFilePath(*source);
+  ASSERT_TRUE(first.ok());
+
+  // Rewriting the source with different contents (different byte size)
+  // must map to a different cache entry; the stale one is never read.
+  const MeterDataset bigger = SmallDataset(5, 48, 8);
+  ASSERT_TRUE(storage::WriteReadingsCsv(bigger, csv_path).ok());
+  auto second = cache.CacheFilePath(*source);
+  ASSERT_TRUE(second.ok());
+  EXPECT_NE(*first, *second);
+}
+
+TEST_F(TableTest, ColumnFileReaderRejectsCorruptFile) {
+  const std::string path = (dir_ / "bad.smcol").string();
+  FILE* f = fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  fputs("not a column file", f);
+  fclose(f);
+  table::ColumnFileReader reader(path);
+  EXPECT_EQ(reader.Open().code(), StatusCode::kCorruption);
+}
+
+// ---------------------------------------------------------------------------
+// Batch shape checks
+// ---------------------------------------------------------------------------
+
+TEST_F(TableTest, FromSlicesRejectsRaggedSeries) {
+  std::vector<double> a(24, 1.0);
+  std::vector<double> b(23, 1.0);
+  std::vector<table::SeriesSlice> series = {table::SeriesSlice(a),
+                                            table::SeriesSlice(b)};
+  auto batch = table::ColumnarBatch::FromSlices({1, 2}, std::move(series), {});
+  EXPECT_FALSE(batch.ok());
+}
+
+TEST_F(TableTest, FromContiguousRejectsShapeMismatch) {
+  std::vector<int64_t> ids = {1, 2};
+  std::vector<double> column(47, 0.0);  // Not 2 * 24.
+  auto batch =
+      table::ColumnarBatch::FromContiguous(ids, column, {}, /*hours=*/24);
+  EXPECT_FALSE(batch.ok());
+}
+
+// ---------------------------------------------------------------------------
+// Five-engine parity: identical TaskResultSets for a fixed seed
+// ---------------------------------------------------------------------------
+
+class EngineParityTest : public ::testing::Test {
+ protected:
+  static constexpr int kHouseholds = 10;
+
+  static void SetUpTestSuite() {
+    dir_ = new fs::path(fs::path(::testing::TempDir()) / "table_parity");
+    fs::remove_all(*dir_);
+    fs::create_directories(*dir_);
+
+    datagen::SeedGeneratorOptions options;
+    options.num_households = kHouseholds;
+    options.hours = kHoursPerYear;
+    options.seed = 424242;
+    auto dataset = datagen::GenerateSeedDataset(options);
+    ASSERT_TRUE(dataset.ok());
+
+    single_csv_ = (*dir_ / "data.csv").string();
+    ASSERT_TRUE(storage::WriteReadingsCsv(*dataset, single_csv_).ok());
+    auto part =
+        storage::WritePartitionedCsv(*dataset, (*dir_ / "part").string());
+    ASSERT_TRUE(part.ok());
+    partitioned_files_ = new std::vector<std::string>(std::move(*part));
+  }
+
+  static void TearDownTestSuite() {
+    std::error_code ec;
+    fs::remove_all(*dir_, ec);
+    delete partitioned_files_;
+    delete dir_;
+  }
+
+  static engines::EngineFactoryOptions FactoryOptions() {
+    engines::EngineFactoryOptions options;
+    options.spool_dir = (*dir_ / "spool").string();
+    options.cluster.num_nodes = 4;
+    options.cluster.slots_per_node = 2;
+    options.block_bytes = 64 << 10;
+    return options;
+  }
+
+  static fs::path* dir_;
+  static std::string single_csv_;
+  static std::vector<std::string>* partitioned_files_;
+};
+
+fs::path* EngineParityTest::dir_ = nullptr;
+std::string EngineParityTest::single_csv_;
+std::vector<std::string>* EngineParityTest::partitioned_files_ = nullptr;
+
+TEST_F(EngineParityTest, AllEnginesReturnIdenticalResults) {
+  // Every engine consumes the same serialized dataset through its own
+  // storage path; with the shared columnar data plane underneath, the
+  // TaskResultSets must be IDENTICAL — not merely close.
+  engines::SystemCEngine systemc(FactoryOptions().spool_dir);
+  engines::MatlabEngine matlab;
+  engines::MadlibEngine madlib(engines::MadlibEngine::TableLayout::kRow);
+  engines::SparkEngine::Options spark_options;
+  spark_options.cluster = FactoryOptions().cluster;
+  spark_options.block_bytes = FactoryOptions().block_bytes;
+  engines::SparkEngine spark(spark_options);
+  engines::HiveEngine::Options hive_options;
+  hive_options.cluster = FactoryOptions().cluster;
+  hive_options.block_bytes = FactoryOptions().block_bytes;
+  engines::HiveEngine hive(hive_options);
+
+  struct Entry {
+    engines::AnalyticsEngine* engine;
+    engines::DataSource source;
+  };
+  std::vector<Entry> entries;
+  entries.push_back({&systemc, *table::DataSource::SingleCsv(single_csv_)});
+  entries.push_back(
+      {&matlab, *table::DataSource::PartitionedDir(*partitioned_files_)});
+  entries.push_back({&madlib, *table::DataSource::SingleCsv(single_csv_)});
+  entries.push_back({&spark, *table::DataSource::SingleCsv(single_csv_)});
+  entries.push_back({&hive, *table::DataSource::SingleCsv(single_csv_)});
+
+  for (Entry& entry : entries) {
+    auto attach = entry.engine->Attach(entry.source);
+    ASSERT_TRUE(attach.ok())
+        << entry.engine->name() << ": " << attach.status().ToString();
+  }
+
+  for (core::TaskType task : core::kAllTasks) {
+    std::vector<engines::TaskResultSet> results(entries.size());
+    for (size_t e = 0; e < entries.size(); ++e) {
+      auto metrics = entries[e].engine->RunTask(
+          engines::TaskOptions::Default(task), &results[e]);
+      ASSERT_TRUE(metrics.ok())
+          << entries[e].engine->name() << "/" << core::TaskName(task) << ": "
+          << metrics.status().ToString();
+      engines::SortResultsByHousehold(&results[e]);
+    }
+    for (size_t e = 1; e < entries.size(); ++e) {
+      SCOPED_TRACE(std::string(entries[e].engine->name()) + " vs " +
+                   std::string(entries[0].engine->name()) + " on " +
+                   std::string(core::TaskName(task)));
+      switch (task) {
+        case core::TaskType::kHistogram: {
+          const auto& got = results[e].Get<core::HistogramResult>();
+          const auto& want = results[0].Get<core::HistogramResult>();
+          ASSERT_EQ(got.size(), want.size());
+          for (size_t i = 0; i < got.size(); ++i) {
+            EXPECT_EQ(got[i].household_id, want[i].household_id);
+            EXPECT_EQ(got[i].histogram.counts, want[i].histogram.counts);
+          }
+          break;
+        }
+        case core::TaskType::kThreeLine: {
+          const auto& got = results[e].Get<core::ThreeLineResult>();
+          const auto& want = results[0].Get<core::ThreeLineResult>();
+          ASSERT_EQ(got.size(), want.size());
+          for (size_t i = 0; i < got.size(); ++i) {
+            EXPECT_EQ(got[i].household_id, want[i].household_id);
+            EXPECT_EQ(got[i].heating_gradient, want[i].heating_gradient);
+            EXPECT_EQ(got[i].cooling_gradient, want[i].cooling_gradient);
+            EXPECT_EQ(got[i].base_load, want[i].base_load);
+          }
+          break;
+        }
+        case core::TaskType::kPar: {
+          const auto& got = results[e].Get<core::DailyProfileResult>();
+          const auto& want = results[0].Get<core::DailyProfileResult>();
+          ASSERT_EQ(got.size(), want.size());
+          for (size_t i = 0; i < got.size(); ++i) {
+            EXPECT_EQ(got[i].household_id, want[i].household_id);
+            EXPECT_EQ(got[i].profile, want[i].profile);
+          }
+          break;
+        }
+        case core::TaskType::kSimilarity: {
+          const auto& got = results[e].Get<core::SimilarityResult>();
+          const auto& want = results[0].Get<core::SimilarityResult>();
+          ASSERT_EQ(got.size(), want.size());
+          for (size_t i = 0; i < got.size(); ++i) {
+            EXPECT_EQ(got[i].household_id, want[i].household_id);
+            ASSERT_EQ(got[i].matches.size(), want[i].matches.size());
+            for (size_t m = 0; m < got[i].matches.size(); ++m) {
+              EXPECT_EQ(got[i].matches[m].household_id,
+                        want[i].matches[m].household_id);
+              EXPECT_EQ(got[i].matches[m].cosine, want[i].matches[m].cosine);
+            }
+          }
+          break;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace smartmeter
