@@ -117,7 +117,7 @@ Status EnsureMaterialized(const std::string& marker, const WriteFn& write) {
 
 }  // namespace
 
-Result<engines::DataSource> BenchContext::SingleCsv(int households) {
+Result<table::DataSource> BenchContext::SingleCsv(int households) {
   const std::string dir =
       workdir_ + "/data_h" + std::to_string(households) + "_t" +
       std::to_string(hours_);
@@ -128,10 +128,10 @@ Result<engines::DataSource> BenchContext::SingleCsv(int households) {
   SM_RETURN_IF_ERROR(EnsureMaterialized(path + ".done", [&] {
     return storage::WriteReadingsCsv(*ds, path);
   }));
-  return engines::DataSource::SingleCsv(path);
+  return table::DataSource::SingleCsv(path);
 }
 
-Result<engines::DataSource> BenchContext::PartitionedDir(int households) {
+Result<table::DataSource> BenchContext::PartitionedDir(int households) {
   const std::string dir =
       workdir_ + "/data_h" + std::to_string(households) + "_t" +
       std::to_string(hours_) + "/part";
@@ -149,10 +149,10 @@ Result<engines::DataSource> BenchContext::PartitionedDir(int households) {
     }
   }
   std::sort(files.begin(), files.end());
-  return engines::DataSource::PartitionedDir(std::move(files));
+  return table::DataSource::PartitionedDir(std::move(files));
 }
 
-Result<engines::DataSource> BenchContext::HouseholdLines(int households) {
+Result<table::DataSource> BenchContext::HouseholdLines(int households) {
   const std::string dir =
       workdir_ + "/data_h" + std::to_string(households) + "_t" +
       std::to_string(hours_);
@@ -163,10 +163,10 @@ Result<engines::DataSource> BenchContext::HouseholdLines(int households) {
   SM_RETURN_IF_ERROR(EnsureMaterialized(path + ".done", [&] {
     return storage::WriteHouseholdLinesCsv(*ds, path);
   }));
-  return engines::DataSource::HouseholdLines(path);
+  return table::DataSource::HouseholdLines(path);
 }
 
-Result<engines::DataSource> BenchContext::WholeFileDir(int households,
+Result<table::DataSource> BenchContext::WholeFileDir(int households,
                                                        int num_files) {
   const std::string dir =
       workdir_ + "/data_h" + std::to_string(households) + "_t" +
@@ -186,7 +186,7 @@ Result<engines::DataSource> BenchContext::WholeFileDir(int households,
     }
   }
   std::sort(files.begin(), files.end());
-  return engines::DataSource::WholeFileDir(std::move(files));
+  return table::DataSource::WholeFileDir(std::move(files));
 }
 
 std::string BenchContext::SpoolDir(const std::string& tag) const {

@@ -61,10 +61,10 @@ class BenchContext {
   /// Materializes the given layout of the first `households` consumers
   /// under the workdir; re-written only when absent. Returns the source
   /// descriptor for the engines.
-  Result<engines::DataSource> SingleCsv(int households);
-  Result<engines::DataSource> PartitionedDir(int households);
-  Result<engines::DataSource> HouseholdLines(int households);
-  Result<engines::DataSource> WholeFileDir(int households, int num_files);
+  Result<table::DataSource> SingleCsv(int households);
+  Result<table::DataSource> PartitionedDir(int households);
+  Result<table::DataSource> HouseholdLines(int households);
+  Result<table::DataSource> WholeFileDir(int households, int num_files);
 
   /// Per-bench scratch dir for engine spools.
   std::string SpoolDir(const std::string& tag) const;

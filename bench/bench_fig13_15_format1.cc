@@ -29,7 +29,7 @@ struct RunOutcome {
 // at bench scale, so node-count sweeps have parallelism to exploit.
 constexpr int64_t kBlockBytes = 32 << 10;
 
-Result<RunOutcome> RunOnce(bool spark, const engines::DataSource& source,
+Result<RunOutcome> RunOnce(bool spark, const table::DataSource& source,
                            const cluster::ClusterConfig& cluster,
                            const engines::TaskOptions& request) {
   RunOutcome outcome;

@@ -21,7 +21,7 @@ using namespace smartmeter::bench;  // NOLINT
 
 constexpr int64_t kBlockBytes = 32 << 10;
 
-Result<double> RunOnce(bool spark, const engines::DataSource& source,
+Result<double> RunOnce(bool spark, const table::DataSource& source,
                        const cluster::ClusterConfig& cluster,
                        const engines::TaskOptions& request) {
   if (spark) {

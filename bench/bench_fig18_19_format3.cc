@@ -80,8 +80,8 @@ int Run(BenchContext& ctx) {
     engines::SparkEngine::Options options;
     options.cluster = cluster;
     engines::SparkEngine spark(options);
-    engines::DataSource fake;
-    fake.layout = engines::DataSource::Layout::kWholeFileDir;
+    table::DataSource fake;
+    fake.layout = table::DataSource::Layout::kWholeFileDir;
     // The descriptor-count check fires at job submission, before any
     // file is read, so placeholder paths suffice.
     fake.files.assign(100000, "unused");

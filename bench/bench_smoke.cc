@@ -79,6 +79,29 @@ int RunSmoke(int argc, char** argv) {
               c.partitioned ? "partitioned" : "single-csv",
               Cell(run->attach_seconds), Cell(run->task_seconds),
               run->simulated ? "yes" : "no"});
+
+    // Plan-IR gate: every engine run must surface per-stage timing rows
+    // that account for the task time (wall-clock rows tolerate scheduler
+    // glue; simulated rows are exact, so the slack only admits noise).
+    if (run->stages.empty()) {
+      std::fprintf(stderr, "STAGE GATE %s: run report has no plan stages\n",
+                   std::string(engines::EngineKindName(c.kind)).c_str());
+      return 1;
+    }
+    double stage_sum = 0.0;
+    for (const exec::StageTiming& stage : run->stages) {
+      stage_sum += stage.seconds;
+    }
+    const double slack = 0.30 * run->task_seconds + 0.05;
+    if (stage_sum < run->task_seconds - slack ||
+        stage_sum > run->task_seconds + slack) {
+      std::fprintf(stderr,
+                   "STAGE GATE %s: stage seconds %.6f do not account for "
+                   "task seconds %.6f (slack %.6f)\n",
+                   std::string(engines::EngineKindName(c.kind)).c_str(),
+                   stage_sum, run->task_seconds, slack);
+      return 1;
+    }
   }
 
   // Data-plane gate: a warm scan of the columnar cache must beat a cold

@@ -51,11 +51,11 @@ Result<core::TaskType> ParseTask(const std::string& name) {
   return Status::InvalidArgument("unknown task: " + name);
 }
 
-Result<engines::DataSource> BuildSource(const std::string& data,
+Result<table::DataSource> BuildSource(const std::string& data,
                                         const std::string& layout) {
   namespace fs = std::filesystem;
-  if (layout == "single") return engines::DataSource::SingleCsv(data);
-  if (layout == "lines") return engines::DataSource::HouseholdLines(data);
+  if (layout == "single") return table::DataSource::SingleCsv(data);
+  if (layout == "lines") return table::DataSource::HouseholdLines(data);
   if (layout == "partitioned" || layout == "files") {
     std::error_code ec;
     fs::directory_iterator it(data, ec);
@@ -71,8 +71,8 @@ Result<engines::DataSource> BuildSource(const std::string& data,
       return Status::InvalidArgument("no .csv files under " + data);
     }
     return layout == "partitioned"
-               ? engines::DataSource::PartitionedDir(std::move(files))
-               : engines::DataSource::WholeFileDir(std::move(files));
+               ? table::DataSource::PartitionedDir(std::move(files))
+               : table::DataSource::WholeFileDir(std::move(files));
   }
   return Status::InvalidArgument("unknown layout: " + layout);
 }

@@ -12,7 +12,7 @@ obs::RunRecord MakeRunRecord(const RunSpec& spec, const RunReport& report) {
   obs::RunRecord record;
   record.engine = std::string(EngineKindName(spec.kind));
   record.task = std::string(core::TaskName(spec.options.task()));
-  record.layout = std::string(DataSourceLayoutName(spec.source.layout));
+  record.layout = std::string(table::DataSourceLayoutName(spec.source.layout));
   record.threads = spec.threads;
   record.warm = spec.warm;
   record.simulated = report.simulated;
@@ -23,6 +23,10 @@ obs::RunRecord MakeRunRecord(const RunSpec& spec, const RunReport& report) {
   record.quantile_seconds = report.phases.quantile_seconds;
   record.regression_seconds = report.phases.regression_seconds;
   record.adjust_seconds = report.phases.adjust_seconds;
+  record.stages.reserve(report.stages.size());
+  for (const exec::StageTiming& stage : report.stages) {
+    record.stages.push_back({stage.name, stage.seconds, stage.partitions});
+  }
   return record;
 }
 
@@ -48,6 +52,7 @@ Result<RunReport> RunTaskOnEngine(AnalyticsEngine* engine,
   report.task_seconds = metrics.seconds;
   report.simulated = metrics.simulated;
   report.phases = metrics.phases;
+  report.stages = std::move(metrics.stages);
   return report;
 }
 
@@ -81,6 +86,7 @@ Result<RunReport> RunBenchmark(const RunSpec& spec) {
   report.task_seconds = task_report.task_seconds;
   report.simulated = task_report.simulated;
   report.phases = task_report.phases;
+  report.stages = std::move(task_report.stages);
   report.memory_bytes = task_report.memory_bytes;
   report.results = std::move(task_report.results);
   if (spec.report != nullptr) {

@@ -13,7 +13,7 @@ namespace smartmeter::engines {
 struct RunSpec {
   EngineKind kind = EngineKind::kSystemC;
   EngineFactoryOptions factory;
-  DataSource source;
+  table::DataSource source;
   TaskOptions options;
   int threads = 1;
   /// Warm start: load into memory before the timed task run.
@@ -37,6 +37,8 @@ struct RunReport {
   /// in-task load, warm-start excludes it.
   bool simulated = false;
   core::ThreeLinePhases phases;
+  /// Per-stage plan timings from the executed task (see TaskRunMetrics).
+  std::vector<exec::StageTiming> stages;
   /// Average RSS over the task (sampled) or the cluster model's memory.
   int64_t memory_bytes = 0;
   TaskResultSet results;

@@ -72,57 +72,4 @@ Result<std::vector<double>> ReadTemperatureSidecar(const std::string& path) {
   return values;
 }
 
-Result<table::ColumnarBatch> BatchFromSeriesTable(const SeriesTable& table) {
-  std::vector<int64_t> ids;
-  std::vector<table::SeriesSlice> series;
-  ids.reserve(table.size());
-  series.reserve(table.size());
-  for (const auto& [id, values] : table) {
-    ids.push_back(id);
-    series.emplace_back(values);
-  }
-  return table::ColumnarBatch::FromSlices(std::move(ids), std::move(series),
-                                          {});
-}
-
-Status ComputeHouseholdTask(const exec::QueryContext& ctx,
-                            const TaskOptions& options, int64_t household_id,
-                            std::span<const double> consumption,
-                            std::span<const double> temperature,
-                            TaskResultSet* results) {
-  switch (options.task()) {
-    case core::TaskType::kHistogram: {
-      SM_ASSIGN_OR_RETURN(
-          stats::EquiWidthHistogram hist,
-          core::ComputeConsumptionHistogram(
-              consumption, options.Get<core::HistogramOptions>(), &ctx));
-      results->Mutable<core::HistogramResult>().push_back(
-          {household_id, std::move(hist)});
-      return Status::OK();
-    }
-    case core::TaskType::kThreeLine: {
-      SM_ASSIGN_OR_RETURN(
-          core::ThreeLineResult fit,
-          core::ComputeThreeLine(consumption, temperature, household_id,
-                                 options.Get<core::ThreeLineOptions>(),
-                                 nullptr, &ctx));
-      results->Mutable<core::ThreeLineResult>().push_back(std::move(fit));
-      return Status::OK();
-    }
-    case core::TaskType::kPar: {
-      SM_ASSIGN_OR_RETURN(
-          core::DailyProfileResult profile,
-          core::ComputeDailyProfile(consumption, temperature, household_id,
-                                    options.Get<core::ParOptions>(), &ctx));
-      results->Mutable<core::DailyProfileResult>().push_back(
-          std::move(profile));
-      return Status::OK();
-    }
-    case core::TaskType::kSimilarity:
-      return Status::InvalidArgument(
-          "similarity is not a per-household task");
-  }
-  return Status::Internal("unreachable");
-}
-
 }  // namespace smartmeter::engines::internal

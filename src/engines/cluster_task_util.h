@@ -2,15 +2,11 @@
 #define SMARTMETER_ENGINES_CLUSTER_TASK_UTIL_H_
 
 #include <cstdint>
-#include <span>
 #include <string>
 #include <string_view>
-#include <utility>
 #include <vector>
 
 #include "common/result.h"
-#include "engines/engine.h"
-#include "table/columnar_batch.h"
 
 namespace smartmeter::engines::internal {
 
@@ -39,25 +35,6 @@ Result<HouseholdLine> ParseHouseholdLine(std::string_view line);
 
 /// Reads a "<path>.temperature" sidecar (one value per line).
 Result<std::vector<double>> ReadTemperatureSidecar(const std::string& path);
-
-/// An assembled (household id, series) table as the cluster engines'
-/// similarity stages gather it from their shuffles.
-using SeriesTable = std::vector<std::pair<int64_t, std::vector<double>>>;
-
-/// Views a series table as a columnar batch (no temperature column —
-/// similarity does not use one). The batch borrows the table's memory,
-/// which must stay alive and unmoved while the batch is used.
-Result<table::ColumnarBatch> BatchFromSeriesTable(const SeriesTable& table);
-
-/// Computes the requested per-household task (histogram / 3-line / PAR)
-/// and appends the result to `results`. Similarity is not a per-household
-/// task and is rejected. `ctx` is forwarded into the kernel so simulated
-/// cluster tasks stop on cancel/timeout too.
-Status ComputeHouseholdTask(const exec::QueryContext& ctx,
-                            const TaskOptions& options, int64_t household_id,
-                            std::span<const double> consumption,
-                            std::span<const double> temperature,
-                            TaskResultSet* results);
 
 }  // namespace smartmeter::engines::internal
 

@@ -3,12 +3,14 @@
 
 #include <cstdint>
 #include <string_view>
+#include <vector>
 
 #include "common/result.h"
 #include "core/three_line_task.h"
-#include "engines/data_source.h"
 #include "engines/task_api.h"
+#include "exec/plan_executor.h"
 #include "exec/query_context.h"
+#include "table/data_source.h"
 
 namespace smartmeter::engines {
 
@@ -24,6 +26,9 @@ struct TaskRunMetrics {
   /// Modeled resident memory of the engine's task execution (cluster
   /// engines; single-node engines report 0 and the bench samples RSS).
   int64_t modeled_memory_bytes = 0;
+  /// Per-stage timing rows of the executed physical plan; stage seconds
+  /// sum to `seconds` (wall-clock or simulated, matching `simulated`).
+  std::vector<exec::StageTiming> stages;
 };
 
 /// A platform under benchmark. The lifecycle mirrors Section 5's
@@ -50,7 +55,7 @@ class AnalyticsEngine {
 
   /// Makes `source` the engine's active data set. Returns the loading
   /// time in seconds (Figure 4). Replaces any previously attached data.
-  virtual Result<double> Attach(const DataSource& source) = 0;
+  virtual Result<double> Attach(const table::DataSource& source) = 0;
 
   /// Brings the attached data into memory; returns the seconds spent.
   virtual Result<double> WarmUp() = 0;

@@ -1,63 +1,43 @@
 #include "engines/engine_util.h"
 
-#include <algorithm>
-#include <mutex>
 #include <string>
-#include <vector>
+#include <utility>
 
-#include "common/stopwatch.h"
 #include "common/string_util.h"
-#include "common/thread_pool.h"
-#include "obs/trace.h"
+#include "core/task_types.h"
+#include "engines/plan_builders.h"
 
 namespace smartmeter::engines {
 
-namespace {
-
-/// Static span label for a task type (span names are not owned).
-const char* TaskSpanName(core::TaskType task) {
-  switch (task) {
-    case core::TaskType::kHistogram:
-      return "task.histogram";
-    case core::TaskType::kThreeLine:
-      return "task.three_line";
-    case core::TaskType::kPar:
-      return "task.par";
-    case core::TaskType::kSimilarity:
-      return "task.similarity";
-  }
-  return "task.unknown";
+TaskRunMetrics ToTaskMetrics(exec::PlanRunMetrics&& run) {
+  TaskRunMetrics metrics;
+  metrics.seconds = run.seconds;
+  metrics.simulated = run.simulated;
+  metrics.phases = run.phases;
+  metrics.modeled_memory_bytes = run.modeled_memory_bytes;
+  metrics.stages = std::move(run.stages);
+  return metrics;
 }
 
-/// Collects the first error seen across parallel workers.
-class ErrorCollector {
- public:
-  void Record(const Status& status) {
-    if (status.ok()) return;
-    std::lock_guard<std::mutex> lock(mu_);
-    if (first_.ok()) first_ = status;
-  }
-  const Status& first() const { return first_; }
+exec::ExecutionPolicy LocalPoolPolicy(int num_threads) {
+  exec::ExecutionPolicy policy;
+  policy.dispatch = exec::ExecutionPolicy::Dispatch::kLocalPool;
+  policy.threads = num_threads < 1 ? 1 : num_threads;
+  return policy;
+}
 
- private:
-  std::mutex mu_;
-  Status first_ = Status::OK();
-};
-
-}  // namespace
-
-Status RequireLayout(const DataSource& source,
-                     std::initializer_list<DataSource::Layout> allowed,
+Status RequireLayout(const table::DataSource& source,
+                     std::initializer_list<table::DataSource::Layout> allowed,
                      std::string_view engine_name) {
   SM_RETURN_IF_ERROR(source.Validate());
-  for (DataSource::Layout layout : allowed) {
+  for (table::DataSource::Layout layout : allowed) {
     if (source.layout == layout) return Status::OK();
   }
   return Status::NotSupported(StringPrintf(
       "%.*s does not read the %.*s layout",
       static_cast<int>(engine_name.size()), engine_name.data(),
-      static_cast<int>(DataSourceLayoutName(source.layout).size()),
-      DataSourceLayoutName(source.layout).data()));
+      static_cast<int>(table::DataSourceLayoutName(source.layout).size()),
+      table::DataSourceLayoutName(source.layout).data()));
 }
 
 Result<TaskRunMetrics> RunTaskOverBatch(const exec::QueryContext& ctx,
@@ -65,88 +45,19 @@ Result<TaskRunMetrics> RunTaskOverBatch(const exec::QueryContext& ctx,
                                         const TaskOptions& options,
                                         int num_threads,
                                         TaskResultSet* results) {
-  obs::SpanScope task_span(TaskSpanName(options.task()));
-  SM_RETURN_IF_ERROR(batch.Validate());
-  TaskRunMetrics metrics;
-  Stopwatch clock;
-  ThreadPool pool(num_threads < 1 ? 1 : num_threads);
-  ErrorCollector errors;
-  const size_t count = batch.count();
-
-  switch (options.task()) {
-    case core::TaskType::kHistogram: {
-      const auto& histogram = options.Get<core::HistogramOptions>();
-      std::vector<core::HistogramResult> out(count);
-      pool.ParallelFor(count, [&](size_t begin, size_t end) {
-        errors.Record(core::ComputeHistogramRange(batch, begin, end,
-                                                  histogram, &ctx, out));
-      });
-      SM_RETURN_IF_ERROR(errors.first());
-      if (results != nullptr) {
-        results->Mutable<core::HistogramResult>() = std::move(out);
-      }
-      break;
-    }
-    case core::TaskType::kThreeLine: {
-      const auto& three_line = options.Get<core::ThreeLineOptions>();
-      std::vector<core::ThreeLineResult> out(count);
-      std::mutex phase_mu;
-      pool.ParallelFor(count, [&](size_t begin, size_t end) {
-        core::ThreeLinePhases local_phases;
-        errors.Record(core::ComputeThreeLineRange(
-            batch, begin, end, three_line, &local_phases, &ctx, out));
-        std::lock_guard<std::mutex> lock(phase_mu);
-        metrics.phases.Accumulate(local_phases);
-      });
-      SM_RETURN_IF_ERROR(errors.first());
-      if (results != nullptr) {
-        results->Mutable<core::ThreeLineResult>() = std::move(out);
-      }
-      break;
-    }
-    case core::TaskType::kPar: {
-      const auto& par = options.Get<core::ParOptions>();
-      std::vector<core::DailyProfileResult> out(count);
-      pool.ParallelFor(count, [&](size_t begin, size_t end) {
-        errors.Record(
-            core::ComputeDailyProfileRange(batch, begin, end, par, &ctx, out));
-      });
-      SM_RETURN_IF_ERROR(errors.first());
-      if (results != nullptr) {
-        results->Mutable<core::DailyProfileResult>() = std::move(out);
-      }
-      break;
-    }
-    case core::TaskType::kSimilarity: {
-      const auto& similarity = options.Get<SimilarityTaskOptions>();
-      const std::vector<core::SeriesView> views = core::BuildSeriesViews(
-          batch, similarity.households > 0
-                     ? static_cast<size_t>(similarity.households)
-                     : 0);
-      const size_t n = views.size();
-      const std::vector<double> norms = core::ComputeNorms(views);
-      std::vector<core::SimilarityResult> out(n);
-      pool.ParallelFor(n, [&](size_t begin, size_t end) {
-        Result<std::vector<core::SimilarityResult>> chunk =
-            core::ComputeSimilarityTopKRange(views, norms, begin, end,
-                                             similarity.search, &ctx);
-        if (!chunk.ok()) {
-          errors.Record(chunk.status());
-          return;
-        }
-        for (size_t i = begin; i < end; ++i) {
-          out[i] = std::move((*chunk)[i - begin]);
-        }
-      });
-      SM_RETURN_IF_ERROR(errors.first());
-      if (results != nullptr) {
-        results->Mutable<core::SimilarityResult>() = std::move(out);
-      }
-      break;
-    }
-  }
-  metrics.seconds = clock.ElapsedSeconds();
-  return metrics;
+  exec::Plan plan;
+  plan.label = "adhoc/" + std::string(core::TaskName(options.task())) +
+               "/batch";
+  plan.stages.push_back(
+      {"scan", planning::ResidentBatchScan(&batch, "borrowed-batch")});
+  exec::KernelOp kernel;
+  kernel.options = options;
+  plan.stages.push_back({"kernel", std::move(kernel)});
+  plan.stages.push_back({"materialize", exec::MaterializeOp{}});
+  SM_ASSIGN_OR_RETURN(exec::PlanRunMetrics run,
+                      exec::PlanExecutor().Run(
+                          ctx, plan, LocalPoolPolicy(num_threads), results));
+  return ToTaskMetrics(std::move(run));
 }
 
 Result<TaskRunMetrics> RunTaskOverDataset(const exec::QueryContext& ctx,
@@ -154,9 +65,19 @@ Result<TaskRunMetrics> RunTaskOverDataset(const exec::QueryContext& ctx,
                                           const TaskOptions& options,
                                           int num_threads,
                                           TaskResultSet* results) {
-  SM_ASSIGN_OR_RETURN(table::ColumnarBatch batch,
-                      table::ColumnarBatch::FromDataset(dataset));
-  return RunTaskOverBatch(ctx, batch, options, num_threads, results);
+  exec::Plan plan;
+  plan.label = "adhoc/" + std::string(core::TaskName(options.task())) +
+               "/dataset";
+  plan.stages.push_back(
+      {"scan", planning::DatasetBatchScan(&dataset, "in-memory-dataset")});
+  exec::KernelOp kernel;
+  kernel.options = options;
+  plan.stages.push_back({"kernel", std::move(kernel)});
+  plan.stages.push_back({"materialize", exec::MaterializeOp{}});
+  SM_ASSIGN_OR_RETURN(exec::PlanRunMetrics run,
+                      exec::PlanExecutor().Run(
+                          ctx, plan, LocalPoolPolicy(num_threads), results));
+  return ToTaskMetrics(std::move(run));
 }
 
 }  // namespace smartmeter::engines

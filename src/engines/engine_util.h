@@ -2,31 +2,35 @@
 #define SMARTMETER_ENGINES_ENGINE_UTIL_H_
 
 #include <initializer_list>
+#include <string_view>
 
 #include "engines/engine.h"
+#include "exec/plan_executor.h"
 #include "table/columnar_batch.h"
+#include "table/data_source.h"
 #include "timeseries/dataset.h"
 
 namespace smartmeter::engines {
 
-/// Shared per-consumer task executor used by every single-node engine
-/// once data is in a ColumnarBatch: splits households across
-/// `num_threads` workers (the per-consumer tasks are embarrassingly
-/// parallel, Section 5.3.4) and runs the requested algorithm via the
-/// kernels' batch-range entry points, so every inner loop reads
-/// contiguous column slices with no per-access indirection. Similarity
-/// partitions the query side of the quadratic loop. `ctx` is polled per
-/// household so a cancelled or expired query returns kCancelled /
-/// kDeadlineExceeded promptly. Returns wall-clock metrics; `results`
-/// (optional) receives results in household order.
+/// Maps one plan run onto the engine metrics surface.
+TaskRunMetrics ToTaskMetrics(exec::PlanRunMetrics&& run);
+
+/// The single-node dispatch policy: partitions on the work-stealing
+/// ThreadPool, wall-clock timings.
+exec::ExecutionPolicy LocalPoolPolicy(int num_threads);
+
+/// Runs one task over an already-materialized batch by building the
+/// canonical scan -> kernel -> materialize plan and handing it to the
+/// PlanExecutor (the batch is re-viewed, not copied). Kept as the ad-hoc
+/// entry point for callers that hold a batch without an engine.
 Result<TaskRunMetrics> RunTaskOverBatch(const exec::QueryContext& ctx,
                                         const table::ColumnarBatch& batch,
                                         const TaskOptions& options,
                                         int num_threads,
                                         TaskResultSet* results);
 
-/// Convenience adapter over an in-memory dataset (builds a borrowing
-/// batch first).
+/// Convenience adapter over an in-memory dataset (the plan's scan builds
+/// a borrowing batch).
 Result<TaskRunMetrics> RunTaskOverDataset(const exec::QueryContext& ctx,
                                           const MeterDataset& dataset,
                                           const TaskOptions& options,
@@ -36,8 +40,8 @@ Result<TaskRunMetrics> RunTaskOverDataset(const exec::QueryContext& ctx,
 /// Shared Attach screening: validates `source` and requires its layout to
 /// be one of `allowed`, returning kNotSupported naming the engine
 /// otherwise. Replaces the per-engine ad-hoc layout checks.
-Status RequireLayout(const DataSource& source,
-                     std::initializer_list<DataSource::Layout> allowed,
+Status RequireLayout(const table::DataSource& source,
+                     std::initializer_list<table::DataSource::Layout> allowed,
                      std::string_view engine_name);
 
 }  // namespace smartmeter::engines

@@ -1,59 +1,24 @@
 #include "engines/hive_engine.h"
 
-#include <algorithm>
-#include <map>
-#include <mutex>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
 
-#include "cluster/mapreduce.h"
-#include "cluster/task_scheduler.h"
-#include "core/similarity_task.h"
+#include "core/task_types.h"
 #include "engines/cluster_task_util.h"
 #include "engines/engine_util.h"
-#include "engines/result_serde.h"
+#include "engines/plan_builders.h"
 #include "obs/trace.h"
-#include "storage/csv.h"
 
 namespace smartmeter::engines {
 
-namespace {
-
-using cluster::InputSplit;
-using cluster::TaskStats;
-using cluster::TaskWaveRunner;
-using cluster::mapreduce::Emitter;
-using cluster::mapreduce::JobOptions;
-using internal::HourRecord;
-
-JobOptions HiveJobOptions(const cluster::ClusterConfig& config) {
-  JobOptions options;
-  options.job_overhead_seconds = config.cost.hive_job_overhead_seconds;
-  options.task_startup_seconds = config.cost.hive_task_startup_seconds;
-  return options;
-}
-
-/// Map function shared by the UDAF plans: parse reading rows, emit
-/// (household, reading).
-Status MapParseRows(const InputSplit& split,
-                    Emitter<int64_t, HourRecord>* emitter) {
-  SM_ASSIGN_OR_RETURN(std::vector<std::string> lines,
-                      cluster::ReadSplitLines(split));
-  for (const std::string& line : lines) {
-    SM_ASSIGN_OR_RETURN(storage::ReadingRow row,
-                        storage::ParseReadingRow(line));
-    emitter->Emit(row.household_id,
-                  {row.hour, row.consumption, row.temperature});
-  }
-  return Status::OK();
-}
-
-}  // namespace
-
-Result<double> HiveEngine::Attach(const DataSource& source) {
+Result<double> HiveEngine::Attach(const table::DataSource& source) {
   SM_TRACE_SPAN("hive.attach");
   SM_RETURN_IF_ERROR(RequireLayout(source,
-                                   {DataSource::Layout::kSingleCsv,
-                                    DataSource::Layout::kHouseholdLines,
-                                    DataSource::Layout::kWholeFileDir},
+                                   {table::DataSource::Layout::kSingleCsv,
+                                    table::DataSource::Layout::kHouseholdLines,
+                                    table::DataSource::Layout::kWholeFileDir},
                                    name()));
   source_ = source;
   hdfs_ = std::make_unique<cluster::BlockStore>(options_.cluster.num_nodes,
@@ -73,289 +38,128 @@ void HiveEngine::SetClusterConfig(const cluster::ClusterConfig& config) {
   }
 }
 
-Result<TaskRunMetrics> HiveEngine::RunTask(const exec::QueryContext& ctx,
-                                           const TaskOptions& options,
-                                           TaskResultSet* results) {
-  SM_TRACE_SPAN("hive.task");
+exec::ExecutionPolicy HiveEngine::policy() const {
+  exec::ExecutionPolicy policy;
+  policy.dispatch = exec::ExecutionPolicy::Dispatch::kSimulatedCluster;
+  policy.threads = threads_;
+  policy.cluster = options_.cluster;
+  policy.job_overhead_seconds =
+      options_.cluster.cost.hive_job_overhead_seconds;
+  policy.task_startup_seconds =
+      options_.cluster.cost.hive_task_startup_seconds;
+  policy.memory_model =
+      exec::ExecutionPolicy::MemoryModel::kPeakTaskTimesSlots;
+  policy.block_bytes = options_.block_bytes;
+  return policy;
+}
+
+Result<exec::Plan> HiveEngine::BuildPlan(const TaskOptions& options) const {
   if (hdfs_ == nullptr) {
     return Status::InvalidArgument("hive: no data attached");
   }
-  TaskResultSet local;
-  if (results == nullptr) results = &local;
+  exec::Plan plan;
+  const std::string task(core::TaskName(options.task()));
+  exec::KernelOp kernel;
+  kernel.options = options;
+
   if (options.task() == core::TaskType::kSimilarity) {
-    if (source_.layout == DataSource::Layout::kWholeFileDir) {
+    if (source_.layout == table::DataSource::Layout::kWholeFileDir) {
       // The distance computation cannot be expressed in one UDTF pass
       // (Section 5.4.2: similarity is skipped for the third format).
       return Status::NotSupported("hive: no similarity plan for format 3");
     }
-    return RunSimilarity(ctx, options, results);
-  }
-  switch (source_.layout) {
-    case DataSource::Layout::kSingleCsv:
-      return RunRowFormatTask(ctx, options, /*whole_files=*/false, results);
-    case DataSource::Layout::kHouseholdLines:
-      return RunHouseholdLineTask(ctx, options, results);
-    case DataSource::Layout::kWholeFileDir:
-      return options_.format3_style == Format3Style::kUdtf
-                 ? RunUdtfTask(ctx, options, results)
-                 : RunRowFormatTask(ctx, options, /*whole_files=*/true,
-                                    results);
-    default:
-      return Status::NotSupported("hive: unsupported layout");
-  }
-}
-
-Result<TaskRunMetrics> HiveEngine::RunRowFormatTask(
-    const exec::QueryContext& ctx, const TaskOptions& options,
-    bool whole_files, TaskResultSet* results) {
-  const std::vector<InputSplit> splits =
-      whole_files ? hdfs_->WholeFileSplits() : hdfs_->SplittableSplits();
-  std::mutex out_mu;
-  // UDAF plan: reduce assembles each household's series and runs the
-  // algorithm. The reduce function appends straight into `results`.
-  cluster::mapreduce::ReduceFn<int64_t, HourRecord, int> reduce =
-      [&ctx, &options, &out_mu, results](int64_t household_id,
-                                         std::vector<HourRecord>&& records,
-                                         std::vector<int>*) -> Status {
-    std::vector<double> consumption, temperature;
-    internal::AssembleSeries(&records, &consumption, &temperature);
-    TaskResultSet one;
-    SM_RETURN_IF_ERROR(internal::ComputeHouseholdTask(
-        ctx, options, household_id, consumption, temperature, &one));
-    std::lock_guard<std::mutex> lock(out_mu);
-    MergeResults(std::move(one), results);
-    return Status::OK();
-  };
-  SM_ASSIGN_OR_RETURN(
-      auto job,
-      (cluster::mapreduce::RunMapReduce<int64_t, HourRecord, int>(
-          splits, options_.cluster, HiveJobOptions(options_.cluster),
-          MapParseRows, reduce)));
-  SortResultsByHousehold(results);
-
-  TaskRunMetrics metrics;
-  metrics.seconds = job.simulated_seconds;
-  metrics.simulated = true;
-  metrics.modeled_memory_bytes =
-      job.peak_task_bytes * options_.cluster.slots_per_node;
-  return metrics;
-}
-
-Result<TaskRunMetrics> HiveEngine::RunHouseholdLineTask(
-    const exec::QueryContext& ctx, const TaskOptions& options,
-    TaskResultSet* results) {
-  // Generic-UDF, map-only plan: each line is one complete household.
-  SM_ASSIGN_OR_RETURN(std::vector<double> temperature,
-                      internal::ReadTemperatureSidecar(
-                          source_.files.front() + ".temperature"));
-  const std::vector<InputSplit> splits = hdfs_->SplittableSplits();
-  std::mutex out_mu;
-  cluster::mapreduce::MapFn<int64_t, int> map =
-      [&](const InputSplit& split, Emitter<int64_t, int>* emitter)
-      -> Status {
-    SM_ASSIGN_OR_RETURN(std::vector<std::string> lines,
-                        cluster::ReadSplitLines(split));
-    TaskResultSet local;
-    for (const std::string& line : lines) {
-      SM_ASSIGN_OR_RETURN(internal::HouseholdLine parsed,
-                          internal::ParseHouseholdLine(line));
-      SM_RETURN_IF_ERROR(internal::ComputeHouseholdTask(
-          ctx, options, parsed.household_id, parsed.consumption, temperature,
-          &local));
-      emitter->Emit(parsed.household_id, 0);
+    // The self-join runs as a second MapReduce job (its own job
+    // overhead), and Hive cannot plan a map-side join here, so every
+    // join task re-reads the full series table through the shuffle.
+    kernel.shuffle_table_per_task = true;
+    kernel.extra_overhead_seconds =
+        options_.cluster.cost.hive_job_overhead_seconds;
+    if (source_.layout == table::DataSource::Layout::kSingleCsv) {
+      plan.label = "hive/" + task + "/format1";
+      plan.stages.push_back(
+          {"scan", planning::SplitReadingsScan(hdfs_->SplittableSplits(),
+                                               "hdfs-rows")});
+      exec::ShuffleOp shuffle;
+      shuffle.strategy = exec::ShuffleOp::Strategy::kSortMerge;
+      plan.stages.push_back({"shuffle", shuffle});
+    } else {
+      plan.label = "hive/" + task + "/format2";
+      plan.stages.push_back(
+          {"scan", planning::SplitSeriesScan(hdfs_->SplittableSplits(),
+                                             "hdfs-lines")});
     }
-    std::lock_guard<std::mutex> lock(out_mu);
-    MergeResults(std::move(local), results);
-    return Status::OK();
-  };
-  SM_ASSIGN_OR_RETURN(auto job,
-                      (cluster::mapreduce::RunMapOnly<int64_t, int>(
-                          splits, options_.cluster,
-                          HiveJobOptions(options_.cluster), map)));
-  SortResultsByHousehold(results);
-
-  TaskRunMetrics metrics;
-  // Distributed-cache shipment of the temperature table to every node.
-  const double temp_mb = static_cast<double>(temperature.size()) * 8.0 /
-                         (1024.0 * 1024.0);
-  metrics.seconds =
-      job.simulated_seconds +
-      temp_mb * options_.cluster.cost.broadcast_seconds_per_mb_per_node *
-          options_.cluster.num_nodes;
-  metrics.simulated = true;
-  metrics.modeled_memory_bytes =
-      job.peak_task_bytes * options_.cluster.slots_per_node;
-  return metrics;
-}
-
-Result<TaskRunMetrics> HiveEngine::RunUdtfTask(const exec::QueryContext& ctx,
-                                               const TaskOptions& options,
-                                               TaskResultSet* results) {
-  // UDTF plan over the non-splittable input format: each map task owns
-  // whole files, so it can aggregate per household map-side (a built-in
-  // combiner) and no reduce phase is needed.
-  const std::vector<InputSplit> splits = hdfs_->WholeFileSplits();
-  std::mutex out_mu;
-  cluster::mapreduce::MapFn<int64_t, int> map =
-      [&](const InputSplit& split, Emitter<int64_t, int>* emitter)
-      -> Status {
-    SM_ASSIGN_OR_RETURN(std::vector<std::string> lines,
-                        cluster::ReadSplitLines(split));
-    // Group rows by household. Files are written household-contiguous,
-    // but grouping does not rely on it.
-    std::map<int64_t, std::vector<HourRecord>> groups;
-    for (const std::string& line : lines) {
-      SM_ASSIGN_OR_RETURN(storage::ReadingRow row,
-                          storage::ParseReadingRow(line));
-      groups[row.household_id].push_back(
-          {row.hour, row.consumption, row.temperature});
-    }
-    TaskResultSet local;
-    for (auto& [household_id, records] : groups) {
-      std::vector<double> consumption, temperature;
-      internal::AssembleSeries(&records, &consumption, &temperature);
-      SM_RETURN_IF_ERROR(internal::ComputeHouseholdTask(
-          ctx, options, household_id, consumption, temperature, &local));
-      emitter->Emit(household_id, 0);
-    }
-    std::lock_guard<std::mutex> lock(out_mu);
-    MergeResults(std::move(local), results);
-    return Status::OK();
-  };
-  SM_ASSIGN_OR_RETURN(auto job,
-                      (cluster::mapreduce::RunMapOnly<int64_t, int>(
-                          splits, options_.cluster,
-                          HiveJobOptions(options_.cluster), map)));
-  SortResultsByHousehold(results);
-
-  TaskRunMetrics metrics;
-  metrics.seconds = job.simulated_seconds;
-  metrics.simulated = true;
-  metrics.modeled_memory_bytes =
-      job.peak_task_bytes * options_.cluster.slots_per_node;
-  return metrics;
-}
-
-Result<TaskRunMetrics> HiveEngine::RunSimilarity(const exec::QueryContext& ctx,
-                                                 const TaskOptions& options,
-                                                 TaskResultSet* results) {
-  const auto& similarity = options.Get<SimilarityTaskOptions>();
-  // Stage 1: assemble each household's consumption series.
-  double stage1_seconds = 0.0;
-  int64_t stage1_peak = 0;
-  std::vector<std::pair<int64_t, std::vector<double>>> series_table;
-  if (source_.layout == DataSource::Layout::kSingleCsv) {
-    std::mutex mu;
-    cluster::mapreduce::ReduceFn<int64_t, HourRecord,
-                                 std::pair<int64_t, std::vector<double>>>
-        reduce = [&mu](int64_t household_id,
-                       std::vector<HourRecord>&& records,
-                       std::vector<std::pair<int64_t, std::vector<double>>>*
-                           out) -> Status {
-      std::vector<double> consumption, temperature;
-      internal::AssembleSeries(&records, &consumption, &temperature);
-      (void)mu;
-      out->emplace_back(household_id, std::move(consumption));
-      return Status::OK();
-    };
-    SM_ASSIGN_OR_RETURN(
-        auto job,
-        (cluster::mapreduce::RunMapReduce<
-            int64_t, HourRecord, std::pair<int64_t, std::vector<double>>>(
-            hdfs_->SplittableSplits(), options_.cluster,
-            HiveJobOptions(options_.cluster), MapParseRows, reduce)));
-    series_table = std::move(job.outputs);
-    stage1_seconds = job.simulated_seconds;
-    stage1_peak = job.peak_task_bytes;
   } else {
-    // Format 2: series arrive whole; a map-only scan collects them.
-    std::mutex mu;
-    std::vector<std::pair<int64_t, std::vector<double>>> collected;
-    cluster::mapreduce::MapFn<int64_t, int> map =
-        [&](const InputSplit& split, Emitter<int64_t, int>* emitter)
-        -> Status {
-      SM_ASSIGN_OR_RETURN(std::vector<std::string> lines,
-                          cluster::ReadSplitLines(split));
-      for (const std::string& line : lines) {
-        SM_ASSIGN_OR_RETURN(internal::HouseholdLine parsed,
-                            internal::ParseHouseholdLine(line));
-        emitter->Emit(parsed.household_id, 0);
-        std::lock_guard<std::mutex> lock(mu);
-        collected.emplace_back(parsed.household_id,
-                               std::move(parsed.consumption));
+    switch (source_.layout) {
+      case table::DataSource::Layout::kSingleCsv: {
+        // UDAF plan: map parses rows, a sort-merge shuffle groups them,
+        // reduce assembles and computes.
+        plan.label = "hive/" + task + "/format1";
+        plan.stages.push_back(
+            {"scan", planning::SplitReadingsScan(hdfs_->SplittableSplits(),
+                                                 "hdfs-rows")});
+        exec::ShuffleOp shuffle;
+        shuffle.strategy = exec::ShuffleOp::Strategy::kSortMerge;
+        plan.stages.push_back({"shuffle", shuffle});
+        break;
       }
-      return Status::OK();
-    };
-    SM_ASSIGN_OR_RETURN(auto job,
-                        (cluster::mapreduce::RunMapOnly<int64_t, int>(
-                            hdfs_->SplittableSplits(), options_.cluster,
-                            HiveJobOptions(options_.cluster), map)));
-    series_table = std::move(collected);
-    stage1_seconds = job.simulated_seconds;
-    stage1_peak = job.peak_task_bytes;
-  }
-  std::sort(series_table.begin(), series_table.end(),
-            [](const auto& a, const auto& b) { return a.first < b.first; });
-  if (similarity.households > 0 &&
-      series_table.size() > static_cast<size_t>(similarity.households)) {
-    series_table.resize(static_cast<size_t>(similarity.households));
-  }
-
-  // Stage 2: the self-join. Hive's plan cannot use a map-side join here
-  // (Section 5.4.2), so every join task receives a full copy of the
-  // series table through the shuffle -- the dominant cost.
-  SM_ASSIGN_OR_RETURN(const table::ColumnarBatch series_batch,
-                      internal::BatchFromSeriesTable(series_table));
-  const std::vector<core::SeriesView> views =
-      core::BuildSeriesViews(series_batch);
-  int64_t table_bytes = 0;
-  for (const auto& [id, series] : series_table) {
-    table_bytes += 24 + static_cast<int64_t>(series.size()) * 8;
-  }
-  const std::vector<double> norms = core::ComputeNorms(views);
-
-  const int join_tasks = std::max(1, options_.cluster.total_slots());
-  const size_t n = views.size();
-  std::vector<std::vector<core::SimilarityResult>> partials(
-      static_cast<size_t>(join_tasks));
-  std::vector<TaskWaveRunner::TaskFn> tasks;
-  tasks.reserve(static_cast<size_t>(join_tasks));
-  for (int t = 0; t < join_tasks; ++t) {
-    tasks.push_back([&, t](TaskStats* stats) -> Status {
-      const size_t begin = n * static_cast<size_t>(t) /
-                           static_cast<size_t>(join_tasks);
-      const size_t end = n * (static_cast<size_t>(t) + 1) /
-                         static_cast<size_t>(join_tasks);
-      if (begin < end) {
-        SM_ASSIGN_OR_RETURN(
-            std::vector<core::SimilarityResult> chunk,
-            core::ComputeSimilarityTopKRange(views, norms, begin, end,
-                                             similarity.search, &ctx));
-        partials[static_cast<size_t>(t)] = std::move(chunk);
+      case table::DataSource::Layout::kHouseholdLines: {
+        // Generic-UDF, map-only plan: each line is one complete
+        // household, computed in the same wave that scans it. The
+        // temperature table ships raw (8 bytes per value) to every node
+        // via the distributed cache.
+        plan.label = "hive/" + task + "/format2";
+        SM_ASSIGN_OR_RETURN(std::vector<double> sidecar,
+                            internal::ReadTemperatureSidecar(
+                                source_.files.front() + ".temperature"));
+        kernel.fuse_scan = true;
+        kernel.broadcast_bytes = static_cast<int64_t>(sidecar.size()) * 8;
+        exec::ScanOp scan = planning::SplitSeriesScan(
+            hdfs_->SplittableSplits(), "hdfs-lines");
+        scan.shared_temperature =
+            std::make_shared<const std::vector<double>>(std::move(sidecar));
+        plan.stages.push_back({"scan", std::move(scan)});
+        break;
       }
-      stats->shuffle_bytes = table_bytes;  // Full table to every task.
-      return Status::OK();
-    });
+      case table::DataSource::Layout::kWholeFileDir:
+      default: {
+        if (options_.format3_style == Format3Style::kUdtf) {
+          // UDTF plan over the non-splittable format: each map task owns
+          // whole files, aggregates per household map-side (a built-in
+          // combiner), and no reduce phase is needed.
+          plan.label = "hive/" + task + "/format3-udtf";
+          kernel.fuse_scan = true;
+          plan.stages.push_back(
+              {"scan", planning::SplitReadingsScan(hdfs_->WholeFileSplits(),
+                                                   "hdfs-wholefile")});
+        } else {
+          // UDAF plan over whole files: shuffle like format 1.
+          plan.label = "hive/" + task + "/format3-udaf";
+          plan.stages.push_back(
+              {"scan", planning::SplitReadingsScan(hdfs_->WholeFileSplits(),
+                                                   "hdfs-wholefile")});
+          exec::ShuffleOp shuffle;
+          shuffle.strategy = exec::ShuffleOp::Strategy::kSortMerge;
+          plan.stages.push_back({"shuffle", shuffle});
+        }
+        break;
+      }
+    }
   }
-  TaskWaveRunner runner(options_.cluster,
-                        options_.cluster.cost.hive_task_startup_seconds);
-  SM_ASSIGN_OR_RETURN(double join_makespan, runner.Run(&tasks));
 
-  std::vector<core::SimilarityResult>& out =
-      results->Mutable<core::SimilarityResult>();
-  for (auto& chunk : partials) {
-    for (auto& r : chunk) out.push_back(std::move(r));
-  }
-  SortResultsByHousehold(results);
+  plan.stages.push_back({"kernel", std::move(kernel)});
+  plan.stages.push_back({"materialize", exec::MaterializeOp{}});
+  plan.stages.push_back({"merge", exec::MergeOp{}});
+  return plan;
+}
 
-  TaskRunMetrics metrics;
-  metrics.seconds = stage1_seconds +
-                    options_.cluster.cost.hive_job_overhead_seconds +
-                    join_makespan;
-  metrics.simulated = true;
-  metrics.modeled_memory_bytes =
-      std::max(stage1_peak, table_bytes) * options_.cluster.slots_per_node;
-  return metrics;
+Result<TaskRunMetrics> HiveEngine::RunTask(const exec::QueryContext& ctx,
+                                           const TaskOptions& options,
+                                           TaskResultSet* results) {
+  SM_TRACE_SPAN("hive.task");
+  SM_ASSIGN_OR_RETURN(exec::Plan plan, BuildPlan(options));
+  SM_ASSIGN_OR_RETURN(exec::PlanRunMetrics run,
+                      exec::PlanExecutor().Run(ctx, plan, policy(), results));
+  return ToTaskMetrics(std::move(run));
 }
 
 }  // namespace smartmeter::engines

@@ -2,12 +2,12 @@
 #define SMARTMETER_ENGINES_HIVE_ENGINE_H_
 
 #include <memory>
-#include <optional>
 #include <vector>
 
 #include "cluster/block_store.h"
 #include "cluster/cost_model.h"
 #include "engines/engine.h"
+#include "exec/plan.h"
 
 namespace smartmeter::engines {
 
@@ -46,7 +46,7 @@ class HiveEngine : public AnalyticsEngine {
 
   std::string_view name() const override { return "hive"; }
   bool is_cluster_engine() const override { return true; }
-  Result<double> Attach(const DataSource& source) override;
+  Result<double> Attach(const table::DataSource& source) override;
   Result<double> WarmUp() override { return 0.0; }  // Hive has no warm cache.
   void DropWarmData() override {}
   using AnalyticsEngine::RunTask;
@@ -56,27 +56,23 @@ class HiveEngine : public AnalyticsEngine {
   void SetThreads(int num_threads) override { threads_ = num_threads; }
   int threads() const override { return threads_; }
 
+  /// Builds the physical plan for one task over the attached layout: a
+  /// sort-merge shuffle for the UDAF plans, a fused map-only wave for the
+  /// UDF/UDTF plans, and a second self-join job for similarity whose
+  /// every task re-reads the series table through the shuffle.
+  Result<exec::Plan> BuildPlan(const TaskOptions& options) const;
+
+  /// The Hive pricing policy: simulated dispatch, Hadoop's heavy job and
+  /// task startup, nothing resident between jobs.
+  exec::ExecutionPolicy policy() const;
+
   /// Reconfigures the simulated cluster (e.g. Figure 14's 4..16 nodes).
   void SetClusterConfig(const cluster::ClusterConfig& config);
   const Options& options() const { return options_; }
 
  private:
-  Result<TaskRunMetrics> RunRowFormatTask(const exec::QueryContext& ctx,
-                                          const TaskOptions& options,
-                                          bool whole_files,
-                                          TaskResultSet* results);
-  Result<TaskRunMetrics> RunHouseholdLineTask(const exec::QueryContext& ctx,
-                                              const TaskOptions& options,
-                                              TaskResultSet* results);
-  Result<TaskRunMetrics> RunUdtfTask(const exec::QueryContext& ctx,
-                                     const TaskOptions& options,
-                                     TaskResultSet* results);
-  Result<TaskRunMetrics> RunSimilarity(const exec::QueryContext& ctx,
-                                       const TaskOptions& options,
-                                       TaskResultSet* results);
-
   Options options_;
-  DataSource source_;
+  table::DataSource source_;
   std::unique_ptr<cluster::BlockStore> hdfs_;
   int threads_ = 1;
 };

@@ -1,19 +1,22 @@
 #include "engines/madlib_engine.h"
 
+#include <memory>
+#include <string>
 #include <utility>
 
 #include "common/stopwatch.h"
+#include "core/task_types.h"
 #include "engines/engine_util.h"
 #include "obs/trace.h"
 #include "storage/csv.h"
 
 namespace smartmeter::engines {
 
-Result<double> MadlibEngine::Attach(const DataSource& source) {
+Result<double> MadlibEngine::Attach(const table::DataSource& source) {
   SM_TRACE_SPAN("madlib.attach");
   SM_RETURN_IF_ERROR(RequireLayout(source,
-                                   {DataSource::Layout::kSingleCsv,
-                                    DataSource::Layout::kPartitionedDir},
+                                   {table::DataSource::Layout::kSingleCsv,
+                                    table::DataSource::Layout::kPartitionedDir},
                                    name()));
   Stopwatch clock;
   warm_reader_.reset();
@@ -31,7 +34,7 @@ Result<double> MadlibEngine::Attach(const DataSource& source) {
   } else {
     // The array layout groups by household at load time.
     MeterDataset staged;
-    if (source.layout == DataSource::Layout::kSingleCsv) {
+    if (source.layout == table::DataSource::Layout::kSingleCsv) {
       SM_ASSIGN_OR_RETURN(staged,
                           storage::ReadReadingsCsv(source.files.front()));
     } else {
@@ -72,31 +75,55 @@ Result<double> MadlibEngine::WarmUp() {
 
 void MadlibEngine::DropWarmData() { warm_reader_.reset(); }
 
+Result<exec::Plan> MadlibEngine::BuildPlan(const TaskOptions& options) const {
+  if (!attached_) {
+    return Status::InvalidArgument("madlib: no data attached");
+  }
+  exec::Plan plan;
+  const std::string task(core::TaskName(options.task()));
+  exec::ScanOp scan;
+  scan.kind = exec::ScanOp::Kind::kBatch;
+  if (warm_reader_ != nullptr) {
+    // Warm: the opened reader serves batches from memory.
+    plan.label = std::string(name()) + "/" + task + "/warm";
+    scan.source = "warm-reader";
+    scan.scan_batch =
+        [reader = warm_reader_.get()]() -> Result<exec::BatchScan> {
+      SM_ASSIGN_OR_RETURN(table::ColumnarBatch batch, reader->NewBatch());
+      return exec::BatchScan{std::move(batch), nullptr};
+    };
+  } else {
+    // Cold start reads the table from disk inside the scan stage: the
+    // row layout pays a full scan plus per-household grouping and
+    // sorting; the array layout reads far fewer, wider rows and skips
+    // the sort -- the Section 5.3.3 gap. Both then run the same kernels.
+    plan.label = std::string(name()) + "/" + task + "/cold";
+    scan.source =
+        layout_ == TableLayout::kRow ? "row-store" : "array-store";
+    scan.scan_batch = [this]() -> Result<exec::BatchScan> {
+      std::shared_ptr<table::TableReader> reader = MakeTableReader();
+      SM_RETURN_IF_ERROR(reader->Open());
+      SM_ASSIGN_OR_RETURN(table::ColumnarBatch batch, reader->NewBatch());
+      return exec::BatchScan{std::move(batch), std::move(reader)};
+    };
+  }
+  plan.stages.push_back({"scan", std::move(scan)});
+  exec::KernelOp kernel;
+  kernel.options = options;
+  plan.stages.push_back({"kernel", std::move(kernel)});
+  plan.stages.push_back({"materialize", exec::MaterializeOp{}});
+  return plan;
+}
+
 Result<TaskRunMetrics> MadlibEngine::RunTask(const exec::QueryContext& ctx,
                                              const TaskOptions& options,
                                              TaskResultSet* results) {
   SM_TRACE_SPAN("madlib.task");
-  if (!attached_) {
-    return Status::InvalidArgument("madlib: no data attached");
-  }
-  if (warm_reader_ != nullptr) {
-    SM_ASSIGN_OR_RETURN(table::ColumnarBatch batch, warm_reader_->NewBatch());
-    return RunTaskOverBatch(ctx, batch, options, threads_, results);
-  }
-  Stopwatch clock;
-  TaskRunMetrics metrics;
-  // Cold start reads the table from disk first: the row layout pays a
-  // full scan plus per-household grouping and sorting; the array layout
-  // reads far fewer, wider rows and skips the sort -- the Section 5.3.3
-  // gap. Both then run the same kernels.
-  std::unique_ptr<table::TableReader> reader = MakeTableReader();
-  SM_RETURN_IF_ERROR(reader->Open());
-  SM_RETURN_IF_ERROR(ctx.CheckNotStopped());
-  SM_ASSIGN_OR_RETURN(table::ColumnarBatch batch, reader->NewBatch());
+  SM_ASSIGN_OR_RETURN(exec::Plan plan, BuildPlan(options));
   SM_ASSIGN_OR_RETURN(
-      metrics, RunTaskOverBatch(ctx, batch, options, threads_, results));
-  metrics.seconds = clock.ElapsedSeconds();
-  return metrics;
+      exec::PlanRunMetrics run,
+      exec::PlanExecutor().Run(ctx, plan, LocalPoolPolicy(threads_), results));
+  return ToTaskMetrics(std::move(run));
 }
 
 }  // namespace smartmeter::engines

@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "engines/engine.h"
+#include "exec/plan.h"
 #include "storage/row_store.h"
 #include "table/table_reader.h"
 
@@ -39,13 +40,18 @@ class MadlibEngine : public AnalyticsEngine {
   std::string_view name() const override {
     return layout_ == TableLayout::kRow ? "madlib" : "madlib-array";
   }
-  Result<double> Attach(const DataSource& source) override;
+  Result<double> Attach(const table::DataSource& source) override;
   Result<double> WarmUp() override;
   void DropWarmData() override;
   using AnalyticsEngine::RunTask;
   Result<TaskRunMetrics> RunTask(const exec::QueryContext& ctx,
                                  const TaskOptions& options,
                                  TaskResultSet* results) override;
+
+  /// The physical plan RunTask executes: a batch scan through the
+  /// layout's table access path (warm reader or a cold Open), then the
+  /// kernel.
+  Result<exec::Plan> BuildPlan(const TaskOptions& options) const;
   void SetThreads(int num_threads) override { threads_ = num_threads; }
   int threads() const override { return threads_; }
 

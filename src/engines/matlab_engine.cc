@@ -1,53 +1,27 @@
 #include "engines/matlab_engine.h"
 
 #include <algorithm>
+#include <memory>
 #include <mutex>
+#include <string>
+#include <utility>
 
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
+#include "core/task_types.h"
 #include "engines/engine_util.h"
+#include "engines/plan_builders.h"
 #include "obs/trace.h"
 #include "storage/csv.h"
 #include "table/columnar_batch.h"
 
 namespace smartmeter::engines {
 
-namespace {
-
-/// Parses one single-household file (rows already in hour order, as the
-/// partitioned writer produces them) without any grouping structure --
-/// the fast streaming path a per-file loop enjoys.
-Status ParseSingleHouseholdFile(const std::string& path,
-                                ConsumerSeries* series,
-                                std::vector<double>* temperature) {
-  storage::ReadingCsvReader reader(path);
-  SM_RETURN_IF_ERROR(reader.Open());
-  storage::ReadingRow row;
-  bool first = true;
-  series->consumption.clear();
-  temperature->clear();
-  while (reader.Next(&row)) {
-    if (first) {
-      series->household_id = row.household_id;
-      first = false;
-    }
-    series->consumption.push_back(row.consumption);
-    temperature->push_back(row.temperature);
-  }
-  SM_RETURN_IF_ERROR(reader.status());
-  if (first) {
-    return Status::Corruption("empty household file " + path);
-  }
-  return Status::OK();
-}
-
-}  // namespace
-
-Result<double> MatlabEngine::Attach(const DataSource& source) {
+Result<double> MatlabEngine::Attach(const table::DataSource& source) {
   SM_TRACE_SPAN("matlab.attach");
   SM_RETURN_IF_ERROR(RequireLayout(source,
-                                   {DataSource::Layout::kSingleCsv,
-                                    DataSource::Layout::kPartitionedDir},
+                                   {table::DataSource::Layout::kSingleCsv,
+                                    table::DataSource::Layout::kPartitionedDir},
                                    name()));
   Stopwatch clock;
   source_ = source;
@@ -58,7 +32,7 @@ Result<double> MatlabEngine::Attach(const DataSource& source) {
 
 Result<MeterDataset> MatlabEngine::ParseAll() const {
   SM_TRACE_SPAN("matlab.parse_all");
-  if (source_.layout == DataSource::Layout::kSingleCsv) {
+  if (source_.layout == table::DataSource::Layout::kSingleCsv) {
     // One big file: Matlab textscans the whole file into flat column
     // arrays, then pulls each household out with logical indexing --
     // data(data(:,1) == id, :) -- which rescans the full arrays once per
@@ -128,8 +102,8 @@ Result<MeterDataset> MatlabEngine::ParseAll() const {
   pool.ParallelFor(n, [&](size_t begin, size_t end) {
     std::vector<double> local_temp;
     for (size_t i = begin; i < end; ++i) {
-      const Status st = ParseSingleHouseholdFile(source_.files[i],
-                                                 &consumers[i], &local_temp);
+      const Status st = planning::ParseSingleHouseholdFile(
+          source_.files[i], &consumers[i], &local_temp);
       std::lock_guard<std::mutex> lock(mu);
       if (!st.ok()) {
         if (first_error.ok()) first_error = st;
@@ -154,116 +128,66 @@ Result<double> MatlabEngine::WarmUp() {
 
 void MatlabEngine::DropWarmData() { warm_.reset(); }
 
+Result<exec::Plan> MatlabEngine::BuildPlan(const TaskOptions& options) const {
+  if (source_.files.empty()) {
+    return Status::InvalidArgument("matlab: no data attached");
+  }
+  exec::Plan plan;
+  const std::string task(core::TaskName(options.task()));
+  exec::KernelOp kernel;
+  kernel.options = options;
+  if (warm_.has_value()) {
+    plan.label = "matlab/" + task + "/warm-arrays";
+    plan.stages.push_back(
+        {"scan", planning::DatasetBatchScan(&*warm_, "warm-arrays")});
+    plan.stages.push_back({"kernel", std::move(kernel)});
+    plan.stages.push_back({"materialize", exec::MaterializeOp{}});
+    return plan;
+  }
+  if (source_.layout == table::DataSource::Layout::kSingleCsv ||
+      options.task() == core::TaskType::kSimilarity) {
+    // Whole-dataset path: parse everything inside the scan stage (for
+    // one big file this includes the index build), then compute.
+    plan.label = "matlab/" + task + "/parse-all";
+    exec::ScanOp scan;
+    scan.kind = exec::ScanOp::Kind::kBatch;
+    scan.source =
+        source_.layout == table::DataSource::Layout::kSingleCsv
+            ? "single-csv"
+            : "household-files";
+    scan.scan_batch = [this]() -> Result<exec::BatchScan> {
+      SM_ASSIGN_OR_RETURN(MeterDataset dataset, ParseAll());
+      auto owner = std::make_shared<const MeterDataset>(std::move(dataset));
+      SM_ASSIGN_OR_RETURN(table::ColumnarBatch batch,
+                          table::ColumnarBatch::FromDataset(*owner));
+      return exec::BatchScan{std::move(batch), owner};
+    };
+    plan.stages.push_back({"scan", std::move(scan)});
+    plan.stages.push_back({"kernel", std::move(kernel)});
+    plan.stages.push_back({"materialize", exec::MaterializeOp{}});
+    return plan;
+  }
+  // Partitioned per-household tasks: stream file -> compute -> next
+  // file (a fused scan+kernel wave), so only one household is in memory
+  // per worker at a time. Partition order == file order, so no merge.
+  plan.label = "matlab/" + task + "/per-file";
+  kernel.fuse_scan = true;
+  plan.stages.push_back(
+      {"scan", planning::FileSeriesScan(source_.files, "household-files")});
+  plan.stages.push_back({"kernel", std::move(kernel)});
+  plan.stages.push_back({"materialize", exec::MaterializeOp{}});
+  return plan;
+}
+
 Result<TaskRunMetrics> MatlabEngine::RunTask(const exec::QueryContext& ctx,
                                              const TaskOptions& options,
                                              TaskResultSet* results) {
   SM_TRACE_SPAN("matlab.task");
-  if (source_.files.empty()) {
-    return Status::InvalidArgument("matlab: no data attached");
-  }
-  if (warm_.has_value()) {
-    return RunTaskOverDataset(ctx, *warm_, options, threads_, results);
-  }
-  Stopwatch clock;
-  if (source_.layout == DataSource::Layout::kSingleCsv ||
-      options.task() == core::TaskType::kSimilarity) {
-    // Whole-dataset path: parse everything first (for one big file this
-    // includes the index build), then compute.
-    SM_ASSIGN_OR_RETURN(MeterDataset dataset, ParseAll());
-    SM_RETURN_IF_ERROR(ctx.CheckNotStopped());
-    SM_ASSIGN_OR_RETURN(
-        TaskRunMetrics metrics,
-        RunTaskOverDataset(ctx, dataset, options, threads_, results));
-    metrics.seconds = clock.ElapsedSeconds();
-    return metrics;
-  }
-
-  // Partitioned per-household tasks: stream file -> compute -> next file,
-  // so only one household is in memory per worker at a time.
-  const size_t n = source_.files.size();
-  TaskRunMetrics metrics;
-  TaskResultSet local;
-  if (results == nullptr) results = &local;
-  std::vector<core::HistogramResult>* histograms = nullptr;
-  std::vector<core::ThreeLineResult>* three_lines = nullptr;
-  std::vector<core::DailyProfileResult>* profiles = nullptr;
-  switch (options.task()) {
-    case core::TaskType::kHistogram:
-      histograms = &results->Mutable<core::HistogramResult>();
-      histograms->assign(n, {});
-      break;
-    case core::TaskType::kThreeLine:
-      three_lines = &results->Mutable<core::ThreeLineResult>();
-      three_lines->assign(n, {});
-      break;
-    case core::TaskType::kPar:
-      profiles = &results->Mutable<core::DailyProfileResult>();
-      profiles->assign(n, {});
-      break;
-    case core::TaskType::kSimilarity:
-      return Status::Internal("similarity handled above");
-  }
-
-  std::mutex mu;
-  Status first_error = Status::OK();
-  ThreadPool pool(std::max(1, threads_));
-  pool.ParallelFor(n, [&](size_t begin, size_t end) {
-    ConsumerSeries consumer;
-    std::vector<double> temperature;
-    core::ThreeLinePhases local_phases;
-    for (size_t i = begin; i < end; ++i) {
-      Status st = ctx.CheckNotStopped();
-      if (st.ok()) {
-        st = ParseSingleHouseholdFile(source_.files[i], &consumer,
-                                      &temperature);
-      }
-      if (st.ok()) {
-        // One-household batch over the freshly parsed arrays: the same
-        // range kernels the batch engines run, writing result slot i.
-        Result<table::ColumnarBatch> batch = table::ColumnarBatch::FromSlices(
-            {consumer.household_id},
-            {table::SeriesSlice(consumer.consumption)}, temperature);
-        if (!batch.ok()) {
-          st = batch.status();
-        } else {
-          switch (options.task()) {
-            case core::TaskType::kHistogram:
-              st = core::ComputeHistogramRange(
-                  *batch, 0, 1, options.Get<core::HistogramOptions>(), &ctx,
-                  std::span<core::HistogramResult>(*histograms)
-                      .subspan(i, 1));
-              break;
-            case core::TaskType::kThreeLine:
-              st = core::ComputeThreeLineRange(
-                  *batch, 0, 1, options.Get<core::ThreeLineOptions>(),
-                  &local_phases, &ctx,
-                  std::span<core::ThreeLineResult>(*three_lines)
-                      .subspan(i, 1));
-              break;
-            case core::TaskType::kPar:
-              st = core::ComputeDailyProfileRange(
-                  *batch, 0, 1, options.Get<core::ParOptions>(), &ctx,
-                  std::span<core::DailyProfileResult>(*profiles)
-                      .subspan(i, 1));
-              break;
-            case core::TaskType::kSimilarity:
-              st = Status::Internal("similarity handled above");
-              break;
-          }
-        }
-      }
-      if (!st.ok()) {
-        std::lock_guard<std::mutex> lock(mu);
-        if (first_error.ok()) first_error = st;
-        return;
-      }
-    }
-    std::lock_guard<std::mutex> lock(mu);
-    metrics.phases.Accumulate(local_phases);
-  });
-  SM_RETURN_IF_ERROR(first_error);
-  metrics.seconds = clock.ElapsedSeconds();
-  return metrics;
+  SM_ASSIGN_OR_RETURN(exec::Plan plan, BuildPlan(options));
+  SM_ASSIGN_OR_RETURN(
+      exec::PlanRunMetrics run,
+      exec::PlanExecutor().Run(ctx, plan, LocalPoolPolicy(threads_), results));
+  return ToTaskMetrics(std::move(run));
 }
 
 }  // namespace smartmeter::engines

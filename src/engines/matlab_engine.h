@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "engines/engine.h"
+#include "exec/plan.h"
 #include "timeseries/dataset.h"
 
 namespace smartmeter::engines {
@@ -30,13 +31,19 @@ class MatlabEngine : public AnalyticsEngine {
   MatlabEngine() = default;
 
   std::string_view name() const override { return "matlab"; }
-  Result<double> Attach(const DataSource& source) override;
+  Result<double> Attach(const table::DataSource& source) override;
   Result<double> WarmUp() override;
   void DropWarmData() override;
   using AnalyticsEngine::RunTask;
   Result<TaskRunMetrics> RunTask(const exec::QueryContext& ctx,
                                  const TaskOptions& options,
                                  TaskResultSet* results) override;
+
+  /// The physical plan RunTask executes: warm runs scan the parsed
+  /// arrays; a cold single-file (or similarity) run parses everything in
+  /// the scan stage; cold partitioned per-household runs fuse a per-file
+  /// scan into the kernel wave.
+  Result<exec::Plan> BuildPlan(const TaskOptions& options) const;
   void SetThreads(int num_threads) override { threads_ = num_threads; }
   int threads() const override { return threads_; }
 
@@ -45,7 +52,7 @@ class MatlabEngine : public AnalyticsEngine {
   /// whole-dataset tasks and the WarmUp implementation).
   Result<MeterDataset> ParseAll() const;
 
-  DataSource source_;
+  table::DataSource source_;
   std::optional<MeterDataset> warm_;
   int threads_ = 1;
 };

@@ -1,0 +1,151 @@
+#include "engines/plan_builders.h"
+
+#include <memory>
+#include <utility>
+
+#include "engines/cluster_task_util.h"
+#include "storage/csv.h"
+
+namespace smartmeter::engines::planning {
+
+exec::ScanOp ResidentBatchScan(const table::ColumnarBatch* batch,
+                               std::string source) {
+  exec::ScanOp scan;
+  scan.kind = exec::ScanOp::Kind::kBatch;
+  scan.source = std::move(source);
+  scan.scan_batch = [batch]() -> Result<exec::BatchScan> {
+    return exec::BatchScan{batch->View(), nullptr};
+  };
+  return scan;
+}
+
+exec::ScanOp DatasetBatchScan(const MeterDataset* dataset,
+                              std::string source) {
+  exec::ScanOp scan;
+  scan.kind = exec::ScanOp::Kind::kBatch;
+  scan.source = std::move(source);
+  scan.scan_batch = [dataset]() -> Result<exec::BatchScan> {
+    SM_ASSIGN_OR_RETURN(table::ColumnarBatch batch,
+                        table::ColumnarBatch::FromDataset(*dataset));
+    return exec::BatchScan{std::move(batch), nullptr};
+  };
+  return scan;
+}
+
+exec::ScanOp SplitReadingsScan(std::vector<cluster::InputSplit> splits,
+                               std::string source,
+                               double extra_seconds_per_mb) {
+  exec::ScanOp scan;
+  scan.kind = exec::ScanOp::Kind::kReadings;
+  scan.source = std::move(source);
+  scan.partitions = static_cast<int>(splits.size());
+  auto shared =
+      std::make_shared<const std::vector<cluster::InputSplit>>(
+          std::move(splits));
+  scan.scan_readings = [shared, extra_seconds_per_mb](
+                           int partition,
+                           std::vector<exec::ReadingRecord>* out,
+                           cluster::TaskStats* stats) -> Status {
+    const cluster::InputSplit& split =
+        (*shared)[static_cast<size_t>(partition)];
+    SM_ASSIGN_OR_RETURN(std::vector<std::string> lines,
+                        cluster::ReadSplitLines(split));
+    out->reserve(lines.size());
+    for (const std::string& line : lines) {
+      SM_ASSIGN_OR_RETURN(storage::ReadingRow row,
+                          storage::ParseReadingRow(line));
+      out->push_back({row.household_id, row.hour, row.consumption,
+                      row.temperature});
+    }
+    stats->input_bytes = split.length;
+    stats->files_opened = split.opens_file ? 1 : 0;
+    stats->fixed_seconds = extra_seconds_per_mb *
+                           static_cast<double>(split.length) /
+                           (1024.0 * 1024.0);
+    return Status::OK();
+  };
+  return scan;
+}
+
+exec::ScanOp SplitSeriesScan(std::vector<cluster::InputSplit> splits,
+                             std::string source) {
+  exec::ScanOp scan;
+  scan.kind = exec::ScanOp::Kind::kSeries;
+  scan.source = std::move(source);
+  scan.partitions = static_cast<int>(splits.size());
+  auto shared =
+      std::make_shared<const std::vector<cluster::InputSplit>>(
+          std::move(splits));
+  scan.scan_series = [shared](int partition,
+                              std::vector<exec::SeriesRecord>* out,
+                              cluster::TaskStats* stats) -> Status {
+    const cluster::InputSplit& split =
+        (*shared)[static_cast<size_t>(partition)];
+    SM_ASSIGN_OR_RETURN(std::vector<std::string> lines,
+                        cluster::ReadSplitLines(split));
+    out->reserve(lines.size());
+    for (const std::string& line : lines) {
+      SM_ASSIGN_OR_RETURN(internal::HouseholdLine parsed,
+                          internal::ParseHouseholdLine(line));
+      exec::SeriesRecord record;
+      record.household_id = parsed.household_id;
+      record.consumption = std::move(parsed.consumption);
+      out->push_back(std::move(record));
+    }
+    stats->input_bytes = split.length;
+    stats->files_opened = split.opens_file ? 1 : 0;
+    return Status::OK();
+  };
+  return scan;
+}
+
+exec::ScanOp FileSeriesScan(std::vector<std::string> files,
+                            std::string source) {
+  exec::ScanOp scan;
+  scan.kind = exec::ScanOp::Kind::kSeries;
+  scan.source = std::move(source);
+  scan.partitions = static_cast<int>(files.size());
+  auto shared =
+      std::make_shared<const std::vector<std::string>>(std::move(files));
+  scan.scan_series = [shared](int partition,
+                              std::vector<exec::SeriesRecord>* out,
+                              cluster::TaskStats*) -> Status {
+    ConsumerSeries consumer;
+    std::vector<double> temperature;
+    SM_RETURN_IF_ERROR(ParseSingleHouseholdFile(
+        (*shared)[static_cast<size_t>(partition)], &consumer, &temperature));
+    exec::SeriesRecord record;
+    record.household_id = consumer.household_id;
+    record.consumption = std::move(consumer.consumption);
+    record.temperature = std::move(temperature);
+    out->push_back(std::move(record));
+    return Status::OK();
+  };
+  return scan;
+}
+
+Status ParseSingleHouseholdFile(const std::string& path,
+                                ConsumerSeries* series,
+                                std::vector<double>* temperature) {
+  storage::ReadingCsvReader reader(path);
+  SM_RETURN_IF_ERROR(reader.Open());
+  storage::ReadingRow row;
+  bool first = true;
+  series->consumption.clear();
+  temperature->clear();
+  while (reader.Next(&row)) {
+    if (first) {
+      series->household_id = row.household_id;
+      first = false;
+    }
+    series->consumption.push_back(row.consumption);
+    temperature->push_back(row.temperature);
+  }
+  SM_RETURN_IF_ERROR(reader.status());
+  if (first) {
+    return Status::Corruption("empty household file " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace smartmeter::engines::planning

@@ -1,57 +1,26 @@
 #include "engines/spark_engine.h"
 
-#include <algorithm>
-#include <map>
-#include <mutex>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
 
-#include "cluster/dataflow.h"
-#include "core/similarity_task.h"
+#include "core/task_types.h"
 #include "engines/cluster_task_util.h"
 #include "engines/engine_util.h"
-#include "engines/result_serde.h"
+#include "engines/plan_builders.h"
 #include "obs/trace.h"
-#include "storage/csv.h"
 
 namespace smartmeter::engines {
 
-namespace internal {
-
-/// Modeled serialized size of a parsed format-2 line.
-inline int64_t ApproxByteSize(const HouseholdLine& line) {
-  return 24 + static_cast<int64_t>(line.consumption.size()) * 8;
-}
-
-}  // namespace internal
-
-namespace {
-
-using cluster::InputSplit;
-using cluster::dataflow::Context;
-using cluster::dataflow::Partitioned;
-using internal::HourRecord;
-using internal::HouseholdLine;
-
-using RowPair = std::pair<int64_t, HourRecord>;
-using SeriesPair = std::pair<int64_t, std::vector<double>>;
-
-Status ParseRowLine(std::string_view line, std::vector<RowPair>* out) {
-  SM_ASSIGN_OR_RETURN(storage::ReadingRow row,
-                      storage::ParseReadingRow(line));
-  out->emplace_back(row.household_id,
-                    HourRecord{row.hour, row.consumption, row.temperature});
-  return Status::OK();
-}
-
-}  // namespace
-
-Result<double> SparkEngine::Attach(const DataSource& source) {
+Result<double> SparkEngine::Attach(const table::DataSource& source) {
   SM_TRACE_SPAN("spark.attach");
   SM_RETURN_IF_ERROR(RequireLayout(source,
-                                   {DataSource::Layout::kSingleCsv,
-                                    DataSource::Layout::kHouseholdLines,
-                                    DataSource::Layout::kWholeFileDir},
+                                   {table::DataSource::Layout::kSingleCsv,
+                                    table::DataSource::Layout::kHouseholdLines,
+                                    table::DataSource::Layout::kWholeFileDir},
                                    name()));
-  if (source.layout == DataSource::Layout::kWholeFileDir &&
+  if (source.layout == table::DataSource::Layout::kWholeFileDir &&
       static_cast<int>(source.files.size()) >=
           options_.cluster.cost.spark_max_open_files) {
     // The paper hit this wall at ~100,000 input files (Section 5.4.2).
@@ -76,264 +45,115 @@ void SparkEngine::SetClusterConfig(const cluster::ClusterConfig& config) {
   }
 }
 
-Result<TaskRunMetrics> SparkEngine::RunTask(const exec::QueryContext& qctx,
-                                            const TaskOptions& options,
-                                            TaskResultSet* results) {
-  SM_TRACE_SPAN("spark.task");
+exec::ExecutionPolicy SparkEngine::policy() const {
+  exec::ExecutionPolicy policy;
+  policy.dispatch = exec::ExecutionPolicy::Dispatch::kSimulatedCluster;
+  policy.threads = threads_;
+  policy.cluster = options_.cluster;
+  policy.job_overhead_seconds =
+      options_.cluster.cost.spark_job_overhead_seconds;
+  policy.task_startup_seconds =
+      options_.cluster.cost.spark_task_startup_seconds;
+  policy.memory_model =
+      exec::ExecutionPolicy::MemoryModel::kResidentPlusTaskBuffers;
+  policy.block_bytes = options_.block_bytes;
+  return policy;
+}
+
+Result<exec::Plan> SparkEngine::BuildPlan(const TaskOptions& options) const {
   if (hdfs_ == nullptr) {
     return Status::InvalidArgument("spark: no data attached");
   }
-  TaskResultSet local;
-  if (results == nullptr) results = &local;
-
   const cluster::CostModel& cost = options_.cluster.cost;
-  if (source_.layout == DataSource::Layout::kWholeFileDir &&
-      static_cast<int>(source_.files.size()) >= cost.spark_max_open_files) {
+  const bool whole_files =
+      source_.layout == table::DataSource::Layout::kWholeFileDir;
+  if (whole_files && static_cast<int>(source_.files.size()) >=
+                         cost.spark_max_open_files) {
     return Status::IOError(
         "spark executor: too many open files (raise ulimit or use fewer, "
         "larger input files)");
   }
-
-  Context ctx(options_.cluster);
-  ctx.ChargeJobOverhead();
-
-  const bool whole_files =
-      source_.layout == DataSource::Layout::kWholeFileDir;
-  const std::vector<InputSplit> splits =
-      whole_files ? hdfs_->WholeFileSplits() : hdfs_->SplittableSplits();
-  // Serial driver-side scheduling work per partition.
-  ctx.ChargeSeconds(static_cast<double>(splits.size()) *
-                    cost.spark_per_partition_driver_seconds);
-  if (whole_files) {
-    // wholeTextFiles lists and stats every input file at the driver
-    // before any task launches -- the serial cost that makes thousands
-    // of small files painful for Spark (Figure 18).
-    ctx.ChargeSeconds(static_cast<double>(source_.files.size()) *
-                      cost.file_open_seconds);
+  if (whole_files && options.task() == core::TaskType::kSimilarity) {
+    return Status::NotSupported(
+        "spark: similarity not run for format 3 (matches the paper)");
   }
 
-  std::mutex out_mu;
-  auto append_results = [&out_mu, results](TaskResultSet&& chunk) {
-    std::lock_guard<std::mutex> lock(out_mu);
-    MergeResults(std::move(chunk), results);
-  };
+  std::vector<cluster::InputSplit> splits =
+      whole_files ? hdfs_->WholeFileSplits() : hdfs_->SplittableSplits();
+  // Serial driver-side scheduling work per partition; wholeTextFiles also
+  // lists and stats every input file at the driver before any task
+  // launches -- the serial cost that makes thousands of small files
+  // painful for Spark (Figure 18).
+  double driver_seconds = static_cast<double>(splits.size()) *
+                          cost.spark_per_partition_driver_seconds;
+  if (whole_files) {
+    driver_seconds +=
+        static_cast<double>(source_.files.size()) * cost.file_open_seconds;
+  }
 
-  // ---- Assemble per-household series as (id, consumption, temperature).
-  // The three per-household tasks and similarity all start from series.
-  std::vector<SeriesPair> collected_series;  // Similarity path only.
-  std::shared_ptr<const std::vector<double>> broadcast_temp;
+  exec::Plan plan;
+  const std::string task(core::TaskName(options.task()));
+  exec::KernelOp kernel;
+  kernel.options = options;
+  if (options.task() == core::TaskType::kSimilarity) {
+    // Broadcast the assembled series table + norms for a map-side join.
+    kernel.broadcast_series_table = true;
+  }
 
-  if (source_.layout == DataSource::Layout::kHouseholdLines) {
+  if (source_.layout == table::DataSource::Layout::kHouseholdLines) {
+    // Format 2: map-only over whole-household lines; the temperature
+    // sidecar ships as a broadcast variable (16-byte vector header + the
+    // doubles), unconditionally -- the driver broadcasts before it looks
+    // at the task.
+    plan.label = "spark/" + task + "/format2";
     SM_ASSIGN_OR_RETURN(std::vector<double> sidecar,
                         internal::ReadTemperatureSidecar(
                             source_.files.front() + ".temperature"));
-    broadcast_temp = ctx.Broadcast(std::move(sidecar));
-    SM_ASSIGN_OR_RETURN(
-        Partitioned<HouseholdLine> lines,
-        ctx.ReadText<HouseholdLine>(
-            splits,
-            [](std::string_view line,
-               std::vector<HouseholdLine>* out) -> Status {
-              SM_ASSIGN_OR_RETURN(HouseholdLine parsed,
-                                  internal::ParseHouseholdLine(line));
-              out->push_back(std::move(parsed));
-              return Status::OK();
-            }));
-    if (options.task() == core::TaskType::kSimilarity) {
-      SM_ASSIGN_OR_RETURN(
-          Partitioned<SeriesPair> series,
-          (ctx.MapPartitions<HouseholdLine, SeriesPair>(
-              lines,
-              [](const std::vector<HouseholdLine>& in,
-                 std::vector<SeriesPair>* out) -> Status {
-                for (const HouseholdLine& l : in) {
-                  out->emplace_back(l.household_id, l.consumption);
-                }
-                return Status::OK();
-              })));
-      collected_series = ctx.Collect(std::move(series));
-    } else {
-      const std::vector<double>& temp = *broadcast_temp;
-      SM_ASSIGN_OR_RETURN(
-          Partitioned<int> done,
-          (ctx.MapPartitions<HouseholdLine, int>(
-              lines,
-              [&qctx, &options, &temp, &append_results](
-                  const std::vector<HouseholdLine>& in,
-                  std::vector<int>* out) -> Status {
-                TaskResultSet chunk;
-                for (const HouseholdLine& l : in) {
-                  SM_RETURN_IF_ERROR(internal::ComputeHouseholdTask(
-                      qctx, options, l.household_id, l.consumption, temp,
-                      &chunk));
-                  out->push_back(0);
-                }
-                append_results(std::move(chunk));
-                return Status::OK();
-              })));
-      (void)done;
-    }
+    kernel.broadcast_bytes +=
+        16 + static_cast<int64_t>(sidecar.size()) * 8;
+    exec::ScanOp scan =
+        planning::SplitSeriesScan(std::move(splits), "hdfs-lines");
+    scan.driver_seconds = driver_seconds;
+    scan.shared_temperature =
+        std::make_shared<const std::vector<double>>(std::move(sidecar));
+    plan.stages.push_back({"scan", std::move(scan)});
+  } else if (whole_files) {
+    // Format 3: one partition per whole file, households grouped within
+    // the partition -- no shuffle, but the wholeTextFiles read penalty.
+    plan.label = "spark/" + task + "/format3";
+    exec::ScanOp scan = planning::SplitReadingsScan(
+        std::move(splits), "hdfs-wholefile",
+        cost.spark_wholefile_read_seconds_per_mb);
+    scan.driver_seconds = driver_seconds;
+    plan.stages.push_back({"scan", std::move(scan)});
   } else {
-    // Row formats (1 and 3): parse reading rows. Whole-file ingestion
-    // pays the wholeTextFiles materialization penalty.
-    const double read_penalty =
-        whole_files ? cost.spark_wholefile_read_seconds_per_mb : 0.0;
-    SM_ASSIGN_OR_RETURN(
-        Partitioned<RowPair> rows,
-        ctx.ReadText<RowPair>(splits, ParseRowLine, read_penalty));
-
-    if (whole_files) {
-      // Households are whole within a partition: group in place, no
-      // shuffle -- the map-only advantage of format 3.
-      if (options.task() == core::TaskType::kSimilarity) {
-        return Status::NotSupported(
-            "spark: similarity not run for format 3 (matches the paper)");
-      }
-      SM_ASSIGN_OR_RETURN(
-          Partitioned<int> done,
-          (ctx.MapPartitions<RowPair, int>(
-              rows,
-              [&qctx, &options, &append_results](
-                  const std::vector<RowPair>& in,
-                  std::vector<int>* out) -> Status {
-                std::map<int64_t, std::vector<HourRecord>> groups;
-                for (const RowPair& r : in) {
-                  groups[r.first].push_back(r.second);
-                }
-                TaskResultSet chunk;
-                for (auto& [id, records] : groups) {
-                  std::vector<double> consumption, temperature;
-                  internal::AssembleSeries(&records, &consumption,
-                                           &temperature);
-                  SM_RETURN_IF_ERROR(internal::ComputeHouseholdTask(
-                      qctx, options, id, consumption, temperature, &chunk));
-                  out->push_back(0);
-                }
-                append_results(std::move(chunk));
-                return Status::OK();
-              })));
-      (void)done;
-    } else {
-      // Format 1: a shuffle groups readings by household.
-      SM_ASSIGN_OR_RETURN(
-          auto grouped,
-          (ctx.GroupBy<RowPair, int64_t, HourRecord>(
-              rows,
-              [](const RowPair& r) {
-                return std::make_pair(r.first, r.second);
-              })));
-      using Grouped = std::pair<int64_t, std::vector<HourRecord>>;
-      if (options.task() == core::TaskType::kSimilarity) {
-        SM_ASSIGN_OR_RETURN(
-            Partitioned<SeriesPair> series,
-            (ctx.MapPartitions<Grouped, SeriesPair>(
-                grouped,
-                [](const std::vector<Grouped>& in,
-                   std::vector<SeriesPair>* out) -> Status {
-                  for (const Grouped& g : in) {
-                    std::vector<HourRecord> records = g.second;
-                    std::vector<double> consumption, temperature;
-                    internal::AssembleSeries(&records, &consumption,
-                                             &temperature);
-                    out->emplace_back(g.first, std::move(consumption));
-                  }
-                  return Status::OK();
-                })));
-        collected_series = ctx.Collect(std::move(series));
-      } else {
-        SM_ASSIGN_OR_RETURN(
-            Partitioned<int> done,
-            (ctx.MapPartitions<Grouped, int>(
-                grouped,
-                [&qctx, &options, &append_results](
-                    const std::vector<Grouped>& in,
-                    std::vector<int>* out) -> Status {
-                  TaskResultSet chunk;
-                  for (const Grouped& g : in) {
-                    std::vector<HourRecord> records = g.second;
-                    std::vector<double> consumption, temperature;
-                    internal::AssembleSeries(&records, &consumption,
-                                             &temperature);
-                    SM_RETURN_IF_ERROR(internal::ComputeHouseholdTask(
-                        qctx, options, g.first, consumption, temperature,
-                        &chunk));
-                    out->push_back(0);
-                  }
-                  append_results(std::move(chunk));
-                  return Status::OK();
-                })));
-        (void)done;
-      }
-    }
+    // Format 1: parse reading rows, then a wide groupBy stage shuffles
+    // them into per-household groups.
+    plan.label = "spark/" + task + "/format1";
+    exec::ScanOp scan =
+        planning::SplitReadingsScan(std::move(splits), "hdfs-rows");
+    scan.driver_seconds = driver_seconds;
+    plan.stages.push_back({"scan", std::move(scan)});
+    exec::ShuffleOp shuffle;
+    shuffle.strategy = exec::ShuffleOp::Strategy::kDataflow;
+    plan.stages.push_back({"shuffle", shuffle});
   }
 
-  // ---- Similarity: broadcast the series table, map-side join ------------
-  if (options.task() == core::TaskType::kSimilarity) {
-    const auto& similarity = options.Get<SimilarityTaskOptions>();
-    std::sort(collected_series.begin(), collected_series.end(),
-              [](const SeriesPair& a, const SeriesPair& b) {
-                return a.first < b.first;
-              });
-    if (similarity.households > 0 &&
-        collected_series.size() >
-            static_cast<size_t>(similarity.households)) {
-      collected_series.resize(static_cast<size_t>(similarity.households));
-    }
-    auto table = ctx.Broadcast(std::move(collected_series));
-    std::vector<double> norms;
-    {
-      SM_ASSIGN_OR_RETURN(const auto batch,
-                          internal::BatchFromSeriesTable(*table));
-      norms = core::ComputeNorms(core::BuildSeriesViews(batch));
-    }
-    auto norms_bc = ctx.Broadcast(std::move(norms));
+  plan.stages.push_back({"kernel", std::move(kernel)});
+  plan.stages.push_back({"materialize", exec::MaterializeOp{}});
+  plan.stages.push_back({"merge", exec::MergeOp{}});
+  return plan;
+}
 
-    std::vector<int64_t> query_indices(table->size());
-    for (size_t i = 0; i < table->size(); ++i) {
-      query_indices[i] = static_cast<int64_t>(i);
-    }
-    Partitioned<int64_t> queries = ctx.Parallelize(
-        std::move(query_indices), options_.cluster.total_slots());
-    SM_ASSIGN_OR_RETURN(
-        Partitioned<int> done,
-        (ctx.MapPartitions<int64_t, int>(
-            queries,
-            [&qctx, &similarity, table, norms_bc, &append_results](
-                const std::vector<int64_t>& in,
-                std::vector<int>* out) -> Status {
-              SM_ASSIGN_OR_RETURN(const auto batch,
-                                  internal::BatchFromSeriesTable(*table));
-              const std::vector<core::SeriesView> views =
-                  core::BuildSeriesViews(batch);
-              TaskResultSet chunk;
-              for (int64_t q : in) {
-                SM_ASSIGN_OR_RETURN(
-                    std::vector<core::SimilarityResult> one,
-                    core::ComputeSimilarityTopKRange(
-                        views, *norms_bc, static_cast<size_t>(q),
-                        static_cast<size_t>(q) + 1, similarity.search,
-                        &qctx));
-                chunk.Mutable<core::SimilarityResult>().push_back(
-                    std::move(one.front()));
-                out->push_back(0);
-              }
-              append_results(std::move(chunk));
-              return Status::OK();
-            })));
-    (void)done;
-  }
-
-  SortResultsByHousehold(results);
-  TaskRunMetrics metrics;
-  metrics.seconds = ctx.simulated_seconds();
-  metrics.simulated = true;
-  // Per-node memory: the node's share of the resident RDDs plus the
-  // executor's per-slot task buffers (input block + shuffle buffer).
-  metrics.modeled_memory_bytes =
-      ctx.modeled_cached_bytes() / std::max(1, options_.cluster.num_nodes) +
-      static_cast<int64_t>(options_.cluster.slots_per_node) * 3 *
-          options_.block_bytes;
-  return metrics;
+Result<TaskRunMetrics> SparkEngine::RunTask(const exec::QueryContext& qctx,
+                                            const TaskOptions& options,
+                                            TaskResultSet* results) {
+  SM_TRACE_SPAN("spark.task");
+  SM_ASSIGN_OR_RETURN(exec::Plan plan, BuildPlan(options));
+  SM_ASSIGN_OR_RETURN(
+      exec::PlanRunMetrics run,
+      exec::PlanExecutor().Run(qctx, plan, policy(), results));
+  return ToTaskMetrics(std::move(run));
 }
 
 }  // namespace smartmeter::engines

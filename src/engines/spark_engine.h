@@ -7,6 +7,7 @@
 #include "cluster/block_store.h"
 #include "cluster/cost_model.h"
 #include "engines/engine.h"
+#include "exec/plan.h"
 
 namespace smartmeter::engines {
 
@@ -37,7 +38,7 @@ class SparkEngine : public AnalyticsEngine {
 
   std::string_view name() const override { return "spark"; }
   bool is_cluster_engine() const override { return true; }
-  Result<double> Attach(const DataSource& source) override;
+  Result<double> Attach(const table::DataSource& source) override;
   Result<double> WarmUp() override { return 0.0; }
   void DropWarmData() override {}
   using AnalyticsEngine::RunTask;
@@ -47,12 +48,22 @@ class SparkEngine : public AnalyticsEngine {
   void SetThreads(int num_threads) override { threads_ = num_threads; }
   int threads() const override { return threads_; }
 
+  /// Builds the physical plan for one task over the attached layout: a
+  /// dataflow shuffle for format 1, a broadcast map for format 2,
+  /// whole-file partitions for format 3; similarity broadcasts the
+  /// assembled series table for a map-side join.
+  Result<exec::Plan> BuildPlan(const TaskOptions& options) const;
+
+  /// The Spark pricing policy: simulated dispatch, Spark's cheap task
+  /// startup, resident-RDD memory accounting.
+  exec::ExecutionPolicy policy() const;
+
   void SetClusterConfig(const cluster::ClusterConfig& config);
   const Options& options() const { return options_; }
 
  private:
   Options options_;
-  DataSource source_;
+  table::DataSource source_;
   std::unique_ptr<cluster::BlockStore> hdfs_;
   int threads_ = 1;
 };

@@ -1,9 +1,12 @@
 #include "engines/systemc_engine.h"
 
+#include <string>
 #include <utility>
 
 #include "common/stopwatch.h"
+#include "core/task_types.h"
 #include "engines/engine_util.h"
+#include "engines/plan_builders.h"
 #include "obs/trace.h"
 
 namespace smartmeter::engines {
@@ -11,11 +14,11 @@ namespace smartmeter::engines {
 SystemCEngine::SystemCEngine(std::string spool_dir)
     : cache_(std::move(spool_dir)) {}
 
-Result<double> SystemCEngine::Attach(const DataSource& source) {
+Result<double> SystemCEngine::Attach(const table::DataSource& source) {
   SM_TRACE_SPAN("systemc.attach");
   SM_RETURN_IF_ERROR(RequireLayout(source,
-                                   {DataSource::Layout::kSingleCsv,
-                                    DataSource::Layout::kPartitionedDir},
+                                   {table::DataSource::Layout::kSingleCsv,
+                                    table::DataSource::Layout::kPartitionedDir},
                                    name()));
   Stopwatch clock;
   prefaulted_ = false;
@@ -47,14 +50,31 @@ Result<double> SystemCEngine::WarmUp() {
 
 void SystemCEngine::DropWarmData() { prefaulted_ = false; }
 
+Result<exec::Plan> SystemCEngine::BuildPlan(const TaskOptions& options) const {
+  if (batch_.empty()) {
+    return Status::InvalidArgument("system-c: no data attached");
+  }
+  exec::Plan plan;
+  plan.label =
+      "system-c/" + std::string(core::TaskName(options.task())) + "/resident";
+  plan.stages.push_back(
+      {"scan", planning::ResidentBatchScan(&batch_, "columnar-mmap")});
+  exec::KernelOp kernel;
+  kernel.options = options;
+  plan.stages.push_back({"kernel", std::move(kernel)});
+  plan.stages.push_back({"materialize", exec::MaterializeOp{}});
+  return plan;
+}
+
 Result<TaskRunMetrics> SystemCEngine::RunTask(const exec::QueryContext& ctx,
                                               const TaskOptions& options,
                                               TaskResultSet* results) {
   SM_TRACE_SPAN("systemc.task");
-  if (batch_.empty()) {
-    return Status::InvalidArgument("system-c: no data attached");
-  }
-  return RunTaskOverBatch(ctx, batch_, options, threads_, results);
+  SM_ASSIGN_OR_RETURN(exec::Plan plan, BuildPlan(options));
+  SM_ASSIGN_OR_RETURN(
+      exec::PlanRunMetrics run,
+      exec::PlanExecutor().Run(ctx, plan, LocalPoolPolicy(threads_), results));
+  return ToTaskMetrics(std::move(run));
 }
 
 }  // namespace smartmeter::engines

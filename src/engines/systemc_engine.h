@@ -5,6 +5,7 @@
 #include <string>
 
 #include "engines/engine.h"
+#include "exec/plan.h"
 #include "table/columnar_batch.h"
 #include "table/columnar_cache.h"
 #include "table/table_reader.h"
@@ -28,13 +29,17 @@ class SystemCEngine : public AnalyticsEngine {
   explicit SystemCEngine(std::string spool_dir);
 
   std::string_view name() const override { return "system-c"; }
-  Result<double> Attach(const DataSource& source) override;
+  Result<double> Attach(const table::DataSource& source) override;
   Result<double> WarmUp() override;
   void DropWarmData() override;
   using AnalyticsEngine::RunTask;
   Result<TaskRunMetrics> RunTask(const exec::QueryContext& ctx,
                                  const TaskOptions& options,
                                  TaskResultSet* results) override;
+
+  /// The physical plan RunTask executes: scan the resident columnar
+  /// batch, run the kernel, materialize.
+  Result<exec::Plan> BuildPlan(const TaskOptions& options) const;
   void SetThreads(int num_threads) override { threads_ = num_threads; }
   int threads() const override { return threads_; }
 

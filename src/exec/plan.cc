@@ -1,0 +1,85 @@
+#include "exec/plan.h"
+
+#include <string_view>
+
+#include "core/task_types.h"
+
+namespace smartmeter::exec {
+
+namespace {
+
+std::string_view ScanKindName(ScanOp::Kind kind) {
+  switch (kind) {
+    case ScanOp::Kind::kBatch:
+      return "batch";
+    case ScanOp::Kind::kReadings:
+      return "readings";
+    case ScanOp::Kind::kSeries:
+      return "series";
+  }
+  return "unknown";
+}
+
+void AppendOp(const PlanOp& op, std::string* out) {
+  if (const auto* scan = std::get_if<ScanOp>(&op)) {
+    out->append("scan[");
+    out->append(ScanKindName(scan->kind));
+    out->append(" source=");
+    out->append(scan->source);
+    if (scan->kind != ScanOp::Kind::kBatch) {
+      out->append(" partitions=");
+      out->append(std::to_string(scan->partitions));
+    }
+    out->append("]");
+    return;
+  }
+  if (const auto* shuffle = std::get_if<ShuffleOp>(&op)) {
+    out->append("shuffle[");
+    out->append(shuffle->strategy == ShuffleOp::Strategy::kDataflow
+                    ? "dataflow"
+                    : "sort-merge");
+    out->append(" partitions=");
+    out->append(shuffle->partitions == 0
+                    ? std::string("per-slot")
+                    : std::to_string(shuffle->partitions));
+    out->append("]");
+    return;
+  }
+  if (const auto* kernel = std::get_if<KernelOp>(&op)) {
+    out->append("kernel[");
+    out->append(core::TaskName(kernel->options.task()));
+    if (kernel->fuse_scan) out->append(" fused-scan");
+    if (kernel->broadcast_bytes > 0) out->append(" broadcast");
+    if (kernel->broadcast_series_table) out->append(" broadcast-table");
+    if (kernel->shuffle_table_per_task) out->append(" self-join-shuffle");
+    out->append("]");
+    return;
+  }
+  if (std::get_if<MaterializeOp>(&op) != nullptr) {
+    out->append("materialize");
+    return;
+  }
+  if (const auto* merge = std::get_if<MergeOp>(&op)) {
+    out->append(merge->sort_by_household ? "merge[sort=household_id]"
+                                         : "merge");
+    return;
+  }
+  out->append("unknown-op");
+}
+
+}  // namespace
+
+std::string Plan::DebugString() const {
+  std::string out = "plan " + label + " {\n";
+  for (const PlanStage& stage : stages) {
+    out.append("  ");
+    out.append(stage.name);
+    out.append(": ");
+    AppendOp(stage.op, &out);
+    out.append("\n");
+  }
+  out.append("}");
+  return out;
+}
+
+}  // namespace smartmeter::exec

@@ -257,6 +257,7 @@ void ServingRunner::RunQuery(engines::AnalyticsEngine* engine,
   outcome.run_seconds = run_timer.ElapsedSeconds();
   if (report.ok()) {
     outcome.status = Status::OK();
+    outcome.stages = std::move(report->stages);
     if (options_.keep_results) outcome.results = std::move(report->results);
   } else {
     outcome.status = report.status();

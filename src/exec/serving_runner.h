@@ -56,6 +56,8 @@ struct QueryOutcome {
   double queue_seconds = 0.0;
   /// Dispatch to completion.
   double run_seconds = 0.0;
+  /// Per-stage timings of the executed plan (empty for shed queries).
+  std::vector<exec::StageTiming> stages;
   engines::TaskResultSet results;
 };
 

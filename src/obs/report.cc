@@ -23,6 +23,17 @@ JsonValue RunToJson(const RunRecord& run) {
   phases.Set("regression_seconds", JsonValue(run.regression_seconds));
   phases.Set("adjust_seconds", JsonValue(run.adjust_seconds));
   j.Set("phases", std::move(phases));
+  if (!run.stages.empty()) {
+    JsonValue stages = JsonValue::Array();
+    for (const StageRow& stage : run.stages) {
+      JsonValue row = JsonValue::Object();
+      row.Set("name", JsonValue(stage.name));
+      row.Set("seconds", JsonValue(stage.seconds));
+      row.Set("partitions", JsonValue(stage.partitions));
+      stages.Append(std::move(row));
+    }
+    j.Set("stages", std::move(stages));
+  }
   if (!run.outcome.empty()) {
     JsonValue serving = JsonValue::Object();
     serving.Set("outcome", JsonValue(run.outcome));
@@ -53,6 +64,17 @@ RunRecord RunFromJson(const JsonValue& j) {
   run.quantile_seconds = phases.Get("quantile_seconds").AsDouble();
   run.regression_seconds = phases.Get("regression_seconds").AsDouble();
   run.adjust_seconds = phases.Get("adjust_seconds").AsDouble();
+  // Stage rows are optional: reports written before the plan IR simply
+  // lack them.
+  if (j.Has("stages")) {
+    for (const JsonValue& row : j.Get("stages").items()) {
+      StageRow stage;
+      stage.name = row.Get("name").AsString();
+      stage.seconds = row.Get("seconds").AsDouble();
+      stage.partitions = static_cast<int>(row.Get("partitions").AsInt(1));
+      run.stages.push_back(std::move(stage));
+    }
+  }
   // Serving block is optional: reports written before the serving layer
   // (or batch-only reports) simply lack it.
   if (j.Has("serving")) {

@@ -14,6 +14,14 @@ namespace smartmeter::obs {
 /// One benchmark execution, flattened for export: the RunReport fields
 /// plus the identifying spec dimensions, all engine-agnostic strings so
 /// obs stays below the engines library in the build.
+/// One physical-plan stage's contribution to a run (mirrors
+/// exec::StageTiming without depending on the exec library).
+struct StageRow {
+  std::string name;
+  double seconds = 0.0;
+  int partitions = 1;
+};
+
 struct RunRecord {
   std::string engine;
   std::string task;
@@ -29,6 +37,10 @@ struct RunRecord {
   double quantile_seconds = 0.0;
   double regression_seconds = 0.0;
   double adjust_seconds = 0.0;
+  /// Per-stage timings of the executed plan, in stage order; their
+  /// seconds sum to task_seconds. Empty rows suppress the JSON key so
+  /// pre-plan-IR reports round-trip unchanged.
+  std::vector<StageRow> stages;
   /// Serving-mode fields (concurrent query benchmarks). `outcome` is
   /// empty for plain batch runs, which also suppresses these keys in
   /// the JSON so existing reports round-trip unchanged; serving rows

@@ -96,6 +96,25 @@ Result<ColumnarBatch> ColumnarBatch::FromSlices(std::vector<int64_t> ids,
   return batch;
 }
 
+ColumnarBatch ColumnarBatch::View() const {
+  ColumnarBatch view;
+  if (series_ != nullptr) {
+    // Copy the dense slice table so the view survives a move of the
+    // original; the series data itself stays borrowed.
+    view.owned_ids_.assign(ids_, ids_ + count_);
+    view.owned_series_.assign(series_, series_ + count_);
+    view.ids_ = view.owned_ids_.data();
+    view.series_ = view.owned_series_.data();
+  } else {
+    view.ids_ = ids_;
+    view.contiguous_ = contiguous_;
+  }
+  view.count_ = count_;
+  view.hours_ = hours_;
+  view.temperature_ = temperature_;
+  return view;
+}
+
 Status ColumnarBatch::Validate() const {
   if (count_ > 0 && ids_ == nullptr) {
     return Status::Internal("columnar batch: missing id column");

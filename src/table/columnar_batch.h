@@ -64,6 +64,12 @@ class ColumnarBatch {
                                           std::vector<SeriesSlice> series,
                                           SeriesSlice temperature);
 
+  /// A second view over the same borrowed memory — the batch analogue of
+  /// copying a span. The batch is move-only, so plan scan closures that
+  /// hand a resident batch to the executor re-view it instead. The
+  /// original producer must outlive both views.
+  ColumnarBatch View() const;
+
   size_t count() const { return count_; }
   size_t hours() const { return hours_; }
   bool empty() const { return count_ == 0; }

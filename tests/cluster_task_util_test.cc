@@ -1,9 +1,8 @@
-#include <cmath>
-
 #include <gtest/gtest.h>
 
 #include "engines/cluster_task_util.h"
 #include "engines/result_serde.h"
+#include "engines/task_api.h"
 
 namespace smartmeter::engines::internal {
 namespace {
@@ -40,43 +39,6 @@ TEST(ParseHouseholdLineTest, RejectsMalformed) {
   EXPECT_FALSE(ParseHouseholdLine("42").ok());
   EXPECT_FALSE(ParseHouseholdLine("x,1.0").ok());
   EXPECT_FALSE(ParseHouseholdLine("42,abc").ok());
-}
-
-TEST(ComputeHouseholdTaskTest, DispatchesPerTask) {
-  std::vector<double> consumption, temperature;
-  // A year of synthetic data with enough variation for all tasks.
-  for (int t = 0; t < 365 * 24; ++t) {
-    temperature.push_back(10.0 + 15.0 * std::sin(t * 0.0007));
-    consumption.push_back(0.5 + 0.1 * ((t % 24) / 24.0) +
-                          0.02 * std::max(0.0, 12.0 - temperature.back()));
-  }
-  const exec::QueryContext& ctx = exec::QueryContext::Background();
-  TaskResultSet histograms, models, profiles;
-  ASSERT_TRUE(
-      ComputeHouseholdTask(ctx,
-                           TaskOptions::Default(core::TaskType::kHistogram),
-                           7, consumption, temperature, &histograms)
-          .ok());
-  ASSERT_TRUE(
-      ComputeHouseholdTask(ctx,
-                           TaskOptions::Default(core::TaskType::kThreeLine),
-                           7, consumption, temperature, &models)
-          .ok());
-  ASSERT_TRUE(
-      ComputeHouseholdTask(ctx, TaskOptions::Default(core::TaskType::kPar),
-                           7, consumption, temperature, &profiles)
-          .ok());
-  EXPECT_EQ(histograms.Get<core::HistogramResult>().size(), 1u);
-  EXPECT_EQ(models.Get<core::ThreeLineResult>().size(), 1u);
-  EXPECT_EQ(profiles.Get<core::DailyProfileResult>().size(), 1u);
-  EXPECT_EQ(histograms.Get<core::HistogramResult>()[0].household_id, 7);
-
-  TaskResultSet similarity;
-  EXPECT_FALSE(
-      ComputeHouseholdTask(ctx,
-                           TaskOptions::Default(core::TaskType::kSimilarity),
-                           7, consumption, temperature, &similarity)
-          .ok());
 }
 
 TEST(SortResultsTest, OrdersHeldVectorById) {

@@ -11,6 +11,9 @@
 namespace smartmeter::engines {
 namespace {
 
+using table::DataSource;
+using table::DataSourceLayoutName;
+
 class EngineUtilTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {

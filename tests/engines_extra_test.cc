@@ -17,6 +17,8 @@
 namespace smartmeter::engines {
 namespace {
 
+using table::DataSource;
+
 namespace fs = std::filesystem;
 
 class EnginesExtraTest : public ::testing::Test {

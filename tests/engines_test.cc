@@ -20,6 +20,8 @@
 namespace smartmeter::engines {
 namespace {
 
+using table::DataSource;
+
 namespace fs = std::filesystem;
 
 /// Shared fixture: one small dataset written once in every layout, then

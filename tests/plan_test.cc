@@ -1,0 +1,341 @@
+// Physical-plan IR tests: the five engines' plan paths produce
+// bit-identical results over the same input bytes, plan shapes are
+// stable (DebugString goldens), per-stage timings are reported, and a
+// stopped QueryContext aborts a plan at a partition boundary.
+#include <chrono>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "datagen/seed_generator.h"
+#include "engines/engine_util.h"
+#include "engines/hive_engine.h"
+#include "engines/madlib_engine.h"
+#include "engines/matlab_engine.h"
+#include "engines/spark_engine.h"
+#include "engines/systemc_engine.h"
+#include "exec/plan.h"
+#include "storage/csv.h"
+#include "timeseries/calendar.h"
+
+namespace smartmeter::engines {
+namespace {
+
+namespace fs = std::filesystem;
+
+using table::DataSource;
+
+class PlanTest : public ::testing::Test {
+ protected:
+  static constexpr int kHouseholds = 6;
+
+  static void SetUpTestSuite() {
+    dir_ = new fs::path(fs::path(::testing::TempDir()) / "plan_test");
+    fs::create_directories(*dir_);
+    datagen::SeedGeneratorOptions options;
+    options.num_households = kHouseholds;
+    options.hours = kHoursPerYear;
+    options.seed = 411;
+    MeterDataset dataset = *datagen::GenerateSeedDataset(options);
+    single_csv_ = (*dir_ / "data.csv").string();
+    ASSERT_TRUE(storage::WriteReadingsCsv(dataset, single_csv_).ok());
+    auto part =
+        storage::WritePartitionedCsv(dataset, (*dir_ / "part").string());
+    ASSERT_TRUE(part.ok());
+    partitioned_files_ = new std::vector<std::string>(std::move(*part));
+  }
+
+  static void TearDownTestSuite() {
+    std::error_code ec;
+    fs::remove_all(*dir_, ec);
+    delete partitioned_files_;
+    delete dir_;
+  }
+
+  static cluster::ClusterConfig SmallCluster() {
+    cluster::ClusterConfig config;
+    config.num_nodes = 4;
+    config.slots_per_node = 2;
+    return config;
+  }
+
+  static SparkEngine::Options SparkOptions(int64_t block_bytes) {
+    SparkEngine::Options options;
+    options.cluster = SmallCluster();
+    options.block_bytes = block_bytes;
+    return options;
+  }
+
+  static HiveEngine::Options HiveOptions(int64_t block_bytes) {
+    HiveEngine::Options options;
+    options.cluster = SmallCluster();
+    options.block_bytes = block_bytes;
+    return options;
+  }
+
+  /// Exact equality: all five engines parse the same file bytes with the
+  /// same parser and run the same kernels, so their plan paths must
+  /// agree to the last bit, not to a tolerance.
+  static void ExpectBitIdentical(const TaskResultSet& got,
+                                 const TaskResultSet& want,
+                                 core::TaskType task) {
+    switch (task) {
+      case core::TaskType::kHistogram: {
+        const auto& g = got.Get<core::HistogramResult>();
+        const auto& w = want.Get<core::HistogramResult>();
+        ASSERT_EQ(g.size(), w.size());
+        for (size_t i = 0; i < g.size(); ++i) {
+          EXPECT_EQ(g[i].household_id, w[i].household_id);
+          EXPECT_EQ(g[i].histogram.counts, w[i].histogram.counts);
+        }
+        break;
+      }
+      case core::TaskType::kThreeLine: {
+        const auto& g = got.Get<core::ThreeLineResult>();
+        const auto& w = want.Get<core::ThreeLineResult>();
+        ASSERT_EQ(g.size(), w.size());
+        for (size_t i = 0; i < g.size(); ++i) {
+          EXPECT_EQ(g[i].household_id, w[i].household_id);
+          EXPECT_EQ(g[i].heating_gradient, w[i].heating_gradient);
+          EXPECT_EQ(g[i].cooling_gradient, w[i].cooling_gradient);
+          EXPECT_EQ(g[i].base_load, w[i].base_load);
+        }
+        break;
+      }
+      case core::TaskType::kPar: {
+        const auto& g = got.Get<core::DailyProfileResult>();
+        const auto& w = want.Get<core::DailyProfileResult>();
+        ASSERT_EQ(g.size(), w.size());
+        for (size_t i = 0; i < g.size(); ++i) {
+          EXPECT_EQ(g[i].household_id, w[i].household_id);
+          EXPECT_EQ(g[i].profile, w[i].profile);
+        }
+        break;
+      }
+      case core::TaskType::kSimilarity: {
+        const auto& g = got.Get<core::SimilarityResult>();
+        const auto& w = want.Get<core::SimilarityResult>();
+        ASSERT_EQ(g.size(), w.size());
+        for (size_t i = 0; i < g.size(); ++i) {
+          EXPECT_EQ(g[i].household_id, w[i].household_id);
+          ASSERT_EQ(g[i].matches.size(), w[i].matches.size());
+          for (size_t m = 0; m < g[i].matches.size(); ++m) {
+            EXPECT_EQ(g[i].matches[m].household_id,
+                      w[i].matches[m].household_id);
+            EXPECT_EQ(g[i].matches[m].cosine, w[i].matches[m].cosine);
+          }
+        }
+        break;
+      }
+    }
+  }
+
+  static fs::path* dir_;
+  static std::string single_csv_;
+  static std::vector<std::string>* partitioned_files_;
+};
+
+fs::path* PlanTest::dir_ = nullptr;
+std::string PlanTest::single_csv_;
+std::vector<std::string>* PlanTest::partitioned_files_ = nullptr;
+
+// ---------------------------------------------------------------------------
+// Five-engine plan-path parity
+// ---------------------------------------------------------------------------
+
+TEST_F(PlanTest, FiveEnginesBitIdenticalOverSameBytes) {
+  SystemCEngine systemc((*dir_ / "spool").string());
+  MadlibEngine madlib;
+  MatlabEngine matlab;
+  SparkEngine spark(SparkOptions(64 << 10));
+  HiveEngine hive(HiveOptions(64 << 10));
+  const DataSource source = *DataSource::SingleCsv(single_csv_);
+  ASSERT_TRUE(systemc.Attach(source).ok());
+  ASSERT_TRUE(madlib.Attach(source).ok());
+  ASSERT_TRUE(matlab.Attach(source).ok());
+  ASSERT_TRUE(spark.Attach(source).ok());
+  ASSERT_TRUE(hive.Attach(source).ok());
+  std::vector<AnalyticsEngine*> others = {&madlib, &matlab, &spark, &hive};
+
+  for (core::TaskType task : core::kAllTasks) {
+    const TaskOptions options = TaskOptions::Default(task);
+    TaskResultSet baseline;
+    auto base_metrics = systemc.RunTask(options, &baseline);
+    ASSERT_TRUE(base_metrics.ok()) << base_metrics.status().ToString();
+    for (AnalyticsEngine* engine : others) {
+      TaskResultSet results;
+      auto metrics = engine->RunTask(options, &results);
+      ASSERT_TRUE(metrics.ok())
+          << engine->name() << "/" << core::TaskName(task) << ": "
+          << metrics.status().ToString();
+      SCOPED_TRACE(std::string(engine->name()) + "/" +
+                   std::string(core::TaskName(task)));
+      ExpectBitIdentical(results, baseline, task);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Per-stage timings
+// ---------------------------------------------------------------------------
+
+TEST_F(PlanTest, LocalPlanReportsStageRowsSummingToTaskSeconds) {
+  SystemCEngine engine((*dir_ / "spool_stages").string());
+  ASSERT_TRUE(engine.Attach(*DataSource::SingleCsv(single_csv_)).ok());
+  TaskResultSet results;
+  auto metrics =
+      engine.RunTask(TaskOptions::Default(core::TaskType::kHistogram),
+                     &results);
+  ASSERT_TRUE(metrics.ok());
+  ASSERT_EQ(metrics->stages.size(), 3u);
+  EXPECT_EQ(metrics->stages[0].name, "scan");
+  EXPECT_EQ(metrics->stages[1].name, "kernel");
+  EXPECT_EQ(metrics->stages[2].name, "materialize");
+  double sum = 0.0;
+  for (const auto& stage : metrics->stages) sum += stage.seconds;
+  // Wall-clock stage rows cover the whole task up to inter-stage glue.
+  EXPECT_NEAR(sum, metrics->seconds, 0.3 * metrics->seconds + 0.05);
+}
+
+TEST_F(PlanTest, SimulatedPlanStageRowsSumExactly) {
+  HiveEngine engine(HiveOptions(64 << 10));
+  ASSERT_TRUE(engine.Attach(*DataSource::SingleCsv(single_csv_)).ok());
+  TaskResultSet results;
+  auto metrics = engine.RunTask(
+      TaskOptions::Default(core::TaskType::kThreeLine), &results);
+  ASSERT_TRUE(metrics.ok());
+  ASSERT_TRUE(metrics->simulated);
+  ASSERT_FALSE(metrics->stages.empty());
+  // Simulated time is exactly the sum of its priced stages (the driver
+  // row carries the job overhead).
+  EXPECT_EQ(metrics->stages[0].name, "driver");
+  double sum = 0.0;
+  for (const auto& stage : metrics->stages) sum += stage.seconds;
+  EXPECT_NEAR(sum, metrics->seconds, 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Plan shape goldens
+// ---------------------------------------------------------------------------
+
+TEST_F(PlanTest, SystemCPlanGolden) {
+  SystemCEngine engine((*dir_ / "spool_golden").string());
+  ASSERT_TRUE(engine.Attach(*DataSource::SingleCsv(single_csv_)).ok());
+  auto plan = engine.BuildPlan(TaskOptions::Default(core::TaskType::kHistogram));
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->DebugString(),
+            "plan system-c/histogram/resident {\n"
+            "  scan: scan[batch source=columnar-mmap]\n"
+            "  kernel: kernel[histogram]\n"
+            "  materialize: materialize\n"
+            "}");
+}
+
+TEST_F(PlanTest, MadlibPlanGolden) {
+  MadlibEngine engine;
+  ASSERT_TRUE(engine.Attach(*DataSource::SingleCsv(single_csv_)).ok());
+  auto plan =
+      engine.BuildPlan(TaskOptions::Default(core::TaskType::kThreeLine));
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->DebugString(),
+            "plan madlib/3line/cold {\n"
+            "  scan: scan[batch source=row-store]\n"
+            "  kernel: kernel[3line]\n"
+            "  materialize: materialize\n"
+            "}");
+}
+
+TEST_F(PlanTest, MatlabPlanGolden) {
+  MatlabEngine engine;
+  ASSERT_TRUE(
+      engine.Attach(*DataSource::PartitionedDir(*partitioned_files_)).ok());
+  auto plan = engine.BuildPlan(TaskOptions::Default(core::TaskType::kPar));
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->DebugString(),
+            "plan matlab/par/per-file {\n"
+            "  scan: scan[series source=household-files partitions=6]\n"
+            "  kernel: kernel[par fused-scan]\n"
+            "  materialize: materialize\n"
+            "}");
+}
+
+TEST_F(PlanTest, SparkPlanGolden) {
+  // A block size larger than the file keeps the split count at one, so
+  // the golden stays stable.
+  SparkEngine engine(SparkOptions(256 << 20));
+  ASSERT_TRUE(engine.Attach(*DataSource::SingleCsv(single_csv_)).ok());
+  auto plan =
+      engine.BuildPlan(TaskOptions::Default(core::TaskType::kHistogram));
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->DebugString(),
+            "plan spark/histogram/format1 {\n"
+            "  scan: scan[readings source=hdfs-rows partitions=1]\n"
+            "  shuffle: shuffle[dataflow partitions=per-slot]\n"
+            "  kernel: kernel[histogram]\n"
+            "  materialize: materialize\n"
+            "  merge: merge[sort=household_id]\n"
+            "}");
+}
+
+TEST_F(PlanTest, HivePlanGoldens) {
+  HiveEngine engine(HiveOptions(256 << 20));
+  ASSERT_TRUE(engine.Attach(*DataSource::SingleCsv(single_csv_)).ok());
+  auto udaf = engine.BuildPlan(TaskOptions::Default(core::TaskType::kPar));
+  ASSERT_TRUE(udaf.ok());
+  EXPECT_EQ(udaf->DebugString(),
+            "plan hive/par/format1 {\n"
+            "  scan: scan[readings source=hdfs-rows partitions=1]\n"
+            "  shuffle: shuffle[sort-merge partitions=per-slot]\n"
+            "  kernel: kernel[par]\n"
+            "  materialize: materialize\n"
+            "  merge: merge[sort=household_id]\n"
+            "}");
+  auto join =
+      engine.BuildPlan(TaskOptions::Default(core::TaskType::kSimilarity));
+  ASSERT_TRUE(join.ok());
+  EXPECT_EQ(join->DebugString(),
+            "plan hive/similarity/format1 {\n"
+            "  scan: scan[readings source=hdfs-rows partitions=1]\n"
+            "  shuffle: shuffle[sort-merge partitions=per-slot]\n"
+            "  kernel: kernel[similarity self-join-shuffle]\n"
+            "  materialize: materialize\n"
+            "  merge: merge[sort=household_id]\n"
+            "}");
+}
+
+// ---------------------------------------------------------------------------
+// Cancellation at partition boundaries
+// ---------------------------------------------------------------------------
+
+TEST_F(PlanTest, ExpiredDeadlineAbortsPartitionedPlan) {
+  MatlabEngine engine;
+  ASSERT_TRUE(
+      engine.Attach(*DataSource::PartitionedDir(*partitioned_files_)).ok());
+  exec::QueryContext ctx;
+  ctx.set_deadline(exec::QueryContext::Clock::now() -
+                   std::chrono::milliseconds(1));
+  TaskResultSet results;
+  auto metrics = engine.RunTask(
+      ctx, TaskOptions::Default(core::TaskType::kHistogram), &results);
+  ASSERT_FALSE(metrics.ok());
+  EXPECT_EQ(metrics.status().code(), StatusCode::kDeadlineExceeded)
+      << metrics.status().ToString();
+}
+
+TEST_F(PlanTest, CancelledContextAbortsSimulatedPlan) {
+  SparkEngine engine(SparkOptions(64 << 10));
+  ASSERT_TRUE(engine.Attach(*DataSource::SingleCsv(single_csv_)).ok());
+  exec::QueryContext ctx;
+  ctx.RequestCancel();
+  TaskResultSet results;
+  auto metrics = engine.RunTask(
+      ctx, TaskOptions::Default(core::TaskType::kThreeLine), &results);
+  ASSERT_FALSE(metrics.ok());
+  EXPECT_EQ(metrics.status().code(), StatusCode::kCancelled)
+      << metrics.status().ToString();
+}
+
+}  // namespace
+}  // namespace smartmeter::engines

@@ -44,7 +44,7 @@ class ServingTest : public ::testing::Test {
     auto engine = std::make_unique<engines::SystemCEngine>(
         (*dir_ / ("spool_" + tag)).string());
     EXPECT_TRUE(
-        engine->Attach(*engines::DataSource::SingleCsv(single_csv_)).ok());
+        engine->Attach(*table::DataSource::SingleCsv(single_csv_)).ok());
     return engine;
   }
 

@@ -302,7 +302,7 @@ TEST_F(EngineParityTest, AllEnginesReturnIdenticalResults) {
 
   struct Entry {
     engines::AnalyticsEngine* engine;
-    engines::DataSource source;
+    table::DataSource source;
   };
   std::vector<Entry> entries;
   entries.push_back({&systemc, *table::DataSource::SingleCsv(single_csv_)});
