@@ -1,6 +1,9 @@
 #ifndef SMARTMETER_CLUSTER_COST_MODEL_H_
 #define SMARTMETER_CLUSTER_COST_MODEL_H_
 
+#include <algorithm>
+#include <cstdint>
+
 namespace smartmeter::cluster {
 
 /// Calibrated constants of the cluster simulation. Work that the host
@@ -52,6 +55,74 @@ struct CostModel {
   /// Number of input files at which Spark's executor runs out of file
   /// descriptors ("too many open files", Section 5.4.2).
   int spark_max_open_files = 100000;
+
+  /// When false, the measured host CPU time of a task is replaced by a
+  /// modeled bytes-proportional compute cost, making the simulated
+  /// wall-clock a pure function of the inputs (and the fault seed) —
+  /// what the scenario fuzzer's same-seed ⇒ same-cost assertion needs.
+  bool use_measured_compute = true;
+  double modeled_compute_seconds_per_mb = 0.02;
+};
+
+/// Rack topology of the simulated cluster: nodes are assigned to racks
+/// in contiguous groups, and shuffle bytes pay a per-link transfer time
+/// that depends on whether they stay inside the rack. The defaults (one
+/// rack, zero link rates) add no time, so the flat model of the paper's
+/// figures is unchanged unless a scenario turns topology on.
+struct Topology {
+  int num_racks = 1;
+  /// Link bandwidth in MB/s for transfers that stay inside a rack and
+  /// for transfers that cross the core switch. Zero disables the term.
+  double intra_rack_mb_per_s = 0.0;
+  double cross_rack_mb_per_s = 0.0;
+
+  bool enabled() const {
+    return num_racks > 1 &&
+           (intra_rack_mb_per_s > 0.0 || cross_rack_mb_per_s > 0.0);
+  }
+  int nodes_per_rack(int num_nodes) const {
+    const int racks = std::max(1, num_racks);
+    return std::max(1, (num_nodes + racks - 1) / racks);
+  }
+};
+
+/// Injected failure behaviour of the simulated cluster. Everything is
+/// drawn from a deterministic per-task RNG seeded by (seed, wave, task
+/// index), so the same seed reproduces the same stragglers, failures,
+/// and speculation decisions regardless of host thread scheduling. The
+/// host-side real work always runs exactly once; failures re-execute the
+/// *simulated* task (wasted attempt time + backoff + re-run), matching
+/// how a deterministic Hadoop/Spark retry recomputes the same result.
+struct FaultModel {
+  uint64_t seed = 0;
+
+  /// Per-attempt probability that a task attempt fails partway through.
+  /// A failed attempt wastes a uniform fraction of its duration, then
+  /// waits an exponential backoff before the next attempt.
+  double task_failure_probability = 0.0;
+  /// Attempts per task before the whole job aborts (Hadoop's
+  /// mapreduce.map.maxattempts defaults to 4).
+  int max_task_attempts = 4;
+  /// Backoff before retry k is retry_backoff_seconds * 2^(k-1).
+  double retry_backoff_seconds = 1.0;
+
+  /// Probability a task attempt runs on a degraded slot; its duration is
+  /// multiplied by a uniform draw from [min, max) (skew, bad disk, noisy
+  /// neighbour).
+  double straggler_probability = 0.0;
+  double straggler_multiplier_min = 2.0;
+  double straggler_multiplier_max = 8.0;
+
+  /// Hadoop/Spark speculative execution: once a task runs slower than
+  /// speculation_slow_factor x the wave's median, a backup attempt
+  /// launches at the median mark and whichever copy finishes first wins.
+  bool speculative_execution = false;
+  double speculation_slow_factor = 1.5;
+
+  bool enabled() const {
+    return task_failure_probability > 0.0 || straggler_probability > 0.0 ||
+           speculative_execution;
+  }
 };
 
 /// Shape of the simulated cluster (the paper: 16 workers, dual-socket
@@ -60,6 +131,8 @@ struct ClusterConfig {
   int num_nodes = 16;
   int slots_per_node = 12;
   CostModel cost;
+  Topology topology;
+  FaultModel faults;
 
   int total_slots() const { return num_nodes * slots_per_node; }
 };

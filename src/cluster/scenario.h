@@ -1,0 +1,123 @@
+#ifndef SMARTMETER_CLUSTER_SCENARIO_H_
+#define SMARTMETER_CLUSTER_SCENARIO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/cost_model.h"
+#include "common/result.h"
+#include "core/task_types.h"
+
+namespace smartmeter::scenario {
+
+/// One randomized cluster + workload configuration of the scenario
+/// fuzzer: everything RunScenario needs to rebuild the exact same run —
+/// dataset seed and size, input layout, cluster shape, topology, and
+/// fault injection — in one flat, text-serializable record. A failing
+/// fuzz case writes this as a tiny seed file a developer replays (and
+/// commits under tests/scenario_corpus/ as a regression case).
+struct ScenarioSpec {
+  /// Master seed: drives the synthetic dataset AND the fault streams.
+  uint64_t seed = 0;
+
+  // -- Workload -------------------------------------------------------------
+  int households = 8;
+  int hours = 336;
+  core::TaskType task = core::TaskType::kHistogram;
+  /// Input layout the cluster engines (Spark, Hive) scan. The parity
+  /// baseline always reads the single-CSV rendering of the same dataset,
+  /// so cross-layout agreement is part of what a scenario asserts.
+  enum class ClusterLayout { kSingleCsv, kHouseholdLines, kWholeFileDir };
+  ClusterLayout cluster_layout = ClusterLayout::kSingleCsv;
+  /// File count for kWholeFileDir (data format 3).
+  int wholefile_count = 4;
+
+  // -- Cluster shape --------------------------------------------------------
+  int nodes = 8;
+  int slots_per_node = 4;
+  int64_t block_bytes = 64 << 10;
+  int num_racks = 1;
+  double intra_rack_mb_per_s = 0.0;
+  double cross_rack_mb_per_s = 0.0;
+
+  // -- Fault injection ------------------------------------------------------
+  double failure_probability = 0.0;
+  int max_task_attempts = 4;
+  double retry_backoff_seconds = 0.5;
+  double straggler_probability = 0.0;
+  double straggler_multiplier_min = 2.0;
+  double straggler_multiplier_max = 8.0;
+  bool speculation = false;
+  double speculation_slow_factor = 1.5;
+
+  /// Draws a bounded random scenario from `seed` (deterministic; the
+  /// fuzzer's generator). Combinations the engines reject by design
+  /// (Spark similarity over whole files) are never produced.
+  static ScenarioSpec Random(uint64_t seed);
+
+  /// The cluster configuration this scenario runs under. Measured host
+  /// compute is replaced by the modeled bytes-proportional cost so the
+  /// simulated wall-clock is a pure function of this spec.
+  cluster::ClusterConfig ToClusterConfig() const;
+
+  /// Tiny replayable text form ("# smartmeter-scenario/v1" + key=value
+  /// lines). FromSeedText inverts it exactly, including float bits.
+  std::string ToSeedText() const;
+  static Result<ScenarioSpec> FromSeedText(const std::string& text);
+  Status WriteSeedFile(const std::string& path) const;
+  static Result<ScenarioSpec> ReadSeedFile(const std::string& path);
+};
+
+std::string_view ClusterLayoutName(ScenarioSpec::ClusterLayout layout);
+
+/// What one engine's run of the scenario produced, reduced to the
+/// deterministic quantities two replays of the same spec must agree on.
+struct EngineRunSummary {
+  std::string engine;
+  /// "OK" or the status string of a deterministic failure (a task that
+  /// exhausted its attempts aborts the job — a legitimate outcome of a
+  /// hostile scenario, and it must reproduce bit-for-bit too).
+  std::string status = "OK";
+  double simulated_seconds = 0.0;
+  int64_t retries = 0;
+  int64_t stragglers = 0;
+  int64_t speculative_launched = 0;
+  int64_t speculative_wins = 0;
+  /// "name:seconds" per stage, seconds formatted to full precision.
+  std::vector<std::string> stage_rows;
+
+  bool operator==(const EngineRunSummary& other) const = default;
+  std::string DebugString() const;
+};
+
+/// The scenario's verdict.
+struct ScenarioOutcome {
+  /// Empty when every assertion held; otherwise the first violation,
+  /// human-readable (what the fuzzer prints next to the replay path).
+  std::string violation;
+  /// Spark and Hive runs (first execution of the two determinism runs).
+  std::vector<EngineRunSummary> cluster_runs;
+
+  bool ok() const { return violation.empty(); }
+};
+
+/// Executes one scenario end to end in `workdir`: synthesizes the
+/// dataset, writes the layouts, and asserts
+///   1. five-engine result parity — matlab/madlib/spark/hive all
+///      bit-identical to the system-c baseline over the same dataset;
+///   2. plan invariants — stage rows present, stage seconds summing to
+///      the simulated cost, fault counters zero when their injector is
+///      disabled;
+///   3. determinism — running each cluster engine twice yields
+///      bit-identical simulated cost, fault counts, stage rows, and
+///      status.
+/// Returns the outcome (violations inside), or an error Status only for
+/// infrastructure failures (I/O, bad spec) that are not scenario
+/// verdicts.
+Result<ScenarioOutcome> RunScenario(const ScenarioSpec& spec,
+                                    const std::string& workdir);
+
+}  // namespace smartmeter::scenario
+
+#endif  // SMARTMETER_CLUSTER_SCENARIO_H_

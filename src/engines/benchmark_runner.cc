@@ -25,7 +25,10 @@ obs::RunRecord MakeRunRecord(const RunSpec& spec, const RunReport& report) {
   record.adjust_seconds = report.phases.adjust_seconds;
   record.stages.reserve(report.stages.size());
   for (const exec::StageTiming& stage : report.stages) {
-    record.stages.push_back({stage.name, stage.seconds, stage.partitions});
+    record.stages.push_back({stage.name, stage.seconds, stage.partitions,
+                             stage.retries, stage.stragglers,
+                             stage.speculative_launched,
+                             stage.speculative_wins});
   }
   return record;
 }

@@ -29,6 +29,9 @@ struct TaskRunMetrics {
   /// Per-stage timing rows of the executed physical plan; stage seconds
   /// sum to `seconds` (wall-clock or simulated, matching `simulated`).
   std::vector<exec::StageTiming> stages;
+  /// Injected-fault totals across the plan's simulated waves (zero for
+  /// local engines and healthy clusters).
+  cluster::WaveFaultStats faults;
 };
 
 /// A platform under benchmark. The lifecycle mirrors Section 5's

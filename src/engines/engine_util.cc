@@ -16,6 +16,7 @@ TaskRunMetrics ToTaskMetrics(exec::PlanRunMetrics&& run) {
   metrics.phases = run.phases;
   metrics.modeled_memory_bytes = run.modeled_memory_bytes;
   metrics.stages = std::move(run.stages);
+  metrics.faults = run.faults;
   return metrics;
 }
 

@@ -177,25 +177,43 @@ class Execution {
   Status RunPartitions(size_t count, const PartitionFn& body);
 
   /// Times a stage body (wall-clock locally, simulated-seconds delta
-  /// under cluster dispatch) and records its row + counter + span.
+  /// under cluster dispatch) and records its row + counter + span,
+  /// including the fault events its waves injected.
   template <typename Fn>
   Status TimedStage(const PlanStage& stage, int partitions, Fn&& body) {
     obs::SpanScope span(StageSpanName(stage.op));
     Stopwatch watch;
     const double simulated_before = simulated_seconds_;
+    const cluster::WaveFaultStats faults_before = fault_stats_;
     SM_RETURN_IF_ERROR(body());
-    AddStageRow(stage.name,
-                cluster_ ? simulated_seconds_ - simulated_before
-                         : watch.ElapsedSeconds(),
-                partitions);
+    StageTiming row;
+    row.name = stage.name;
+    row.seconds = cluster_ ? simulated_seconds_ - simulated_before
+                           : watch.ElapsedSeconds();
+    row.partitions = partitions;
+    row.retries = fault_stats_.retries - faults_before.retries;
+    row.stragglers = fault_stats_.stragglers - faults_before.stragglers;
+    row.speculative_launched = fault_stats_.speculative_launched -
+                               faults_before.speculative_launched;
+    row.speculative_wins =
+        fault_stats_.speculative_wins - faults_before.speculative_wins;
+    AddStageRow(std::move(row));
     return Status::OK();
   }
 
   void AddStageRow(const std::string& name, double seconds, int partitions) {
+    StageTiming row;
+    row.name = name;
+    row.seconds = seconds;
+    row.partitions = partitions;
+    AddStageRow(std::move(row));
+  }
+
+  void AddStageRow(StageTiming row) {
     obs::MetricsRegistry::Global()
-        .GetCounter("plan.stage." + name + ".ns")
-        ->Add(static_cast<int64_t>(seconds * 1e9));
-    stage_rows_.push_back(StageTiming{name, seconds, partitions});
+        .GetCounter("plan.stage." + row.name + ".ns")
+        ->Add(static_cast<int64_t>(row.seconds * 1e9));
+    stage_rows_.push_back(std::move(row));
   }
 
   // -- Stage runners --------------------------------------------------------
@@ -256,6 +274,10 @@ class Execution {
   int64_t cached_bytes_ = 0;
   core::ThreeLinePhases phases_;
   std::vector<StageTiming> stage_rows_;
+  /// Fault ledger across waves; RunPartitions is called serially, so no
+  /// lock is needed. The wave counter salts each wave's fault stream.
+  cluster::WaveFaultStats fault_stats_;
+  uint64_t wave_counter_ = 0;
 };
 
 Status Execution::RunPartitions(size_t count, const PartitionFn& body) {
@@ -289,8 +311,13 @@ Status Execution::RunPartitions(size_t count, const PartitionFn& body) {
     });
   }
   TaskWaveRunner runner(policy_.cluster, policy_.task_startup_seconds);
-  SM_ASSIGN_OR_RETURN(double makespan, runner.Run(&tasks));
-  simulated_seconds_ += makespan;
+  cluster::WaveOptions wave;
+  wave.wave_salt = wave_counter_++;
+  wave.stop_check = [this]() { return ctx_.CheckNotStopped(); };
+  SM_ASSIGN_OR_RETURN(cluster::WaveResult result,
+                      runner.RunWave(&tasks, wave));
+  simulated_seconds_ += result.makespan_seconds;
+  fault_stats_.Accumulate(result.faults);
   return Status::OK();
 }
 
@@ -857,6 +884,17 @@ Result<PlanRunMetrics> Execution::Run() {
   metrics.seconds = cluster_ ? simulated_seconds_ : clock.ElapsedSeconds();
   metrics.phases = phases_;
   metrics.stages = std::move(stage_rows_);
+  metrics.faults = fault_stats_;
+  if (fault_stats_.any()) {
+    auto& registry = obs::MetricsRegistry::Global();
+    registry.GetCounter("cluster.task.retries")->Add(fault_stats_.retries);
+    registry.GetCounter("cluster.task.stragglers")
+        ->Add(fault_stats_.stragglers);
+    registry.GetCounter("cluster.task.speculative_launched")
+        ->Add(fault_stats_.speculative_launched);
+    registry.GetCounter("cluster.task.speculative_wins")
+        ->Add(fault_stats_.speculative_wins);
+  }
   switch (policy_.memory_model) {
     case ExecutionPolicy::MemoryModel::kNone:
       break;

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "cluster/cost_model.h"
+#include "cluster/task_scheduler.h"
 #include "common/result.h"
 #include "core/three_line_task.h"
 #include "engines/task_api.h"
@@ -56,10 +57,16 @@ struct ExecutionPolicy {
 
 /// What one stage contributed: simulated seconds under cluster dispatch,
 /// wall-clock otherwise, so stage rows sum to the task's reported time.
+/// The fault fields count what the simulated cluster injected into this
+/// stage's waves (always zero under kLocalPool or a healthy cluster).
 struct StageTiming {
   std::string name;
   double seconds = 0.0;
   int partitions = 1;
+  int64_t retries = 0;
+  int64_t stragglers = 0;
+  int64_t speculative_launched = 0;
+  int64_t speculative_wins = 0;
 };
 
 /// What one plan execution measured.
@@ -69,6 +76,8 @@ struct PlanRunMetrics {
   core::ThreeLinePhases phases;
   int64_t modeled_memory_bytes = 0;
   std::vector<StageTiming> stages;
+  /// Whole-plan fault ledger (the per-stage rows sum to this).
+  cluster::WaveFaultStats faults;
 };
 
 /// Runs physical plans: owns partitioning, dispatch (ThreadPool waves or

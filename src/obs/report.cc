@@ -30,6 +30,19 @@ JsonValue RunToJson(const RunRecord& run) {
       row.Set("name", JsonValue(stage.name));
       row.Set("seconds", JsonValue(stage.seconds));
       row.Set("partitions", JsonValue(stage.partitions));
+      // Fault fields appear only when the simulated cluster injected
+      // something, so healthy-run reports are byte-stable.
+      if (stage.retries != 0) row.Set("retries", JsonValue(stage.retries));
+      if (stage.stragglers != 0) {
+        row.Set("stragglers", JsonValue(stage.stragglers));
+      }
+      if (stage.speculative_launched != 0) {
+        row.Set("speculative_launched",
+                JsonValue(stage.speculative_launched));
+      }
+      if (stage.speculative_wins != 0) {
+        row.Set("speculative_wins", JsonValue(stage.speculative_wins));
+      }
       stages.Append(std::move(row));
     }
     j.Set("stages", std::move(stages));
@@ -72,6 +85,17 @@ RunRecord RunFromJson(const JsonValue& j) {
       stage.name = row.Get("name").AsString();
       stage.seconds = row.Get("seconds").AsDouble();
       stage.partitions = static_cast<int>(row.Get("partitions").AsInt(1));
+      if (row.Has("retries")) stage.retries = row.Get("retries").AsInt();
+      if (row.Has("stragglers")) {
+        stage.stragglers = row.Get("stragglers").AsInt();
+      }
+      if (row.Has("speculative_launched")) {
+        stage.speculative_launched =
+            row.Get("speculative_launched").AsInt();
+      }
+      if (row.Has("speculative_wins")) {
+        stage.speculative_wins = row.Get("speculative_wins").AsInt();
+      }
       run.stages.push_back(std::move(stage));
     }
   }

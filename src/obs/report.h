@@ -15,11 +15,18 @@ namespace smartmeter::obs {
 /// plus the identifying spec dimensions, all engine-agnostic strings so
 /// obs stays below the engines library in the build.
 /// One physical-plan stage's contribution to a run (mirrors
-/// exec::StageTiming without depending on the exec library).
+/// exec::StageTiming without depending on the exec library). The fault
+/// fields count injected cluster events (retries, stragglers,
+/// speculation) and serialize only when nonzero, so healthy-cluster and
+/// pre-fault-model reports round-trip unchanged.
 struct StageRow {
   std::string name;
   double seconds = 0.0;
   int partitions = 1;
+  int64_t retries = 0;
+  int64_t stragglers = 0;
+  int64_t speculative_launched = 0;
+  int64_t speculative_wins = 0;
 };
 
 struct RunRecord {

@@ -215,6 +215,191 @@ TEST(TaskWaveRunnerTest, FirstErrorPropagates) {
   EXPECT_EQ(result.status().code(), StatusCode::kCorruption);
 }
 
+// ---------------------------------------------------------------------------
+// Cost-model goldens: these pin the *default* calibrated constants. If a
+// default changes, every simulated figure in the paper reproduction moves;
+// update the constant deliberately and re-derive the literals here.
+// ---------------------------------------------------------------------------
+
+TEST(CostModelGolden, DefaultConstantsPinned) {
+  const CostModel cost;
+  EXPECT_DOUBLE_EQ(cost.hive_task_startup_seconds, 0.08);
+  EXPECT_DOUBLE_EQ(cost.spark_task_startup_seconds, 0.01);
+  EXPECT_DOUBLE_EQ(cost.hive_job_overhead_seconds, 1.2);
+  EXPECT_DOUBLE_EQ(cost.spark_job_overhead_seconds, 0.3);
+  EXPECT_DOUBLE_EQ(cost.scan_seconds_per_mb, 0.008);
+  EXPECT_DOUBLE_EQ(cost.shuffle_seconds_per_mb, 0.035);
+  EXPECT_DOUBLE_EQ(cost.broadcast_seconds_per_mb_per_node, 0.002);
+  EXPECT_DOUBLE_EQ(cost.file_open_seconds, 0.004);
+  EXPECT_DOUBLE_EQ(cost.spark_per_partition_driver_seconds, 0.0005);
+  EXPECT_DOUBLE_EQ(cost.spark_wholefile_read_seconds_per_mb, 0.06);
+  EXPECT_EQ(cost.spark_max_open_files, 100000);
+  EXPECT_TRUE(cost.use_measured_compute);
+  EXPECT_DOUBLE_EQ(cost.modeled_compute_seconds_per_mb, 0.02);
+}
+
+TEST(CostModelGolden, CanonicalTaskUnderDefaultConstants) {
+  // A canonical task: 10 MB scanned, 4 MB shuffled, 25 files opened,
+  // 0.5 s measured compute, 0.125 s fixed. Hand-computed against the
+  // default constants:
+  //   hive:  0.08 + 25*0.004 + 10*0.008 + 4*0.035 + 0.125 + 0.5 = 1.025
+  //   spark: 0.01 + 0.1 + 0.08 + 0.14 + 0.125 + 0.5           = 0.955
+  TaskStats stats;
+  stats.input_bytes = 10 << 20;
+  stats.shuffle_bytes = 4 << 20;
+  stats.files_opened = 25;
+  stats.compute_seconds = 0.5;
+  stats.fixed_seconds = 0.125;
+  ClusterConfig config;  // Default cost model.
+  const CostModel defaults;
+  TaskWaveRunner hive(config, defaults.hive_task_startup_seconds);
+  TaskWaveRunner spark(config, defaults.spark_task_startup_seconds);
+  EXPECT_NEAR(hive.SimulatedSeconds(stats), 1.025, 1e-12);
+  EXPECT_NEAR(spark.SimulatedSeconds(stats), 0.955, 1e-12);
+  // Deterministic-compute mode replaces the measured 0.5 s by
+  // 10 MB * 0.02 = 0.2 s: hive drops to 0.725.
+  config.cost.use_measured_compute = false;
+  TaskWaveRunner modeled(config, defaults.hive_task_startup_seconds);
+  EXPECT_NEAR(modeled.SimulatedSeconds(stats), 0.725, 1e-12);
+  // And a canonical wave of six such tasks on 2x2 slots list-schedules
+  // to two back-to-back rounds.
+  TaskWaveRunner sched(TestConfig(2, 2), defaults.hive_task_startup_seconds);
+  EXPECT_NEAR(sched.Makespan(std::vector<double>(6, 1.025)), 2.05, 1e-12);
+}
+
+TEST(TaskWaveRunnerTest, TopologyChargesPerLinkTransferTime) {
+  ClusterConfig config = TestConfig(4, 1);
+  config.topology.num_racks = 2;
+  config.topology.intra_rack_mb_per_s = 100.0;
+  config.topology.cross_rack_mb_per_s = 25.0;
+  TaskWaveRunner runner(config, 0.0);
+  // 4 nodes in 2 racks: half of a task's 8 MB shuffle stays on the
+  // 100 MB/s in-rack link, half crosses the 25 MB/s core link:
+  //   8*0.5/100 + 8*0.5/25 = 0.04 + 0.16 = 0.2 s.
+  EXPECT_NEAR(runner.TopologyNetworkSeconds(8 << 20, 0), 0.2, 1e-12);
+  // Same for a task homed in the other rack (symmetric split).
+  EXPECT_NEAR(runner.TopologyNetworkSeconds(8 << 20, 2), 0.2, 1e-12);
+  // Disabled topology (defaults) charges nothing.
+  TaskWaveRunner flat(TestConfig(4, 1), 0.0);
+  EXPECT_DOUBLE_EQ(flat.TopologyNetworkSeconds(8 << 20, 0), 0.0);
+}
+
+TEST(TaskWaveRunnerTest, FaultTimelineIsSeedDeterministic) {
+  ClusterConfig config = TestConfig(2, 2);
+  config.cost.use_measured_compute = false;
+  config.faults.seed = 77;
+  config.faults.task_failure_probability = 0.3;
+  config.faults.retry_backoff_seconds = 0.25;
+  config.faults.straggler_probability = 0.5;
+  config.faults.speculative_execution = true;
+  auto make_tasks = [] {
+    std::vector<TaskWaveRunner::TaskFn> tasks;
+    for (int i = 0; i < 16; ++i) {
+      tasks.push_back([i](TaskStats* stats) {
+        stats->fixed_seconds = 0.1 * (i + 1);
+        return Status::OK();
+      });
+    }
+    return tasks;
+  };
+  TaskWaveRunner runner(config, 0.0);
+  WaveOptions options;
+  options.wave_salt = 3;
+  auto tasks1 = make_tasks();
+  auto tasks2 = make_tasks();
+  auto run1 = runner.RunWave(&tasks1, options);
+  auto run2 = runner.RunWave(&tasks2, options);
+  ASSERT_TRUE(run1.ok()) << run1.status().ToString();
+  ASSERT_TRUE(run2.ok()) << run2.status().ToString();
+  // Same seed + salt: bit-identical timeline and fault ledger.
+  EXPECT_EQ(run1->makespan_seconds, run2->makespan_seconds);
+  EXPECT_EQ(run1->faults.retries, run2->faults.retries);
+  EXPECT_EQ(run1->faults.stragglers, run2->faults.stragglers);
+  EXPECT_EQ(run1->faults.speculative_launched,
+            run2->faults.speculative_launched);
+  EXPECT_EQ(run1->faults.speculative_wins, run2->faults.speculative_wins);
+  EXPECT_EQ(run1->faults.backoff_seconds, run2->faults.backoff_seconds);
+  EXPECT_EQ(run1->faults.wasted_seconds, run2->faults.wasted_seconds);
+  // A different wave salt draws a different timeline (with these rates,
+  // 16 tasks all landing identically is practically impossible).
+  WaveOptions other;
+  other.wave_salt = 4;
+  auto tasks3 = make_tasks();
+  auto run3 = runner.RunWave(&tasks3, other);
+  ASSERT_TRUE(run3.ok()) << run3.status().ToString();
+  EXPECT_NE(run1->makespan_seconds, run3->makespan_seconds);
+}
+
+TEST(TaskWaveRunnerTest, NeutralFaultDefaultsAddNothing) {
+  ClusterConfig config = TestConfig(2, 2);
+  config.cost.use_measured_compute = false;
+  std::vector<TaskWaveRunner::TaskFn> tasks;
+  for (int i = 0; i < 8; ++i) {
+    tasks.push_back([](TaskStats* stats) {
+      stats->fixed_seconds = 0.5;
+      return Status::OK();
+    });
+  }
+  TaskWaveRunner runner(config, 0.0);
+  auto result = runner.RunWave(&tasks, WaveOptions{});
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->makespan_seconds, 1.0);  // 8 x 0.5 on 4 slots.
+  EXPECT_FALSE(result->faults.any());
+}
+
+TEST(TaskWaveRunnerTest, ExhaustedAttemptsAbortTheWave) {
+  ClusterConfig config = TestConfig(2, 2);
+  config.faults.seed = 5;
+  config.faults.task_failure_probability = 1.0;
+  config.faults.max_task_attempts = 3;
+  std::atomic<int> executed{0};
+  std::vector<TaskWaveRunner::TaskFn> tasks;
+  for (int i = 0; i < 4; ++i) {
+    tasks.push_back([&executed](TaskStats* stats) {
+      executed.fetch_add(1);
+      stats->fixed_seconds = 0.1;
+      return Status::OK();
+    });
+  }
+  TaskWaveRunner runner(config, 0.0);
+  auto result = runner.RunWave(&tasks, WaveOptions{});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kAborted);
+  // The real work still ran exactly once per task; only the simulated
+  // attempts burned out.
+  EXPECT_EQ(executed.load(), 4);
+}
+
+TEST(TaskWaveRunnerTest, StopCheckAbortsMidRetryWithoutRerunningWork) {
+  // A task stuck in a retry storm must honor the query's stop signal
+  // between simulated attempts instead of simulating every retry.
+  ClusterConfig config = TestConfig(1, 1);
+  config.faults.seed = 11;
+  config.faults.task_failure_probability = 1.0;
+  config.faults.max_task_attempts = 1 << 30;  // Would "retry" forever.
+  std::atomic<int> executed{0};
+  std::atomic<int> polls{0};
+  std::vector<TaskWaveRunner::TaskFn> tasks;
+  tasks.push_back([&executed](TaskStats* stats) {
+    executed.fetch_add(1);
+    stats->fixed_seconds = 0.1;
+    return Status::OK();
+  });
+  TaskWaveRunner runner(config, 0.0);
+  WaveOptions options;
+  options.stop_check = [&polls]() -> Status {
+    if (polls.fetch_add(1) >= 3) {
+      return Status::DeadlineExceeded("query deadline during backoff");
+    }
+    return Status::OK();
+  };
+  auto result = runner.RunWave(&tasks, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(executed.load(), 1);  // Real work never re-ran.
+  EXPECT_EQ(polls.load(), 4);     // Aborted on the failing poll.
+}
+
 TEST(TaskWaveRunnerTest, MoreSlotsShrinkMakespan) {
   const std::vector<double> durations(64, 1.0);
   TaskWaveRunner small(TestConfig(2, 2), 0.0);   // 4 slots.

@@ -277,6 +277,11 @@ RunRecord MakeRecord() {
   run.quantile_seconds = 0.25;
   run.regression_seconds = 1.0;
   run.adjust_seconds = 0.5;
+  // One healthy stage (fault keys omitted from the JSON) and one that
+  // saw injected retries/stragglers/speculation.
+  run.stages.push_back({"scan", 0.5, 3});
+  run.stages.push_back({"kernel", 1.25, 8, /*retries=*/2, /*stragglers=*/1,
+                        /*speculative_launched=*/1, /*speculative_wins=*/1});
   return run;
 }
 
@@ -322,6 +327,20 @@ TEST(BenchReportTest, JsonRoundTripPreservesEverything) {
   EXPECT_DOUBLE_EQ(run.task_seconds, 1.75);
   EXPECT_EQ(run.memory_bytes, 1 << 20);
   EXPECT_DOUBLE_EQ(run.regression_seconds, 1.0);
+  ASSERT_EQ(run.stages.size(), 2u);
+  EXPECT_EQ(run.stages[0].name, "scan");
+  EXPECT_EQ(run.stages[0].retries, 0);
+  EXPECT_EQ(run.stages[1].name, "kernel");
+  EXPECT_DOUBLE_EQ(run.stages[1].seconds, 1.25);
+  EXPECT_EQ(run.stages[1].retries, 2);
+  EXPECT_EQ(run.stages[1].stragglers, 1);
+  EXPECT_EQ(run.stages[1].speculative_launched, 1);
+  EXPECT_EQ(run.stages[1].speculative_wins, 1);
+  // Healthy stages serialize without the fault keys at all.
+  const JsonValue& scan_row =
+      json.Get("runs").items()[0].Get("stages").items()[0];
+  EXPECT_FALSE(scan_row.Has("retries"));
+  EXPECT_FALSE(scan_row.Has("stragglers"));
   ASSERT_EQ(restored.metrics().counters.size(), 1u);
   EXPECT_EQ(restored.metrics().counters[0].value, 8760);
   ASSERT_EQ(restored.metrics().histograms.size(), 1u);

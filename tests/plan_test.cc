@@ -337,5 +337,28 @@ TEST_F(PlanTest, CancelledContextAbortsSimulatedPlan) {
       << metrics.status().ToString();
 }
 
+TEST_F(PlanTest, DeadlineDuringRetryBackoffShedsCleanly) {
+  // Every simulated attempt fails and the attempt budget is effectively
+  // infinite, so without the stop check polled between retries this
+  // query would grind through 2^30 simulated attempts per task. The
+  // deadline expires while tasks are in retry backoff; the query must
+  // shed promptly with kDeadlineExceeded and no partial results.
+  SparkEngine::Options options = SparkOptions(64 << 10);
+  options.cluster.faults.seed = 13;
+  options.cluster.faults.task_failure_probability = 1.0;
+  options.cluster.faults.max_task_attempts = 1 << 30;
+  SparkEngine engine(options);
+  ASSERT_TRUE(engine.Attach(*DataSource::SingleCsv(single_csv_)).ok());
+  exec::QueryContext ctx;
+  ctx.set_deadline_after(std::chrono::milliseconds(50));
+  TaskResultSet results;
+  auto metrics = engine.RunTask(
+      ctx, TaskOptions::Default(core::TaskType::kHistogram), &results);
+  ASSERT_FALSE(metrics.ok());
+  EXPECT_EQ(metrics.status().code(), StatusCode::kDeadlineExceeded)
+      << metrics.status().ToString();
+  EXPECT_TRUE(results.empty());  // Clean shed, nothing half-merged.
+}
+
 }  // namespace
 }  // namespace smartmeter::engines

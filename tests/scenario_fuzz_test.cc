@@ -1,0 +1,156 @@
+// Seed-replay scenario fuzzer: randomized cluster/workload configs run
+// through all five engines, asserting result parity, plan invariants,
+// and seed-determinism of the simulated cost. A failing random seed is
+// written as a replayable scenario file and its path printed, so CI can
+// upload it and a developer can replay (and commit) it.
+//
+// Environment knobs (all optional):
+//   SM_FUZZ_SEEDS      number of random scenarios to run (default 5)
+//   SM_FUZZ_SEED       base seed; scenario i uses base + i (default 20260808)
+//   SM_FUZZ_REPLAY_DIR where failing seeds are written (default: temp dir)
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cluster/scenario.h"
+
+namespace smartmeter::scenario {
+namespace {
+
+namespace fs = std::filesystem;
+
+int64_t EnvInt(const char* name, int64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return std::strtoll(value, nullptr, 10);
+}
+
+std::string ReplayDir() {
+  const char* dir = std::getenv("SM_FUZZ_REPLAY_DIR");
+  if (dir != nullptr && *dir != '\0') return dir;
+  return (fs::path(::testing::TempDir()) / "scenario_replay").string();
+}
+
+std::string Workdir(const std::string& leaf) {
+  return (fs::path(::testing::TempDir()) / "scenario_fuzz" / leaf).string();
+}
+
+/// Runs one scenario; on violation writes the replay seed file and fails
+/// with its path in the message.
+void RunAndCheck(const ScenarioSpec& spec, const std::string& label) {
+  Result<ScenarioOutcome> outcome = RunScenario(spec, Workdir(label));
+  ASSERT_TRUE(outcome.ok()) << label << ": infrastructure failure: "
+                            << outcome.status().ToString();
+  if (outcome->ok()) return;
+  const std::string replay_dir = ReplayDir();
+  std::error_code ec;
+  fs::create_directories(replay_dir, ec);
+  const std::string replay_path =
+      (fs::path(replay_dir) / (label + ".scenario")).string();
+  const Status written = spec.WriteSeedFile(replay_path);
+  FAIL() << label << ": " << outcome->violation << "\n  replay file: "
+         << (written.ok() ? replay_path : written.ToString())
+         << "\n  rerun: SM_FUZZ_REPLAY=" << replay_path;
+}
+
+TEST(ScenarioSeedText, RoundTripsExactly) {
+  for (uint64_t seed : {1ull, 42ull, 0xDEADBEEFull}) {
+    const ScenarioSpec spec = ScenarioSpec::Random(seed);
+    const std::string text = spec.ToSeedText();
+    Result<ScenarioSpec> parsed = ScenarioSpec::FromSeedText(text);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    // Full-precision text form must invert exactly, float bits included.
+    EXPECT_EQ(parsed->ToSeedText(), text) << "seed " << seed;
+  }
+}
+
+TEST(ScenarioSeedText, RejectsMalformedInput) {
+  EXPECT_FALSE(ScenarioSpec::FromSeedText("seed").ok());
+  EXPECT_FALSE(ScenarioSpec::FromSeedText("no_such_key=1\n").ok());
+  EXPECT_FALSE(ScenarioSpec::FromSeedText("task=bogus\n").ok());
+  EXPECT_FALSE(ScenarioSpec::FromSeedText("layout=bogus\n").ok());
+}
+
+TEST(ScenarioSeedText, SeedFileRoundTrips) {
+  const ScenarioSpec spec = ScenarioSpec::Random(7);
+  const std::string dir = Workdir("seedfile");
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  const std::string path = dir + "/case.scenario";
+  ASSERT_TRUE(spec.WriteSeedFile(path).ok());
+  Result<ScenarioSpec> loaded = ScenarioSpec::ReadSeedFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->ToSeedText(), spec.ToSeedText());
+}
+
+TEST(ScenarioGenerator, NeverProducesRejectedCombination) {
+  for (uint64_t seed = 0; seed < 500; ++seed) {
+    const ScenarioSpec spec = ScenarioSpec::Random(seed);
+    EXPECT_FALSE(
+        spec.task == core::TaskType::kSimilarity &&
+        spec.cluster_layout == ScenarioSpec::ClusterLayout::kWholeFileDir)
+        << "seed " << seed;
+    EXPECT_GE(spec.nodes, 1) << "seed " << seed;
+    EXPECT_GE(spec.slots_per_node, 1) << "seed " << seed;
+    EXPECT_GE(spec.block_bytes, 1) << "seed " << seed;
+    EXPECT_LE(spec.straggler_multiplier_min, spec.straggler_multiplier_max)
+        << "seed " << seed;
+  }
+}
+
+/// The committed corpus: every file must keep passing (regression cases
+/// and coverage anchors for each fault class).
+TEST(ScenarioCorpus, AllCasesHold) {
+  const fs::path corpus_dir(SM_SCENARIO_CORPUS_DIR);
+  std::vector<fs::path> cases;
+  for (const fs::directory_entry& entry :
+       fs::directory_iterator(corpus_dir)) {
+    if (entry.path().extension() == ".scenario") {
+      cases.push_back(entry.path());
+    }
+  }
+  ASSERT_FALSE(cases.empty()) << "no corpus files in " << corpus_dir;
+  for (const fs::path& path : cases) {
+    SCOPED_TRACE(path.string());
+    Result<ScenarioSpec> spec = ScenarioSpec::ReadSeedFile(path.string());
+    ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+    RunAndCheck(*spec, "corpus_" + path.stem().string());
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+/// Replays a single scenario file (the one a failed fuzz run printed).
+TEST(ScenarioReplay, ReplaysFileFromEnv) {
+  const char* path = std::getenv("SM_FUZZ_REPLAY");
+  if (path == nullptr || *path == '\0') {
+    GTEST_SKIP() << "SM_FUZZ_REPLAY not set";
+  }
+  Result<ScenarioSpec> spec = ScenarioSpec::ReadSeedFile(path);
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  RunAndCheck(*spec, "replay");
+}
+
+/// The fuzzer proper: SM_FUZZ_SEEDS random scenarios derived from
+/// SM_FUZZ_SEED. CI derives the base seed from the run id so every run
+/// explores new ground while staying replayable from the log line.
+TEST(ScenarioFuzz, RandomScenariosHold) {
+  const int64_t count = EnvInt("SM_FUZZ_SEEDS", 5);
+  const uint64_t base =
+      static_cast<uint64_t>(EnvInt("SM_FUZZ_SEED", 20260808));
+  std::printf("scenario fuzz: %lld seeds from base %llu\n",
+              static_cast<long long>(count),
+              static_cast<unsigned long long>(base));
+  for (int64_t i = 0; i < count; ++i) {
+    const uint64_t seed = base + static_cast<uint64_t>(i);
+    const ScenarioSpec spec = ScenarioSpec::Random(seed);
+    RunAndCheck(spec, "seed_" + std::to_string(seed));
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+}  // namespace
+}  // namespace smartmeter::scenario
