@@ -1,18 +1,29 @@
-// Serving-mode benchmark (engine API v2): concurrent query throughput
-// against a pool of attached System C sessions, versus the same queries
-// issued sequentially through RunBenchmark.
+// Serving-mode benchmark (serving API v3): concurrent query throughput
+// against a sharded pool of attached System C sessions, versus the same
+// queries issued sequentially through RunBenchmark.
 //
-// Sweeps clients x sessions with closed-loop clients (each client waits
-// for its query before issuing the next), then demonstrates the two
-// shed paths of the serving layer: a 1 ms deadline query on a large
-// dataset (cooperatively cancelled inside the kernel) and an admission
-// burst against a capacity-1 queue.
+// Four experiments:
+//   1. Closed-loop clients x sessions sweep vs the sequential baseline
+//      (each client waits for its query before issuing the next).
+//   2. Sharded routed-query throughput: the same multi-tenant mix of
+//      single-household queries on 1 shard vs 4 shards with EQUAL total
+//      sessions. Routed queries scan only the owning shard's slice, so
+//      4 shards cut per-query work to a quarter; the binary FAILS unless
+//      4-shard throughput is at least 2x the 1-shard run.
+//   3. Sustained open-loop load: warm tenants at fixed arrival rates,
+//      then a hostile tenant floods during an overload window, then
+//      recovery. Reports p99 under saturation and per-tenant shed
+//      rates; the binary FAILS if a well-behaved tenant's shed rate
+//      during overload exceeds the fairness bound.
+//   4. The two single-query shed paths: a 1 ms deadline and an
+//      admission burst against a capacity-1 queue.
 //
-// Expected shape: aggregate queries/second scales with sessions until
-// the host runs out of cores; the 8x8 point clearly beats the
-// sequential baseline; shed queries resolve in ~the deadline, not the
-// full query time.
+// Expected shape: aggregate queries/second scales with sessions; the
+// 4-shard run beats 1-shard by ~4x on routed queries; hostile flooding
+// sheds hostile queries (quota + eviction) while polite tenants stay
+// near zero shed.
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <memory>
@@ -30,6 +41,9 @@ namespace {
 
 using namespace smartmeter;         // NOLINT
 using namespace smartmeter::bench;  // NOLINT
+
+constexpr double kShardSpeedupGate = 2.0;
+constexpr double kPoliteShedRateGate = 0.15;
 
 double Percentile(std::vector<double> values, double p) {
   if (values.empty()) return 0.0;
@@ -51,13 +65,65 @@ obs::RunRecord ServingRecord(int sessions, double wall_seconds) {
   return record;
 }
 
+exec::QueryRequest RoutedHistogram(const engines::TaskOptions& task,
+                                   const std::string& tenant,
+                                   const std::string& label,
+                                   int64_t household) {
+  return *exec::QueryRequest::Builder()
+              .Task(task)
+              .Tenant(tenant)
+              .Label(label)
+              .Household(household)
+              .Build();
+}
+
+obs::TenantRow MakeTenantRow(const std::string& tenant,
+                             const exec::TenantServingStats& stats,
+                             double p99_seconds) {
+  obs::TenantRow row;
+  row.tenant = tenant;
+  row.submitted = stats.submitted;
+  row.queries_ok = stats.completed_ok;
+  row.queries_shed = stats.shed;
+  row.shed_rate = stats.submitted > 0 ? static_cast<double>(stats.shed) /
+                                            static_cast<double>(stats.submitted)
+                                      : 0.0;
+  row.p99_seconds = p99_seconds;
+  return row;
+}
+
+exec::TenantServingStats TenantDelta(const exec::ServingStats& now,
+                                     const exec::ServingStats& before,
+                                     const std::string& tenant) {
+  exec::TenantServingStats delta;
+  const auto now_it = now.tenants.find(tenant);
+  if (now_it == now.tenants.end()) return delta;
+  delta = now_it->second;
+  const auto before_it = before.tenants.find(tenant);
+  if (before_it != before.tenants.end()) {
+    delta.submitted -= before_it->second.submitted;
+    delta.admitted -= before_it->second.admitted;
+    delta.completed_ok -= before_it->second.completed_ok;
+    delta.shed -= before_it->second.shed;
+    delta.failed -= before_it->second.failed;
+  }
+  return delta;
+}
+
 int Run(BenchContext& ctx) {
   const int households = ctx.HouseholdsForPaperGb(
       ctx.flags().GetDouble("paper-gb", 8.0));
   const int queries_per_client =
       static_cast<int>(ctx.flags().GetInt("queries", 4));
   const int max_sessions = static_cast<int>(ctx.flags().GetInt("sessions", 8));
+  const int routed_queries =
+      static_cast<int>(ctx.flags().GetInt("routed-queries", 24));
+  const double overload_seconds =
+      ctx.flags().GetDouble("overload-ms", 1500.0) / 1e3;
+  const double recovery_seconds =
+      ctx.flags().GetDouble("recovery-ms", 1000.0) / 1e3;
   const int baseline_queries = 8;
+  const int pool_size = std::max(max_sessions, 4);
 
   auto source = ctx.SingleCsv(households);
   if (!source.ok()) {
@@ -68,7 +134,7 @@ int Run(BenchContext& ctx) {
       engines::TaskOptions::Default(core::TaskType::kHistogram);
 
   PrintHeader(
-      "Concurrent serving: closed-loop clients vs sequential batch",
+      "Concurrent serving: sharded multi-tenant runner vs sequential batch",
       StringPrintf("%d households (~%.1f paper-GB), histogram task, "
                    "%d queries per client, System C sessions",
                    households, ctx.PaperGbForHouseholds(households),
@@ -120,8 +186,10 @@ int Run(BenchContext& ctx) {
   }
 
   // -- Attached session pool ----------------------------------------------
+  // Each session's SetThreads() is the intra-query parallelism knob (the
+  // serving layer no longer overrides it per query).
   std::vector<std::unique_ptr<engines::SystemCEngine>> pool;
-  for (int i = 0; i < max_sessions; ++i) {
+  for (int i = 0; i < pool_size; ++i) {
     auto engine = std::make_unique<engines::SystemCEngine>(
         ctx.SpoolDir(StringPrintf("conc_s%d", i)));
     engine->SetThreads(1);
@@ -134,6 +202,24 @@ int Run(BenchContext& ctx) {
     pool.push_back(std::move(engine));
   }
 
+  // Household ids for routed point queries, from one results-bearing run.
+  std::vector<int64_t> household_ids;
+  {
+    auto report = engines::RunTaskOnEngine(
+        pool[0].get(), exec::QueryContext::Background(), histogram,
+        /*threads=*/1, /*sample_memory=*/false, /*keep_outputs=*/true);
+    if (!report.ok()) {
+      std::fprintf(stderr, "household scan: %s\n",
+                   report.status().ToString().c_str());
+      return 1;
+    }
+    for (const auto& row : report->results.Get<core::HistogramResult>()) {
+      household_ids.push_back(row.household_id);
+    }
+  }
+  const std::string routing_dir = ctx.SpoolDir("conc_routing");
+
+  // -- Closed-loop clients x sessions sweep --------------------------------
   PrintRow({"clients", "sessions", "ok", "shed", "p50 s", "p99 s",
             "queries/s", "vs sequential"});
   PrintDivider(8);
@@ -144,7 +230,6 @@ int Run(BenchContext& ctx) {
     for (int clients : {1, 4, 8}) {
       exec::ServingOptions serving;
       serving.queue_capacity = 64;
-      serving.threads_per_query = 1;
       exec::ServingRunner runner(serving);
       for (int s = 0; s < sessions; ++s) runner.AddSession(pool[s].get());
 
@@ -157,10 +242,13 @@ int Run(BenchContext& ctx) {
       for (int c = 0; c < clients; ++c) {
         client_threads.emplace_back([&, c] {
           for (int q = 0; q < queries_per_client; ++q) {
-            exec::QueryRequest request;
-            request.options = histogram;
-            request.label = StringPrintf("client-%d/q%d", c, q);
-            auto ticket = runner.Submit(std::move(request));
+            auto request =
+                exec::QueryRequest::Builder()
+                    .Task(histogram)
+                    .Tenant(StringPrintf("client-%d", c))
+                    .Label(StringPrintf("client-%d/q%d", c, q))
+                    .Build();
+            auto ticket = runner.Submit(*request);
             if (!ticket.ok()) {
               std::lock_guard<std::mutex> lock(lat_mu);
               ++shed;
@@ -205,24 +293,250 @@ int Run(BenchContext& ctx) {
     }
   }
 
-  // -- Shed path 1: a 1 ms deadline on a query that takes far longer -------
-  {
+  // -- Sharded routed-query throughput: 1 shard vs 4, equal sessions -------
+  // Three tenants issue single-household queries closed-loop. On one
+  // shard every query scans the whole table; on four shards it scans the
+  // owning shard's quarter, so equal sessions should go ~4x faster.
+  std::printf("\nSharded routed queries (%d per tenant, 3 tenants, "
+              "4 sessions total):\n",
+              routed_queries);
+  PrintRow({"shards", "ok", "shed", "p50 s", "p99 s", "queries/s"});
+  PrintDivider(6);
+  double routed_qps[2] = {0.0, 0.0};
+  const size_t kShardConfigs[2] = {1, 4};
+  for (int config = 0; config < 2; ++config) {
     exec::ServingOptions serving;
-    serving.threads_per_query = 1;
+    serving.num_shards = kShardConfigs[config];
+    serving.queue_capacity = 64;
     exec::ServingRunner runner(serving);
-    runner.AddSession(pool[0].get());
-    exec::QueryRequest request;
-    request.options = histogram;
-    request.deadline = std::chrono::milliseconds(1);
-    request.label = "deadline-1ms";
-    auto ticket = runner.Submit(std::move(request));
+    if (Status routing = runner.OpenRouting(*source, routing_dir);
+        !routing.ok()) {
+      std::fprintf(stderr, "routing: %s\n", routing.ToString().c_str());
+      return 1;
+    }
+    for (int s = 0; s < 4; ++s) runner.AddSession(pool[s].get());
+
+    std::mutex lat_mu;
+    std::vector<double> latencies;
+    int64_t ok = 0;
+    int64_t shed = 0;
+    Stopwatch wall;
+    std::vector<std::thread> tenants;
+    for (int t = 0; t < 3; ++t) {
+      tenants.emplace_back([&, t] {
+        const std::string tenant = StringPrintf("tenant-%d", t);
+        for (int q = 0; q < routed_queries; ++q) {
+          const int64_t household =
+              household_ids[(t * routed_queries + q) % household_ids.size()];
+          auto ticket = runner.Submit(RoutedHistogram(
+              histogram, tenant, StringPrintf("%s/q%d", tenant.c_str(), q),
+              household));
+          if (!ticket.ok()) {
+            std::lock_guard<std::mutex> lock(lat_mu);
+            ++shed;
+            continue;
+          }
+          const exec::QueryOutcome& outcome = (*ticket)->Wait();
+          std::lock_guard<std::mutex> lock(lat_mu);
+          if (outcome.status.ok()) {
+            ++ok;
+            latencies.push_back(outcome.queue_seconds + outcome.run_seconds);
+          } else {
+            ++shed;
+          }
+        }
+      });
+    }
+    for (std::thread& t : tenants) t.join();
+    runner.Shutdown();
+    const double wall_seconds = wall.ElapsedSeconds();
+    routed_qps[config] =
+        wall_seconds > 0 ? static_cast<double>(ok) / wall_seconds : 0.0;
+    const double p50 = Percentile(latencies, 0.50);
+    const double p99 = Percentile(latencies, 0.99);
+    PrintRow({CellInt(static_cast<int64_t>(kShardConfigs[config])),
+              CellInt(ok), CellInt(shed), Cell(p50), Cell(p99),
+              Cell(routed_qps[config])});
+
+    obs::RunRecord record = ServingRecord(4, wall_seconds);
+    record.outcome = "ok";
+    record.clients = 3;
+    record.queries_ok = ok;
+    record.queries_shed = shed;
+    record.p50_seconds = p50;
+    record.p99_seconds = p99;
+    record.queries_per_second = routed_qps[config];
+    record.shards = static_cast<int>(kShardConfigs[config]);
+    const exec::ServingStats stats = runner.stats();
+    for (const auto& [tenant, tenant_stats] : stats.tenants) {
+      record.tenants.push_back(MakeTenantRow(tenant, tenant_stats, p99));
+    }
+    ctx.report().AddRun(record);
+  }
+  const double shard_speedup =
+      routed_qps[0] > 0 ? routed_qps[1] / routed_qps[0] : 0.0;
+  std::printf("4-shard vs 1-shard routed throughput: %.2fx (gate: >= %.1fx)\n",
+              shard_speedup, kShardSpeedupGate);
+
+  // -- Sustained open-loop load: warm, overload, recover -------------------
+  // Arrival rates are calibrated from the measured 4-shard capacity:
+  // two polite tenants each arrive at 1/4 of capacity; during the
+  // overload window a hostile tenant floods at 2x capacity on top.
+  const double capacity_qps = std::max(routed_qps[1], 1.0);
+  const double polite_interval = 4.0 / capacity_qps;
+  const double hostile_interval = 0.5 / capacity_qps;
+  struct TaggedTicket {
+    std::shared_ptr<exec::QueryTicket> ticket;
+    int phase;  // 0 = overload, 1 = recovery.
+  };
+  exec::ServingOptions serving;
+  serving.num_shards = 4;
+  serving.queue_capacity = 16;
+  serving.tenant_queue_quota = 6;
+  exec::ServingRunner runner(serving);
+  if (Status routing = runner.OpenRouting(*source, routing_dir);
+      !routing.ok()) {
+    std::fprintf(stderr, "routing: %s\n", routing.ToString().c_str());
+    return 1;
+  }
+  for (int s = 0; s < 4; ++s) runner.AddSession(pool[s].get());
+
+  std::mutex ticket_mu;
+  std::vector<std::pair<std::string, TaggedTicket>> tagged;
+  std::atomic<int> phase{0};
+  std::atomic<bool> stop{false};
+  const auto open_loop = [&](const std::string& tenant, double interval,
+                             bool hostile) {
+    int q = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const int now_phase = phase.load(std::memory_order_relaxed);
+      if (hostile && now_phase != 0) break;  // Hostile floods overload only.
+      const int64_t household = household_ids[q % household_ids.size()];
+      auto ticket = runner.Submit(RoutedHistogram(
+          histogram, tenant, StringPrintf("%s/q%d", tenant.c_str(), q),
+          household));
+      ++q;
+      if (ticket.ok()) {
+        std::lock_guard<std::mutex> lock(ticket_mu);
+        tagged.push_back({tenant, {*ticket, now_phase}});
+      }
+      std::this_thread::sleep_for(std::chrono::duration<double>(interval));
+    }
+  };
+
+  const exec::ServingStats before_overload = runner.stats();
+  Stopwatch overload_wall;
+  std::vector<std::thread> load_threads;
+  load_threads.emplace_back(open_loop, "polite-a", polite_interval, false);
+  load_threads.emplace_back(open_loop, "polite-b", polite_interval, false);
+  std::thread hostile_thread(open_loop, "hostile", hostile_interval, true);
+  std::this_thread::sleep_for(
+      std::chrono::duration<double>(overload_seconds));
+  phase.store(1, std::memory_order_relaxed);
+  hostile_thread.join();
+  const double measured_overload_seconds = overload_wall.ElapsedSeconds();
+  const exec::ServingStats after_overload = runner.stats();
+  std::this_thread::sleep_for(
+      std::chrono::duration<double>(recovery_seconds));
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : load_threads) t.join();
+  runner.Drain();
+  const exec::ServingStats after_recovery = runner.stats();
+  runner.Shutdown();
+
+  // Latency percentiles per tenant per phase from the resolved tickets.
+  std::vector<double> phase_latencies[2];
+  std::vector<double> polite_overload_latencies;
+  for (auto& [tenant, entry] : tagged) {
+    const exec::QueryOutcome& outcome = entry.ticket->Wait();
+    if (!outcome.status.ok()) continue;
+    const double latency = outcome.queue_seconds + outcome.run_seconds;
+    phase_latencies[entry.phase].push_back(latency);
+    if (entry.phase == 0 && tenant != "hostile") {
+      polite_overload_latencies.push_back(latency);
+    }
+  }
+
+  std::printf("\nSustained load (overload %.1fs, recovery %.1fs, "
+              "capacity ~%.1f q/s):\n",
+              overload_seconds, recovery_seconds, capacity_qps);
+  PrintRow({"phase", "tenant", "submitted", "ok", "shed", "shed rate"});
+  PrintDivider(6);
+  bool fairness_ok = true;
+  const auto report_phase = [&](const char* phase_name,
+                                const exec::ServingStats& now,
+                                const exec::ServingStats& before,
+                                double p99, double wall_seconds) {
+    obs::RunRecord record = ServingRecord(4, wall_seconds);
+    record.outcome = "ok";
+    record.clients = 3;
+    record.shards = 4;
+    record.p99_seconds = p99;
+    for (const char* tenant : {"polite-a", "polite-b", "hostile"}) {
+      const exec::TenantServingStats delta = TenantDelta(now, before, tenant);
+      if (delta.submitted == 0) continue;
+      const obs::TenantRow row = MakeTenantRow(tenant, delta, p99);
+      record.queries_ok += row.queries_ok;
+      record.queries_shed += row.queries_shed;
+      record.tenants.push_back(row);
+      PrintRow({phase_name, tenant, CellInt(row.submitted),
+                CellInt(row.queries_ok), CellInt(row.queries_shed),
+                StringPrintf("%.3f", row.shed_rate)});
+      if (std::string_view(phase_name) == "overload" &&
+          std::string_view(tenant) != "hostile" &&
+          row.shed_rate > kPoliteShedRateGate) {
+        fairness_ok = false;
+      }
+    }
+    record.queries_per_second =
+        wall_seconds > 0
+            ? static_cast<double>(record.queries_ok) / wall_seconds
+            : 0.0;
+    ctx.report().AddRun(record);
+  };
+  report_phase("overload", after_overload, before_overload,
+               Percentile(phase_latencies[0], 0.99),
+               measured_overload_seconds);
+  report_phase("recovery", after_recovery, after_overload,
+               Percentile(phase_latencies[1], 0.99), recovery_seconds);
+  std::printf("p99 under saturation: %.3f s (polite %.3f s); "
+              "p99 in recovery: %.3f s\n",
+              Percentile(phase_latencies[0], 0.99),
+              Percentile(polite_overload_latencies, 0.99),
+              Percentile(phase_latencies[1], 0.99));
+
+  // -- Shed path 1: a 1 ms deadline expires while queued -------------------
+  // A single session drains the queue one query at a time, so a handful
+  // of blockers ahead of the deadline query guarantees it waits longer
+  // than 1 ms regardless of dataset size.
+  {
+    exec::ServingRunner deadline_runner(exec::ServingOptions{});
+    deadline_runner.AddSession(pool[0].get());
+    std::vector<std::shared_ptr<exec::QueryTicket>> blockers;
+    for (int q = 0; q < 6; ++q) {
+      auto blocker = exec::QueryRequest::Builder()
+                         .Task(histogram)
+                         .Tenant("deadline")
+                         .Label(StringPrintf("blocker/q%d", q))
+                         .Build();
+      auto ticket = deadline_runner.Submit(*blocker);
+      if (ticket.ok()) blockers.push_back(*ticket);
+    }
+    auto request = exec::QueryRequest::Builder()
+                       .Task(histogram)
+                       .Tenant("deadline")
+                       .Label("deadline-1ms")
+                       .Deadline(std::chrono::milliseconds(1))
+                       .Build();
+    auto ticket = deadline_runner.Submit(*request);
     if (!ticket.ok()) {
       std::fprintf(stderr, "deadline submit: %s\n",
                    ticket.status().ToString().c_str());
       return 1;
     }
     const exec::QueryOutcome& outcome = (*ticket)->Wait();
-    runner.Shutdown();
+    for (const auto& blocker : blockers) blocker->Wait();
+    deadline_runner.Shutdown();
     const double latency = outcome.queue_seconds + outcome.run_seconds;
     std::printf("\n1 ms deadline query: %s after %.4f s (shed=%s)\n",
                 outcome.status.ToString().c_str(), latency,
@@ -243,18 +557,19 @@ int Run(BenchContext& ctx) {
 
   // -- Shed path 2: admission burst against a capacity-1 queue -------------
   {
-    exec::ServingOptions serving;
-    serving.queue_capacity = 1;
-    serving.threads_per_query = 1;
-    exec::ServingRunner runner(serving);
-    runner.AddSession(pool[0].get());
+    exec::ServingOptions burst_options;
+    burst_options.queue_capacity = 1;
+    exec::ServingRunner burst_runner(burst_options);
+    burst_runner.AddSession(pool[0].get());
     std::vector<std::shared_ptr<exec::QueryTicket>> tickets;
     int64_t queue_shed = 0;
     for (int q = 0; q < 8; ++q) {
-      exec::QueryRequest request;
-      request.options = histogram;
-      request.label = StringPrintf("burst/q%d", q);
-      auto ticket = runner.Submit(std::move(request));
+      auto request = exec::QueryRequest::Builder()
+                         .Task(histogram)
+                         .Tenant("burst")
+                         .Label(StringPrintf("burst/q%d", q))
+                         .Build();
+      auto ticket = burst_runner.Submit(*request);
       if (ticket.ok()) {
         tickets.push_back(*ticket);
       } else {
@@ -265,7 +580,7 @@ int Run(BenchContext& ctx) {
     for (const auto& ticket : tickets) {
       if (ticket->Wait().status.ok()) ++burst_ok;
     }
-    runner.Shutdown();
+    burst_runner.Shutdown();
     std::printf("admission burst (capacity 1): %lld ran, %lld shed at "
                 "Submit with ResourceExhausted\n",
                 static_cast<long long>(burst_ok),
@@ -279,23 +594,38 @@ int Run(BenchContext& ctx) {
   }
 
   std::printf(
-      "\nShape to check: queries/s grows with sessions; 8 clients x 8 "
-      "sessions beats the sequential baseline (%.2f q/s); deadline and "
-      "queue-full queries report as shed.\n",
-      sequential_qps);
+      "\nShape to check: queries/s grows with sessions; 4-shard routed "
+      "queries beat 1-shard %.2fx; polite tenants shed ~0 under hostile "
+      "flooding; deadline and queue-full queries report as shed.\n",
+      shard_speedup);
+  int exit_code = 0;
   if (qps_8x8 > 0.0 && qps_8x8 <= sequential_qps) {
     std::fprintf(stderr,
-                 "8x8 serving throughput (%.2f q/s) did not beat the "
-                 "sequential baseline (%.2f q/s)\n",
+                 "GATE FAILED: 8x8 serving throughput (%.2f q/s) did not "
+                 "beat the sequential baseline (%.2f q/s)\n",
                  qps_8x8, sequential_qps);
-    return 1;
+    exit_code = 1;
+  }
+  if (shard_speedup < kShardSpeedupGate) {
+    std::fprintf(stderr,
+                 "GATE FAILED: 4-shard routed throughput is only %.2fx the "
+                 "1-shard run (gate: >= %.1fx)\n",
+                 shard_speedup, kShardSpeedupGate);
+    exit_code = 1;
+  }
+  if (!fairness_ok) {
+    std::fprintf(stderr,
+                 "GATE FAILED: a well-behaved tenant shed more than %.0f%% "
+                 "of its queries during hostile overload\n",
+                 kPoliteShedRateGate * 100.0);
+    exit_code = 1;
   }
   Status finish = ctx.Finish();
   if (!finish.ok()) {
     std::fprintf(stderr, "report: %s\n", finish.ToString().c_str());
     return 1;
   }
-  return 0;
+  return exit_code;
 }
 
 }  // namespace

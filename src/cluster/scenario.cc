@@ -16,6 +16,7 @@
 #include "engines/spark_engine.h"
 #include "engines/systemc_engine.h"
 #include "engines/task_api.h"
+#include "exec/serving_runner.h"
 #include "storage/csv.h"
 #include "table/data_source.h"
 
@@ -460,6 +461,45 @@ Result<ScenarioOutcome> RunScenario(const ScenarioSpec& spec,
             std::string(name) + " parity vs system-c: " + diff;
         return outcome;
       }
+    }
+  }
+
+  // Sharded serving: a 4-shard scatter-gather over the same bytes must
+  // reproduce the unsharded baseline bit for bit (the serving layer's
+  // routing, scoped kernels, and gather merge are all on this path).
+  {
+    exec::ServingOptions serving_options;
+    serving_options.num_shards = 4;
+    serving_options.keep_results = true;
+    exec::ServingRunner runner(serving_options);
+    SM_RETURN_IF_ERROR(runner.OpenRouting(base_source, workdir + "/routing"));
+    std::vector<std::unique_ptr<engines::SystemCEngine>> sessions;
+    for (int s = 0; s < 4; ++s) {
+      sessions.push_back(std::make_unique<engines::SystemCEngine>(
+          workdir + "/spool_shard" + std::to_string(s)));
+      SM_RETURN_IF_ERROR(sessions.back()->Attach(base_source).status());
+      runner.AddSession(sessions.back().get());
+    }
+    SM_ASSIGN_OR_RETURN(exec::QueryRequest request,
+                        exec::QueryRequest::Builder()
+                            .Task(options)
+                            .Tenant("scenario")
+                            .Label("sharded-parity")
+                            .Build());
+    SM_ASSIGN_OR_RETURN(std::shared_ptr<exec::QueryTicket> ticket,
+                        runner.Submit(request));
+    const exec::QueryOutcome& serving_outcome = ticket->Wait();
+    runner.Shutdown();
+    if (!serving_outcome.status.ok()) {
+      outcome.violation = "sharded serving failed: " +
+                          serving_outcome.status.ToString();
+      return outcome;
+    }
+    const std::string diff =
+        CompareResults(serving_outcome.results, baseline, spec.task);
+    if (!diff.empty()) {
+      outcome.violation = "sharded serving parity vs system-c: " + diff;
+      return outcome;
     }
   }
 

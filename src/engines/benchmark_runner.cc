@@ -60,6 +60,14 @@ Result<RunReport> RunTaskOnEngine(AnalyticsEngine* engine,
 }
 
 Result<RunReport> RunTaskOnEngine(AnalyticsEngine* engine,
+                                  const exec::QueryContext& ctx,
+                                  const TaskOptions& options,
+                                  bool keep_outputs) {
+  return RunTaskOnEngine(engine, ctx, options, engine->threads(),
+                         /*sample_memory=*/false, keep_outputs);
+}
+
+Result<RunReport> RunTaskOnEngine(AnalyticsEngine* engine,
                                   const TaskOptions& options, int threads,
                                   bool sample_memory, bool keep_outputs) {
   return RunTaskOnEngine(engine, exec::QueryContext::Background(), options,

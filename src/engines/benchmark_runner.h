@@ -54,12 +54,23 @@ obs::RunRecord MakeRunRecord(const RunSpec& spec, const RunReport& report);
 Result<RunReport> RunBenchmark(const RunSpec& spec);
 
 /// Reuses an already attached engine for another task run (benches that
-/// sweep tasks or thread counts without reloading; the serving layer's
-/// per-query path). Runs under `ctx`'s deadline/cancellation.
+/// sweep tasks or thread counts without reloading). Runs under `ctx`'s
+/// deadline/cancellation; `threads` reconfigures the engine before the
+/// run and is the batch-bench parallelism surface (RunSpec.threads).
 Result<RunReport> RunTaskOnEngine(AnalyticsEngine* engine,
                                   const exec::QueryContext& ctx,
                                   const TaskOptions& options, int threads,
                                   bool sample_memory, bool keep_outputs);
+
+/// Serving-path form: runs at the engine's already-configured thread
+/// count. A session's `AnalyticsEngine::SetThreads()` (flowing into
+/// `ExecutionPolicy.threads`) is the single source of intra-query
+/// parallelism — the serving layer never overrides it per query (see
+/// DESIGN.md, "Serving layer").
+Result<RunReport> RunTaskOnEngine(AnalyticsEngine* engine,
+                                  const exec::QueryContext& ctx,
+                                  const TaskOptions& options,
+                                  bool keep_outputs);
 
 /// Background-context convenience overload.
 Result<RunReport> RunTaskOnEngine(AnalyticsEngine* engine,

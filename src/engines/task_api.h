@@ -1,7 +1,9 @@
 #ifndef SMARTMETER_ENGINES_TASK_API_H_
 #define SMARTMETER_ENGINES_TASK_API_H_
 
+#include <algorithm>
 #include <cassert>
+#include <cstddef>
 #include <utility>
 #include <variant>
 #include <vector>
@@ -20,6 +22,30 @@ namespace smartmeter::engines {
 struct SimilarityTaskOptions {
   core::SimilarityOptions search;
   int households = 0;
+};
+
+/// A half-open window of batch rows [begin, begin + count); count == 0
+/// means "through the last row", so the default scope covers the whole
+/// table. The sharded serving layer scopes each scatter subquery to one
+/// shard's slice of households; batch-scan plans honor the scope inside
+/// the kernel stage, while the cluster series paths (which re-partition
+/// by household hash and lose row positions) reject a non-default scope.
+/// For similarity the scope selects the *query* rows only — candidates
+/// always come from the whole table, which is what keeps scatter-gather
+/// results bit-identical to an unsharded run.
+struct RowScope {
+  size_t begin = 0;
+  size_t count = 0;
+
+  bool whole() const { return begin == 0 && count == 0; }
+
+  /// The scope clamped to a table of `n` rows.
+  size_t First(size_t n) const { return std::min(begin, n); }
+  size_t Last(size_t n) const {
+    const size_t first = First(n);
+    if (count == 0) return n;
+    return first + std::min(count, n - first);
+  }
 };
 
 /// A typed task request: exactly one of the four tasks' option structs.
@@ -69,8 +95,15 @@ class TaskOptions {
 
   const Variant& variant() const { return v_; }
 
+  /// Row window this request is restricted to (default: the whole
+  /// table). Rides outside the per-task variant because it is a property
+  /// of the request's placement, not of any one task's algorithm.
+  const RowScope& scope() const { return scope_; }
+  void set_scope(const RowScope& scope) { scope_ = scope; }
+
  private:
   Variant v_;
+  RowScope scope_;
 };
 
 /// A typed task response: the per-household result vector of whichever

@@ -48,6 +48,14 @@ void AppendOp(const PlanOp& op, std::string* out) {
   if (const auto* kernel = std::get_if<KernelOp>(&op)) {
     out->append("kernel[");
     out->append(core::TaskName(kernel->options.task()));
+    if (!kernel->options.scope().whole()) {
+      const engines::RowScope& scope = kernel->options.scope();
+      out->append(" scope=");
+      out->append(std::to_string(scope.begin));
+      out->append("+");
+      out->append(scope.count == 0 ? std::string("rest")
+                                   : std::to_string(scope.count));
+    }
     if (kernel->fuse_scan) out->append(" fused-scan");
     if (kernel->broadcast_bytes > 0) out->append(" broadcast");
     if (kernel->broadcast_series_table) out->append(" broadcast-table");

@@ -160,6 +160,13 @@ class Execution {
 
   Result<PlanRunMetrics> Run();
 
+  /// Preloads partial result sets as if a kernel stage had produced
+  /// them, so a materialize+merge plan can gather results computed
+  /// elsewhere (the serving layer's scatter-gather path).
+  void SeedPartials(std::vector<TaskResultSet> partials) {
+    partials_ = std::move(partials);
+  }
+
  private:
   using PartitionFn = std::function<Status(int partition, TaskStats* stats)>;
 
@@ -487,85 +494,101 @@ Status Execution::BatchKernel(const KernelOp& op) {
   ErrorCollector errors;
   const size_t count = batch_.count();
   const TaskOptions& options = op.options;
+  // Scoped requests compute only the rows in [first, last). The range
+  // kernels index `out` by absolute batch row, so the buffer spans
+  // [0, last) and the untouched prefix is trimmed before materialize.
+  const size_t first = options.scope().First(count);
+  const size_t last = options.scope().Last(count);
   switch (options.task()) {
     case core::TaskType::kHistogram: {
       const auto& histogram = options.Get<core::HistogramOptions>();
-      std::vector<core::HistogramResult> out(count);
-      pool().ParallelFor(count, [&](size_t begin, size_t end) {
+      std::vector<core::HistogramResult> out(last);
+      pool().ParallelFor(last - first, [&](size_t begin, size_t end) {
         Status guard = ctx_.CheckNotStopped();
         if (!guard.ok()) {
           errors.Record(guard);
           return;
         }
-        errors.Record(core::ComputeHistogramRange(batch_, begin, end,
-                                                  histogram, &ctx_, out));
+        errors.Record(core::ComputeHistogramRange(
+            batch_, first + begin, first + end, histogram, &ctx_, out));
       });
       SM_RETURN_IF_ERROR(errors.first());
+      out.erase(out.begin(), out.begin() + static_cast<ptrdiff_t>(first));
       full_.Mutable<core::HistogramResult>() = std::move(out);
       break;
     }
     case core::TaskType::kThreeLine: {
       const auto& three_line = options.Get<core::ThreeLineOptions>();
-      std::vector<core::ThreeLineResult> out(count);
-      pool().ParallelFor(count, [&](size_t begin, size_t end) {
+      std::vector<core::ThreeLineResult> out(last);
+      pool().ParallelFor(last - first, [&](size_t begin, size_t end) {
         Status guard = ctx_.CheckNotStopped();
         if (!guard.ok()) {
           errors.Record(guard);
           return;
         }
         core::ThreeLinePhases local_phases;
-        errors.Record(core::ComputeThreeLineRange(
-            batch_, begin, end, three_line, &local_phases, &ctx_, out));
+        errors.Record(core::ComputeThreeLineRange(batch_, first + begin,
+                                                  first + end, three_line,
+                                                  &local_phases, &ctx_, out));
         std::lock_guard<std::mutex> lock(mu_);
         phases_.Accumulate(local_phases);
       });
       SM_RETURN_IF_ERROR(errors.first());
+      out.erase(out.begin(), out.begin() + static_cast<ptrdiff_t>(first));
       full_.Mutable<core::ThreeLineResult>() = std::move(out);
       break;
     }
     case core::TaskType::kPar: {
       const auto& par = options.Get<core::ParOptions>();
-      std::vector<core::DailyProfileResult> out(count);
-      pool().ParallelFor(count, [&](size_t begin, size_t end) {
+      std::vector<core::DailyProfileResult> out(last);
+      pool().ParallelFor(last - first, [&](size_t begin, size_t end) {
         Status guard = ctx_.CheckNotStopped();
         if (!guard.ok()) {
           errors.Record(guard);
           return;
         }
-        errors.Record(core::ComputeDailyProfileRange(batch_, begin, end, par,
-                                                     &ctx_, out));
+        errors.Record(core::ComputeDailyProfileRange(
+            batch_, first + begin, first + end, par, &ctx_, out));
       });
       SM_RETURN_IF_ERROR(errors.first());
+      out.erase(out.begin(), out.begin() + static_cast<ptrdiff_t>(first));
       full_.Mutable<core::DailyProfileResult>() = std::move(out);
       break;
     }
     case core::TaskType::kSimilarity: {
       const auto& similarity = options.Get<engines::SimilarityTaskOptions>();
+      // The candidate table is always the full (capped) view set; the
+      // scope restricts only which query rows are answered, so a
+      // scoped run scores every query row against identical candidates.
       const std::vector<core::SeriesView> views = core::BuildSeriesViews(
           batch_, similarity.households > 0
                       ? static_cast<size_t>(similarity.households)
                       : 0);
       const size_t n = views.size();
+      const size_t q_first = options.scope().First(n);
+      const size_t q_last = options.scope().Last(n);
       const std::vector<double> norms = core::ComputeNorms(views);
-      std::vector<core::SimilarityResult> out(n);
-      pool().ParallelFor(n, [&](size_t begin, size_t end) {
+      std::vector<core::SimilarityResult> out(q_last);
+      pool().ParallelFor(q_last - q_first, [&](size_t begin, size_t end) {
         Status guard = ctx_.CheckNotStopped();
         if (!guard.ok()) {
           errors.Record(guard);
           return;
         }
         Result<std::vector<core::SimilarityResult>> chunk =
-            core::ComputeSimilarityTopKRange(views, norms, begin, end,
-                                             similarity.search, &ctx_);
+            core::ComputeSimilarityTopKRange(views, norms, q_first + begin,
+                                             q_first + end, similarity.search,
+                                             &ctx_);
         if (!chunk.ok()) {
           errors.Record(chunk.status());
           return;
         }
         for (size_t i = begin; i < end; ++i) {
-          out[i] = std::move((*chunk)[i - begin]);
+          out[q_first + i] = std::move((*chunk)[i - begin]);
         }
       });
       SM_RETURN_IF_ERROR(errors.first());
+      out.erase(out.begin(), out.begin() + static_cast<ptrdiff_t>(q_first));
       full_.Mutable<core::SimilarityResult>() = std::move(out);
       break;
     }
@@ -731,6 +754,12 @@ Status Execution::RunKernel(const PlanStage& stage, const KernelOp& op) {
       simulated_seconds_ += op.extra_overhead_seconds;
     }
     if (have_batch_) return BatchKernel(op);
+    if (!op.options.scope().whole()) {
+      // The partitioned series paths re-group records by household hash
+      // and lose row positions, so a row scope has no meaning there.
+      return Status::NotSupported(
+          "row-scoped kernels require a batch-scan plan");
+    }
     if (op.options.task() == core::TaskType::kSimilarity) {
       return SimilarityOverSeries(op);
     }
@@ -746,6 +775,10 @@ Status Execution::RunFused(const PlanStage& scan_stage, const ScanOp& scan,
   }
   if (kernel.options.task() == core::TaskType::kSimilarity) {
     return Status::Internal("similarity kernels cannot fuse with a scan");
+  }
+  if (!kernel.options.scope().whole()) {
+    return Status::NotSupported(
+        "row-scoped kernels require a batch-scan plan");
   }
   // The combined wave is billed to the kernel stage (where the work
   // lands); the scan stage keeps a zero-cost row so plans stay readable.
@@ -940,6 +973,22 @@ Result<PlanRunMetrics> PlanExecutor::Run(const QueryContext& ctx,
                                          engines::TaskResultSet* results) {
   SM_TRACE_SPAN("plan.execute");
   Execution execution(ctx, plan, policy, results);
+  return execution.Run();
+}
+
+Result<PlanRunMetrics> PlanExecutor::RunGather(
+    const QueryContext& ctx, std::vector<engines::TaskResultSet> partials,
+    bool sort_by_household, engines::TaskResultSet* results) {
+  SM_TRACE_SPAN("plan.gather");
+  Plan plan;
+  plan.label = "gather";
+  plan.stages.push_back({"materialize", MaterializeOp{}});
+  MergeOp merge;
+  merge.sort_by_household = sort_by_household;
+  plan.stages.push_back({"merge", merge});
+  const ExecutionPolicy policy;  // Local, serial: gather is merge-bound.
+  Execution execution(ctx, plan, policy, results);
+  execution.SeedPartials(std::move(partials));
   return execution.Run();
 }
 

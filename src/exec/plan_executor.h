@@ -94,6 +94,17 @@ class PlanExecutor {
   Result<PlanRunMetrics> Run(const QueryContext& ctx, const Plan& plan,
                              const ExecutionPolicy& policy,
                              engines::TaskResultSet* results);
+
+  /// Gathers already-computed partial result sets through the plan IR's
+  /// Materialize and Merge stages — the reduce half of the serving
+  /// layer's scatter-gather path. Partials merge in vector order;
+  /// `sort_by_household` then applies the canonical Merge ordering.
+  /// Stage rows ("materialize", "merge") land in the returned metrics
+  /// exactly as they do for a full plan run.
+  Result<PlanRunMetrics> RunGather(const QueryContext& ctx,
+                                   std::vector<engines::TaskResultSet> partials,
+                                   bool sort_by_household,
+                                   engines::TaskResultSet* results);
 };
 
 }  // namespace smartmeter::exec

@@ -81,6 +81,11 @@ class QueryContext {
 
   // -- Cancellation --------------------------------------------------------
   const std::shared_ptr<CancellationToken>& token() const { return token_; }
+  /// Shares another query's token (scatter-gather children observe their
+  /// parent's cancellation; cancelling any of them stops the whole fan).
+  void set_token(std::shared_ptr<CancellationToken> token) {
+    token_ = std::move(token);
+  }
   void RequestCancel() const { token_->RequestCancel(); }
   bool cancelled() const { return token_->cancelled(); }
 

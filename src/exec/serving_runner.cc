@@ -1,7 +1,10 @@
 #include "exec/serving_runner.h"
 
 #include <algorithm>
+#include <numeric>
+#include <type_traits>
 #include <utility>
+#include <variant>
 
 #include "common/logging.h"
 #include "common/stopwatch.h"
@@ -9,6 +12,7 @@
 #include "engines/benchmark_runner.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "table/columnar_cache.h"
 
 namespace smartmeter::exec {
 
@@ -35,6 +39,18 @@ obs::Counter* CompletedOkCounter() {
 obs::Counter* ShedQueueFullCounter() {
   static obs::Counter* counter =
       obs::MetricsRegistry::Global().GetCounter("serving.shed_queue_full");
+  return counter;
+}
+
+obs::Counter* ShedQuotaCounter() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter("serving.shed_quota");
+  return counter;
+}
+
+obs::Counter* ShedEvictedCounter() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter("serving.shed_evicted");
   return counter;
 }
 
@@ -74,7 +90,57 @@ obs::LatencyHistogram* QueryLatencyHistogram() {
   return histogram;
 }
 
+/// Keeps only `household`'s row of whichever result vector is held
+/// (routed queries run over their whole shard slice; the client asked
+/// for one household).
+void FilterResultsToHousehold(int64_t household,
+                              engines::TaskResultSet* results) {
+  std::visit(
+      [&](auto& alternative) {
+        using T = std::decay_t<decltype(alternative)>;
+        if constexpr (!std::is_same_v<T, std::monostate>) {
+          std::erase_if(alternative, [&](const auto& row) {
+            return row.household_id != household;
+          });
+        }
+      },
+      results->variant());
+}
+
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// QueryRequest::Builder
+// ---------------------------------------------------------------------------
+
+Result<QueryRequest> QueryRequest::Builder::Build() const {
+  if (request_.tenant_.empty()) {
+    return Status::InvalidArgument(StringPrintf(
+        "query '%s': tenant id must be non-empty", request_.label_.c_str()));
+  }
+  if (request_.deadline_.count() < 0) {
+    return Status::InvalidArgument(
+        StringPrintf("query '%s': deadline must be non-negative, got %lld ns",
+                     request_.label_.c_str(),
+                     static_cast<long long>(request_.deadline_.count())));
+  }
+  if (request_.household_ != kAllHouseholds && request_.household_ < 0) {
+    return Status::InvalidArgument(StringPrintf(
+        "query '%s': household id must be non-negative, got %lld",
+        request_.label_.c_str(),
+        static_cast<long long>(request_.household_)));
+  }
+  if (!request_.options_.scope().whole()) {
+    return Status::InvalidArgument(StringPrintf(
+        "query '%s': row scopes are assigned by shard routing, not clients",
+        request_.label_.c_str()));
+  }
+  return request_;
+}
+
+// ---------------------------------------------------------------------------
+// QueryTicket
+// ---------------------------------------------------------------------------
 
 const QueryOutcome& QueryTicket::Wait() {
   std::unique_lock<std::mutex> lock(mu_);
@@ -97,19 +163,66 @@ void QueryTicket::Finish(QueryOutcome outcome) {
   cv_.notify_all();
 }
 
+// ---------------------------------------------------------------------------
+// ServingRunner
+// ---------------------------------------------------------------------------
+
+struct ServingRunner::ScatterState {
+  std::mutex mu;
+  std::shared_ptr<QueryTicket> parent;
+  /// One slot per shard; shards with an empty slice keep the default
+  /// (OK, empty) outcome.
+  std::vector<QueryOutcome> outcomes;
+  size_t pending = 0;
+};
+
 ServingRunner::ServingRunner(ServingOptions options)
-    : options_(options) {
+    : options_(std::move(options)) {
   SM_CHECK(options_.queue_capacity >= 1) << "admission queue needs capacity";
+  SM_CHECK(options_.num_shards >= 1) << "serving needs at least one shard";
+  SM_CHECK(options_.fair_share_quantum >= 1) << "DRR quantum must be >= 1";
+  shards_.reserve(options_.num_shards);
+  for (size_t s = 0; s < options_.num_shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
 }
 
 ServingRunner::~ServingRunner() { Shutdown(); }
+
+Status ServingRunner::OpenRouting(const table::DataSource& source,
+                                  const std::string& cache_dir) {
+  SM_RETURN_IF_ERROR(source.Validate());
+  table::ColumnarCache cache(cache_dir);
+  SM_ASSIGN_OR_RETURN(std::unique_ptr<table::TableReader> reader,
+                      cache.OpenOrBuild(source));
+  SM_ASSIGN_OR_RETURN(table::ColumnarBatch batch, reader->NewBatch());
+  auto routing = std::make_shared<RoutingTable>();
+  const std::span<const int64_t> ids = batch.household_ids();
+  routing->total_rows = ids.size();
+  std::vector<size_t> order(ids.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return ids[a] < ids[b]; });
+  routing->ids.reserve(ids.size());
+  routing->rows.reserve(ids.size());
+  for (size_t row : order) {
+    routing->ids.push_back(ids[row]);
+    routing->rows.push_back(row);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  routing_ = std::move(routing);
+  return Status::OK();
+}
 
 void ServingRunner::AddSession(engines::AnalyticsEngine* engine) {
   SM_CHECK(engine != nullptr) << "serving session needs an engine";
   std::lock_guard<std::mutex> lock(mu_);
   SM_CHECK(!shutting_down_) << "AddSession after Shutdown";
+  const size_t shard_index = sessions_ % options_.num_shards;
+  ++shards_[shard_index]->sessions;
   ++sessions_;
-  dispatchers_.emplace_back(&ServingRunner::DispatchLoop, this, engine);
+  dispatchers_.emplace_back(&ServingRunner::DispatchLoop, this, engine,
+                            shard_index);
 }
 
 Result<double> ServingRunner::AttachSession(engines::AnalyticsEngine* engine,
@@ -126,66 +239,417 @@ size_t ServingRunner::num_sessions() const {
   return sessions_;
 }
 
+std::pair<size_t, size_t> ServingRunner::ShardSlice(size_t shard,
+                                                    size_t total) const {
+  const size_t n = options_.num_shards;
+  return {total * shard / n, total * (shard + 1) / n};
+}
+
+int ServingRunner::TenantWeight(const std::string& tenant) const {
+  const auto it = options_.tenant_weights.find(tenant);
+  return it == options_.tenant_weights.end() ? 1 : std::max(1, it->second);
+}
+
+std::shared_ptr<QueryTicket> ServingRunner::MakeTicket(
+    const QueryRequest& request) {
+  auto ticket = std::make_shared<QueryTicket>();
+  ticket->context_.set_query_id(
+      next_query_id_.fetch_add(1, std::memory_order_relaxed));
+  ticket->context_.set_label(request.label());
+  ticket->context_.set_priority(request.priority());
+  if (request.deadline().count() > 0) {
+    ticket->context_.set_deadline_after(request.deadline());
+  }
+  ticket->options_ = request.options();
+  ticket->tenant_ = request.tenant();
+  ticket->household_ = request.household();
+  ticket->submitted_at_ = std::chrono::steady_clock::now();
+  return ticket;
+}
+
+void ServingRunner::RecordSubmitShed(const std::string& tenant,
+                                     int64_t* reason_counter) {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++*reason_counter;
+  ++stats_.tenants[tenant].shed;
+}
+
 Result<std::shared_ptr<QueryTicket>> ServingRunner::Submit(
-    QueryRequest request) {
+    const QueryRequest& request) {
   SubmittedCounter()->Increment();
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.submitted;
+    ++stats_.tenants[request.tenant()].submitted;
   }
 
-  auto ticket = std::make_shared<QueryTicket>();
-  ticket->context_.set_query_id(
-      next_query_id_.fetch_add(1, std::memory_order_relaxed));
-  ticket->context_.set_label(request.label);
-  ticket->context_.set_priority(request.priority);
-  if (request.deadline.count() > 0) {
-    ticket->context_.set_deadline_after(request.deadline);
-  }
-  ticket->options_ = std::move(request.options);
-  ticket->submitted_at_ = std::chrono::steady_clock::now();
-
+  std::shared_ptr<const RoutingTable> routing;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (shutting_down_ || queued_ >= options_.queue_capacity) {
+    if (shutting_down_) {
       ShedQueueFullCounter()->Increment();
-      std::lock_guard<std::mutex> stats_lock(stats_mu_);
-      ++stats_.shed_queue_full;
-      return Status::ResourceExhausted(StringPrintf(
-          "admission queue full (%zu queued, capacity %zu): query '%s' shed",
-          queued_, options_.queue_capacity, request.label.c_str()));
+      RecordSubmitShed(request.tenant(), &stats_.shed_queue_full);
+      return Status::ResourceExhausted(
+          StringPrintf("serving runner is shutting down: query '%s' shed",
+                       request.label().c_str()));
     }
-    const auto p = static_cast<size_t>(request.priority);
-    SM_CHECK(p < kPriorities) << "bad query priority";
-    queues_[p].push_back(ticket);
-    ++queued_;
-    QueueDepthPeakGauge()->UpdateMax(static_cast<int64_t>(queued_));
-    {
-      std::lock_guard<std::mutex> stats_lock(stats_mu_);
-      ++stats_.admitted;
-      stats_.peak_queue_depth = std::max(
-          stats_.peak_queue_depth, static_cast<int64_t>(queued_));
-    }
+    routing = routing_;
   }
+
+  size_t shard_index = 0;
+  engines::RowScope scope;
+  if (request.household() != QueryRequest::kAllHouseholds) {
+    if (routing == nullptr) {
+      return Status::InvalidArgument(StringPrintf(
+          "query '%s' routes to household %lld but OpenRouting() was "
+          "never called",
+          request.label().c_str(),
+          static_cast<long long>(request.household())));
+    }
+    const auto it = std::lower_bound(routing->ids.begin(), routing->ids.end(),
+                                     request.household());
+    if (it == routing->ids.end() || *it != request.household()) {
+      return Status::NotFound(StringPrintf(
+          "query '%s': household %lld is not in the routing table",
+          request.label().c_str(),
+          static_cast<long long>(request.household())));
+    }
+    const size_t row = routing->rows[static_cast<size_t>(
+        std::distance(routing->ids.begin(), it))];
+    shard_index = row * options_.num_shards / std::max<size_t>(
+                      routing->total_rows, 1);
+    while (ShardSlice(shard_index, routing->total_rows).second <= row) {
+      ++shard_index;
+    }
+    if (options_.num_shards > 1) {
+      const auto [begin, end] = ShardSlice(shard_index, routing->total_rows);
+      scope.begin = begin;
+      scope.count = end - begin;
+    }
+  } else if (options_.num_shards > 1) {
+    if (routing == nullptr) {
+      return Status::InvalidArgument(StringPrintf(
+          "sharded serving requires OpenRouting() before scatter query '%s'",
+          request.label().c_str()));
+    }
+    return SubmitScatter(request, routing);
+  }
+
+  std::shared_ptr<QueryTicket> ticket = MakeTicket(request);
+  ticket->shard_ = shard_index;
+  if (!scope.whole()) ticket->options_.set_scope(scope);
+  {
+    std::lock_guard<std::mutex> lock(drain_mu_);
+    ++unresolved_;
+  }
+  Status admitted = Enqueue(shard_index, ticket);
+  if (!admitted.ok()) {
+    {
+      std::lock_guard<std::mutex> lock(drain_mu_);
+      --unresolved_;
+    }
+    drained_cv_.notify_all();
+    return admitted;
+  }
+  return ticket;
+}
+
+Result<std::shared_ptr<QueryTicket>> ServingRunner::SubmitScatter(
+    const QueryRequest& request,
+    const std::shared_ptr<const RoutingTable>& routing) {
+  const size_t shards = options_.num_shards;
+  std::shared_ptr<QueryTicket> parent = MakeTicket(request);
+
+  auto state = std::make_shared<ScatterState>();
+  state->parent = parent;
+  state->outcomes.resize(shards);
+  size_t live_children = 0;
+  for (size_t s = 0; s < shards; ++s) {
+    const auto [begin, end] = ShardSlice(s, routing->total_rows);
+    if (begin < end) ++live_children;
+  }
+  state->pending = live_children;
+
   {
     std::lock_guard<std::mutex> lock(drain_mu_);
     ++unresolved_;
   }
   AdmittedCounter()->Increment();
-  queue_cv_.notify_one();
-  return ticket;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.admitted;
+    ++stats_.tenants[request.tenant()].admitted;
+  }
+
+  if (live_children == 0) {
+    FinishScatter(state);
+    return parent;
+  }
+
+  for (size_t s = 0; s < shards; ++s) {
+    const auto [begin, end] = ShardSlice(s, routing->total_rows);
+    if (begin >= end) continue;
+    auto child = std::make_shared<QueryTicket>();
+    child->context_.set_query_id(
+        next_query_id_.fetch_add(1, std::memory_order_relaxed));
+    child->context_.set_label(request.label() + "/shard-" +
+                              std::to_string(s));
+    child->context_.set_priority(request.priority());
+    child->context_.set_token(parent->context_.token());
+    if (parent->context_.has_deadline()) {
+      child->context_.set_deadline(parent->context_.deadline());
+    }
+    child->options_ = request.options();
+    engines::RowScope scope;
+    scope.begin = begin;
+    scope.count = end - begin;
+    child->options_.set_scope(scope);
+    child->tenant_ = request.tenant();
+    child->shard_ = s;
+    child->internal_ = true;
+    child->submitted_at_ = parent->submitted_at_;
+    child->on_resolve_ = [this, state, s](const QueryOutcome& outcome) {
+      bool last = false;
+      {
+        std::lock_guard<std::mutex> lock(state->mu);
+        state->outcomes[s] = outcome;
+        last = (--state->pending == 0);
+      }
+      // A failed or shed child stops its siblings: they share the
+      // parent's token, so one cancel reaches every shard's kernels.
+      if (!outcome.status.ok()) state->parent->RequestCancel();
+      if (last) FinishScatter(state);
+    };
+
+    {
+      std::lock_guard<std::mutex> lock(drain_mu_);
+      ++unresolved_;
+    }
+    Status admitted = Enqueue(s, child);
+    if (!admitted.ok()) {
+      QueryOutcome outcome;
+      outcome.query_id = child->context_.query_id();
+      outcome.label = child->context_.label();
+      outcome.tenant = child->tenant_;
+      outcome.status = std::move(admitted);
+      outcome.shed = true;
+      ResolveTicket(child, std::move(outcome));
+    }
+  }
+  return parent;
 }
 
-std::shared_ptr<QueryTicket> ServingRunner::NextQuery() {
-  std::unique_lock<std::mutex> lock(mu_);
-  queue_cv_.wait(lock, [this] { return shutting_down_ || queued_ > 0; });
-  // Drain remaining queries even during shutdown so every admitted
-  // ticket resolves (they shed quickly: Shutdown cancels them).
+void ServingRunner::FinishScatter(const std::shared_ptr<ScatterState>& state) {
+  const std::shared_ptr<QueryTicket>& parent = state->parent;
+  const QueryContext& ctx = parent->context_;
+  QueryOutcome outcome;
+  outcome.query_id = ctx.query_id();
+  outcome.label = ctx.label();
+  outcome.tenant = parent->tenant_;
+
+  double queue_seconds = 0.0;
+  double slowest_shard = 0.0;
+  const QueryOutcome* failure = nullptr;
+  for (const QueryOutcome& child : state->outcomes) {
+    queue_seconds = std::max(queue_seconds, child.queue_seconds);
+    slowest_shard = std::max(slowest_shard, child.run_seconds);
+    if (!child.status.ok()) {
+      // Prefer the root cause over sibling cancellations it triggered.
+      if (failure == nullptr ||
+          (failure->status.code() == StatusCode::kCancelled &&
+           child.status.code() != StatusCode::kCancelled)) {
+        failure = &child;
+      }
+    }
+  }
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    parent->submitted_at_)
+          .count();
+  outcome.queue_seconds = queue_seconds;
+  outcome.run_seconds = std::max(0.0, elapsed - queue_seconds);
+
+  if (failure != nullptr) {
+    outcome.status = failure->status;
+    outcome.shed = failure->shed;
+  } else {
+    StageTiming scatter_row;
+    scatter_row.name = "scatter";
+    scatter_row.seconds = slowest_shard;
+    scatter_row.partitions = static_cast<int>(options_.num_shards);
+    outcome.stages.push_back(std::move(scatter_row));
+    if (options_.keep_results) {
+      std::vector<engines::TaskResultSet> partials;
+      partials.reserve(state->outcomes.size());
+      for (QueryOutcome& child : state->outcomes) {
+        partials.push_back(std::move(child.results));
+      }
+      Result<PlanRunMetrics> gather = PlanExecutor().RunGather(
+          ctx, std::move(partials), /*sort_by_household=*/true,
+          &outcome.results);
+      if (gather.ok()) {
+        for (StageTiming& stage : gather->stages) {
+          outcome.stages.push_back(std::move(stage));
+        }
+      } else {
+        outcome.status = gather.status();
+        outcome.shed =
+            outcome.status.code() == StatusCode::kDeadlineExceeded ||
+            outcome.status.code() == StatusCode::kCancelled;
+        outcome.stages.clear();
+        outcome.results.Clear();
+      }
+    }
+  }
+  QueueLatencyHistogram()->Record(outcome.queue_seconds);
+  ResolveTicket(parent, std::move(outcome));
+}
+
+Status ServingRunner::Enqueue(size_t shard_index,
+                              const std::shared_ptr<QueryTicket>& ticket) {
+  Shard& shard = *shards_[shard_index];
+  const std::string& tenant = ticket->tenant_;
+  const size_t quota = options_.tenant_queue_quota;
+  std::shared_ptr<QueryTicket> evicted;
+  size_t depth = 0;
+  {
+    // A shard without sessions still queues: sessions may join later
+    // (tests and harnesses build a backlog first) and Shutdown resolves
+    // whatever never dispatched.
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto queued_it = shard.tenant_queued.find(tenant);
+    const size_t tenant_queued =
+        queued_it == shard.tenant_queued.end() ? 0 : queued_it->second;
+    if (quota > 0 && tenant_queued >= quota) {
+      if (!ticket->internal_) {
+        ShedQuotaCounter()->Increment();
+        RecordSubmitShed(tenant, &stats_.shed_quota);
+      }
+      return Status::ResourceExhausted(StringPrintf(
+          "tenant '%s' over queue quota on shard %zu (%zu queued, quota "
+          "%zu): query '%s' shed",
+          tenant.c_str(), shard_index, tenant_queued, quota,
+          ticket->context_.label().c_str()));
+    }
+    if (shard.queued >= options_.queue_capacity) {
+      // Full queue: an over-fair-share tenant (strictly more queued
+      // entries than the submitter's tenant) loses its newest
+      // lowest-priority ticket to the under-share submitter; otherwise
+      // the submitter sheds.
+      const auto victim_it = std::max_element(
+          shard.tenant_queued.begin(), shard.tenant_queued.end(),
+          [](const auto& a, const auto& b) { return a.second < b.second; });
+      if (victim_it == shard.tenant_queued.end() ||
+          victim_it->second <= tenant_queued) {
+        if (!ticket->internal_) {
+          ShedQueueFullCounter()->Increment();
+          RecordSubmitShed(tenant, &stats_.shed_queue_full);
+        }
+        return Status::ResourceExhausted(StringPrintf(
+            "shard %zu admission queue full (%zu queued, capacity %zu): "
+            "query '%s' shed",
+            shard_index, shard.queued, options_.queue_capacity,
+            ticket->context_.label().c_str()));
+      }
+      const std::string victim = victim_it->first;
+      for (size_t p = 0; p < kPriorities && evicted == nullptr; ++p) {
+        auto tenant_it = shard.classes[p].tenants.find(victim);
+        if (tenant_it == shard.classes[p].tenants.end()) continue;
+        TenantQueue& tq = tenant_it->second;
+        if (tq.tickets.empty()) continue;
+        evicted = std::move(tq.tickets.back());
+        tq.tickets.pop_back();
+      }
+      SM_CHECK(evicted != nullptr) << "queued tenant with no queued ticket";
+      --shard.queued;
+      if (--victim_it->second == 0) shard.tenant_queued.erase(victim_it);
+    }
+    const auto p = static_cast<size_t>(ticket->context_.priority());
+    SM_CHECK(p < kPriorities) << "bad query priority";
+    PriorityClass& cls = shard.classes[p];
+    TenantQueue& tq = cls.tenants[tenant];
+    tq.tickets.push_back(ticket);
+    if (!tq.in_ring) {
+      cls.ring.push_back(tenant);
+      tq.in_ring = true;
+    }
+    ++shard.queued;
+    ++shard.tenant_queued[tenant];
+    depth = shard.queued;
+  }
+  if (evicted != nullptr) {
+    // ResolveTicket classifies the ResourceExhausted shed (shed_evicted
+    // bucket, tenant counter, obs counter) — no pre-counting here.
+    QueryOutcome outcome;
+    outcome.query_id = evicted->context_.query_id();
+    outcome.label = evicted->context_.label();
+    outcome.tenant = evicted->tenant_;
+    outcome.status = Status::ResourceExhausted(StringPrintf(
+        "query '%s' evicted from shard %zu admission queue: tenant '%s' "
+        "over fair share when the queue filled",
+        evicted->context_.label().c_str(), shard_index,
+        evicted->tenant_.c_str()));
+    outcome.shed = true;
+    outcome.queue_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      evicted->submitted_at_)
+            .count();
+    ResolveTicket(evicted, std::move(outcome));
+  }
+  QueueDepthPeakGauge()->UpdateMax(static_cast<int64_t>(depth));
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.peak_queue_depth =
+        std::max(stats_.peak_queue_depth, static_cast<int64_t>(depth));
+    if (!ticket->internal_) {
+      ++stats_.admitted;
+      ++stats_.tenants[tenant].admitted;
+    }
+  }
+  if (!ticket->internal_) AdmittedCounter()->Increment();
+  shard.cv.notify_one();
+  return Status::OK();
+}
+
+std::shared_ptr<QueryTicket> ServingRunner::NextQuery(Shard* shard) {
+  std::unique_lock<std::mutex> lock(shard->mu);
+  shard->cv.wait(lock, [&] {
+    return shutting_down_.load(std::memory_order_acquire) ||
+           shard->queued > 0;
+  });
   for (size_t p = kPriorities; p-- > 0;) {
-    if (!queues_[p].empty()) {
-      std::shared_ptr<QueryTicket> ticket = std::move(queues_[p].front());
-      queues_[p].pop_front();
-      --queued_;
+    PriorityClass& cls = shard->classes[p];
+    while (!cls.ring.empty()) {
+      const std::string tenant = cls.ring.front();
+      TenantQueue& tq = cls.tenants[tenant];
+      if (tq.tickets.empty()) {
+        // Stale ring entry (its tickets were evicted); drop and rescan.
+        cls.ring.pop_front();
+        tq.in_ring = false;
+        tq.credits = 0;
+        continue;
+      }
+      if (tq.credits <= 0) {
+        tq.credits = options_.fair_share_quantum * TenantWeight(tenant);
+      }
+      std::shared_ptr<QueryTicket> ticket = std::move(tq.tickets.front());
+      tq.tickets.pop_front();
+      --tq.credits;
+      --shard->queued;
+      const auto queued_it = shard->tenant_queued.find(tenant);
+      if (queued_it != shard->tenant_queued.end() &&
+          --queued_it->second == 0) {
+        shard->tenant_queued.erase(queued_it);
+      }
+      if (tq.tickets.empty() || tq.credits <= 0) {
+        cls.ring.pop_front();
+        if (tq.tickets.empty()) {
+          tq.in_ring = false;
+          tq.credits = 0;
+        } else {
+          cls.ring.push_back(tenant);
+        }
+      }
       return ticket;
     }
   }
@@ -194,32 +658,52 @@ std::shared_ptr<QueryTicket> ServingRunner::NextQuery() {
 
 void ServingRunner::ResolveTicket(const std::shared_ptr<QueryTicket>& ticket,
                                   QueryOutcome outcome) {
-  QueryLatencyHistogram()->Record(outcome.queue_seconds + outcome.run_seconds);
-  {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    if (outcome.status.ok()) {
-      ++stats_.completed_ok;
-    } else if (outcome.shed) {
-      if (outcome.status.code() == StatusCode::kDeadlineExceeded) {
-        ++stats_.shed_deadline;
+  if (!ticket->internal_) {
+    QueryLatencyHistogram()->Record(outcome.queue_seconds +
+                                    outcome.run_seconds);
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      TenantServingStats& tenant = stats_.tenants[ticket->tenant_];
+      if (outcome.status.ok()) {
+        ++stats_.completed_ok;
+        ++tenant.completed_ok;
+      } else if (outcome.shed) {
+        ++tenant.shed;
+        switch (outcome.status.code()) {
+          case StatusCode::kDeadlineExceeded:
+            ++stats_.shed_deadline;
+            break;
+          case StatusCode::kResourceExhausted:
+            ++stats_.shed_evicted;
+            break;
+          default:
+            ++stats_.shed_cancelled;
+            break;
+        }
       } else {
-        ++stats_.shed_cancelled;
+        ++stats_.failed;
+        ++tenant.failed;
+      }
+    }
+    if (outcome.status.ok()) {
+      CompletedOkCounter()->Increment();
+    } else if (outcome.shed) {
+      switch (outcome.status.code()) {
+        case StatusCode::kDeadlineExceeded:
+          ShedDeadlineCounter()->Increment();
+          break;
+        case StatusCode::kResourceExhausted:
+          ShedEvictedCounter()->Increment();
+          break;
+        default:
+          ShedCancelledCounter()->Increment();
+          break;
       }
     } else {
-      ++stats_.failed;
+      FailedCounter()->Increment();
     }
   }
-  if (outcome.status.ok()) {
-    CompletedOkCounter()->Increment();
-  } else if (outcome.shed) {
-    if (outcome.status.code() == StatusCode::kDeadlineExceeded) {
-      ShedDeadlineCounter()->Increment();
-    } else {
-      ShedCancelledCounter()->Increment();
-    }
-  } else {
-    FailedCounter()->Increment();
-  }
+  if (ticket->on_resolve_) ticket->on_resolve_(outcome);
   ticket->Finish(std::move(outcome));
   {
     std::lock_guard<std::mutex> lock(drain_mu_);
@@ -234,17 +718,28 @@ void ServingRunner::RunQuery(engines::AnalyticsEngine* engine,
   QueryOutcome outcome;
   outcome.query_id = ctx.query_id();
   outcome.label = ctx.label();
+  outcome.tenant = ticket->tenant_;
   outcome.queue_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     ticket->submitted_at_)
           .count();
-  QueueLatencyHistogram()->Record(outcome.queue_seconds);
+  if (!ticket->internal_) {
+    QueueLatencyHistogram()->Record(outcome.queue_seconds);
+  }
 
   // A query whose deadline expired (or that was cancelled) while queued
-  // is shed without touching the engine.
+  // is shed without touching the engine — with the reason spelled out.
   Status admission = ctx.CheckNotStopped();
   if (!admission.ok()) {
-    outcome.status = std::move(admission);
+    outcome.status =
+        admission.code() == StatusCode::kDeadlineExceeded
+            ? Status::DeadlineExceeded(StringPrintf(
+                  "deadline expired while queued (%.1f ms in queue): "
+                  "query '%s' shed",
+                  outcome.queue_seconds * 1e3, ctx.label().c_str()))
+            : Status::Cancelled(
+                  StringPrintf("cancelled while queued: query '%s' shed",
+                               ctx.label().c_str()));
     outcome.shed = true;
     ResolveTicket(ticket, std::move(outcome));
     return;
@@ -252,13 +747,17 @@ void ServingRunner::RunQuery(engines::AnalyticsEngine* engine,
 
   Stopwatch run_timer;
   Result<engines::RunReport> report = engines::RunTaskOnEngine(
-      engine, ctx, ticket->options_, options_.threads_per_query,
-      /*sample_memory=*/false, /*keep_outputs=*/options_.keep_results);
+      engine, ctx, ticket->options_, /*keep_outputs=*/options_.keep_results);
   outcome.run_seconds = run_timer.ElapsedSeconds();
   if (report.ok()) {
     outcome.status = Status::OK();
     outcome.stages = std::move(report->stages);
-    if (options_.keep_results) outcome.results = std::move(report->results);
+    if (options_.keep_results) {
+      outcome.results = std::move(report->results);
+      if (ticket->household_ != QueryRequest::kAllHouseholds) {
+        FilterResultsToHousehold(ticket->household_, &outcome.results);
+      }
+    }
   } else {
     outcome.status = report.status();
     // Deadline/cancel surfacing from inside the kernels is a shed, not
@@ -270,9 +769,11 @@ void ServingRunner::RunQuery(engines::AnalyticsEngine* engine,
   ResolveTicket(ticket, std::move(outcome));
 }
 
-void ServingRunner::DispatchLoop(engines::AnalyticsEngine* engine) {
+void ServingRunner::DispatchLoop(engines::AnalyticsEngine* engine,
+                                 size_t shard_index) {
+  Shard* shard = shards_[shard_index].get();
   for (;;) {
-    std::shared_ptr<QueryTicket> ticket = NextQuery();
+    std::shared_ptr<QueryTicket> ticket = NextQuery(shard);
     if (ticket == nullptr) return;
     SM_TRACE_SPAN("serving.query");
     RunQuery(engine, ticket);
@@ -288,34 +789,49 @@ void ServingRunner::Shutdown() {
   std::vector<std::thread> to_join;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (shutting_down_ && dispatchers_.empty()) return;
-    shutting_down_ = true;
-    // Cancel whatever is still queued so dispatchers shed it quickly
-    // instead of running long queries during teardown.
-    for (auto& queue : queues_) {
-      for (const auto& ticket : queue) ticket->RequestCancel();
+    if (shutting_down_.load(std::memory_order_acquire) &&
+        dispatchers_.empty()) {
+      return;
     }
+    shutting_down_.store(true, std::memory_order_release);
     to_join.swap(dispatchers_);
   }
-  queue_cv_.notify_all();
+  // Cancel whatever is still queued so dispatchers shed it quickly
+  // instead of running long queries during teardown.
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (PriorityClass& cls : shard->classes) {
+      for (auto& [tenant, tq] : cls.tenants) {
+        for (const auto& ticket : tq.tickets) ticket->RequestCancel();
+      }
+    }
+    shard->cv.notify_all();
+  }
   for (std::thread& t : to_join) {
     if (t.joinable()) t.join();
   }
   // With no sessions (or none left), queued tickets have no dispatcher
   // to shed them; resolve them here so waiters never hang.
   std::vector<std::shared_ptr<QueryTicket>> stranded;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    for (auto& queue : queues_) {
-      for (auto& ticket : queue) stranded.push_back(std::move(ticket));
-      queue.clear();
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (PriorityClass& cls : shard->classes) {
+      for (auto& [tenant, tq] : cls.tenants) {
+        for (auto& ticket : tq.tickets) stranded.push_back(std::move(ticket));
+        tq.tickets.clear();
+        tq.in_ring = false;
+        tq.credits = 0;
+      }
+      cls.ring.clear();
     }
-    queued_ = 0;
+    shard->queued = 0;
+    shard->tenant_queued.clear();
   }
   for (const auto& ticket : stranded) {
     QueryOutcome outcome;
     outcome.query_id = ticket->context_.query_id();
     outcome.label = ticket->context_.label();
+    outcome.tenant = ticket->tenant_;
     outcome.status = Status::Cancelled(
         "serving runner shut down before query dispatched");
     outcome.shed = true;

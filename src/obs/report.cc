@@ -56,6 +56,23 @@ JsonValue RunToJson(const RunRecord& run) {
     serving.Set("p50_seconds", JsonValue(run.p50_seconds));
     serving.Set("p99_seconds", JsonValue(run.p99_seconds));
     serving.Set("queries_per_second", JsonValue(run.queries_per_second));
+    // Sharding fields appear only for sharded multi-tenant runs, so
+    // earlier serving reports stay byte-stable.
+    if (run.shards != 0) serving.Set("shards", JsonValue(run.shards));
+    if (!run.tenants.empty()) {
+      JsonValue tenants = JsonValue::Array();
+      for (const TenantRow& tenant : run.tenants) {
+        JsonValue row = JsonValue::Object();
+        row.Set("tenant", JsonValue(tenant.tenant));
+        row.Set("submitted", JsonValue(tenant.submitted));
+        row.Set("queries_ok", JsonValue(tenant.queries_ok));
+        row.Set("queries_shed", JsonValue(tenant.queries_shed));
+        row.Set("shed_rate", JsonValue(tenant.shed_rate));
+        row.Set("p99_seconds", JsonValue(tenant.p99_seconds));
+        tenants.Append(std::move(row));
+      }
+      serving.Set("tenants", std::move(tenants));
+    }
     j.Set("serving", std::move(serving));
   }
   return j;
@@ -110,6 +127,21 @@ RunRecord RunFromJson(const JsonValue& j) {
     run.p50_seconds = serving.Get("p50_seconds").AsDouble();
     run.p99_seconds = serving.Get("p99_seconds").AsDouble();
     run.queries_per_second = serving.Get("queries_per_second").AsDouble();
+    if (serving.Has("shards")) {
+      run.shards = static_cast<int>(serving.Get("shards").AsInt());
+    }
+    if (serving.Has("tenants")) {
+      for (const JsonValue& row : serving.Get("tenants").items()) {
+        TenantRow tenant;
+        tenant.tenant = row.Get("tenant").AsString();
+        tenant.submitted = row.Get("submitted").AsInt();
+        tenant.queries_ok = row.Get("queries_ok").AsInt();
+        tenant.queries_shed = row.Get("queries_shed").AsInt();
+        tenant.shed_rate = row.Get("shed_rate").AsDouble();
+        tenant.p99_seconds = row.Get("p99_seconds").AsDouble();
+        run.tenants.push_back(std::move(tenant));
+      }
+    }
   }
   return run;
 }

@@ -29,6 +29,17 @@ struct StageRow {
   int64_t speculative_wins = 0;
 };
 
+/// One tenant's slice of a serving run (multi-tenant benchmarks).
+struct TenantRow {
+  std::string tenant;
+  int64_t submitted = 0;
+  int64_t queries_ok = 0;
+  int64_t queries_shed = 0;
+  /// shed / submitted (0 when nothing was submitted).
+  double shed_rate = 0.0;
+  double p99_seconds = 0.0;
+};
+
 struct RunRecord {
   std::string engine;
   std::string task;
@@ -59,6 +70,11 @@ struct RunRecord {
   double p50_seconds = 0.0;
   double p99_seconds = 0.0;
   double queries_per_second = 0.0;
+  /// Sharded-serving fields: shard count and per-tenant breakdowns.
+  /// Zero / empty suppresses the JSON keys, so single-shard and
+  /// pre-sharding serving reports round-trip unchanged.
+  int shards = 0;
+  std::vector<TenantRow> tenants;
 };
 
 /// Accumulates one process's benchmark observations — run records, a

@@ -353,6 +353,54 @@ TEST(BenchReportTest, JsonRoundTripPreservesEverything) {
   EXPECT_EQ(restored.ToJsonString(), report.ToJsonString());
 }
 
+TEST(BenchReportTest, ServingTenantRowsRoundTrip) {
+  BenchReport report;
+  RunRecord run = MakeRecord();
+  run.outcome = "ok";
+  run.clients = 3;
+  run.queries_ok = 90;
+  run.queries_shed = 10;
+  run.p99_seconds = 0.25;
+  run.queries_per_second = 120.0;
+  run.shards = 4;
+  run.tenants.push_back({"hostile", 60, 40, 20, 20.0 / 60.0, 0.4});
+  run.tenants.push_back({"polite", 40, 40, 0, 0.0, 0.1});
+  report.AddRun(run);
+
+  JsonValue json = report.ToJson();
+  BenchReport restored;
+  std::string error;
+  ASSERT_TRUE(BenchReport::FromJson(json, &restored, &error)) << error;
+  ASSERT_EQ(restored.runs().size(), 1u);
+  const RunRecord& out = restored.runs()[0];
+  EXPECT_EQ(out.shards, 4);
+  ASSERT_EQ(out.tenants.size(), 2u);
+  EXPECT_EQ(out.tenants[0].tenant, "hostile");
+  EXPECT_EQ(out.tenants[0].queries_shed, 20);
+  EXPECT_DOUBLE_EQ(out.tenants[0].shed_rate, 20.0 / 60.0);
+  EXPECT_EQ(out.tenants[1].tenant, "polite");
+  EXPECT_DOUBLE_EQ(out.tenants[1].p99_seconds, 0.1);
+  EXPECT_EQ(restored.ToJsonString(), report.ToJsonString());
+}
+
+TEST(BenchReportTest, ServingBlockWithoutShardingKeysRoundTrips) {
+  // A pre-sharding serving record must serialize without the new keys.
+  BenchReport report;
+  RunRecord run = MakeRecord();
+  run.outcome = "ok";
+  run.queries_ok = 5;
+  report.AddRun(run);
+  JsonValue json = report.ToJson();
+  const JsonValue& serving = json.Get("runs").items()[0].Get("serving");
+  EXPECT_FALSE(serving.Has("shards"));
+  EXPECT_FALSE(serving.Has("tenants"));
+  BenchReport restored;
+  std::string error;
+  ASSERT_TRUE(BenchReport::FromJson(json, &restored, &error)) << error;
+  EXPECT_EQ(restored.runs()[0].shards, 0);
+  EXPECT_TRUE(restored.runs()[0].tenants.empty());
+}
+
 TEST(BenchReportTest, FromJsonRejectsWrongSchema) {
   JsonValue json = JsonValue::Object();
   json.Set("schema", JsonValue("not-a-bench-report"));

@@ -17,6 +17,7 @@
 #include "engines/spark_engine.h"
 #include "engines/systemc_engine.h"
 #include "exec/plan.h"
+#include "exec/plan_executor.h"
 #include "storage/csv.h"
 #include "timeseries/calendar.h"
 
@@ -358,6 +359,96 @@ TEST_F(PlanTest, DeadlineDuringRetryBackoffShedsCleanly) {
   EXPECT_EQ(metrics.status().code(), StatusCode::kDeadlineExceeded)
       << metrics.status().ToString();
   EXPECT_TRUE(results.empty());  // Clean shed, nothing half-merged.
+}
+
+// ---------------------------------------------------------------------------
+// Row scopes and scatter-gather
+// ---------------------------------------------------------------------------
+
+TEST_F(PlanTest, ScopedPartialsGatherBitIdenticalToFullRun) {
+  // The serving layer's scatter path: run each task over two disjoint
+  // row slices of the same table, gather the partials through the plan
+  // IR's Materialize + Merge stages, and require the result to match an
+  // unscoped run bit for bit.
+  SystemCEngine engine((*dir_ / "spool_scope").string());
+  ASSERT_TRUE(engine.Attach(*DataSource::SingleCsv(single_csv_)).ok());
+  for (core::TaskType task : core::kAllTasks) {
+    SCOPED_TRACE(core::TaskName(task));
+    TaskResultSet baseline;
+    ASSERT_TRUE(engine.RunTask(TaskOptions::Default(task), &baseline).ok());
+
+    std::vector<TaskResultSet> partials(2);
+    TaskOptions low = TaskOptions::Default(task);
+    low.set_scope({0, kHouseholds / 2});
+    ASSERT_TRUE(engine.RunTask(low, &partials[0]).ok());
+    TaskOptions high = TaskOptions::Default(task);
+    high.set_scope({kHouseholds / 2, 0});  // count 0 = through the last row.
+    ASSERT_TRUE(engine.RunTask(high, &partials[1]).ok());
+    ASSERT_EQ(partials[0].size() + partials[1].size(), baseline.size());
+
+    TaskResultSet gathered;
+    exec::PlanExecutor executor;
+    auto metrics =
+        executor.RunGather(exec::QueryContext::Background(),
+                           std::move(partials),
+                           /*sort_by_household=*/true, &gathered);
+    ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+    ASSERT_EQ(metrics->stages.size(), 2u);
+    EXPECT_EQ(metrics->stages[0].name, "materialize");
+    EXPECT_EQ(metrics->stages[1].name, "merge");
+    ExpectBitIdentical(gathered, baseline, task);
+  }
+}
+
+TEST_F(PlanTest, ScopedKernelRendersScopeInPlanGolden) {
+  SystemCEngine engine((*dir_ / "spool_scope_golden").string());
+  ASSERT_TRUE(engine.Attach(*DataSource::SingleCsv(single_csv_)).ok());
+  TaskOptions options = TaskOptions::Default(core::TaskType::kHistogram);
+  options.set_scope({3, 0});
+  auto plan = engine.BuildPlan(options);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NE(plan->DebugString().find("kernel[histogram scope=3+rest]"),
+            std::string::npos)
+      << plan->DebugString();
+}
+
+TEST_F(PlanTest, SeriesPlanRejectsRowScope) {
+  // The per-file series path re-partitions by household and loses row
+  // positions, so a scoped request must be rejected, not half-honored.
+  MatlabEngine engine;
+  ASSERT_TRUE(
+      engine.Attach(*DataSource::PartitionedDir(*partitioned_files_)).ok());
+  TaskOptions options = TaskOptions::Default(core::TaskType::kHistogram);
+  options.set_scope({0, 3});
+  TaskResultSet results;
+  auto metrics = engine.RunTask(options, &results);
+  ASSERT_FALSE(metrics.ok());
+  EXPECT_EQ(metrics.status().code(), StatusCode::kNotSupported)
+      << metrics.status().ToString();
+}
+
+TEST_F(PlanTest, GatherSkipsEmptyPartials) {
+  // A shard whose slice is empty contributes a monostate partial; the
+  // gather must pass it through without disturbing the merged order.
+  SystemCEngine engine((*dir_ / "spool_gather_empty").string());
+  ASSERT_TRUE(engine.Attach(*DataSource::SingleCsv(single_csv_)).ok());
+  TaskResultSet baseline;
+  ASSERT_TRUE(
+      engine.RunTask(TaskOptions::Default(core::TaskType::kHistogram),
+                     &baseline)
+          .ok());
+  std::vector<TaskResultSet> partials(3);  // [0] and [2] stay monostate.
+  ASSERT_TRUE(
+      engine.RunTask(TaskOptions::Default(core::TaskType::kHistogram),
+                     &partials[1])
+          .ok());
+  TaskResultSet gathered;
+  exec::PlanExecutor executor;
+  auto metrics = executor.RunGather(exec::QueryContext::Background(),
+                                    std::move(partials),
+                                    /*sort_by_household=*/true, &gathered);
+  ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+  ExpectBitIdentical(gathered, baseline, core::TaskType::kHistogram);
 }
 
 }  // namespace
