@@ -4,8 +4,13 @@
 // every figure.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <span>
+#include <string>
+
 #include "common/rng.h"
 #include "core/histogram_task.h"
+#include "simd/simd.h"
 #include "core/par_task.h"
 #include "core/similarity_task.h"
 #include "core/three_line_task.h"
@@ -163,6 +168,130 @@ void BM_TopKSimilarity(benchmark::State& state) {
   state.SetComplexityN(n);
 }
 BENCHMARK(BM_TopKSimilarity)->Arg(16)->Arg(32)->Arg(64)->Complexity(benchmark::oNSquared);
+
+// ---------------------------------------------------------------------------
+// Vector-vs-scalar panels for the SIMD layer. Each kernel appears twice:
+// the dispatched (widest available) path and the same call pinned to the
+// scalar backend via ScopedLevel, so `--benchmark_filter=Simd` prints the
+// speedup table that EXPERIMENTS.md quotes. On a scalar-only host or an
+// SM_DISABLE_SIMD build both rows measure the same code.
+// ---------------------------------------------------------------------------
+
+simd::Level PanelLevel(int64_t scalar) {
+  return scalar != 0 ? simd::Level::kScalar : simd::DetectedLevel();
+}
+
+void BM_SimdDot8760(benchmark::State& state) {
+  const simd::ScopedLevel guard(PanelLevel(state.range(0)));
+  const std::vector<double> x = RandomSeries(kHoursPerYear, 21);
+  const std::vector<double> y = RandomSeries(kHoursPerYear, 22);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simd::Dot(x, y));
+  }
+  state.SetLabel(std::string(simd::LevelName(simd::ActiveLevel())));
+}
+BENCHMARK(BM_SimdDot8760)->Arg(0)->Arg(1);
+
+void BM_SimdHistogramBin8760(benchmark::State& state) {
+  const simd::ScopedLevel guard(PanelLevel(state.range(0)));
+  const std::vector<double> v = RandomSeries(kHoursPerYear, 23);
+  std::vector<int64_t> counts(32);
+  for (auto _ : state) {
+    std::fill(counts.begin(), counts.end(), 0);
+    simd::HistogramBin(v, 0.0, 5.0 / 32.0, counts);
+    benchmark::DoNotOptimize(counts.data());
+  }
+  state.SetLabel(std::string(simd::LevelName(simd::ActiveLevel())));
+}
+BENCHMARK(BM_SimdHistogramBin8760)->Arg(0)->Arg(1);
+
+void BM_SimdSelectBands8760(benchmark::State& state) {
+  const simd::ScopedLevel guard(PanelLevel(state.range(0)));
+  const std::vector<double> values = RandomSeries(kHoursPerYear, 24);
+  const std::vector<double> temps = RandomSeries(kHoursPerYear, 25);
+  std::vector<int32_t> bins(kHoursPerYear);
+  simd::BinIndicesInt32(temps, 0.25, bins);
+  // 20 dense bins covering [0, 5): thresholds bracketing the middle of
+  // the uniform consumption range, so both bands stay busy.
+  std::vector<double> lo_table(20, 2.0);
+  std::vector<double> hi_table(20, 3.0);
+  std::vector<int32_t> lo_idx;
+  std::vector<int32_t> hi_idx;
+  for (auto _ : state) {
+    lo_idx.clear();
+    hi_idx.clear();
+    simd::SelectBands(values, bins, 0, lo_table, hi_table, &lo_idx, &hi_idx);
+    benchmark::DoNotOptimize(lo_idx.data());
+    benchmark::DoNotOptimize(hi_idx.data());
+  }
+  state.SetLabel(std::string(simd::LevelName(simd::ActiveLevel())));
+}
+BENCHMARK(BM_SimdSelectBands8760)->Arg(0)->Arg(1);
+
+void BM_SimdAddResidualYear(benchmark::State& state) {
+  const simd::ScopedLevel guard(PanelLevel(state.range(0)));
+  const std::vector<double> c = RandomSeries(kHoursPerYear, 26);
+  const std::vector<double> t = RandomSeries(kHoursPerYear, 27);
+  const std::vector<double> beta = RandomSeries(kHoursPerDay, 28);
+  std::vector<double> acc(kHoursPerDay, 0.0);
+  const std::span<const double> cs(c);
+  const std::span<const double> ts(t);
+  for (auto _ : state) {
+    std::fill(acc.begin(), acc.end(), 0.0);
+    for (int day = 0; day < kDaysPerYear; ++day) {
+      const size_t t0 = static_cast<size_t>(day) * kHoursPerDay;
+      simd::AddResidual(acc, cs.subspan(t0, kHoursPerDay),
+                        ts.subspan(t0, kHoursPerDay), beta);
+    }
+    benchmark::DoNotOptimize(acc.data());
+  }
+  state.SetLabel(std::string(simd::LevelName(simd::ActiveLevel())));
+}
+BENCHMARK(BM_SimdAddResidualYear)->Arg(0)->Arg(1);
+
+std::string RandomCsvChunk(size_t rows, uint64_t seed) {
+  Rng rng(seed);
+  std::string text;
+  for (size_t r = 0; r < rows; ++r) {
+    text += std::to_string(rng.UniformInt(100000));
+    text += ',';
+    text += std::to_string(rng.UniformInt(8760));
+    text += ',';
+    text += std::to_string(rng.Uniform(0.0, 5.0));
+    text += ',';
+    text += std::to_string(rng.Uniform(-20.0, 35.0));
+    text += '\n';
+  }
+  return text;
+}
+
+void BM_SimdFindNewlines64K(benchmark::State& state) {
+  const simd::ScopedLevel guard(PanelLevel(state.range(0)));
+  const std::string chunk = RandomCsvChunk(2048, 29);
+  for (auto _ : state) {
+    size_t lines = 0;
+    size_t pos = 0;
+    while (pos < chunk.size()) {
+      const size_t nl = simd::FindByte(chunk, pos, '\n');
+      if (nl == std::string::npos) break;
+      ++lines;
+      pos = nl + 1;
+    }
+    benchmark::DoNotOptimize(lines);
+  }
+  state.SetLabel(std::string(simd::LevelName(simd::ActiveLevel())));
+}
+BENCHMARK(BM_SimdFindNewlines64K)->Arg(0)->Arg(1);
+
+void BM_SimdCountByte64K(benchmark::State& state) {
+  const simd::ScopedLevel guard(PanelLevel(state.range(0)));
+  const std::string chunk = RandomCsvChunk(2048, 30);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simd::CountByte(chunk, ','));
+  }
+  state.SetLabel(std::string(simd::LevelName(simd::ActiveLevel())));
+}
+BENCHMARK(BM_SimdCountByte64K)->Arg(0)->Arg(1);
 
 }  // namespace
 

@@ -10,15 +10,19 @@
 // Typical CI invocation:
 //   bench_smoke --hours=240 --report=bench_report.json
 //       --baseline=../bench/BENCH_baseline.json
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "bench_common.h"
+#include "common/rng.h"
 #include "common/stopwatch.h"
 #include "engines/benchmark_runner.h"
 #include "obs/report.h"
+#include "simd/simd.h"
 #include "table/columnar_cache.h"
+#include "timeseries/calendar.h"
 
 namespace smartmeter::bench {
 namespace {
@@ -158,6 +162,97 @@ int RunSmoke(int argc, char** argv) {
                    "DATA-PLANE REGRESSION: warm cache scan (%.6fs) did not "
                    "beat cold CSV parse (%.6fs)\n",
                    warm_seconds, cold_seconds);
+      return 1;
+    }
+  }
+
+  // SIMD gate: the dispatched kernels must beat their scalar twins when a
+  // vector level is active. The 1.2x floor is deliberately below the
+  // steady-state speedups (see EXPERIMENTS.md) so scheduler noise on
+  // loaded CI hosts does not flake the job; on a scalar-only host (or an
+  // SM_DISABLE_SIMD build) the gate is informational only.
+  {
+    const simd::Level level = simd::ActiveLevel();
+    const size_t n = static_cast<size_t>(kHoursPerYear);
+    Rng rng(41);
+    std::vector<double> x(n);
+    std::vector<double> y(n);
+    for (size_t i = 0; i < n; ++i) {
+      x[i] = rng.Uniform(0.0, 5.0);
+      y[i] = rng.Uniform(0.0, 5.0);
+    }
+    std::string text;
+    for (int r = 0; r < 2048; ++r) {
+      text += "12345,4821,1.2345,-12.50\n";
+    }
+
+    // Best-of-three timing of `reps` calls keeps the one-core CI host
+    // from turning a single preemption into a gate failure.
+    const auto time_best = [](int reps, const auto& body) {
+      double best = 1e300;
+      for (int trial = 0; trial < 3; ++trial) {
+        Stopwatch watch;
+        for (int i = 0; i < reps; ++i) body();
+        best = std::min(best, watch.ElapsedSeconds());
+      }
+      return best;
+    };
+
+    struct Panel {
+      const char* task;
+      double vector_seconds;
+      double scalar_seconds;
+    };
+    std::vector<Panel> panels;
+
+    // Volatile sinks keep the optimizer from eliding the timed calls.
+    volatile double sink = 0.0;
+    const auto dot_body = [&] { sink = sink + simd::Dot(x, y); };
+    std::vector<int64_t> counts(32);
+    const auto hist_body = [&] {
+      std::fill(counts.begin(), counts.end(), 0);
+      simd::HistogramBin(x, 0.0, 5.0 / 32.0, counts);
+      sink = sink + static_cast<double>(counts[0]);
+    };
+    const auto count_body = [&] {
+      sink = sink + static_cast<double>(simd::CountByte(text, ','));
+    };
+
+    const auto run_panel = [&](const char* task, int reps,
+                               const auto& body) {
+      const double vec = time_best(reps, body);
+      double scal = vec;
+      {
+        const simd::ScopedLevel guard(simd::Level::kScalar);
+        scal = time_best(reps, body);
+      }
+      panels.push_back({task, vec, scal});
+    };
+    run_panel("simd-dot", 2000, dot_body);
+    run_panel("simd-histogram", 2000, hist_body);
+    run_panel("simd-count-byte", 2000, count_body);
+
+    int fast_enough = 0;
+    for (const Panel& p : panels) {
+      const double speedup =
+          p.vector_seconds > 0.0 ? p.scalar_seconds / p.vector_seconds : 1.0;
+      if (speedup >= 1.2) ++fast_enough;
+      obs::RunRecord rec;
+      rec.engine = "simd";
+      rec.task = p.task;
+      rec.layout = std::string(simd::LevelName(level));
+      rec.task_seconds = p.vector_seconds;
+      ctx.report().AddRun(rec);
+      PrintRow({"simd", p.task, Cell(p.scalar_seconds),
+                Cell(p.vector_seconds),
+                std::string(simd::LevelName(level))});
+    }
+    if (level != simd::Level::kScalar && fast_enough < 2) {
+      std::fprintf(stderr,
+                   "SIMD GATE: only %d of %zu kernels reached 1.2x over "
+                   "scalar at level %s\n",
+                   fast_enough, panels.size(),
+                   std::string(simd::LevelName(level)).c_str());
       return 1;
     }
   }

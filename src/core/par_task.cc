@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/string_util.h"
+#include "simd/simd.h"
 #include "stats/matrix.h"
 #include "timeseries/calendar.h"
 
@@ -36,7 +37,7 @@ Result<DailyProfileResult> ComputeDailyProfile(
   result.coefficients.resize(kHoursPerDay);
   result.temperature_beta.assign(kHoursPerDay, 0.0);
 
-  // One regression per hour of day: the "periodic" in PAR.
+  // Phase A — one regression per hour of day: the "periodic" in PAR.
   stats::Matrix x(static_cast<size_t>(usable_days),
                   static_cast<size_t>(num_coeffs));
   std::vector<double> y(static_cast<size_t>(usable_days));
@@ -55,21 +56,28 @@ Result<DailyProfileResult> ComputeDailyProfile(
     }
     SM_ASSIGN_OR_RETURN(std::vector<double> beta,
                         stats::LeastSquares(x, y));
-    const double temp_beta = beta[static_cast<size_t>(p) + 1];
-
-    // Temperature-independent consumption at this hour: the observation
-    // with the temperature contribution removed, averaged over days.
-    double acc = 0.0;
-    for (int d = p; d < days; ++d) {
-      const size_t t = static_cast<size_t>(d * kHoursPerDay + hour);
-      acc += consumption[t] - temp_beta * temperature[t];
-    }
-    double value = acc / static_cast<double>(usable_days);
-    if (options.clamp_nonnegative) value = std::max(0.0, value);
-
-    result.profile[static_cast<size_t>(hour)] = value;
-    result.temperature_beta[static_cast<size_t>(hour)] = temp_beta;
+    result.temperature_beta[static_cast<size_t>(hour)] =
+        beta[static_cast<size_t>(p) + 1];
     result.coefficients[static_cast<size_t>(hour)] = std::move(beta);
+  }
+
+  // Phase B — temperature-independent consumption per hour: strip the
+  // temperature contribution from every reading and average over days.
+  // Each day is a contiguous 24-element slab, so the residual update
+  // vectorizes without gathers, and each hour slot still accumulates in
+  // ascending-day order — bit-identical to the old per-hour loop.
+  std::vector<double> acc(kHoursPerDay, 0.0);
+  for (int d = p; d < days; ++d) {
+    const size_t t0 = static_cast<size_t>(d) * kHoursPerDay;
+    simd::AddResidual(acc, consumption.subspan(t0, kHoursPerDay),
+                      temperature.subspan(t0, kHoursPerDay),
+                      result.temperature_beta);
+  }
+  for (int hour = 0; hour < kHoursPerDay; ++hour) {
+    double value =
+        acc[static_cast<size_t>(hour)] / static_cast<double>(usable_days);
+    if (options.clamp_nonnegative) value = std::max(0.0, value);
+    result.profile[static_cast<size_t>(hour)] = value;
   }
   return result;
 }

@@ -52,7 +52,9 @@ Result<std::vector<SimilarityResult>> ComputeSimilarityTopKRange(
     }
     SimilarityResult result;
     result.household_id = series[q].household_id;
-    for (const auto& entry : top.Sorted()) {
+    const auto sorted = top.Sorted();
+    result.matches.reserve(sorted.size());
+    for (const auto& entry : sorted) {
       result.matches.push_back({entry.id, entry.score});
     }
     results.push_back(std::move(result));
@@ -127,7 +129,9 @@ Result<std::vector<SimilarityResult>> ComputeSimilarityTopKApprox(
     }
     SimilarityResult result;
     result.household_id = series[q].household_id;
-    for (const auto& entry : top.Sorted()) {
+    const auto sorted = top.Sorted();
+    result.matches.reserve(sorted.size());
+    for (const auto& entry : sorted) {
       result.matches.push_back({entry.id, entry.score});
     }
     results.push_back(std::move(result));

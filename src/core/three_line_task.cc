@@ -8,6 +8,7 @@
 
 #include "common/stopwatch.h"
 #include "common/string_util.h"
+#include "simd/simd.h"
 #include "stats/quantile.h"
 
 namespace smartmeter::core {
@@ -175,17 +176,22 @@ Result<ThreeLineResult> ComputeThreeLine(std::span<const double> consumption,
 
   // ---- T1: 10th/90th consumption percentile per temperature bin --------
   Stopwatch t1_clock;
-  std::map<int64_t, std::vector<double>> bins;
-  auto bin_of = [&options](double t) {
-    return static_cast<int64_t>(
-        std::floor(t / options.temperature_bin_width));
-  };
+  // One vectorized pass computes every reading's temperature bin up
+  // front. Non-finite or out-of-range temperatures saturate to the
+  // INT32_MIN sentinel bin (the old per-reading float->int64 cast was
+  // undefined for them); the sentinel bin never defines thresholds, so
+  // junk readings fall out of the band selection below.
+  std::vector<int32_t> bin_idx(consumption.size());
+  simd::BinIndicesInt32(temperature, options.temperature_bin_width, bin_idx);
+  constexpr int32_t kJunkBin = std::numeric_limits<int32_t>::min();
+  std::map<int32_t, std::vector<double>> bins;
   for (size_t i = 0; i < consumption.size(); ++i) {
-    bins[bin_of(temperature[i])].push_back(consumption[i]);
+    bins[bin_idx[i]].push_back(consumption[i]);
   }
   // Per retained bin: the p10/p90 thresholds that define the two bands.
-  std::map<int64_t, std::pair<double, double>> thresholds;
+  std::map<int32_t, std::pair<double, double>> thresholds;
   for (auto& [bin, values] : bins) {
+    if (bin == kJunkBin) continue;
     if (static_cast<int>(values.size()) < options.min_points_per_bin) {
       continue;
     }
@@ -209,19 +215,78 @@ Result<ThreeLineResult> ComputeThreeLine(std::span<const double> consumption,
   // below the 10th), not to a single summary point per bin.
   Stopwatch t2_clock;
   std::vector<BandPoint> high_points, low_points;
-  high_points.reserve(consumption.size() / 8);
-  low_points.reserve(consumption.size() / 8);
-  for (size_t i = 0; i < consumption.size(); ++i) {
-    auto it = thresholds.find(bin_of(temperature[i]));
-    if (it == thresholds.end()) continue;  // Sparse bin, dropped in T1.
-    const auto& [lo, hi] = it->second;
-    if (consumption[i] >= hi) {
+  size_t high_reserved = 0;
+  size_t low_reserved = 0;
+  const int32_t base = thresholds.begin()->first;
+  const int64_t span =
+      static_cast<int64_t>(thresholds.rbegin()->first) - base + 1;
+  // Dense NaN-filled threshold tables let the selection kernel gather by
+  // bin; bins dropped in T1 stay NaN and their compares select nothing.
+  // Cap the table size so an adversarially tiny bin width over a wide
+  // temperature range cannot blow up memory.
+  constexpr int64_t kMaxDenseSpan = int64_t{1} << 16;
+  if (span <= kMaxDenseSpan) {
+    constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+    std::vector<double> lo_table(static_cast<size_t>(span), kNaN);
+    std::vector<double> hi_table(static_cast<size_t>(span), kNaN);
+    for (const auto& [bin, lo_hi] : thresholds) {
+      lo_table[static_cast<size_t>(bin - base)] = lo_hi.first;
+      hi_table[static_cast<size_t>(bin - base)] = lo_hi.second;
+    }
+    // Count first, then reserve exactly: the old size()/8 heuristic
+    // reallocated repeatedly on skewed inputs where most readings land
+    // in a band (e.g. a near-constant series).
+    size_t lo_count = 0;
+    size_t hi_count = 0;
+    simd::CountBands(consumption, bin_idx, base, lo_table, hi_table,
+                     &lo_count, &hi_count);
+    std::vector<int32_t> lo_indices;
+    std::vector<int32_t> hi_indices;
+    lo_indices.reserve(lo_count);
+    hi_indices.reserve(hi_count);
+    simd::SelectBands(consumption, bin_idx, base, lo_table, hi_table,
+                      &lo_indices, &hi_indices);
+    high_points.reserve(hi_count);
+    low_points.reserve(lo_count);
+    high_reserved = high_points.capacity();
+    low_reserved = low_points.capacity();
+    for (const int32_t i : hi_indices) {
       high_points.push_back({temperature[i], consumption[i]});
     }
-    if (consumption[i] <= lo) {
+    for (const int32_t i : lo_indices) {
       low_points.push_back({temperature[i], consumption[i]});
     }
+  } else {
+    // Degenerate spread: fall back to map lookups, still counting before
+    // the reserve so the band vectors never reallocate.
+    size_t lo_count = 0;
+    size_t hi_count = 0;
+    for (size_t i = 0; i < consumption.size(); ++i) {
+      auto it = thresholds.find(bin_idx[i]);
+      if (it == thresholds.end()) continue;  // Sparse bin, dropped in T1.
+      if (consumption[i] >= it->second.second) ++hi_count;
+      if (consumption[i] <= it->second.first) ++lo_count;
+    }
+    high_points.reserve(hi_count);
+    low_points.reserve(lo_count);
+    high_reserved = high_points.capacity();
+    low_reserved = low_points.capacity();
+    for (size_t i = 0; i < consumption.size(); ++i) {
+      auto it = thresholds.find(bin_idx[i]);
+      if (it == thresholds.end()) continue;
+      const auto& [lo, hi] = it->second;
+      if (consumption[i] >= hi) {
+        high_points.push_back({temperature[i], consumption[i]});
+      }
+      if (consumption[i] <= lo) {
+        low_points.push_back({temperature[i], consumption[i]});
+      }
+    }
   }
+  const size_t band_reallocs =
+      (high_points.capacity() != high_reserved ? 1 : 0) +
+      (low_points.capacity() != low_reserved ? 1 : 0);
+  const size_t band_points = high_points.size() + low_points.size();
   std::sort(high_points.begin(), high_points.end());
   std::sort(low_points.begin(), low_points.end());
 
@@ -245,6 +310,8 @@ Result<ThreeLineResult> ComputeThreeLine(std::span<const double> consumption,
     phases->quantile_seconds += t1_seconds;
     phases->regression_seconds += t2_seconds;
     phases->adjust_seconds += t3_seconds;
+    phases->band_points += band_points;
+    phases->band_reallocs += band_reallocs;
   }
   return result;
 }

@@ -33,11 +33,18 @@ struct ThreeLinePhases {
   double quantile_seconds = 0.0;
   double regression_seconds = 0.0;
   double adjust_seconds = 0.0;
+  /// Band readings selected in T2 across all households.
+  size_t band_points = 0;
+  /// Times a band vector outgrew its reserved capacity. The counting
+  /// pass sizes the reserves exactly, so this stays 0; tests assert it.
+  size_t band_reallocs = 0;
 
   void Accumulate(const ThreeLinePhases& other) {
     quantile_seconds += other.quantile_seconds;
     regression_seconds += other.regression_seconds;
     adjust_seconds += other.adjust_seconds;
+    band_points += other.band_points;
+    band_reallocs += other.band_reallocs;
   }
 };
 

@@ -1,6 +1,7 @@
 #include "obs/json.h"
 
 #include <cctype>
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -208,10 +209,20 @@ class Parser {
       ++pos_;
     }
     if (pos_ == start) return Fail("expected a value");
-    const std::string token(text_.substr(start, pos_ - start));
-    char* end = nullptr;
-    const double value = std::strtod(token.c_str(), &end);
-    if (end == nullptr || *end != '\0') return Fail("malformed number");
+    std::string_view token = text_.substr(start, pos_ - start);
+    // from_chars, unlike the strtod this used, always parses with the
+    // "C" locale — a host locale with a ',' decimal separator cannot
+    // truncate "3.14" to 3. It also rejects a leading '+', which JSON
+    // forbids anyway.
+    if (!token.empty() && token.front() == '+') {
+      return Fail("malformed number");
+    }
+    double value = 0.0;
+    const auto [end, ec] =
+        std::from_chars(token.data(), token.data() + token.size(), value);
+    if (ec != std::errc() || end != token.data() + token.size()) {
+      return Fail("malformed number");
+    }
     *out = JsonValue(value);
     return true;
   }

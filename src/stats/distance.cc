@@ -3,24 +3,16 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "simd/simd.h"
 
 namespace smartmeter::stats {
 
 double Dot(std::span<const double> x, std::span<const double> y) {
   SM_CHECK(x.size() == y.size()) << "Dot: size mismatch";
-  // Four accumulators let the compiler vectorize without changing the
-  // rounding behaviour much; this is the hot loop of similarity search.
-  double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
-  size_t i = 0;
-  const size_t n4 = x.size() & ~size_t{3};
-  for (; i < n4; i += 4) {
-    a0 += x[i] * y[i];
-    a1 += x[i + 1] * y[i + 1];
-    a2 += x[i + 2] * y[i + 2];
-    a3 += x[i + 3] * y[i + 3];
-  }
-  for (; i < x.size(); ++i) a0 += x[i] * y[i];
-  return (a0 + a1) + (a2 + a3);
+  // The SIMD layer keeps the historical 4-lane striped accumulation
+  // order, so the vector path is bit-identical to what this function
+  // computed before; this is the hot loop of similarity search.
+  return simd::Dot(x, y);
 }
 
 double Norm(std::span<const double> x) { return std::sqrt(Dot(x, x)); }

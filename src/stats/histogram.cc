@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/string_util.h"
+#include "simd/simd.h"
 #include "stats/quantile.h"
 
 namespace smartmeter::stats {
@@ -29,9 +30,12 @@ Result<EquiWidthHistogram> BuildEquiWidthHistogram(
   if (values.empty()) {
     return Status::InvalidArgument("histogram of empty data");
   }
-  const auto [min_it, max_it] =
-      std::minmax_element(values.begin(), values.end());
-  return BuildFixedRangeHistogram(values, num_buckets, *min_it, *max_it);
+  // NaN-ignoring vector min/max; an all-NaN input yields {+inf, -inf},
+  // which the fixed-range validation below rejects.
+  double min = 0.0;
+  double max = 0.0;
+  simd::MinMax(values, &min, &max);
+  return BuildFixedRangeHistogram(values, num_buckets, min, max);
 }
 
 Result<EquiWidthHistogram> BuildFixedRangeHistogram(
@@ -50,21 +54,11 @@ Result<EquiWidthHistogram> BuildFixedRangeHistogram(
   hist.max = max;
   hist.counts.assign(static_cast<size_t>(num_buckets), 0);
   const double width = (max - min) / static_cast<double>(num_buckets);
-  for (double v : values) {
-    size_t bucket = 0;
-    if (width > 0.0) {
-      const double offset = (v - min) / width;
-      if (offset <= 0.0) {
-        bucket = 0;
-      } else if (offset >= static_cast<double>(num_buckets)) {
-        bucket = static_cast<size_t>(num_buckets - 1);
-      } else {
-        bucket = static_cast<size_t>(offset);
-        // Guard against the max value rounding into a one-past bucket.
-        bucket = std::min(bucket, static_cast<size_t>(num_buckets - 1));
-      }
-    }
-    ++hist.counts[bucket];
+  if (width > 0.0) {
+    simd::HistogramBin(values, min, width, hist.counts);
+  } else {
+    // Degenerate range (min == max): everything lands in bucket 0.
+    hist.counts[0] = static_cast<int64_t>(values.size());
   }
   return hist;
 }

@@ -18,7 +18,12 @@ class TopK {
     Id id;
   };
 
-  explicit TopK(size_t k) : k_(k) {}
+  explicit TopK(size_t k) : k_(k) {
+    // The heap never outgrows k, so one up-front reservation removes
+    // every later reallocation; the cap keeps an absurd k from
+    // allocating gigabytes before a single Offer.
+    heap_.reserve(std::min(k_, size_t{4096}));
+  }
 
   /// Offers a candidate. O(log k) amortized via a min-heap on score.
   void Offer(double score, Id id) {

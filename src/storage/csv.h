@@ -108,7 +108,11 @@ class ReadingCsvReader {
  private:
   std::string path_;
   FILE* file_ = nullptr;
+  /// Block buffer: Next() slices lines out of 64 KiB reads instead of
+  /// issuing one stdio call per row. buffer_[buffer_pos_..] is unread.
   std::string buffer_;
+  size_t buffer_pos_ = 0;
+  bool eof_ = false;
   size_t line_number_ = 0;
   Status status_;
 };

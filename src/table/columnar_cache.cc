@@ -1,5 +1,6 @@
 #include "table/columnar_cache.h"
 
+#include <cstdio>
 #include <filesystem>
 #include <string_view>
 #include <utility>
@@ -34,6 +35,32 @@ uint64_t FnvMixU64(uint64_t hash, uint64_t value) {
   return hash;
 }
 
+/// Mixes a bounded content sample — the first and last 4 KiB — into the
+/// hash. Filesystem mtimes tick in whole seconds on some systems, so a
+/// source rewritten within one tick keeps the same path+size+mtime
+/// triple; the sample makes such rewrites produce a different key
+/// (unless the edit is confined to the middle of a file that also kept
+/// its exact size, which no text regeneration path does).
+uint64_t FnvMixFileSample(uint64_t hash, const std::string& path) {
+  constexpr size_t kSample = 4096;
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return FnvMixU64(hash, 0);
+  char head[kSample];
+  const size_t head_read = std::fread(head, 1, kSample, f);
+  hash = FnvMix(hash, std::string_view(head, head_read));
+  if (std::fseek(f, 0, SEEK_END) == 0) {
+    const long end = std::ftell(f);
+    if (end > static_cast<long>(2 * kSample) &&
+        std::fseek(f, end - static_cast<long>(kSample), SEEK_SET) == 0) {
+      char tail[kSample];
+      const size_t tail_read = std::fread(tail, 1, kSample, f);
+      hash = FnvMix(hash, std::string_view(tail, tail_read));
+    }
+  }
+  std::fclose(f);
+  return hash;
+}
+
 }  // namespace
 
 ColumnarCache::ColumnarCache(std::string cache_dir)
@@ -52,6 +79,7 @@ uint64_t ColumnarCache::KeyFor(const DataSource& source, uint64_t seed) {
     hash = FnvMixU64(
         hash, ec ? 0
                  : static_cast<uint64_t>(mtime.time_since_epoch().count()));
+    hash = FnvMixFileSample(hash, file);
   }
   return hash;
 }

@@ -1,4 +1,5 @@
 #include <cmath>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -132,6 +133,42 @@ TEST(ThreeLineTaskTest, PhaseTimesAccumulate) {
   EXPECT_GT(phases.quantile_seconds, 0.0);
   EXPECT_GT(phases.regression_seconds, 0.0);
   EXPECT_GE(phases.adjust_seconds, 0.0);
+}
+
+TEST(ThreeLineTaskTest, SkewedInputNeverReallocatesBandVectors) {
+  // A near-constant consumer is the pathological case for the old
+  // size()/8 reserve heuristic: almost every reading sits at or beyond
+  // both percentile thresholds, so both bands hold close to ALL of the
+  // readings and the vectors regrew repeatedly. The counting pass sizes
+  // them exactly; the phases counter proves it.
+  std::vector<double> consumption, temperature;
+  Rng rng(31);
+  for (int i = 0; i < 3000; ++i) {
+    temperature.push_back(rng.Uniform(0.0, 10.0));
+    consumption.push_back(1.0);  // Constant: p10 == p90 == 1.0.
+  }
+  ThreeLinePhases phases;
+  auto result =
+      ComputeThreeLine(consumption, temperature, 1, {}, &phases);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(phases.band_reallocs, 0u);
+  // Every reading is in both bands: 2 * 3000 band points.
+  EXPECT_EQ(phases.band_points, 6000u);
+}
+
+TEST(ThreeLineTaskTest, JunkTemperaturesAreIgnored) {
+  // NaN / infinite temperatures used to hit an undefined float->int
+  // cast in the binning; now they saturate into a sentinel bin that
+  // never defines thresholds, so the fit just ignores them.
+  SyntheticConsumer c = MakeThermalConsumer(
+      0.4, 0.1, 12.0, 0.1, 20.0, 0.05, /*seed=*/41);
+  c.temperature[10] = std::numeric_limits<double>::quiet_NaN();
+  c.temperature[20] = std::numeric_limits<double>::infinity();
+  c.temperature[30] = -std::numeric_limits<double>::infinity();
+  auto result = ComputeThreeLine(c.consumption, c.temperature, 1);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(std::isfinite(result->heating_gradient));
+  EXPECT_TRUE(std::isfinite(result->cooling_gradient));
 }
 
 TEST(ThreeLineTaskTest, RejectsDegenerateInput) {

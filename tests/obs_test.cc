@@ -1,4 +1,5 @@
 #include <atomic>
+#include <clocale>
 #include <cstdio>
 #include <string>
 #include <thread>
@@ -256,6 +257,33 @@ TEST(JsonTest, ParseRejectsMalformedInput) {
 TEST(JsonTest, IntegersPrintWithoutFraction) {
   JsonValue v(int64_t{1234567});
   EXPECT_EQ(v.Dump(), "1234567\n");
+}
+
+TEST(JsonTest, NumberParsingIsLocaleIndependent) {
+  // The parser used std::strtod, which honours the host locale: under a
+  // ',' decimal separator (de_DE et al.) it stops at the '.' and
+  // silently truncates 3.14 to 3. from_chars always speaks the "C"
+  // locale. If the container lacks the German locale the setlocale
+  // calls fail and this degrades to a plain parse check.
+  if (std::setlocale(LC_NUMERIC, "de_DE.UTF-8") == nullptr) {
+    std::setlocale(LC_NUMERIC, "de_DE");
+  }
+  JsonValue out;
+  std::string error;
+  const bool ok = JsonValue::Parse("[3.14, -2.5e3, 0.125]", &out, &error);
+  std::setlocale(LC_NUMERIC, "C");
+  ASSERT_TRUE(ok) << error;
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_DOUBLE_EQ(out.items()[0].AsDouble(), 3.14);
+  EXPECT_DOUBLE_EQ(out.items()[1].AsDouble(), -2500.0);
+  EXPECT_DOUBLE_EQ(out.items()[2].AsDouble(), 0.125);
+}
+
+TEST(JsonTest, NumberParsingRejectsLeadingPlus) {
+  // JSON forbids a leading '+'; strtod used to accept it.
+  JsonValue out;
+  std::string error;
+  EXPECT_FALSE(JsonValue::Parse("+3.5", &out, &error));
 }
 
 // ---------------------------------------------------------------------------

@@ -200,6 +200,36 @@ TEST_F(TableTest, CacheKeyTracksSourceIdentity) {
   EXPECT_NE(*first, *second);
 }
 
+TEST_F(TableTest, CacheKeyChangesOnSameSizeSameMtimeRewrite) {
+  // Filesystem mtimes can tick in whole seconds: a source regenerated
+  // within one tick keeps the same path, size, AND mtime, which the old
+  // key collapsed to the stale entry. Simulate the tick deterministically
+  // by rewriting same-length content and pinning the timestamp back.
+  const std::string csv_path = (dir_ / "tick.csv").string();
+  const auto write_file = [&csv_path](const std::string& body) {
+    FILE* f = fopen(csv_path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    fputs(body.c_str(), f);
+    fclose(f);
+  };
+  const std::string before = "1,0,1.0000,10.00\n1,1,2.0000,11.00\n";
+  const std::string after = "1,0,3.0000,10.00\n1,1,4.0000,11.00\n";
+  ASSERT_EQ(before.size(), after.size());
+  write_file(before);
+  auto source = table::DataSource::SingleCsv(csv_path);
+  ASSERT_TRUE(source.ok());
+  table::ColumnarCache cache((dir_ / "cache").string());
+  const fs::file_time_type mtime = fs::last_write_time(csv_path);
+  auto first = cache.CacheFilePath(*source);
+  ASSERT_TRUE(first.ok());
+
+  write_file(after);
+  fs::last_write_time(csv_path, mtime);
+  auto second = cache.CacheFilePath(*source);
+  ASSERT_TRUE(second.ok());
+  EXPECT_NE(*first, *second);
+}
+
 TEST_F(TableTest, ColumnFileReaderRejectsCorruptFile) {
   const std::string path = (dir_ / "bad.smcol").string();
   FILE* f = fopen(path.c_str(), "wb");
