@@ -12,6 +12,7 @@
 //       --baseline=../bench/BENCH_baseline.json
 #include <algorithm>
 #include <cstdio>
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -21,7 +22,10 @@
 #include "engines/benchmark_runner.h"
 #include "obs/report.h"
 #include "simd/simd.h"
+#include "storage/column_store.h"
+#include "storage/scan_scope.h"
 #include "table/columnar_cache.h"
+#include "table/table_reader.h"
 #include "timeseries/calendar.h"
 
 namespace smartmeter::bench {
@@ -162,6 +166,76 @@ int RunSmoke(int argc, char** argv) {
                    "DATA-PLANE REGRESSION: warm cache scan (%.6fs) did not "
                    "beat cold CSV parse (%.6fs)\n",
                    warm_seconds, cold_seconds);
+      return 1;
+    }
+  }
+
+  // Pruned-scan gate: a single-household scoped scan over an SMCOLV2
+  // rendering of the smoke dataset must decode strictly fewer blocks
+  // than a full scan. The gate is block-count based, not timing based,
+  // so scheduler noise on loaded CI hosts cannot flake it.
+  {
+    auto source = ctx.SingleCsv(households);
+    if (!source.ok()) {
+      std::fprintf(stderr, "data materialization failed: %s\n",
+                   source.status().ToString().c_str());
+      return 1;
+    }
+    auto dataset = table::ReadDatasetFromSource(*source);
+    if (!dataset.ok()) {
+      std::fprintf(stderr, "smoke dataset parse failed: %s\n",
+                   dataset.status().ToString().c_str());
+      return 1;
+    }
+    const std::string spool = ctx.SpoolDir("smoke-smcol");
+    std::error_code ec;
+    std::filesystem::create_directories(spool, ec);
+    const std::string v2_path = spool + "/data.smcol";
+    // Small blocks so even the smoke-sized table spans enough blocks for
+    // pruning to be observable.
+    if (Status st =
+            storage::ColumnFileWriter::WriteFile(*dataset, v2_path,
+                                                 /*block_values=*/256);
+        !st.ok()) {
+      std::fprintf(stderr, "SMCOLV2 write failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    table::ColumnFileReader reader(v2_path);
+    if (Status st = reader.Open(); !st.ok()) {
+      std::fprintf(stderr, "SMCOLV2 open failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    storage::ScanScope scope;
+    scope.row_begin = static_cast<size_t>(households) / 2;
+    scope.row_count = 1;
+    Stopwatch scoped_watch;
+    auto scoped = reader.NewScopedBatch(scope);
+    const double scoped_seconds = scoped_watch.ElapsedSeconds();
+    if (!scoped.ok()) {
+      std::fprintf(stderr, "scoped SMCOLV2 scan failed: %s\n",
+                   scoped.status().ToString().c_str());
+      return 1;
+    }
+    obs::RunRecord pruned_run;
+    pruned_run.engine = "data-plane";
+    pruned_run.task = "pruned-scan";
+    pruned_run.layout = "smcolv2";
+    pruned_run.task_seconds = scoped_seconds;
+    pruned_run.bytes_scanned = scoped->stats.bytes_decoded;
+    pruned_run.blocks_decoded = scoped->stats.blocks_decoded;
+    pruned_run.blocks_pruned = scoped->stats.blocks_pruned;
+    ctx.report().AddRun(pruned_run);
+    PrintRow({"data-plane", "pruned scan", Cell(scoped_seconds),
+              CellInt(scoped->stats.blocks_decoded),
+              CellInt(scoped->stats.blocks_pruned)});
+    if (scoped->stats.blocks_pruned <= 0 ||
+        scoped->stats.blocks_decoded >= scoped->stats.blocks_total) {
+      std::fprintf(stderr,
+                   "PRUNED-SCAN GATE: scoped scan decoded %lld of %lld "
+                   "blocks (pruned %lld); the block index did no work\n",
+                   static_cast<long long>(scoped->stats.blocks_decoded),
+                   static_cast<long long>(scoped->stats.blocks_total),
+                   static_cast<long long>(scoped->stats.blocks_pruned));
       return 1;
     }
   }

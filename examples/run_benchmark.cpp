@@ -6,7 +6,7 @@
 //   run_benchmark --engine=matlab|madlib|madlib-array|system-c|spark|hive
 //       --task=histogram|3line|par|similarity
 //       --data=<file-or-dir>
-//       [--layout=single|partitioned|lines|files]
+//       [--layout=single|partitioned|lines|files|column]
 //       [--threads=N] [--warm] [--nodes=N] [--k=N] [--buckets=N]
 //       [--report=bench_report.json]
 //
@@ -54,6 +54,9 @@ Result<core::TaskType> ParseTask(const std::string& name) {
 Result<table::DataSource> BuildSource(const std::string& data,
                                         const std::string& layout) {
   namespace fs = std::filesystem;
+  if (layout == "column" || fs::path(data).extension() == ".smcol") {
+    return table::DataSource::ColumnFile(data);
+  }
   if (layout == "single") return table::DataSource::SingleCsv(data);
   if (layout == "lines") return table::DataSource::HouseholdLines(data);
   if (layout == "partitioned" || layout == "files") {
@@ -131,7 +134,7 @@ int main(int argc, char** argv) {
   if (engine_name.empty() || task_name.empty() || data.empty()) {
     std::fprintf(stderr,
                  "usage: run_benchmark --engine=... --task=... --data=... "
-                 "[--layout=single|partitioned|lines|files] [--threads=N] "
+                 "[--layout=single|partitioned|lines|files|column] [--threads=N] "
                  "[--warm]\n");
     return 2;
   }

@@ -30,6 +30,14 @@ obs::RunRecord MakeRunRecord(const RunSpec& spec, const RunReport& report) {
                              stage.speculative_launched,
                              stage.speculative_wins});
   }
+  record.bytes_scanned = report.scan.bytes_decoded;
+  record.blocks_decoded = report.scan.blocks_decoded;
+  record.blocks_pruned = report.scan.blocks_pruned;
+  if (report.scan.bytes_on_disk > 0) {
+    record.compression_ratio =
+        static_cast<double>(report.scan.bytes_decoded) /
+        static_cast<double>(report.scan.bytes_on_disk);
+  }
   return record;
 }
 
@@ -56,6 +64,7 @@ Result<RunReport> RunTaskOnEngine(AnalyticsEngine* engine,
   report.simulated = metrics.simulated;
   report.phases = metrics.phases;
   report.stages = std::move(metrics.stages);
+  report.scan = metrics.scan;
   return report;
 }
 
@@ -99,6 +108,7 @@ Result<RunReport> RunBenchmark(const RunSpec& spec) {
   report.phases = task_report.phases;
   report.stages = std::move(task_report.stages);
   report.memory_bytes = task_report.memory_bytes;
+  report.scan = task_report.scan;
   report.results = std::move(task_report.results);
   if (spec.report != nullptr) {
     spec.report->AddRun(MakeRunRecord(spec, report));

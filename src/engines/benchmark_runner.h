@@ -41,6 +41,8 @@ struct RunReport {
   std::vector<exec::StageTiming> stages;
   /// Average RSS over the task (sampled) or the cluster model's memory.
   int64_t memory_bytes = 0;
+  /// Block-index scan accounting from the task (see TaskRunMetrics).
+  storage::ScanStats scan;
   TaskResultSet results;
 };
 

@@ -4,8 +4,17 @@
 #include <cstdio>
 
 #include "common/string_util.h"
+#include "obs/metrics.h"
 
 namespace smartmeter::engines::internal {
+
+void CountPrunedClusterBlocks(size_t total_blocks, size_t kept_blocks) {
+  static obs::Counter* pruned =
+      obs::MetricsRegistry::Global().GetCounter("table.scan.blocks_pruned");
+  if (total_blocks > kept_blocks) {
+    pruned->Add(static_cast<int64_t>(total_blocks - kept_blocks));
+  }
+}
 
 void AssembleSeries(std::vector<HourRecord>* records,
                     std::vector<double>* consumption,

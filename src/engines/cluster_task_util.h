@@ -36,6 +36,12 @@ Result<HouseholdLine> ParseHouseholdLine(std::string_view line);
 /// Reads a "<path>.temperature" sidecar (one value per line).
 Result<std::vector<double>> ReadTemperatureSidecar(const std::string& path);
 
+/// Records driver-side columnar block pruning (blocks whose household
+/// range missed a scoped scan, so no task was ever created for them) in
+/// the `table.scan.blocks_pruned` counter the single-node reader also
+/// feeds.
+void CountPrunedClusterBlocks(size_t total_blocks, size_t kept_blocks);
+
 }  // namespace smartmeter::engines::internal
 
 #endif  // SMARTMETER_ENGINES_CLUSTER_TASK_UTIL_H_

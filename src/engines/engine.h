@@ -32,6 +32,9 @@ struct TaskRunMetrics {
   /// Injected-fault totals across the plan's simulated waves (zero for
   /// local engines and healthy clusters).
   cluster::WaveFaultStats faults;
+  /// Block-index scan accounting, summed over the plan's batch scans
+  /// (zero for text sources and unindexed formats).
+  storage::ScanStats scan;
 };
 
 /// A platform under benchmark. The lifecycle mirrors Section 5's

@@ -17,6 +17,7 @@ TaskRunMetrics ToTaskMetrics(exec::PlanRunMetrics&& run) {
   metrics.modeled_memory_bytes = run.modeled_memory_bytes;
   metrics.stages = std::move(run.stages);
   metrics.faults = run.faults;
+  metrics.scan = run.scan;
   return metrics;
 }
 

@@ -18,12 +18,23 @@ Result<double> HiveEngine::Attach(const table::DataSource& source) {
   SM_RETURN_IF_ERROR(RequireLayout(source,
                                    {table::DataSource::Layout::kSingleCsv,
                                     table::DataSource::Layout::kHouseholdLines,
-                                    table::DataSource::Layout::kWholeFileDir},
+                                    table::DataSource::Layout::kWholeFileDir,
+                                    table::DataSource::Layout::kColumnFile},
                                    name()));
   source_ = source;
+  columnar_reader_.reset();
   hdfs_ = std::make_unique<cluster::BlockStore>(options_.cluster.num_nodes,
                                                 options_.block_bytes);
-  SM_RETURN_IF_ERROR(hdfs_->AddFiles(source.files));
+  if (source.layout == table::DataSource::Layout::kColumnFile) {
+    auto reader =
+        std::make_shared<table::ColumnFileReader>(source.files.front());
+    SM_RETURN_IF_ERROR(reader->Open());
+    SM_RETURN_IF_ERROR(hdfs_->AddColumnarFile(
+        source.files.front(), planning::ColumnarFileBlocks(*reader)));
+    columnar_reader_ = std::move(reader);
+  } else {
+    SM_RETURN_IF_ERROR(hdfs_->AddFiles(source.files));
+  }
   return 0.0;  // HDFS registration; upload is outside the benchmark clock.
 }
 
@@ -33,7 +44,13 @@ void HiveEngine::SetClusterConfig(const cluster::ClusterConfig& config) {
     // Re-place blocks for the new node count.
     auto store = std::make_unique<cluster::BlockStore>(config.num_nodes,
                                                        options_.block_bytes);
-    (void)store->AddFiles(source_.files);
+    if (columnar_reader_ != nullptr) {
+      (void)store->AddColumnarFile(
+          source_.files.front(),
+          planning::ColumnarFileBlocks(*columnar_reader_));
+    } else {
+      (void)store->AddFiles(source_.files);
+    }
     hdfs_ = std::move(store);
   }
 }
@@ -74,7 +91,19 @@ Result<exec::Plan> HiveEngine::BuildPlan(const TaskOptions& options) const {
     kernel.shuffle_table_per_task = true;
     kernel.extra_overhead_seconds =
         options_.cluster.cost.hive_job_overhead_seconds;
-    if (source_.layout == table::DataSource::Layout::kSingleCsv) {
+    if (source_.layout == table::DataSource::Layout::kColumnFile) {
+      // Columnar similarity decodes every block (the candidate set is
+      // the whole table) and shuffles the readings into assembled series
+      // for the self-join, exactly like format 1.
+      plan.label = "hive/" + task + "/columnar";
+      plan.stages.push_back(
+          {"scan", planning::ColumnarReadingsScan(columnar_reader_,
+                                                  hdfs_->ColumnarSplits(nullptr),
+                                                  "hdfs-columnar")});
+      exec::ShuffleOp shuffle;
+      shuffle.strategy = exec::ShuffleOp::Strategy::kSortMerge;
+      plan.stages.push_back({"shuffle", shuffle});
+    } else if (source_.layout == table::DataSource::Layout::kSingleCsv) {
       plan.label = "hive/" + task + "/format1";
       plan.stages.push_back(
           {"scan", planning::SplitReadingsScan(hdfs_->SplittableSplits(),
@@ -90,6 +119,32 @@ Result<exec::Plan> HiveEngine::BuildPlan(const TaskOptions& options) const {
     }
   } else {
     switch (source_.layout) {
+      case table::DataSource::Layout::kColumnFile: {
+        // Columnar map-only plan: one map task per compression block,
+        // each decoding its own household range through the block index
+        // and aggregating map-side (rows arrive household-grouped, so no
+        // reduce phase is needed). A row-scoped task prunes non-matching
+        // blocks before any task is created and the kept tasks decode
+        // only the scoped rows, so the kernel's own scope is cleared.
+        plan.label = "hive/" + task + "/columnar";
+        kernel.fuse_scan = true;
+        const bool prune = !options.scope().whole();
+        storage::ScanScope scope;
+        scope.row_begin = options.scope().begin;
+        scope.row_count = options.scope().count;
+        std::vector<cluster::ColumnarSplit> columnar_splits =
+            hdfs_->ColumnarSplits(prune ? &scope : nullptr);
+        if (prune) {
+          internal::CountPrunedClusterBlocks(hdfs_->num_columnar_blocks(),
+                                             columnar_splits.size());
+          kernel.options.set_scope({});
+        }
+        plan.stages.push_back(
+            {"scan", planning::ColumnarReadingsScan(columnar_reader_,
+                                                    std::move(columnar_splits),
+                                                    "hdfs-columnar")});
+        break;
+      }
       case table::DataSource::Layout::kSingleCsv: {
         // UDAF plan: map parses rows, a sort-merge shuffle groups them,
         // reduce assembles and computes.

@@ -14,6 +14,7 @@
 #include "obs/trace.h"
 #include "storage/csv.h"
 #include "table/columnar_batch.h"
+#include "table/table_reader.h"
 
 namespace smartmeter::engines {
 
@@ -21,7 +22,8 @@ Result<double> MatlabEngine::Attach(const table::DataSource& source) {
   SM_TRACE_SPAN("matlab.attach");
   SM_RETURN_IF_ERROR(RequireLayout(source,
                                    {table::DataSource::Layout::kSingleCsv,
-                                    table::DataSource::Layout::kPartitionedDir},
+                                    table::DataSource::Layout::kPartitionedDir,
+                                    table::DataSource::Layout::kColumnFile},
                                    name()));
   Stopwatch clock;
   source_ = source;
@@ -32,6 +34,11 @@ Result<double> MatlabEngine::Attach(const table::DataSource& source) {
 
 Result<MeterDataset> MatlabEngine::ParseAll() const {
   SM_TRACE_SPAN("matlab.parse_all");
+  if (source_.layout == table::DataSource::Layout::kColumnFile) {
+    // Binary column file: load it whole (Matlab's `load` of a prepared
+    // binary), no per-household extraction pass.
+    return table::ReadDatasetFromSource(source_);
+  }
   if (source_.layout == table::DataSource::Layout::kSingleCsv) {
     // One big file: Matlab textscans the whole file into flat column
     // arrays, then pulls each household out with logical indexing --
@@ -144,7 +151,7 @@ Result<exec::Plan> MatlabEngine::BuildPlan(const TaskOptions& options) const {
     plan.stages.push_back({"materialize", exec::MaterializeOp{}});
     return plan;
   }
-  if (source_.layout == table::DataSource::Layout::kSingleCsv ||
+  if (source_.layout != table::DataSource::Layout::kPartitionedDir ||
       options.task() == core::TaskType::kSimilarity) {
     // Whole-dataset path: parse everything inside the scan stage (for
     // one big file this includes the index build), then compute.
@@ -154,13 +161,15 @@ Result<exec::Plan> MatlabEngine::BuildPlan(const TaskOptions& options) const {
     scan.source =
         source_.layout == table::DataSource::Layout::kSingleCsv
             ? "single-csv"
-            : "household-files";
+            : source_.layout == table::DataSource::Layout::kColumnFile
+                  ? "column-file"
+                  : "household-files";
     scan.scan_batch = [this]() -> Result<exec::BatchScan> {
       SM_ASSIGN_OR_RETURN(MeterDataset dataset, ParseAll());
       auto owner = std::make_shared<const MeterDataset>(std::move(dataset));
       SM_ASSIGN_OR_RETURN(table::ColumnarBatch batch,
                           table::ColumnarBatch::FromDataset(*owner));
-      return exec::BatchScan{std::move(batch), owner};
+      return exec::BatchScan{std::move(batch), owner, {}};
     };
     plan.stages.push_back({"scan", std::move(scan)});
     plan.stages.push_back({"kernel", std::move(kernel)});

@@ -1,9 +1,11 @@
 #include "engines/plan_builders.h"
 
+#include <algorithm>
 #include <memory>
 #include <utility>
 
 #include "engines/cluster_task_util.h"
+#include "storage/column_store.h"
 #include "storage/csv.h"
 
 namespace smartmeter::engines::planning {
@@ -14,7 +16,21 @@ exec::ScanOp ResidentBatchScan(const table::ColumnarBatch* batch,
   scan.kind = exec::ScanOp::Kind::kBatch;
   scan.source = std::move(source);
   scan.scan_batch = [batch]() -> Result<exec::BatchScan> {
-    return exec::BatchScan{batch->View(), nullptr};
+    return exec::BatchScan{batch->View(), nullptr, {}};
+  };
+  return scan;
+}
+
+exec::ScanOp ReaderBatchScan(const table::TableReader* reader,
+                             const table::ColumnarBatch* batch,
+                             std::string source) {
+  exec::ScanOp scan = ResidentBatchScan(batch, std::move(source));
+  scan.scan_batch_scoped =
+      [reader](const storage::ScanScope& scope) -> Result<exec::BatchScan> {
+    SM_ASSIGN_OR_RETURN(table::ScopedBatch scoped,
+                        reader->NewScopedBatch(scope));
+    return exec::BatchScan{std::move(scoped.batch), std::move(scoped.owner),
+                           scoped.stats};
   };
   return scan;
 }
@@ -27,7 +43,91 @@ exec::ScanOp DatasetBatchScan(const MeterDataset* dataset,
   scan.scan_batch = [dataset]() -> Result<exec::BatchScan> {
     SM_ASSIGN_OR_RETURN(table::ColumnarBatch batch,
                         table::ColumnarBatch::FromDataset(*dataset));
-    return exec::BatchScan{std::move(batch), nullptr};
+    return exec::BatchScan{std::move(batch), nullptr, {}};
+  };
+  return scan;
+}
+
+std::vector<cluster::ColumnarBlock> ColumnarFileBlocks(
+    const table::ColumnFileReader& reader) {
+  std::vector<cluster::ColumnarBlock> blocks;
+  const storage::CompressedColumnFile* compressed = reader.compressed();
+  if (compressed != nullptr) {
+    const size_t hours = compressed->hours();
+    const size_t rows = compressed->num_households();
+    if (hours == 0 || rows == 0) return blocks;
+    for (size_t i = 0; i < compressed->num_consumption_blocks(); ++i) {
+      const storage::CompressedColumnFile::BlockInfo info =
+          compressed->consumption_block(i);
+      // A block owns the rows that START inside it (a row straddling
+      // two blocks belongs to the earlier one), so block row ranges are
+      // disjoint and contiguous even though decoding a boundary row may
+      // touch the neighbour block.
+      cluster::ColumnarBlock block;
+      block.row_begin = (info.value_begin + hours - 1) / hours;
+      block.row_end =
+          (info.value_begin + info.value_count + hours - 1) / hours;
+      block.bytes = info.encoded_bytes;
+      if (block.row_end > block.row_begin) blocks.push_back(block);
+    }
+    if (!blocks.empty()) blocks.back().row_end = rows;
+    return blocks;
+  }
+  // SMCOLV1 has no block index; synthesize chunks holding the same
+  // number of values as an SMCOLV2 block, so both generations produce
+  // comparable task counts.
+  const storage::ColumnStore& store = reader.store();
+  const size_t hours = store.hours();
+  const size_t rows = store.num_households();
+  if (rows == 0) return blocks;
+  const size_t rows_per =
+      std::max<size_t>(
+          1, storage::kColumnBlockValues / std::max<size_t>(1, hours));
+  for (size_t begin = 0; begin < rows; begin += rows_per) {
+    cluster::ColumnarBlock block;
+    block.row_begin = begin;
+    block.row_end = std::min(rows, begin + rows_per);
+    block.bytes = static_cast<int64_t>((block.row_end - begin) *
+                                       (hours + 1) * sizeof(double));
+    blocks.push_back(block);
+  }
+  return blocks;
+}
+
+exec::ScanOp ColumnarReadingsScan(
+    std::shared_ptr<const table::ColumnFileReader> reader,
+    std::vector<cluster::ColumnarSplit> splits, std::string source) {
+  exec::ScanOp scan;
+  scan.kind = exec::ScanOp::Kind::kReadings;
+  scan.source = std::move(source);
+  scan.partitions = static_cast<int>(splits.size());
+  auto shared = std::make_shared<const std::vector<cluster::ColumnarSplit>>(
+      std::move(splits));
+  scan.scan_readings = [reader, shared](
+                           int partition,
+                           std::vector<exec::ReadingRecord>* out,
+                           cluster::TaskStats* stats) -> Status {
+    const cluster::ColumnarSplit& columnar =
+        (*shared)[static_cast<size_t>(partition)];
+    storage::ScanScope scope;
+    scope.row_begin = columnar.row_begin;
+    scope.row_count = columnar.row_end - columnar.row_begin;
+    SM_ASSIGN_OR_RETURN(table::ScopedBatch scoped,
+                        reader->NewScopedBatch(scope));
+    const table::SeriesSlice temperature = scoped.batch.temperature();
+    const size_t hours = scoped.batch.hours();
+    out->reserve(scoped.batch.count() * hours);
+    for (size_t i = 0; i < scoped.batch.count(); ++i) {
+      const int64_t id = scoped.batch.household_id(i);
+      const table::SeriesSlice series = scoped.batch.consumption(i);
+      for (size_t h = 0; h < hours; ++h) {
+        out->push_back({id, static_cast<int32_t>(h), series[h],
+                        temperature.empty() ? 0.0 : temperature[h]});
+      }
+    }
+    stats->input_bytes = columnar.split.length;
+    stats->files_opened = columnar.split.opens_file ? 1 : 0;
+    return Status::OK();
   };
   return scan;
 }

@@ -8,6 +8,7 @@
 #include "common/result.h"
 #include "exec/plan.h"
 #include "table/columnar_batch.h"
+#include "table/table_reader.h"
 #include "timeseries/dataset.h"
 
 namespace smartmeter::engines::planning {
@@ -22,10 +23,36 @@ namespace smartmeter::engines::planning {
 exec::ScanOp ResidentBatchScan(const table::ColumnarBatch* batch,
                                std::string source);
 
+/// Like ResidentBatchScan, but backed by the reader that owns `batch`,
+/// so the executor can push a kernel's row scope down into the scan:
+/// `reader->NewScopedBatch` materializes only the scoped rows, and a
+/// block-indexed reader (SMCOLV2) skips non-matching blocks entirely.
+/// Both `reader` and `batch` must outlive the plan.
+exec::ScanOp ReaderBatchScan(const table::TableReader* reader,
+                             const table::ColumnarBatch* batch,
+                             std::string source);
+
 /// Views an engine-resident in-memory dataset (Matlab's warm arrays).
 /// `dataset` must outlive the plan.
 exec::ScanOp DatasetBatchScan(const MeterDataset* dataset,
                               std::string source);
+
+/// The household-range blocks of an opened column file, for
+/// BlockStore::AddColumnarFile. SMCOLV2 blocks mirror the file's own
+/// compression-block index (each block owns the rows that start inside
+/// it); SMCOLV1 files get synthesized fixed-size row chunks so both
+/// generations split into comparably sized cluster tasks.
+std::vector<cluster::ColumnarBlock> ColumnarFileBlocks(
+    const table::ColumnFileReader& reader);
+
+/// Decodes columnar splits into per-partition reading rows (one task
+/// per block). Each task decodes only its split's household range —
+/// through the block index for SMCOLV2 — and emits records with the
+/// real per-hour temperature attached, so downstream assembly matches
+/// the text formats bit for bit. `reader` is shared by every task.
+exec::ScanOp ColumnarReadingsScan(
+    std::shared_ptr<const table::ColumnFileReader> reader,
+    std::vector<cluster::ColumnarSplit> splits, std::string source);
 
 /// Reads format 1 / format 3 splits into per-partition reading rows
 /// (one task per split). `extra_seconds_per_mb` charges an additional

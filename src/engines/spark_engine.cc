@@ -18,7 +18,8 @@ Result<double> SparkEngine::Attach(const table::DataSource& source) {
   SM_RETURN_IF_ERROR(RequireLayout(source,
                                    {table::DataSource::Layout::kSingleCsv,
                                     table::DataSource::Layout::kHouseholdLines,
-                                    table::DataSource::Layout::kWholeFileDir},
+                                    table::DataSource::Layout::kWholeFileDir,
+                                    table::DataSource::Layout::kColumnFile},
                                    name()));
   if (source.layout == table::DataSource::Layout::kWholeFileDir &&
       static_cast<int>(source.files.size()) >=
@@ -29,9 +30,19 @@ Result<double> SparkEngine::Attach(const table::DataSource& source) {
         "larger input files)");
   }
   source_ = source;
+  columnar_reader_.reset();
   hdfs_ = std::make_unique<cluster::BlockStore>(options_.cluster.num_nodes,
                                                 options_.block_bytes);
-  SM_RETURN_IF_ERROR(hdfs_->AddFiles(source.files));
+  if (source.layout == table::DataSource::Layout::kColumnFile) {
+    auto reader =
+        std::make_shared<table::ColumnFileReader>(source.files.front());
+    SM_RETURN_IF_ERROR(reader->Open());
+    SM_RETURN_IF_ERROR(hdfs_->AddColumnarFile(
+        source.files.front(), planning::ColumnarFileBlocks(*reader)));
+    columnar_reader_ = std::move(reader);
+  } else {
+    SM_RETURN_IF_ERROR(hdfs_->AddFiles(source.files));
+  }
   return 0.0;
 }
 
@@ -40,7 +51,13 @@ void SparkEngine::SetClusterConfig(const cluster::ClusterConfig& config) {
   if (hdfs_ != nullptr) {
     auto store = std::make_unique<cluster::BlockStore>(config.num_nodes,
                                                        options_.block_bytes);
-    (void)store->AddFiles(source_.files);
+    if (columnar_reader_ != nullptr) {
+      (void)store->AddColumnarFile(
+          source_.files.front(),
+          planning::ColumnarFileBlocks(*columnar_reader_));
+    } else {
+      (void)store->AddFiles(source_.files);
+    }
     hdfs_ = std::move(store);
   }
 }
@@ -78,8 +95,12 @@ Result<exec::Plan> SparkEngine::BuildPlan(const TaskOptions& options) const {
         "spark: similarity not run for format 3 (matches the paper)");
   }
 
-  std::vector<cluster::InputSplit> splits =
-      whole_files ? hdfs_->WholeFileSplits() : hdfs_->SplittableSplits();
+  const bool columnar =
+      source_.layout == table::DataSource::Layout::kColumnFile;
+  std::vector<cluster::InputSplit> splits;
+  if (!columnar) {
+    splits = whole_files ? hdfs_->WholeFileSplits() : hdfs_->SplittableSplits();
+  }
   // Serial driver-side scheduling work per partition; wholeTextFiles also
   // lists and stats every input file at the driver before any task
   // launches -- the serial cost that makes thousands of small files
@@ -100,7 +121,38 @@ Result<exec::Plan> SparkEngine::BuildPlan(const TaskOptions& options) const {
     kernel.broadcast_series_table = true;
   }
 
-  if (source_.layout == table::DataSource::Layout::kHouseholdLines) {
+  if (columnar) {
+    // Columnar file: one partition per compression block. A row-scoped
+    // task prunes non-matching blocks at the driver (the cluster twin of
+    // the single-node block-index pushdown) and the kept tasks decode
+    // only the scoped rows, so the kernel's own scope is cleared.
+    // Similarity never prunes: its candidate set is the whole table, and
+    // its readings must be shuffled into assembled series first.
+    plan.label = "spark/" + task + "/columnar";
+    const bool prune = !options.scope().whole() &&
+                       options.task() != core::TaskType::kSimilarity;
+    storage::ScanScope scope;
+    scope.row_begin = options.scope().begin;
+    scope.row_count = options.scope().count;
+    std::vector<cluster::ColumnarSplit> columnar_splits =
+        hdfs_->ColumnarSplits(prune ? &scope : nullptr);
+    if (prune) {
+      internal::CountPrunedClusterBlocks(hdfs_->num_columnar_blocks(),
+                                         columnar_splits.size());
+      kernel.options.set_scope({});
+    }
+    driver_seconds = static_cast<double>(columnar_splits.size()) *
+                     cost.spark_per_partition_driver_seconds;
+    exec::ScanOp scan = planning::ColumnarReadingsScan(
+        columnar_reader_, std::move(columnar_splits), "hdfs-columnar");
+    scan.driver_seconds = driver_seconds;
+    plan.stages.push_back({"scan", std::move(scan)});
+    if (options.task() == core::TaskType::kSimilarity) {
+      exec::ShuffleOp shuffle;
+      shuffle.strategy = exec::ShuffleOp::Strategy::kDataflow;
+      plan.stages.push_back({"shuffle", shuffle});
+    }
+  } else if (source_.layout == table::DataSource::Layout::kHouseholdLines) {
     // Format 2: map-only over whole-household lines; the temperature
     // sidecar ships as a broadcast variable (16-byte vector header + the
     // doubles), unconditionally -- the driver broadcasts before it looks

@@ -18,16 +18,26 @@ Result<double> SystemCEngine::Attach(const table::DataSource& source) {
   SM_TRACE_SPAN("systemc.attach");
   SM_RETURN_IF_ERROR(RequireLayout(source,
                                    {table::DataSource::Layout::kSingleCsv,
-                                    table::DataSource::Layout::kPartitionedDir},
+                                    table::DataSource::Layout::kPartitionedDir,
+                                    table::DataSource::Layout::kColumnFile},
                                    name()));
   Stopwatch clock;
   prefaulted_ = false;
   batch_ = table::ColumnarBatch();
-  // Ingest through the columnar cache: a first attach parses the CSVs
-  // once and spools the binary columnar image; any later attach of the
-  // unchanged source is an mmap. Either way the map itself is near-free,
-  // which is System C's Figure 4 advantage.
-  SM_ASSIGN_OR_RETURN(reader_, cache_.OpenOrBuild(source));
+  if (source.layout == table::DataSource::Layout::kColumnFile) {
+    // Already in the native format (either generation): open it
+    // directly, no spooling.
+    auto reader =
+        std::make_unique<table::ColumnFileReader>(source.files.front());
+    SM_RETURN_IF_ERROR(reader->Open());
+    reader_ = std::move(reader);
+  } else {
+    // Ingest through the columnar cache: a first attach parses the CSVs
+    // once and spools the binary columnar image; any later attach of the
+    // unchanged source is an mmap. Either way the map itself is
+    // near-free, which is System C's Figure 4 advantage.
+    SM_ASSIGN_OR_RETURN(reader_, cache_.OpenOrBuild(source));
+  }
   SM_ASSIGN_OR_RETURN(batch_, reader_->NewBatch());
   return clock.ElapsedSeconds();
 }
@@ -57,8 +67,12 @@ Result<exec::Plan> SystemCEngine::BuildPlan(const TaskOptions& options) const {
   exec::Plan plan;
   plan.label =
       "system-c/" + std::string(core::TaskName(options.task())) + "/resident";
+  // Reader-backed scan: same resident batch for whole-table plans, but
+  // scoped requests go back through the reader so a block-indexed store
+  // decodes only the blocks the scope touches.
   plan.stages.push_back(
-      {"scan", planning::ResidentBatchScan(&batch_, "columnar-mmap")});
+      {"scan",
+       planning::ReaderBatchScan(reader_.get(), &batch_, "columnar-mmap")});
   exec::KernelOp kernel;
   kernel.options = options;
   plan.stages.push_back({"kernel", std::move(kernel)});

@@ -12,6 +12,7 @@
 #include "cluster/task_scheduler.h"
 #include "common/result.h"
 #include "engines/task_api.h"
+#include "storage/scan_scope.h"
 #include "table/columnar_batch.h"
 
 namespace smartmeter::exec {
@@ -48,10 +49,12 @@ inline int64_t ApproxSeriesBytes(const SeriesRecord& record) {
 
 /// A scanned batch plus whatever owns the memory it views (a table
 /// reader, a parsed dataset); null owner means the caller guarantees
-/// lifetime (resident engine state).
+/// lifetime (resident engine state). `stats` reports what the scan cost
+/// against a block-indexed store (zero for unindexed sources).
 struct BatchScan {
   table::ColumnarBatch batch;
   std::shared_ptr<const void> owner;
+  storage::ScanStats stats;
 };
 
 /// Scan: materializes the plan's input. Exactly one of the three
@@ -74,6 +77,15 @@ struct ScanOp {
   std::string source;
   int partitions = 1;
   std::function<Result<BatchScan>()> scan_batch;
+  /// Optional scoped variant of `scan_batch`: materializes only the rows
+  /// and hours of a ScanScope, decoding just the index-matching blocks
+  /// of an SMCOLV2 store. When set, the executor pushes the next
+  /// kernel's row scope down into the scan (and clears it from the
+  /// kernel) instead of scanning everything and slicing later.
+  /// Similarity plans never push down — their candidate table must stay
+  /// the whole batch.
+  std::function<Result<BatchScan>(const storage::ScanScope&)>
+      scan_batch_scoped;
   std::function<Status(int partition, std::vector<ReadingRecord>* out,
                        cluster::TaskStats* stats)>
       scan_readings;

@@ -225,7 +225,7 @@ class Execution {
 
   // -- Stage runners --------------------------------------------------------
   Status RunScan(const PlanStage& stage, const ScanOp& op,
-                 bool sort_merge_follows);
+                 bool sort_merge_follows, const KernelOp* next_kernel);
   Status RunShuffle(const PlanStage& stage, const ShuffleOp& op);
   Status RunKernel(const PlanStage& stage, const KernelOp& op);
   Status RunFused(const PlanStage& scan_stage, const ScanOp& scan,
@@ -262,6 +262,10 @@ class Execution {
   table::ColumnarBatch batch_;
   std::shared_ptr<const void> batch_owner_;
   bool have_batch_ = false;
+  /// True when the scan already restricted the batch to the kernel's row
+  /// scope (scope pushdown): the kernel then runs over the whole —
+  /// already-scoped — batch instead of re-slicing it.
+  bool scan_scope_applied_ = false;
   std::vector<std::vector<ReadingRecord>> readings_;
   std::vector<std::vector<SeriesRecord>> series_;
   /// Sort-merge shuffle read bytes, billed to the consuming wave's tasks
@@ -281,6 +285,7 @@ class Execution {
   int64_t cached_bytes_ = 0;
   core::ThreeLinePhases phases_;
   std::vector<StageTiming> stage_rows_;
+  storage::ScanStats scan_stats_;
   /// Fault ledger across waves; RunPartitions is called serially, so no
   /// lock is needed. The wave counter salts each wave's fault stream.
   cluster::WaveFaultStats fault_stats_;
@@ -329,16 +334,41 @@ Status Execution::RunPartitions(size_t count, const PartitionFn& body) {
 }
 
 Status Execution::RunScan(const PlanStage& stage, const ScanOp& op,
-                          bool sort_merge_follows) {
+                          bool sort_merge_follows,
+                          const KernelOp* next_kernel) {
   return TimedStage(stage, op.partitions, [&]() -> Status {
     shared_temperature_ = op.shared_temperature;
     if (op.kind == ScanOp::Kind::kBatch) {
+      // Scope pushdown: when the scan knows how to materialize only a
+      // row window and the next kernel is restricted to one, scan just
+      // that window (an indexed store then skips whole blocks) and let
+      // the kernel run unscoped over the result. Similarity is exempt —
+      // its candidate table must stay the full batch even when the
+      // query rows are scoped.
+      if (op.scan_batch_scoped && next_kernel != nullptr &&
+          !next_kernel->options.scope().whole() &&
+          next_kernel->options.task() != core::TaskType::kSimilarity) {
+        const engines::RowScope& rows = next_kernel->options.scope();
+        storage::ScanScope scope;
+        scope.row_begin = rows.begin;
+        scope.row_count = rows.count;
+        SM_ASSIGN_OR_RETURN(BatchScan scan, op.scan_batch_scoped(scope));
+        SM_RETURN_IF_ERROR(scan.batch.Validate());
+        batch_ = std::move(scan.batch);
+        batch_owner_ = std::move(scan.owner);
+        scan_stats_.Add(scan.stats);
+        have_batch_ = true;
+        scan_scope_applied_ = true;
+        return Status::OK();
+      }
       if (!op.scan_batch) return Status::Internal("scan has no batch source");
       SM_ASSIGN_OR_RETURN(BatchScan scan, op.scan_batch());
       SM_RETURN_IF_ERROR(scan.batch.Validate());
       batch_ = std::move(scan.batch);
       batch_owner_ = std::move(scan.owner);
+      scan_stats_.Add(scan.stats);
       have_batch_ = true;
+      scan_scope_applied_ = false;
       return Status::OK();
     }
     if (cluster_) simulated_seconds_ += op.driver_seconds;
@@ -497,8 +527,12 @@ Status Execution::BatchKernel(const KernelOp& op) {
   // Scoped requests compute only the rows in [first, last). The range
   // kernels index `out` by absolute batch row, so the buffer spans
   // [0, last) and the untouched prefix is trimmed before materialize.
-  const size_t first = options.scope().First(count);
-  const size_t last = options.scope().Last(count);
+  // When the scan already pushed the scope down, the batch holds exactly
+  // the scoped rows and the kernel covers all of them.
+  const engines::RowScope scope =
+      scan_scope_applied_ ? engines::RowScope{} : options.scope();
+  const size_t first = scope.First(count);
+  const size_t last = scope.Last(count);
   switch (options.task()) {
     case core::TaskType::kHistogram: {
       const auto& histogram = options.Get<core::HistogramOptions>();
@@ -891,7 +925,12 @@ Result<PlanRunMetrics> Execution::Run() {
               : nullptr;
       const bool sort_merge_follows =
           next != nullptr && next->strategy == ShuffleOp::Strategy::kSortMerge;
-      SM_RETURN_IF_ERROR(RunScan(stage, *scan, sort_merge_follows));
+      const KernelOp* next_kernel =
+          i + 1 < plan_.stages.size()
+              ? std::get_if<KernelOp>(&plan_.stages[i + 1].op)
+              : nullptr;
+      SM_RETURN_IF_ERROR(
+          RunScan(stage, *scan, sort_merge_follows, next_kernel));
       continue;
     }
     if (const ShuffleOp* shuffle = std::get_if<ShuffleOp>(&stage.op)) {
@@ -918,6 +957,7 @@ Result<PlanRunMetrics> Execution::Run() {
   metrics.phases = phases_;
   metrics.stages = std::move(stage_rows_);
   metrics.faults = fault_stats_;
+  metrics.scan = scan_stats_;
   if (fault_stats_.any()) {
     auto& registry = obs::MetricsRegistry::Global();
     registry.GetCounter("cluster.task.retries")->Add(fault_stats_.retries);

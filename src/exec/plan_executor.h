@@ -12,6 +12,7 @@
 #include "engines/task_api.h"
 #include "exec/plan.h"
 #include "exec/query_context.h"
+#include "storage/scan_scope.h"
 
 namespace smartmeter::exec {
 
@@ -78,6 +79,10 @@ struct PlanRunMetrics {
   std::vector<StageTiming> stages;
   /// Whole-plan fault ledger (the per-stage rows sum to this).
   cluster::WaveFaultStats faults;
+  /// Block-index accounting summed over every batch scan: how many
+  /// compressed blocks the scans pruned vs. decoded and the bytes read
+  /// vs. materialized. All zero for unindexed sources.
+  storage::ScanStats scan;
 };
 
 /// Runs physical plans: owns partitioning, dispatch (ThreadPool waves or

@@ -47,6 +47,17 @@ JsonValue RunToJson(const RunRecord& run) {
     }
     j.Set("stages", std::move(stages));
   }
+  // The scan block appears only when a block-indexed source reported
+  // something, so text-source reports are byte-stable.
+  if (run.bytes_scanned != 0 || run.blocks_decoded != 0 ||
+      run.blocks_pruned != 0 || run.compression_ratio != 0.0) {
+    JsonValue scan = JsonValue::Object();
+    scan.Set("bytes_scanned", JsonValue(run.bytes_scanned));
+    scan.Set("blocks_decoded", JsonValue(run.blocks_decoded));
+    scan.Set("blocks_pruned", JsonValue(run.blocks_pruned));
+    scan.Set("compression_ratio", JsonValue(run.compression_ratio));
+    j.Set("scan", std::move(scan));
+  }
   if (!run.outcome.empty()) {
     JsonValue serving = JsonValue::Object();
     serving.Set("outcome", JsonValue(run.outcome));
@@ -115,6 +126,15 @@ RunRecord RunFromJson(const JsonValue& j) {
       }
       run.stages.push_back(std::move(stage));
     }
+  }
+  // Scan block is optional: reports written before the block-indexed
+  // column format (or from text sources) simply lack it.
+  if (j.Has("scan")) {
+    const JsonValue& scan = j.Get("scan");
+    run.bytes_scanned = scan.Get("bytes_scanned").AsInt();
+    run.blocks_decoded = scan.Get("blocks_decoded").AsInt();
+    run.blocks_pruned = scan.Get("blocks_pruned").AsInt();
+    run.compression_ratio = scan.Get("compression_ratio").AsDouble();
   }
   // Serving block is optional: reports written before the serving layer
   // (or batch-only reports) simply lack it.

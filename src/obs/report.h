@@ -59,6 +59,17 @@ struct RunRecord {
   /// seconds sum to task_seconds. Empty rows suppress the JSON key so
   /// pre-plan-IR reports round-trip unchanged.
   std::vector<StageRow> stages;
+  /// Block-index scan accounting (columnar sources only; all-zero rows
+  /// suppress the JSON key so text-source and pre-SMCOLV2 reports
+  /// round-trip unchanged). `bytes_scanned` counts decoded values' bytes;
+  /// `compression_ratio` is decoded bytes / the scanned file's on-disk
+  /// bytes — < 1 when pruning plus compression materialize less than the
+  /// file's footprint. bench_fig20_storage's synthetic "storage" rows
+  /// record the SMCOLV2-to-SMCOLV1 file-size ratio here instead.
+  int64_t bytes_scanned = 0;
+  int64_t blocks_decoded = 0;
+  int64_t blocks_pruned = 0;
+  double compression_ratio = 0.0;
   /// Serving-mode fields (concurrent query benchmarks). `outcome` is
   /// empty for plain batch runs, which also suppresses these keys in
   /// the JSON so existing reports round-trip unchanged; serving rows

@@ -1,0 +1,297 @@
+#include "storage/block_codec.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace smartmeter::storage::codec {
+
+namespace {
+
+constexpr uint64_t kFnvOffsetBasis = 1469598103934665603ULL;
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+constexpr double kPow10[kMaxDecimalScale + 1] = {1.0,  10.0, 100.0, 1e3,
+                                                 1e4,  1e5,  1e6,   1e7};
+
+void AppendU64(std::vector<uint8_t>* out, uint64_t v) {
+  uint8_t bytes[8];
+  std::memcpy(bytes, &v, sizeof(v));
+  out->insert(out->end(), bytes, bytes + sizeof(bytes));
+}
+
+uint64_t ReadU64(const uint8_t* p) {
+  uint64_t v = 0;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+void AppendHeader(std::vector<uint8_t>* out, uint8_t mode, uint8_t scale,
+                  uint8_t width, uint64_t count) {
+  const size_t base = out->size();
+  out->resize(base + kBlockHeaderBytes, 0);
+  (*out)[base] = mode;
+  (*out)[base + 1] = scale;
+  (*out)[base + 2] = width;
+  std::memcpy(out->data() + base + 8, &count, sizeof(count));
+}
+
+/// Delta + frame-of-reference plan for one int block. `ok` is false when
+/// some adjacent delta overflows int64 (raw fallback).
+struct PackedPlan {
+  int64_t first = 0;
+  int64_t min_delta = 0;
+  int bit_width = 0;
+  bool ok = false;
+};
+
+PackedPlan PlanPack(std::span<const int64_t> values) {
+  PackedPlan plan;
+  if (values.empty()) return plan;
+  plan.first = values[0];
+  for (size_t i = 1; i < values.size(); ++i) {
+    int64_t d = 0;
+    if (__builtin_sub_overflow(values[i], values[i - 1], &d)) return plan;
+    if (i == 1 || d < plan.min_delta) plan.min_delta = d;
+  }
+  uint64_t max_u = 0;
+  for (size_t i = 1; i < values.size(); ++i) {
+    // Wrap-safe unsigned distance d - min_delta: d >= min_delta and both
+    // fit int64, so the true difference fits uint64 exactly.
+    const uint64_t u = static_cast<uint64_t>(values[i]) -
+                       static_cast<uint64_t>(values[i - 1]) -
+                       static_cast<uint64_t>(plan.min_delta);
+    max_u = std::max(max_u, u);
+  }
+  plan.bit_width = max_u == 0 ? 0 : 64 - std::countl_zero(max_u);
+  plan.ok = true;
+  return plan;
+}
+
+size_t PackedPayloadBytes(size_t count, int width) {
+  if (count == 0) return 0;
+  const size_t words = count <= 1
+                           ? 0
+                           : ((count - 1) * static_cast<size_t>(width) + 63) / 64;
+  return 16 + words * 8;
+}
+
+void EmitPacked(uint8_t mode, uint8_t scale, const PackedPlan& plan,
+                std::span<const int64_t> values, std::vector<uint8_t>* out) {
+  AppendHeader(out, mode, scale, static_cast<uint8_t>(plan.bit_width),
+               values.size());
+  AppendU64(out, static_cast<uint64_t>(plan.first));
+  AppendU64(out, static_cast<uint64_t>(plan.min_delta));
+  if (plan.bit_width == 0) return;
+  uint64_t acc = 0;
+  int bits = 0;
+  for (size_t i = 1; i < values.size(); ++i) {
+    const uint64_t u = static_cast<uint64_t>(values[i]) -
+                       static_cast<uint64_t>(values[i - 1]) -
+                       static_cast<uint64_t>(plan.min_delta);
+    acc |= u << bits;
+    bits += plan.bit_width;
+    if (bits >= 64) {
+      AppendU64(out, acc);
+      bits -= 64;
+      acc = bits > 0 ? u >> (plan.bit_width - bits) : 0;
+    }
+  }
+  if (bits > 0) AppendU64(out, acc);
+}
+
+struct BlockHeader {
+  uint8_t mode = 0;
+  uint8_t scale = 0;
+  uint8_t width = 0;
+  uint64_t count = 0;
+};
+
+Status ParseHeader(std::span<const uint8_t> bytes, size_t expected,
+                   BlockHeader* header) {
+  if (bytes.size() < kBlockHeaderBytes) {
+    return Status::Corruption("encoded block shorter than its header");
+  }
+  header->mode = bytes[0];
+  header->scale = bytes[1];
+  header->width = bytes[2];
+  header->count = ReadU64(bytes.data() + 8);
+  if (header->count != expected) {
+    return Status::Corruption(StringPrintf(
+        "encoded block holds %llu values, index expects %zu",
+        static_cast<unsigned long long>(header->count), expected));
+  }
+  if (header->width > 64) {
+    return Status::Corruption("encoded block bit width exceeds 64");
+  }
+  if (header->scale > kMaxDecimalScale) {
+    return Status::Corruption("encoded block decimal scale out of range");
+  }
+  return Status::OK();
+}
+
+/// Validates the payload length of a packed block and decodes its ints.
+Status DecodePacked(std::span<const uint8_t> bytes, const BlockHeader& header,
+                    std::vector<int64_t>* out) {
+  const std::span<const uint8_t> payload = bytes.subspan(kBlockHeaderBytes);
+  if (header.count == 0) {
+    if (!payload.empty()) {
+      return Status::Corruption("empty packed block carries payload bytes");
+    }
+    return Status::OK();
+  }
+  size_t total_bits = 0;
+  if (__builtin_mul_overflow(static_cast<size_t>(header.count - 1),
+                             static_cast<size_t>(header.width), &total_bits)) {
+    return Status::Corruption("packed block bit count overflows");
+  }
+  const size_t words = (total_bits + 63) / 64;
+  if (payload.size() != 16 + words * 8) {
+    return Status::Corruption(StringPrintf(
+        "packed block payload is %zu bytes, want %zu", payload.size(),
+        16 + words * 8));
+  }
+  const int64_t first = static_cast<int64_t>(ReadU64(payload.data()));
+  const uint64_t min_delta = ReadU64(payload.data() + 8);
+  const uint8_t* words_base = payload.data() + 16;
+  out->reserve(out->size() + header.count);
+  out->push_back(first);
+  uint64_t prev = static_cast<uint64_t>(first);
+  const int width = header.width;
+  const uint64_t mask =
+      width >= 64 ? ~uint64_t{0} : ((uint64_t{1} << width) - 1);
+  for (uint64_t i = 1; i < header.count; ++i) {
+    uint64_t u = 0;
+    if (width > 0) {
+      const size_t bit_pos = static_cast<size_t>(i - 1) * width;
+      const size_t word = bit_pos / 64;
+      const int off = static_cast<int>(bit_pos % 64);
+      u = ReadU64(words_base + word * 8) >> off;
+      if (off + width > 64) {
+        u |= ReadU64(words_base + (word + 1) * 8) << (64 - off);
+      }
+      u &= mask;
+    }
+    prev += u + min_delta;  // Unsigned wrap mirrors the encoder exactly.
+    out->push_back(static_cast<int64_t>(prev));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+uint64_t Fnv1a(std::span<const uint8_t> bytes, uint64_t seed) {
+  uint64_t hash = seed;
+  for (uint8_t byte : bytes) {
+    hash ^= byte;
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+uint64_t Fnv1aSeed() { return kFnvOffsetBasis; }
+
+void EncodeInts(std::span<const int64_t> values, std::vector<uint8_t>* out) {
+  const PackedPlan plan = PlanPack(values);
+  if (plan.ok &&
+      PackedPayloadBytes(values.size(), plan.bit_width) < values.size() * 8) {
+    EmitPacked(kPackedInts, 0, plan, values, out);
+    return;
+  }
+  AppendHeader(out, kRawInts, 0, 0, values.size());
+  const auto* bytes = reinterpret_cast<const uint8_t*>(values.data());
+  out->insert(out->end(), bytes, bytes + values.size() * sizeof(int64_t));
+}
+
+void EncodeDoubles(std::span<const double> values, std::vector<uint8_t>* out) {
+  // Verified decimal fixed-point: find the smallest power of ten whose
+  // rounded integers reproduce every input bit-exactly (bit comparison,
+  // so -0.0 and NaN land in the raw fallback rather than silently
+  // changing). CSV-quantized feeds pass at the writer's print precision.
+  std::vector<int64_t> ints;
+  for (int scale = 0; scale <= kMaxDecimalScale; ++scale) {
+    ints.clear();
+    ints.reserve(values.size());
+    bool exact = true;
+    for (double v : values) {
+      if (!std::isfinite(v)) {
+        exact = false;
+        break;
+      }
+      const double scaled = v * kPow10[scale];
+      if (!(std::fabs(scaled) < 4.6e18)) {  // llround stays in int64.
+        exact = false;
+        break;
+      }
+      const int64_t n = std::llround(scaled);
+      if (std::bit_cast<uint64_t>(static_cast<double>(n) / kPow10[scale]) !=
+          std::bit_cast<uint64_t>(v)) {
+        exact = false;
+        break;
+      }
+      ints.push_back(n);
+    }
+    if (!exact) continue;
+    const PackedPlan plan = PlanPack(ints);
+    if (plan.ok && PackedPayloadBytes(ints.size(), plan.bit_width) <
+                       values.size() * sizeof(double)) {
+      EmitPacked(kPackedDoubles, static_cast<uint8_t>(scale), plan, ints, out);
+      return;
+    }
+    break;  // Packing at a coarser scale only gets wider; fall back raw.
+  }
+  AppendHeader(out, kRawDoubles, 0, 0, values.size());
+  const auto* bytes = reinterpret_cast<const uint8_t*>(values.data());
+  out->insert(out->end(), bytes, bytes + values.size() * sizeof(double));
+}
+
+Status DecodeInts(std::span<const uint8_t> bytes, size_t expected,
+                  std::vector<int64_t>* out) {
+  BlockHeader header;
+  SM_RETURN_IF_ERROR(ParseHeader(bytes, expected, &header));
+  if (header.mode == kRawInts) {
+    if (bytes.size() != kBlockHeaderBytes + expected * sizeof(int64_t)) {
+      return Status::Corruption("raw int block has wrong payload size");
+    }
+    const size_t base = out->size();
+    out->resize(base + expected);
+    std::memcpy(out->data() + base, bytes.data() + kBlockHeaderBytes,
+                expected * sizeof(int64_t));
+    return Status::OK();
+  }
+  if (header.mode == kPackedInts) {
+    return DecodePacked(bytes, header, out);
+  }
+  return Status::Corruption("int block has a double-typed mode byte");
+}
+
+Status DecodeDoubles(std::span<const uint8_t> bytes, size_t expected,
+                     std::vector<double>* out) {
+  BlockHeader header;
+  SM_RETURN_IF_ERROR(ParseHeader(bytes, expected, &header));
+  if (header.mode == kRawDoubles) {
+    if (bytes.size() != kBlockHeaderBytes + expected * sizeof(double)) {
+      return Status::Corruption("raw double block has wrong payload size");
+    }
+    const size_t base = out->size();
+    out->resize(base + expected);
+    std::memcpy(out->data() + base, bytes.data() + kBlockHeaderBytes,
+                expected * sizeof(double));
+    return Status::OK();
+  }
+  if (header.mode == kPackedDoubles) {
+    std::vector<int64_t> ints;
+    SM_RETURN_IF_ERROR(DecodePacked(bytes, header, &ints));
+    out->reserve(out->size() + ints.size());
+    for (int64_t n : ints) {
+      out->push_back(static_cast<double>(n) / kPow10[header.scale]);
+    }
+    return Status::OK();
+  }
+  return Status::Corruption("double block has an unknown mode byte");
+}
+
+}  // namespace smartmeter::storage::codec

@@ -1,0 +1,62 @@
+#ifndef SMARTMETER_STORAGE_BLOCK_CODEC_H_
+#define SMARTMETER_STORAGE_BLOCK_CODEC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace smartmeter::storage {
+
+/// Lightweight per-block codec behind SMCOLV2: delta + frame-of-reference
+/// + bit-packing, with a verified decimal fixed-point step in front for
+/// double columns. Meter feeds are decimal-quantized at the source (the
+/// CSV writers print 4/2 fractional digits), so nearly every block packs
+/// to ~20 bits per value; any block that cannot be reproduced bit-exactly
+/// falls back to raw little-endian payloads. Encoders never fail; decode
+/// validates every length/width against the input and returns a clean
+/// `Status` on hostile bytes (no crash, no overread).
+///
+/// Encoded block layout (little-endian):
+///   [0]      uint8 mode (kRawInts | kPackedInts | kRawDoubles |
+///            kPackedDoubles)
+///   [1]      uint8 scale_pow   (decimal power for kPackedDoubles, else 0)
+///   [2]      uint8 bit_width   (packed delta width, 0..64; 0 for raw)
+///   [3..8)   zero padding
+///   [8..16)  uint64 value_count
+///   packed:  int64 first_value, int64 min_delta, then
+///            ceil((count-1) * bit_width / 64) uint64 words
+///   raw:     count int64s (kRawInts) or count doubles (kRawDoubles)
+namespace codec {
+
+inline constexpr uint8_t kRawInts = 0;
+inline constexpr uint8_t kPackedInts = 1;
+inline constexpr uint8_t kRawDoubles = 2;
+inline constexpr uint8_t kPackedDoubles = 3;
+
+inline constexpr size_t kBlockHeaderBytes = 16;
+inline constexpr int kMaxDecimalScale = 7;
+
+/// FNV-1a over `bytes`, seeded so checksums of different sections chain.
+uint64_t Fnv1a(std::span<const uint8_t> bytes, uint64_t seed);
+uint64_t Fnv1aSeed();
+
+/// Appends one encoded block to `out` (packed when smaller, raw
+/// otherwise).
+void EncodeInts(std::span<const int64_t> values, std::vector<uint8_t>* out);
+void EncodeDoubles(std::span<const double> values, std::vector<uint8_t>* out);
+
+/// Decodes exactly one block that must contain `expected` values and
+/// span all of `bytes`. Output is appended to `*out`.
+Status DecodeInts(std::span<const uint8_t> bytes, size_t expected,
+                  std::vector<int64_t>* out);
+Status DecodeDoubles(std::span<const uint8_t> bytes, size_t expected,
+                     std::vector<double>* out);
+
+}  // namespace codec
+}  // namespace smartmeter::storage
+
+#endif  // SMARTMETER_STORAGE_BLOCK_CODEC_H_

@@ -1,5 +1,6 @@
 #include "table/columnar_batch.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/string_util.h"
@@ -113,6 +114,20 @@ ColumnarBatch ColumnarBatch::View() const {
   view.hours_ = hours_;
   view.temperature_ = temperature_;
   return view;
+}
+
+Result<ColumnarBatch> ColumnarBatch::Slice(size_t begin, size_t count) const {
+  const size_t from = std::min(begin, count_);
+  const size_t n = std::min(count, count_ - from);
+  if (contiguous_ != nullptr || count_ == 0) {
+    return FromContiguous(
+        std::span<const int64_t>(ids_ + from, n),
+        SeriesSlice(contiguous_ + from * hours_, n * hours_), temperature_,
+        hours_);
+  }
+  return FromSlices(std::vector<int64_t>(ids_ + from, ids_ + from + n),
+                    std::vector<SeriesSlice>(series_ + from, series_ + from + n),
+                    temperature_);
 }
 
 Status ColumnarBatch::Validate() const {

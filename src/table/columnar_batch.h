@@ -70,6 +70,12 @@ class ColumnarBatch {
   /// original producer must outlive both views.
   ColumnarBatch View() const;
 
+  /// A view restricted to households [begin, begin + count). `begin` is
+  /// clamped to count() and the slice to what remains, mirroring
+  /// `RowScope` semantics. Like View(), the result borrows the original
+  /// producer's memory (the sliced layout copies only its table rows).
+  Result<ColumnarBatch> Slice(size_t begin, size_t count) const;
+
   size_t count() const { return count_; }
   size_t hours() const { return hours_; }
   bool empty() const { return count_ == 0; }

@@ -1,9 +1,12 @@
 #include "table/columnar_cache.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <string_view>
 #include <utility>
+#include <vector>
 
 #include "common/string_util.h"
 #include "obs/metrics.h"
@@ -63,11 +66,24 @@ uint64_t FnvMixFileSample(uint64_t hash, const std::string& path) {
 
 }  // namespace
 
+ColumnarCache::Format ColumnarCache::Options::DefaultFormat() {
+  const char* env = std::getenv("SM_COLUMN_FORMAT");
+  if (env != nullptr && std::string_view(env) == "v1") return Format::kV1;
+  return Format::kV2;
+}
+
 ColumnarCache::ColumnarCache(std::string cache_dir)
     : cache_dir_(std::move(cache_dir)) {}
 
-uint64_t ColumnarCache::KeyFor(const DataSource& source, uint64_t seed) {
+ColumnarCache::ColumnarCache(std::string cache_dir, Options options)
+    : cache_dir_(std::move(cache_dir)), options_(options) {}
+
+uint64_t ColumnarCache::KeyFor(const DataSource& source, uint64_t seed) const {
   uint64_t hash = seed == 0 ? kFnvOffsetBasis : seed;
+  // The spool format is part of the identity: a v1 and a v2 build of the
+  // same source must land in different entries, or a format switch would
+  // serve stale bytes of the other generation.
+  hash = FnvMix(hash, options_.format == Format::kV1 ? "smcolv1" : "smcolv2");
   hash = FnvMix(hash, DataSourceLayoutName(source.layout));
   for (const std::string& file : source.files) {
     hash = FnvMix(hash, file);
@@ -115,7 +131,10 @@ Result<std::unique_ptr<TableReader>> ColumnarCache::OpenOrBuild(
     }
     SM_ASSIGN_OR_RETURN(MeterDataset dataset, ReadDatasetFromSource(source));
     const std::string tmp_path = cache_path + ".tmp";
-    const Status written = storage::ColumnStore::WriteFile(dataset, tmp_path);
+    const Status written =
+        options_.format == Format::kV1
+            ? storage::ColumnStore::WriteFile(dataset, tmp_path)
+            : storage::ColumnFileWriter::WriteFile(dataset, tmp_path);
     if (!written.ok()) {
       fs::remove(tmp_path, ec);
       return written;
@@ -127,13 +146,66 @@ Result<std::unique_ptr<TableReader>> ColumnarCache::OpenOrBuild(
                                           cache_path.c_str(),
                                           ec.message().c_str()));
     }
+    EnforceBudget(cache_path);
   } else {
     hits->Increment();
+    // Re-touch the entry so the LRU sweep sees it as recently used.
+    fs::last_write_time(cache_path, fs::file_time_type::clock::now(), ec);
   }
 
   auto reader = std::make_unique<ColumnFileReader>(cache_path);
   SM_RETURN_IF_ERROR(reader->Open());
+
+  static obs::Counter* bytes_on_disk =
+      obs::MetricsRegistry::Global().GetCounter("table.cache.bytes_on_disk");
+  static obs::Counter* bytes_decoded =
+      obs::MetricsRegistry::Global().GetCounter("table.cache.bytes_decoded");
+  const uint64_t file_bytes = static_cast<uint64_t>(fs::file_size(
+      cache_path, ec));
+  bytes_on_disk->Add(ec ? 0 : static_cast<int64_t>(file_bytes));
+  bytes_decoded->Add(reader->format_version() == 2
+                         ? static_cast<int64_t>(
+                               reader->open_stats().bytes_decoded)
+                         : (ec ? 0 : static_cast<int64_t>(file_bytes)));
   return std::unique_ptr<TableReader>(std::move(reader));
+}
+
+void ColumnarCache::EnforceBudget(const std::string& keep) {
+  if (options_.byte_budget <= 0) return;
+  static obs::Counter* evictions =
+      obs::MetricsRegistry::Global().GetCounter("table.cache.evictions");
+
+  struct Entry {
+    std::string path;
+    fs::file_time_type mtime;
+    int64_t bytes = 0;
+  };
+  std::vector<Entry> entries;
+  int64_t total = 0;
+  std::error_code ec;
+  for (const fs::directory_entry& item :
+       fs::directory_iterator(cache_dir_, ec)) {
+    if (!item.is_regular_file(ec)) continue;
+    if (item.path().extension() != ".smcol") continue;
+    Entry entry;
+    entry.path = item.path().string();
+    entry.mtime = item.last_write_time(ec);
+    if (ec) entry.mtime = fs::file_time_type::min();
+    entry.bytes = static_cast<int64_t>(item.file_size(ec));
+    if (ec) entry.bytes = 0;
+    total += entry.bytes;
+    entries.push_back(std::move(entry));
+  }
+  if (total <= options_.byte_budget) return;
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.mtime < b.mtime; });
+  for (const Entry& entry : entries) {
+    if (total <= options_.byte_budget) break;
+    if (entry.path == keep) continue;
+    if (!fs::remove(entry.path, ec) || ec) continue;
+    total -= entry.bytes;
+    evictions->Increment();
+  }
 }
 
 }  // namespace smartmeter::table

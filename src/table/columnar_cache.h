@@ -19,16 +19,44 @@ namespace smartmeter::table {
 /// Figure 6 distinction — instead of five private re-parsers.
 ///
 /// Cache files live under `cache_dir` as "<key>.smcol" where the key is
-/// an FNV-1a hash over the source's layout plus every file's path, byte
-/// size, and mtime. Touching or rewriting any input file changes the key,
-/// so a stale entry is simply never looked up again (dead entries are
-/// left for the directory owner to sweep).
+/// an FNV-1a hash over the spool format, the source's layout, and every
+/// file's path, byte size, and mtime. Touching or rewriting any input
+/// file changes the key, so a stale entry is simply never looked up
+/// again; dead entries are reclaimed by the byte-budget sweep below.
+///
+/// When `options.byte_budget` is positive the directory is bounded:
+/// after each miss installs a new entry, least-recently-used cache files
+/// (by mtime — hits re-touch their entry) are evicted until the
+/// directory fits the budget again. The just-installed entry is never
+/// evicted, even when it alone exceeds the budget.
 ///
 /// Observability: every OpenOrBuild() bumps "table.cache.hits" or
-/// "table.cache.misses".
+/// "table.cache.misses"; each evicted file bumps "table.cache.evictions".
 class ColumnarCache {
  public:
+  /// Which column-file generation a miss spools.
+  enum class Format {
+    kV1,  // SMCOLV1: raw mmap-able columns.
+    kV2,  // SMCOLV2: compressed blocks + household x hour index.
+  };
+
+  struct Options {
+    /// Spool format for cache misses. Defaults to the environment
+    /// override (SM_COLUMN_FORMAT=v1|v2) or SMCOLV2. Hits of either
+    /// format are readable regardless — ColumnFileReader sniffs the
+    /// magic — but the format is mixed into the cache key so the two
+    /// generations never alias one entry.
+    Format format = DefaultFormat();
+    /// Maximum total bytes of cache files kept in `cache_dir`;
+    /// 0 = unbounded.
+    int64_t byte_budget = 0;
+
+    /// Reads SM_COLUMN_FORMAT ("v1" or "v2"); anything else → kV2.
+    static Format DefaultFormat();
+  };
+
   explicit ColumnarCache(std::string cache_dir);
+  ColumnarCache(std::string cache_dir, Options options);
 
   /// The cache file a source maps to (stats every input file).
   Result<std::string> CacheFilePath(const DataSource& source) const;
@@ -39,13 +67,20 @@ class ColumnarCache {
   /// reader is already open and serves contiguous zero-copy batches.
   Result<std::unique_ptr<TableReader>> OpenOrBuild(const DataSource& source);
 
-  /// Key hash, exposed for tests: FNV-1a over layout + file identities.
-  static uint64_t KeyFor(const DataSource& source, uint64_t seed);
+  /// Key hash, exposed for tests: FNV-1a over format + layout + file
+  /// identities.
+  uint64_t KeyFor(const DataSource& source, uint64_t seed) const;
 
   const std::string& cache_dir() const { return cache_dir_; }
+  const Options& options() const { return options_; }
 
  private:
+  /// Evicts least-recently-used ".smcol" files until the directory fits
+  /// the byte budget; `keep` is never evicted.
+  void EnforceBudget(const std::string& keep);
+
   std::string cache_dir_;
+  Options options_;
 };
 
 }  // namespace smartmeter::table

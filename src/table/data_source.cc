@@ -31,6 +31,7 @@ Status DataSource::Validate() const {
   switch (layout) {
     case Layout::kSingleCsv:
     case Layout::kHouseholdLines:
+    case Layout::kColumnFile:
       if (files.size() != 1) {
         return Status::InvalidArgument(StringPrintf(
             "%s source expects exactly one file, got %zu",
@@ -117,6 +118,14 @@ Result<DataSource> DataSource::WholeFileDir(std::vector<std::string> files) {
   return source;
 }
 
+Result<DataSource> DataSource::ColumnFile(std::string path) {
+  DataSource source;
+  source.layout = Layout::kColumnFile;
+  source.files.push_back(std::move(path));
+  SM_RETURN_IF_ERROR(source.Validate());
+  return source;
+}
+
 std::string_view DataSourceLayoutName(DataSource::Layout layout) {
   switch (layout) {
     case DataSource::Layout::kSingleCsv:
@@ -127,6 +136,8 @@ std::string_view DataSourceLayoutName(DataSource::Layout layout) {
       return "household-lines";
     case DataSource::Layout::kWholeFileDir:
       return "whole-file-dir";
+    case DataSource::Layout::kColumnFile:
+      return "column-file";
   }
   return "unknown";
 }

@@ -22,6 +22,7 @@ struct DataSource {
     kPartitionedDir,   // One CSV file per household (single-server "part.").
     kHouseholdLines,   // One household per line + temperature sidecar.
     kWholeFileDir,     // Many reading-per-line files, households not split.
+    kColumnFile,       // One binary SMCOLV1/SMCOLV2 column file.
   };
   Layout layout = Layout::kSingleCsv;
   /// The file (kSingleCsv / kHouseholdLines) or every file of the
@@ -46,6 +47,10 @@ struct DataSource {
 
   /// Many reading-per-line files, households not aligned to files.
   static Result<DataSource> WholeFileDir(std::vector<std::string> files);
+
+  /// One binary column file, SMCOLV1 or SMCOLV2 (readers sniff the
+  /// magic). Fails unless `path` is a regular file.
+  static Result<DataSource> ColumnFile(std::string path);
 
   /// Re-checks this source's invariants; the named constructors call it,
   /// and engines call it again in Attach so hand-aggregated sources get

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/string_util.h"
+#include "obs/metrics.h"
 #include "storage/csv.h"
 
 namespace smartmeter::table {
@@ -18,8 +19,37 @@ Result<MeterDataset> ReadDatasetFromSource(const DataSource& source) {
       return storage::ReadReadingsCsvFiles(source.files);
     case DataSource::Layout::kHouseholdLines:
       return storage::ReadHouseholdLinesCsv(source.files.front());
+    case DataSource::Layout::kColumnFile: {
+      ColumnFileReader reader(source.files.front());
+      SM_RETURN_IF_ERROR(reader.Open());
+      SM_ASSIGN_OR_RETURN(ColumnarBatch batch, reader.NewBatch());
+      MeterDataset dataset;
+      dataset.SetTemperature(std::vector<double>(batch.temperature().begin(),
+                                                 batch.temperature().end()));
+      for (size_t i = 0; i < batch.count(); ++i) {
+        const SeriesSlice series = batch.consumption(i);
+        dataset.AddConsumer({batch.household_id(i),
+                             std::vector<double>(series.begin(),
+                                                 series.end())});
+      }
+      return dataset;
+    }
   }
   return Status::InvalidArgument("unknown data source layout");
+}
+
+Result<ScopedBatch> TableReader::NewScopedBatch(
+    const storage::ScanScope& scope) const {
+  if (!scope.whole_hours()) {
+    return Status::NotSupported(
+        "hour-window scans need a block-indexed column file");
+  }
+  SM_ASSIGN_OR_RETURN(ColumnarBatch batch, NewBatch());
+  ScopedBatch scoped;
+  const size_t begin = scope.RowBegin(batch.count());
+  const size_t end = scope.RowEnd(batch.count());
+  SM_ASSIGN_OR_RETURN(scoped.batch, batch.Slice(begin, end - begin));
+  return scoped;
 }
 
 // ---------------------------------------------------------------------------
@@ -45,18 +75,97 @@ Result<ColumnarBatch> CsvTableReader::NewBatch() const {
 // ColumnFileReader
 // ---------------------------------------------------------------------------
 
+namespace {
+
+// Heap-owned decode of the blocks a scope touched; a ScopedBatch's
+// `owner` keeps one alive for as long as its span views are used.
+struct DecodedTable {
+  std::vector<int64_t> ids;
+  std::vector<double> consumption;
+  std::vector<double> temperature;
+};
+
+void BumpScanCounters(const storage::ScanStats& stats) {
+  static obs::Counter* decoded =
+      obs::MetricsRegistry::Global().GetCounter("table.scan.blocks_decoded");
+  static obs::Counter* pruned =
+      obs::MetricsRegistry::Global().GetCounter("table.scan.blocks_pruned");
+  decoded->Add(static_cast<int64_t>(stats.blocks_decoded));
+  pruned->Add(static_cast<int64_t>(stats.blocks_pruned));
+}
+
+}  // namespace
+
 ColumnFileReader::ColumnFileReader(std::string path)
     : path_(std::move(path)) {}
 
-Status ColumnFileReader::Open() { return store_.OpenMapped(path_); }
+Status ColumnFileReader::Open() {
+  format_version_ = 0;
+  open_stats_ = {};
+  decoded_ids_.clear();
+  decoded_consumption_.clear();
+  decoded_temperature_.clear();
+  SM_ASSIGN_OR_RETURN(const int version,
+                      storage::SniffColumnFileFormat(path_));
+  if (version == 1) {
+    SM_RETURN_IF_ERROR(store_.OpenMapped(path_));
+  } else {
+    SM_RETURN_IF_ERROR(compressed_.Open(path_));
+    SM_RETURN_IF_ERROR(compressed_.DecodeAll(&decoded_ids_,
+                                             &decoded_consumption_,
+                                             &decoded_temperature_,
+                                             &open_stats_));
+  }
+  format_version_ = version;
+  return Status::OK();
+}
 
 Result<ColumnarBatch> ColumnFileReader::NewBatch() const {
-  if (!store_.is_open()) {
-    return Status::Internal("column file not open");
+  if (format_version_ == 1) {
+    return ColumnarBatch::FromContiguous(store_.household_ids(),
+                                         store_.consumption_column(),
+                                         store_.temperature(), store_.hours());
   }
-  return ColumnarBatch::FromContiguous(store_.household_ids(),
-                                       store_.consumption_column(),
-                                       store_.temperature(), store_.hours());
+  if (format_version_ == 2) {
+    return ColumnarBatch::FromContiguous(
+        decoded_ids_, decoded_consumption_, decoded_temperature_,
+        compressed_.hours());
+  }
+  return Status::Internal("column file not open");
+}
+
+Result<ScopedBatch> ColumnFileReader::NewScopedBatch(
+    const storage::ScanScope& scope) const {
+  if (format_version_ != 2) {
+    // SMCOLV1 has no block index; slice the mapped column by rows.
+    return TableReader::NewScopedBatch(scope);
+  }
+  if (scope.whole()) {
+    // The whole-file decode already happened at Open(); report its cost
+    // (every block decoded, nothing pruned) without decoding again.
+    ScopedBatch scoped;
+    SM_ASSIGN_OR_RETURN(scoped.batch, NewBatch());
+    scoped.stats = open_stats_;
+    BumpScanCounters(scoped.stats);
+    return scoped;
+  }
+  auto decoded = std::make_shared<DecodedTable>();
+  storage::ScanStats stats;
+  SM_RETURN_IF_ERROR(compressed_.DecodeScoped(scope, &decoded->ids,
+                                              &decoded->consumption,
+                                              &decoded->temperature, &stats));
+  const size_t hours = compressed_.hours();
+  const size_t window =
+      scope.HourEnd(hours) - scope.HourBegin(hours);
+  ScopedBatch scoped;
+  SM_ASSIGN_OR_RETURN(
+      scoped.batch,
+      ColumnarBatch::FromContiguous(decoded->ids, decoded->consumption,
+                                    decoded->temperature, window));
+  scoped.owner = std::move(decoded);
+  scoped.stats = stats;
+  BumpScanCounters(scoped.stats);
+  return scoped;
 }
 
 // ---------------------------------------------------------------------------
@@ -149,6 +258,10 @@ Result<ColumnarBatch> DatasetReader::NewBatch() const {
 
 Result<std::unique_ptr<TableReader>> MakeReader(const DataSource& source) {
   SM_RETURN_IF_ERROR(source.Validate());
+  if (source.layout == DataSource::Layout::kColumnFile) {
+    return std::unique_ptr<TableReader>(
+        new ColumnFileReader(source.files.front()));
+  }
   return std::unique_ptr<TableReader>(new CsvTableReader(source));
 }
 

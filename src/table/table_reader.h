@@ -4,17 +4,30 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "cluster/block_store.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "storage/column_store.h"
 #include "storage/row_store.h"
+#include "storage/scan_scope.h"
 #include "table/columnar_batch.h"
 #include "table/data_source.h"
 #include "timeseries/dataset.h"
 
 namespace smartmeter::table {
+
+/// A batch restricted to a ScanScope, plus whatever keeps its memory
+/// alive and what the restriction cost. `owner` is null when the batch
+/// borrows the reader's own storage (the common slice-of-resident case)
+/// and holds freshly decoded buffers when the reader pruned blocks into
+/// a private decode (the SMCOLV2 path).
+struct ScopedBatch {
+  ColumnarBatch batch;
+  std::shared_ptr<const void> owner;
+  storage::ScanStats stats;
+};
 
 /// One interface every storage backend implements so the engines and the
 /// kernels see a single shape of data: Open() does the format-specific
@@ -38,6 +51,13 @@ class TableReader {
   /// A zero-copy view over everything Open() loaded. Valid until the
   /// reader is destroyed or re-opened.
   virtual Result<ColumnarBatch> NewBatch() const = 0;
+
+  /// A batch restricted to `scope`. The base implementation slices the
+  /// full batch by rows (hour windows are rejected — only an indexed
+  /// format can restrict them); block-indexed readers override it to
+  /// decode only the matching blocks and report prune counts.
+  virtual Result<ScopedBatch> NewScopedBatch(
+      const storage::ScanScope& scope) const;
 
   /// Short stable label for reports ("csv", "column-file", ...).
   virtual std::string_view format_name() const = 0;
@@ -64,22 +84,47 @@ class CsvTableReader : public TableReader {
   bool open_ = false;
 };
 
-/// mmap path over the SMCOLV1 binary columnar format (System C's native
-/// store and the columnar cache's file format). Open() is an mmap — no
-/// parsing — and batches are pure pointer arithmetic into the mapping.
+/// Binary column-file path (System C's native store and the columnar
+/// cache's file format). Open() sniffs the generation: SMCOLV1 is pure
+/// mmap + pointer arithmetic; SMCOLV2 mmaps the compressed file and
+/// decodes its blocks into resident buffers once, after which batches
+/// are the same zero-copy spans. Scoped batches over SMCOLV2 decode only
+/// the blocks the scope touches (block-index pruning) and surface the
+/// prune counts through `table.scan.blocks_{pruned,decoded}`.
 class ColumnFileReader : public TableReader {
  public:
   explicit ColumnFileReader(std::string path);
 
   Status Open() override;
   Result<ColumnarBatch> NewBatch() const override;
+  Result<ScopedBatch> NewScopedBatch(
+      const storage::ScanScope& scope) const override;
   std::string_view format_name() const override { return "column-file"; }
 
+  /// 1 (SMCOLV1) or 2 (SMCOLV2) once open.
+  int format_version() const { return format_version_; }
+  /// What Open() decoded: zero for SMCOLV1 (nothing to decode), the
+  /// whole-file block/byte counts for SMCOLV2.
+  const storage::ScanStats& open_stats() const { return open_stats_; }
+
   const storage::ColumnStore& store() const { return store_; }
+  /// The compressed SMCOLV2 mapping, or null when the open file is
+  /// SMCOLV1 (whose reads go through store()).
+  const storage::CompressedColumnFile* compressed() const {
+    return format_version_ == 2 ? &compressed_ : nullptr;
+  }
 
  private:
   std::string path_;
+  int format_version_ = 0;
   storage::ColumnStore store_;
+  storage::CompressedColumnFile compressed_;
+  storage::ScanStats open_stats_;
+  // Resident decode of an SMCOLV2 file (owned by the reader; batches
+  // borrow it just like the SMCOLV1 mapping).
+  std::vector<int64_t> decoded_ids_;
+  std::vector<double> decoded_consumption_;
+  std::vector<double> decoded_temperature_;
 };
 
 /// Heap-file + B+-tree path (MADLib's row table): Open() runs the

@@ -4,6 +4,7 @@
 // stopped QueryContext aborts a plan at a partition boundary.
 #include <chrono>
 #include <filesystem>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -18,6 +19,7 @@
 #include "engines/systemc_engine.h"
 #include "exec/plan.h"
 #include "exec/plan_executor.h"
+#include "storage/column_store.h"
 #include "storage/csv.h"
 #include "timeseries/calendar.h"
 
@@ -174,6 +176,70 @@ TEST_F(PlanTest, FiveEnginesBitIdenticalOverSameBytes) {
       SCOPED_TRACE(std::string(engine->name()) + "/" +
                    std::string(core::TaskName(task)));
       ExpectBitIdentical(results, baseline, task);
+    }
+  }
+}
+
+TEST_F(PlanTest, FiveEnginesBitIdenticalAcrossColumnFormats) {
+  // The SMCOLV1 -> SMCOLV2 migration is a pure storage change: every
+  // engine fed the compressed file must produce the same bits as when
+  // fed the raw mmap file, across all four tasks. This is the
+  // non-negotiable parity pin for the compressed format.
+  datagen::SeedGeneratorOptions options;
+  options.num_households = kHouseholds;
+  options.hours = kHoursPerYear;
+  options.seed = 411;
+  MeterDataset dataset = *datagen::GenerateSeedDataset(options);
+  const std::string v1_path = (*dir_ / "cols.v1.smcol").string();
+  const std::string v2_path = (*dir_ / "cols.v2.smcol").string();
+  ASSERT_TRUE(storage::ColumnStore::WriteFile(dataset, v1_path).ok());
+  ASSERT_TRUE(storage::ColumnFileWriter::WriteFile(dataset, v2_path).ok());
+
+  const auto make_engines = [this](const char* spool) {
+    std::vector<std::unique_ptr<AnalyticsEngine>> engines;
+    engines.push_back(std::make_unique<SystemCEngine>((*dir_ / spool).string()));
+    engines.push_back(std::make_unique<MadlibEngine>());
+    engines.push_back(std::make_unique<MatlabEngine>());
+    engines.push_back(std::make_unique<SparkEngine>(SparkOptions(64 << 10)));
+    engines.push_back(std::make_unique<HiveEngine>(HiveOptions(64 << 10)));
+    return engines;
+  };
+  auto v1_engines = make_engines("spool_fmt_v1");
+  auto v2_engines = make_engines("spool_fmt_v2");
+  const DataSource v1_source = *DataSource::ColumnFile(v1_path);
+  const DataSource v2_source = *DataSource::ColumnFile(v2_path);
+  for (auto& engine : v1_engines) {
+    auto attach = engine->Attach(v1_source);
+    ASSERT_TRUE(attach.ok())
+        << engine->name() << ": " << attach.status().ToString();
+  }
+  for (auto& engine : v2_engines) {
+    auto attach = engine->Attach(v2_source);
+    ASSERT_TRUE(attach.ok())
+        << engine->name() << ": " << attach.status().ToString();
+  }
+
+  for (core::TaskType task : core::kAllTasks) {
+    const TaskOptions task_options = TaskOptions::Default(task);
+    TaskResultSet baseline;
+    ASSERT_TRUE(v1_engines[0]->RunTask(task_options, &baseline).ok());
+    for (size_t e = 0; e < v1_engines.size(); ++e) {
+      TaskResultSet over_v1;
+      TaskResultSet over_v2;
+      auto v1_metrics = v1_engines[e]->RunTask(task_options, &over_v1);
+      auto v2_metrics = v2_engines[e]->RunTask(task_options, &over_v2);
+      ASSERT_TRUE(v1_metrics.ok())
+          << v1_engines[e]->name() << "/" << core::TaskName(task) << ": "
+          << v1_metrics.status().ToString();
+      ASSERT_TRUE(v2_metrics.ok())
+          << v2_engines[e]->name() << "/" << core::TaskName(task) << ": "
+          << v2_metrics.status().ToString();
+      SCOPED_TRACE(std::string(v1_engines[e]->name()) + "/" +
+                   std::string(core::TaskName(task)));
+      // Same engine across formats, and every engine against the
+      // five-way baseline: one storage change, zero result drift.
+      ExpectBitIdentical(over_v2, over_v1, task);
+      ExpectBitIdentical(over_v1, baseline, task);
     }
   }
 }

@@ -15,8 +15,10 @@
 #include "engines/spark_engine.h"
 #include "engines/systemc_engine.h"
 #include "obs/metrics.h"
+#include "storage/column_store.h"
 #include "storage/csv.h"
 #include "storage/row_store.h"
+#include "storage/scan_scope.h"
 #include "table/columnar_batch.h"
 #include "table/columnar_cache.h"
 #include "table/data_source.h"
@@ -259,6 +261,225 @@ TEST_F(TableTest, FromContiguousRejectsShapeMismatch) {
   auto batch =
       table::ColumnarBatch::FromContiguous(ids, column, {}, /*hours=*/24);
   EXPECT_FALSE(batch.ok());
+}
+
+// ---------------------------------------------------------------------------
+// SMCOLV2 round-trips, scoped decode, and cache bounding
+// ---------------------------------------------------------------------------
+
+TEST_F(TableTest, V1AndV2ColumnFilesDecodeBitExact) {
+  const MeterDataset dataset = SmallDataset(6, 7 * 24, 91);
+  const std::string v1_path = (dir_ / "data.v1.smcol").string();
+  const std::string v2_path = (dir_ / "data.v2.smcol").string();
+  ASSERT_TRUE(storage::ColumnStore::WriteFile(dataset, v1_path).ok());
+  ASSERT_TRUE(storage::ColumnFileWriter::WriteFile(dataset, v2_path).ok());
+  ASSERT_EQ(*storage::SniffColumnFileFormat(v1_path), 1);
+  ASSERT_EQ(*storage::SniffColumnFileFormat(v2_path), 2);
+
+  table::ColumnFileReader v1(v1_path);
+  table::ColumnFileReader v2(v2_path);
+  ASSERT_TRUE(v1.Open().ok());
+  const Status v2_open = v2.Open();
+  ASSERT_TRUE(v2_open.ok()) << v2_open.ToString();
+  EXPECT_EQ(v1.format_version(), 1);
+  EXPECT_EQ(v2.format_version(), 2);
+
+  auto v1_batch = v1.NewBatch();
+  auto v2_batch = v2.NewBatch();
+  ASSERT_TRUE(v1_batch.ok());
+  ASSERT_TRUE(v2_batch.ok());
+  ExpectBatchesBitExact(*v2_batch, *v1_batch, "smcolv2-vs-smcolv1");
+
+  // V1 opens by pure mmap (nothing decoded); V2 reports its decode work.
+  EXPECT_EQ(v1.open_stats().blocks_decoded, 0);
+  EXPECT_GT(v2.open_stats().blocks_decoded, 0);
+  EXPECT_GT(v2.open_stats().bytes_on_disk, 0);
+  EXPECT_GT(v2.open_stats().bytes_decoded, v2.open_stats().bytes_on_disk / 8);
+}
+
+TEST_F(TableTest, ColumnFileEdgeShapesRoundTrip) {
+  // Shapes that stress the block cutter: a single household, series whose
+  // value count is not a multiple of the block size, and one household
+  // per block boundary. block_values=7 keeps blocks tiny at test scale.
+  struct Shape {
+    int households;
+    size_t hours;
+  };
+  const Shape shapes[] = {{1, 24}, {5, 25}, {3, 31}, {2, 48}};
+  int index = 0;
+  for (const Shape& shape : shapes) {
+    SCOPED_TRACE(testing::Message() << shape.households << " households x "
+                                    << shape.hours << " hours");
+    const MeterDataset dataset =
+        SmallDataset(shape.households, shape.hours, 100 + index);
+    const std::string path =
+        (dir_ / ("edge" + std::to_string(index++) + ".smcol")).string();
+    ASSERT_TRUE(
+        storage::ColumnFileWriter::WriteFile(dataset, path, /*block_values=*/7)
+            .ok());
+    table::ColumnFileReader reader(path);
+    ASSERT_TRUE(reader.Open().ok());
+    auto batch = reader.NewBatch();
+    ASSERT_TRUE(batch.ok());
+    auto want = table::ColumnarBatch::FromDataset(dataset);
+    ASSERT_TRUE(want.ok());
+    ExpectBatchesBitExact(*batch, *want, "edge-shape");
+  }
+}
+
+TEST_F(TableTest, EmptyColumnFileRoundTrips) {
+  // Zero households is a legal file: temperature and the (empty) footer
+  // index still round-trip.
+  const std::string path = (dir_ / "empty.smcol").string();
+  std::vector<double> temperature(24, 15.5);
+  storage::ColumnFileWriter writer(path);
+  ASSERT_TRUE(writer.Open(temperature.size()).ok());
+  ASSERT_TRUE(writer.Finish(temperature).ok());
+
+  table::ColumnFileReader reader(path);
+  ASSERT_TRUE(reader.Open().ok());
+  EXPECT_EQ(reader.format_version(), 2);
+  auto batch = reader.NewBatch();
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(batch->count(), 0u);
+  ASSERT_EQ(batch->temperature().size(), temperature.size());
+  for (size_t h = 0; h < temperature.size(); ++h) {
+    EXPECT_EQ(batch->temperature()[h], temperature[h]);
+  }
+}
+
+TEST_F(TableTest, ScopedBatchMatchesSlicedFullBatchAndPrunes) {
+  const MeterDataset dataset = SmallDataset(8, 48, 17);
+  const std::string path = (dir_ / "scoped.smcol").string();
+  // Small blocks so an 8-household table spans many blocks and a scoped
+  // read has something to prune.
+  ASSERT_TRUE(
+      storage::ColumnFileWriter::WriteFile(dataset, path, /*block_values=*/16)
+          .ok());
+  table::ColumnFileReader reader(path);
+  ASSERT_TRUE(reader.Open().ok());
+  auto full = reader.NewBatch();
+  ASSERT_TRUE(full.ok());
+
+  storage::ScanScope scope;
+  scope.row_begin = 3;
+  scope.row_count = 2;
+  auto scoped = reader.NewScopedBatch(scope);
+  ASSERT_TRUE(scoped.ok()) << scoped.status().ToString();
+  auto want = full->Slice(scope.row_begin, scope.row_count);
+  ASSERT_TRUE(want.ok());
+  ExpectBatchesBitExact(scoped->batch, *want, "scoped-vs-sliced");
+
+  // The block index must have done real work: some blocks pruned, fewer
+  // decoded than exist, and the counts partition the total.
+  EXPECT_GT(scoped->stats.blocks_pruned, 0);
+  EXPECT_GT(scoped->stats.blocks_decoded, 0);
+  EXPECT_LT(scoped->stats.blocks_decoded, scoped->stats.blocks_total);
+  EXPECT_EQ(scoped->stats.blocks_decoded + scoped->stats.blocks_pruned,
+            scoped->stats.blocks_total);
+}
+
+TEST_F(TableTest, ScopedHourWindowDecodesWindowOnly) {
+  const MeterDataset dataset = SmallDataset(4, 48, 29);
+  const std::string path = (dir_ / "hour_window.smcol").string();
+  ASSERT_TRUE(
+      storage::ColumnFileWriter::WriteFile(dataset, path, /*block_values=*/16)
+          .ok());
+  table::ColumnFileReader reader(path);
+  ASSERT_TRUE(reader.Open().ok());
+  auto full = reader.NewBatch();
+  ASSERT_TRUE(full.ok());
+
+  storage::ScanScope scope;
+  scope.hour_begin = 12;
+  scope.hour_count = 8;
+  auto scoped = reader.NewScopedBatch(scope);
+  ASSERT_TRUE(scoped.ok()) << scoped.status().ToString();
+  ASSERT_EQ(scoped->batch.count(), full->count());
+  ASSERT_EQ(scoped->batch.hours(), scope.hour_count);
+  for (size_t i = 0; i < full->count(); ++i) {
+    const table::SeriesSlice got = scoped->batch.consumption(i);
+    const table::SeriesSlice all = full->consumption(i);
+    for (size_t h = 0; h < scope.hour_count; ++h) {
+      ASSERT_EQ(got[h], all[scope.hour_begin + h])
+          << "household " << i << " window hour " << h;
+    }
+  }
+  ASSERT_EQ(scoped->batch.temperature().size(), scope.hour_count);
+  for (size_t h = 0; h < scope.hour_count; ++h) {
+    EXPECT_EQ(scoped->batch.temperature()[h],
+              full->temperature()[scope.hour_begin + h]);
+  }
+}
+
+TEST_F(TableTest, CacheEvictsLruUnderByteBudget) {
+  const MeterDataset first = SmallDataset(4, 48, 7);
+  const MeterDataset second = SmallDataset(5, 48, 8);
+  const std::string first_csv = (dir_ / "first.csv").string();
+  const std::string second_csv = (dir_ / "second.csv").string();
+  ASSERT_TRUE(storage::WriteReadingsCsv(first, first_csv).ok());
+  ASSERT_TRUE(storage::WriteReadingsCsv(second, second_csv).ok());
+  auto first_source = table::DataSource::SingleCsv(first_csv);
+  auto second_source = table::DataSource::SingleCsv(second_csv);
+  ASSERT_TRUE(first_source.ok());
+  ASSERT_TRUE(second_source.ok());
+
+  // A 1-byte budget holds at most the just-installed entry, so the second
+  // miss must evict the first entry's file.
+  table::ColumnarCache::Options options;
+  options.byte_budget = 1;
+  table::ColumnarCache cache((dir_ / "cache").string(), options);
+  const int64_t evictions_before = CounterValue("table.cache.evictions");
+
+  auto one = cache.OpenOrBuild(*first_source);
+  ASSERT_TRUE(one.ok()) << one.status().ToString();
+  auto first_path = cache.CacheFilePath(*first_source);
+  ASSERT_TRUE(first_path.ok());
+  ASSERT_TRUE(fs::exists(*first_path));
+
+  auto two = cache.OpenOrBuild(*second_source);
+  ASSERT_TRUE(two.ok()) << two.status().ToString();
+  EXPECT_EQ(CounterValue("table.cache.evictions"), evictions_before + 1);
+  EXPECT_FALSE(fs::exists(*first_path));
+  auto second_path = cache.CacheFilePath(*second_source);
+  ASSERT_TRUE(second_path.ok());
+  EXPECT_TRUE(fs::exists(*second_path));
+}
+
+TEST_F(TableTest, CacheSpoolsRequestedFormatWithBitExactBatches) {
+  const MeterDataset dataset = SmallDataset(5, 72, 13);
+  const std::string csv_path = (dir_ / "data.csv").string();
+  ASSERT_TRUE(storage::WriteReadingsCsv(dataset, csv_path).ok());
+  auto source = table::DataSource::SingleCsv(csv_path);
+  ASSERT_TRUE(source.ok());
+
+  table::CsvTableReader csv_reader(*source);
+  ASSERT_TRUE(csv_reader.Open().ok());
+  auto reference = csv_reader.NewBatch();
+  ASSERT_TRUE(reference.ok());
+
+  const table::ColumnarCache::Format formats[] = {
+      table::ColumnarCache::Format::kV1, table::ColumnarCache::Format::kV2};
+  for (table::ColumnarCache::Format format : formats) {
+    const int expect_version =
+        format == table::ColumnarCache::Format::kV1 ? 1 : 2;
+    SCOPED_TRACE(testing::Message() << "format v" << expect_version);
+    table::ColumnarCache::Options options;
+    options.format = format;
+    table::ColumnarCache cache(
+        (dir_ / ("cache_v" + std::to_string(expect_version))).string(),
+        options);
+    auto reader = cache.OpenOrBuild(*source);
+    ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+    auto cache_path = cache.CacheFilePath(*source);
+    ASSERT_TRUE(cache_path.ok());
+    auto sniffed = storage::SniffColumnFileFormat(*cache_path);
+    ASSERT_TRUE(sniffed.ok());
+    EXPECT_EQ(*sniffed, expect_version);
+    auto batch = (*reader)->NewBatch();
+    ASSERT_TRUE(batch.ok());
+    ExpectBatchesBitExact(*batch, *reference, "cache-spool-format");
+  }
 }
 
 // ---------------------------------------------------------------------------
