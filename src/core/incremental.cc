@@ -1,0 +1,212 @@
+#include "core/incremental.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/string_util.h"
+#include "simd/simd.h"
+#include "timeseries/calendar.h"
+
+namespace smartmeter::core {
+
+// ---------------------------------------------------------------------------
+// IncrementalHistogram
+// ---------------------------------------------------------------------------
+
+IncrementalHistogram::IncrementalHistogram(HistogramOptions options)
+    : options_(options) {}
+
+void IncrementalHistogram::Append(double value) {
+  values_.push_back(value);
+  if (dirty_) return;
+  // NaNs compare false on both sides and fall through to the binning
+  // kernel, exactly as they do inside the batch scan.
+  if (value < min_ || value > max_) {
+    dirty_ = true;  // Range grew: every bucket boundary moves.
+    return;
+  }
+  if (width_ > 0.0) {
+    simd::HistogramBin(std::span<const double>(&value, 1), min_, width_,
+                       counts_);
+  } else {
+    // Degenerate range (min == max): everything lands in bucket 0,
+    // mirroring BuildFixedRangeHistogram.
+    ++counts_[0];
+  }
+}
+
+Result<stats::EquiWidthHistogram> IncrementalHistogram::Snapshot() {
+  if (dirty_) {
+    SM_ASSIGN_OR_RETURN(
+        stats::EquiWidthHistogram rebuilt,
+        stats::BuildEquiWidthHistogram(values_, options_.num_buckets));
+    min_ = rebuilt.min;
+    max_ = rebuilt.max;
+    width_ = (max_ - min_) / static_cast<double>(options_.num_buckets);
+    counts_ = std::move(rebuilt.counts);
+    dirty_ = false;
+    ++rebuilds_;
+  }
+  stats::EquiWidthHistogram histogram;
+  histogram.min = min_;
+  histogram.max = max_;
+  histogram.counts = counts_;
+  return histogram;
+}
+
+// ---------------------------------------------------------------------------
+// IncrementalDailyProfile
+// ---------------------------------------------------------------------------
+
+IncrementalDailyProfile::IncrementalDailyProfile(int64_t household_id,
+                                                 ParOptions options)
+    : household_id_(household_id), options_(options) {
+  const int p = options_.lags;
+  const size_t num_coeffs = static_cast<size_t>(p > 0 ? p + 2 : 2);
+  gram_.reserve(kHoursPerDay);
+  xty_.reserve(kHoursPerDay);
+  for (int hour = 0; hour < kHoursPerDay; ++hour) {
+    gram_.emplace_back(num_coeffs, num_coeffs);
+    xty_.emplace_back(num_coeffs, 0.0);
+  }
+}
+
+int IncrementalDailyProfile::days() const {
+  return static_cast<int>(consumption_.size()) / kHoursPerDay;
+}
+
+void IncrementalDailyProfile::Append(double consumption, double temperature) {
+  consumption_.push_back(consumption);
+  temperature_.push_back(temperature);
+  if (options_.lags < 1) return;  // Fit() reports the error.
+  if (consumption_.size() % kHoursPerDay != 0) return;
+  const int completed = days() - 1;
+  if (completed >= options_.lags) AccumulateDay(completed);
+}
+
+void IncrementalDailyProfile::AccumulateDay(int day) {
+  const int p = options_.lags;
+  const size_t k = static_cast<size_t>(p) + 2;
+  std::vector<double> row(k);
+  for (int hour = 0; hour < kHoursPerDay; ++hour) {
+    const size_t t = static_cast<size_t>(day * kHoursPerDay + hour);
+    row[0] = 1.0;
+    for (int lag = 1; lag <= p; ++lag) {
+      row[static_cast<size_t>(lag)] =
+          consumption_[t - static_cast<size_t>(lag) * kHoursPerDay];
+    }
+    row[static_cast<size_t>(p) + 1] = temperature_[t];
+    const double y = consumption_[t];
+
+    // Rank-one update in Matrix::Gram's exact accumulation order: days
+    // arrive ascending, so each upper-triangle cell sums the same terms
+    // in the same sequence as the batch assembly — bit-identical.
+    stats::Matrix& gram = gram_[static_cast<size_t>(hour)];
+    for (size_t i = 0; i < k; ++i) {
+      const double ri = row[i];
+      if (ri == 0.0) continue;
+      for (size_t j = i; j < k; ++j) {
+        gram.At(i, j) += ri * row[j];
+      }
+    }
+    std::vector<double>& xty = xty_[static_cast<size_t>(hour)];
+    for (size_t c = 0; c < k; ++c) {
+      xty[c] += row[c] * y;
+    }
+  }
+}
+
+Result<DailyProfileResult> IncrementalDailyProfile::Fit() const {
+  if (options_.lags < 1) {
+    return Status::InvalidArgument("PAR: need at least one lag");
+  }
+  const int p = options_.lags;
+  const int num_days = days();
+  const int usable_days = num_days - p;
+  const int num_coeffs = p + 2;
+  if (usable_days < num_coeffs + 1) {
+    return Status::InvalidArgument(StringPrintf(
+        "PAR: household %lld has %d days, need at least %d",
+        static_cast<long long>(household_id_), num_days, p + num_coeffs + 1));
+  }
+
+  DailyProfileResult result;
+  result.household_id = household_id_;
+  result.profile.assign(kHoursPerDay, 0.0);
+  result.coefficients.resize(kHoursPerDay);
+  result.temperature_beta.assign(kHoursPerDay, 0.0);
+
+  const size_t k = static_cast<size_t>(num_coeffs);
+  for (int hour = 0; hour < kHoursPerDay; ++hour) {
+    // Mirror the accumulated upper triangle the way Gram() does before
+    // handing the normal equations to the shared ridge solve.
+    stats::Matrix gram = gram_[static_cast<size_t>(hour)];
+    for (size_t i = 0; i < k; ++i) {
+      for (size_t j = 0; j < i; ++j) {
+        gram.At(i, j) = gram.At(j, i);
+      }
+    }
+    SM_ASSIGN_OR_RETURN(
+        std::vector<double> beta,
+        stats::SolveNormalEquations(gram, xty_[static_cast<size_t>(hour)]));
+    result.temperature_beta[static_cast<size_t>(hour)] =
+        beta[static_cast<size_t>(p) + 1];
+    result.coefficients[static_cast<size_t>(hour)] = std::move(beta);
+  }
+
+  // Phase B replay over the retained series: identical per-day residual
+  // accumulation to the batch kernel, now with the final betas.
+  std::vector<double> acc(kHoursPerDay, 0.0);
+  const std::span<const double> consumption(consumption_);
+  const std::span<const double> temperature(temperature_);
+  for (int d = p; d < num_days; ++d) {
+    const size_t t0 = static_cast<size_t>(d) * kHoursPerDay;
+    simd::AddResidual(acc, consumption.subspan(t0, kHoursPerDay),
+                      temperature.subspan(t0, kHoursPerDay),
+                      result.temperature_beta);
+  }
+  for (int hour = 0; hour < kHoursPerDay; ++hour) {
+    double value =
+        acc[static_cast<size_t>(hour)] / static_cast<double>(usable_days);
+    if (options_.clamp_nonnegative) value = std::max(0.0, value);
+    result.profile[static_cast<size_t>(hour)] = value;
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// IncrementalThreeLine
+// ---------------------------------------------------------------------------
+
+IncrementalThreeLine::IncrementalThreeLine(int64_t household_id,
+                                           ThreeLineOptions options)
+    : household_id_(household_id), options_(options) {}
+
+void IncrementalThreeLine::Append(double consumption, double temperature) {
+  consumption_.push_back(consumption);
+  temperature_.push_back(temperature);
+  if (options_.temperature_bin_width <= 0.0) return;  // Fit() rejects.
+  int32_t bin = 0;
+  simd::BinIndicesInt32(std::span<const double>(&temperature, 1),
+                        options_.temperature_bin_width, std::span(&bin, 1));
+  bin_idx_.push_back(bin);
+  bins_[bin].push_back(consumption);
+}
+
+Result<ThreeLineResult> IncrementalThreeLine::Fit(
+    ThreeLinePhases* phases) const {
+  if (consumption_.empty()) {
+    return Status::InvalidArgument("3-line: empty series");
+  }
+  if (options_.temperature_bin_width <= 0.0) {
+    return Status::InvalidArgument("3-line: bin width must be positive");
+  }
+  // The quantile pass consumes the bin lists, so hand it a copy and
+  // keep the online state intact for the next reading.
+  return internal::ComputeThreeLineBinned(consumption_, temperature_, bin_idx_,
+                                          bins_, 0.0, household_id_, options_,
+                                          phases, /*ctx=*/nullptr);
+}
+
+}  // namespace smartmeter::core

@@ -1,0 +1,131 @@
+#ifndef SMARTMETER_CORE_INCREMENTAL_H_
+#define SMARTMETER_CORE_INCREMENTAL_H_
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "core/histogram_task.h"
+#include "core/par_task.h"
+#include "core/task_types.h"
+#include "core/three_line_task.h"
+#include "stats/histogram.h"
+#include "stats/matrix.h"
+
+namespace smartmeter::core {
+
+/// Incremental forms of the batch kernels, for the live ingest path:
+/// each class absorbs one reading at a time in O(1)-ish work and can
+/// produce, at any moment, the exact result a full batch recompute over
+/// every reading seen so far would produce — bit-identical, pinned by
+/// incremental_test against all five engines. The trick is never to
+/// invent new math: the hot accumulation replicates the batch kernel's
+/// own summation order, and the query-time finish reuses the batch
+/// code, so parity holds by construction rather than by tolerance.
+
+/// Online equi-width histogram (Section 3.1). Appends inside the
+/// current [min, max] range are a single bucket increment using the
+/// same binning kernel as the batch path (integer counts commute, so
+/// arrival order cannot matter); a range-extending append marks the
+/// histogram dirty and the next Snapshot() rebins the retained values
+/// through BuildEquiWidthHistogram itself — the "exactly-recomputable"
+/// escape hatch for the case where every bucket boundary moved.
+class IncrementalHistogram {
+ public:
+  explicit IncrementalHistogram(HistogramOptions options = {});
+
+  void Append(double value);
+
+  /// The histogram over every value appended so far; identical to
+  /// BuildEquiWidthHistogram over the same values. Fails like the batch
+  /// build does (no values yet, all-NaN range).
+  Result<stats::EquiWidthHistogram> Snapshot();
+
+  size_t size() const { return values_.size(); }
+  /// Full rebins performed (range extensions), for amortization tests.
+  int64_t rebuilds() const { return rebuilds_; }
+
+ private:
+  HistogramOptions options_;
+  std::vector<double> values_;
+  std::vector<int64_t> counts_;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double width_ = 0.0;
+  bool dirty_ = true;
+  int64_t rebuilds_ = 0;
+};
+
+/// Online periodic-autoregression daily profile (Section 3.3). Readings
+/// arrive in hour order; the moment a day completes, its 24 regression
+/// rows enter the per-hour normal equations as rank-one updates that
+/// replicate Matrix::Gram's row-major accumulation order (including its
+/// skip of exact-zero entries), so the Gram matrices are bit-identical
+/// to the batch assembly at every day boundary. Fit() then solves the
+/// same ridge-escalated systems via stats::SolveNormalEquations and
+/// replays the Phase B residual pass over the retained series — total
+/// query-time cost O(24 k^2 + hours) instead of the batch's
+/// O(days * 24 * k^2) design-matrix rebuild.
+class IncrementalDailyProfile {
+ public:
+  explicit IncrementalDailyProfile(int64_t household_id,
+                                   ParOptions options = {});
+
+  /// Feeds the next hour's reading (consumption plus the shared
+  /// temperature for that hour).
+  void Append(double consumption, double temperature);
+
+  Result<DailyProfileResult> Fit() const;
+
+  int64_t hours() const { return static_cast<int64_t>(consumption_.size()); }
+  int days() const;
+
+ private:
+  void AccumulateDay(int day);
+
+  int64_t household_id_;
+  ParOptions options_;
+  std::vector<double> consumption_;
+  std::vector<double> temperature_;
+  // Per hour of day: upper-triangular X^T X and X^T y, accumulated in
+  // ascending-day order exactly as the batch Gram does.
+  std::vector<stats::Matrix> gram_;
+  std::vector<std::vector<double>> xty_;
+};
+
+/// Online three-line thermal model (Section 3.2). The per-reading work
+/// is the T1 bookkeeping the batch pass spends its first scan on: the
+/// temperature-bin index (same vectorized kernel, one element at a
+/// time) and the per-bin consumption lists in arrival order. Fit()
+/// hands those to the shared ComputeThreeLineBinned stages, so only
+/// the quantile + band fit is paid at query time and the result is
+/// the batch function's own output. bins() doubles as the windowed
+/// per-temperature-band occupancy statistic for live dashboards.
+class IncrementalThreeLine {
+ public:
+  explicit IncrementalThreeLine(int64_t household_id,
+                                ThreeLineOptions options = {});
+
+  void Append(double consumption, double temperature);
+
+  Result<ThreeLineResult> Fit(ThreeLinePhases* phases = nullptr) const;
+
+  size_t size() const { return consumption_.size(); }
+  /// Per-temperature-bin consumption values in arrival order (the
+  /// sentinel INT32_MIN bin collects junk temperatures).
+  const std::map<int32_t, std::vector<double>>& bins() const { return bins_; }
+
+ private:
+  int64_t household_id_;
+  ThreeLineOptions options_;
+  std::vector<double> consumption_;
+  std::vector<double> temperature_;
+  std::vector<int32_t> bin_idx_;
+  std::map<int32_t, std::vector<double>> bins_;
+};
+
+}  // namespace smartmeter::core
+
+#endif  // SMARTMETER_CORE_INCREMENTAL_H_

@@ -174,20 +174,34 @@ Result<ThreeLineResult> ComputeThreeLine(std::span<const double> consumption,
     return Status::InvalidArgument("3-line: bin width must be positive");
   }
 
-  // ---- T1: 10th/90th consumption percentile per temperature bin --------
-  Stopwatch t1_clock;
-  // One vectorized pass computes every reading's temperature bin up
-  // front. Non-finite or out-of-range temperatures saturate to the
-  // INT32_MIN sentinel bin (the old per-reading float->int64 cast was
-  // undefined for them); the sentinel bin never defines thresholds, so
-  // junk readings fall out of the band selection below.
+  // ---- Binning: every reading's temperature bin, one vectorized pass --
+  Stopwatch bin_clock;
+  // Non-finite or out-of-range temperatures saturate to the INT32_MIN
+  // sentinel bin (the old per-reading float->int64 cast was undefined
+  // for them); the sentinel bin never defines thresholds, so junk
+  // readings fall out of the band selection below.
   std::vector<int32_t> bin_idx(consumption.size());
   simd::BinIndicesInt32(temperature, options.temperature_bin_width, bin_idx);
-  constexpr int32_t kJunkBin = std::numeric_limits<int32_t>::min();
   std::map<int32_t, std::vector<double>> bins;
   for (size_t i = 0; i < consumption.size(); ++i) {
     bins[bin_idx[i]].push_back(consumption[i]);
   }
+  return internal::ComputeThreeLineBinned(
+      consumption, temperature, bin_idx, std::move(bins),
+      bin_clock.ElapsedSeconds(), household_id, options, phases, ctx);
+}
+
+namespace internal {
+
+Result<ThreeLineResult> ComputeThreeLineBinned(
+    std::span<const double> consumption, std::span<const double> temperature,
+    std::span<const int32_t> bin_idx,
+    std::map<int32_t, std::vector<double>> bins, double bin_seconds,
+    int64_t household_id, const ThreeLineOptions& options,
+    ThreeLinePhases* phases, const exec::QueryContext* ctx) {
+  // ---- T1: 10th/90th consumption percentile per temperature bin --------
+  Stopwatch t1_clock;
+  constexpr int32_t kJunkBin = std::numeric_limits<int32_t>::min();
   // Per retained bin: the p10/p90 thresholds that define the two bands.
   std::map<int32_t, std::pair<double, double>> thresholds;
   for (auto& [bin, values] : bins) {
@@ -206,7 +220,7 @@ Result<ThreeLineResult> ComputeThreeLine(std::span<const double> consumption,
         "3-line: household %lld has only %zu populated temperature bins",
         static_cast<long long>(household_id), thresholds.size()));
   }
-  const double t1_seconds = t1_clock.ElapsedSeconds();
+  const double t1_seconds = bin_seconds + t1_clock.ElapsedSeconds();
   if (ctx != nullptr && ctx->ShouldStop()) return ctx->CheckNotStopped();
 
   // ---- T2: regression over the band readings ---------------------------
@@ -315,6 +329,8 @@ Result<ThreeLineResult> ComputeThreeLine(std::span<const double> consumption,
   }
   return result;
 }
+
+}  // namespace internal
 
 Status ComputeThreeLineRange(const table::ColumnarBatch& batch, size_t begin,
                              size_t end, const ThreeLineOptions& options,

@@ -780,6 +780,19 @@ void ServingRunner::DispatchLoop(engines::AnalyticsEngine* engine,
   }
 }
 
+void ServingRunner::AttachAlertLog(const streaming::AlertLog* log) {
+  alert_log_.store(log, std::memory_order_release);
+}
+
+Result<std::vector<streaming::Alert>> ServingRunner::QueryAlerts(
+    const streaming::AlertQuery& query) const {
+  const streaming::AlertLog* log = alert_log_.load(std::memory_order_acquire);
+  if (log == nullptr) {
+    return Status::NotFound("serving runner: no alert log attached");
+  }
+  return log->Query(query);
+}
+
 void ServingRunner::Drain() {
   std::unique_lock<std::mutex> lock(drain_mu_);
   drained_cv_.wait(lock, [this] { return unresolved_ == 0; });

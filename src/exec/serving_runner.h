@@ -21,6 +21,7 @@
 #include "engines/engine.h"
 #include "exec/plan_executor.h"
 #include "exec/query_context.h"
+#include "streaming/alert_log.h"
 #include "table/data_source.h"
 
 namespace smartmeter::exec {
@@ -302,6 +303,18 @@ class ServingRunner {
   /// shard's child resolved and the partials were gathered.
   Result<std::shared_ptr<QueryTicket>> Submit(const QueryRequest& request);
 
+  /// Wires the live alert channel: alerts recorded into `log` (by a
+  /// StreamProcessor's alert sink on the ingest path) become queryable
+  /// through QueryAlerts alongside the analytical queries — the lambda
+  /// serving surface. Borrowed, not owned; must outlive the runner or a
+  /// later AttachAlertLog(nullptr).
+  void AttachAlertLog(const streaming::AlertLog* log);
+
+  /// Reads back alerts matching `query` from the attached log, oldest
+  /// first. NotFound when no alert log is attached.
+  Result<std::vector<streaming::Alert>> QueryAlerts(
+      const streaming::AlertQuery& query) const;
+
   /// Blocks until every admitted query has resolved.
   void Drain();
 
@@ -387,6 +400,8 @@ class ServingRunner {
   std::vector<std::thread> dispatchers_;
   size_t sessions_ = 0;
   std::shared_ptr<const RoutingTable> routing_;
+  /// Atomic: queried from client threads without taking mu_.
+  std::atomic<const streaming::AlertLog*> alert_log_{nullptr};
 
   /// Admitted but not yet resolved (queued + running); Drain blocks on 0.
   std::mutex drain_mu_;

@@ -86,6 +86,16 @@ JsonValue RunToJson(const RunRecord& run) {
     }
     j.Set("serving", std::move(serving));
   }
+  // The ingest block appears only for lambda-path runs, so batch-only
+  // reports are byte-stable.
+  if (run.ingest_rate != 0.0 || run.freshness_p50_seconds != 0.0 ||
+      run.freshness_p99_seconds != 0.0) {
+    JsonValue ingest = JsonValue::Object();
+    ingest.Set("rate", JsonValue(run.ingest_rate));
+    ingest.Set("freshness_p50", JsonValue(run.freshness_p50_seconds));
+    ingest.Set("freshness_p99", JsonValue(run.freshness_p99_seconds));
+    j.Set("ingest", std::move(ingest));
+  }
   return j;
 }
 
@@ -162,6 +172,14 @@ RunRecord RunFromJson(const JsonValue& j) {
         run.tenants.push_back(std::move(tenant));
       }
     }
+  }
+  // Ingest block is optional: reports written before the real-time path
+  // (or batch-only reports) simply lack it.
+  if (j.Has("ingest")) {
+    const JsonValue& ingest = j.Get("ingest");
+    run.ingest_rate = ingest.Get("rate").AsDouble();
+    run.freshness_p50_seconds = ingest.Get("freshness_p50").AsDouble();
+    run.freshness_p99_seconds = ingest.Get("freshness_p99").AsDouble();
   }
   return run;
 }

@@ -86,6 +86,14 @@ struct RunRecord {
   /// pre-sharding serving reports round-trip unchanged.
   int shards = 0;
   std::vector<TenantRow> tenants;
+  /// Real-time ingest fields (lambda-path benchmarks). `ingest_rate` is
+  /// accepted readings per second; freshness is the reading-to-queryable
+  /// lag (append to first snapshot that published the hour). All-zero
+  /// suppresses the JSON block so batch-only reports round-trip
+  /// unchanged.
+  double ingest_rate = 0.0;
+  double freshness_p50_seconds = 0.0;
+  double freshness_p99_seconds = 0.0;
 };
 
 /// Accumulates one process's benchmark observations — run records, a

@@ -1,0 +1,46 @@
+#include "streaming/alert_log.h"
+
+#include <algorithm>
+
+namespace smartmeter::streaming {
+
+AlertLog::AlertLog(size_t capacity)
+    : capacity_(std::max<size_t>(1, capacity)) {}
+
+void AlertLog::Record(const Alert& alert) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.push_back(alert);
+  if (ring_.size() > capacity_) ring_.pop_front();
+  ++total_;
+}
+
+std::vector<Alert> AlertLog::Query(const AlertQuery& query) const {
+  std::vector<Alert> matches;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const Alert& alert : ring_) {
+      if (query.household_id >= 0 && alert.household_id != query.household_id) {
+        continue;
+      }
+      if (alert.hour < query.since_hour) continue;
+      matches.push_back(alert);
+    }
+  }
+  if (query.limit > 0 && matches.size() > query.limit) {
+    matches.erase(matches.begin(),
+                  matches.end() - static_cast<ptrdiff_t>(query.limit));
+  }
+  return matches;
+}
+
+size_t AlertLog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+int64_t AlertLog::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+}  // namespace smartmeter::streaming

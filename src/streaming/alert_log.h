@@ -1,0 +1,57 @@
+#ifndef SMARTMETER_STREAMING_ALERT_LOG_H_
+#define SMARTMETER_STREAMING_ALERT_LOG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "streaming/stream_types.h"
+
+namespace smartmeter::streaming {
+
+/// Filter for reading back recorded alerts.
+struct AlertQuery {
+  /// -1 = all households.
+  int64_t household_id = -1;
+  /// Only alerts with hour >= since_hour (0 = from the beginning).
+  int64_t since_hour = 0;
+  /// Keep only the newest `limit` matches (0 = unlimited).
+  size_t limit = 0;
+};
+
+/// Thread-safe bounded ring of the most recent alerts. The ingest side
+/// (a StreamProcessor alert sink) records; the query side (the serving
+/// layer's QueryAlerts) reads a filtered copy. Once full, the oldest
+/// alert is dropped per new one -- alerting is a freshness product, and
+/// the batch store is the system of record for history.
+class AlertLog {
+ public:
+  /// `capacity` is the maximum retained alerts (minimum 1).
+  explicit AlertLog(size_t capacity = 4096);
+
+  AlertLog(const AlertLog&) = delete;
+  AlertLog& operator=(const AlertLog&) = delete;
+
+  void Record(const Alert& alert);
+
+  /// Matching alerts in recording order (oldest first). When `limit`
+  /// trims, the oldest matches are dropped, never the newest.
+  std::vector<Alert> Query(const AlertQuery& query) const;
+
+  /// Alerts currently retained.
+  size_t size() const;
+  /// Alerts ever recorded, including ones the ring has since dropped.
+  int64_t total_recorded() const;
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::deque<Alert> ring_;
+  int64_t total_ = 0;
+};
+
+}  // namespace smartmeter::streaming
+
+#endif  // SMARTMETER_STREAMING_ALERT_LOG_H_

@@ -1,11 +1,36 @@
 #include "streaming/stream_processor.h"
 
+#include <algorithm>
+#include <utility>
+
 #include "common/string_util.h"
+#include "obs/metrics.h"
 
 namespace smartmeter::streaming {
 
+namespace {
+
+obs::Counter* IngestedCounter() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter("streaming.readings.ingested");
+  return counter;
+}
+
+obs::Counter* LateCounter() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter("streaming.readings.late");
+  return counter;
+}
+
+constexpr int kMaxAllowance = 63;
+
+}  // namespace
+
 StreamProcessor::StreamProcessor(Options options)
-    : options_(std::move(options)) {}
+    : options_(std::move(options)) {
+  options_.late_allowance_hours =
+      std::clamp(options_.late_allowance_hours, 0, kMaxAllowance);
+}
 
 void StreamProcessor::AddDetectorPrototype(
     std::unique_ptr<Detector> prototype) {
@@ -31,16 +56,55 @@ StreamProcessor::HouseholdState& StreamProcessor::StateFor(
 }
 
 Status StreamProcessor::Process(const StreamReading& reading) {
-  HouseholdState& state = StateFor(reading.household_id);
-  if (reading.hour <= state.last_hour) {
+  if (reading.hour < 0) {
     return Status::InvalidArgument(StringPrintf(
-        "household %lld: reading for hour %lld after hour %lld",
+        "household %lld: negative hour %lld",
         static_cast<long long>(reading.household_id),
-        static_cast<long long>(reading.hour),
-        static_cast<long long>(state.last_hour)));
+        static_cast<long long>(reading.hour)));
   }
-  state.last_hour = reading.hour;
+  HouseholdState& state = StateFor(reading.household_id);
+  const int allowance = options_.late_allowance_hours;
+  if (state.max_hour >= 0 && reading.hour <= state.max_hour) {
+    const int64_t behind = state.max_hour - reading.hour;
+    if (behind > allowance) {
+      ++readings_late_;
+      LateCounter()->Increment();
+      return Status::OutOfRange(StringPrintf(
+          "household %lld: reading for hour %lld below watermark %lld",
+          static_cast<long long>(reading.household_id),
+          static_cast<long long>(reading.hour),
+          static_cast<long long>(state.max_hour - allowance)));
+    }
+    if ((state.recent_mask >> behind) & 1ULL) {
+      return Status::AlreadyExists(StringPrintf(
+          "household %lld: duplicate reading for hour %lld",
+          static_cast<long long>(reading.household_id),
+          static_cast<long long>(reading.hour)));
+    }
+  }
+
+  // The delta sink appends before any processor state mutates, so a
+  // store-side rejection (e.g. its global publish lag already passed
+  // this hour) leaves watermark, bitmask, and windows untouched.
+  if (options_.delta != nullptr) {
+    SM_RETURN_IF_ERROR(options_.delta->Append(
+        reading.household_id, reading.hour, reading.consumption,
+        reading.temperature));
+  }
+
+  if (reading.hour > state.max_hour) {
+    const int64_t advance = reading.hour - state.max_hour;
+    state.recent_mask =
+        (state.max_hour < 0 || advance > kMaxAllowance)
+            ? 0
+            : state.recent_mask << advance;
+    state.recent_mask |= 1ULL;
+    state.max_hour = reading.hour;
+  } else {
+    state.recent_mask |= 1ULL << (state.max_hour - reading.hour);
+  }
   ++readings_processed_;
+  IngestedCounter()->Increment();
 
   for (auto& detector : state.detectors) {
     std::optional<Alert> alert = detector->Observe(reading);
@@ -53,48 +117,60 @@ Status StreamProcessor::Process(const StreamReading& reading) {
   if (options_.window_hours > 0) {
     const int64_t window_start =
         reading.hour - (reading.hour % options_.window_hours);
-    if (state.window_start >= 0 && window_start != state.window_start) {
-      CloseWindow(reading.household_id, &state);
+    Window& window = state.windows[window_start];
+    window.total += reading.consumption;
+    const int offset = static_cast<int>(reading.hour - window_start);
+    // Earliest hour wins peak ties (see WindowSummary::peak_hour).
+    if (window.count == 0 || reading.consumption > window.peak ||
+        (reading.consumption == window.peak && offset < window.peak_hour)) {
+      window.peak = reading.consumption;
+      window.peak_hour = offset;
     }
-    if (state.window_start < 0 || window_start != state.window_start) {
-      state.window_start = window_start;
-      state.window_total = 0.0;
-      state.window_peak = 0.0;
-      state.window_peak_hour = 0;
-      state.window_count = 0;
-    }
-    state.window_total += reading.consumption;
-    if (reading.consumption > state.window_peak ||
-        state.window_count == 0) {
-      state.window_peak = reading.consumption;
-      state.window_peak_hour = static_cast<int>(
-          reading.hour - state.window_start);
-    }
-    ++state.window_count;
+    ++window.count;
+    CloseExpiredWindows(reading.household_id, &state);
   }
   return Status::OK();
 }
 
-void StreamProcessor::CloseWindow(int64_t household_id,
-                                  HouseholdState* state) {
-  if (state->window_start < 0 || state->window_count == 0) return;
-  if (window_sink_) {
-    WindowSummary summary;
-    summary.household_id = household_id;
-    summary.window_start_hour = state->window_start;
-    summary.window_hours = options_.window_hours;
-    summary.total_kwh = state->window_total;
-    summary.peak_kwh = state->window_peak;
-    summary.peak_hour = state->window_peak_hour;
-    window_sink_(summary);
+void StreamProcessor::EmitWindow(int64_t household_id, int64_t window_start,
+                                 const Window& window) {
+  if (window.count == 0 || !window_sink_) return;
+  WindowSummary summary;
+  summary.household_id = household_id;
+  summary.window_start_hour = window_start;
+  summary.window_hours = options_.window_hours;
+  summary.total_kwh = window.total;
+  summary.peak_kwh = window.peak;
+  summary.peak_hour = window.peak_hour;
+  window_sink_(summary);
+}
+
+void StreamProcessor::CloseExpiredWindows(int64_t household_id,
+                                          HouseholdState* state) {
+  // A window may still receive readings until the watermark passes its
+  // end, i.e. until max_hour reaches end + allowance.
+  while (!state->windows.empty()) {
+    const auto it = state->windows.begin();
+    const int64_t window_end = it->first + options_.window_hours;
+    if (state->max_hour < window_end + options_.late_allowance_hours) break;
+    EmitWindow(household_id, it->first, it->second);
+    state->windows.erase(it);
   }
-  state->window_start = -1;
-  state->window_count = 0;
 }
 
 void StreamProcessor::FlushWindows() {
-  for (auto& [household_id, state] : households_) {
-    CloseWindow(household_id, &state);
+  std::vector<int64_t> ids;
+  ids.reserve(households_.size());
+  for (const auto& [household_id, state] : households_) {
+    ids.push_back(household_id);
+  }
+  std::sort(ids.begin(), ids.end());
+  for (const int64_t household_id : ids) {
+    HouseholdState& state = households_.at(household_id);
+    for (const auto& [window_start, window] : state.windows) {
+      EmitWindow(household_id, window_start, window);
+    }
+    state.windows.clear();
   }
 }
 

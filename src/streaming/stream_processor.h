@@ -1,7 +1,9 @@
 #ifndef SMARTMETER_STREAMING_STREAM_PROCESSOR_H_
 #define SMARTMETER_STREAMING_STREAM_PROCESSOR_H_
 
+#include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -9,6 +11,7 @@
 #include "common/result.h"
 #include "streaming/detectors.h"
 #include "streaming/stream_types.h"
+#include "table/delta_store.h"
 
 namespace smartmeter::streaming {
 
@@ -20,6 +23,10 @@ struct WindowSummary {
   int window_hours = 0;
   double total_kwh = 0.0;
   double peak_kwh = 0.0;
+  /// Offset of the peak reading within the window. Ties break toward
+  /// the EARLIEST hour: the first hour that reached the peak load is
+  /// the actionable one for demand response, and the choice must not
+  /// depend on arrival order when late readings are allowed.
   int peak_hour = 0;
 };
 
@@ -28,11 +35,32 @@ struct WindowSummary {
 /// paper's Section 6 sketches. Single-threaded by design: one processor
 /// is one partition of a keyed stream; scale out by hash-partitioning
 /// households across processors.
+///
+/// Out-of-order handling is bounded-lateness per household: each
+/// household carries a watermark `max_hour - late_allowance_hours`, and
+/// a reading is accepted iff its hour is above the watermark and not a
+/// duplicate of an hour already seen. Late readings are rejected with
+/// OutOfRange (counted under `streaming.readings.late`), duplicates
+/// with AlreadyExists; both leave all state untouched so the caller can
+/// retry or drop cleanly. Windows therefore stay open for `allowance`
+/// hours past their end before closing, which keeps summaries
+/// arrival-order independent within the allowance.
 class StreamProcessor {
  public:
   struct Options {
     /// Tumbling window length in hours; 0 disables window summaries.
     int window_hours = 24;
+    /// Bounded lateness: a reading up to this many hours behind its
+    /// household's newest hour is still accepted (0 = strict in-order).
+    /// Capped at 63 -- duplicate detection keeps a 64-bit bitmask of
+    /// the hours at and below each household's max_hour.
+    int late_allowance_hours = 0;
+    /// Optional delta-column sink: every accepted reading is appended
+    /// to this store before any state mutates, making it queryable
+    /// through DeltaTableReader / the serving layer. Borrowed, not
+    /// owned; a store-side rejection (its global publish lag trails the
+    /// per-household watermark) rejects the reading here too.
+    table::DeltaStore* delta = nullptr;
   };
 
   using AlertSink = std::function<void(const Alert&)>;
@@ -53,31 +81,51 @@ class StreamProcessor {
   void SetAlertSink(AlertSink sink) { alert_sink_ = std::move(sink); }
   void SetWindowSink(WindowSink sink) { window_sink_ = std::move(sink); }
 
-  /// Feeds one reading. Readings of one household must arrive in hour
-  /// order; a regression in hour order is rejected.
+  /// Feeds one reading. Readings of one household may arrive up to
+  /// `late_allowance_hours` out of hour order; anything older than the
+  /// watermark is rejected with OutOfRange, repeats of an already-seen
+  /// hour with AlreadyExists.
   Status Process(const StreamReading& reading);
 
-  /// Flushes every household's open window to the window sink.
+  /// Flushes every household's open windows to the window sink, in
+  /// ascending (household id, window start) order -- deterministic
+  /// regardless of hash-map iteration order.
   void FlushWindows();
 
   int64_t readings_processed() const { return readings_processed_; }
+  /// Readings rejected below the watermark (also counted under the
+  /// `streaming.readings.late` metric).
+  int64_t readings_late() const { return readings_late_; }
   int64_t alerts_raised() const { return alerts_raised_; }
   size_t households_seen() const { return households_.size(); }
 
  private:
+  /// One open tumbling window's running aggregate.
+  struct Window {
+    double total = 0.0;
+    double peak = 0.0;
+    int peak_hour = 0;
+    int count = 0;
+  };
+
   struct HouseholdState {
     std::vector<std::unique_ptr<Detector>> detectors;
-    int64_t last_hour = -1;
-    // Open tumbling window.
-    int64_t window_start = -1;
-    double window_total = 0.0;
-    double window_peak = 0.0;
-    int window_peak_hour = 0;
-    int window_count = 0;
+    /// Newest hour accepted; the watermark is max_hour - allowance.
+    int64_t max_hour = -1;
+    /// Bit k set = hour (max_hour - k) was accepted. Shifts left as
+    /// max_hour advances; hours older than 63 fall off, which is safe
+    /// because the allowance (<= 63) rejects them as late anyway.
+    uint64_t recent_mask = 0;
+    /// Open windows keyed by window start hour; bounded lateness means
+    /// up to allowance/window_hours + 1 may be open at once.
+    std::map<int64_t, Window> windows;
   };
 
   HouseholdState& StateFor(int64_t household_id);
-  void CloseWindow(int64_t household_id, HouseholdState* state);
+  void EmitWindow(int64_t household_id, int64_t window_start,
+                  const Window& window);
+  /// Closes every window whose end has passed the household watermark.
+  void CloseExpiredWindows(int64_t household_id, HouseholdState* state);
 
   Options options_;
   std::vector<std::unique_ptr<Detector>> prototypes_;
@@ -85,6 +133,7 @@ class StreamProcessor {
   AlertSink alert_sink_;
   WindowSink window_sink_;
   int64_t readings_processed_ = 0;
+  int64_t readings_late_ = 0;
   int64_t alerts_raised_ = 0;
 };
 

@@ -1,0 +1,309 @@
+#include "table/delta_store.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/string_util.h"
+#include "obs/metrics.h"
+
+namespace smartmeter::table {
+
+namespace {
+
+obs::Counter* AppendCounter() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter("table.delta.appends");
+  return counter;
+}
+
+obs::Counter* SnapshotCounter() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter("table.delta.snapshots");
+  return counter;
+}
+
+obs::LatencyHistogram* FreshnessHistogram() {
+  static obs::LatencyHistogram* histogram =
+      obs::MetricsRegistry::Global().GetHistogram("ingest.freshness_seconds");
+  return histogram;
+}
+
+}  // namespace
+
+DeltaStore::DeltaStore(Options options) : options_(options) {
+  consumption_ = std::make_shared<std::vector<double>>();
+  temperature_ = std::make_shared<std::vector<double>>();
+}
+
+Status DeltaStore::AttachBase(const ColumnarBatch& base) {
+  SM_RETURN_IF_ERROR(base.Validate());
+  std::lock_guard<std::mutex> lock(mu_);
+  if (base_attached_ || version_ != 0 || !ids_.empty()) {
+    return Status::InvalidArgument(
+        "delta store: base must attach before any rows exist");
+  }
+  base_attached_ = true;
+  base_hours_ = base.hours();
+  published_hours_ = base_hours_;
+  max_hour_ = static_cast<int64_t>(base_hours_) - 1;
+  capacity_hours_ = base_hours_ + options_.hour_capacity_headroom;
+
+  const size_t rows = base.count();
+  ids_.reserve(rows);
+  row_index_.reserve(rows);
+  auto consumption =
+      std::make_shared<std::vector<double>>(rows * capacity_hours_, 0.0);
+  auto temperature =
+      std::make_shared<std::vector<double>>(capacity_hours_, 0.0);
+  written_.assign(rows * capacity_hours_, 0);
+  temp_written_.assign(capacity_hours_, 0);
+  for (size_t r = 0; r < rows; ++r) {
+    const int64_t id = base.household_id(r);
+    if (!row_index_.emplace(id, r).second) {
+      ids_.clear();
+      row_index_.clear();
+      base_attached_ = false;
+      return Status::InvalidArgument(StringPrintf(
+          "delta store: duplicate household %lld in base", (long long)id));
+    }
+    ids_.push_back(id);
+    const SeriesSlice series = base.consumption(r);
+    std::copy(
+        series.begin(), series.end(),
+        consumption->begin() + static_cast<ptrdiff_t>(r * capacity_hours_));
+  }
+  const SeriesSlice temp = base.temperature();
+  std::copy(temp.begin(), temp.end(), temperature->begin());
+  std::fill(written_.begin(), written_.end(), 0);
+  for (size_t r = 0; r < rows; ++r) {
+    std::fill_n(written_.begin() + static_cast<ptrdiff_t>(r * capacity_hours_),
+                base_hours_, uint8_t{1});
+  }
+  std::fill_n(temp_written_.begin(), base_hours_, uint8_t{1});
+  consumption_ = std::move(consumption);
+  temperature_ = std::move(temperature);
+  return Status::OK();
+}
+
+size_t DeltaStore::PublishableHoursLocked() const {
+  const int64_t newest = max_hour_ + 1;
+  const int64_t lagged =
+      newest - static_cast<int64_t>(options_.publish_lag_hours);
+  const int64_t floor = static_cast<int64_t>(base_hours_);
+  const int64_t extent =
+      std::max({lagged, floor, static_cast<int64_t>(published_hours_)});
+  return static_cast<size_t>(extent);
+}
+
+void DeltaStore::EnsureCapacityLocked(size_t rows, size_t hours) {
+  const size_t old_rows = ids_.size();
+  size_t new_capacity = capacity_hours_;
+  if (hours > new_capacity) {
+    new_capacity = std::max(hours, std::max<size_t>(new_capacity * 2, 64));
+  }
+  const bool regrid = new_capacity != capacity_hours_;
+  const bool add_rows = rows > old_rows;
+  if (!regrid && !add_rows) return;
+
+  // Readers may share the current buffers; replace, never resize in
+  // place, so published snapshots keep viewing stable memory. When
+  // nothing shares them (use_count == 1 under the lock) the swap is
+  // just this store trading one allocation for another.
+  auto consumption =
+      std::make_shared<std::vector<double>>(rows * new_capacity, 0.0);
+  auto temperature = std::make_shared<std::vector<double>>(new_capacity, 0.0);
+  std::vector<uint8_t> written(rows * new_capacity, 0);
+  for (size_t r = 0; r < old_rows; ++r) {
+    std::copy_n(
+        consumption_->begin() + static_cast<ptrdiff_t>(r * capacity_hours_),
+        capacity_hours_,
+        consumption->begin() + static_cast<ptrdiff_t>(r * new_capacity));
+    std::copy_n(written_.begin() + static_cast<ptrdiff_t>(r * capacity_hours_),
+                capacity_hours_,
+                written.begin() + static_cast<ptrdiff_t>(r * new_capacity));
+  }
+  std::copy(temperature_->begin(), temperature_->end(), temperature->begin());
+  temp_written_.resize(new_capacity, 0);
+  consumption_ = std::move(consumption);
+  temperature_ = std::move(temperature);
+  written_ = std::move(written);
+  capacity_hours_ = new_capacity;
+}
+
+Status DeltaStore::Append(int64_t household_id, int64_t hour,
+                          double consumption, double temperature) {
+  if (hour < 0) {
+    return Status::InvalidArgument(
+        StringPrintf("delta store: negative hour %lld", (long long)hour));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  const size_t h = static_cast<size_t>(hour);
+  if (h < published_hours_) {
+    return Status::OutOfRange(StringPrintf(
+        "delta store: late reading at hour %lld below published extent %zu",
+        (long long)hour, published_hours_));
+  }
+
+  size_t row;
+  const auto it = row_index_.find(household_id);
+  if (it != row_index_.end()) {
+    row = it->second;
+    EnsureCapacityLocked(ids_.size(), h + 1);
+  } else {
+    row = ids_.size();
+    EnsureCapacityLocked(ids_.size() + 1, h + 1);
+    ids_.push_back(household_id);
+    row_index_.emplace(household_id, row);
+  }
+
+  uint8_t& written = written_[row * capacity_hours_ + h];
+  if (written != 0) {
+    return Status::AlreadyExists(StringPrintf(
+        "delta store: duplicate reading for household %lld hour %lld",
+        (long long)household_id, (long long)hour));
+  }
+  written = 1;
+  (*consumption_)[row * capacity_hours_ + h] = consumption;
+  if (temp_written_[h] == 0) {
+    temp_written_[h] = 1;
+    (*temperature_)[h] = temperature;
+  }
+  max_hour_ = std::max(max_hour_, hour);
+  ++version_;
+  pending_freshness_.push_back(
+      PendingFreshness{std::chrono::steady_clock::now(), hour});
+  AppendCounter()->Increment();
+  return Status::OK();
+}
+
+std::shared_ptr<const DeltaSnapshot> DeltaStore::Snapshot(
+    std::vector<double>* freshness_seconds) {
+  const auto now = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lock(mu_);
+  published_hours_ = PublishableHoursLocked();
+
+  // Readings whose hour just became queryable settle their freshness
+  // lag; later hours stay pending for a future publication.
+  size_t kept = 0;
+  for (const PendingFreshness& pending : pending_freshness_) {
+    if (pending.hour < static_cast<int64_t>(published_hours_)) {
+      const double lag =
+          std::chrono::duration<double>(now - pending.appended_at).count();
+      FreshnessHistogram()->Record(lag);
+      if (freshness_seconds != nullptr) freshness_seconds->push_back(lag);
+    } else {
+      pending_freshness_[kept++] = pending;
+    }
+  }
+  pending_freshness_.resize(kept);
+
+  auto snapshot = std::make_shared<DeltaSnapshot>();
+  snapshot->consumption = consumption_;
+  snapshot->temperature = temperature_;
+  snapshot->ids = ids_;
+  snapshot->rows = ids_.size();
+  snapshot->base_hours = base_hours_;
+  snapshot->hours = published_hours_;
+  snapshot->stride = capacity_hours_;
+  snapshot->version = version_;
+  SnapshotCounter()->Increment();
+  return snapshot;
+}
+
+size_t DeltaStore::rows() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ids_.size();
+}
+
+size_t DeltaStore::base_hours() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return base_hours_;
+}
+
+size_t DeltaStore::published_hours() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return published_hours_;
+}
+
+int64_t DeltaStore::max_hour() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_hour_;
+}
+
+uint64_t DeltaStore::version() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return version_;
+}
+
+DeltaTableReader::DeltaTableReader(DeltaStore* store) : store_(store) {}
+
+Status DeltaTableReader::Open() {
+  snapshot_ = store_->Snapshot();
+  return Status::OK();
+}
+
+Result<ColumnarBatch> DeltaTableReader::NewBatch() const {
+  if (snapshot_ == nullptr) {
+    return Status::Internal("delta reader not open");
+  }
+  std::vector<int64_t> ids = snapshot_->ids;
+  std::vector<SeriesSlice> series;
+  series.reserve(snapshot_->rows);
+  for (size_t r = 0; r < snapshot_->rows; ++r) {
+    series.push_back(snapshot_->Series(r));
+  }
+  return ColumnarBatch::FromSlices(std::move(ids), std::move(series),
+                                   snapshot_->Temperatures());
+}
+
+Result<ScopedBatch> DeltaTableReader::NewScopedBatch(
+    const storage::ScanScope& scope) const {
+  if (snapshot_ == nullptr) {
+    return Status::Internal("delta reader not open");
+  }
+  const size_t row_begin = scope.RowBegin(snapshot_->rows);
+  const size_t row_end = scope.RowEnd(snapshot_->rows);
+  const size_t hour_begin = scope.HourBegin(snapshot_->hours);
+  const size_t hour_end = scope.HourEnd(snapshot_->hours);
+  const size_t hours = hour_end - hour_begin;
+
+  std::vector<int64_t> ids(
+      snapshot_->ids.begin() + static_cast<ptrdiff_t>(row_begin),
+      snapshot_->ids.begin() + static_cast<ptrdiff_t>(row_end));
+  std::vector<SeriesSlice> series;
+  series.reserve(row_end - row_begin);
+  for (size_t r = row_begin; r < row_end; ++r) {
+    series.push_back(snapshot_->Series(r).subspan(hour_begin, hours));
+  }
+  SeriesSlice temperature =
+      snapshot_->Temperatures().subspan(hour_begin, hours);
+
+  SM_ASSIGN_OR_RETURN(
+      ColumnarBatch batch,
+      ColumnarBatch::FromSlices(std::move(ids), std::move(series),
+                                temperature));
+  ScopedBatch scoped;
+  scoped.batch = std::move(batch);
+  // Everything is a resident zero-copy view: no blocks exist to prune
+  // and no bytes are decoded, so the stats stay zero by construction.
+  scoped.owner = snapshot_;
+  return scoped;
+}
+
+Result<MeterDataset> SnapshotToDataset(const DeltaSnapshot& snapshot) {
+  MeterDataset dataset;
+  for (size_t r = 0; r < snapshot.rows; ++r) {
+    ConsumerSeries series;
+    series.household_id = snapshot.ids[r];
+    const std::span<const double> values = snapshot.Series(r);
+    series.consumption.assign(values.begin(), values.end());
+    dataset.AddConsumer(std::move(series));
+  }
+  const std::span<const double> temperature = snapshot.Temperatures();
+  dataset.SetTemperature(
+      std::vector<double>(temperature.begin(), temperature.end()));
+  SM_RETURN_IF_ERROR(dataset.Validate());
+  return dataset;
+}
+
+}  // namespace smartmeter::table

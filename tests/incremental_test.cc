@@ -1,0 +1,450 @@
+// Incremental-kernel parity pins: each incremental form, fed one
+// reading at a time, must reproduce the batch kernel bit-for-bit at
+// every snapshot point — and results over (base + delta) must match a
+// full batch recompute over the concatenated data across all five
+// engines. Tolerance-based comparisons are banned here on purpose.
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <limits>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/histogram_task.h"
+#include "core/incremental.h"
+#include "core/par_task.h"
+#include "core/three_line_task.h"
+#include "datagen/seed_generator.h"
+#include "engines/engine_util.h"
+#include "engines/hive_engine.h"
+#include "engines/madlib_engine.h"
+#include "engines/matlab_engine.h"
+#include "engines/spark_engine.h"
+#include "engines/systemc_engine.h"
+#include "exec/query_context.h"
+#include "simd/simd.h"
+#include "storage/column_store.h"
+#include "table/delta_store.h"
+#include "timeseries/calendar.h"
+
+namespace smartmeter::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+class IncrementalTest : public ::testing::Test {
+ protected:
+  static constexpr int kHouseholds = 5;
+  static constexpr int kDays = 40;
+  static constexpr int kHours = kDays * kHoursPerDay;
+
+  static void SetUpTestSuite() {
+    datagen::SeedGeneratorOptions options;
+    options.num_households = kHouseholds;
+    options.hours = kHours;
+    options.seed = 2026;
+    dataset_ = new MeterDataset(*datagen::GenerateSeedDataset(options));
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    dataset_ = nullptr;
+  }
+
+  static std::span<const double> Consumption(int i) {
+    return dataset_->consumers()[static_cast<size_t>(i)].consumption;
+  }
+  static std::span<const double> Temperature() {
+    return dataset_->temperature();
+  }
+  static int64_t HouseholdId(int i) {
+    return dataset_->consumers()[static_cast<size_t>(i)].household_id;
+  }
+
+  static MeterDataset* dataset_;
+};
+
+MeterDataset* IncrementalTest::dataset_ = nullptr;
+
+void ExpectHistogramEq(const stats::EquiWidthHistogram& got,
+                       const stats::EquiWidthHistogram& want) {
+  EXPECT_EQ(got.min, want.min);
+  EXPECT_EQ(got.max, want.max);
+  EXPECT_EQ(got.counts, want.counts);
+}
+
+// ---------------------------------------------------------------------------
+// IncrementalHistogram
+// ---------------------------------------------------------------------------
+
+TEST_F(IncrementalTest, HistogramBitIdenticalAtEveryCheckpoint) {
+  const std::span<const double> values = Consumption(0);
+  IncrementalHistogram inc;
+  const std::vector<size_t> checkpoints = {1, 7, 100, 500,
+                                           static_cast<size_t>(kHours)};
+  size_t fed = 0;
+  for (const size_t stop : checkpoints) {
+    for (; fed < stop; ++fed) inc.Append(values[fed]);
+    auto got = inc.Snapshot();
+    ASSERT_TRUE(got.ok()) << got.status().message();
+    auto want = ComputeConsumptionHistogram(values.first(stop));
+    ASSERT_TRUE(want.ok()) << want.status().message();
+    SCOPED_TRACE(stop);
+    ExpectHistogramEq(*got, *want);
+  }
+  // Most appends must have taken the O(1) path, not a rebin.
+  EXPECT_LT(inc.rebuilds(), 64);
+}
+
+TEST_F(IncrementalTest, HistogramRangeExtensionRebuildsExactly) {
+  IncrementalHistogram inc;
+  std::vector<double> values;
+  // Alternate range extensions with interior values so both paths run.
+  const double pattern[] = {5.0, 1.0, 9.0, 5.5, 0.5, 9.5, 2.0, -3.0, 12.0, 4.0};
+  for (double v : pattern) {
+    values.push_back(v);
+    inc.Append(v);
+    auto got = inc.Snapshot();
+    ASSERT_TRUE(got.ok());
+    auto want = ComputeConsumptionHistogram(values);
+    ASSERT_TRUE(want.ok());
+    ExpectHistogramEq(*got, *want);
+  }
+}
+
+TEST_F(IncrementalTest, HistogramJunkParity) {
+  constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+  IncrementalHistogram inc;
+  std::vector<double> values = {1.0, kNaN, 3.0, kNaN, 2.0, 100.0, kNaN};
+  for (double v : values) inc.Append(v);
+  auto got = inc.Snapshot();
+  ASSERT_TRUE(got.ok());
+  auto want = ComputeConsumptionHistogram(values);
+  ASSERT_TRUE(want.ok());
+  ExpectHistogramEq(*got, *want);
+}
+
+TEST_F(IncrementalTest, HistogramErrorParity) {
+  IncrementalHistogram empty;
+  EXPECT_FALSE(empty.Snapshot().ok());
+
+  constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+  IncrementalHistogram all_nan;
+  all_nan.Append(kNaN);
+  all_nan.Append(kNaN);
+  auto got = all_nan.Snapshot();
+  auto want = ComputeConsumptionHistogram(std::vector<double>{kNaN, kNaN});
+  EXPECT_FALSE(got.ok());
+  EXPECT_FALSE(want.ok());
+  EXPECT_EQ(got.status().code(), want.status().code());
+  // An error snapshot must not poison later ones: extend past the NaNs.
+  all_nan.Append(2.5);
+  auto recovered = all_nan.Snapshot();
+  ASSERT_TRUE(recovered.ok());
+  auto recovered_want =
+      ComputeConsumptionHistogram(std::vector<double>{kNaN, kNaN, 2.5});
+  ASSERT_TRUE(recovered_want.ok());
+  ExpectHistogramEq(*recovered, *recovered_want);
+}
+
+// ---------------------------------------------------------------------------
+// IncrementalDailyProfile
+// ---------------------------------------------------------------------------
+
+TEST_F(IncrementalTest, DailyProfileBitIdenticalAtDayBoundaries) {
+  const std::span<const double> consumption = Consumption(1);
+  const std::span<const double> temperature = Temperature();
+  IncrementalDailyProfile inc(HouseholdId(1));
+  size_t fed = 0;
+  for (const int stop_days : {10, 23, kDays}) {
+    const size_t stop = static_cast<size_t>(stop_days) * kHoursPerDay;
+    for (; fed < stop; ++fed) inc.Append(consumption[fed], temperature[fed]);
+    auto got = inc.Fit();
+    ASSERT_TRUE(got.ok()) << got.status().message();
+    auto want = ComputeDailyProfile(consumption.first(stop),
+                                    temperature.first(stop), HouseholdId(1));
+    ASSERT_TRUE(want.ok()) << want.status().message();
+    SCOPED_TRACE(stop_days);
+    EXPECT_EQ(got->profile, want->profile);
+    EXPECT_EQ(got->temperature_beta, want->temperature_beta);
+    EXPECT_EQ(got->coefficients, want->coefficients);
+  }
+}
+
+TEST_F(IncrementalTest, DailyProfilePartialDayIgnoredLikeBatch) {
+  const std::span<const double> consumption = Consumption(2);
+  const std::span<const double> temperature = Temperature();
+  const size_t cut = 15 * kHoursPerDay + 7;  // Mid-day.
+  IncrementalDailyProfile inc(HouseholdId(2));
+  for (size_t t = 0; t < cut; ++t) inc.Append(consumption[t], temperature[t]);
+  auto got = inc.Fit();
+  auto want = ComputeDailyProfile(consumption.first(cut),
+                                  temperature.first(cut), HouseholdId(2));
+  ASSERT_TRUE(got.ok());
+  ASSERT_TRUE(want.ok());
+  EXPECT_EQ(got->profile, want->profile);
+  EXPECT_EQ(got->coefficients, want->coefficients);
+}
+
+TEST_F(IncrementalTest, DailyProfileErrorParity) {
+  const std::span<const double> consumption = Consumption(0);
+  const std::span<const double> temperature = Temperature();
+  const size_t too_short = 5 * kHoursPerDay;
+  IncrementalDailyProfile inc(HouseholdId(0));
+  for (size_t t = 0; t < too_short; ++t) {
+    inc.Append(consumption[t], temperature[t]);
+  }
+  auto got = inc.Fit();
+  auto want = ComputeDailyProfile(consumption.first(too_short),
+                                  temperature.first(too_short), HouseholdId(0));
+  ASSERT_FALSE(got.ok());
+  ASSERT_FALSE(want.ok());
+  EXPECT_EQ(got.status().code(), want.status().code());
+  EXPECT_EQ(got.status().message(), want.status().message());
+}
+
+// ---------------------------------------------------------------------------
+// IncrementalThreeLine
+// ---------------------------------------------------------------------------
+
+TEST_F(IncrementalTest, ThreeLineBitIdenticalAtCheckpoints) {
+  const std::span<const double> consumption = Consumption(3);
+  const std::span<const double> temperature = Temperature();
+  IncrementalThreeLine inc(HouseholdId(3));
+  size_t fed = 0;
+  for (const size_t stop : {static_cast<size_t>(kHours) / 2,
+                            static_cast<size_t>(kHours)}) {
+    for (; fed < stop; ++fed) inc.Append(consumption[fed], temperature[fed]);
+    ThreeLinePhases got_phases;
+    auto got = inc.Fit(&got_phases);
+    ASSERT_TRUE(got.ok()) << got.status().message();
+    ThreeLinePhases want_phases;
+    auto want =
+        ComputeThreeLine(consumption.first(stop), temperature.first(stop),
+                         HouseholdId(3), ThreeLineOptions{}, &want_phases);
+    ASSERT_TRUE(want.ok()) << want.status().message();
+    SCOPED_TRACE(stop);
+    EXPECT_EQ(got->heating_gradient, want->heating_gradient);
+    EXPECT_EQ(got->cooling_gradient, want->cooling_gradient);
+    EXPECT_EQ(got->base_load, want->base_load);
+    EXPECT_EQ(got->p90.left.fit.slope, want->p90.left.fit.slope);
+    EXPECT_EQ(got->p90.left.fit.intercept, want->p90.left.fit.intercept);
+    EXPECT_EQ(got->p90.mid.fit.slope, want->p90.mid.fit.slope);
+    EXPECT_EQ(got->p90.right.fit.slope, want->p90.right.fit.slope);
+    EXPECT_EQ(got->p10.left.fit.intercept, want->p10.left.fit.intercept);
+    EXPECT_EQ(got->p10.right.fit.intercept, want->p10.right.fit.intercept);
+    EXPECT_EQ(got_phases.band_points, want_phases.band_points);
+    EXPECT_EQ(got_phases.band_reallocs, want_phases.band_reallocs);
+  }
+}
+
+TEST_F(IncrementalTest, ThreeLineOnlineBinCountsMatchBatchBinning) {
+  const std::span<const double> consumption = Consumption(4);
+  const std::span<const double> temperature = Temperature();
+  IncrementalThreeLine inc(HouseholdId(4));
+  for (size_t t = 0; t < static_cast<size_t>(kHours); ++t) {
+    inc.Append(consumption[t], temperature[t]);
+  }
+  std::vector<int32_t> bin_idx(static_cast<size_t>(kHours));
+  simd::BinIndicesInt32(temperature.first(static_cast<size_t>(kHours)), 1.0,
+                        bin_idx);
+  std::map<int32_t, size_t> want_counts;
+  for (int32_t b : bin_idx) ++want_counts[b];
+  ASSERT_EQ(inc.bins().size(), want_counts.size());
+  size_t total = 0;
+  for (const auto& [bin, values] : inc.bins()) {
+    EXPECT_EQ(values.size(), want_counts[bin]) << "bin " << bin;
+    total += values.size();
+  }
+  EXPECT_EQ(total, static_cast<size_t>(kHours));
+}
+
+TEST_F(IncrementalTest, ThreeLineErrorParity) {
+  IncrementalThreeLine empty(1);
+  EXPECT_FALSE(empty.Fit().ok());
+
+  ThreeLineOptions bad;
+  bad.temperature_bin_width = 0.0;
+  IncrementalThreeLine zero_width(1, bad);
+  zero_width.Append(1.0, 20.0);
+  auto got = zero_width.Fit();
+  auto want = ComputeThreeLine(std::vector<double>{1.0},
+                               std::vector<double>{20.0}, 1, bad);
+  ASSERT_FALSE(got.ok());
+  ASSERT_FALSE(want.ok());
+  EXPECT_EQ(got.status().message(), want.status().message());
+}
+
+// ---------------------------------------------------------------------------
+// Five-engine acceptance: incremental over base + delta vs. a full
+// batch recompute over the rebuilt monolithic column file.
+// ---------------------------------------------------------------------------
+
+TEST_F(IncrementalTest, BaseMergedWithDeltaMatchesFiveEngineRecompute) {
+  namespace eng = smartmeter::engines;
+  const fs::path dir = fs::path(::testing::TempDir()) / "incremental_engines";
+  fs::create_directories(dir);
+
+  // Split the series: the first kBaseDays land in an immutable SMCOLV1
+  // base, the rest stream through the delta store reading by reading.
+  constexpr int kBaseDays = 25;
+  constexpr size_t kBaseHours = static_cast<size_t>(kBaseDays) * kHoursPerDay;
+  MeterDataset base;
+  for (const ConsumerSeries& c : dataset_->consumers()) {
+    ConsumerSeries head;
+    head.household_id = c.household_id;
+    head.consumption.assign(c.consumption.begin(),
+                            c.consumption.begin() + kBaseHours);
+    base.AddConsumer(std::move(head));
+  }
+  base.SetTemperature(std::vector<double>(
+      dataset_->temperature().begin(),
+      dataset_->temperature().begin() + kBaseHours));
+  ASSERT_TRUE(base.Validate().ok());
+
+  table::DeltaStore store;
+  auto base_batch = table::ColumnarBatch::FromDataset(base);
+  ASSERT_TRUE(base_batch.ok());
+  ASSERT_TRUE(store.AttachBase(*base_batch).ok());
+
+  // Live tail: hour-major interleave, the shape a metering feed has.
+  std::vector<std::unique_ptr<IncrementalHistogram>> hists;
+  std::vector<std::unique_ptr<IncrementalDailyProfile>> profiles;
+  std::vector<std::unique_ptr<IncrementalThreeLine>> lines;
+  for (int i = 0; i < kHouseholds; ++i) {
+    hists.push_back(std::make_unique<IncrementalHistogram>());
+    profiles.push_back(std::make_unique<IncrementalDailyProfile>(
+        HouseholdId(i)));
+    lines.push_back(std::make_unique<IncrementalThreeLine>(HouseholdId(i)));
+    // The incremental kernels see the whole history (base then delta),
+    // exactly what a batch recompute over the merged table sees.
+    for (size_t t = 0; t < kBaseHours; ++t) {
+      hists[static_cast<size_t>(i)]->Append(Consumption(i)[t]);
+      profiles[static_cast<size_t>(i)]->Append(Consumption(i)[t],
+                                               Temperature()[t]);
+      lines[static_cast<size_t>(i)]->Append(Consumption(i)[t],
+                                            Temperature()[t]);
+    }
+  }
+  for (size_t t = kBaseHours; t < static_cast<size_t>(kHours); ++t) {
+    for (int i = 0; i < kHouseholds; ++i) {
+      ASSERT_TRUE(store
+                      .Append(HouseholdId(i), static_cast<int64_t>(t),
+                              Consumption(i)[t], Temperature()[t])
+                      .ok());
+      hists[static_cast<size_t>(i)]->Append(Consumption(i)[t]);
+      profiles[static_cast<size_t>(i)]->Append(Consumption(i)[t],
+                                               Temperature()[t]);
+      lines[static_cast<size_t>(i)]->Append(Consumption(i)[t],
+                                            Temperature()[t]);
+    }
+  }
+
+  // Rebuild the monolithic column file from the merged snapshot and
+  // attach it to all five engines.
+  table::DeltaTableReader reader(&store);
+  ASSERT_TRUE(reader.Open().ok());
+  ASSERT_EQ(reader.snapshot()->hours, static_cast<size_t>(kHours));
+  auto merged = table::SnapshotToDataset(*reader.snapshot());
+  ASSERT_TRUE(merged.ok()) << merged.status().message();
+  const std::string rebuilt = (dir / "rebuilt.smcol").string();
+  ASSERT_TRUE(storage::ColumnStore::WriteFile(*merged, rebuilt).ok());
+
+  eng::SystemCEngine systemc((dir / "spool").string());
+  eng::MadlibEngine madlib;
+  eng::MatlabEngine matlab;
+  eng::SparkEngine spark(eng::SparkEngine::Options{});
+  eng::HiveEngine hive(eng::HiveEngine::Options{});
+  std::vector<eng::AnalyticsEngine*> engines = {&systemc, &madlib, &matlab,
+                                                &spark, &hive};
+  const table::DataSource source = *table::DataSource::ColumnFile(rebuilt);
+  for (eng::AnalyticsEngine* engine : engines) {
+    ASSERT_TRUE(engine->Attach(source).ok()) << engine->name();
+  }
+
+  for (eng::AnalyticsEngine* engine : engines) {
+    SCOPED_TRACE(engine->name());
+    eng::TaskResultSet hist_results;
+    ASSERT_TRUE(engine
+                    ->RunTask(eng::TaskOptions(HistogramOptions{}),
+                              &hist_results)
+                    .ok());
+    eng::SortResultsByHousehold(&hist_results);
+    const auto& hist_rows = hist_results.Get<HistogramResult>();
+    ASSERT_EQ(hist_rows.size(), static_cast<size_t>(kHouseholds));
+    for (const HistogramResult& row : hist_rows) {
+      for (int i = 0; i < kHouseholds; ++i) {
+        if (HouseholdId(i) != row.household_id) continue;
+        auto inc = hists[static_cast<size_t>(i)]->Snapshot();
+        ASSERT_TRUE(inc.ok());
+        ExpectHistogramEq(*inc, row.histogram);
+      }
+    }
+
+    eng::TaskResultSet par_results;
+    ASSERT_TRUE(
+        engine->RunTask(eng::TaskOptions(ParOptions{}), &par_results).ok());
+    eng::SortResultsByHousehold(&par_results);
+    const auto& par_rows = par_results.Get<DailyProfileResult>();
+    ASSERT_EQ(par_rows.size(), static_cast<size_t>(kHouseholds));
+    for (const DailyProfileResult& row : par_rows) {
+      for (int i = 0; i < kHouseholds; ++i) {
+        if (HouseholdId(i) != row.household_id) continue;
+        auto inc = profiles[static_cast<size_t>(i)]->Fit();
+        ASSERT_TRUE(inc.ok());
+        EXPECT_EQ(inc->profile, row.profile);
+        EXPECT_EQ(inc->coefficients, row.coefficients);
+      }
+    }
+
+    eng::TaskResultSet line_results;
+    ASSERT_TRUE(engine
+                    ->RunTask(eng::TaskOptions(ThreeLineOptions{}),
+                              &line_results)
+                    .ok());
+    eng::SortResultsByHousehold(&line_results);
+    const auto& line_rows = line_results.Get<ThreeLineResult>();
+    ASSERT_EQ(line_rows.size(), static_cast<size_t>(kHouseholds));
+    for (const ThreeLineResult& row : line_rows) {
+      for (int i = 0; i < kHouseholds; ++i) {
+        if (HouseholdId(i) != row.household_id) continue;
+        auto inc = lines[static_cast<size_t>(i)]->Fit();
+        ASSERT_TRUE(inc.ok());
+        EXPECT_EQ(inc->heating_gradient, row.heating_gradient);
+        EXPECT_EQ(inc->cooling_gradient, row.cooling_gradient);
+        EXPECT_EQ(inc->base_load, row.base_load);
+      }
+    }
+  }
+
+  // And the merged delta batch itself must match the rebuilt file's
+  // bytes: run the ad-hoc batch path over the DeltaTableReader view.
+  auto delta_batch = reader.NewBatch();
+  ASSERT_TRUE(delta_batch.ok());
+  eng::TaskResultSet over_delta;
+  ASSERT_TRUE(eng::RunTaskOverBatch(exec::QueryContext::Background(),
+                                    *delta_batch,
+                                    eng::TaskOptions(HistogramOptions{}),
+                                    /*num_threads=*/2, &over_delta)
+                  .ok());
+  eng::SortResultsByHousehold(&over_delta);
+  const auto& over_delta_rows = over_delta.Get<HistogramResult>();
+  ASSERT_EQ(over_delta_rows.size(), static_cast<size_t>(kHouseholds));
+  for (const HistogramResult& row : over_delta_rows) {
+    for (int i = 0; i < kHouseholds; ++i) {
+      if (HouseholdId(i) != row.household_id) continue;
+      auto inc = hists[static_cast<size_t>(i)]->Snapshot();
+      ASSERT_TRUE(inc.ok());
+      ExpectHistogramEq(*inc, row.histogram);
+    }
+  }
+
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+}
+
+}  // namespace
+}  // namespace smartmeter::core

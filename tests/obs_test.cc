@@ -429,6 +429,41 @@ TEST(BenchReportTest, ServingBlockWithoutShardingKeysRoundTrips) {
   EXPECT_TRUE(restored.runs()[0].tenants.empty());
 }
 
+TEST(BenchReportTest, IngestBlockRoundTrips) {
+  BenchReport report;
+  RunRecord run = MakeRecord();
+  run.ingest_rate = 12500.0;
+  run.freshness_p50_seconds = 0.012;
+  run.freshness_p99_seconds = 0.045;
+  report.AddRun(run);
+
+  JsonValue json = report.ToJson();
+  const JsonValue& ingest = json.Get("runs").items()[0].Get("ingest");
+  EXPECT_DOUBLE_EQ(ingest.Get("rate").AsDouble(), 12500.0);
+  BenchReport restored;
+  std::string error;
+  ASSERT_TRUE(BenchReport::FromJson(json, &restored, &error)) << error;
+  const RunRecord& out = restored.runs()[0];
+  EXPECT_DOUBLE_EQ(out.ingest_rate, 12500.0);
+  EXPECT_DOUBLE_EQ(out.freshness_p50_seconds, 0.012);
+  EXPECT_DOUBLE_EQ(out.freshness_p99_seconds, 0.045);
+  EXPECT_EQ(restored.ToJsonString(), report.ToJsonString());
+}
+
+TEST(BenchReportTest, BatchRunsOmitIngestBlock) {
+  // Batch-only records must serialize byte-identically to pre-ingest
+  // reports: no "ingest" key at all.
+  BenchReport report;
+  report.AddRun(MakeRecord());
+  JsonValue json = report.ToJson();
+  EXPECT_FALSE(json.Get("runs").items()[0].Has("ingest"));
+  BenchReport restored;
+  std::string error;
+  ASSERT_TRUE(BenchReport::FromJson(json, &restored, &error)) << error;
+  EXPECT_DOUBLE_EQ(restored.runs()[0].ingest_rate, 0.0);
+  EXPECT_DOUBLE_EQ(restored.runs()[0].freshness_p99_seconds, 0.0);
+}
+
 TEST(BenchReportTest, FromJsonRejectsWrongSchema) {
   JsonValue json = JsonValue::Object();
   json.Set("schema", JsonValue("not-a-bench-report"));

@@ -19,7 +19,9 @@
 #include "engines/systemc_engine.h"
 #include "exec/plan.h"
 #include "exec/plan_executor.h"
+#include "exec/query_context.h"
 #include "storage/column_store.h"
+#include "table/delta_store.h"
 #include "storage/csv.h"
 #include "timeseries/calendar.h"
 
@@ -240,6 +242,93 @@ TEST_F(PlanTest, FiveEnginesBitIdenticalAcrossColumnFormats) {
       // five-way baseline: one storage change, zero result drift.
       ExpectBitIdentical(over_v2, over_v1, task);
       ExpectBitIdentical(over_v1, baseline, task);
+    }
+  }
+}
+
+TEST_F(PlanTest, DeltaMergedBatchMatchesRebuiltMonolithicAcrossEngines) {
+  // Lambda-architecture parity pin: a base table plus live delta
+  // columns, merged by the DeltaTableReader, must produce the same task
+  // bits as rebuilding the monolithic column file from the full data
+  // and running any of the five engines over it. The speed layer is a
+  // storage change, not a semantics change.
+  datagen::SeedGeneratorOptions options;
+  options.num_households = kHouseholds;
+  options.hours = kHoursPerYear;
+  options.seed = 411;
+  MeterDataset dataset = *datagen::GenerateSeedDataset(options);
+  constexpr size_t kDeltaHours = 48;
+  const size_t base_hours = dataset.hours() - kDeltaHours;
+
+  // Base = the first base_hours of every series; the last two days
+  // arrive through the append path, hour-major like a live feed.
+  std::vector<int64_t> ids;
+  std::vector<table::SeriesSlice> series;
+  for (size_t i = 0; i < dataset.num_consumers(); ++i) {
+    ids.push_back(dataset.consumer(i).household_id);
+    series.emplace_back(dataset.consumer(i).consumption.data(), base_hours);
+  }
+  auto base = table::ColumnarBatch::FromSlices(
+      ids, series, table::SeriesSlice(dataset.temperature().data(),
+                                      base_hours));
+  ASSERT_TRUE(base.ok());
+  table::DeltaStore store;
+  ASSERT_TRUE(store.AttachBase(*base).ok());
+  for (size_t h = base_hours; h < dataset.hours(); ++h) {
+    for (size_t i = 0; i < dataset.num_consumers(); ++i) {
+      ASSERT_TRUE(store
+                      .Append(dataset.consumer(i).household_id,
+                              static_cast<int64_t>(h),
+                              dataset.consumer(i).consumption[h],
+                              dataset.temperature()[h])
+                      .ok());
+    }
+  }
+  table::DeltaTableReader reader(&store);
+  ASSERT_TRUE(reader.Open().ok());
+  auto merged = reader.NewBatch();
+  ASSERT_TRUE(merged.ok());
+  ASSERT_EQ(merged->hours(), dataset.hours());
+
+  // Batch layer: reseal the full dataset into a compressed column file.
+  const std::string rebuilt_path = (*dir_ / "rebuilt.v2.smcol").string();
+  ASSERT_TRUE(
+      storage::ColumnFileWriter::WriteFile(dataset, rebuilt_path).ok());
+  auto engines = [this]() {
+    std::vector<std::unique_ptr<AnalyticsEngine>> engines;
+    engines.push_back(
+        std::make_unique<SystemCEngine>((*dir_ / "spool_delta").string()));
+    engines.push_back(std::make_unique<MadlibEngine>());
+    engines.push_back(std::make_unique<MatlabEngine>());
+    engines.push_back(std::make_unique<SparkEngine>(SparkOptions(64 << 10)));
+    engines.push_back(std::make_unique<HiveEngine>(HiveOptions(64 << 10)));
+    return engines;
+  }();
+  const DataSource rebuilt_source = *DataSource::ColumnFile(rebuilt_path);
+  for (auto& engine : engines) {
+    auto attach = engine->Attach(rebuilt_source);
+    ASSERT_TRUE(attach.ok())
+        << engine->name() << ": " << attach.status().ToString();
+  }
+
+  for (core::TaskType task : core::kAllTasks) {
+    const TaskOptions task_options = TaskOptions::Default(task);
+    TaskResultSet over_delta;
+    auto delta_metrics =
+        RunTaskOverBatch(exec::QueryContext::Background(), *merged,
+                         task_options, /*num_threads=*/2, &over_delta);
+    ASSERT_TRUE(delta_metrics.ok())
+        << "delta/" << core::TaskName(task) << ": "
+        << delta_metrics.status().ToString();
+    for (auto& engine : engines) {
+      TaskResultSet over_rebuilt;
+      auto metrics = engine->RunTask(task_options, &over_rebuilt);
+      ASSERT_TRUE(metrics.ok())
+          << engine->name() << "/" << core::TaskName(task) << ": "
+          << metrics.status().ToString();
+      SCOPED_TRACE(std::string(engine->name()) + "/" +
+                   std::string(core::TaskName(task)));
+      ExpectBitIdentical(over_delta, over_rebuilt, task);
     }
   }
 }

@@ -16,6 +16,8 @@
 #include "engines/systemc_engine.h"
 #include "exec/serving_runner.h"
 #include "storage/csv.h"
+#include "streaming/detectors.h"
+#include "streaming/stream_processor.h"
 #include "timeseries/calendar.h"
 
 namespace smartmeter::exec {
@@ -616,6 +618,53 @@ TEST_F(ServingTest, ShardedSimilarityBitIdenticalToUnsharded) {
   }
   sharded.Shutdown();
   baseline.Shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Alert surface (lambda speed layer -> serving queries)
+// ---------------------------------------------------------------------------
+
+TEST_F(ServingTest, QueryAlertsRequiresAttachedLog) {
+  ServingRunner runner(ServingOptions{});
+  auto alerts = runner.QueryAlerts(streaming::AlertQuery{});
+  ASSERT_FALSE(alerts.ok());
+  EXPECT_EQ(alerts.status().code(), StatusCode::kNotFound);
+  runner.Shutdown();
+}
+
+TEST_F(ServingTest, QueryAlertsServesStreamDetections) {
+  // End-to-end speed-layer wiring: the stream processor's detector
+  // alerts land in an AlertLog, and serving clients read them through
+  // the same runner that answers routed queries.
+  streaming::AlertLog log;
+  streaming::StreamProcessor processor;
+  processor.AddDetectorPrototype(std::make_unique<streaming::SpikeDetector>());
+  processor.SetAlertSink(
+      [&log](const streaming::Alert& alert) { log.Record(alert); });
+  for (int64_t h = 0; h < 60; ++h) {
+    double kwh = 0.5;
+    if (h == 40) kwh = 9.0;  // household 1 spikes once
+    ASSERT_TRUE(processor.Process({1, h, kwh, 10.0}).ok());
+    ASSERT_TRUE(processor.Process({2, h, 0.5, 10.0}).ok());
+  }
+  ASSERT_GE(log.total_recorded(), 1);
+
+  ServingRunner runner(ServingOptions{});
+  runner.AttachAlertLog(&log);
+  streaming::AlertQuery query;
+  query.household_id = 1;
+  auto alerts = runner.QueryAlerts(query);
+  ASSERT_TRUE(alerts.ok()) << alerts.status().ToString();
+  ASSERT_FALSE(alerts->empty());
+  EXPECT_EQ((*alerts)[0].household_id, 1);
+  EXPECT_EQ((*alerts)[0].hour, 40);
+
+  // The quiet household has nothing on file.
+  query.household_id = 2;
+  auto quiet = runner.QueryAlerts(query);
+  ASSERT_TRUE(quiet.ok());
+  EXPECT_TRUE(quiet->empty());
+  runner.Shutdown();
 }
 
 // ---------------------------------------------------------------------------

@@ -5,8 +5,11 @@
 #include "common/rng.h"
 #include "core/par_task.h"
 #include "datagen/seed_generator.h"
+#include "obs/metrics.h"
+#include "streaming/alert_log.h"
 #include "streaming/detectors.h"
 #include "streaming/stream_processor.h"
+#include "table/delta_store.h"
 #include "timeseries/calendar.h"
 
 namespace smartmeter::streaming {
@@ -292,6 +295,236 @@ TEST(StreamProcessorTest, NoSinksIsSafe) {
   }
   EXPECT_GE(processor.alerts_raised(), 1);
   processor.FlushWindows();
+}
+
+TEST(StreamProcessorTest, WatermarkAcceptsBoundedLateness) {
+  StreamProcessor::Options options;
+  options.late_allowance_hours = 3;
+  StreamProcessor processor(options);
+  const int64_t late_before =
+      obs::MetricsRegistry::Global().GetCounter("streaming.readings.late")
+          ->Value();
+
+  ASSERT_TRUE(processor.Process(Reading(10, 1.0)).ok());
+  // Up to 3 hours behind the household's newest hour is still in order.
+  EXPECT_TRUE(processor.Process(Reading(8, 1.0)).ok());
+  EXPECT_TRUE(processor.Process(Reading(7, 1.0)).ok());
+  EXPECT_TRUE(processor.Process(Reading(9, 1.0)).ok());
+
+  // Hour 6 is 4 behind: below the watermark, rejected as late.
+  auto late = processor.Process(Reading(6, 1.0));
+  EXPECT_EQ(late.code(), StatusCode::kOutOfRange) << late.ToString();
+  // Hour 8 was already accepted: a repeat is a duplicate, not late.
+  auto duplicate = processor.Process(Reading(8, 1.0));
+  EXPECT_EQ(duplicate.code(), StatusCode::kAlreadyExists)
+      << duplicate.ToString();
+
+  EXPECT_EQ(processor.readings_processed(), 4);
+  EXPECT_EQ(processor.readings_late(), 1);
+  EXPECT_EQ(obs::MetricsRegistry::Global()
+                .GetCounter("streaming.readings.late")
+                ->Value(),
+            late_before + 1);
+
+  // The watermark is per household: a fresh household starts clean.
+  EXPECT_TRUE(processor.Process(Reading(0, 1.0, 10.0, 2)).ok());
+}
+
+TEST(StreamProcessorTest, PeakTieBreaksToEarliestHourRegardlessOfArrival) {
+  StreamProcessor::Options options;
+  options.window_hours = 24;
+  options.late_allowance_hours = 4;
+  StreamProcessor processor(options);
+  std::vector<WindowSummary> windows;
+  processor.SetWindowSink(
+      [&windows](const WindowSummary& w) { windows.push_back(w); });
+
+  // Offset 5 reaches the 5.0 peak first by arrival; the equal peak at
+  // offset 3 arrives late. The summary must name offset 3 -- the
+  // earliest peak hour -- so results match a batch pass over the same
+  // window, independent of arrival order.
+  for (int64_t h : {0, 1, 2, 4}) {
+    ASSERT_TRUE(processor.Process(Reading(h, 1.0)).ok());
+  }
+  ASSERT_TRUE(processor.Process(Reading(5, 5.0)).ok());
+  ASSERT_TRUE(processor.Process(Reading(3, 5.0)).ok());  // late equal peak
+  for (int64_t h = 6; h < 24; ++h) {
+    // A later equal peak must not displace the earliest one either.
+    ASSERT_TRUE(processor.Process(Reading(h, h == 9 ? 5.0 : 1.0)).ok());
+  }
+  processor.FlushWindows();
+
+  ASSERT_EQ(windows.size(), 1u);
+  EXPECT_DOUBLE_EQ(windows[0].peak_kwh, 5.0);
+  EXPECT_EQ(windows[0].peak_hour, 3);
+  EXPECT_DOUBLE_EQ(windows[0].total_kwh, 21.0 * 1.0 + 3.0 * 5.0);
+}
+
+TEST(StreamProcessorTest, WindowsCloseOnlyPastTheAllowance) {
+  // With bounded lateness a window must stay open for `allowance` hours
+  // past its end -- closing it at the boundary would lose late readings
+  // that are still admissible.
+  StreamProcessor::Options options;
+  options.window_hours = 4;
+  options.late_allowance_hours = 2;
+  StreamProcessor processor(options);
+  std::vector<WindowSummary> windows;
+  processor.SetWindowSink(
+      [&windows](const WindowSummary& w) { windows.push_back(w); });
+
+  for (int64_t h = 0; h < 5; ++h) {
+    ASSERT_TRUE(processor.Process(Reading(h, 1.0)).ok());
+  }
+  // Hour 5 would have closed window [0, 4) without an allowance; with
+  // allowance 2 it is still open and hour 3's late peak lands in it.
+  EXPECT_TRUE(windows.empty());
+  ASSERT_TRUE(processor.Process(Reading(5, 1.0)).ok());
+  EXPECT_TRUE(windows.empty());
+  // Reaching hour 6 (= window end 4 + allowance 2) seals the window.
+  ASSERT_TRUE(processor.Process(Reading(6, 1.0)).ok());
+  ASSERT_EQ(windows.size(), 1u);
+  EXPECT_EQ(windows[0].window_start_hour, 0);
+  EXPECT_DOUBLE_EQ(windows[0].total_kwh, 4.0);
+}
+
+TEST(StreamProcessorTest, DeltaSinkReceivesEveryAcceptedReading) {
+  table::DeltaStore store;
+  StreamProcessor::Options options;
+  options.late_allowance_hours = 2;
+  options.delta = &store;
+  StreamProcessor processor(options);
+
+  ASSERT_TRUE(processor.Process(Reading(0, 1.5, 20.0, 1)).ok());
+  ASSERT_TRUE(processor.Process(Reading(1, 2.5, 21.0, 1)).ok());
+  ASSERT_TRUE(processor.Process(Reading(1, 4.0, 21.0, 2)).ok());
+  // Processor-side rejections never reach the store.
+  EXPECT_FALSE(processor.Process(Reading(1, 9.9, 21.0, 1)).ok());
+  EXPECT_EQ(store.version(), 3u);
+
+  table::DeltaTableReader reader(&store);
+  ASSERT_TRUE(reader.Open().ok());
+  auto batch = reader.NewBatch();
+  ASSERT_TRUE(batch.ok());
+  ASSERT_EQ(batch->count(), 2u);
+  ASSERT_EQ(batch->hours(), 2u);
+  EXPECT_EQ(batch->consumption(0)[0], 1.5);
+  EXPECT_EQ(batch->consumption(0)[1], 2.5);
+  EXPECT_EQ(batch->consumption(1)[0], 0.0);  // gap: household 2 joined late
+  EXPECT_EQ(batch->consumption(1)[1], 4.0);
+  EXPECT_EQ(batch->temperature()[1], 21.0);
+}
+
+TEST(StreamProcessorTest, DeltaStoreRejectionLeavesProcessorClean) {
+  // The store's global publish lag can trail the per-household
+  // allowance. A store-side rejection must reject the reading here too
+  // and leave the processor state byte-for-byte untouched, so a retry
+  // sees the same answer (not a bogus duplicate).
+  table::DeltaStore store;
+  StreamProcessor::Options options;
+  options.late_allowance_hours = 10;
+  options.delta = &store;
+  StreamProcessor processor(options);
+
+  ASSERT_TRUE(processor.Process(Reading(20, 1.0)).ok());
+  (void)store.Snapshot();  // publishes hours [0, 21): they are now sealed
+
+  // Hour 15 passes the processor watermark (20 - 10) but is below the
+  // store's published extent.
+  auto rejected = processor.Process(Reading(15, 1.0));
+  EXPECT_EQ(rejected.code(), StatusCode::kOutOfRange) << rejected.ToString();
+  EXPECT_EQ(processor.readings_processed(), 1);
+  EXPECT_EQ(store.version(), 1u);
+
+  // Retry gives the same clean rejection -- the processor did not mark
+  // hour 15 as seen.
+  auto retried = processor.Process(Reading(15, 1.0));
+  EXPECT_EQ(retried.code(), StatusCode::kOutOfRange) << retried.ToString();
+
+  // In-range hours still flow.
+  EXPECT_TRUE(processor.Process(Reading(21, 1.0)).ok());
+  EXPECT_EQ(store.version(), 2u);
+}
+
+TEST(StreamProcessorTest, FlushWindowsEmitsDeterministicOrder) {
+  StreamProcessor::Options options;
+  options.window_hours = 2;
+  options.late_allowance_hours = 1;
+  StreamProcessor processor(options);
+  std::vector<WindowSummary> windows;
+  processor.SetWindowSink(
+      [&windows](const WindowSummary& w) { windows.push_back(w); });
+
+  // Interleave households in a scrambled order; flush must emit in
+  // ascending (household id, window start) order regardless.
+  for (int64_t household : {3, 1, 2}) {
+    for (int64_t h = 0; h < 3; ++h) {
+      ASSERT_TRUE(processor.Process(Reading(h, 1.0, 10.0, household)).ok());
+    }
+  }
+  processor.FlushWindows();
+
+  ASSERT_EQ(windows.size(), 6u);  // 3 households x windows [0,2) and [2,4)
+  for (size_t i = 0; i < windows.size(); ++i) {
+    EXPECT_EQ(windows[i].household_id, static_cast<int64_t>(i / 2 + 1));
+    EXPECT_EQ(windows[i].window_start_hour, i % 2 == 0 ? 0 : 2);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// AlertLog
+// ---------------------------------------------------------------------------
+
+Alert MakeAlert(int64_t household, int64_t hour) {
+  Alert alert;
+  alert.household_id = household;
+  alert.hour = hour;
+  alert.kind = AlertKind::kSpike;
+  alert.observed = 2.0;
+  alert.expected = 1.0;
+  alert.score = 5.0;
+  return alert;
+}
+
+TEST(AlertLogTest, RingEvictsOldestBeyondCapacity) {
+  AlertLog log(3);
+  for (int64_t h = 0; h < 5; ++h) {
+    log.Record(MakeAlert(1, h));
+  }
+  EXPECT_EQ(log.size(), 3u);
+  EXPECT_EQ(log.total_recorded(), 5);
+  const std::vector<Alert> all = log.Query(AlertQuery{});
+  ASSERT_EQ(all.size(), 3u);
+  // Oldest-first, and the two oldest alerts fell off the ring.
+  EXPECT_EQ(all[0].hour, 2);
+  EXPECT_EQ(all[2].hour, 4);
+}
+
+TEST(AlertLogTest, QueryFiltersAndLimits) {
+  AlertLog log;
+  for (int64_t h = 0; h < 10; ++h) {
+    log.Record(MakeAlert(h % 2 == 0 ? 7 : 8, h));
+  }
+
+  AlertQuery by_household;
+  by_household.household_id = 7;
+  const std::vector<Alert> sevens = log.Query(by_household);
+  ASSERT_EQ(sevens.size(), 5u);
+  for (const Alert& alert : sevens) {
+    EXPECT_EQ(alert.household_id, 7);
+  }
+
+  AlertQuery since;
+  since.since_hour = 6;
+  EXPECT_EQ(log.Query(since).size(), 4u);  // hours 6..9
+
+  // The limit keeps the NEWEST matches (a dashboard tails the log).
+  AlertQuery newest;
+  newest.household_id = 8;
+  newest.limit = 2;
+  const std::vector<Alert> tail = log.Query(newest);
+  ASSERT_EQ(tail.size(), 2u);
+  EXPECT_EQ(tail[0].hour, 7);
+  EXPECT_EQ(tail[1].hour, 9);
 }
 
 TEST(AlertTest, ToStringMentionsKindAndHousehold) {
